@@ -1,0 +1,366 @@
+//! Bilateral Grid — fast approximate bilateral filtering (§4, citing Chen,
+//! Paris & Durand).
+//!
+//! The pipeline is "a histogram operation followed by stencil and sampling
+//! operations": two accumulators scatter value/weight sums into a coarse
+//! (space × intensity) grid, three 5-tap blurs smooth the grid along each
+//! axis, and a trilinear *slice* samples it back at full resolution,
+//! normalizing by the sliced weight (homogeneous coordinates).
+//!
+//! The paper's grouping result reproduces here: the accumulators stay in
+//! their own groups ("our current implementation does not attempt to fuse
+//! reduction operations"), while the blurs + slicing + normalization fuse —
+//! with big enough tiles, which is exactly what the autotuner discovers.
+//! The original blurs one 4-D grid holding (value, weight) pairs; lacking
+//! multi-valued accumulators, we run two parallel 3-D chains, which
+//! performs the same arithmetic.
+
+use crate::{Benchmark, Scale};
+use polymage_ir::*;
+use polymage_vm::Buffer;
+
+/// Spatial sigma: one grid cell per 8×8 pixel block.
+pub const S_SIGMA: i64 = 8;
+/// Intensity bins for values in `[0, 1]` (range sigma 0.1).
+pub const Z_BINS: i64 = 10;
+/// Grid padding on every axis (room for one 5-tap blur per axis).
+const PAD: i64 = 2;
+const K: [f64; 5] = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
+
+/// The Bilateral Grid benchmark.
+pub struct BilateralGrid {
+    pipeline: Pipeline,
+    rows: i64,
+    cols: i64,
+}
+
+/// Builds the DSL specification. `R`, `C` must be divisible by
+/// [`S_SIGMA`]; input values lie in `[0, 1]`.
+pub fn build() -> Pipeline {
+    let mut p = PipelineBuilder::new("bilateral_grid");
+    let (r, c) = (p.param("R"), p.param("C"));
+    let img = p.image("I", ScalarType::Float, vec![PAff::param(r), PAff::param(c)]);
+    let (x, y, z) = (p.var("x"), p.var("y"), p.var("z"));
+    let (gx, gy) = (p.var("gx"), p.var("gy"));
+
+    let grid_x = Interval::new(PAff::cst(0), PAff::param(r) / S_SIGMA + 2 * PAD);
+    let grid_y = Interval::new(PAff::cst(0), PAff::param(c) / S_SIGMA + 2 * PAD);
+    let grid_z = Interval::cst(0, Z_BINS + 2 * PAD);
+    let img_x = Interval::new(PAff::cst(0), PAff::param(r) - 1);
+    let img_y = Interval::new(PAff::cst(0), PAff::param(c) - 1);
+
+    // Scatter: grid cell (x/s + PAD, y/s + PAD, round(I·Z) + PAD).
+    let target = |x: VarId, y: VarId| -> Vec<Expr> {
+        vec![
+            (Expr::from(x) + PAD * S_SIGMA) / S_SIGMA,
+            (Expr::from(y) + PAD * S_SIGMA) / S_SIGMA,
+            (Expr::at(img, [Expr::from(x), Expr::from(y)]) * Z_BINS as f64)
+                .cast(ScalarType::Int)
+                + PAD,
+        ]
+    };
+    let grid_dom =
+        [(gx, grid_x.clone()), (gy, grid_y.clone()), (z, grid_z.clone())];
+    let gridv = p
+        .accumulator(
+            "gridv",
+            &grid_dom,
+            ScalarType::Float,
+            Accumulate {
+                red_vars: vec![x, y],
+                red_dom: vec![img_x.clone(), img_y.clone()],
+                target: target(x, y),
+                value: Expr::at(img, [Expr::from(x), Expr::from(y)]),
+                op: Reduction::Sum,
+            },
+        )
+        .unwrap();
+    let gridw = p
+        .accumulator(
+            "gridw",
+            &grid_dom,
+            ScalarType::Float,
+            Accumulate {
+                red_vars: vec![x, y],
+                red_dom: vec![img_x.clone(), img_y],
+                target: target(x, y),
+                value: Expr::Const(1.0),
+                op: Reduction::Sum,
+            },
+        )
+        .unwrap();
+
+    // Blur chains (z, then x, then y) for both grids.
+    let blur_z_dom = Interval::new(PAff::cst(PAD), PAff::cst(Z_BINS + PAD));
+    let blur_x_dom = Interval::new(PAff::cst(PAD), PAff::param(r) / S_SIGMA + PAD);
+    let blur_y_dom = Interval::new(PAff::cst(PAD), PAff::param(c) / S_SIGMA + PAD);
+    let mut blurred = Vec::new();
+    for (suffix, grid) in [("v", gridv), ("w", gridw)] {
+        let bz = p.func(
+            format!("blurz_{suffix}"),
+            &[(gx, grid_x.clone()), (gy, grid_y.clone()), (z, blur_z_dom.clone())],
+            ScalarType::Float,
+        );
+        p.define(
+            bz,
+            vec![Case::always(stencil_1d(
+                grid,
+                &[gx, gy, z],
+                2,
+                1.0,
+                &[K[0], K[1], K[2], K[3], K[4]],
+            ))],
+        )
+        .unwrap();
+        let bx = p.func(
+            format!("blurx_{suffix}"),
+            &[(gx, blur_x_dom.clone()), (gy, grid_y.clone()), (z, blur_z_dom.clone())],
+            ScalarType::Float,
+        );
+        p.define(
+            bx,
+            vec![Case::always(stencil_1d(
+                bz,
+                &[gx, gy, z],
+                0,
+                1.0,
+                &[K[0], K[1], K[2], K[3], K[4]],
+            ))],
+        )
+        .unwrap();
+        let by = p.func(
+            format!("blury_{suffix}"),
+            &[(gx, blur_x_dom.clone()), (gy, blur_y_dom.clone()), (z, blur_z_dom.clone())],
+            ScalarType::Float,
+        );
+        p.define(
+            by,
+            vec![Case::always(stencil_1d(
+                bx,
+                &[gx, gy, z],
+                1,
+                1.0,
+                &[K[0], K[1], K[2], K[3], K[4]],
+            ))],
+        )
+        .unwrap();
+        blurred.push(by);
+    }
+
+    // Trilinear slice of each blurred grid, then normalization.
+    let zv = Expr::at(img, [Expr::from(x), Expr::from(y)]) * Z_BINS as f64
+        + PAD as f64;
+    let zi = zv.clone().floor();
+    let zf = zv - zi.clone();
+    let xf = Expr::from(x) * (1.0 / S_SIGMA as f64)
+        - (Expr::from(x) / S_SIGMA as f64).floor();
+    let yf = Expr::from(y) * (1.0 / S_SIGMA as f64)
+        - (Expr::from(y) / S_SIGMA as f64).floor();
+    let trilinear = |grid: FuncId| -> Expr {
+        let mut sum: Option<Expr> = None;
+        for dx in 0..2i64 {
+            for dy in 0..2i64 {
+                for dz in 0..2i64 {
+                    let wx = if dx == 0 {
+                        1.0 - xf.clone()
+                    } else {
+                        xf.clone()
+                    };
+                    let wy = if dy == 0 {
+                        1.0 - yf.clone()
+                    } else {
+                        yf.clone()
+                    };
+                    let wz = if dz == 0 {
+                        1.0 - zf.clone()
+                    } else {
+                        zf.clone()
+                    };
+                    let access = Expr::at(
+                        grid,
+                        [
+                            (Expr::from(x) + (PAD + dx) * S_SIGMA) / S_SIGMA,
+                            (Expr::from(y) + (PAD + dy) * S_SIGMA) / S_SIGMA,
+                            zi.clone() + dz as f64,
+                        ],
+                    );
+                    let term = access * wx * wy * wz;
+                    sum = Some(match sum {
+                        None => term,
+                        Some(s) => s + term,
+                    });
+                }
+            }
+        }
+        sum.unwrap()
+    };
+    let out_dom = [
+        (x, Interval::new(PAff::cst(0), PAff::param(r) - 1)),
+        (y, Interval::new(PAff::cst(0), PAff::param(c) - 1)),
+    ];
+    let slice_v = p.func("slice_v", &out_dom, ScalarType::Float);
+    p.define(slice_v, vec![Case::always(trilinear(blurred[0]))]).unwrap();
+    let slice_w = p.func("slice_w", &out_dom, ScalarType::Float);
+    p.define(slice_w, vec![Case::always(trilinear(blurred[1]))]).unwrap();
+    let out = p.func("filtered", &out_dom, ScalarType::Float);
+    p.define(
+        out,
+        vec![Case::always(
+            Expr::at(slice_v, [Expr::from(x), Expr::from(y)])
+                / (Expr::at(slice_w, [Expr::from(x), Expr::from(y)]) + 1e-6),
+        )],
+    )
+    .unwrap();
+    p.finish(&[out]).unwrap()
+}
+
+impl BilateralGrid {
+    /// Instantiates at a given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (rows, cols) = match scale {
+            Scale::Paper => (2560, 1536),
+            Scale::Small => (640, 384),
+            Scale::Tiny => (64, 48),
+        };
+        BilateralGrid::with_size(rows, cols)
+    }
+
+    /// Instantiates with explicit dimensions (multiples of [`S_SIGMA`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`/`cols` are not multiples of the spatial sigma.
+    pub fn with_size(rows: i64, cols: i64) -> Self {
+        assert!(
+            rows % S_SIGMA == 0 && cols % S_SIGMA == 0,
+            "bilateral grid sizes must be multiples of {S_SIGMA}"
+        );
+        BilateralGrid { pipeline: build(), rows, cols }
+    }
+}
+
+impl Benchmark for BilateralGrid {
+    fn name(&self) -> &str {
+        "Bilateral Grid"
+    }
+
+    fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    fn params(&self) -> Vec<i64> {
+        vec![self.rows, self.cols]
+    }
+
+    fn make_inputs(&self, seed: u64) -> Vec<Buffer> {
+        vec![crate::inputs::gray_image(self.rows, self.cols, seed)]
+    }
+
+    fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer> {
+        let img = &inputs[0];
+        let (r, c) = (self.rows, self.cols);
+        let (nx, ny, nz) =
+            (r / S_SIGMA + 2 * PAD + 1, c / S_SIGMA + 2 * PAD + 1, Z_BINS + 2 * PAD + 1);
+        let gi = |gx: i64, gy: i64, gz: i64| ((gx * ny + gy) * nz + gz) as usize;
+        let mut gridv = vec![0.0f32; (nx * ny * nz) as usize];
+        let mut gridw = vec![0.0f32; (nx * ny * nz) as usize];
+        for x in 0..r {
+            for y in 0..c {
+                let v = img.at(&[x, y]);
+                let gz = ((v * Z_BINS as f32).round() as i64 + PAD).clamp(0, nz - 1);
+                let cell = gi(x / S_SIGMA + PAD, y / S_SIGMA + PAD, gz);
+                gridv[cell] += v;
+                gridw[cell] += 1.0;
+            }
+        }
+        let blur_axis = |src: &[f32], axis: usize| -> Vec<f32> {
+            let mut dst = vec![0.0f32; src.len()];
+            let (bx0, bx1) = if axis == 0 { (PAD, nx - 1 - PAD) } else { (0, nx - 1) };
+            let (by0, by1) = if axis == 1 { (PAD, ny - 1 - PAD) } else { (0, ny - 1) };
+            let (bz0, bz1) = (PAD, nz - 1 - PAD);
+            for gx in bx0..=bx1 {
+                for gy in by0..=by1 {
+                    for gz in bz0..=bz1 {
+                        let mut s = 0.0;
+                        for (k, &w) in K.iter().enumerate() {
+                            let d = k as i64 - 2;
+                            let (ax, ay, az) = match axis {
+                                0 => (gx + d, gy, gz),
+                                1 => (gx, gy + d, gz),
+                                _ => (gx, gy, gz + d),
+                            };
+                            s += src[gi(ax, ay, az)] * w as f32;
+                        }
+                        dst[gi(gx, gy, gz)] = s;
+                    }
+                }
+            }
+            dst
+        };
+        // blur order: z, x, y (zero regions outside each stage's domain are
+        // harmless: weights normalize)
+        let bv = blur_axis(&blur_axis(&blur_axis(&gridv, 2), 0), 1);
+        let bw = blur_axis(&blur_axis(&blur_axis(&gridw, 2), 0), 1);
+        let mut out =
+            Buffer::zeros(polymage_poly::Rect::new(vec![(0, r - 1), (0, c - 1)]));
+        let mut i = 0;
+        for x in 0..r {
+            for y in 0..c {
+                let v = img.at(&[x, y]);
+                let zv = v * Z_BINS as f32 + PAD as f32;
+                let zi0 = zv.floor();
+                let zf = zv - zi0;
+                let (xi, yi) = (x / S_SIGMA + PAD, y / S_SIGMA + PAD);
+                let xf = x as f32 / S_SIGMA as f32 - (x / S_SIGMA) as f32;
+                let yf = y as f32 / S_SIGMA as f32 - (y / S_SIGMA) as f32;
+                let tri = |g: &[f32]| {
+                    let mut s = 0.0;
+                    for dx in 0..2i64 {
+                        for dy in 0..2i64 {
+                            for dz in 0..2i64 {
+                                let wx = if dx == 0 { 1.0 - xf } else { xf };
+                                let wy = if dy == 0 { 1.0 - yf } else { yf };
+                                let wz = if dz == 0 { 1.0 - zf } else { zf };
+                                let az =
+                                    ((zi0 as i64) + dz).clamp(PAD, nz - 1 - PAD);
+                                let ax = (xi + dx).clamp(PAD, nx - 1 - PAD);
+                                let ay = (yi + dy).clamp(PAD, ny - 1 - PAD);
+                                s += g[gi(ax, ay, az)] * wx * wy * wz;
+                            }
+                        }
+                    }
+                    s
+                };
+                out.data[i] = tri(&bv) / (tri(&bw) + 1e-6);
+                i += 1;
+            }
+        }
+        vec![out]
+    }
+
+    fn tolerance(&self) -> f32 {
+        2e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_structure() {
+        let p = build();
+        // 2 accumulators + 6 blurs + 2 slices + 1 normalize = 11 stages
+        assert_eq!(p.funcs().len(), 11);
+        assert_eq!(
+            p.funcs().iter().filter(|f| f.is_reduction()).count(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples")]
+    fn size_validation() {
+        let _ = BilateralGrid::with_size(100, 48);
+    }
+}

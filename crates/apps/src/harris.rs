@@ -1,0 +1,217 @@
+//! Harris Corner Detection — the paper's running example (Fig. 1, Fig. 2).
+//!
+//! Eleven stages: Sobel-like derivative stencils `Ix`/`Iy`, point-wise
+//! products `Ixx`/`Ixy`/`Iyy`, 3×3 box sums `Sxx`/`Sxy`/`Syy`, and the
+//! point-wise `det`/`trace`/`harris` corner response. The compiler inlines
+//! all point-wise stages and fuses the stencils into one overlapped-tiled
+//! group, reproducing the schedule described in §4.
+
+use crate::{Benchmark, Scale};
+use polymage_ir::*;
+use polymage_vm::Buffer;
+
+/// The Harris benchmark.
+pub struct HarrisCorner {
+    pipeline: Pipeline,
+    rows: i64,
+    cols: i64,
+}
+
+/// Builds the Fig. 1 specification verbatim: image `(R+2) × (C+2)`,
+/// derivative stages guarded to `[1,R]×[1,C]`, box/output stages guarded to
+/// `[2,R−1]×[2,C−1]`.
+pub fn build() -> Pipeline {
+    let mut p = PipelineBuilder::new("harris");
+    let (r, c) = (p.param("R"), p.param("C"));
+    let img =
+        p.image("I", ScalarType::Float, vec![PAff::param(r) + 2, PAff::param(c) + 2]);
+    let (x, y) = (p.var("x"), p.var("y"));
+    let row = Interval::new(PAff::cst(0), PAff::param(r) + 1);
+    let col = Interval::new(PAff::cst(0), PAff::param(c) + 1);
+    let dom = [(x, row), (y, col)];
+    let cond = Expr::from(x).ge(1)
+        & Expr::from(x).le(Expr::Param(r))
+        & Expr::from(y).ge(1)
+        & Expr::from(y).le(Expr::Param(c));
+    let condb = Expr::from(x).ge(2)
+        & Expr::from(x).le(Expr::Param(r) - 1.0)
+        & Expr::from(y).ge(2)
+        & Expr::from(y).le(Expr::Param(c) - 1.0);
+
+    let iy = p.func("Iy", &dom, ScalarType::Float);
+    p.define(
+        iy,
+        vec![Case::new(
+            cond.clone(),
+            stencil(img, &[x, y], 1.0 / 12.0, &[[-1, -2, -1], [0, 0, 0], [1, 2, 1]]),
+        )],
+    )
+    .unwrap();
+    let ix = p.func("Ix", &dom, ScalarType::Float);
+    p.define(
+        ix,
+        vec![Case::new(
+            cond.clone(),
+            stencil(img, &[x, y], 1.0 / 12.0, &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]),
+        )],
+    )
+    .unwrap();
+
+    let at = |f: FuncId, x: VarId, y: VarId| Expr::at(f, [Expr::from(x), Expr::from(y)]);
+    let ixx = p.func("Ixx", &dom, ScalarType::Float);
+    p.define(ixx, vec![Case::new(cond.clone(), at(ix, x, y) * at(ix, x, y))]).unwrap();
+    let iyy = p.func("Iyy", &dom, ScalarType::Float);
+    p.define(iyy, vec![Case::new(cond.clone(), at(iy, x, y) * at(iy, x, y))]).unwrap();
+    let ixy = p.func("Ixy", &dom, ScalarType::Float);
+    p.define(ixy, vec![Case::new(cond, at(ix, x, y) * at(iy, x, y))]).unwrap();
+
+    let box3 = [[1i64, 1, 1], [1, 1, 1], [1, 1, 1]];
+    let sxx = p.func("Sxx", &dom, ScalarType::Float);
+    let syy = p.func("Syy", &dom, ScalarType::Float);
+    let sxy = p.func("Sxy", &dom, ScalarType::Float);
+    for (s, i) in [(sxx, ixx), (syy, iyy), (sxy, ixy)] {
+        p.define(s, vec![Case::new(condb.clone(), stencil(i, &[x, y], 1.0, &box3))])
+            .unwrap();
+    }
+
+    let det = p.func("det", &dom, ScalarType::Float);
+    p.define(
+        det,
+        vec![Case::new(condb.clone(), at(sxx, x, y) * at(syy, x, y) - at(sxy, x, y) * at(sxy, x, y))],
+    )
+    .unwrap();
+    let trace = p.func("trace", &dom, ScalarType::Float);
+    p.define(trace, vec![Case::new(condb.clone(), at(sxx, x, y) + at(syy, x, y))])
+        .unwrap();
+    let harris = p.func("harris", &dom, ScalarType::Float);
+    p.define(
+        harris,
+        vec![Case::new(
+            condb,
+            at(det, x, y) - 0.04 * at(trace, x, y) * at(trace, x, y),
+        )],
+    )
+    .unwrap();
+    p.finish(&[harris]).unwrap()
+}
+
+impl HarrisCorner {
+    /// Instantiates at a given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (rows, cols) = match scale {
+            Scale::Paper => (6400, 6400),
+            Scale::Small => (1600, 1600),
+            Scale::Tiny => (60, 68),
+        };
+        HarrisCorner::with_size(rows, cols)
+    }
+
+    /// Instantiates with explicit interior dimensions (`R`, `C`).
+    pub fn with_size(rows: i64, cols: i64) -> Self {
+        HarrisCorner { pipeline: build(), rows, cols }
+    }
+}
+
+impl Benchmark for HarrisCorner {
+    fn name(&self) -> &str {
+        "Harris Corner"
+    }
+
+    fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    fn params(&self) -> Vec<i64> {
+        vec![self.rows, self.cols]
+    }
+
+    fn make_inputs(&self, seed: u64) -> Vec<Buffer> {
+        vec![crate::inputs::gray_image(self.rows + 2, self.cols + 2, seed)]
+    }
+
+    fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer> {
+        let img = &inputs[0];
+        let (r, c) = (self.rows, self.cols);
+        let full = polymage_poly::Rect::new(vec![(0, r + 1), (0, c + 1)]);
+        let n = (r + 2) as usize * (c + 2) as usize;
+        let idx = |x: i64, y: i64| (x * (c + 2) + y) as usize;
+        let (mut ix, mut iy) = (vec![0.0f32; n], vec![0.0f32; n]);
+        for x in 1..=r {
+            for y in 1..=c {
+                let g = |dx: i64, dy: i64| img.at(&[x + dx, y + dy]);
+                iy[idx(x, y)] = (-g(-1, -1) - 2.0 * g(-1, 0) - g(-1, 1)
+                    + g(1, -1)
+                    + 2.0 * g(1, 0)
+                    + g(1, 1))
+                    / 12.0;
+                ix[idx(x, y)] = (-g(-1, -1) + g(-1, 1) - 2.0 * g(0, -1) + 2.0 * g(0, 1)
+                    - g(1, -1)
+                    + g(1, 1))
+                    / 12.0;
+            }
+        }
+        let (mut ixx, mut iyy, mut ixy) =
+            (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+        for x in 1..=r {
+            for y in 1..=c {
+                let i = idx(x, y);
+                ixx[i] = ix[i] * ix[i];
+                iyy[i] = iy[i] * iy[i];
+                ixy[i] = ix[i] * iy[i];
+            }
+        }
+        let box_sum = |src: &[f32], x: i64, y: i64| {
+            let mut s = 0.0;
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    s += src[idx(x + dx, y + dy)];
+                }
+            }
+            s
+        };
+        let mut out = Buffer::zeros(full);
+        for x in 2..=r - 1 {
+            for y in 2..=c - 1 {
+                let sxx = box_sum(&ixx, x, y);
+                let syy = box_sum(&iyy, x, y);
+                let sxy = box_sum(&ixy, x, y);
+                let det = sxx * syy - sxy * sxy;
+                let trace = sxx + syy;
+                out.data[idx(x, y)] = det - 0.04 * trace * trace;
+            }
+        }
+        vec![out]
+    }
+
+    fn tolerance(&self) -> f32 {
+        5e-4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_stages() {
+        let p = build();
+        assert_eq!(p.funcs().len(), 11);
+    }
+
+    #[test]
+    fn dag_shape_matches_fig2() {
+        let p = build();
+        let g = polymage_graph::PipelineGraph::build(&p).unwrap();
+        // levels: Ix/Iy at 0, products at 1, box sums at 2, det/trace at 3,
+        // harris at 4
+        let by_name = |n: &str| {
+            p.func_ids().find(|&f| p.func(f).name == n).unwrap()
+        };
+        assert_eq!(g.level(by_name("Ix")), 0);
+        assert_eq!(g.level(by_name("Ixx")), 1);
+        assert_eq!(g.level(by_name("Sxx")), 2);
+        assert_eq!(g.level(by_name("det")), 3);
+        assert_eq!(g.level(by_name("harris")), 4);
+        assert_eq!(g.consumers(by_name("Ix")).len(), 2); // Ixx, Ixy
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic synthetic input generators.
+//!
+//! The paper evaluates on photographs and camera RAW captures we cannot
+//! ship. These generators produce images with comparable structure for
+//! each benchmark's needs: smooth low-frequency content (so pyramids and
+//! bilateral filtering have gradients to preserve), edges (so unsharp and
+//! Harris have features), texture noise (realistic histograms), and a
+//! Bayer mosaic for the camera pipeline. Everything is seeded and
+//! reproducible.
+
+use polymage_poly::Rect;
+use polymage_vm::Buffer;
+
+/// A tiny splittable PRNG (splitmix64) — keeps the crate free of heavyweight
+/// dependencies in library code.
+#[derive(Debug, Clone)]
+pub struct SplitMix(u64);
+
+impl SplitMix {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Smooth procedural luminance in `[0, 1]`: a few sinusoidal "blobs" plus an
+/// edge and a touch of per-pixel noise.
+pub fn luminance(x: i64, y: i64, rng_seed: u64) -> f32 {
+    let (fx, fy) = (x as f32, y as f32);
+    let base = 0.5
+        + 0.25 * (fx * 0.013).sin() * (fy * 0.017).cos()
+        + 0.15 * ((fx + fy) * 0.006).sin();
+    // a hard edge band so sharpening/corner detection has features
+    let edge = if ((fx * 0.031).sin() * (fy * 0.029).cos()) > 0.55 { 0.2 } else { 0.0 };
+    let mut h = SplitMix::new(
+        rng_seed ^ (x as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (y as u64).rotate_left(17),
+    );
+    let noise = (h.next_f32() - 0.5) * 0.04;
+    (base + edge + noise).clamp(0.0, 1.0)
+}
+
+/// Grayscale image in `[0, 1]`, extents `rows × cols`.
+pub fn gray_image(rows: i64, cols: i64, seed: u64) -> Buffer {
+    Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)]))
+        .fill_with(|p| luminance(p[0], p[1], seed))
+}
+
+/// Grayscale image with values in `[0, 255]` (8-bit range).
+pub fn gray_image_u8(rows: i64, cols: i64, seed: u64) -> Buffer {
+    Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)]))
+        .fill_with(|p| (luminance(p[0], p[1], seed) * 255.0).round())
+}
+
+/// RGB image in `[0, 255]`, layout `(rows, cols, 3)`.
+pub fn rgb_image(rows: i64, cols: i64, seed: u64) -> Buffer {
+    Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1), (0, 2)])).fill_with(|p| {
+        let l = luminance(p[0], p[1], seed);
+        let tint = match p[2] {
+            0 => 1.0,
+            1 => 0.8 + 0.2 * ((p[0] as f32) * 0.002).sin(),
+            _ => 0.6 + 0.4 * ((p[1] as f32) * 0.003).cos(),
+        };
+        (l * tint * 255.0).round().clamp(0.0, 255.0)
+    })
+}
+
+/// Synthetic 10-bit Bayer RAW (GRBG pattern), values in `[0, 1023]`,
+/// substituting for the paper's camera capture.
+pub fn bayer_raw(rows: i64, cols: i64, seed: u64) -> Buffer {
+    Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)])).fill_with(|p| {
+        let l = luminance(p[0], p[1], seed);
+        // simple scene color derived from position
+        let r = l * (0.9 + 0.1 * ((p[0] as f32) * 0.004).sin());
+        let g = l;
+        let b = l * (0.7 + 0.3 * ((p[1] as f32) * 0.005).cos());
+        let v = match (p[0] % 2, p[1] % 2) {
+            (0, 0) => g, // G at (even, even)
+            (0, 1) => r, // R
+            (1, 0) => b, // B
+            _ => g,      // G
+        };
+        (v * 1023.0).round().clamp(0.0, 1023.0)
+    })
+}
+
+/// A soft vertical blend mask in `[0, 1]` (left half ≈ 1, right half ≈ 0),
+/// the shape used by the paper's pyramid-blending figure.
+pub fn blend_mask(rows: i64, cols: i64) -> Buffer {
+    Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)])).fill_with(|p| {
+        let t = (p[1] as f32 - cols as f32 * 0.5) / (cols as f32 * 0.1);
+        1.0 / (1.0 + t.exp())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = gray_image(16, 16, 7);
+        let b = gray_image(16, 16, 7);
+        assert_eq!(a.data, b.data);
+        let c = gray_image(16, 16, 8);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn ranges() {
+        let g = gray_image(32, 32, 1);
+        assert!(g.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let u = gray_image_u8(32, 32, 1);
+        assert!(u.data.iter().all(|&v| (0.0..=255.0).contains(&v) && v.fract() == 0.0));
+        let raw = bayer_raw(32, 32, 1);
+        assert!(raw.data.iter().all(|&v| (0.0..=1023.0).contains(&v)));
+        let rgb = rgb_image(8, 8, 1);
+        assert_eq!(rgb.rect.ndim(), 3);
+    }
+
+    #[test]
+    fn mask_transitions() {
+        let m = blend_mask(4, 100);
+        assert!(m.at(&[0, 0]) > 0.95);
+        assert!(m.at(&[0, 99]) < 0.05);
+        assert!((m.at(&[0, 50]) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn splitmix_uniformish() {
+        let mut r = SplitMix::new(3);
+        let mean: f32 = (0..1000).map(|_| r.next_f32()).sum::<f32>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "{mean}");
+    }
+}

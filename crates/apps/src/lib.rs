@@ -1,0 +1,83 @@
+//! # polymage-apps
+//!
+//! The seven benchmark applications of the PolyMage paper (§4, Table 2),
+//! each exposed three ways:
+//!
+//! 1. a **PolyMage DSL specification** (`build_*`) compiled and run through
+//!    `polymage-core` / `polymage-vm`;
+//! 2. a **reference implementation** — straightforward Rust loops, one full
+//!    buffer per logical operation, no fusion across operations. This is
+//!    the stand-in for the paper's OpenCV library baseline *and* the
+//!    correctness oracle for the compiled pipelines;
+//! 3. **synthetic input generators** replacing the paper's photographs and
+//!    camera RAWs (deterministic, covering the same value ranges and
+//!    frequency content the algorithms exercise).
+//!
+//! | Benchmark | Paper size | Stages (paper) | Module |
+//! |---|---|---|---|
+//! | Unsharp Mask | 2048×2048×3 | 4 | [`unsharp`] |
+//! | Bilateral Grid | 2560×1536 | 7 | [`bilateral`] |
+//! | Harris Corner | 6400×6400 | 11 | [`harris`] |
+//! | Camera Pipeline | 2528×1920 | 32 | [`camera`] |
+//! | Pyramid Blending | 2048×2048×3 | 44 | [`pyramid`] |
+//! | Multiscale Interpolate | 2560×1536×3 | 49 | [`interpolate`] |
+//! | Local Laplacian | 2560×1536×3 | 99 | [`laplacian`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bilateral;
+pub mod camera;
+pub mod harris;
+pub mod inputs;
+pub mod interpolate;
+pub mod laplacian;
+pub mod pyr_util;
+pub mod pyramid;
+pub mod unsharp;
+
+use polymage_ir::Pipeline;
+use polymage_vm::Buffer;
+
+/// Workload scale for a benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's image sizes (Table 2).
+    Paper,
+    /// Quarter-linear-size images for fast test/CI runs.
+    Small,
+    /// Tiny images for exhaustive correctness sweeps.
+    Tiny,
+}
+
+/// A benchmark application: specification, parameters, inputs, reference.
+pub trait Benchmark {
+    /// Benchmark name as used in Table 2.
+    fn name(&self) -> &str;
+    /// The DSL specification.
+    fn pipeline(&self) -> &Pipeline;
+    /// Concrete parameter values for this instance.
+    fn params(&self) -> Vec<i64>;
+    /// Deterministic synthetic inputs.
+    fn make_inputs(&self, seed: u64) -> Vec<Buffer>;
+    /// Library-style (per-operation, unfused) reference implementation.
+    fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer>;
+    /// Relative/absolute tolerance when comparing against the compiled
+    /// pipeline (accounts for f32 reassociation differences).
+    fn tolerance(&self) -> f32 {
+        1e-3
+    }
+}
+
+/// Instantiates all seven paper benchmarks at the given scale.
+pub fn all_benchmarks(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(unsharp::Unsharp::new(scale)),
+        Box::new(bilateral::BilateralGrid::new(scale)),
+        Box::new(harris::HarrisCorner::new(scale)),
+        Box::new(camera::CameraPipe::new(scale)),
+        Box::new(pyramid::PyramidBlend::new(scale)),
+        Box::new(interpolate::MultiscaleInterp::new(scale)),
+        Box::new(laplacian::LocalLaplacian::new(scale)),
+    ]
+}

@@ -1,0 +1,252 @@
+//! Shared pyramid machinery: margin arithmetic, DSL builder helpers, and
+//! reference-side plane operations, used by the three pyramid-based
+//! benchmarks (blending, multiscale interpolation, local Laplacian).
+//!
+//! Borders are handled by shrinking each level's domain by exactly the
+//! margin its accesses require. The same margin functions drive the DSL
+//! domains and the reference loops, and the compiler's static bounds
+//! checker independently validates the arithmetic.
+
+use polymage_ir::*;
+
+/// Per-dimension margins: (row lo, row hi, col lo, col hi).
+pub type M4 = (i64, i64, i64, i64);
+
+/// Margins after the x/y halves of a separable (1,2,1)/4 downsample.
+pub fn down_margins(m: M4) -> (M4, M4) {
+    let mx = ((m.0 + 2) / 2, (m.1 + 1) / 2, m.2, m.3);
+    let my = (mx.0, mx.1, (mx.2 + 2) / 2, (mx.3 + 1) / 2);
+    (mx, my)
+}
+
+/// Margins after the x/y halves of the linear upsample
+/// `up(x) = (G(x/2) + G((x+1)/2)) / 2`.
+pub fn up_margins(m: M4) -> (M4, M4) {
+    let mx = (2 * m.0, 2 * m.1 + 1, m.2, m.3);
+    let my = (mx.0, mx.1, 2 * mx.2, 2 * mx.3 + 1);
+    (mx, my)
+}
+
+/// Component-wise maximum of two margin tuples.
+pub fn max_margin(a: M4, b: M4) -> M4 {
+    (a.0.max(b.0), a.1.max(b.1), a.2.max(b.2), a.3.max(b.3))
+}
+
+/// A stage handle carrying its pyramid level and margins.
+#[derive(Clone, Copy)]
+pub struct St {
+    /// The stage.
+    pub f: FuncId,
+    /// Pyramid level (0 = full resolution).
+    pub lvl: usize,
+    /// Current margins.
+    pub m: M4,
+}
+
+/// DSL builder for pyramid stages over an optional extra (innermost,
+/// pass-through) dimension such as the local Laplacian's intensity index.
+pub struct PyrBuilder {
+    /// The pipeline under construction.
+    pub p: PipelineBuilder,
+    /// Row-count parameter.
+    pub r: ParamId,
+    /// Column-count parameter.
+    pub c: ParamId,
+    /// Row variable.
+    pub x: VarId,
+    /// Column variable.
+    pub y: VarId,
+    /// Extra pass-through dimension `(var, lo, hi)`, if any.
+    pub extra: Option<(VarId, i64, i64)>,
+}
+
+impl PyrBuilder {
+    /// Domain at row level `rl` / column level `cl` with margins `m`.
+    pub fn dom(&self, rl: usize, cl: usize, m: M4) -> Vec<(VarId, Interval)> {
+        let rows =
+            Interval::new(PAff::cst(m.0), PAff::param(self.r) / (1 << rl) - 1 - m.1);
+        let cols =
+            Interval::new(PAff::cst(m.2), PAff::param(self.c) / (1 << cl) - 1 - m.3);
+        let mut d = vec![(self.x, rows), (self.y, cols)];
+        if let Some((k, lo, hi)) = self.extra {
+            d.push((k, Interval::cst(lo, hi)));
+        }
+        d
+    }
+
+    fn tail(&self) -> Vec<Expr> {
+        match self.extra {
+            Some((k, _, _)) => vec![Expr::from(k)],
+            None => vec![],
+        }
+    }
+
+    fn access(&self, f: FuncId, xe: Expr, ye: Expr) -> Expr {
+        let mut args = vec![xe, ye];
+        args.extend(self.tail());
+        Expr::Call(Source::Func(f), args)
+    }
+
+    /// Separable (1,2,1)/4 downsample; returns the level-`l+1` stage.
+    pub fn downsample(&mut self, name: &str, src: St) -> St {
+        let (x, y) = (self.x, self.y);
+        let (mx, my) = down_margins(src.m);
+        let dx = self.dom(src.lvl + 1, src.lvl, mx);
+        let fx = self.p.func(format!("{name}_dx"), &dx, ScalarType::Float);
+        let e = (self.access(src.f, 2i64 * Expr::from(x) - 1, Expr::from(y))
+            + self.access(src.f, 2i64 * Expr::from(x), Expr::from(y)) * 2.0
+            + self.access(src.f, 2i64 * Expr::from(x) + 1, Expr::from(y)))
+            * 0.25;
+        self.p.define(fx, vec![Case::always(e)]).unwrap();
+        let dy = self.dom(src.lvl + 1, src.lvl + 1, my);
+        let fy = self.p.func(format!("{name}_dy"), &dy, ScalarType::Float);
+        let e = (self.access(fx, Expr::from(x), 2i64 * Expr::from(y) - 1)
+            + self.access(fx, Expr::from(x), 2i64 * Expr::from(y)) * 2.0
+            + self.access(fx, Expr::from(x), 2i64 * Expr::from(y) + 1))
+            * 0.25;
+        self.p.define(fy, vec![Case::always(e)]).unwrap();
+        St { f: fy, lvl: src.lvl + 1, m: my }
+    }
+
+    /// Separable linear upsample; returns the level-`l−1` stage.
+    pub fn upsample(&mut self, name: &str, src: St) -> St {
+        let (x, y) = (self.x, self.y);
+        let (mx, my) = up_margins(src.m);
+        let dx = self.dom(src.lvl - 1, src.lvl, mx);
+        let fx = self.p.func(format!("{name}_ux"), &dx, ScalarType::Float);
+        let e = (self.access(src.f, Expr::from(x) / 2, Expr::from(y))
+            + self.access(src.f, (x + 1) / 2, Expr::from(y)))
+            * 0.5;
+        self.p.define(fx, vec![Case::always(e)]).unwrap();
+        let dy = self.dom(src.lvl - 1, src.lvl - 1, my);
+        let fy = self.p.func(format!("{name}_uy"), &dy, ScalarType::Float);
+        let e = (self.access(fx, Expr::from(x), Expr::from(y) / 2)
+            + self.access(fx, Expr::from(x), (y + 1) / 2))
+            * 0.5;
+        self.p.define(fy, vec![Case::always(e)]).unwrap();
+        St { f: fy, lvl: src.lvl - 1, m: my }
+    }
+
+    /// Point-wise combination of same-level stages (margins maxed). The
+    /// closure receives one identity access per source.
+    pub fn combine(
+        &mut self,
+        name: &str,
+        srcs: &[St],
+        expr: impl FnOnce(&[Expr]) -> Expr,
+    ) -> St {
+        let lvl = srcs[0].lvl;
+        assert!(srcs.iter().all(|s| s.lvl == lvl));
+        let m = srcs.iter().fold((0, 0, 0, 0), |a, s| max_margin(a, s.m));
+        let dom = self.dom(lvl, lvl, m);
+        let f = self.p.func(name, &dom, ScalarType::Float);
+        let accesses: Vec<Expr> = srcs
+            .iter()
+            .map(|s| self.access(s.f, Expr::from(self.x), Expr::from(self.y)))
+            .collect();
+        self.p.define(f, vec![Case::always(expr(&accesses))]).unwrap();
+        St { f, lvl, m }
+    }
+}
+
+// ---------- reference-side planes ----------
+
+/// A plain full-array image plane for reference implementations.
+pub struct Plane {
+    /// Row count.
+    pub rows: i64,
+    /// Column count.
+    pub cols: i64,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl Plane {
+    /// Zero-filled plane.
+    pub fn zero(rows: i64, cols: i64) -> Plane {
+        Plane { rows, cols, data: vec![0.0; (rows * cols) as usize] }
+    }
+    /// Value at `(x, y)`.
+    pub fn at(&self, x: i64, y: i64) -> f32 {
+        self.data[(x * self.cols + y) as usize]
+    }
+    /// Sets `(x, y)`.
+    pub fn set(&mut self, x: i64, y: i64, v: f32) {
+        self.data[(x * self.cols + y) as usize] = v;
+    }
+    /// Deep copy.
+    pub fn clone_plane(&self) -> Plane {
+        Plane { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+}
+
+/// Reference separable downsample with the shared margin arithmetic.
+pub fn ref_down(src: &Plane, m: M4) -> (Plane, M4) {
+    let (mx, my) = down_margins(m);
+    let mut dx = Plane::zero(src.rows / 2, src.cols);
+    for x in mx.0..=dx.rows - 1 - mx.1 {
+        for y in mx.2..=dx.cols - 1 - mx.3 {
+            let v = (src.at(2 * x - 1, y) + 2.0 * src.at(2 * x, y) + src.at(2 * x + 1, y))
+                * 0.25;
+            dx.set(x, y, v);
+        }
+    }
+    let mut dy = Plane::zero(dx.rows, dx.cols / 2);
+    for x in my.0..=dy.rows - 1 - my.1 {
+        for y in my.2..=dy.cols - 1 - my.3 {
+            let v =
+                (dx.at(x, 2 * y - 1) + 2.0 * dx.at(x, 2 * y) + dx.at(x, 2 * y + 1)) * 0.25;
+            dy.set(x, y, v);
+        }
+    }
+    (dy, my)
+}
+
+/// Reference separable upsample with the shared margin arithmetic.
+pub fn ref_up(src: &Plane, m: M4) -> (Plane, M4) {
+    let (mx, my) = up_margins(m);
+    let mut ux = Plane::zero(src.rows * 2, src.cols);
+    for x in mx.0..=ux.rows - 1 - mx.1 {
+        for y in mx.2..=ux.cols - 1 - mx.3 {
+            let v = (src.at(x / 2, y) + src.at((x + 1) / 2, y)) * 0.5;
+            ux.set(x, y, v);
+        }
+    }
+    let mut uy = Plane::zero(ux.rows, ux.cols * 2);
+    for x in my.0..=uy.rows - 1 - my.1 {
+        for y in my.2..=uy.cols - 1 - my.3 {
+            let v = (ux.at(x, y / 2) + ux.at(x, (y + 1) / 2)) * 0.5;
+            uy.set(x, y, v);
+        }
+    }
+    (uy, my)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_recurrences() {
+        assert_eq!(down_margins((0, 0, 0, 0)), ((1, 0, 0, 0), (1, 0, 1, 0)));
+        assert_eq!(down_margins((3, 3, 3, 3)), ((2, 2, 3, 3), (2, 2, 2, 2)));
+        assert_eq!(up_margins((1, 1, 1, 1)), ((2, 3, 1, 1), (2, 3, 2, 3)));
+        assert_eq!(max_margin((1, 5, 2, 0), (3, 1, 2, 2)), (3, 5, 2, 2));
+    }
+
+    #[test]
+    fn ref_down_then_up_preserves_constants() {
+        let mut p = Plane::zero(32, 32);
+        for v in p.data.iter_mut() {
+            *v = 4.0;
+        }
+        let (d, md) = ref_down(&p, (0, 0, 0, 0));
+        let (u, mu) = ref_up(&d, md);
+        // interior values stay 4 through down+up of a constant image
+        for x in mu.0..=u.rows - 1 - mu.1 {
+            for y in mu.2..=u.cols - 1 - mu.3 {
+                assert!((u.at(x, y) - 4.0).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Pyramid Blending — Burt & Adelson multiresolution splines (§4, Fig. 8).
+//!
+//! Blends two images under a mask by building Gaussian pyramids of both
+//! inputs and the mask, blending Laplacian levels, and collapsing. With
+//! four pyramid levels this produces the ~44-stage graph of the paper's
+//! Fig. 8 (↓x/↓y pairs per pyramid, ↑x/↑y pairs in the Laplacian and
+//! collapse phases).
+//!
+//! Borders: the paper's DSL handles boundaries with case conditions; we
+//! shrink each level's domain by the exact margin its accesses need (the
+//! shared [`crate::pyr_util`] machinery, verified by the compiler's static
+//! bounds checker). Inputs are grayscale — the paper's color version
+//! processes three identical channels.
+
+use crate::pyr_util::{max_margin, ref_down, ref_up, Plane, PyrBuilder, St, M4};
+use crate::{Benchmark, Scale};
+use polymage_ir::*;
+use polymage_vm::Buffer;
+
+/// Number of pyramid levels.
+pub const LEVELS: usize = 4;
+
+/// Builds the DSL specification. Inputs: images `A` and `B` plus blend mask
+/// `M`, all `(R, C)` with `R`, `C` divisible by `2^LEVELS`.
+pub fn build() -> Pipeline {
+    let mut pb = PipelineBuilder::new("pyramid_blending");
+    let r = pb.param("R");
+    let c = pb.param("C");
+    let dims = vec![PAff::param(r), PAff::param(c)];
+    let ia = pb.image("A", ScalarType::Float, dims.clone());
+    let ib = pb.image("B", ScalarType::Float, dims.clone());
+    let im = pb.image("M", ScalarType::Float, dims);
+    let x = pb.var("x");
+    let y = pb.var("y");
+    let mut b = PyrBuilder { p: pb, r, c, x, y, extra: None };
+
+    // level-0 copy stages (point-wise; inlined by the compiler)
+    let mk0 = |b: &mut PyrBuilder, name: &str, img: ImageId| {
+        let dom = b.dom(0, 0, (0, 0, 0, 0));
+        let f = b.p.func(name, &dom, ScalarType::Float);
+        b.p.define(
+            f,
+            vec![Case::always(Expr::at(img, [Expr::from(b.x), Expr::from(b.y)]))],
+        )
+        .unwrap();
+        St { f, lvl: 0, m: (0, 0, 0, 0) }
+    };
+    let ga0 = mk0(&mut b, "GA0", ia);
+    let gb0 = mk0(&mut b, "GB0", ib);
+    let gm0 = mk0(&mut b, "GM0", im);
+
+    // Gaussian pyramids
+    let mut ga = vec![ga0];
+    let mut gb = vec![gb0];
+    let mut gm = vec![gm0];
+    for l in 1..LEVELS {
+        let a = b.downsample(&format!("GA{l}"), ga[l - 1]);
+        ga.push(a);
+        let bb = b.downsample(&format!("GB{l}"), gb[l - 1]);
+        gb.push(bb);
+        let m = b.downsample(&format!("GM{l}"), gm[l - 1]);
+        gm.push(m);
+    }
+
+    // Laplacian levels + blending
+    let mut blend: Vec<St> = Vec::new();
+    for l in 0..LEVELS {
+        let (la, lb) = if l == LEVELS - 1 {
+            (ga[l], gb[l])
+        } else {
+            let ua = b.upsample(&format!("LA{l}"), ga[l + 1]);
+            let la =
+                b.combine(&format!("LA{l}"), &[ga[l], ua], |e| e[0].clone() - e[1].clone());
+            let ub = b.upsample(&format!("LB{l}"), gb[l + 1]);
+            let lb =
+                b.combine(&format!("LB{l}"), &[gb[l], ub], |e| e[0].clone() - e[1].clone());
+            (la, lb)
+        };
+        let bl = b.combine(&format!("blend{l}"), &[gm[l], la, lb], |e| {
+            e[0].clone() * e[1].clone() + (1.0 - e[0].clone()) * e[2].clone()
+        });
+        blend.push(bl);
+    }
+
+    // Collapse
+    let mut out = blend[LEVELS - 1];
+    for l in (0..LEVELS - 1).rev() {
+        let up = b.upsample(&format!("out{l}"), out);
+        out = b.combine(&format!("out{l}"), &[blend[l], up], |e| {
+            e[0].clone() + e[1].clone()
+        });
+    }
+    let final_dom = b.dom(0, 0, out.m);
+    let f = b.p.func("blended", &final_dom, ScalarType::Float);
+    b.p.define(
+        f,
+        vec![Case::always(
+            Expr::at(out.f, [Expr::from(b.x), Expr::from(b.y)]).clamp(0.0, 1.0),
+        )],
+    )
+    .unwrap();
+    b.p.finish(&[f]).unwrap()
+}
+
+/// The Pyramid Blending benchmark.
+pub struct PyramidBlend {
+    pipeline: Pipeline,
+    rows: i64,
+    cols: i64,
+}
+
+impl PyramidBlend {
+    /// Instantiates at a given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (rows, cols) = match scale {
+            Scale::Paper => (2048, 2048),
+            Scale::Small => (512, 512),
+            Scale::Tiny => (256, 256),
+        };
+        PyramidBlend::with_size(rows, cols)
+    }
+
+    /// Instantiates with explicit dimensions (divisible by `2^LEVELS` and
+    /// large enough for the pyramid margins).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions are not divisible by `2^LEVELS`.
+    pub fn with_size(rows: i64, cols: i64) -> Self {
+        assert!(
+            rows % (1 << LEVELS) == 0 && cols % (1 << LEVELS) == 0,
+            "dimensions must be divisible by 2^{LEVELS}"
+        );
+        PyramidBlend { pipeline: build(), rows, cols }
+    }
+}
+
+impl Benchmark for PyramidBlend {
+    fn name(&self) -> &str {
+        "Pyramid Blending"
+    }
+
+    fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    fn params(&self) -> Vec<i64> {
+        vec![self.rows, self.cols]
+    }
+
+    fn make_inputs(&self, seed: u64) -> Vec<Buffer> {
+        vec![
+            crate::inputs::gray_image(self.rows, self.cols, seed),
+            crate::inputs::gray_image(self.rows, self.cols, seed ^ 0xABCD),
+            crate::inputs::blend_mask(self.rows, self.cols),
+        ]
+    }
+
+    fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer> {
+        let to_plane = |b: &Buffer| Plane {
+            rows: self.rows,
+            cols: self.cols,
+            data: b.data.clone(),
+        };
+        let m0: M4 = (0, 0, 0, 0);
+        let mut ga = vec![(to_plane(&inputs[0]), m0)];
+        let mut gb = vec![(to_plane(&inputs[1]), m0)];
+        let mut gm = vec![(to_plane(&inputs[2]), m0)];
+        for l in 1..LEVELS {
+            let d = ref_down(&ga[l - 1].0, ga[l - 1].1);
+            ga.push(d);
+            let d = ref_down(&gb[l - 1].0, gb[l - 1].1);
+            gb.push(d);
+            let d = ref_down(&gm[l - 1].0, gm[l - 1].1);
+            gm.push(d);
+        }
+        let combine = |a: &(Plane, M4),
+                       b: &(Plane, M4),
+                       f: &dyn Fn(f32, f32) -> f32|
+         -> (Plane, M4) {
+            let m = max_margin(a.1, b.1);
+            let mut o = Plane::zero(a.0.rows, a.0.cols);
+            for x in m.0..=o.rows - 1 - m.1 {
+                for y in m.2..=o.cols - 1 - m.3 {
+                    o.set(x, y, f(a.0.at(x, y), b.0.at(x, y)));
+                }
+            }
+            (o, m)
+        };
+        let mut blend: Vec<(Plane, M4)> = Vec::new();
+        for l in 0..LEVELS {
+            let (la, lb) = if l == LEVELS - 1 {
+                ((ga[l].0.clone_plane(), ga[l].1), (gb[l].0.clone_plane(), gb[l].1))
+            } else {
+                let ua = ref_up(&ga[l + 1].0, ga[l + 1].1);
+                let ub = ref_up(&gb[l + 1].0, gb[l + 1].1);
+                (
+                    combine(&ga[l], &ua, &|a, b| a - b),
+                    combine(&gb[l], &ub, &|a, b| a - b),
+                )
+            };
+            let mm = max_margin(gm[l].1, max_margin(la.1, lb.1));
+            let mut bl = Plane::zero(la.0.rows, la.0.cols);
+            for x in mm.0..=bl.rows - 1 - mm.1 {
+                for y in mm.2..=bl.cols - 1 - mm.3 {
+                    let m = gm[l].0.at(x, y);
+                    bl.set(x, y, m * la.0.at(x, y) + (1.0 - m) * lb.0.at(x, y));
+                }
+            }
+            blend.push((bl, mm));
+        }
+        let mut out = blend.pop().unwrap();
+        for l in (0..LEVELS - 1).rev() {
+            let up = ref_up(&out.0, out.1);
+            out = combine(&blend[l], &up, &|a, b| a + b);
+            blend.truncate(l);
+        }
+        // Extract the final stage's (margin-shrunk) rectangle.
+        let final_rect = {
+            let fd = self
+                .pipeline
+                .funcs()
+                .iter()
+                .find(|f| f.name == "blended")
+                .expect("final stage");
+            polymage_poly::Rect::new(
+                fd.var_dom.dom.iter().map(|iv| iv.eval(&self.params())).collect(),
+            )
+        };
+        let mut res = Buffer::zeros(final_rect.clone());
+        let mut i = 0;
+        let (rx, ry) = (final_rect.range(0), final_rect.range(1));
+        for xx in rx.0..=rx.1 {
+            for yy in ry.0..=ry.1 {
+                res.data[i] = out.0.at(xx, yy).clamp(0.0, 1.0);
+                i += 1;
+            }
+        }
+        vec![res]
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_count_matches_paper_ballpark() {
+        let p = build();
+        // The paper's Fig. 8 graph has ~44 nodes at 4 levels.
+        assert!(
+            (35..=55).contains(&p.funcs().len()),
+            "got {} stages",
+            p.funcs().len()
+        );
+    }
+
+    #[test]
+    fn bounds_check_validates_margins() {
+        let app = PyramidBlend::with_size(256, 256);
+        let violations = polymage_graph::check_bounds(app.pipeline(), &[256, 256]);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Unsharp Mask — "a simple pipeline used to sharpen image edges,
+//! comprising a series of stencil operations" (§4).
+//!
+//! Four stages on an RGB image, matching the Halide benchmark the paper
+//! uses: a separable 5-tap Gaussian blur (`blurx`, `blury`), a sharpened
+//! combination, and a threshold mask selecting between the original and the
+//! sharpened value. `sharpen` is point-wise, so the compiler inlines it;
+//! `blurx`/`blury`/`masked` fuse into a single overlapped-tiled group.
+
+use crate::{Benchmark, Scale};
+use polymage_ir::*;
+use polymage_vm::Buffer;
+
+const WEIGHT: f32 = 1.0;
+const THRESH: f32 = 2.5; // on the 0..255 scale
+const K: [f32; 5] = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
+
+/// The Unsharp Mask benchmark.
+pub struct Unsharp {
+    pipeline: Pipeline,
+    rows: i64,
+    cols: i64,
+}
+
+/// Builds the DSL specification. The image has extents `(R, C, 3)`; the
+/// output is defined on the interior `[2, R−3] × [2, C−3]` (the paper's
+/// pipelines crop borders with case conditions rather than clamping).
+pub fn build() -> Pipeline {
+    let mut p = PipelineBuilder::new("unsharp_mask");
+    let (r, c) = (p.param("R"), p.param("C"));
+    let img = p.image(
+        "I",
+        ScalarType::Float,
+        vec![PAff::param(r), PAff::param(c), PAff::cst(3)],
+    );
+    let (x, y, ch) = (p.var("x"), p.var("y"), p.var("c"));
+    let rows_in = Interval::new(PAff::cst(2), PAff::param(r) - 3);
+    let cols_all = Interval::new(PAff::cst(0), PAff::param(c) - 1);
+    let cols_in = Interval::new(PAff::cst(2), PAff::param(c) - 3);
+    let chans = Interval::cst(0, 2);
+
+    let blurx = p.func(
+        "blurx",
+        &[(x, rows_in.clone()), (y, cols_all), (ch, chans.clone())],
+        ScalarType::Float,
+    );
+    let mut bx: Option<Expr> = None;
+    for (i, &w) in K.iter().enumerate() {
+        let t = Expr::at(img, [x + (i as i64 - 2), Expr::from(y), Expr::from(ch)]) * w as f64;
+        bx = Some(match bx {
+            None => t,
+            Some(s) => s + t,
+        });
+    }
+    p.define(blurx, vec![Case::always(bx.unwrap())]).unwrap();
+
+    let blury = p.func(
+        "blury",
+        &[(x, rows_in.clone()), (y, cols_in.clone()), (ch, chans.clone())],
+        ScalarType::Float,
+    );
+    let mut by: Option<Expr> = None;
+    for (i, &w) in K.iter().enumerate() {
+        let t = Expr::at(blurx, [Expr::from(x), y + (i as i64 - 2), Expr::from(ch)])
+            * w as f64;
+        by = Some(match by {
+            None => t,
+            Some(s) => s + t,
+        });
+    }
+    p.define(blury, vec![Case::always(by.unwrap())]).unwrap();
+
+    let orig = |x: VarId, y: VarId, ch: VarId| {
+        Expr::at(img, [Expr::from(x), Expr::from(y), Expr::from(ch)])
+    };
+    let blurred = |x: VarId, y: VarId, ch: VarId| {
+        Expr::at(blury, [Expr::from(x), Expr::from(y), Expr::from(ch)])
+    };
+
+    let sharpen = p.func(
+        "sharpen",
+        &[(x, rows_in.clone()), (y, cols_in.clone()), (ch, chans.clone())],
+        ScalarType::Float,
+    );
+    p.define(
+        sharpen,
+        vec![Case::always(
+            orig(x, y, ch) * (1.0 + WEIGHT) as f64 - blurred(x, y, ch) * WEIGHT as f64,
+        )],
+    )
+    .unwrap();
+
+    let masked = p.func(
+        "masked",
+        &[(x, rows_in), (y, cols_in), (ch, chans)],
+        ScalarType::Float,
+    );
+    p.define(
+        masked,
+        vec![Case::always(Expr::select(
+            (orig(x, y, ch) - blurred(x, y, ch)).abs().lt(THRESH as f64),
+            orig(x, y, ch),
+            Expr::at(sharpen, [Expr::from(x), Expr::from(y), Expr::from(ch)]),
+        ))],
+    )
+    .unwrap();
+    p.finish(&[masked]).unwrap()
+}
+
+impl Unsharp {
+    /// Instantiates the benchmark at a given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (rows, cols) = match scale {
+            Scale::Paper => (2048, 2048),
+            Scale::Small => (512, 512),
+            Scale::Tiny => (48, 56),
+        };
+        Unsharp::with_size(rows, cols)
+    }
+
+    /// Instantiates with explicit image dimensions.
+    pub fn with_size(rows: i64, cols: i64) -> Self {
+        Unsharp { pipeline: build(), rows, cols }
+    }
+}
+
+impl Benchmark for Unsharp {
+    fn name(&self) -> &str {
+        "Unsharp Mask"
+    }
+
+    fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    fn params(&self) -> Vec<i64> {
+        vec![self.rows, self.cols]
+    }
+
+    fn make_inputs(&self, seed: u64) -> Vec<Buffer> {
+        vec![crate::inputs::rgb_image(self.rows, self.cols, seed)]
+    }
+
+    fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer> {
+        let img = &inputs[0];
+        let (r, c) = (self.rows, self.cols);
+        let at = |b: &Buffer, x: i64, y: i64, ch: i64| b.at(&[x, y, ch]);
+        let rect_in = polymage_poly::Rect::new(vec![(2, r - 3), (2, c - 3), (0, 2)]);
+        // blurx over full columns
+        let mut blurx =
+            Buffer::zeros(polymage_poly::Rect::new(vec![(2, r - 3), (0, c - 1), (0, 2)]));
+        {
+            let mut i = 0;
+            for x in 2..=r - 3 {
+                for y in 0..c {
+                    for ch in 0..3 {
+                        let mut s = 0.0;
+                        for (k, &w) in K.iter().enumerate() {
+                            s += at(img, x + k as i64 - 2, y, ch) * w;
+                        }
+                        blurx.data[i] = s;
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let mut blury = Buffer::zeros(rect_in.clone());
+        {
+            let mut i = 0;
+            for x in 2..=r - 3 {
+                for y in 2..=c - 3 {
+                    for ch in 0..3 {
+                        let mut s = 0.0;
+                        for (k, &w) in K.iter().enumerate() {
+                            s += at(&blurx, x, y + k as i64 - 2, ch) * w;
+                        }
+                        blury.data[i] = s;
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let mut out = Buffer::zeros(rect_in);
+        {
+            let mut i = 0;
+            for x in 2..=r - 3 {
+                for y in 2..=c - 3 {
+                    for ch in 0..3 {
+                        let o = at(img, x, y, ch);
+                        let b = at(&blury, x, y, ch);
+                        let sharp = o * (1.0 + WEIGHT) - b * WEIGHT;
+                        out.data[i] = if (o - b).abs() < THRESH { o } else { sharp };
+                        i += 1;
+                    }
+                }
+            }
+        }
+        vec![out]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_stages_declared() {
+        let p = build();
+        assert_eq!(p.funcs().len(), 4);
+        assert_eq!(p.name(), "unsharp_mask");
+    }
+
+    #[test]
+    fn reference_is_identity_on_flat_images() {
+        let app = Unsharp::with_size(16, 16);
+        let flat = Buffer::zeros(polymage_poly::Rect::new(vec![(0, 15), (0, 15), (0, 2)]))
+            .fill_with(|_| 128.0);
+        let out = app.reference(&[flat]);
+        // blur of a constant is the constant → |o−b| = 0 < thresh → original
+        assert!(out[0].data.iter().all(|&v| (v - 128.0).abs() < 1e-4));
+    }
+}

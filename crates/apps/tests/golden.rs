@@ -1,0 +1,63 @@
+//! Golden-value regression tests: a stable checksum per benchmark at Tiny
+//! scale pins the exact numeric behavior of the whole stack (DSL →
+//! compiler → engine). Any semantic drift — in lowering, scheduling,
+//! execution order within a stage, or the apps themselves — shows up here
+//! before it can silently skew benchmark comparisons.
+//!
+//! If a change *intentionally* alters semantics (it shouldn't: schedules
+//! must be semantics-preserving), regenerate with
+//! `cargo test -p polymage-apps --test golden -- --nocapture` and update.
+
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::run_program;
+
+/// An order-independent but value-sensitive checksum (sum of value·f(index)
+/// in f64 to make the test insensitive to tiny per-element noise while
+/// catching any real change).
+fn checksum(data: &[f32]) -> f64 {
+    data.iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let w = 1.0 + (i % 97) as f64 / 97.0;
+            v as f64 * w + v.abs() as f64 * 0.5
+        })
+        .sum()
+}
+
+#[test]
+fn golden_checksums() {
+    let expected: &[(&str, f64)] = &[
+        ("Unsharp Mask", 2184798.156290269),
+        ("Bilateral Grid", 4473.312028816677),
+        ("Harris Corner", -0.00046295813777195),
+        ("Camera Pipeline", 2802199.8041237155),
+        ("Pyramid Blending", 72105.28545573528),
+        ("Multiscale Interpolate", 113389.14272499557),
+        ("Local Laplacian", 31886.870462656054),
+    ];
+    let mut failures = Vec::new();
+    for b in all_benchmarks(Scale::Tiny) {
+        let inputs = b.make_inputs(42);
+        let compiled =
+            compile(b.pipeline(), &CompileOptions::optimized(b.params())).unwrap();
+        let out = run_program(&compiled.program, &inputs, 1).unwrap();
+        let sum: f64 = out.iter().map(|o| checksum(&o.data)).sum();
+        println!("(\"{}\", {:?}),", b.name(), sum);
+        match expected.iter().find(|(n, _)| *n == b.name()) {
+            Some((_, want)) => {
+                let tol = want.abs() * 1e-5 + 1e-7;
+                if (sum - want).abs() > tol {
+                    failures.push(format!(
+                        "{}: checksum {} (expected {})",
+                        b.name(),
+                        sum,
+                        want
+                    ));
+                }
+            }
+            None => failures.push(format!("{}: no golden value", b.name())),
+        }
+    }
+    assert!(failures.is_empty(), "{failures:#?}");
+}

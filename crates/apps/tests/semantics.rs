@@ -1,0 +1,151 @@
+//! Application-level semantic sanity: each benchmark, run through the full
+//! compiler and engine, exhibits the mathematical behavior its algorithm
+//! promises on analytically-understood inputs (constants, pure masks,
+//! dense alpha). These catch "plausible-looking garbage" that pixel-diff
+//! tests against a buggy reference could miss.
+
+use polymage_apps::*;
+use polymage_core::{compile, CompileOptions};
+use polymage_poly::Rect;
+use polymage_vm::{run_program, Buffer};
+
+fn run(b: &dyn Benchmark, inputs: &[Buffer]) -> Vec<Buffer> {
+    let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+    run_program(&compiled.program, inputs, 2).unwrap()
+}
+
+/// Blurring a constant image is the identity, so unsharp's |orig − blur|
+/// is 0 < threshold and the output equals the input everywhere.
+#[test]
+fn unsharp_is_identity_on_constant_images() {
+    let app = unsharp::Unsharp::with_size(48, 56);
+    let flat = Buffer::zeros(Rect::new(vec![(0, 47), (0, 55), (0, 2)]))
+        .fill_with(|_| 77.0);
+    let out = run(&app, &[flat]);
+    assert!(out[0].data.iter().all(|&v| (v - 77.0).abs() < 1e-3));
+}
+
+/// The bilateral filter preserves constant images exactly (homogeneous
+/// normalization cancels the weights).
+#[test]
+fn bilateral_preserves_constants() {
+    let app = bilateral::BilateralGrid::with_size(64, 48);
+    let flat =
+        Buffer::zeros(Rect::new(vec![(0, 63), (0, 47)])).fill_with(|_| 0.625);
+    let out = run(&app, &[flat]);
+    for &v in &out[0].data {
+        assert!((v - 0.625).abs() < 1e-3, "{v}");
+    }
+}
+
+/// A constant image has no gradients: every Harris response is ~0. A
+/// strong isolated corner produces a positive response near the corner.
+#[test]
+fn harris_responds_to_corners_only() {
+    let app = harris::HarrisCorner::with_size(60, 60);
+    let flat = Buffer::zeros(Rect::new(vec![(0, 61), (0, 61)])).fill_with(|_| 0.5);
+    let out = run(&app, &[flat]);
+    assert!(out[0].data.iter().all(|&v| v.abs() < 1e-6));
+
+    // a bright quadrant creates one strong corner at its tip
+    let corner = Buffer::zeros(Rect::new(vec![(0, 61), (0, 61)]))
+        .fill_with(|p| if p[0] >= 30 && p[1] >= 30 { 1.0 } else { 0.0 });
+    let out = run(&app, &[corner]);
+    let peak = out[0]
+        .rect
+        .points()
+        .map(|p| (out[0].at(&p), p))
+        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .unwrap();
+    assert!(peak.0 > 1e-4, "no corner response: {}", peak.0);
+    let (px, py) = (peak.1[0], peak.1[1]);
+    assert!(
+        (px - 30).abs() <= 2 && (py - 30).abs() <= 2,
+        "corner found at ({px},{py}), expected near (30,30)"
+    );
+}
+
+/// Blending with an all-ones mask returns image A; all-zeros returns B
+/// (within the valid interior region).
+#[test]
+fn pyramid_blend_extremes_select_one_image() {
+    let app = pyramid::PyramidBlend::with_size(256, 256);
+    let a = inputs::gray_image(256, 256, 3);
+    let b = inputs::gray_image(256, 256, 99);
+    let ones = Buffer::zeros(a.rect.clone()).fill_with(|_| 1.0);
+    let zeros = Buffer::zeros(a.rect.clone());
+
+    let out_a = run(&app, &[a.clone(), b.clone(), ones]);
+    let out_b = run(&app, &[a.clone(), b.clone(), zeros]);
+    // Laplacian decomposition + collapse reconstructs the selected image.
+    let (rx, ry) = (out_a[0].rect.range(0), out_a[0].rect.range(1));
+    for x in (rx.0..=rx.1).step_by(17) {
+        for y in (ry.0..=ry.1).step_by(13) {
+            let va = out_a[0].at(&[x, y]);
+            let vb = out_b[0].at(&[x, y]);
+            assert!((va - a.at(&[x, y])).abs() < 1e-3, "mask=1 at ({x},{y})");
+            assert!((vb - b.at(&[x, y])).abs() < 1e-3, "mask=0 at ({x},{y})");
+        }
+    }
+}
+
+/// With a dense alpha (all samples known) interpolation is the identity.
+#[test]
+fn interpolate_with_full_alpha_is_identity() {
+    let app = interpolate::MultiscaleInterp::with_size(352, 320);
+    let img = inputs::gray_image(352, 320, 5);
+    let alpha = Buffer::zeros(img.rect.clone()).fill_with(|_| 1.0);
+    let out = run(&app, &[img.clone(), alpha]);
+    let (rx, ry) = (out[0].rect.range(0), out[0].rect.range(1));
+    for x in (rx.0..=rx.1).step_by(11) {
+        for y in (ry.0..=ry.1).step_by(7) {
+            let got = out[0].at(&[x, y]);
+            let want = img.at(&[x, y]);
+            assert!(
+                (got - want).abs() < 2e-3,
+                "({x},{y}): {got} vs {want}"
+            );
+        }
+    }
+}
+
+/// The local Laplacian filter preserves constant images (the remap is the
+/// identity when there is no detail to amplify).
+#[test]
+fn local_laplacian_preserves_constants() {
+    let app = laplacian::LocalLaplacian::with_size(176, 160);
+    let flat = Buffer::zeros(Rect::new(vec![(0, 175), (0, 159)])).fill_with(|_| 0.5);
+    let out = run(&app, &[flat]);
+    for &v in &out[0].data {
+        assert!((v - 0.5).abs() < 2e-3, "{v}");
+    }
+}
+
+/// A uniform gray RAW capture demosaics to a uniform image whose channel
+/// ratios follow the color-correction matrix row sums and tone curve.
+#[test]
+fn camera_pipe_on_uniform_raw() {
+    let app = camera::CameraPipe::with_size(64, 48);
+    // uniform mid-level raw: every Bayer site records the same value
+    let raw = Buffer::zeros(Rect::new(vec![(0, 63), (0, 47)])).fill_with(|_| 512.0);
+    let out = run(&app, &[raw]);
+    // expected per channel: curve(clamp(512·Σ CCM_row)) — constant per
+    // channel over the whole image
+    for cc in 0..3usize {
+        let row_sum: f64 = camera::CCM[cc].iter().sum();
+        let corrected = (512.0 * row_sum).clamp(0.0, 1023.0);
+        let idx = (corrected as f32).round() as f64;
+        let expect = ((idx / 1023.0).powf(camera::GAMMA) * 255.0).round() as f32;
+        let (rx, ry) = (out[0].rect.range(0), out[0].rect.range(1));
+        for x in (rx.0..=rx.1).step_by(9) {
+            for y in (ry.0..=ry.1).step_by(5) {
+                let v = out[0].at(&[x, y, cc as i64]);
+                assert!(
+                    (v - expect).abs() <= 1.0,
+                    "channel {cc} at ({x},{y}): {v} vs {expect}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion benches for the compiler itself: specification-to-program
+//! time per benchmark (the cost of our "specialize per parameter values"
+//! substitution — see DESIGN.md) and the grouping heuristic in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_graph::PipelineGraph;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for b in all_benchmarks(Scale::Small) {
+        let opts = CompileOptions::optimized(b.params());
+        g.bench_function(BenchmarkId::from_parameter(b.name().replace(' ', "_")), |bench| {
+            bench.iter(|| compile(b.pipeline(), &opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_build");
+    g.sample_size(20);
+    for b in all_benchmarks(Scale::Small) {
+        g.bench_function(BenchmarkId::from_parameter(b.name().replace(' ', "_")), |bench| {
+            bench.iter(|| PipelineGraph::build(b.pipeline()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches: one group per paper benchmark, measuring the four
+//! Fig. 10 configurations at Tiny scale (fast, CI-friendly). The printed
+//! table/figure harnesses in `src/bin/` run the paper-scale sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_bench::{compile_config, Config};
+use polymage_vm::run_program;
+
+fn bench_pipelines(c: &mut Criterion) {
+    for b in all_benchmarks(Scale::Tiny) {
+        let inputs = b.make_inputs(42);
+        let mut g = c.benchmark_group(b.name().replace(' ', "_"));
+        g.sample_size(10);
+        for cfg in Config::ALL {
+            let compiled = compile_config(b.as_ref(), cfg);
+            g.bench_function(BenchmarkId::from_parameter(cfg.label()), |bench| {
+                bench.iter(|| run_program(&compiled.program, &inputs, 1).unwrap())
+            });
+        }
+        // the library-style reference for comparison (Table 2's OpenCV column)
+        g.bench_function(BenchmarkId::from_parameter("library-reference"), |bench| {
+            bench.iter(|| b.reference(&inputs))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

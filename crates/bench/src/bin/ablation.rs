@@ -1,0 +1,70 @@
+//! Ablation study for the design choices DESIGN.md calls out:
+//!
+//! - **inlining** (§3 front-end): point-wise inlining on/off under the
+//!   optimized schedule;
+//! - **storage optimization** (§3.6): scratchpads vs full-array writes for
+//!   tiled groups ("without storage reduction, the tiling transformations
+//!   are not very effective");
+//! - **fusion without tiling** and **tiling without fusion**: separating
+//!   the two halves of the paper's headline optimization;
+//! - **overlap estimate**: the level-wise tight tile shapes vs forcing
+//!   group splits with a near-zero overlap threshold.
+
+use polymage_bench::{ms, time_program, HarnessArgs};
+use polymage_core::{compile, CompileOptions};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let threads = args.threads.iter().copied().max().unwrap_or(1);
+    println!(
+        "Ablations — scale {:?}, threads {threads}, runs {} (ms; lower is better)",
+        args.scale, args.runs
+    );
+    println!(
+        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11}",
+        "Benchmark", "opt", "no-inline", "no-scratch", "fuse-only", "tile-only", "thresh≈0"
+    );
+    for b in args.benchmarks() {
+        let inputs = b.make_inputs(42);
+        let mut row: Vec<String> = Vec::new();
+        let variants: Vec<CompileOptions> = vec![
+            CompileOptions::optimized(b.params()),
+            {
+                let mut o = CompileOptions::optimized(b.params());
+                o.inline_pointwise = false;
+                o
+            },
+            {
+                let mut o = CompileOptions::optimized(b.params());
+                o.storage_opt = false;
+                o
+            },
+            {
+                let mut o = CompileOptions::optimized(b.params());
+                o.tile = false; // fusion with strip-parallelism only
+                o
+            },
+            {
+                let mut o = CompileOptions::optimized(b.params());
+                o.fuse = false; // tiling of singleton groups
+                o
+            },
+            CompileOptions::optimized(b.params()).with_threshold(1e-9),
+        ];
+        for opts in variants {
+            let compiled = compile(b.pipeline(), &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            row.push(ms(time_program(&compiled, &inputs, threads, args.runs)));
+        }
+        println!(
+            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11}",
+            b.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4],
+            row[5]
+        );
+    }
+}

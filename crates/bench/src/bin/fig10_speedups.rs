@@ -1,0 +1,38 @@
+//! Reproduces **Figure 10**: for each benchmark, the speedup of every
+//! configuration — PolyMage(base), (base+vec), (opt), (opt+vec) — over
+//! PolyMage(base) on one thread, across thread counts.
+//!
+//! The paper plots bars for 1/2/4/8/16 cores; pass `--threads 1,2,4,8,16`
+//! on a many-core host. On a single-core host the thread series is flat and
+//! the interesting axes are ±vec and base→opt (locality), which this
+//! harness still reproduces.
+
+use polymage_bench::{compile_config, time_program, Config, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Figure 10 — speedups over PolyMage(base) @ 1 thread; scale {:?}, runs {}",
+        args.scale, args.runs
+    );
+    for b in args.benchmarks() {
+        println!("\n--- {} ---", b.name());
+        let inputs = b.make_inputs(42);
+        let base = compile_config(b.as_ref(), Config::Base);
+        let t0 = time_program(&base, &inputs, 1, args.runs).as_secs_f64();
+        print!("{:<22}", "config \\ threads");
+        for t in &args.threads {
+            print!("{t:>9}");
+        }
+        println!();
+        for cfg in Config::ALL {
+            let compiled = compile_config(b.as_ref(), cfg);
+            print!("{:<22}", cfg.label());
+            for &t in &args.threads {
+                let d = time_program(&compiled, &inputs, t, args.runs).as_secs_f64();
+                print!("{:>8.2}x", t0 / d);
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Reproduces **Figure 8** (and Fig. 2): prints the stage graph and the
+//! grouping the compiler finds for each benchmark — the dashed boxes of the
+//! paper's Pyramid Blending figure — as text and Graphviz dot.
+
+use polymage_bench::HarnessArgs;
+use polymage_core::{compile, CompileOptions};
+use polymage_graph::PipelineGraph;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for b in args.benchmarks() {
+        println!("\n================ {} ================", b.name());
+        let graph = PipelineGraph::build(b.pipeline()).expect("valid DAG");
+        println!("--- stage graph (Fig. 2 style, dot) ---");
+        println!("{}", graph.to_dot(b.pipeline()));
+        let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+            .expect("compile");
+        println!("--- grouping report ---");
+        println!("{}", compiled.report);
+        println!("--- grouping (Fig. 8 style, dot clusters) ---");
+        println!("{}", compiled.report.grouping_dot());
+    }
+}

@@ -1,0 +1,82 @@
+//! Reproduces **Figure 9**: the autotuner's scatter of single-thread vs
+//! multi-thread execution time per configuration, for the three benchmarks
+//! the paper shows (Pyramid Blending, Camera Pipeline, Multiscale
+//! Interpolation) — plus the comparison against a random-search tuner over
+//! an unrestricted space (the OpenTuner stand-in of Table 2's middle
+//! column).
+//!
+//! The paper sweeps 7 tile sizes per dimension × 3 thresholds = 147
+//! configurations in under 30 minutes; pass `--runs`/`--scale` to trade
+//! fidelity for time, and `--filter` to tune one benchmark.
+
+use polymage_bench::HarnessArgs;
+use polymage_core::autotune::{autotune, random_search, THRESHOLDS, TILE_CANDIDATES};
+use polymage_core::CompileOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let threads = args.threads.iter().copied().max().unwrap_or(1);
+    let paper_apps = ["Pyramid Blending", "Camera Pipeline", "Multiscale Interpolate"];
+    for b in args.benchmarks() {
+        if args.filter.is_none() && !paper_apps.contains(&b.name()) {
+            continue;
+        }
+        println!("\n=== Fig. 9: {} (threads {}) ===", b.name(), threads);
+        let inputs = b.make_inputs(42);
+        let base = CompileOptions::optimized(b.params());
+        let outcome = autotune(
+            b.pipeline(),
+            &base,
+            &inputs,
+            threads,
+            args.runs,
+            &TILE_CANDIDATES,
+            &THRESHOLDS,
+        )
+        .expect("autotune");
+        println!("{:>10} {:>10} {:>8} {:>12} {:>12}", "tile0", "tile1", "thresh", "t1(ms)", "tN(ms)");
+        for r in &outcome.records {
+            println!(
+                "{:>10} {:>10} {:>8.1} {:>12.2} {:>12.2}",
+                r.tile[0],
+                r.tile[1],
+                r.threshold,
+                r.t1.as_secs_f64() * 1e3,
+                r.tn.as_secs_f64() * 1e3
+            );
+        }
+        let best = outcome.best_record();
+        println!(
+            "best: tiles {:?} thresh {} → t1 {:.2} ms, tN {:.2} ms ({} configs)",
+            best.tile,
+            best.threshold,
+            best.t1.as_secs_f64() * 1e3,
+            best.tn.as_secs_f64() * 1e3,
+            outcome.records.len()
+        );
+
+        // Random-space baseline at the same budget.
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let budget = outcome.records.len();
+        let rnd = random_search(
+            b.pipeline(),
+            &base,
+            &inputs,
+            threads,
+            args.runs,
+            budget,
+            &mut rng,
+        )
+        .expect("random search");
+        let rbest = rnd.best_record();
+        println!(
+            "random-search best (same {budget}-config budget): tiles {:?} → tN {:.2} ms \
+             ({:.2}x slower than model-driven best)",
+            rbest.tile,
+            rbest.tn.as_secs_f64() * 1e3,
+            rbest.tn.as_secs_f64() / best.tn.as_secs_f64()
+        );
+    }
+}

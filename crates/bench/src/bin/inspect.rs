@@ -1,0 +1,29 @@
+//! Developer inspection tool: compiler report, generated C (Fig. 7 style),
+//! and program statistics for any benchmark.
+
+use polymage_bench::HarnessArgs;
+use polymage_core::{compile, emit_c, CompileOptions};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for b in args.benchmarks() {
+        let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+            .expect("compile");
+        println!("\n================ {} ================", b.name());
+        if args.filter.is_some() {
+            println!("--- specification ---\n{}\n", b.pipeline().display());
+        }
+        println!("{}", compiled.report);
+        println!(
+            "buffers: {} ({} full bytes, {} scratch bytes/thread), groups: {}",
+            compiled.program.buffers.len(),
+            compiled.program.full_bytes(),
+            compiled.program.scratch_bytes(),
+            compiled.program.group_count()
+        );
+        if args.filter.is_some() {
+            println!("--- emitted C (Fig. 7 style) ---");
+            println!("{}", emit_c(b.pipeline(), &compiled.program));
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! # polymage-bench
+//!
+//! The measurement harness reproducing every table and figure of the
+//! paper's evaluation (§4). Binaries:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2` | Table 2 (per-benchmark execution times and speedups) |
+//! | `fig8_grouping` | Fig. 8 (grouping structure found by the compiler) |
+//! | `fig9_autotune` | Fig. 9 (autotuning scatter: 1-core vs N-core times) |
+//! | `fig10_speedups` | Fig. 10 (speedups of base/opt × ±vec over base) |
+//! | `inspect` | compiler reports and emitted C for any benchmark |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+//!
+//! All binaries take `--scale tiny|small|paper` (default `small`) and
+//! `--threads a,b,c`. Measurements follow the paper's protocol: one warm-up
+//! run is discarded and the mean of the remaining runs is reported.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use polymage_apps::{Benchmark, Scale};
+use polymage_core::{compile, CompileOptions, Compiled};
+use polymage_vm::{run_program, Buffer, EvalMode};
+use std::time::{Duration, Instant};
+
+/// Times a compiled program: one discarded warm-up then the mean of `runs`.
+pub fn time_program(
+    c: &Compiled,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+) -> Duration {
+    let _ = run_program(&c.program, inputs, threads).expect("warm-up run");
+    let start = Instant::now();
+    for _ in 0..runs.max(1) {
+        let _ = run_program(&c.program, inputs, threads).expect("measured run");
+    }
+    start.elapsed() / runs.max(1) as u32
+}
+
+/// The four schedule configurations of Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Inlining + parallelism only (paper's "base", −vec).
+    Base,
+    /// Base with chunked (vectorized) evaluation.
+    BaseVec,
+    /// Full grouping/tiling/storage optimization, −vec.
+    Opt,
+    /// Fully optimized, +vec — the headline configuration.
+    OptVec,
+}
+
+impl Config {
+    /// All four, in Fig. 10's order.
+    pub const ALL: [Config; 4] = [Config::Base, Config::BaseVec, Config::Opt, Config::OptVec];
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Base => "PolyMage(base)",
+            Config::BaseVec => "PolyMage(base+vec)",
+            Config::Opt => "PolyMage(opt)",
+            Config::OptVec => "PolyMage(opt+vec)",
+        }
+    }
+
+    /// Compiler options for this configuration.
+    pub fn options(self, params: Vec<i64>) -> CompileOptions {
+        match self {
+            Config::Base => CompileOptions::base(params).with_mode(EvalMode::Scalar),
+            Config::BaseVec => CompileOptions::base(params),
+            Config::Opt => CompileOptions::optimized(params).with_mode(EvalMode::Scalar),
+            Config::OptVec => CompileOptions::optimized(params),
+        }
+    }
+}
+
+/// Compiles a benchmark under a configuration (panicking on compile errors —
+/// benchmark specifications are known-valid).
+pub fn compile_config(b: &dyn Benchmark, cfg: Config) -> Compiled {
+    compile(b.pipeline(), &cfg.options(b.params()))
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()))
+}
+
+/// Times the library-style reference implementation (the OpenCV stand-in).
+pub fn time_reference(b: &dyn Benchmark, inputs: &[Buffer], runs: usize) -> Duration {
+    let _ = b.reference(inputs);
+    let start = Instant::now();
+    for _ in 0..runs.max(1) {
+        let _ = b.reference(inputs);
+    }
+    start.elapsed() / runs.max(1) as u32
+}
+
+/// Common command-line options for harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Timed runs per measurement (after one warm-up).
+    pub runs: usize,
+    /// Restrict to benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+    /// Autotune each benchmark (coarse sweep) before measuring, as the
+    /// paper does for Table 2.
+    pub tune: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `--scale`, `--threads`, `--runs`, `--filter` from the process
+    /// arguments, with paper-faithful defaults adapted to the host.
+    pub fn parse() -> HarnessArgs {
+        let mut out = HarnessArgs {
+            scale: Scale::Small,
+            threads: vec![1, 2, 4],
+            runs: 3,
+            filter: None,
+            tune: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    out.scale = match args.get(i).map(String::as_str) {
+                        Some("tiny") => Scale::Tiny,
+                        Some("small") => Scale::Small,
+                        Some("paper") => Scale::Paper,
+                        other => panic!("unknown scale {other:?}"),
+                    };
+                }
+                "--threads" => {
+                    i += 1;
+                    out.threads = args[i]
+                        .split(',')
+                        .map(|s| s.parse().expect("thread count"))
+                        .collect();
+                }
+                "--runs" => {
+                    i += 1;
+                    out.runs = args[i].parse().expect("runs");
+                }
+                "--filter" => {
+                    i += 1;
+                    out.filter = Some(args[i].clone());
+                }
+                "--tune" => out.tune = true,
+                other => panic!("unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The selected benchmarks.
+    pub fn benchmarks(&self) -> Vec<Box<dyn Benchmark>> {
+        polymage_apps::all_benchmarks(self.scale)
+            .into_iter()
+            .filter(|b| {
+                self.filter
+                    .as_ref()
+                    .map(|f| b.name().to_lowercase().contains(&f.to_lowercase()))
+                    .unwrap_or(true)
+            })
+            .collect()
+    }
+}
+
+/// Coarse per-benchmark autotuning (the paper tunes each Table 2 entry):
+/// sweeps a reduced tile set at the default threshold and returns the best
+/// configuration's compiled program.
+pub fn tune_config(
+    b: &dyn Benchmark,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+) -> (Compiled, Vec<i64>) {
+    let mut best: Option<(Duration, Compiled, Vec<i64>)> = None;
+    let mut opts = CompileOptions::optimized(b.params());
+    for t0 in [32i64, 128, 512] {
+        for t1 in [64i64, 256, 512] {
+            opts.tile_sizes = vec![t0, t1];
+            let compiled = compile(b.pipeline(), &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            opts.skip_bounds_check = true;
+            let t = time_program(&compiled, inputs, threads, runs.max(1));
+            if best.as_ref().map(|(bt, _, _)| t < *bt).unwrap_or(true) {
+                best = Some((t, compiled, vec![t0, t1]));
+            }
+        }
+    }
+    let (_, compiled, tiles) = best.expect("at least one configuration");
+    (compiled, tiles)
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_options() {
+        let o = Config::OptVec.options(vec![1, 2]);
+        assert!(o.fuse && o.tile);
+        assert_eq!(o.mode, EvalMode::Vector);
+        let o = Config::Base.options(vec![1, 2]);
+        assert!(!o.fuse && !o.tile);
+        assert_eq!(o.mode, EvalMode::Scalar);
+        assert_eq!(Config::ALL.len(), 4);
+        assert!(Config::OptVec.label().contains("opt+vec"));
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50");
+    }
+}

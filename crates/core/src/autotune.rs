@@ -1,0 +1,162 @@
+//! Autotuning (paper §3.8) and the random-search baseline.
+//!
+//! The model-driven grouping heuristic narrows the schedule space to tile
+//! sizes and an overlap threshold; the autotuner sweeps the paper's exact
+//! space — tile sizes {8, 16, 32, 64, 128, 256, 512} per tilable dimension
+//! and thresholds {0.2, 0.4, 0.5} — measuring real executions and keeping
+//! the best. [`random_search`] is the stand-in for the unrestricted-space
+//! tuners the paper compares against (OpenTuner): it samples arbitrary tile
+//! shapes and thresholds from a much larger space under the same budget.
+
+use crate::{compile, CompileError, CompileOptions};
+use polymage_ir::Pipeline;
+use polymage_vm::{run_program, Buffer};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// The paper's tile-size candidates.
+pub const TILE_CANDIDATES: [i64; 7] = [8, 16, 32, 64, 128, 256, 512];
+/// The paper's overlap-threshold candidates.
+pub const THRESHOLDS: [f64; 3] = [0.2, 0.4, 0.5];
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct TuneRecord {
+    /// Tile sizes tried.
+    pub tile: Vec<i64>,
+    /// Overlap threshold tried.
+    pub threshold: f64,
+    /// Single-thread execution time.
+    pub t1: Duration,
+    /// Execution time with `threads` workers.
+    pub tn: Duration,
+}
+
+/// Autotuner outcome: all records plus the index of the best (by `tn`).
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// Every configuration measured, in exploration order.
+    pub records: Vec<TuneRecord>,
+    /// Index into `records` of the fastest configuration.
+    pub best: usize,
+}
+
+impl TuneOutcome {
+    /// The best record.
+    pub fn best_record(&self) -> &TuneRecord {
+        &self.records[self.best]
+    }
+}
+
+fn measure(
+    pipe: &Pipeline,
+    opts: &CompileOptions,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+) -> Result<(Duration, Duration), CompileError> {
+    let compiled = compile(pipe, opts)?;
+    let time_with = |n: usize| {
+        // one warm-up, then average
+        let _ = run_program(&compiled.program, inputs, n).expect("tuned run");
+        let start = Instant::now();
+        for _ in 0..runs {
+            let _ = run_program(&compiled.program, inputs, n).expect("tuned run");
+        }
+        start.elapsed() / runs as u32
+    };
+    let t1 = time_with(1);
+    let tn = if threads > 1 { time_with(threads) } else { t1 };
+    Ok((t1, tn))
+}
+
+/// Runs the paper's model-driven sweep: `tiles² × thresholds` (square tiles
+/// per 2-D group; pass `dims = 1` for 1-D pipelines).
+///
+/// `runs` executions are averaged per configuration (after one warm-up).
+///
+/// # Errors
+///
+/// Propagates the first compilation error (measurement errors panic, as
+/// they indicate compiler bugs rather than user error).
+pub fn autotune(
+    pipe: &Pipeline,
+    base: &CompileOptions,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+    tiles: &[i64],
+    thresholds: &[f64],
+) -> Result<TuneOutcome, CompileError> {
+    let mut records = Vec::new();
+    let mut opts = base.clone();
+    opts.skip_bounds_check = false;
+    for &t0 in tiles {
+        for &t1 in tiles {
+            for &th in thresholds {
+                opts.tile_sizes = vec![t0, t1];
+                opts.overlap_threshold = th;
+                let (d1, dn) = measure(pipe, &opts, inputs, threads, runs)?;
+                opts.skip_bounds_check = true; // checked once is enough
+                records.push(TuneRecord {
+                    tile: vec![t0, t1],
+                    threshold: th,
+                    t1: d1,
+                    tn: dn,
+                });
+            }
+        }
+    }
+    let best = records
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.tn)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(TuneOutcome { records, best })
+}
+
+/// Random search over an *unrestricted* schedule space: arbitrary tile
+/// shapes in `[4, 1024]`, arbitrary thresholds in `[0, 1]`, and randomly
+/// disabled fusion/tiling — the OpenTuner stand-in. Same measurement
+/// protocol as [`autotune`], with a configuration budget.
+///
+/// # Errors
+///
+/// Propagates compilation errors (none occur for valid pipelines; the
+/// random space only varies schedule knobs).
+pub fn random_search(
+    pipe: &Pipeline,
+    base: &CompileOptions,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+    budget: usize,
+    rng: &mut impl Rng,
+) -> Result<TuneOutcome, CompileError> {
+    let mut records = Vec::new();
+    let mut opts = base.clone();
+    for i in 0..budget {
+        let pow0 = rng.gen_range(2..=10u32);
+        let pow1 = rng.gen_range(2..=10u32);
+        opts.tile_sizes = vec![1i64 << pow0, 1i64 << pow1];
+        opts.overlap_threshold = rng.gen_range(0.0..1.0);
+        opts.fuse = rng.gen_bool(0.8);
+        opts.tile = rng.gen_bool(0.8);
+        opts.skip_bounds_check = i > 0;
+        let (d1, dn) = measure(pipe, &opts, inputs, threads, runs)?;
+        records.push(TuneRecord {
+            tile: opts.tile_sizes.clone(),
+            threshold: opts.overlap_threshold,
+            t1: d1,
+            tn: dn,
+        });
+    }
+    let best = records
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.tn)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(TuneOutcome { records, best })
+}

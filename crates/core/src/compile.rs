@@ -1,0 +1,186 @@
+//! The compiler driver: front-end → grouping → scheduling → program.
+
+use crate::grouping::{effective_tiles, group_stages, GroupKindTag};
+use crate::report::{CompileReport, GroupReport};
+use crate::schedule::{schedule_group, Ctx};
+use crate::{CompileError, CompileOptions};
+use polymage_graph::{check_bounds, inline_pointwise, PipelineGraph};
+use polymage_ir::{FuncId, Pipeline};
+use polymage_poly::{group_overlap, solve_alignment};
+use polymage_vm::{BufDecl, BufId, BufKind, Program};
+use std::collections::{HashMap, HashSet};
+
+/// A compiled pipeline: the executable program and the structural report.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Executable program for [`polymage_vm::run_program`].
+    pub program: Program,
+    /// Structural report (grouping, storage, overlaps).
+    pub report: CompileReport,
+}
+
+/// Compiles a pipeline specification with the given options.
+///
+/// This runs the paper's full flow (Fig. 4): graph construction, static
+/// bounds checking, point-wise inlining, grouping (Algorithm 1), overlapped
+/// tile construction, storage optimization, and lowering to the execution
+/// engine.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for invalid specifications (cycles,
+/// out-of-bounds accesses, unsupported self-references) or mismatched
+/// parameter counts.
+pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    if opts.params.len() != pipe.params().len() {
+        return Err(CompileError::MissingParams {
+            expected: pipe.params().len(),
+            got: opts.params.len(),
+        });
+    }
+
+    // Front-end. Cycle detection runs on the user's specification (before
+    // inlining, which could fold a cycle of point-wise stages into a
+    // self-reference and misreport the error).
+    PipelineGraph::build(pipe)?;
+    let (pipe2, inline_report) = if opts.inline_pointwise {
+        inline_pointwise(pipe)?
+    } else {
+        (pipe.clone(), Default::default())
+    };
+    let graph = PipelineGraph::build(&pipe2)?;
+    if !opts.skip_bounds_check {
+        let violations = check_bounds(&pipe2, &opts.params);
+        if !violations.is_empty() {
+            return Err(CompileError::Bounds(violations));
+        }
+    }
+
+    // Grouping.
+    let grouping = group_stages(&pipe2, &graph, opts);
+
+    // Storage obligations: live-outs and cross-group values need full
+    // arrays.
+    let mut needs_full: HashSet<FuncId> = pipe2.live_outs().iter().copied().collect();
+    for f in pipe2.func_ids() {
+        let gf = grouping.group_of(f);
+        if graph.consumers(f).iter().any(|&c| grouping.group_of(c) != gf) {
+            needs_full.insert(f);
+        }
+    }
+
+    // Image buffers.
+    let mut buffers: Vec<BufDecl> = Vec::new();
+    let mut image_bufs: Vec<BufId> = Vec::new();
+    for img in pipe2.images() {
+        let sizes: Vec<i64> =
+            img.extents.iter().map(|e| e.eval(&opts.params).max(0)).collect();
+        if sizes.iter().any(|&s| s == 0) {
+            return Err(CompileError::EmptyDomain { name: img.name.clone() });
+        }
+        buffers.push(BufDecl {
+            name: img.name.clone(),
+            kind: BufKind::Full,
+            sizes: sizes.clone(),
+            origin: vec![0; sizes.len()],
+        });
+        image_bufs.push(BufId(buffers.len() - 1));
+    }
+
+    let mut ctx = Ctx {
+        pipe: &pipe2,
+        graph: &graph,
+        opts,
+        buffers,
+        image_bufs,
+        func_full: HashMap::new(),
+        needs_full,
+    };
+
+    // Schedule groups in execution order; collect per-group byte accounting
+    // for the report.
+    let mut groups = Vec::with_capacity(grouping.groups.len());
+    let mut group_reports = Vec::with_capacity(grouping.groups.len());
+    for g in &grouping.groups {
+        let bufs_before = ctx.buffers.len();
+        let ge = schedule_group(&mut ctx, g)?;
+        let (mut scratch_bytes, mut full_bytes) = (0usize, 0usize);
+        for b in &ctx.buffers[bufs_before..] {
+            match b.kind {
+                BufKind::Scratch => scratch_bytes += b.len() * 4,
+                BufKind::Full => full_bytes += b.len() * 4,
+            }
+        }
+        groups.push(ge);
+        group_reports.push(make_group_report(
+            &pipe2, opts, g, scratch_bytes, full_bytes,
+        ));
+    }
+
+    // Live-out outputs.
+    let outputs: Vec<(String, BufId)> = pipe2
+        .live_outs()
+        .iter()
+        .map(|f| {
+            let b = *ctx
+                .func_full
+                .get(f)
+                .expect("live-out stages always receive full storage");
+            (pipe2.func(*f).name.clone(), b)
+        })
+        .collect();
+
+    let program = Program {
+        name: pipe2.name().to_string(),
+        buffers: ctx.buffers,
+        image_bufs: ctx.image_bufs,
+        groups,
+        outputs,
+        mode: opts.mode,
+    };
+    let report = CompileReport {
+        inlined: inline_report.inlined,
+        dead: inline_report.dead,
+        groups: group_reports,
+    };
+    Ok(Compiled { program, report })
+}
+
+fn make_group_report(
+    pipe: &Pipeline,
+    opts: &CompileOptions,
+    g: &crate::grouping::Group,
+    scratch_bytes: usize,
+    full_bytes: usize,
+) -> GroupReport {
+    let sink_extents: Vec<i64> = pipe
+        .func(g.sink)
+        .var_dom
+        .dom
+        .iter()
+        .map(|iv| {
+            let (lo, hi) = iv.eval(&opts.params);
+            (hi - lo + 1).max(0)
+        })
+        .collect();
+    let (tile_sizes, overlap) = if g.kind == GroupKindTag::Normal {
+        let tiles = effective_tiles(&sink_extents, opts);
+        let overlap = solve_alignment(pipe, &g.stages, g.sink)
+            .ok()
+            .and_then(|a| group_overlap(pipe, &g.stages, &a).ok())
+            .map(|o| o.dims.iter().map(|d| (d.left, d.right)).collect())
+            .unwrap_or_default();
+        (tiles, overlap)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    GroupReport {
+        sink: pipe.func(g.sink).name.clone(),
+        stages: g.stages.iter().map(|&f| pipe.func(f).name.clone()).collect(),
+        kind: g.kind,
+        tile_sizes,
+        overlap,
+        scratch_bytes,
+        full_bytes,
+    }
+}

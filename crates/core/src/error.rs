@@ -1,0 +1,80 @@
+//! Compiler errors.
+
+use polymage_graph::{BoundsViolation, GraphError};
+use polymage_ir::IrError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`crate::compile`].
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Structural error in the specification.
+    Ir(IrError),
+    /// Graph construction failed (dependence cycle).
+    Graph(GraphError),
+    /// The static bounds check found out-of-range accesses.
+    Bounds(Vec<BoundsViolation>),
+    /// A self-referential stage's self-dependences are not lexicographically
+    /// backward (the scan order cannot satisfy them), or use unsupported
+    /// (scaled/dynamic) self-access patterns.
+    InvalidSelfReference {
+        /// Stage name.
+        func: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A parameter value required by the pipeline was not supplied.
+    MissingParams {
+        /// Parameters the pipeline declares.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A stage domain or image extent evaluated to an empty/negative size.
+    EmptyDomain {
+        /// Stage or image name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Ir(e) => write!(f, "specification error: {e}"),
+            CompileError::Graph(e) => write!(f, "pipeline graph error: {e}"),
+            CompileError::Bounds(vs) => {
+                writeln!(f, "static bounds check failed ({} violations):", vs.len())?;
+                for v in vs.iter().take(5) {
+                    writeln!(f, "  {v}")?;
+                }
+                if vs.len() > 5 {
+                    writeln!(f, "  …")?;
+                }
+                Ok(())
+            }
+            CompileError::InvalidSelfReference { func, reason } => {
+                write!(f, "invalid self-reference in `{func}`: {reason}")
+            }
+            CompileError::MissingParams { expected, got } => {
+                write!(f, "pipeline declares {expected} parameter(s), got {got} value(s)")
+            }
+            CompileError::EmptyDomain { name } => {
+                write!(f, "domain of `{name}` is empty for the given parameters")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<IrError> for CompileError {
+    fn from(e: IrError) -> Self {
+        CompileError::Ir(e)
+    }
+}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}

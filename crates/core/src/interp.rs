@@ -1,0 +1,441 @@
+//! A naive reference interpreter for pipeline specifications.
+//!
+//! Evaluates every stage point-by-point into full buffers, with no fusion,
+//! tiling, or vectorization — deliberately implemented independently of the
+//! compiler's lowering so tests can use it as a semantic oracle: for every
+//! pipeline, `compile(...)` + `run_program(...)` must agree with
+//! [`interpret`] (exactly for integer paths, to small ULP bounds for
+//! float-heavy ones, since evaluation order differs).
+//!
+//! Semantics mirrored from the engine:
+//! - all arithmetic in `f32`; integer index expressions use floor division;
+//! - values outside every case's guard are 0 ("undefined");
+//! - cases are applied in order (each writes where its guard holds);
+//! - dynamic indices round to nearest and clamp into the producer's domain;
+//! - stores saturate/round per declared scalar type;
+//! - reductions sweep their domain row-major; self-referential stages scan
+//!   row-major.
+
+use crate::CompileError;
+use polymage_graph::PipelineGraph;
+use polymage_ir::{
+    BinOp, Cond, Expr, FuncBody, FuncId, Pipeline, ScalarType, Source, UnOp, VarId,
+};
+use polymage_poly::{narrow_rect_by_cond, Rect};
+use polymage_vm::Buffer;
+use std::collections::HashMap;
+
+struct Interp<'a> {
+    pipe: &'a Pipeline,
+    params: &'a [i64],
+    images: &'a [Buffer],
+    values: HashMap<FuncId, Buffer>,
+}
+
+impl Interp<'_> {
+    fn dom(&self, f: FuncId) -> Rect {
+        Rect::new(
+            self.pipe
+                .func(f)
+                .var_dom
+                .dom
+                .iter()
+                .map(|iv| iv.eval(self.params))
+                .collect(),
+        )
+    }
+
+    fn source_buffer(&self, s: Source) -> &Buffer {
+        match s {
+            Source::Image(i) => &self.images[i.index()],
+            Source::Func(f) => self.values.get(&f).expect("producer evaluated"),
+        }
+    }
+
+    /// Reads a producer at the given (rounded, clamped) coordinates.
+    fn read(&self, s: Source, idx: &[i64]) -> f32 {
+        let buf = self.source_buffer(s);
+        let clamped: Vec<i64> = idx
+            .iter()
+            .zip(buf.rect.ranges())
+            .map(|(&i, &(lo, hi))| i.clamp(lo, hi))
+            .collect();
+        buf.at(&clamped)
+    }
+
+    fn eval_value(&self, e: &Expr, vars: &[VarId], pt: &[i64]) -> f32 {
+        match e {
+            Expr::Const(c) => *c as f32,
+            Expr::Param(p) => self.params[p.index()] as f32,
+            Expr::Var(v) => {
+                let d = vars.iter().position(|u| u == v).expect("bound variable");
+                pt[d] as f32
+            }
+            Expr::Unary(op, a) => {
+                let x = self.eval_value(a, vars, pt);
+                match op {
+                    UnOp::Neg => -x,
+                    UnOp::Abs => x.abs(),
+                    UnOp::Sqrt => x.sqrt(),
+                    UnOp::Exp => x.exp(),
+                    UnOp::Log => x.ln(),
+                    UnOp::Sin => x.sin(),
+                    UnOp::Cos => x.cos(),
+                    UnOp::Floor => x.floor(),
+                    UnOp::Ceil => x.ceil(),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = self.eval_value(a, vars, pt);
+                let y = self.eval_value(b, vars, pt);
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Mod => x - y * (x / y).floor(),
+                    BinOp::Pow => x.powf(y),
+                }
+            }
+            Expr::Select(c, a, b) => {
+                if self.eval_cond(c, vars, pt) {
+                    self.eval_value(a, vars, pt)
+                } else {
+                    self.eval_value(b, vars, pt)
+                }
+            }
+            Expr::Cast(ty, a) => {
+                let x = self.eval_value(a, vars, pt);
+                match ty.saturation_range() {
+                    Some((lo, hi)) => x.clamp(lo as f32, hi as f32).round(),
+                    None if ty.is_integral() => x.round(),
+                    None => x,
+                }
+            }
+            Expr::Call(src, args) => {
+                let idx: Vec<i64> =
+                    args.iter().map(|a| self.eval_index(a, vars, pt)).collect();
+                self.read(*src, &idx)
+            }
+        }
+    }
+
+    /// Index-position evaluation: floor semantics.
+    fn eval_index(&self, e: &Expr, vars: &[VarId], pt: &[i64]) -> i64 {
+        match e {
+            Expr::Binary(BinOp::Div, a, b) => {
+                let x = self.eval_index(a, vars, pt);
+                let y = self.eval_index(b, vars, pt);
+                if y == 0 {
+                    0
+                } else {
+                    x.div_euclid(y)
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = self.eval_index(a, vars, pt);
+                let y = self.eval_index(b, vars, pt);
+                match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    BinOp::Mod => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x.rem_euclid(y)
+                        }
+                    }
+                    BinOp::Pow => (x as f32).powf(y as f32).round() as i64,
+                    BinOp::Div => unreachable!(),
+                }
+            }
+            Expr::Var(v) => {
+                let d = vars.iter().position(|u| u == v).expect("bound variable");
+                pt[d]
+            }
+            Expr::Const(c) => *c as i64,
+            Expr::Param(p) => self.params[p.index()],
+            Expr::Cast(_, a) => self.eval_index(a, vars, pt),
+            Expr::Unary(UnOp::Neg, a) => -self.eval_index(a, vars, pt),
+            Expr::Select(c, a, b) => {
+                if self.eval_cond(c, vars, pt) {
+                    self.eval_index(a, vars, pt)
+                } else {
+                    self.eval_index(b, vars, pt)
+                }
+            }
+            // Data-dependent: value rounded to nearest (matches the engine's
+            // gather).
+            other => self.eval_value(other, vars, pt).round() as i64,
+        }
+    }
+
+    fn eval_cond(&self, c: &Cond, vars: &[VarId], pt: &[i64]) -> bool {
+        match c {
+            Cond::Cmp(op, a, b) => {
+                let x = self.eval_value(a, vars, pt);
+                let y = self.eval_value(b, vars, pt);
+                op.apply(x as f64, y as f64)
+            }
+            Cond::And(a, b) => self.eval_cond(a, vars, pt) && self.eval_cond(b, vars, pt),
+            Cond::Or(a, b) => self.eval_cond(a, vars, pt) || self.eval_cond(b, vars, pt),
+            Cond::Not(a) => !self.eval_cond(a, vars, pt),
+        }
+    }
+
+    fn store(&self, ty: ScalarType, v: f32) -> f32 {
+        let v = match ty.saturation_range() {
+            Some((lo, hi)) => v.clamp(lo as f32, hi as f32),
+            None => v,
+        };
+        if ty.is_integral() {
+            v.round()
+        } else {
+            v
+        }
+    }
+
+    fn eval_func(&mut self, f: FuncId) {
+        let fd = self.pipe.func(f);
+        let dom = self.dom(f);
+        let mut buf = Buffer::zeros(dom.clone());
+        match &fd.body {
+            FuncBody::Undefined => {}
+            FuncBody::Cases(cases) => {
+                let vars = &fd.var_dom.vars;
+                // Temporarily park the (zeroed or partially written) buffer
+                // so self-referential stages can read it while we scan.
+                self.values.insert(f, buf);
+                for case in cases {
+                    // Narrow to the guard's box to skip trivially-false rows,
+                    // then test the residual guard per point.
+                    let region = match &case.cond {
+                        Some(c) => narrow_rect_by_cond(c, vars, &dom, self.params),
+                        None => polymage_poly::NarrowedRect {
+                            rect: dom.clone(),
+                            exact: true,
+                            steps: vec![(1, 0); dom.ndim()],
+                        },
+                    };
+                    let pts: Vec<Vec<i64>> = region.rect.points().collect();
+                    for pt in pts {
+                        // stride (parity) constraints from the guard
+                        let on_stride = pt
+                            .iter()
+                            .zip(&region.steps)
+                            .all(|(&c, &(s, ph))| (c - ph).rem_euclid(s) == 0);
+                        if !on_stride {
+                            continue;
+                        }
+                        let ok = region.exact
+                            || match &case.cond {
+                                Some(c) => self.eval_cond(c, vars, &pt),
+                                None => true,
+                            };
+                        if !ok {
+                            continue;
+                        }
+                        let v = self.eval_value(&case.expr, vars, &pt);
+                        let v = self.store(fd.ty, v);
+                        // write through the parked buffer
+                        let b = self.values.get_mut(&f).expect("parked");
+                        let flat = flat_index(&b.rect, &pt);
+                        b.data[flat] = v;
+                    }
+                }
+                return;
+            }
+            FuncBody::Reduce(acc) => {
+                let red = Rect::new(
+                    acc.red_dom.iter().map(|iv| iv.eval(self.params)).collect(),
+                );
+                for v in buf.data.iter_mut() {
+                    *v = acc.op.identity() as f32;
+                }
+                if !red.is_empty() {
+                    let pts: Vec<Vec<i64>> = red.points().collect();
+                    for pt in pts {
+                        let idx: Vec<i64> = acc
+                            .target
+                            .iter()
+                            .map(|t| self.eval_index(t, &acc.red_vars, &pt))
+                            .collect();
+                        let clamped: Vec<i64> = idx
+                            .iter()
+                            .zip(dom.ranges())
+                            .map(|(&i, &(lo, hi))| i.clamp(lo, hi))
+                            .collect();
+                        let v = self.eval_value(&acc.value, &acc.red_vars, &pt);
+                        let flat = flat_index(&dom, &clamped);
+                        buf.data[flat] =
+                            acc.op.combine(buf.data[flat] as f64, v as f64) as f32;
+                    }
+                }
+                // untouched Min/Max cells: identity → 0 like the engine
+                if !matches!(acc.op, polymage_ir::Reduction::Sum) {
+                    let id = acc.op.identity() as f32;
+                    for v in buf.data.iter_mut() {
+                        if !v.is_finite() && *v == id {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        self.values.insert(f, buf);
+    }
+}
+
+fn flat_index(rect: &Rect, pt: &[i64]) -> usize {
+    let mut idx = 0i64;
+    let mut stride = 1i64;
+    for d in (0..pt.len()).rev() {
+        let (lo, hi) = rect.range(d);
+        idx += (pt[d] - lo) * stride;
+        stride *= hi - lo + 1;
+    }
+    idx as usize
+}
+
+/// Interprets a pipeline directly (the testing oracle).
+///
+/// Returns the live-out buffers in declaration order, like
+/// [`polymage_vm::run_program`].
+///
+/// ```
+/// use polymage_ir::*;
+/// use polymage_core::interp::interpret;
+/// use polymage_vm::Buffer;
+/// use polymage_poly::Rect;
+///
+/// let mut p = PipelineBuilder::new("double");
+/// let img = p.image("I", ScalarType::Float, vec![PAff::cst(4)]);
+/// let x = p.var("x");
+/// let f = p.func("f", &[(x, Interval::cst(0, 3))], ScalarType::Float);
+/// p.define(f, vec![Case::always(Expr::at(img, [x + 0]) * 2.0)])?;
+/// let pipe = p.finish(&[f])?;
+/// let input = Buffer::from_vec(Rect::new(vec![(0, 3)]), vec![1.0, 2.0, 3.0, 4.0]);
+/// let out = interpret(&pipe, &[], &[input])?;
+/// assert_eq!(out[0].data, vec![2.0, 4.0, 6.0, 8.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CompileError::Graph`] for cyclic specifications and
+/// [`CompileError::MissingParams`] for wrong parameter counts.
+pub fn interpret(
+    pipe: &Pipeline,
+    params: &[i64],
+    inputs: &[Buffer],
+) -> Result<Vec<Buffer>, CompileError> {
+    if params.len() != pipe.params().len() {
+        return Err(CompileError::MissingParams {
+            expected: pipe.params().len(),
+            got: params.len(),
+        });
+    }
+    let graph = PipelineGraph::build(pipe)?;
+    let mut interp = Interp { pipe, params, images: inputs, values: HashMap::new() };
+    for &f in graph.topo_order() {
+        interp.eval_func(f);
+    }
+    Ok(pipe
+        .live_outs()
+        .iter()
+        .map(|f| interp.values.remove(f).expect("live-out evaluated"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Case, Interval, PAff, PipelineBuilder};
+
+    #[test]
+    fn simple_pointwise() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(4)]);
+        let x = p.var("x");
+        let f = p.func("f", &[(x, Interval::cst(0, 3))], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::at(img, [x + 0]) * 2.0 + 1.0)]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let input = Buffer::from_vec(Rect::new(vec![(0, 3)]), vec![1.0, 2.0, 3.0, 4.0]);
+        let out = interpret(&pipe, &[], &[input]).unwrap();
+        assert_eq!(out[0].data, vec![3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn guarded_cases_zero_fill() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let f = p.func("f", &[(x, Interval::cst(0, 9))], ScalarType::Float);
+        p.define(
+            f,
+            vec![
+                Case::new(Expr::from(x).ge(3) & Expr::from(x).le(6), Expr::from(x)),
+                Case::new(Expr::from(x).gt(6), Expr::Const(99.0)),
+            ],
+        )
+        .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let out = interpret(&pipe, &[], &[]).unwrap();
+        assert_eq!(
+            out[0].data,
+            vec![0.0, 0.0, 0.0, 3.0, 4.0, 5.0, 6.0, 99.0, 99.0, 99.0]
+        );
+    }
+
+    #[test]
+    fn time_iterated_self_reference() {
+        let mut p = PipelineBuilder::new("t");
+        let (t, x) = (p.var("t"), p.var("x"));
+        let f = p.func(
+            "f",
+            &[(t, Interval::cst(0, 3)), (x, Interval::cst(0, 4))],
+            ScalarType::Float,
+        );
+        p.define(
+            f,
+            vec![
+                Case::new(Expr::from(t).le(0), Expr::from(x)),
+                Case::new(Expr::from(t).ge(1), Expr::at(f, [t - 1, x + 0]) * 2.0),
+            ],
+        )
+        .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let out = interpret(&pipe, &[], &[]).unwrap();
+        // f(3, x) = x * 8
+        assert_eq!(out[0].at(&[3, 4]), 32.0);
+        assert_eq!(out[0].at(&[3, 1]), 8.0);
+    }
+
+    #[test]
+    fn histogram() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::UChar, vec![PAff::cst(8)]);
+        let (x, b) = (p.var("x"), p.var("b"));
+        let acc = polymage_ir::Accumulate {
+            red_vars: vec![x],
+            red_dom: vec![Interval::cst(0, 7)],
+            target: vec![Expr::at(img, [Expr::from(x)])],
+            value: Expr::Const(1.0),
+            op: polymage_ir::Reduction::Sum,
+        };
+        let h = p
+            .accumulator("hist", &[(b, Interval::cst(0, 3))], ScalarType::Int, acc)
+            .unwrap();
+        let pipe = p.finish(&[h]).unwrap();
+        let input = Buffer::from_vec(
+            Rect::new(vec![(0, 7)]),
+            vec![0.0, 1.0, 1.0, 2.0, 3.0, 3.0, 3.0, 0.0],
+        );
+        let out = interpret(&pipe, &[], &[input]).unwrap();
+        assert_eq!(out[0].data, vec![2.0, 2.0, 1.0, 3.0]);
+    }
+}

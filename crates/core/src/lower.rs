@@ -1,0 +1,464 @@
+//! Lowering of DSL expressions to chunked VM kernels.
+//!
+//! This is the compiler's code generation backend (the counterpart of the
+//! paper's §3.7, which emits C++). Two semantic regimes exist:
+//!
+//! - *value* position: ordinary floating-point arithmetic;
+//! - *index* position (access arguments, reduction targets): integer
+//!   semantics — `/` is floor division, casts round.
+//!
+//! Accesses with affine indices become [`IdxPlan::Affine`] entries
+//! (contiguous or strided loads); anything else is lowered as a value
+//! computation feeding an [`IdxPlan::Reg`] gather (lookup tables, grid
+//! slicing, histogram targets).
+
+use polymage_ir::{
+    BinOp, CmpOp, Cond, Expr, FuncId, Pipeline, ScalarType, Source, UnOp, VarId,
+};
+use polymage_poly::VAff;
+use polymage_vm::{BinF, BufId, CmpF, IdxPlan, Kernel, Op, RegId, UnF};
+use std::collections::HashMap;
+
+/// Buffer environment for lowering one stage.
+#[derive(Debug, Clone)]
+pub struct LowerEnv<'a> {
+    /// The pipeline (for stage metadata).
+    pub pipe: &'a Pipeline,
+    /// Concrete parameter values.
+    pub params: &'a [i64],
+    /// Buffer of each input image.
+    pub image_bufs: &'a [BufId],
+    /// Scratch buffer of each stage in the *current* group (reads of these
+    /// stay tile-local).
+    pub func_scratch: &'a HashMap<FuncId, BufId>,
+    /// Full buffer of every full-stored stage (cross-group reads).
+    pub func_full: &'a HashMap<FuncId, BufId>,
+    /// The consumer's variables, in loop-dimension order.
+    pub vars: &'a [VarId],
+}
+
+/// Incremental kernel builder with hash-consing: structurally identical
+/// pure operations (all kernel ops are pure within a case) are emitted once
+/// and shared — the common-subexpression elimination a C compiler would
+/// perform on the paper's generated code (repeated stencil loads, cloned
+/// interpolation weights).
+pub struct KernelBuilder<'a> {
+    env: &'a LowerEnv<'a>,
+    ops: Vec<Op>,
+    next: u16,
+    reads: Vec<BufId>,
+    cse: HashMap<String, RegId>,
+}
+
+impl<'a> KernelBuilder<'a> {
+    /// Starts a builder for the given environment.
+    pub fn new(env: &'a LowerEnv<'a>) -> Self {
+        KernelBuilder {
+            env,
+            ops: Vec::new(),
+            next: 0,
+            reads: Vec::new(),
+            cse: HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> RegId {
+        let r = RegId(self.next);
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("kernel register budget exceeded (64k)");
+        r
+    }
+
+    /// Emits an operation, reusing an existing register when a structurally
+    /// identical operation was emitted before.
+    fn emit(&mut self, build: impl Fn(RegId) -> Op) -> RegId {
+        let key = format!("{:?}", build(RegId(u16::MAX)));
+        if let Some(&r) = self.cse.get(&key) {
+            return r;
+        }
+        let d = self.fresh();
+        self.ops.push(build(d));
+        self.cse.insert(key, d);
+        d
+    }
+
+    /// Finishes the kernel with the given outputs.
+    pub fn finish(self, outs: Vec<RegId>) -> (Kernel, Vec<BufId>) {
+        (Kernel { ops: self.ops, nregs: self.next as usize, outs }, self.reads)
+    }
+
+    /// Lowers an expression in value position.
+    pub fn value(&mut self, e: &Expr) -> RegId {
+        match e {
+            Expr::Const(c) => {
+                let val = *c as f32;
+                self.emit(|d| Op::ConstF { dst: d, val })
+            }
+            Expr::Param(p) => {
+                let val = self.env.params[p.index()] as f32;
+                self.emit(|d| Op::ConstF { dst: d, val })
+            }
+            Expr::Var(v) => {
+                let dim = self
+                    .env
+                    .vars
+                    .iter()
+                    .position(|&u| u == *v)
+                    .expect("variable used outside its stage's domain");
+                self.emit(|d| Op::CoordF { dst: d, dim })
+            }
+            Expr::Unary(op, a) => {
+                let ra = self.value(a);
+                let o = lower_unop(*op);
+                self.emit(|d| Op::UnF { op: o, dst: d, a: ra })
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.value(a);
+                let rb = self.value(b);
+                let o = lower_binop(*op);
+                self.emit(|d| Op::BinF { op: o, dst: d, a: ra, b: rb })
+            }
+            Expr::Select(c, a, b) => {
+                let m = self.cond(c);
+                let ra = self.value(a);
+                let rb = self.value(b);
+                self.emit(|d| Op::SelectF { dst: d, mask: m, a: ra, b: rb })
+            }
+            Expr::Cast(ty, a) => {
+                let ra = self.value(a);
+                self.cast(*ty, ra)
+            }
+            Expr::Call(src, args) => self.load(*src, args),
+        }
+    }
+
+    /// Lowers an expression in *index* position: `/` floors, casts round.
+    pub fn index(&mut self, e: &Expr) -> RegId {
+        match e {
+            Expr::Binary(BinOp::Div, a, b) => {
+                let ra = self.index(a);
+                let rb = self.index(b);
+                let q = self.emit(|d| Op::BinF { op: BinF::Div, dst: d, a: ra, b: rb });
+                self.emit(|d| Op::UnF { op: UnF::Floor, dst: d, a: q })
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.index(a);
+                let rb = self.index(b);
+                let o = lower_binop(*op);
+                self.emit(|d| Op::BinF { op: o, dst: d, a: ra, b: rb })
+            }
+            Expr::Unary(op, a) => {
+                let ra = self.index(a);
+                let o = lower_unop(*op);
+                self.emit(|d| Op::UnF { op: o, dst: d, a: ra })
+            }
+            Expr::Cast(_, a) => {
+                let ra = self.index(a);
+                self.emit(|d| Op::CastRound { dst: d, a: ra })
+            }
+            Expr::Select(c, a, b) => {
+                let m = self.cond(c);
+                let ra = self.index(a);
+                let rb = self.index(b);
+                self.emit(|d| Op::SelectF { dst: d, mask: m, a: ra, b: rb })
+            }
+            // Calls in index position load *values* used as indices (e.g.
+            // hist(I(x,y))); the loaded value participates in integer
+            // context by rounding at the gather.
+            other => self.value(other),
+        }
+    }
+
+    /// Lowers a condition to a 0.0/1.0 mask register.
+    pub fn cond(&mut self, c: &Cond) -> RegId {
+        match c {
+            Cond::Cmp(op, a, b) => {
+                let ra = self.value(a);
+                let rb = self.value(b);
+                let o = lower_cmp(*op);
+                self.emit(|d| Op::CmpMask { op: o, dst: d, a: ra, b: rb })
+            }
+            Cond::And(a, b) => {
+                let ra = self.cond(a);
+                let rb = self.cond(b);
+                self.emit(|d| Op::MaskAnd { dst: d, a: ra, b: rb })
+            }
+            Cond::Or(a, b) => {
+                let ra = self.cond(a);
+                let rb = self.cond(b);
+                self.emit(|d| Op::MaskOr { dst: d, a: ra, b: rb })
+            }
+            Cond::Not(a) => {
+                let ra = self.cond(a);
+                self.emit(|d| Op::MaskNot { dst: d, a: ra })
+            }
+        }
+    }
+
+    /// Lowers a cast according to the target type's store semantics.
+    fn cast(&mut self, ty: ScalarType, a: RegId) -> RegId {
+        if let Some((lo, hi)) = ty.saturation_range() {
+            let (lo, hi) = (lo as f32, hi as f32);
+            self.emit(|d| Op::CastSat { dst: d, a, lo, hi })
+        } else if ty.is_integral() {
+            self.emit(|d| Op::CastRound { dst: d, a })
+        } else {
+            a // float-to-float: no-op in the f32 engine
+        }
+    }
+
+    /// Lowers a value access to a [`Op::Load`].
+    fn load(&mut self, src: Source, args: &[Expr]) -> RegId {
+        let buf = self.buffer_of(src);
+        if !self.reads.contains(&buf) {
+            self.reads.push(buf);
+        }
+        let mut plan = Vec::with_capacity(args.len());
+        for a in args {
+            plan.push(self.plan_dim(a));
+        }
+        self.emit(move |d| Op::Load { dst: d, buf, plan: plan.clone() })
+    }
+
+    /// The buffer an access resolves to: scratch for in-group producers,
+    /// full otherwise.
+    fn buffer_of(&self, src: Source) -> BufId {
+        match src {
+            Source::Image(i) => self.env.image_bufs[i.index()],
+            Source::Func(f) => {
+                if let Some(&b) = self.env.func_scratch.get(&f) {
+                    b
+                } else if let Some(&b) = self.env.func_full.get(&f) {
+                    b
+                } else {
+                    panic!(
+                        "stage `{}` read but has no storage (compiler bug)",
+                        self.env.pipe.func(f).name
+                    )
+                }
+            }
+        }
+    }
+
+    /// One access-dimension plan: affine when analyzable, else a register
+    /// gather.
+    fn plan_dim(&mut self, arg: &Expr) -> IdxPlan {
+        if let Some(a) = VAff::from_expr(arg) {
+            let all_known = a.terms.iter().all(|(v, _)| self.env.vars.contains(v));
+            if all_known {
+                match (a.single_var(), a.is_const()) {
+                    (Some((v, q)), _) => {
+                        let dim = self.env.vars.iter().position(|&u| u == v);
+                        return IdxPlan::Affine {
+                            dim,
+                            q,
+                            o: a.cst.eval(self.env.params),
+                            m: a.den,
+                        };
+                    }
+                    (None, true) => {
+                        return IdxPlan::Affine {
+                            dim: None,
+                            q: 0,
+                            o: a.cst.eval(self.env.params),
+                            m: a.den,
+                        };
+                    }
+                    _ => {} // multi-variable affine: fall through to gather
+                }
+            }
+        }
+        IdxPlan::Reg(self.index(arg))
+    }
+}
+
+fn lower_binop(op: BinOp) -> BinF {
+    match op {
+        BinOp::Add => BinF::Add,
+        BinOp::Sub => BinF::Sub,
+        BinOp::Mul => BinF::Mul,
+        BinOp::Div => BinF::Div,
+        BinOp::Min => BinF::Min,
+        BinOp::Max => BinF::Max,
+        BinOp::Mod => BinF::Mod,
+        BinOp::Pow => BinF::Pow,
+    }
+}
+
+fn lower_unop(op: UnOp) -> UnF {
+    match op {
+        UnOp::Neg => UnF::Neg,
+        UnOp::Abs => UnF::Abs,
+        UnOp::Sqrt => UnF::Sqrt,
+        UnOp::Exp => UnF::Exp,
+        UnOp::Log => UnF::Log,
+        UnOp::Sin => UnF::Sin,
+        UnOp::Cos => UnF::Cos,
+        UnOp::Floor => UnF::Floor,
+        UnOp::Ceil => UnF::Ceil,
+    }
+}
+
+fn lower_cmp(op: CmpOp) -> CmpF {
+    match op {
+        CmpOp::Lt => CmpF::Lt,
+        CmpOp::Le => CmpF::Le,
+        CmpOp::Gt => CmpF::Gt,
+        CmpOp::Ge => CmpF::Ge,
+        CmpOp::Eq => CmpF::Eq,
+        CmpOp::Ne => CmpF::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Case, Interval, PAff, PipelineBuilder};
+
+    fn env_fixture() -> (Pipeline, FuncId, Vec<VarId>) {
+        let mut p = PipelineBuilder::new("t");
+        let _r = p.param("R");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64), PAff::cst(64)]);
+        let (x, y) = (p.var("x"), p.var("y"));
+        let d = Interval::cst(0, 63);
+        let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
+        p.define(
+            f,
+            vec![Case::always(
+                Expr::at(img, [x + 1, Expr::from(y)]) * 2.0 + Expr::Param(polymage_ir::ParamId::from_index(0)),
+            )],
+        )
+        .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        (pipe, f, vec![x, y])
+    }
+
+    #[test]
+    fn lowers_affine_access_and_param() {
+        let (pipe, f, vars) = env_fixture();
+        let scratch = HashMap::new();
+        let full = HashMap::new();
+        let env = LowerEnv {
+            pipe: &pipe,
+            params: &[100],
+            image_bufs: &[BufId(0)],
+            func_scratch: &scratch,
+            func_full: &full,
+            vars: &vars,
+        };
+        let mut b = KernelBuilder::new(&env);
+        let case = match &pipe.func(f).body {
+            polymage_ir::FuncBody::Cases(cs) => &cs[0],
+            _ => unreachable!(),
+        };
+        let out = b.value(&case.expr);
+        let (k, reads) = b.finish(vec![out]);
+        assert_eq!(reads, vec![BufId(0)]);
+        // Expect a Load with plan [Affine dim0 o=1, Affine dim1 o=0] and a
+        // ConstF 100 for the parameter.
+        let load = k
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Load { plan, .. } => Some(plan.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            load[0],
+            IdxPlan::Affine { dim: Some(0), q: 1, o: 1, m: 1 }
+        );
+        assert_eq!(
+            load[1],
+            IdxPlan::Affine { dim: Some(1), q: 1, o: 0, m: 1 }
+        );
+        assert!(k
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::ConstF { val, .. } if *val == 100.0)));
+    }
+
+    #[test]
+    fn index_semantics_floor_division() {
+        let (pipe, _f, vars) = env_fixture();
+        let scratch = HashMap::new();
+        let full = HashMap::new();
+        let env = LowerEnv {
+            pipe: &pipe,
+            params: &[100],
+            image_bufs: &[BufId(0)],
+            func_scratch: &scratch,
+            func_full: &full,
+            vars: &vars,
+        };
+        let mut b = KernelBuilder::new(&env);
+        // value-position division: no floor
+        let e = Expr::from(vars[0]) / 2;
+        let _ = b.value(&e);
+        assert!(!b.ops.iter().any(|op| matches!(op, Op::UnF { op: UnF::Floor, .. })));
+        // index-position division: floored
+        let mut b2 = KernelBuilder::new(&env);
+        let _ = b2.index(&e);
+        assert!(b2.ops.iter().any(|op| matches!(op, Op::UnF { op: UnF::Floor, .. })));
+    }
+
+    #[test]
+    fn dynamic_access_becomes_gather() {
+        let (pipe, _f, vars) = env_fixture();
+        let scratch = HashMap::new();
+        let full = HashMap::new();
+        let env = LowerEnv {
+            pipe: &pipe,
+            params: &[100],
+            image_bufs: &[BufId(0)],
+            func_scratch: &scratch,
+            func_full: &full,
+            vars: &vars,
+        };
+        let mut b = KernelBuilder::new(&env);
+        // I(x*x, y): non-affine first index
+        let x = Expr::from(vars[0]);
+        let e = Expr::at(
+            polymage_ir::ImageId::from_index(0),
+            [x.clone() * x, Expr::from(vars[1])],
+        );
+        let _ = b.value(&e);
+        let load = b
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Load { plan, .. } => Some(plan.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(load[0], IdxPlan::Reg(_)));
+        assert!(matches!(load[1], IdxPlan::Affine { .. }));
+    }
+
+    #[test]
+    fn cast_lowering_variants() {
+        let (pipe, _f, vars) = env_fixture();
+        let scratch = HashMap::new();
+        let full = HashMap::new();
+        let env = LowerEnv {
+            pipe: &pipe,
+            params: &[0],
+            image_bufs: &[BufId(0)],
+            func_scratch: &scratch,
+            func_full: &full,
+            vars: &vars,
+        };
+        let mut b = KernelBuilder::new(&env);
+        let x = Expr::from(vars[0]);
+        let _ = b.value(&x.clone().cast(ScalarType::UChar));
+        assert!(b.ops.iter().any(|op| matches!(op, Op::CastSat { hi, .. } if *hi == 255.0)));
+        let _ = b.value(&x.clone().cast(ScalarType::Int));
+        assert!(b.ops.iter().any(|op| matches!(op, Op::CastRound { .. })));
+        let n = b.ops.len();
+        let _ = b.value(&x.cast(ScalarType::Float));
+        // float cast adds no op at all (the CoordF is CSE-shared)
+        assert_eq!(b.ops.len(), n);
+    }
+}

@@ -1,0 +1,108 @@
+//! Compiler options: the schedule-relevant knobs of the paper.
+
+use polymage_vm::EvalMode;
+
+/// Options controlling compilation.
+///
+/// The defaults correspond to the paper's fully optimized configuration
+/// ("PolyMage (opt+vec)"); the `fuse` / `tile` / `mode` knobs reproduce the
+/// ablation configurations of Fig. 10.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Concrete values for the pipeline parameters (indexed by
+    /// [`polymage_ir::ParamId::index`]). Also used as the estimates of
+    /// Algorithm 1.
+    pub params: Vec<i64>,
+    /// Tile sizes for the leading dimensions of each group's sink stage
+    /// (the paper's `T`). A dimension is tiled only when its extent is at
+    /// least twice the requested size.
+    pub tile_sizes: Vec<i64>,
+    /// The overlap threshold of Algorithm 1 (`othresh`); fraction of
+    /// redundant computation tolerated per tile.
+    pub overlap_threshold: f64,
+    /// Chunked (vectorized) or point-wise evaluation.
+    pub mode: EvalMode,
+    /// Run the grouping heuristic. `false` keeps every stage in its own
+    /// group (the paper's "base" configuration).
+    pub fuse: bool,
+    /// Tile group domains. `false` executes groups as parallel row strips
+    /// without locality tiling (with `fuse: false` this is exactly the
+    /// paper's "base").
+    pub tile: bool,
+    /// Run the point-wise inlining pass (on in every paper configuration).
+    pub inline_pointwise: bool,
+    /// Storage optimization (§3.6): when disabled, every stage of a tiled
+    /// group is *also* written to a full array, modeling the memory traffic
+    /// of tiling without scratchpads — the ablation behind the paper's
+    /// "without storage reduction, the tiling transformations are not very
+    /// effective".
+    pub storage_opt: bool,
+    /// Target strip count for parallelism when a domain's outer dimension is
+    /// not tiled.
+    pub par_strips: i64,
+    /// Skip the static bounds check (useful in the autotuner's inner loop,
+    /// where the same pipeline was already checked).
+    pub skip_bounds_check: bool,
+}
+
+impl CompileOptions {
+    /// Options for the paper's fully optimized configuration with the given
+    /// parameter values.
+    pub fn optimized(params: Vec<i64>) -> Self {
+        CompileOptions {
+            params,
+            tile_sizes: vec![32, 256],
+            overlap_threshold: 0.4,
+            mode: EvalMode::Vector,
+            fuse: true,
+            tile: true,
+            inline_pointwise: true,
+            storage_opt: true,
+            par_strips: 128,
+            skip_bounds_check: false,
+        }
+    }
+
+    /// Options for the paper's "base" configuration: inlining and
+    /// parallelism but no grouping, tiling, or storage optimization.
+    pub fn base(params: Vec<i64>) -> Self {
+        CompileOptions { fuse: false, tile: false, ..CompileOptions::optimized(params) }
+    }
+
+    /// Switches the evaluation mode (the ±vec axis of Fig. 10).
+    pub fn with_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the tile sizes.
+    pub fn with_tiles(mut self, tiles: Vec<i64>) -> Self {
+        self.tile_sizes = tiles;
+        self
+    }
+
+    /// Sets the overlap threshold.
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.overlap_threshold = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let o = CompileOptions::optimized(vec![100]);
+        assert!(o.fuse && o.tile);
+        assert_eq!(o.mode, EvalMode::Vector);
+        let b = CompileOptions::base(vec![100]);
+        assert!(!b.fuse && !b.tile);
+        let s = CompileOptions::optimized(vec![]).with_mode(EvalMode::Scalar);
+        assert_eq!(s.mode, EvalMode::Scalar);
+        let t = CompileOptions::optimized(vec![]).with_tiles(vec![64, 64]).with_threshold(0.2);
+        assert_eq!(t.tile_sizes, vec![64, 64]);
+        assert_eq!(t.overlap_threshold, 0.2);
+    }
+}

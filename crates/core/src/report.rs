@@ -1,0 +1,141 @@
+//! Human-readable compilation reports (grouping structure, storage, tiles).
+//!
+//! The paper communicates its results partly through the *structure* the
+//! compiler finds — e.g. Fig. 8's grouping of the Pyramid Blending pipeline.
+//! [`CompileReport`] exposes that structure programmatically (tests pin it
+//! down) and as text/dot renderings.
+
+use crate::GroupKindTag;
+use std::fmt;
+
+/// Report for one scheduled group.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Sink stage name.
+    pub sink: String,
+    /// All member stage names (pipeline order).
+    pub stages: Vec<String>,
+    /// Execution class.
+    pub kind: GroupKindTag,
+    /// Effective tile size per sink dimension (`None` = untiled).
+    pub tile_sizes: Vec<Option<i64>>,
+    /// Per group dimension: (left, right) overlap in scheduled units.
+    pub overlap: Vec<(i64, i64)>,
+    /// Scratchpad bytes allocated per thread for this group.
+    pub scratch_bytes: usize,
+    /// Full-array bytes allocated for this group's outputs.
+    pub full_bytes: usize,
+}
+
+/// The complete compilation report.
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Stages inlined by the front-end.
+    pub inlined: Vec<String>,
+    /// Stages dropped as dead code.
+    pub dead: Vec<String>,
+    /// Scheduled groups, in execution order.
+    pub groups: Vec<GroupReport>,
+}
+
+impl CompileReport {
+    /// Group sizes (number of stages per group).
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.stages.len()).collect()
+    }
+
+    /// Finds the group containing a stage by name.
+    pub fn group_of(&self, stage: &str) -> Option<&GroupReport> {
+        self.groups.iter().find(|g| g.stages.iter().any(|s| s == stage))
+    }
+
+    /// Renders the grouping as Graphviz clusters (Fig. 8 style).
+    pub fn grouping_dot(&self) -> String {
+        let mut s = String::from("digraph grouping {\n");
+        for (i, g) in self.groups.iter().enumerate() {
+            s.push_str(&format!(
+                "  subgraph cluster_{i} {{ label=\"{} ({:?})\";\n",
+                g.sink, g.kind
+            ));
+            for st in &g.stages {
+                s.push_str(&format!("    \"{st}\";\n"));
+            }
+            s.push_str("  }\n");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.inlined.is_empty() {
+            writeln!(f, "inlined: {}", self.inlined.join(", "))?;
+        }
+        if !self.dead.is_empty() {
+            writeln!(f, "dead: {}", self.dead.join(", "))?;
+        }
+        for (i, g) in self.groups.iter().enumerate() {
+            let tiles: Vec<String> = g
+                .tile_sizes
+                .iter()
+                .map(|t| t.map_or("-".to_string(), |v| v.to_string()))
+                .collect();
+            let ov: Vec<String> =
+                g.overlap.iter().map(|(l, r)| format!("{l}+{r}")).collect();
+            writeln!(
+                f,
+                "group {i} [{:?}] sink={} tiles=({}) overlap=({}) \
+                 scratch={}B full={}B: {}",
+                g.kind,
+                g.sink,
+                tiles.join(","),
+                ov.join(","),
+                g.scratch_bytes,
+                g.full_bytes,
+                g.stages.join(" ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompileReport {
+        CompileReport {
+            inlined: vec!["a".into()],
+            dead: vec![],
+            groups: vec![GroupReport {
+                sink: "out".into(),
+                stages: vec!["b".into(), "out".into()],
+                kind: GroupKindTag::Normal,
+                tile_sizes: vec![Some(32), Some(256)],
+                overlap: vec![(2, 2), (2, 2)],
+                scratch_bytes: 1024,
+                full_bytes: 4096,
+            }],
+        }
+    }
+
+    #[test]
+    fn queries() {
+        let r = sample();
+        assert_eq!(r.group_sizes(), vec![2]);
+        assert!(r.group_of("b").is_some());
+        assert!(r.group_of("zzz").is_none());
+    }
+
+    #[test]
+    fn renders() {
+        let r = sample();
+        let text = r.to_string();
+        assert!(text.contains("inlined: a"));
+        assert!(text.contains("sink=out"));
+        let dot = r.grouping_dot();
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("\"out\""));
+    }
+}

@@ -1,0 +1,569 @@
+//! Per-group schedule construction: overlapped tiles, storage mapping,
+//! kernel lowering (paper §3.4, §3.6, §3.7).
+
+use crate::grouping::{effective_tiles, Group, GroupKindTag};
+use crate::lower::{KernelBuilder, LowerEnv};
+use crate::{CompileError, CompileOptions};
+use polymage_graph::PipelineGraph;
+use polymage_ir::{FuncBody, FuncId, Pipeline, ScalarType, Source, VarId};
+use polymage_poly::{
+    extract_accesses, narrow_rect_by_cond, required_region, solve_alignment, Access,
+    AccessDim, DimMap, Rect,
+};
+use polymage_vm::{
+    BufDecl, BufId, BufKind, CaseExec, GroupExec, GroupKind, ReductionExec, RegId,
+    SeqExec, StageExec, TileWork, TiledGroup,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Mutable compilation context shared across groups.
+pub(crate) struct Ctx<'a> {
+    pub pipe: &'a Pipeline,
+    pub graph: &'a PipelineGraph,
+    pub opts: &'a CompileOptions,
+    pub buffers: Vec<BufDecl>,
+    pub image_bufs: Vec<BufId>,
+    /// Full buffer of each full-stored stage (filled as groups schedule).
+    pub func_full: HashMap<FuncId, BufId>,
+    /// Stages consumed by other groups or live-out (need full storage).
+    pub needs_full: HashSet<FuncId>,
+}
+
+impl Ctx<'_> {
+    fn new_buffer(&mut self, decl: BufDecl) -> BufId {
+        self.buffers.push(decl);
+        BufId(self.buffers.len() - 1)
+    }
+
+    fn concrete_dom(&self, f: FuncId) -> Rect {
+        Rect::new(
+            self.pipe
+                .func(f)
+                .var_dom
+                .dom
+                .iter()
+                .map(|iv| iv.eval(&self.opts.params))
+                .collect(),
+        )
+    }
+}
+
+/// Information the scheduler derives for each stage of a tiled group.
+struct StagePlan {
+    f: FuncId,
+    dom: Rect,
+    needs_full: bool,
+    direct: bool,
+    /// Alignment of each stage dimension to the group's schedule space.
+    maps: Vec<DimMap>,
+}
+
+/// Schedules one group into an executable [`GroupExec`].
+pub(crate) fn schedule_group(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, CompileError> {
+    match group.kind {
+        GroupKindTag::Reduction => schedule_reduction(ctx, group.sink),
+        GroupKindTag::SelfRef => schedule_selfref(ctx, group.sink),
+        GroupKindTag::Normal => schedule_tiled(ctx, group),
+    }
+}
+
+/// Orders the group's stages producers-first.
+fn group_topo(ctx: &Ctx<'_>, group: &Group) -> Vec<FuncId> {
+    ctx.graph
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|f| group.stages.contains(f))
+        .collect()
+}
+
+fn sat_round(ty: ScalarType) -> (Option<(f32, f32)>, bool) {
+    let sat = ty.saturation_range().map(|(lo, hi)| (lo as f32, hi as f32));
+    (sat, ty.is_integral())
+}
+
+fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, CompileError> {
+    let stages = group_topo(ctx, group);
+    let sink = group.sink;
+    let alignment = solve_alignment(ctx.pipe, &stages, sink)
+        .expect("grouping only forms alignable groups");
+
+    // --- storage classification ---
+    let mut plans: Vec<StagePlan> = Vec::with_capacity(stages.len());
+    for &f in &stages {
+        let dom = ctx.concrete_dom(f);
+        let in_group_consumed = ctx
+            .graph
+            .consumers(f)
+            .iter()
+            .any(|c| stages.contains(c));
+        let needs_full = ctx.needs_full.contains(&f) || !ctx.opts.storage_opt;
+        let direct = needs_full && !in_group_consumed;
+        plans.push(StagePlan { f, dom, needs_full, direct, maps: alignment.map(f).to_vec() });
+    }
+
+    // --- tiling of the sink domain ---
+    let sink_dom = ctx.concrete_dom(sink);
+    // Normalization may scale the sink itself; tile boundaries live in the
+    // scheduled space, so convert via the sink's own per-dim scale.
+    let sink_scales: Vec<i64> = (0..sink_dom.ndim())
+        .map(|g| alignment.scale_on(sink, g).map_or(1, |s| s.num().max(1)))
+        .collect();
+    let sink_extents: Vec<i64> = (0..sink_dom.ndim()).map(|d| sink_dom.extent(d)).collect();
+    let tiles_cfg = effective_tiles(&sink_extents, ctx.opts);
+    let tile_counts: Vec<i64> = (0..sink_dom.ndim())
+        .map(|d| match tiles_cfg[d] {
+            Some(t) => (sink_dom.extent(d) + t - 1) / t,
+            None => 1,
+        })
+        .collect();
+    let nstrips = tile_counts.first().copied().unwrap_or(1).max(1) as usize;
+
+    // Pre-extract in-group accesses: consumer stage index -> producer -> accesses
+    let accesses_to: Vec<Vec<(usize, Vec<Access>)>> = stages
+        .iter()
+        .map(|&c| {
+            let mut per_prod: HashMap<usize, Vec<Access>> = HashMap::new();
+            for acc in extract_accesses(ctx.pipe.func(c)) {
+                if let Source::Func(p) = acc.src {
+                    if let Some(pi) = stages.iter().position(|&s| s == p) {
+                        if p != c {
+                            per_prod.entry(pi).or_default().push(acc);
+                        }
+                    }
+                }
+            }
+            per_prod.into_iter().collect()
+        })
+        .collect();
+
+    // --- tile enumeration + backward propagation ---
+    let mut tiles: Vec<TileWork> = Vec::new();
+    let mut max_ext: Vec<Vec<i64>> = plans
+        .iter()
+        .map(|p| vec![0i64; p.dom.ndim()])
+        .collect();
+
+    // At least one tile always runs: a sink whose domain is empty at these
+    // parameter values (deep pyramid levels at small sizes) must not
+    // prevent full-stored member stages from materializing — their regions
+    // then come entirely from the owned-coverage extension.
+    let total_tiles: i64 = tile_counts.iter().product::<i64>().max(1);
+    {
+        for lin in 0..total_tiles {
+            // decompose the linear index into per-dim tile coordinates
+            let mut tidx = vec![0i64; sink_dom.ndim()];
+            let mut rem = lin;
+            for d in (0..sink_dom.ndim()).rev() {
+                tidx[d] = rem % tile_counts[d];
+                rem /= tile_counts[d];
+            }
+            // sink tile rectangle
+            let tile_rect = Rect::new(
+                (0..sink_dom.ndim())
+                    .map(|d| {
+                        let (lo, hi) = sink_dom.range(d);
+                        match tiles_cfg[d] {
+                            Some(t) => (lo + tidx[d] * t, (lo + (tidx[d] + 1) * t - 1).min(hi)),
+                            None => (lo, hi),
+                        }
+                    })
+                    .collect(),
+            );
+            let strip = tidx[0] as usize;
+            let mut regions: Vec<Rect> = plans
+                .iter()
+                .map(|p| Rect::new(vec![(0, -1); p.dom.ndim()]))
+                .collect();
+            // sink gets the tile itself
+            let sink_idx = stages.iter().position(|&s| s == sink).unwrap();
+            regions[sink_idx] = tile_rect.clone();
+            // reverse topological propagation
+            for ci in (0..stages.len()).rev() {
+                if regions[ci].is_empty() {
+                    continue;
+                }
+                let cvars: Vec<VarId> =
+                    ctx.pipe.func(stages[ci]).var_dom.vars.clone();
+                for (pi, accs) in &accesses_to[ci] {
+                    let req = required_region(
+                        accs,
+                        &cvars,
+                        &regions[ci],
+                        &plans[*pi].dom,
+                        &ctx.opts.params,
+                    );
+                    regions[*pi] = if regions[*pi].is_empty() {
+                        req
+                    } else {
+                        regions[*pi].hull(&req)
+                    };
+                }
+            }
+            // owned ranges + stores for full stages; region extension for
+            // coverage.
+            let mut stores: Vec<Option<Rect>> = vec![None; plans.len()];
+            for (k, p) in plans.iter().enumerate() {
+                if !p.needs_full {
+                    continue;
+                }
+                let owned =
+                    owned_rect(p, &sink_dom, &tiles_cfg, &tidx, &tile_counts, &sink_scales);
+                let owned = owned.intersect(&p.dom);
+                regions[k] = if regions[k].is_empty() {
+                    owned.clone()
+                } else {
+                    regions[k].hull(&owned)
+                };
+                let store = regions[k].intersect(&owned);
+                stores[k] = Some(store);
+            }
+            for (k, r) in regions.iter().enumerate() {
+                if !r.is_empty() {
+                    for d in 0..r.ndim() {
+                        max_ext[k][d] = max_ext[k][d].max(r.extent(d));
+                    }
+                }
+            }
+            tiles.push(TileWork { strip, regions, stores });
+        }
+    }
+    // order tiles by strip so the executor's grouping is contiguous
+    tiles.sort_by_key(|t| t.strip);
+
+    // --- buffer creation ---
+    let mut func_scratch: HashMap<FuncId, BufId> = HashMap::new();
+    let mut stage_bufs: Vec<(BufId, Option<BufId>)> = Vec::with_capacity(plans.len());
+    for (k, p) in plans.iter().enumerate() {
+        let name = ctx.pipe.func(p.f).name.clone();
+        let scratch = if p.direct {
+            BufId(0) // placeholder, unused by direct stages
+        } else {
+            let sizes: Vec<i64> = max_ext[k].iter().map(|&e| e.max(1)).collect();
+            let b = ctx.new_buffer(BufDecl {
+                name: format!("{name}.scratch"),
+                kind: BufKind::Scratch,
+                sizes,
+                origin: vec![0; p.dom.ndim()],
+            });
+            func_scratch.insert(p.f, b);
+            b
+        };
+        let full = if p.needs_full {
+            let b = ctx.new_buffer(BufDecl {
+                name: name.clone(),
+                kind: BufKind::Full,
+                // exact extents: an empty domain yields an empty buffer
+                sizes: (0..p.dom.ndim()).map(|d| p.dom.extent(d).max(0)).collect(),
+                origin: p.dom.ranges().iter().map(|&(lo, _)| lo).collect(),
+            });
+            ctx.func_full.insert(p.f, b);
+            Some(b)
+        } else {
+            None
+        };
+        stage_bufs.push((scratch, full));
+    }
+
+    // --- kernel lowering ---
+    let mut stage_execs: Vec<StageExec> = Vec::with_capacity(plans.len());
+    for (k, p) in plans.iter().enumerate() {
+        let fd = ctx.pipe.func(p.f);
+        let (sat, round) = sat_round(fd.ty);
+        let cases = lower_cases(ctx, p.f, &p.dom, &func_scratch)?;
+        let mut reads: Vec<BufId> = Vec::new();
+        for c in &cases {
+            for op in &c.kernel.ops {
+                if let polymage_vm::Op::Load { buf, .. } = op {
+                    if !reads.contains(buf) {
+                        reads.push(*buf);
+                    }
+                }
+            }
+        }
+        stage_execs.push(StageExec {
+            name: fd.name.clone(),
+            scratch: stage_bufs[k].0,
+            full: stage_bufs[k].1,
+            direct: p.direct,
+            sat,
+            round,
+            cases,
+            dom: p.dom.clone(),
+            reads,
+        });
+    }
+
+    Ok(GroupExec {
+        name: format!("{}+{}", ctx.pipe.func(sink).name, stages.len() - 1),
+        kind: GroupKind::Tiled(TiledGroup { stages: stage_execs, tiles, nstrips }),
+    })
+}
+
+/// The sub-rectangle of stage `p`'s coordinates "owned" by tile `tidx`
+/// (used to make parallel strips' full-buffer writes disjoint). Boundary
+/// strips absorb coordinates outside the sink's scaled range.
+fn owned_rect(
+    p: &StagePlan,
+    sink_dom: &Rect,
+    tiles_cfg: &[Option<i64>],
+    tidx: &[i64],
+    tile_counts: &[i64],
+    sink_scales: &[i64],
+) -> Rect {
+    const INF: i64 = i64::MAX / 4;
+    let n = p.dom.ndim();
+    let mut dims: Vec<(i64, i64)> = p.dom.ranges().to_vec();
+
+    // Strips run along group dim 0, so cross-thread disjointness requires
+    // the stage's own dim 0 to be aligned with group dim 0. Without that
+    // alignment, the very first tile materializes the whole stage.
+    let dim0_on_gdim0 = matches!(
+        p.maps.first(),
+        Some(DimMap::Grouped { gdim: 0, scale }) if scale.is_integer() && scale.num() > 0
+    );
+    if !dim0_on_gdim0 && tile_counts.first().copied().unwrap_or(1) > 1 {
+        if tidx.iter().any(|&t| t != 0) {
+            return Rect::new(vec![(0, -1); n]);
+        }
+        return Rect::new(dims);
+    }
+
+    // Partition every aligned, tiled dimension by its tile's scheduled range.
+    for (k, m) in p.maps.iter().enumerate() {
+        let (g, sigma) = match m {
+            DimMap::Grouped { gdim, scale } if scale.is_integer() && scale.num() > 0 => {
+                (*gdim, scale.num())
+            }
+            _ => continue,
+        };
+        if g >= sink_dom.ndim() {
+            continue;
+        }
+        let Some(tg) = tiles_cfg[g] else { continue };
+        let (slo, _) = sink_dom.range(g);
+        let ls = sink_scales[g];
+        let t = tidx[g];
+        let last = tile_counts[g] - 1;
+        let lo = if t == 0 {
+            -INF
+        } else {
+            let s = (slo + t * tg) * ls;
+            -(-s).div_euclid(sigma) // ceil(s/σ)
+        };
+        let hi = if t == last {
+            INF
+        } else {
+            let s = (slo + (t + 1) * tg) * ls;
+            -(-s).div_euclid(sigma) - 1
+        };
+        dims[k] = (dims[k].0.max(lo), dims[k].1.min(hi));
+    }
+    Rect::new(dims)
+}
+
+/// Lowers all cases of a stage into [`CaseExec`]s.
+fn lower_cases(
+    ctx: &Ctx<'_>,
+    f: FuncId,
+    dom: &Rect,
+    func_scratch: &HashMap<FuncId, BufId>,
+) -> Result<Vec<CaseExec>, CompileError> {
+    let fd = ctx.pipe.func(f);
+    let cases = match &fd.body {
+        FuncBody::Cases(cs) => cs,
+        _ => unreachable!("tiled stages are case-defined"),
+    };
+    let vars = fd.var_dom.vars.clone();
+    let env = LowerEnv {
+        pipe: ctx.pipe,
+        params: &ctx.opts.params,
+        image_bufs: &ctx.image_bufs,
+        func_scratch,
+        func_full: &ctx.func_full,
+        vars: &vars,
+    };
+    let mut out = Vec::with_capacity(cases.len());
+    for case in cases {
+        let (rect, steps, residual) = match &case.cond {
+            None => (dom.clone(), vec![(1, 0); dom.ndim()], None),
+            Some(c) => {
+                let nr = narrow_rect_by_cond(c, &vars, dom, &ctx.opts.params);
+                (nr.rect, nr.steps, if nr.exact { None } else { Some(c.clone()) })
+            }
+        };
+        if rect.is_empty() {
+            continue;
+        }
+        // Strided cases (parity guards): lower the body in strided
+        // coordinates by substituting v_d -> stride_d*v_d + phase_d -- the
+        // paper's domain splitting instead of inner-loop branching.
+        let strided = steps.iter().any(|&(s, _)| s != 1);
+        let (expr, residual) = if strided {
+            let map: std::collections::HashMap<_, _> = vars
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| steps[*d] != (1, 0))
+                .map(|(d, &v)| {
+                    let (s, ph) = steps[d];
+                    (v, s * polymage_ir::Expr::Var(v) + ph as f64)
+                })
+                .collect();
+            (
+                polymage_graph::subst_vars(&case.expr, &map),
+                residual.map(|c| polymage_graph::subst_vars_cond(&c, &map)),
+            )
+        } else {
+            (case.expr.clone(), residual)
+        };
+        let mut b = KernelBuilder::new(&env);
+        let val = b.value(&expr);
+        let mask: Option<RegId> = residual.as_ref().map(|c| b.cond(c));
+        let mut outs = vec![val];
+        if let Some(m) = mask {
+            outs.push(m);
+        }
+        let (kernel, _reads) = b.finish(outs);
+        out.push(CaseExec { rect, steps, kernel, mask });
+    }
+    Ok(out)
+}
+
+fn schedule_reduction(ctx: &mut Ctx<'_>, f: FuncId) -> Result<GroupExec, CompileError> {
+    let fd = ctx.pipe.func(f);
+    let acc = match &fd.body {
+        FuncBody::Reduce(a) => a.clone(),
+        _ => unreachable!("reduction group"),
+    };
+    let dom = ctx.concrete_dom(f);
+    let out = ctx.new_buffer(BufDecl {
+        name: fd.name.clone(),
+        kind: BufKind::Full,
+        sizes: (0..dom.ndim()).map(|d| dom.extent(d).max(0)).collect(),
+        origin: dom.ranges().iter().map(|&(lo, _)| lo).collect(),
+    });
+    ctx.func_full.insert(f, out);
+
+    let red_dom = Rect::new(
+        acc.red_dom.iter().map(|iv| iv.eval(&ctx.opts.params)).collect(),
+    );
+    let empty_scratch = HashMap::new();
+    let env = LowerEnv {
+        pipe: ctx.pipe,
+        params: &ctx.opts.params,
+        image_bufs: &ctx.image_bufs,
+        func_scratch: &empty_scratch,
+        func_full: &ctx.func_full,
+        vars: &acc.red_vars,
+    };
+    let mut b = KernelBuilder::new(&env);
+    let val = b.value(&acc.value);
+    let mut outs = vec![val];
+    for t in &acc.target {
+        outs.push(b.index(t));
+    }
+    let (kernel, reads) = b.finish(outs);
+    Ok(GroupExec {
+        name: format!("{}(reduce)", fd.name),
+        kind: GroupKind::Reduction(ReductionExec {
+            name: fd.name.clone(),
+            out,
+            red_dom,
+            kernel,
+            op: acc.op,
+            reads,
+        }),
+    })
+}
+
+fn schedule_selfref(ctx: &mut Ctx<'_>, f: FuncId) -> Result<GroupExec, CompileError> {
+    let fd = ctx.pipe.func(f);
+    let dom = ctx.concrete_dom(f);
+    let n = dom.ndim();
+
+    // Validate self-access patterns: pure constant offsets, lexicographically
+    // negative.
+    let mut chunked = true;
+    for acc in extract_accesses(fd) {
+        if acc.src != Source::Func(f) {
+            continue;
+        }
+        let mut offsets: Vec<i64> = Vec::with_capacity(n);
+        for (d, dim) in acc.dims.iter().enumerate() {
+            let a = match dim {
+                AccessDim::Affine(a) => a,
+                AccessDim::Dynamic => {
+                    return Err(CompileError::InvalidSelfReference {
+                        func: fd.name.clone(),
+                        reason: "data-dependent self access".into(),
+                    })
+                }
+            };
+            let ok = a.den == 1
+                && a.single_var().map(|(v, q)| q == 1 && v == fd.var_dom.vars[d])
+                    == Some(true)
+                && a.cst.as_const().is_some();
+            if !ok {
+                return Err(CompileError::InvalidSelfReference {
+                    func: fd.name.clone(),
+                    reason: format!("unsupported self index in dimension {d}"),
+                });
+            }
+            offsets.push(a.cst.as_const().unwrap());
+        }
+        match offsets.iter().position(|&o| o != 0) {
+            None => {
+                return Err(CompileError::InvalidSelfReference {
+                    func: fd.name.clone(),
+                    reason: "stage reads its own current point".into(),
+                })
+            }
+            Some(first) => {
+                if offsets[first] > 0 {
+                    return Err(CompileError::InvalidSelfReference {
+                        func: fd.name.clone(),
+                        reason: "self dependence points forward in scan order".into(),
+                    });
+                }
+                if first == n - 1 {
+                    chunked = false; // same-row backward dependence
+                }
+            }
+        }
+    }
+
+    let out = ctx.new_buffer(BufDecl {
+        name: fd.name.clone(),
+        kind: BufKind::Full,
+        sizes: (0..n).map(|d| dom.extent(d).max(0)).collect(),
+        origin: dom.ranges().iter().map(|&(lo, _)| lo).collect(),
+    });
+    ctx.func_full.insert(f, out);
+
+    let empty_scratch = HashMap::new();
+    let cases = lower_cases(ctx, f, &dom, &empty_scratch)?;
+    let mut reads: Vec<BufId> = Vec::new();
+    for c in &cases {
+        for op in &c.kernel.ops {
+            if let polymage_vm::Op::Load { buf, .. } = op {
+                if !reads.contains(buf) {
+                    reads.push(*buf);
+                }
+            }
+        }
+    }
+    let (sat, round) = sat_round(fd.ty);
+    Ok(GroupExec {
+        name: format!("{}(scan)", fd.name),
+        kind: GroupKind::Sequential(SeqExec {
+            name: fd.name.clone(),
+            out,
+            dom,
+            cases,
+            sat,
+            round,
+            chunked,
+            reads,
+        }),
+    })
+}

@@ -1,0 +1,286 @@
+//! Static bounds checking of function accesses (paper §3, front-end).
+//!
+//! "References to values outside the domain of a function are considered
+//! invalid and reported to the user." The original proves this with isl's
+//! parametric sets; we evaluate the same interval containment with the
+//! user's parameter estimates, which the compiler already requires for
+//! grouping (Algorithm 1). Only affine accesses are analyzed, exactly as in
+//! the paper; data-dependent indices are range-checked at run time instead.
+
+use polymage_ir::{
+    Expr, FuncBody, FuncId, Interval, Pipeline, Source, VarId,
+};
+use polymage_poly::{
+    access_image, extract_accesses, narrow_rect_by_cond, Access, Rect,
+};
+use std::fmt;
+
+/// One out-of-bounds access found by [`check_bounds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsViolation {
+    /// The consuming stage.
+    pub consumer: String,
+    /// The producer (stage or image) read out of bounds.
+    pub producer: String,
+    /// The region the consumer may read.
+    pub accessed: Rect,
+    /// The producer's valid domain.
+    pub domain: Rect,
+}
+
+impl fmt::Display for BoundsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` reads `{}` over {} but its domain is {}",
+            self.consumer, self.producer, self.accessed, self.domain
+        )
+    }
+}
+
+fn eval_dom(dom: &[Interval], params: &[i64]) -> Rect {
+    Rect::new(dom.iter().map(|iv| iv.eval(params)).collect())
+}
+
+fn source_dom(pipe: &Pipeline, s: Source, params: &[i64]) -> Rect {
+    match s {
+        Source::Func(f) => eval_dom(&pipe.func(f).var_dom.dom, params),
+        Source::Image(i) => Rect::new(
+            pipe.images()[i.index()]
+                .extents
+                .iter()
+                .map(|e| (0, e.eval(params) - 1))
+                .collect(),
+        ),
+    }
+}
+
+/// Image of `rect` under `access` without clipping to the producer domain,
+/// with dynamic dimensions considered always-in-bounds (checked at run time).
+fn unclipped_image(
+    access: &Access,
+    vars: &[VarId],
+    rect: &Rect,
+    producer_dom: &Rect,
+    params: &[i64],
+) -> Rect {
+    // A huge virtual domain so no clipping occurs on affine dims; dynamic
+    // dims take the producer's own (valid) extent.
+    const BIG: i64 = i64::MAX / 4;
+    let huge = Rect::new(
+        (0..producer_dom.ndim())
+            .map(|j| {
+                let analyzable = access.dims[j]
+                    .as_affine()
+                    .map(|a| a.terms.iter().all(|(v, _)| vars.contains(v)))
+                    .unwrap_or(false);
+                if analyzable {
+                    (-BIG, BIG)
+                } else {
+                    producer_dom.range(j)
+                }
+            })
+            .collect(),
+    );
+    access_image(access, vars, rect, &huge, params)
+}
+
+/// Checks every analyzable access of every stage against the producer's
+/// domain, using the given parameter estimates.
+///
+/// Case guards restrict the checked region: in Fig. 1 the stage `Iy` is
+/// declared over `[0, R+1]×[0, C+1]` but guarded to the interior, so its
+/// 3×3 stencil reads of `I` stay in bounds.
+///
+/// Returns all violations (empty when the specification is clean).
+pub fn check_bounds(pipe: &Pipeline, params: &[i64]) -> Vec<BoundsViolation> {
+    let mut out = Vec::new();
+    for f in pipe.func_ids() {
+        let fd = pipe.func(f);
+        match &fd.body {
+            FuncBody::Undefined => {}
+            FuncBody::Cases(cases) => {
+                let full = eval_dom(&fd.var_dom.dom, params);
+                for case in cases {
+                    let region = match &case.cond {
+                        Some(c) => {
+                            narrow_rect_by_cond(c, &fd.var_dom.vars, &full, params).rect
+                        }
+                        None => full.clone(),
+                    };
+                    if region.is_empty() {
+                        continue;
+                    }
+                    let mut exprs: Vec<&Expr> = vec![&case.expr];
+                    // Guard expressions can also access producers.
+                    // (The guard itself is evaluated on `full`,
+                    // conservatively checked on `region` here; rectangular
+                    // guards contain no accesses anyway.)
+                    let _ = &mut exprs;
+                    for e in exprs {
+                        check_expr_accesses(
+                            pipe, fd.var_dom.vars.as_slice(), &fd.name, e, &region,
+                            params, &mut out,
+                        );
+                    }
+                }
+            }
+            FuncBody::Reduce(acc) => {
+                let red = eval_dom(&acc.red_dom, params);
+                if red.is_empty() {
+                    continue;
+                }
+                check_expr_accesses(
+                    pipe, &acc.red_vars, &fd.name, &acc.value, &red, params, &mut out,
+                );
+                for t in &acc.target {
+                    check_expr_accesses(
+                        pipe, &acc.red_vars, &fd.name, t, &red, params, &mut out,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_expr_accesses(
+    pipe: &Pipeline,
+    vars: &[VarId],
+    consumer: &str,
+    e: &Expr,
+    region: &Rect,
+    params: &[i64],
+    out: &mut Vec<BoundsViolation>,
+) {
+    // Reuse the access extractor by wrapping the expression in a throwaway
+    // stage definition.
+    let fake = polymage_ir::FuncDef {
+        name: consumer.to_string(),
+        var_dom: polymage_ir::VarDom { vars: vars.to_vec(), dom: Vec::new() },
+        ty: polymage_ir::ScalarType::Float,
+        body: FuncBody::Cases(vec![polymage_ir::Case::always(e.clone())]),
+    };
+    // Aggregate all accesses to one producer into a single region so a 3×3
+    // stencil reports one violation, not eight.
+    let mut by_src: Vec<(Source, Rect, Rect)> = Vec::new();
+    for acc in extract_accesses(&fake) {
+        let pdom = source_dom(pipe, acc.src, params);
+        let img = unclipped_image(&acc, vars, region, &pdom, params);
+        match by_src.iter_mut().find(|(s, _, _)| *s == acc.src) {
+            Some((_, r, _)) => *r = r.hull(&img),
+            None => by_src.push((acc.src, img, pdom)),
+        }
+    }
+    for (src, img, pdom) in by_src {
+        if !pdom.contains_rect(&img) {
+            out.push(BoundsViolation {
+                consumer: consumer.to_string(),
+                producer: pipe.source_name(src).to_string(),
+                accessed: img,
+                domain: pdom,
+            });
+        }
+    }
+}
+
+/// Convenience: true when the pipeline has a self-referential stage `f`.
+/// (Used by the compiler to route such stages to sequential execution.)
+pub fn has_self_reference(pipe: &Pipeline, f: FuncId) -> bool {
+    extract_accesses(pipe.func(f)).iter().any(|a| a.src == Source::Func(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Case, Interval, PAff, PipelineBuilder, ScalarType};
+
+    #[test]
+    fn guarded_stencil_is_in_bounds() {
+        // Fig. 1 pattern: image (R+2)×(C+2), stage guarded to [1,R]×[1,C],
+        // 3×3 stencil: in bounds.
+        let mut p = PipelineBuilder::new("t");
+        let (r, c) = (p.param("R"), p.param("C"));
+        let img =
+            p.image("I", ScalarType::Float, vec![PAff::param(r) + 2, PAff::param(c) + 2]);
+        let (x, y) = (p.var("x"), p.var("y"));
+        let row = Interval::new(PAff::cst(0), PAff::param(r) + 1);
+        let col = Interval::new(PAff::cst(0), PAff::param(c) + 1);
+        let f = p.func("f", &[(x, row), (y, col)], ScalarType::Float);
+        let guard = Expr::from(x).ge(1)
+            & Expr::from(x).le(Expr::Param(r))
+            & Expr::from(y).ge(1)
+            & Expr::from(y).le(Expr::Param(c));
+        let e = polymage_ir::stencil(img, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]);
+        p.define(f, vec![Case::new(guard, e)]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        assert!(check_bounds(&pipe, &[64, 64]).is_empty());
+    }
+
+    #[test]
+    fn unguarded_stencil_is_out_of_bounds() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64), PAff::cst(64)]);
+        let (x, y) = (p.var("x"), p.var("y"));
+        let d = Interval::cst(0, 63);
+        let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
+        let e = polymage_ir::stencil(img, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]);
+        p.define(f, vec![Case::always(e)]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let vs = check_bounds(&pipe, &[]);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].consumer, "f");
+        assert_eq!(vs[0].producer, "I");
+        assert_eq!(vs[0].accessed, Rect::new(vec![(-1, 64), (-1, 64)]));
+    }
+
+    #[test]
+    fn downsample_edge_case() {
+        // g(x) = f(2x+1) over x∈[0,31] reads f over [1,63]: needs f dom ⊇.
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let f = p.func("f", &[(x, Interval::cst(0, 62))], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::from(x))]).unwrap();
+        let g = p.func("g", &[(x, Interval::cst(0, 31))], ScalarType::Float);
+        p.define(g, vec![Case::always(Expr::at(f, [2i64 * Expr::from(x) + 1]))]).unwrap();
+        let pipe = p.finish(&[g]).unwrap();
+        let vs = check_bounds(&pipe, &[]);
+        assert_eq!(vs.len(), 1); // reads f(63), domain ends at 62
+        assert_eq!(vs[0].accessed.range(0), (1, 63));
+    }
+
+    #[test]
+    fn dynamic_access_not_flagged() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(100)]);
+        let lut = p.func("lut", &[(x, Interval::cst(0, 255))], ScalarType::Float);
+        p.define(lut, vec![Case::always(Expr::from(x))]).unwrap();
+        let f = p.func("f", &[(x, Interval::cst(0, 99))], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::at(lut, [Expr::at(img, [Expr::from(x)])]))])
+            .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        assert!(check_bounds(&pipe, &[]).is_empty());
+    }
+
+    #[test]
+    fn reduction_value_access_checked() {
+        let mut p = PipelineBuilder::new("t");
+        let (x, b) = (p.var("x"), p.var("b"));
+        let img = p.image("I", ScalarType::UChar, vec![PAff::cst(50)]);
+        let acc = polymage_ir::Accumulate {
+            red_vars: vec![x],
+            red_dom: vec![Interval::cst(0, 99)], // reads I beyond 49!
+            target: vec![Expr::at(img, [Expr::from(x)])],
+            value: Expr::Const(1.0),
+            op: polymage_ir::Reduction::Sum,
+        };
+        let h = p
+            .accumulator("hist", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc)
+            .unwrap();
+        let pipe = p.finish(&[h]).unwrap();
+        let vs = check_bounds(&pipe, &[]);
+        assert!(!vs.is_empty());
+        assert_eq!(vs[0].producer, "I");
+    }
+}

@@ -1,0 +1,224 @@
+//! The stage graph: edges, topological order, and levels.
+
+use crate::GraphError;
+use polymage_poly::extract_accesses;
+use polymage_ir::{FuncId, Pipeline, Source};
+
+/// The pipeline's directed acyclic graph of stages (Fig. 2 of the paper).
+///
+/// Nodes are stages; an edge `p → c` means consumer `c` reads producer `p`.
+/// The *level* of a stage is its depth in a topological sort — the leading
+/// dimension of the paper's initial schedules (§3.1).
+#[derive(Debug, Clone)]
+pub struct PipelineGraph {
+    producers: Vec<Vec<FuncId>>,
+    consumers: Vec<Vec<FuncId>>,
+    self_ref: Vec<bool>,
+    levels: Vec<usize>,
+    topo: Vec<FuncId>,
+}
+
+impl PipelineGraph {
+    /// Builds the graph from a pipeline specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] when distinct stages depend on each
+    /// other cyclically. A stage reading itself (time-iterated pattern) is
+    /// legal and recorded instead.
+    pub fn build(pipe: &Pipeline) -> Result<PipelineGraph, GraphError> {
+        let n = pipe.funcs().len();
+        let mut producers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut consumers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut self_ref = vec![false; n];
+        for c in pipe.func_ids() {
+            for acc in extract_accesses(pipe.func(c)) {
+                if let Source::Func(p) = acc.src {
+                    if p == c {
+                        self_ref[c.index()] = true;
+                        continue;
+                    }
+                    if !producers[c.index()].contains(&p) {
+                        producers[c.index()].push(p);
+                        consumers[p.index()].push(c);
+                    }
+                }
+            }
+        }
+        // Kahn's algorithm for topological order + cycle detection.
+        let mut indeg: Vec<usize> = producers.iter().map(|p| p.len()).collect();
+        let mut queue: Vec<FuncId> =
+            (0..n).filter(|&i| indeg[i] == 0).map(FuncId::from_index).collect();
+        let mut topo: Vec<FuncId> = Vec::with_capacity(n);
+        let mut levels = vec![0usize; n];
+        while let Some(f) = queue.pop() {
+            topo.push(f);
+            for &c in &consumers[f.index()] {
+                levels[c.index()] = levels[c.index()].max(levels[f.index()] + 1);
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            let cyc: Vec<String> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| pipe.funcs()[i].name.clone())
+                .collect();
+            return Err(GraphError::Cycle(cyc));
+        }
+        // Stable order: by (level, declaration index) for reproducibility.
+        topo.sort_by_key(|f| (levels[f.index()], f.index()));
+        Ok(PipelineGraph { producers, consumers, self_ref, levels, topo })
+    }
+
+    /// Stages `f` reads (excluding images and itself).
+    pub fn producers(&self, f: FuncId) -> &[FuncId] {
+        &self.producers[f.index()]
+    }
+
+    /// Stages that read `f`.
+    pub fn consumers(&self, f: FuncId) -> &[FuncId] {
+        &self.consumers[f.index()]
+    }
+
+    /// Whether `f` reads its own values (time-iterated pattern).
+    pub fn is_self_referential(&self, f: FuncId) -> bool {
+        self.self_ref[f.index()]
+    }
+
+    /// Topological level (depth) of `f`; inputs-only stages are level 0.
+    pub fn level(&self, f: FuncId) -> usize {
+        self.levels[f.index()]
+    }
+
+    /// All stages in a topological order (producers before consumers),
+    /// stable across runs.
+    pub fn topo_order(&self) -> &[FuncId] {
+        &self.topo
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Renders the graph in Graphviz dot format (stage names as nodes).
+    pub fn to_dot(&self, pipe: &Pipeline) -> String {
+        let mut s = String::from("digraph pipeline {\n  rankdir=TB;\n");
+        for f in pipe.func_ids() {
+            s.push_str(&format!("  \"{}\";\n", pipe.func(f).name));
+        }
+        for f in pipe.func_ids() {
+            for &c in self.consumers(f) {
+                s.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    pipe.func(f).name,
+                    pipe.func(c).name
+                ));
+            }
+            if self.is_self_referential(f) {
+                s.push_str(&format!(
+                    "  \"{0}\" -> \"{0}\" [style=dashed];\n",
+                    pipe.func(f).name
+                ));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Case, Expr, Interval, PipelineBuilder, ScalarType};
+
+    fn chain3() -> (Pipeline, Vec<FuncId>) {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let d = Interval::cst(0, 99);
+        let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
+        p.define(a, vec![Case::always(Expr::from(x))]).unwrap();
+        let b = p.func("b", &[(x, d.clone())], ScalarType::Float);
+        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]))]).unwrap();
+        let c = p.func("c", &[(x, d)], ScalarType::Float);
+        p.define(
+            c,
+            vec![Case::always(Expr::at(b, [Expr::from(x)]) + Expr::at(a, [Expr::from(x)]))],
+        )
+        .unwrap();
+        (p.finish(&[c]).unwrap(), vec![a, b, c])
+    }
+
+    #[test]
+    fn levels_and_edges() {
+        let (pipe, f) = chain3();
+        let g = PipelineGraph::build(&pipe).unwrap();
+        assert_eq!(g.level(f[0]), 0);
+        assert_eq!(g.level(f[1]), 1);
+        assert_eq!(g.level(f[2]), 2);
+        assert_eq!(g.producers(f[2]), &[f[1], f[0]]);
+        assert_eq!(g.consumers(f[0]), &[f[1], f[2]]);
+        assert_eq!(g.topo_order(), &[f[0], f[1], f[2]]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let d = Interval::cst(0, 9);
+        let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
+        let b = p.func("b", &[(x, d)], ScalarType::Float);
+        p.define(a, vec![Case::always(Expr::at(b, [Expr::from(x)]))]).unwrap();
+        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]))]).unwrap();
+        let pipe = p.finish(&[b]).unwrap();
+        match PipelineGraph::build(&pipe) {
+            Err(GraphError::Cycle(names)) => {
+                assert_eq!(names.len(), 2);
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_reference_is_not_a_cycle() {
+        let mut p = PipelineBuilder::new("t");
+        let (t, x) = (p.var("t"), p.var("x"));
+        let f = p.func(
+            "f",
+            &[(t, Interval::cst(0, 9)), (x, Interval::cst(0, 99))],
+            ScalarType::Float,
+        );
+        // f(t,x) = f(t-1, x) + 1 on t >= 1; f(0,x) = 0
+        p.define(
+            f,
+            vec![
+                Case::new(Expr::from(t).ge(1), Expr::at(f, [t - 1, x + 0]) + 1.0),
+                Case::new(Expr::from(t).le(0), Expr::Const(0.0)),
+            ],
+        )
+        .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let g = PipelineGraph::build(&pipe).unwrap();
+        assert!(g.is_self_referential(f));
+        assert_eq!(g.level(f), 0);
+    }
+
+    #[test]
+    fn dot_output_mentions_edges() {
+        let (pipe, _) = chain3();
+        let g = PipelineGraph::build(&pipe).unwrap();
+        let dot = g.to_dot(&pipe);
+        assert!(dot.contains("\"a\" -> \"b\""));
+        assert!(dot.contains("\"b\" -> \"c\""));
+        assert!(dot.contains("\"a\" -> \"c\""));
+    }
+}

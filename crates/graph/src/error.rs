@@ -1,0 +1,30 @@
+//! Errors reported by DAG construction and bounds checking.
+
+use crate::BoundsViolation;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from graph construction or static checking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The specification contains a dependence cycle between distinct
+    /// stages (listed by name).
+    Cycle(Vec<String>),
+    /// One or more accesses can read outside the producer's domain.
+    OutOfBounds(Vec<BoundsViolation>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle(names) => {
+                write!(f, "dependence cycle between stages: {}", names.join(" -> "))
+            }
+            GraphError::OutOfBounds(vs) => {
+                write!(f, "{} out-of-bounds access(es); first: {}", vs.len(), vs[0])
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}

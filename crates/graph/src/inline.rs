@@ -1,0 +1,548 @@
+//! Point-wise stage inlining (paper §3, front-end).
+//!
+//! "Inlining functions trades-off redundant computation for improved
+//! locality. For point-wise functions … inlining is an obvious choice since
+//! it introduces minimal or no redundant computation." We inline a stage
+//! when it:
+//!
+//! - is defined by a single case whose accesses are all point-wise
+//!   (identity index or constant index — e.g. `Ixx(x,y) = Ix(x,y)·Ix(x,y)`
+//!   or `gray(x,y) = I(0,x,y)·…`),
+//! - is not a live-out, not a reduction, not self-referential,
+//! - is consumed point-wise by every consumer (a stage read through a
+//!   stencil, sampling, or data-dependent index stays materialized — §3's
+//!   restriction; lookup tables stay separate, matching the paper's
+//!   camera-pipeline grouping), and
+//! - stays under a body-size budget so chained inlining cannot blow up
+//!   code size.
+//!
+//! A guarded single case inlines as `Select(guard, body, 0)`, which matches
+//! the engine's undefined-value semantics. Stages that become unreachable
+//! from the live-outs afterwards are dropped (dead-code elimination).
+
+use crate::rewrite::{rewrite_calls, rewrite_calls_cond, subst_vars};
+use polymage_ir::{
+    visit_exprs, Case, Expr, FuncBody, FuncId, IrError, Pipeline, PipelineBuilder,
+    ScalarType, Source,
+};
+use polymage_poly::{extract_accesses, AccessDim};
+use std::collections::{HashMap, HashSet};
+
+/// What [`inline_pointwise`] did.
+#[derive(Debug, Clone, Default)]
+pub struct InlineReport {
+    /// Names of stages that were inlined away.
+    pub inlined: Vec<String>,
+    /// Names of stages dropped as dead code (unreachable from live-outs).
+    pub dead: Vec<String>,
+    /// Mapping from surviving old ids to ids in the new pipeline.
+    pub func_map: HashMap<FuncId, FuncId>,
+}
+
+/// Maximum number of expression nodes an inlined stage may reach before we
+/// stop inlining into it further.
+const BODY_SIZE_BUDGET: usize = 512;
+
+fn expr_size(e: &Expr) -> usize {
+    let mut n = 0;
+    visit_exprs(e, &mut |_| n += 1);
+    n
+}
+
+/// Whether the stage's own accesses are all point-wise: every index is a
+/// constant or the bare variable of the corresponding position.
+fn is_pointwise(pipe: &Pipeline, f: FuncId) -> bool {
+    let fd = pipe.func(f);
+    let case = match &fd.body {
+        FuncBody::Cases(cs) if cs.len() == 1 => &cs[0],
+        _ => return false,
+    };
+    let _ = case;
+    for acc in extract_accesses(fd) {
+        for dim in &acc.dims {
+            match dim {
+                AccessDim::Dynamic => return false,
+                AccessDim::Affine(a) => {
+                    if a.den != 1 {
+                        return false;
+                    }
+                    match a.single_var() {
+                        None => {
+                            // constant index: fine (channel selection)
+                            if !a.is_const() {
+                                return false;
+                            }
+                        }
+                        Some((v, q)) => {
+                            if q != 1
+                                || a.cst.as_const() != Some(0)
+                                || !fd.var_dom.vars.contains(&v)
+                            {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether every consumer reads `f` point-wise (identity or constant
+/// indices). The paper restricts inlining to point-wise *consumers*:
+/// substituting a producer into a stencil or sampling consumer replicates
+/// its computation once per tap ("the redundant computation introduced by
+/// inlining can be quite significant", §3).
+fn consumed_pointwise(pipe: &Pipeline, f: FuncId) -> bool {
+    for c in pipe.func_ids() {
+        for acc in extract_accesses(pipe.func(c)) {
+            if acc.src != Source::Func(f) {
+                continue;
+            }
+            for dim in &acc.dims {
+                match dim {
+                    AccessDim::Dynamic => return false,
+                    AccessDim::Affine(a) => {
+                        let identity = a.den == 1
+                            && (a.is_const()
+                                || (a.single_var().map(|(_, q)| q == 1) == Some(true)
+                                    && a.cst.as_const() == Some(0)));
+                        if !identity {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs the inlining pass, returning the rewritten pipeline and a report.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from pipeline reconstruction (cannot happen for a
+/// pipeline that already validated, but surfaced for robustness).
+pub fn inline_pointwise(pipe: &Pipeline) -> Result<(Pipeline, InlineReport), IrError> {
+    let live: HashSet<FuncId> = pipe.live_outs().iter().copied().collect();
+
+    // Decide the inline set.
+    let mut inline: HashSet<FuncId> = HashSet::new();
+    for f in pipe.func_ids() {
+        if live.contains(&f) {
+            continue;
+        }
+        let fd = pipe.func(f);
+        if fd.is_reduction() {
+            continue;
+        }
+        if crate::bounds::has_self_reference(pipe, f) {
+            continue;
+        }
+        if !is_pointwise(pipe, f) {
+            continue;
+        }
+        if !consumed_pointwise(pipe, f) {
+            continue;
+        }
+        inline.insert(f);
+    }
+
+    // Build replacement bodies in topological-ish order (declaration order
+    // is topological for well-formed specs built through the DSL; for
+    // robustness, iterate until fixpoint).
+    let mut replacement: HashMap<FuncId, Expr> = HashMap::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &f in &inline {
+            let fd = pipe.func(f);
+            let case = match &fd.body {
+                FuncBody::Cases(cs) => &cs[0],
+                _ => unreachable!("inline set holds single-case stages"),
+            };
+            // Materialized stages round/saturate on store per their declared
+            // type; preserve that by casting the inlined body.
+            let typed = if fd.ty.is_integral() {
+                Expr::Cast(fd.ty, Box::new(case.expr.clone()))
+            } else {
+                case.expr.clone()
+            };
+            let base = match &case.cond {
+                Some(g) => Expr::select(g.clone(), typed, 0.0),
+                None => typed,
+            };
+            let new = inline_expr(&base, fd, &replacement, pipe);
+            if replacement.get(&f) != Some(&new) {
+                replacement.insert(f, new);
+                changed = true;
+            }
+        }
+    }
+
+    // Drop over-budget replacements (keep those stages materialized).
+    replacement.retain(|_, e| expr_size(e) <= BODY_SIZE_BUDGET);
+    let inlined_ids: HashSet<FuncId> = replacement.keys().copied().collect();
+
+    // Rewrite all surviving stages' bodies.
+    let mut rewritten: HashMap<FuncId, FuncBody> = HashMap::new();
+    for f in pipe.func_ids() {
+        if inlined_ids.contains(&f) {
+            continue;
+        }
+        let fd = pipe.func(f);
+        let body = match &fd.body {
+            FuncBody::Undefined => FuncBody::Undefined,
+            FuncBody::Cases(cs) => FuncBody::Cases(
+                cs.iter()
+                    .map(|c| Case {
+                        cond: c.cond.as_ref().map(|g| {
+                            rewrite_calls_cond(g, &mut |src, args| {
+                                substitute_call(pipe, &replacement, src, args)
+                            })
+                        }),
+                        expr: rewrite_calls(&c.expr, &mut |src, args| {
+                            substitute_call(pipe, &replacement, src, args)
+                        }),
+                    })
+                    .collect(),
+            ),
+            FuncBody::Reduce(acc) => {
+                let mut acc = acc.clone();
+                acc.value = rewrite_calls(&acc.value, &mut |src, args| {
+                    substitute_call(pipe, &replacement, src, args)
+                });
+                acc.target = acc
+                    .target
+                    .iter()
+                    .map(|t| {
+                        rewrite_calls(t, &mut |src, args| {
+                            substitute_call(pipe, &replacement, src, args)
+                        })
+                    })
+                    .collect();
+                FuncBody::Reduce(acc)
+            }
+        };
+        rewritten.insert(f, body);
+    }
+
+    // Dead-code elimination: keep stages reachable from live-outs.
+    let mut reachable: HashSet<FuncId> = HashSet::new();
+    let mut stack: Vec<FuncId> = pipe.live_outs().to_vec();
+    while let Some(f) = stack.pop() {
+        if !reachable.insert(f) {
+            continue;
+        }
+        if let Some(body) = rewritten.get(&f) {
+            let fake = polymage_ir::FuncDef {
+                name: String::new(),
+                var_dom: pipe.func(f).var_dom.clone(),
+                ty: ScalarType::Float,
+                body: body.clone(),
+            };
+            for acc in extract_accesses(&fake) {
+                if let Source::Func(p) = acc.src {
+                    if !inlined_ids.contains(&p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // Rebuild the pipeline with survivors only, remapping ids.
+    let mut b = PipelineBuilder::new(pipe.name());
+    for name in pipe.params() {
+        b.param(name.clone());
+    }
+    for img in pipe.images() {
+        b.image(img.name.clone(), img.ty, img.extents.clone());
+    }
+    for name in pipe.vars() {
+        b.var(name.clone());
+    }
+    let survivors: Vec<FuncId> = pipe
+        .func_ids()
+        .filter(|f| !inlined_ids.contains(f) && reachable.contains(f))
+        .collect();
+    // Precompute the id remapping: survivor ids are assigned sequentially,
+    // and bodies may reference *any* survivor (including the stage itself,
+    // for time-iterated definitions).
+    let func_map: HashMap<FuncId, FuncId> = survivors
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, FuncId::from_index(i)))
+        .collect();
+    for &f in &survivors {
+        let fd = pipe.func(f);
+        let vd: Vec<_> = fd
+            .var_dom
+            .vars
+            .iter()
+            .copied()
+            .zip(fd.var_dom.dom.iter().cloned())
+            .collect();
+        let nf = match rewritten.remove(&f).expect("survivor body") {
+            FuncBody::Cases(cs) => {
+                let nf = b.func(fd.name.clone(), &vd, fd.ty);
+                b.define(nf, remap_cases(cs, &func_map))?;
+                nf
+            }
+            FuncBody::Reduce(acc) => {
+                let acc = polymage_ir::Accumulate {
+                    red_vars: acc.red_vars.clone(),
+                    red_dom: acc.red_dom.clone(),
+                    target: acc.target.iter().map(|t| remap_expr(t, &func_map)).collect(),
+                    value: remap_expr(&acc.value, &func_map),
+                    op: acc.op,
+                };
+                b.accumulator(fd.name.clone(), &vd, fd.ty, acc)?
+            }
+            FuncBody::Undefined => unreachable!("validated pipeline"),
+        };
+        debug_assert_eq!(func_map[&f], nf, "survivor ids assigned in order");
+    }
+    let live_outs: Vec<FuncId> =
+        pipe.live_outs().iter().map(|f| func_map[f]).collect();
+    let new_pipe = b.finish(&live_outs)?;
+
+    let mut inlined: Vec<String> =
+        inlined_ids.iter().map(|f| pipe.func(*f).name.clone()).collect();
+    inlined.sort();
+    let mut dead: Vec<String> = pipe
+        .func_ids()
+        .filter(|f| !inlined_ids.contains(f) && !reachable.contains(f))
+        .map(|f| pipe.func(f).name.clone())
+        .collect();
+    dead.sort();
+    let report = InlineReport { inlined, dead, func_map };
+    Ok((new_pipe, report))
+}
+
+/// Substitutes a call to an inlined stage with its body, with the stage's
+/// variables bound to the call's (already rewritten) arguments.
+fn substitute_call(
+    pipe: &Pipeline,
+    replacement: &HashMap<FuncId, Expr>,
+    src: Source,
+    args: Vec<Expr>,
+) -> Expr {
+    if let Source::Func(f) = src {
+        if let Some(body) = replacement.get(&f) {
+            let fd = pipe.func(f);
+            let map: HashMap<_, _> =
+                fd.var_dom.vars.iter().copied().zip(args).collect();
+            return subst_vars(body, &map);
+        }
+    }
+    Expr::Call(src, args)
+}
+
+/// Expands calls to already-replaced stages inside an inline candidate's
+/// own body (handles chains of point-wise stages).
+fn inline_expr(
+    e: &Expr,
+    _fd: &polymage_ir::FuncDef,
+    replacement: &HashMap<FuncId, Expr>,
+    pipe: &Pipeline,
+) -> Expr {
+    rewrite_calls(e, &mut |src, args| substitute_call(pipe, replacement, src, args))
+}
+
+fn remap_expr(e: &Expr, map: &HashMap<FuncId, FuncId>) -> Expr {
+    rewrite_calls(e, &mut |src, args| {
+        let src = match src {
+            Source::Func(f) => Source::Func(*map.get(&f).unwrap_or(&f)),
+            other => other,
+        };
+        Expr::Call(src, args)
+    })
+}
+
+fn remap_cases(cs: Vec<Case>, map: &HashMap<FuncId, FuncId>) -> Vec<Case> {
+    cs.into_iter()
+        .map(|c| Case {
+            cond: c.cond.map(|g| {
+                rewrite_calls_cond(&g, &mut |src, args| {
+                    let src = match src {
+                        Source::Func(f) => Source::Func(*map.get(&f).unwrap_or(&f)),
+                        other => other,
+                    };
+                    Expr::Call(src, args)
+                })
+            }),
+            expr: remap_expr(&c.expr, map),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Interval, PAff};
+
+    /// a (stencil-ish) -> sq (pointwise, a²) -> out (stencil over sq).
+    #[test]
+    fn inlines_pointwise_between_stencils() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64)]);
+        let x = p.var("x");
+        let d = Interval::cst(1, 62);
+        let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
+        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        let sq = p.func("sq", &[(x, d.clone())], ScalarType::Float);
+        let ax = Expr::at(a, [Expr::from(x)]);
+        p.define(sq, vec![Case::always(ax.clone() * ax)]).unwrap();
+        let out = p.func("out", &[(x, Interval::cst(2, 61))], ScalarType::Float);
+        p.define(
+            out,
+            vec![Case::always(Expr::at(sq, [x - 1]) + Expr::at(sq, [x + 1]))],
+        )
+        .unwrap();
+        let pipe = p.finish(&[out]).unwrap();
+        let (np, rep) = inline_pointwise(&pipe).unwrap();
+        // `a` is consumed point-wise by `sq`, so it inlines; `sq` is read
+        // through a stencil, so it stays materialized (§3's restriction).
+        assert_eq!(rep.inlined, vec!["a".to_string()]);
+        assert_eq!(np.funcs().len(), 2);
+        // sq's body now reads the image directly.
+        let sq_new = rep.func_map[&sq];
+        let accs = extract_accesses(np.func(sq_new));
+        assert!(accs.iter().all(|a| a.src.as_image().is_some()));
+    }
+
+    #[test]
+    fn does_not_inline_stencils_liveouts_or_reductions() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::UChar, vec![PAff::cst(64)]);
+        let (x, bin) = (p.var("x"), p.var("b"));
+        let d = Interval::cst(1, 62);
+        // stencil stage: not point-wise
+        let st = p.func("st", &[(x, d.clone())], ScalarType::Float);
+        p.define(st, vec![Case::always(Expr::at(img, [x - 1]) + Expr::at(img, [x + 1]))])
+            .unwrap();
+        // live-out point-wise stage: not inlined
+        let out = p.func("out", &[(x, d.clone())], ScalarType::Float);
+        p.define(out, vec![Case::always(Expr::at(st, [Expr::from(x)]) * 2.0)]).unwrap();
+        // reduction
+        let acc = polymage_ir::Accumulate {
+            red_vars: vec![x],
+            red_dom: vec![d.clone()],
+            target: vec![Expr::at(img, [Expr::from(x)])],
+            value: Expr::Const(1.0),
+            op: polymage_ir::Reduction::Sum,
+        };
+        let h = p
+            .accumulator("hist", &[(bin, Interval::cst(0, 255))], ScalarType::Int, acc)
+            .unwrap();
+        let pipe = p.finish(&[out, h]).unwrap();
+        let (np, rep) = inline_pointwise(&pipe).unwrap();
+        assert!(rep.inlined.is_empty());
+        assert_eq!(np.funcs().len(), 3);
+    }
+
+    #[test]
+    fn guarded_pointwise_inlines_as_select() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64)]);
+        let x = p.var("x");
+        let d = Interval::cst(0, 63);
+        let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
+        p.define(
+            g,
+            vec![Case::new(Expr::from(x).ge(8), Expr::at(img, [Expr::from(x)]) * 2.0)],
+        )
+        .unwrap();
+        let out = p.func("out", &[(x, d)], ScalarType::Float);
+        p.define(out, vec![Case::always(Expr::at(g, [Expr::from(x)]) + 1.0)]).unwrap();
+        let pipe = p.finish(&[out]).unwrap();
+        let (np, rep) = inline_pointwise(&pipe).unwrap();
+        assert_eq!(rep.inlined, vec!["g".to_string()]);
+        let out_new = rep.func_map[&out];
+        let body = match &np.func(out_new).body {
+            FuncBody::Cases(cs) => &cs[0].expr,
+            _ => panic!(),
+        };
+        let mut selects = 0;
+        visit_exprs(body, &mut |e| {
+            if matches!(e, Expr::Select(..)) {
+                selects += 1;
+            }
+        });
+        assert_eq!(selects, 1);
+    }
+
+    #[test]
+    fn body_size_budget_limits_chained_inlining() {
+        // A long chain of point-wise stages whose fully-inlined body would
+        // exceed the budget: the pass must keep some stages materialized
+        // rather than building a gigantic expression.
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64)]);
+        let x = p.var("x");
+        let d = Interval::cst(0, 63);
+        let mut prev: Source = img.into();
+        let mut last = None;
+        for i in 0..12 {
+            let f = p.func(format!("s{i}"), &[(x, d.clone())], ScalarType::Float);
+            // each stage doubles the body size: e = prev(x)*prev(x) + i
+            let a = Expr::Call(prev, vec![Expr::from(x)]);
+            p.define(f, vec![Case::always(a.clone() * a + i as f64)]).unwrap();
+            prev = f.into();
+            last = Some(f);
+        }
+        let pipe = p.finish(&[last.unwrap()]).unwrap();
+        let (np, rep) = inline_pointwise(&pipe).unwrap();
+        // some stages must survive (2^12 > budget), and the result still
+        // references the image
+        assert!(np.funcs().len() >= 2, "budget must stop runaway inlining");
+        assert!(rep.inlined.len() < 11);
+    }
+
+    #[test]
+    fn lut_consumed_dynamically_not_inlined() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64)]);
+        let x = p.var("x");
+        let lut = p.func("lut", &[(x, Interval::cst(0, 255))], ScalarType::Float);
+        p.define(lut, vec![Case::always(Expr::from(x) * 0.5)]).unwrap();
+        let out = p.func("out", &[(x, Interval::cst(0, 63))], ScalarType::Float);
+        p.define(out, vec![Case::always(Expr::at(lut, [Expr::at(img, [Expr::from(x)])]))])
+            .unwrap();
+        let pipe = p.finish(&[out]).unwrap();
+        let (np, rep) = inline_pointwise(&pipe).unwrap();
+        assert!(rep.inlined.is_empty());
+        assert_eq!(np.funcs().len(), 2);
+    }
+
+    #[test]
+    fn chained_pointwise_inline_and_dce() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image("I", ScalarType::Float, vec![PAff::cst(64)]);
+        let x = p.var("x");
+        let d = Interval::cst(0, 63);
+        let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
+        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x)]) + 1.0)]).unwrap();
+        let b = p.func("b", &[(x, d.clone())], ScalarType::Float);
+        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]) * 2.0)]).unwrap();
+        // unused stencil stage (not inlinable, so exercised by DCE)
+        let dead = p.func("unused", &[(x, Interval::cst(1, 62))], ScalarType::Float);
+        p.define(dead, vec![Case::always(Expr::at(img, [x - 1]) + Expr::at(img, [x + 1]))])
+            .unwrap();
+        let out = p.func("out", &[(x, d)], ScalarType::Float);
+        p.define(out, vec![Case::always(Expr::at(b, [Expr::from(x)]) - 3.0)]).unwrap();
+        let pipe = p.finish(&[out]).unwrap();
+        let (np, rep) = inline_pointwise(&pipe).unwrap();
+        assert_eq!(np.funcs().len(), 1);
+        assert_eq!(rep.inlined.len(), 2);
+        assert_eq!(rep.dead, vec!["unused".to_string()]);
+        // the final expression computes ((I(x)+1)*2)-3
+        let out_new = rep.func_map[&out];
+        let accs = extract_accesses(np.func(out_new));
+        assert_eq!(accs.len(), 1);
+        assert!(accs[0].src.as_image().is_some());
+    }
+}

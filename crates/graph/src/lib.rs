@@ -1,0 +1,35 @@
+//! # polymage-graph
+//!
+//! The pipeline-DAG substrate of PolyMage-rs: everything the paper's
+//! front-end does before polyhedral optimization (§3, first phase of Fig. 4).
+//!
+//! - [`PipelineGraph`]: the stage graph — producer/consumer edges extracted
+//!   from the specification, topological order and levels, cycle detection
+//!   (cycles between distinct stages are an invalid specification; a stage
+//!   referencing *itself* is the paper's time-iterated pattern and is
+//!   recorded as [`PipelineGraph::is_self_referential`]).
+//! - [`check_bounds`]: static bounds checking of every affine access against
+//!   the producer's domain. The original uses isl's parametric sets; we
+//!   check with the user-supplied parameter estimates (the same estimates
+//!   Algorithm 1 already requires), which covers the same class of
+//!   off-by-one specification bugs.
+//! - [`inline_pointwise`]: §3's inlining pass — substitutes point-wise
+//!   stages into their consumers (guarded stages become `Select`s with the
+//!   undefined-value default), never inlining live-outs, reductions,
+//!   self-referential stages, or stages consumed through data-dependent
+//!   indices (lookup tables).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bounds;
+mod dag;
+mod error;
+mod inline;
+mod rewrite;
+
+pub use bounds::{check_bounds, BoundsViolation};
+pub use dag::PipelineGraph;
+pub use error::GraphError;
+pub use inline::{inline_pointwise, InlineReport};
+pub use rewrite::{rewrite_calls, subst_vars, subst_vars_cond};

@@ -1,0 +1,174 @@
+//! Expression rewriting utilities (used by inlining).
+
+use polymage_ir::{Cond, Expr, Source, VarId};
+use std::collections::HashMap;
+
+/// Substitutes variables in `e` by replacement expressions.
+///
+/// Variables not present in `map` are left untouched.
+pub fn subst_vars(e: &Expr, map: &HashMap<VarId, Expr>) -> Expr {
+    match e {
+        Expr::Var(v) => map.get(v).cloned().unwrap_or_else(|| e.clone()),
+        Expr::Const(_) | Expr::Param(_) => e.clone(),
+        Expr::Call(src, args) => {
+            Expr::Call(*src, args.iter().map(|a| subst_vars(a, map)).collect())
+        }
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(subst_vars(a, map))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(subst_vars(a, map)),
+            Box::new(subst_vars(b, map)),
+        ),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(subst_vars_cond(c, map)),
+            Box::new(subst_vars(a, map)),
+            Box::new(subst_vars(b, map)),
+        ),
+        Expr::Cast(ty, a) => Expr::Cast(*ty, Box::new(subst_vars(a, map))),
+    }
+}
+
+/// Substitutes variables inside a condition.
+pub fn subst_vars_cond(c: &Cond, map: &HashMap<VarId, Expr>) -> Cond {
+    match c {
+        Cond::Cmp(op, a, b) => Cond::Cmp(*op, subst_vars(a, map), subst_vars(b, map)),
+        Cond::And(a, b) => Cond::And(
+            Box::new(subst_vars_cond(a, map)),
+            Box::new(subst_vars_cond(b, map)),
+        ),
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(subst_vars_cond(a, map)),
+            Box::new(subst_vars_cond(b, map)),
+        ),
+        Cond::Not(a) => Cond::Not(Box::new(subst_vars_cond(a, map))),
+    }
+}
+
+/// Rewrites every `Call` node bottom-up: `f` receives the source and the
+/// already-rewritten arguments and returns the replacement expression
+/// (return `Expr::Call(src, args)` to keep a call unchanged).
+pub fn rewrite_calls(e: &Expr, f: &mut dyn FnMut(Source, Vec<Expr>) -> Expr) -> Expr {
+    match e {
+        Expr::Call(src, args) => {
+            let args = args.iter().map(|a| rewrite_calls(a, f)).collect();
+            f(*src, args)
+        }
+        Expr::Const(_) | Expr::Var(_) | Expr::Param(_) => e.clone(),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rewrite_calls(a, f))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(rewrite_calls(a, f)),
+            Box::new(rewrite_calls(b, f)),
+        ),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(rewrite_calls_cond(c, f)),
+            Box::new(rewrite_calls(a, f)),
+            Box::new(rewrite_calls(b, f)),
+        ),
+        Expr::Cast(ty, a) => Expr::Cast(*ty, Box::new(rewrite_calls(a, f))),
+    }
+}
+
+/// Rewrites calls inside a condition.
+pub fn rewrite_calls_cond(c: &Cond, f: &mut dyn FnMut(Source, Vec<Expr>) -> Expr) -> Cond {
+    match c {
+        Cond::Cmp(op, a, b) => Cond::Cmp(*op, rewrite_calls(a, f), rewrite_calls(b, f)),
+        Cond::And(a, b) => Cond::And(
+            Box::new(rewrite_calls_cond(a, f)),
+            Box::new(rewrite_calls_cond(b, f)),
+        ),
+        Cond::Or(a, b) => Cond::Or(
+            Box::new(rewrite_calls_cond(a, f)),
+            Box::new(rewrite_calls_cond(b, f)),
+        ),
+        Cond::Not(a) => Cond::Not(Box::new(rewrite_calls_cond(a, f))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{FuncId, ImageId};
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn substitution_replaces_vars() {
+        let mut map = HashMap::new();
+        map.insert(v(0), Expr::from(v(1)) + 1);
+        let e = Expr::from(v(0)) * 2.0 + Expr::from(v(2));
+        let r = subst_vars(&e, &map);
+        // v0 replaced, v2 untouched
+        let mut saw_v0 = false;
+        polymage_ir::visit_exprs(&r, &mut |n| {
+            if matches!(n, Expr::Var(u) if *u == v(0)) {
+                saw_v0 = false; // replaced occurrences shouldn't remain …
+            }
+        });
+        // … but the replacement itself contains v1:
+        let mut saw_v1 = false;
+        polymage_ir::visit_exprs(&r, &mut |n| {
+            if matches!(n, Expr::Var(u) if *u == v(1)) {
+                saw_v1 = true;
+            }
+        });
+        assert!(saw_v1);
+        assert!(!saw_v0);
+    }
+
+    #[test]
+    fn substitution_reaches_call_args_and_selects() {
+        let img = ImageId::from_index(0);
+        let mut map = HashMap::new();
+        map.insert(v(0), Expr::from(v(1)) * 2);
+        let e = Expr::select(
+            Expr::from(v(0)).gt(0.0),
+            Expr::at(img, [Expr::from(v(0))]),
+            Expr::Const(0.0),
+        );
+        let r = subst_vars(&e, &map);
+        let mut v1_count = 0;
+        polymage_ir::visit_exprs(&r, &mut |n| {
+            if matches!(n, Expr::Var(u) if *u == v(1)) {
+                v1_count += 1;
+            }
+        });
+        assert_eq!(v1_count, 2); // once in the guard, once in the call arg
+    }
+
+    #[test]
+    fn call_rewriting_replaces_calls() {
+        let f0 = FuncId::from_index(0);
+        let e = Expr::at(f0, [Expr::from(v(0))]) + 1.0;
+        let r = rewrite_calls(&e, &mut |src, args| {
+            if src == Source::Func(f0) {
+                args[0].clone() * 3.0
+            } else {
+                Expr::Call(src, args)
+            }
+        });
+        // No calls remain.
+        let mut calls = 0;
+        polymage_ir::visit_exprs(&r, &mut |n| {
+            if matches!(n, Expr::Call(..)) {
+                calls += 1;
+            }
+        });
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn call_rewriting_is_bottom_up() {
+        let f0 = FuncId::from_index(0);
+        // f0(f0(x)): inner call rewritten before outer sees its args
+        let e = Expr::at(f0, [Expr::at(f0, [Expr::from(v(0))])]);
+        let mut order = Vec::new();
+        let _ = rewrite_calls(&e, &mut |src, args| {
+            order.push(args.len());
+            Expr::Call(src, args)
+        });
+        assert_eq!(order.len(), 2);
+    }
+}

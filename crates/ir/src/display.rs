@@ -1,0 +1,331 @@
+//! Human-readable rendering of pipeline specifications — the inverse of
+//! Fig. 1: given a built [`Pipeline`], print a listing close to what the
+//! user wrote, with real parameter/variable/stage names. Used by debug
+//! output, error reporting, and the `inspect` harness.
+
+use crate::{BinOp, CmpOp, Cond, Expr, FuncBody, Interval, PAff, Pipeline, UnOp};
+use std::fmt;
+
+/// Renders a parameter-affine expression with real parameter names.
+fn paff_str(pipe: &Pipeline, a: &PAff) -> String {
+    let mut s = String::new();
+    let mut first = true;
+    let c = a.num_const();
+    if c != 0 || a.terms().next().is_none() {
+        s.push_str(&c.to_string());
+        first = false;
+    }
+    for (p, q) in a.terms() {
+        if q >= 0 && !first {
+            s.push('+');
+        }
+        let name = pipe.params().get(p.index()).map(String::as_str).unwrap_or("?");
+        match q {
+            1 => s.push_str(name),
+            -1 => {
+                s.push('-');
+                s.push_str(name);
+            }
+            _ => s.push_str(&format!("{q}*{name}")),
+        }
+        first = false;
+    }
+    if a.denominator() != 1 {
+        s.push_str(&format!("/{}", a.denominator()));
+    }
+    s
+}
+
+fn interval_str(pipe: &Pipeline, iv: &Interval) -> String {
+    format!("[{}, {}]", paff_str(pipe, &iv.lo), paff_str(pipe, &iv.hi))
+}
+
+/// Wrapper that renders an expression with a pipeline's names.
+pub struct ExprDisplay<'a> {
+    pipe: &'a Pipeline,
+    expr: &'a Expr,
+}
+
+/// Wrapper that renders a whole pipeline as a Fig. 1-style listing.
+pub struct PipelineDisplay<'a> {
+    pipe: &'a Pipeline,
+}
+
+impl Pipeline {
+    /// Renders an expression with this pipeline's names.
+    pub fn display_expr<'a>(&'a self, expr: &'a Expr) -> ExprDisplay<'a> {
+        ExprDisplay { pipe: self, expr }
+    }
+
+    /// Renders the whole specification as a listing.
+    pub fn display(&self) -> PipelineDisplay<'_> {
+        PipelineDisplay { pipe: self }
+    }
+}
+
+fn write_expr(pipe: &Pipeline, e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Const(c) => {
+            if c.fract() == 0.0 && c.abs() < 1e12 {
+                write!(f, "{}", *c as i64)
+            } else {
+                write!(f, "{c}")
+            }
+        }
+        Expr::Var(v) => write!(f, "{}", pipe.vars().get(v.index()).map(String::as_str).unwrap_or("?")),
+        Expr::Param(p) => {
+            write!(f, "{}", pipe.params().get(p.index()).map(String::as_str).unwrap_or("?"))
+        }
+        Expr::Call(src, args) => {
+            write!(f, "{}(", pipe.source_name(*src))?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(pipe, a, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Unary(op, a) => {
+            let name = match op {
+                UnOp::Neg => "-",
+                UnOp::Abs => "abs",
+                UnOp::Sqrt => "sqrt",
+                UnOp::Exp => "exp",
+                UnOp::Log => "log",
+                UnOp::Sin => "sin",
+                UnOp::Cos => "cos",
+                UnOp::Floor => "floor",
+                UnOp::Ceil => "ceil",
+            };
+            if *op == UnOp::Neg {
+                write!(f, "(-")?;
+                write_expr(pipe, a, f)?;
+                write!(f, ")")
+            } else {
+                write!(f, "{name}(")?;
+                write_expr(pipe, a, f)?;
+                write!(f, ")")
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let tok = match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Min => return write_call2(pipe, "min", a, b, f),
+                BinOp::Max => return write_call2(pipe, "max", a, b, f),
+                BinOp::Mod => " % ",
+                BinOp::Pow => return write_call2(pipe, "pow", a, b, f),
+            };
+            write!(f, "(")?;
+            write_expr(pipe, a, f)?;
+            write!(f, "{tok}")?;
+            write_expr(pipe, b, f)?;
+            write!(f, ")")
+        }
+        Expr::Select(c, a, b) => {
+            write!(f, "select(")?;
+            write_cond(pipe, c, f)?;
+            write!(f, ", ")?;
+            write_expr(pipe, a, f)?;
+            write!(f, ", ")?;
+            write_expr(pipe, b, f)?;
+            write!(f, ")")
+        }
+        Expr::Cast(ty, a) => {
+            write!(f, "cast<{ty}>(")?;
+            write_expr(pipe, a, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn write_call2(
+    pipe: &Pipeline,
+    name: &str,
+    a: &Expr,
+    b: &Expr,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    write!(f, "{name}(")?;
+    write_expr(pipe, a, f)?;
+    write!(f, ", ")?;
+    write_expr(pipe, b, f)?;
+    write!(f, ")")
+}
+
+fn write_cond(pipe: &Pipeline, c: &Cond, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match c {
+        Cond::Cmp(op, a, b) => {
+            let tok = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+            };
+            write_expr(pipe, a, f)?;
+            write!(f, " {tok} ")?;
+            write_expr(pipe, b, f)
+        }
+        Cond::And(a, b) => {
+            write!(f, "(")?;
+            write_cond(pipe, a, f)?;
+            write!(f, " && ")?;
+            write_cond(pipe, b, f)?;
+            write!(f, ")")
+        }
+        Cond::Or(a, b) => {
+            write!(f, "(")?;
+            write_cond(pipe, a, f)?;
+            write!(f, " || ")?;
+            write_cond(pipe, b, f)?;
+            write!(f, ")")
+        }
+        Cond::Not(a) => {
+            write!(f, "!(")?;
+            write_cond(pipe, a, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for ExprDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(self.pipe, self.expr, f)
+    }
+}
+
+impl fmt::Display for PipelineDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.pipe;
+        writeln!(f, "pipeline {} {{", p.name())?;
+        if !p.params().is_empty() {
+            writeln!(f, "  params: {}", p.params().join(", "))?;
+        }
+        for img in p.images() {
+            let dims: Vec<String> =
+                img.extents.iter().map(|e| paff_str(p, e)).collect();
+            writeln!(f, "  image {}: {} [{}]", img.name, img.ty, dims.join(", "))?;
+        }
+        for fd in p.funcs() {
+            let vars: Vec<&str> = fd
+                .var_dom
+                .vars
+                .iter()
+                .map(|v| p.vars().get(v.index()).map(String::as_str).unwrap_or("?"))
+                .collect();
+            let doms: Vec<String> =
+                fd.var_dom.dom.iter().map(|iv| interval_str(p, iv)).collect();
+            writeln!(
+                f,
+                "  {}({}) : {} over {}",
+                fd.name,
+                vars.join(", "),
+                fd.ty,
+                doms.join(" × ")
+            )?;
+            match &fd.body {
+                FuncBody::Undefined => writeln!(f, "    = <undefined>")?,
+                FuncBody::Cases(cases) => {
+                    for case in cases {
+                        match &case.cond {
+                            None => writeln!(f, "    = {}", p.display_expr(&case.expr))?,
+                            Some(c) => {
+                                write!(f, "    | ")?;
+                                write_cond(p, c, f)?;
+                                writeln!(f, " -> {}", p.display_expr(&case.expr))?;
+                            }
+                        }
+                    }
+                }
+                FuncBody::Reduce(acc) => {
+                    let rvars: Vec<&str> = acc
+                        .red_vars
+                        .iter()
+                        .map(|v| p.vars().get(v.index()).map(String::as_str).unwrap_or("?"))
+                        .collect();
+                    let targets: Vec<String> =
+                        acc.target.iter().map(|t| p.display_expr(t).to_string()).collect();
+                    writeln!(
+                        f,
+                        "    reduce({:?}) over ({}) : [{}] <- {}",
+                        acc.op,
+                        rvars.join(", "),
+                        targets.join(", "),
+                        p.display_expr(&acc.value)
+                    )?;
+                }
+            }
+        }
+        let outs: Vec<String> =
+            p.live_outs().iter().map(|&o| p.func(o).name.clone()).collect();
+        writeln!(f, "  live-out: {}", outs.join(", "))?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Accumulate, Case, Interval, PAff, PipelineBuilder, Reduction, ScalarType};
+
+    fn sample() -> Pipeline {
+        let mut p = PipelineBuilder::new("demo");
+        let n = p.param("N");
+        let img = p.image("I", ScalarType::UChar, vec![PAff::param(n)]);
+        let (x, b) = (p.var("x"), p.var("b"));
+        let f = p.func(
+            "f",
+            &[(x, Interval::new(PAff::cst(1), PAff::param(n) - 2))],
+            ScalarType::Float,
+        );
+        p.define(
+            f,
+            vec![Case::new(
+                Expr::from(x).ge(2),
+                (Expr::at(img, [x - 1]) + Expr::at(img, [x + 1])).sqrt() * 0.5,
+            )],
+        )
+        .unwrap();
+        let acc = Accumulate {
+            red_vars: vec![x],
+            red_dom: vec![Interval::cst(0, 9)],
+            target: vec![Expr::at(img, [Expr::from(x)])],
+            value: Expr::Const(1.0),
+            op: Reduction::Sum,
+        };
+        let h = p.accumulator("h", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc).unwrap();
+        p.finish(&[f, h]).unwrap()
+    }
+
+    #[test]
+    fn renders_listing() {
+        let p = sample();
+        let s = p.display().to_string();
+        assert!(s.contains("pipeline demo {"), "{s}");
+        assert!(s.contains("params: N"), "{s}");
+        assert!(s.contains("image I: unsigned char [N]"), "{s}");
+        assert!(s.contains("f(x) : float over [1, -2+N]"), "{s}");
+        assert!(s.contains("| x >= 2 -> "), "{s}");
+        assert!(s.contains("sqrt("), "{s}");
+        assert!(s.contains("reduce(Sum) over (x) : [I(x)] <- 1"), "{s}");
+        assert!(s.contains("live-out: f, h"), "{s}");
+    }
+
+    #[test]
+    fn renders_expressions_with_names() {
+        let p = sample();
+        let x = crate::VarId::from_index(0);
+        let e = Expr::select(
+            Expr::from(x).lt(3),
+            Expr::from(x) * 2.0,
+            Expr::from(x).max(Expr::Const(7.0)),
+        );
+        let s = p.display_expr(&e).to_string();
+        assert_eq!(s, "select(x < 3, (x*2), max(x, 7))");
+    }
+}

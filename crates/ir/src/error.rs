@@ -1,0 +1,81 @@
+//! Error type for DSL construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while building a pipeline specification.
+///
+/// Deeper semantic validation (cycle detection, static bounds checking) is
+/// performed by the `polymage-graph` crate when the specification is
+/// compiled; this type only covers structural errors in the specification
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Two entities of the same kind share a name.
+    DuplicateName(String),
+    /// A function was used before `define` gave it a body.
+    UndefinedFunction(String),
+    /// `define` was called twice for the same function.
+    AlreadyDefined(String),
+    /// A live-out id does not belong to this pipeline.
+    UnknownLiveOut(String),
+    /// A function was declared with differing variable/interval counts.
+    DomainArityMismatch {
+        /// Offending function name.
+        func: String,
+        /// Number of variables declared.
+        vars: usize,
+        /// Number of intervals declared.
+        intervals: usize,
+    },
+    /// A function was defined with an empty case list.
+    EmptyCases(String),
+    /// `finish` was called with no live-out functions.
+    NoLiveOuts,
+    /// The same variable appears twice in one function's domain.
+    RepeatedVariable {
+        /// Offending function name.
+        func: String,
+        /// The repeated variable's name.
+        var: String,
+    },
+    /// An accumulator's target arity differs from its variable domain.
+    TargetArityMismatch {
+        /// Offending accumulator name.
+        func: String,
+        /// Number of target index expressions.
+        targets: usize,
+        /// Number of variable-domain dimensions.
+        dims: usize,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            IrError::UndefinedFunction(n) => {
+                write!(f, "function `{n}` was declared but never defined")
+            }
+            IrError::AlreadyDefined(n) => write!(f, "function `{n}` is already defined"),
+            IrError::UnknownLiveOut(n) => {
+                write!(f, "live-out `{n}` does not belong to this pipeline")
+            }
+            IrError::DomainArityMismatch { func, vars, intervals } => write!(
+                f,
+                "function `{func}` declares {vars} variables but {intervals} intervals"
+            ),
+            IrError::EmptyCases(n) => write!(f, "function `{n}` defined with no cases"),
+            IrError::NoLiveOuts => write!(f, "pipeline has no live-out functions"),
+            IrError::RepeatedVariable { func, var } => {
+                write!(f, "function `{func}` repeats variable `{var}` in its domain")
+            }
+            IrError::TargetArityMismatch { func, targets, dims } => write!(
+                f,
+                "accumulator `{func}` has {targets} target indices for {dims} dimensions"
+            ),
+        }
+    }
+}
+
+impl Error for IrError {}

@@ -1,0 +1,140 @@
+//! Typed identifiers for pipeline entities.
+//!
+//! All DSL entities live in arenas owned by [`crate::PipelineBuilder`]; the
+//! public handles are small copyable ids so user code can pass them around
+//! freely (mirroring how the Python DSL passes object references).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Index of this id within its arena.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+            /// Builds an id from a raw arena index.
+            ///
+            /// Only meaningful for indices previously obtained from
+            /// [`Self::index`] on the same pipeline.
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $tag, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a pipeline parameter (`Parameter` in the paper).
+    ParamId,
+    "p"
+);
+id_type!(
+    /// Handle to an input image (`Image` in the paper).
+    ImageId,
+    "img"
+);
+id_type!(
+    /// Handle to a domain variable (`Variable` in the paper).
+    VarId,
+    "v"
+);
+id_type!(
+    /// Handle to a pipeline function or accumulator (`Function` in the paper).
+    FuncId,
+    "f"
+);
+
+/// The producer referenced by a value access: either another pipeline
+/// function or an input image.
+///
+/// Input images behave like functions that are "already computed", so most of
+/// the compiler treats the two uniformly through this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Source {
+    /// A pipeline function (stage).
+    Func(FuncId),
+    /// An input image.
+    Image(ImageId),
+}
+
+impl Source {
+    /// Returns the function id if this source is a pipeline function.
+    pub fn as_func(self) -> Option<FuncId> {
+        match self {
+            Source::Func(f) => Some(f),
+            Source::Image(_) => None,
+        }
+    }
+
+    /// Returns the image id if this source is an input image.
+    pub fn as_image(self) -> Option<ImageId> {
+        match self {
+            Source::Func(_) => None,
+            Source::Image(i) => Some(i),
+        }
+    }
+}
+
+impl From<FuncId> for Source {
+    fn from(f: FuncId) -> Self {
+        Source::Func(f)
+    }
+}
+
+impl From<ImageId> for Source {
+    fn from(i: ImageId) -> Self {
+        Source::Image(i)
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Source::Func(x) => write!(f, "{x}"),
+            Source::Image(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let f = FuncId::from_index(7);
+        assert_eq!(f.index(), 7);
+        assert_eq!(f.to_string(), "f7");
+    }
+
+    #[test]
+    fn source_accessors() {
+        let s: Source = FuncId::from_index(1).into();
+        assert_eq!(s.as_func(), Some(FuncId::from_index(1)));
+        assert_eq!(s.as_image(), None);
+        let s: Source = ImageId::from_index(2).into();
+        assert_eq!(s.as_image(), Some(ImageId::from_index(2)));
+        assert_eq!(s.as_func(), None);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(VarId::from_index(0));
+        set.insert(VarId::from_index(1));
+        assert_eq!(set.len(), 2);
+        assert!(VarId::from_index(0) < VarId::from_index(1));
+    }
+}

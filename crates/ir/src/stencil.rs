@@ -1,0 +1,178 @@
+//! The `Stencil` convenience constructor from the paper's DSL.
+
+use crate::{Expr, Source, VarId};
+
+/// Builds a 2-D weighted-stencil expression, the paper's
+/// `Stencil(I(x,y), scale, [[w…]…])`.
+///
+/// The kernel is centered: for a `(2k+1)×(2m+1)` kernel, entry `[i][j]`
+/// weights `src(x + i - k, y + j - m)`. Zero weights are skipped. The whole
+/// sum is multiplied by `scale`.
+///
+/// # Panics
+///
+/// Panics if the kernel is empty or ragged.
+pub fn stencil<S, const N: usize>(
+    src: S,
+    vars: &[VarId; 2],
+    scale: f64,
+    kernel: &[[i64; N]],
+) -> Expr
+where
+    S: Into<Source>,
+{
+    assert!(!kernel.is_empty() && N > 0, "stencil kernel must be non-empty");
+    let src = src.into();
+    let (kx, ky) = ((kernel.len() as i64 - 1) / 2, (N as i64 - 1) / 2);
+    let mut sum: Option<Expr> = None;
+    for (i, row) in kernel.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let access =
+                Expr::at(src, [vars[0] + (i as i64 - kx), vars[1] + (j as i64 - ky)]);
+            let term = if w == 1 { access } else { access * w as f64 };
+            sum = Some(match sum {
+                None => term,
+                Some(s) => s + term,
+            });
+        }
+    }
+    let sum = sum.unwrap_or(Expr::Const(0.0));
+    if scale == 1.0 {
+        sum
+    } else {
+        sum * scale
+    }
+}
+
+/// Builds a 1-D weighted stencil along one variable of a (possibly
+/// multi-dimensional) function.
+///
+/// `vars` is the full index list; the stencil slides along `vars[axis]`.
+/// Weights are floating point (Gaussian taps etc.); zero weights are skipped.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or `axis` is out of range.
+pub fn stencil_1d<S>(src: S, vars: &[VarId], axis: usize, scale: f64, weights: &[f64]) -> Expr
+where
+    S: Into<Source>,
+{
+    assert!(!weights.is_empty(), "stencil weights must be non-empty");
+    assert!(axis < vars.len(), "axis out of range");
+    let src = src.into();
+    let k = (weights.len() as i64 - 1) / 2;
+    let mut sum: Option<Expr> = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let args: Vec<Expr> = vars
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| if d == axis { v + (i as i64 - k) } else { Expr::Var(v) })
+            .collect();
+        let access = Expr::at(src, args);
+        let term = if w == 1.0 { access } else { access * w };
+        sum = Some(match sum {
+            None => term,
+            Some(s) => s + term,
+        });
+    }
+    let sum = sum.expect("at least one non-zero weight");
+    if scale == 1.0 {
+        sum
+    } else {
+        sum * scale
+    }
+}
+
+/// Builds a separable 2-D stencil as the outer product of two tap vectors,
+/// expanded into a single expression (used by reference kernels in tests).
+///
+/// # Panics
+///
+/// Panics if either tap vector is empty.
+pub fn stencil_sep<S>(src: S, vars: &[VarId; 2], wx: &[f64], wy: &[f64]) -> Expr
+where
+    S: Into<Source>,
+{
+    assert!(!wx.is_empty() && !wy.is_empty(), "tap vectors must be non-empty");
+    let src = src.into();
+    let (kx, ky) = ((wx.len() as i64 - 1) / 2, (wy.len() as i64 - 1) / 2);
+    let mut sum: Option<Expr> = None;
+    for (i, &a) in wx.iter().enumerate() {
+        for (j, &b) in wy.iter().enumerate() {
+            let w = a * b;
+            if w == 0.0 {
+                continue;
+            }
+            let access =
+                Expr::at(src, [vars[0] + (i as i64 - kx), vars[1] + (j as i64 - ky)]);
+            sum = Some(match sum {
+                None => access * w,
+                Some(s) => s + access * w,
+            });
+        }
+    }
+    sum.expect("at least one non-zero weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImageId;
+
+    fn count_calls(e: &Expr) -> usize {
+        let mut n = 0;
+        crate::visit_exprs(e, &mut |x| {
+            if matches!(x, Expr::Call(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn skips_zero_weights() {
+        let img = ImageId::from_index(0);
+        let vars = [VarId::from_index(0), VarId::from_index(1)];
+        // Sobel-like kernel with a zero column
+        let e = stencil(img, &vars, 1.0 / 12.0, &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]);
+        assert_eq!(count_calls(&e), 6);
+    }
+
+    #[test]
+    fn full_box_kernel() {
+        let img = ImageId::from_index(0);
+        let vars = [VarId::from_index(0), VarId::from_index(1)];
+        let e = stencil(img, &vars, 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]);
+        assert_eq!(count_calls(&e), 9);
+    }
+
+    #[test]
+    fn one_dimensional_taps() {
+        let img = ImageId::from_index(0);
+        let vars = [VarId::from_index(0), VarId::from_index(1)];
+        let e = stencil_1d(img, &vars, 1, 1.0, &[1.0, 4.0, 6.0, 4.0, 1.0]);
+        assert_eq!(count_calls(&e), 5);
+    }
+
+    #[test]
+    fn separable_product() {
+        let img = ImageId::from_index(0);
+        let vars = [VarId::from_index(0), VarId::from_index(1)];
+        let e = stencil_sep(img, &vars, &[1.0, 2.0, 1.0], &[1.0, 2.0, 1.0]);
+        assert_eq!(count_calls(&e), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_kernel_panics() {
+        let img = ImageId::from_index(0);
+        let vars = [VarId::from_index(0), VarId::from_index(1)];
+        let _ = stencil(img, &vars, 1.0, &[] as &[[i64; 3]]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Scalar element types of images and functions.
+
+use std::fmt;
+
+/// Element type of an image or function value.
+///
+/// The paper's DSL supports the usual C scalar types. The PolyMage-rs
+/// execution engine computes in `f32` internally (see the `polymage-vm`
+/// crate); the declared type still matters for input decoding, clamping on
+/// store (`UChar` saturates to `[0, 255]`, etc.) and for the emitted C code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScalarType {
+    /// 8-bit unsigned integer, saturating stores.
+    UChar,
+    /// 8-bit signed integer, saturating stores.
+    Char,
+    /// 16-bit unsigned integer, saturating stores.
+    UShort,
+    /// 16-bit signed integer, saturating stores.
+    Short,
+    /// 32-bit signed integer (values rounded on store).
+    Int,
+    /// 32-bit unsigned integer (values rounded and clamped at 0 on store).
+    UInt,
+    /// 32-bit IEEE float — the native type of the execution engine.
+    #[default]
+    Float,
+    /// 64-bit IEEE float (stored as `f32` by the engine; declared for
+    /// fidelity with paper specs).
+    Double,
+}
+
+impl ScalarType {
+    /// Whether the type is an integer type (stores round to nearest).
+    pub fn is_integral(self) -> bool {
+        !matches!(self, ScalarType::Float | ScalarType::Double)
+    }
+
+    /// Inclusive value range enforced on store, if the type saturates.
+    ///
+    /// `Float`/`Double` and the 32-bit integer types are not clamped
+    /// (32-bit ranges exceed what `f32` arithmetic distinguishes).
+    pub fn saturation_range(self) -> Option<(f64, f64)> {
+        match self {
+            ScalarType::UChar => Some((0.0, 255.0)),
+            ScalarType::Char => Some((-128.0, 127.0)),
+            ScalarType::UShort => Some((0.0, 65_535.0)),
+            ScalarType::Short => Some((-32_768.0, 32_767.0)),
+            _ => None,
+        }
+    }
+
+    /// The C type name used by the code emitter.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            ScalarType::UChar => "unsigned char",
+            ScalarType::Char => "char",
+            ScalarType::UShort => "unsigned short",
+            ScalarType::Short => "short",
+            ScalarType::Int => "int",
+            ScalarType::UInt => "unsigned int",
+            ScalarType::Float => "float",
+            ScalarType::Double => "double",
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.c_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_classification() {
+        assert!(ScalarType::UChar.is_integral());
+        assert!(ScalarType::Int.is_integral());
+        assert!(!ScalarType::Float.is_integral());
+        assert!(!ScalarType::Double.is_integral());
+    }
+
+    #[test]
+    fn saturation_ranges() {
+        assert_eq!(ScalarType::UChar.saturation_range(), Some((0.0, 255.0)));
+        assert_eq!(ScalarType::Short.saturation_range(), Some((-32768.0, 32767.0)));
+        assert_eq!(ScalarType::Float.saturation_range(), None);
+        assert_eq!(ScalarType::Int.saturation_range(), None);
+    }
+
+    #[test]
+    fn c_names() {
+        assert_eq!(ScalarType::Float.to_string(), "float");
+        assert_eq!(ScalarType::UChar.to_string(), "unsigned char");
+    }
+}

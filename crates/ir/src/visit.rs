@@ -1,0 +1,110 @@
+//! Expression tree traversal helpers used across the compiler crates.
+
+use crate::{Cond, Expr, FuncBody, FuncDef};
+
+/// Visitor callback over every [`Expr`] node in a tree (pre-order).
+pub type ExprVisitor<'a> = dyn FnMut(&Expr) + 'a;
+
+/// Visits `e` and every sub-expression, including those nested inside
+/// `Select` conditions, in pre-order.
+pub fn visit_exprs(e: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Param(_) => {}
+        Expr::Call(_, args) => {
+            for a in args {
+                visit_exprs(a, f);
+            }
+        }
+        Expr::Unary(_, a) => visit_exprs(a, f),
+        Expr::Binary(_, a, b) => {
+            visit_exprs(a, f);
+            visit_exprs(b, f);
+        }
+        Expr::Select(c, a, b) => {
+            visit_cond(c, f);
+            visit_exprs(a, f);
+            visit_exprs(b, f);
+        }
+        Expr::Cast(_, a) => visit_exprs(a, f),
+    }
+}
+
+/// Visits every expression inside a condition tree.
+pub fn visit_cond(c: &Cond, f: &mut dyn FnMut(&Expr)) {
+    match c {
+        Cond::Cmp(_, a, b) => {
+            visit_exprs(a, f);
+            visit_exprs(b, f);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            visit_cond(a, f);
+            visit_cond(b, f);
+        }
+        Cond::Not(a) => visit_cond(a, f),
+    }
+}
+
+/// Visits every expression appearing anywhere in a function definition:
+/// case guards, case bodies, reduction targets and values.
+pub fn visit_func_exprs(fd: &FuncDef, f: &mut dyn FnMut(&Expr)) {
+    match &fd.body {
+        FuncBody::Undefined => {}
+        FuncBody::Cases(cases) => {
+            for c in cases {
+                if let Some(g) = &c.cond {
+                    visit_cond(g, f);
+                }
+                visit_exprs(&c.expr, f);
+            }
+        }
+        FuncBody::Reduce(acc) => {
+            for t in &acc.target {
+                visit_exprs(t, f);
+            }
+            visit_exprs(&acc.value, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, VarId};
+
+    #[test]
+    fn visits_all_nodes() {
+        let x = Expr::from(VarId::from_index(0));
+        let e = Expr::select(x.clone().gt(0.0), x.clone() + 1.0, x * 2.0);
+        let mut n = 0;
+        visit_exprs(&e, &mut |_| n += 1);
+        // select + cond(2: var, const) + (add: var, const) + (mul: var, const)
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn visits_nested_conditions() {
+        let x = Expr::from(VarId::from_index(0));
+        let c = (x.clone().gt(0.0) & x.clone().lt(5.0)) | !(x.eq_(7.0));
+        let mut consts = 0;
+        visit_cond(&c, &mut |e| {
+            if matches!(e, Expr::Const(_)) {
+                consts += 1;
+            }
+        });
+        assert_eq!(consts, 3);
+    }
+
+    #[test]
+    fn preorder_root_first() {
+        let x = Expr::from(VarId::from_index(0));
+        let e = x + 1.0;
+        let mut first = None;
+        visit_exprs(&e, &mut |n| {
+            if first.is_none() {
+                first = Some(matches!(n, Expr::Binary(BinOp::Add, ..)));
+            }
+        });
+        assert_eq!(first, Some(true));
+    }
+}

@@ -1,0 +1,134 @@
+//! Extraction and classification of value accesses from stage definitions.
+
+use crate::VAff;
+use polymage_ir::{visit_func_exprs, Expr, FuncDef, Source};
+
+/// One dimension of an access: either an affine index expression or a
+/// data-dependent (dynamic) index.
+///
+/// Dynamic dimensions arise from histogram targets (`hist(I(x,y))`), lookup
+/// tables (`curve(val)`), and grid slicing (`grid(x/s, y/s, z(x,y))`). The
+/// grouping heuristic treats a dynamic dimension as "the whole extent of the
+/// producer along that dimension is needed".
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessDim {
+    /// Index is affine in the consumer's domain variables and parameters.
+    Affine(VAff),
+    /// Index depends on data (or is otherwise non-affine).
+    Dynamic,
+}
+
+impl AccessDim {
+    /// The affine form, if this dimension is affine.
+    pub fn as_affine(&self) -> Option<&VAff> {
+        match self {
+            AccessDim::Affine(a) => Some(a),
+            AccessDim::Dynamic => None,
+        }
+    }
+}
+
+/// A value access `src(e₀, e₁, …)` found in a stage definition, with each
+/// index expression classified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// The producer being read.
+    pub src: Source,
+    /// One entry per producer dimension.
+    pub dims: Vec<AccessDim>,
+}
+
+impl Access {
+    /// Whether every dimension is affine.
+    pub fn is_fully_affine(&self) -> bool {
+        self.dims.iter().all(|d| matches!(d, AccessDim::Affine(_)))
+    }
+}
+
+/// Extracts every access of `fd`, classifying each index dimension.
+///
+/// Accesses are deduplicated structurally: `Ix(x,y) * Ix(x,y)` yields one
+/// access. Accesses nested inside index expressions of other accesses (e.g.
+/// the `I(x,y)` inside `hist(I(x,y))`) are reported as separate accesses.
+pub fn extract_accesses(fd: &FuncDef) -> Vec<Access> {
+    let mut out: Vec<Access> = Vec::new();
+    visit_func_exprs(fd, &mut |e| {
+        if let Expr::Call(src, args) = e {
+            let dims: Vec<AccessDim> = args
+                .iter()
+                .map(|a| match VAff::from_expr(a) {
+                    Some(v) => AccessDim::Affine(v),
+                    None => AccessDim::Dynamic,
+                })
+                .collect();
+            let acc = Access { src: *src, dims };
+            if !out.contains(&acc) {
+                out.push(acc);
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Case, Interval, PipelineBuilder, ScalarType};
+
+    #[test]
+    fn extracts_and_dedups() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let img = p.image("I", ScalarType::Float, vec![polymage_ir::PAff::cst(100)]);
+        let f = p.func("f", &[(x, Interval::cst(0, 99))], ScalarType::Float);
+        let a = Expr::at(img, [x + 0]);
+        p.define(f, vec![Case::always(a.clone() * a)]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let accs = extract_accesses(pipe.func(f));
+        assert_eq!(accs.len(), 1);
+        assert!(accs[0].is_fully_affine());
+    }
+
+    #[test]
+    fn classifies_dynamic_dims() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let img = p.image("I", ScalarType::Float, vec![polymage_ir::PAff::cst(100)]);
+        let lut = p.func("lut", &[(x, Interval::cst(0, 255))], ScalarType::Float);
+        p.define(lut, vec![Case::always(Expr::from(x) * 2.0)]).unwrap();
+        let f = p.func("f", &[(x, Interval::cst(0, 99))], ScalarType::Float);
+        // data-dependent access: lut(I(x))
+        let e = Expr::at(lut, [Expr::at(img, [Expr::from(x)])]);
+        p.define(f, vec![Case::always(e)]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let accs = extract_accesses(pipe.func(f));
+        assert_eq!(accs.len(), 2);
+        let lut_acc = accs.iter().find(|a| a.src.as_func().is_some()).unwrap();
+        assert!(matches!(lut_acc.dims[0], AccessDim::Dynamic));
+        assert!(!lut_acc.is_fully_affine());
+        let img_acc = accs.iter().find(|a| a.src.as_image().is_some()).unwrap();
+        assert!(img_acc.is_fully_affine());
+    }
+
+    #[test]
+    fn extracts_from_guards_and_reductions() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let b = p.var("b");
+        let img = p.image("I", ScalarType::UChar, vec![polymage_ir::PAff::cst(100)]);
+        let acc = polymage_ir::Accumulate {
+            red_vars: vec![x],
+            red_dom: vec![Interval::cst(0, 99)],
+            target: vec![Expr::at(img, [Expr::from(x)])],
+            value: Expr::Const(1.0),
+            op: polymage_ir::Reduction::Sum,
+        };
+        let h = p
+            .accumulator("hist", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc)
+            .unwrap();
+        let pipe = p.finish(&[h]).unwrap();
+        let accs = extract_accesses(pipe.func(h));
+        assert_eq!(accs.len(), 1);
+        assert!(accs[0].is_fully_affine());
+    }
+}

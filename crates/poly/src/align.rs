@@ -1,0 +1,532 @@
+//! Alignment and scaling of function schedules (paper §3.3).
+//!
+//! A group of heterogeneous stages can only be overlap-tiled when, after
+//! per-function schedule scaling and dimension alignment, every intra-group
+//! dependence component is bounded by constants. This module solves for
+//! those per-function, per-dimension scaling factors, taking the group's
+//! sink stage as the reference frame (scale 1 on each of its dimensions).
+//!
+//! For an access `p((q·x + o)/m)` from consumer dimension with scale `σc`,
+//! the producer dimension must be scheduled with scale `σp = σc·m/q`; the
+//! upsampled stage in Fig. 6 (`f↑(x) = h(x/2)`, i.e. `q=1, m=2`) thereby
+//! gets the stretched schedule `(x) → 2x` shown in the paper. Conflicting
+//! requirements (e.g. `g(x/2) + g(x/4)`, or the transpose
+//! `g(x,y) + g(y,x)`) make the group unalignable, which the grouping
+//! heuristic treats as "do not merge".
+
+use crate::{extract_accesses, Access, AccessDim, Ratio};
+use polymage_ir::{FuncId, Pipeline, Source, VarId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// How one dimension of a stage relates to the group's schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimMap {
+    /// Aligned to group dimension `gdim` with the given scale: the scheduled
+    /// coordinate of a point `x` along this dimension is `scale · x`.
+    Grouped {
+        /// Index of the group schedule dimension.
+        gdim: usize,
+        /// Schedule scaling factor (integral after normalization).
+        scale: Ratio,
+    },
+    /// Not aligned to any group dimension; the whole extent is computed
+    /// inside each tile (e.g. a color-channel or grid-depth dimension).
+    Free,
+}
+
+/// Result of alignment and scaling for a candidate group.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// Number of group schedule dimensions (the sink's dimensionality).
+    pub ndims: usize,
+    /// Per stage, one [`DimMap`] per stage dimension.
+    pub maps: HashMap<FuncId, Vec<DimMap>>,
+    /// The reference (sink) stage.
+    pub sink: FuncId,
+}
+
+impl Alignment {
+    /// The map of one stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not part of the aligned group.
+    pub fn map(&self, f: FuncId) -> &[DimMap] {
+        &self.maps[&f]
+    }
+
+    /// The scale of stage `f` on group dimension `gdim`, if some dimension
+    /// of `f` aligns there.
+    pub fn scale_on(&self, f: FuncId, gdim: usize) -> Option<Ratio> {
+        self.maps[&f].iter().find_map(|m| match m {
+            DimMap::Grouped { gdim: g, scale } if *g == gdim => Some(*scale),
+            _ => None,
+        })
+    }
+}
+
+/// Why a candidate group cannot be aligned/scaled (and hence not merged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// Two accesses require different scales for the same dimension
+    /// (`g(x/2) + g(x/4)`).
+    ScaleConflict {
+        /// Stage whose dimension is over-constrained.
+        func: String,
+        /// The dimension index.
+        dim: usize,
+    },
+    /// Two accesses align one dimension to different group dimensions
+    /// (`g(x,y) + g(y,x)`).
+    PlacementConflict {
+        /// Stage whose dimension is over-constrained.
+        func: String,
+        /// The dimension index.
+        dim: usize,
+    },
+    /// An index expression mixes several variables (`g(x + y)`), which this
+    /// per-dimension framework cannot align.
+    MultiVariableIndex {
+        /// Consumer stage containing the access.
+        func: String,
+    },
+    /// An index has a negative variable coefficient (reflection), which
+    /// would need a schedule reversal we do not model.
+    NegativeCoefficient {
+        /// Consumer stage containing the access.
+        func: String,
+    },
+    /// An index offset depends on a parameter, so the dependence distance is
+    /// not a compile-time constant.
+    ParametricOffset {
+        /// Consumer stage containing the access.
+        func: String,
+    },
+    /// A constant index selects a fixed coordinate of a dimension that other
+    /// consumers aligned to the schedule, making the dependence distance
+    /// position-dependent.
+    ConstantIntoGrouped {
+        /// Producer stage.
+        func: String,
+        /// The producer dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::ScaleConflict { func, dim } => {
+                write!(f, "conflicting schedule scales for `{func}` dimension {dim}")
+            }
+            AlignError::PlacementConflict { func, dim } => {
+                write!(f, "conflicting alignment for `{func}` dimension {dim}")
+            }
+            AlignError::MultiVariableIndex { func } => {
+                write!(f, "multi-variable index expression in `{func}`")
+            }
+            AlignError::NegativeCoefficient { func } => {
+                write!(f, "negative index coefficient in `{func}`")
+            }
+            AlignError::ParametricOffset { func } => {
+                write!(f, "parameter-dependent index offset in `{func}`")
+            }
+            AlignError::ConstantIntoGrouped { func, dim } => write!(
+                f,
+                "constant index into scheduled dimension {dim} of `{func}`"
+            ),
+        }
+    }
+}
+
+impl Error for AlignError {}
+
+/// Computes alignment and scaling for the candidate group `group` with sink
+/// stage `sink` (which must be in `group`).
+///
+/// Stages are processed consumers-first so that each producer inherits its
+/// constraints from already-aligned consumers; dimensions never constrained
+/// by any consumer stay [`DimMap::Free`]. On success every intra-group
+/// dependence is expressible with constant (bounded) components in the
+/// scaled schedule space.
+///
+/// # Errors
+///
+/// See [`AlignError`]; any error means "this group must not be fused".
+///
+/// # Panics
+///
+/// Panics if `sink` is not in `group`.
+pub fn solve_alignment(
+    pipe: &Pipeline,
+    group: &[FuncId],
+    sink: FuncId,
+) -> Result<Alignment, AlignError> {
+    assert!(group.contains(&sink), "sink must belong to the group");
+    let ndims = pipe.func(sink).dims();
+    let mut maps: HashMap<FuncId, Vec<DimMap>> = HashMap::new();
+    for &f in group {
+        maps.insert(f, vec![DimMap::Free; pipe.func(f).dims()]);
+    }
+    // The sink is the reference: identity alignment.
+    maps.insert(
+        sink,
+        (0..ndims).map(|d| DimMap::Grouped { gdim: d, scale: Ratio::ONE }).collect(),
+    );
+
+    // Process consumers before producers: reverse topological order of the
+    // group subgraph, derived by repeatedly taking stages all of whose
+    // in-group consumers are already processed.
+    let order = reverse_topo(pipe, group);
+
+    for &c in &order {
+        let cdef = pipe.func(c);
+        let cvars = &cdef.var_dom.vars;
+        let cmap = maps[&c].clone();
+        for acc in extract_accesses(cdef) {
+            let p = match acc.src {
+                Source::Func(p) if group.contains(&p) => p,
+                _ => continue,
+            };
+            apply_access_constraints(pipe, &acc, c, cvars, &cmap, p, &mut maps)?;
+        }
+    }
+
+    // Detect constant indices into dimensions that ended up grouped: the
+    // dependence distance would grow with position.
+    for &c in group {
+        let cdef = pipe.func(c);
+        for acc in extract_accesses(cdef) {
+            let p = match acc.src {
+                Source::Func(p) if group.contains(&p) => p,
+                _ => continue,
+            };
+            for (j, dim) in acc.dims.iter().enumerate() {
+                if let AccessDim::Affine(a) = dim {
+                    if a.is_const() {
+                        if let DimMap::Grouped { .. } = maps[&p][j] {
+                            return Err(AlignError::ConstantIntoGrouped {
+                                func: pipe.func(p).name.clone(),
+                                dim: j,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    normalize_scales(&mut maps, ndims);
+    Ok(Alignment { ndims, maps, sink })
+}
+
+/// Applies the constraints of one access from consumer `c` to producer `p`.
+fn apply_access_constraints(
+    pipe: &Pipeline,
+    acc: &Access,
+    c: FuncId,
+    cvars: &[VarId],
+    cmap: &[DimMap],
+    p: FuncId,
+    maps: &mut HashMap<FuncId, Vec<DimMap>>,
+) -> Result<(), AlignError> {
+    let cname = || pipe.func(c).name.clone();
+    for (j, dim) in acc.dims.iter().enumerate() {
+        let a = match dim {
+            AccessDim::Affine(a) => a,
+            AccessDim::Dynamic => continue,
+        };
+        if a.is_const() {
+            continue; // no alignment constraint; legality checked later
+        }
+        let (v, q) = match a.single_var() {
+            Some(vq) => vq,
+            None => return Err(AlignError::MultiVariableIndex { func: cname() }),
+        };
+        if q < 0 {
+            return Err(AlignError::NegativeCoefficient { func: cname() });
+        }
+        if a.cst.as_const().is_none() {
+            return Err(AlignError::ParametricOffset { func: cname() });
+        }
+        // Which consumer dimension does v belong to?
+        let dc = match cvars.iter().position(|&u| u == v) {
+            Some(d) => d,
+            None => continue, // reduction variable or foreign var: no constraint
+        };
+        let (gdim, sc) = match cmap[dc] {
+            DimMap::Grouped { gdim, scale } => (gdim, scale),
+            DimMap::Free => continue,
+        };
+        let required = sc * Ratio::new(a.den, q);
+        let pmap = maps.get_mut(&p).expect("producer in group");
+        match pmap[j] {
+            DimMap::Free => pmap[j] = DimMap::Grouped { gdim, scale: required },
+            DimMap::Grouped { gdim: g2, scale: s2 } => {
+                if g2 != gdim {
+                    return Err(AlignError::PlacementConflict {
+                        func: pipe.func(p).name.clone(),
+                        dim: j,
+                    });
+                }
+                if s2 != required {
+                    return Err(AlignError::ScaleConflict {
+                        func: pipe.func(p).name.clone(),
+                        dim: j,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Orders `group` so that every stage appears before the stages it reads
+/// (consumers first).
+fn reverse_topo(pipe: &Pipeline, group: &[FuncId]) -> Vec<FuncId> {
+    // consumer -> producers edges within the group
+    let mut order: Vec<FuncId> = Vec::with_capacity(group.len());
+    let mut placed: Vec<bool> = vec![false; pipe.funcs().len()];
+    // consumers_of[p] = in-group stages that read p
+    let mut remaining: Vec<FuncId> = group.to_vec();
+    // Iteratively emit stages whose in-group consumers are all placed.
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next = Vec::new();
+        for &f in &remaining {
+            let mut ready = true;
+            for &c in group {
+                if c == f || placed[c.index()] {
+                    continue;
+                }
+                let reads_f = extract_accesses(pipe.func(c))
+                    .iter()
+                    .any(|a| a.src == Source::Func(f));
+                if reads_f {
+                    ready = false;
+                    break;
+                }
+            }
+            if ready {
+                order.push(f);
+                placed[f.index()] = true;
+                progressed = true;
+            } else {
+                next.push(f);
+            }
+        }
+        remaining = next;
+        if !progressed {
+            // Cycle inside the group (self-referencing stages): emit the
+            // rest in declaration order; alignment constraints still apply.
+            order.extend(remaining.iter().copied());
+            break;
+        }
+    }
+    order
+}
+
+/// Scales each group dimension's factors to integers (LCM of denominators).
+fn normalize_scales(maps: &mut HashMap<FuncId, Vec<DimMap>>, ndims: usize) {
+    for g in 0..ndims {
+        let mut l = 1i64;
+        for dims in maps.values() {
+            for m in dims {
+                if let DimMap::Grouped { gdim, scale } = m {
+                    if *gdim == g {
+                        l = crate::ratio::lcm(l, scale.den());
+                    }
+                }
+            }
+        }
+        if l == 1 {
+            continue;
+        }
+        for dims in maps.values_mut() {
+            for m in dims.iter_mut() {
+                if let DimMap::Grouped { gdim, scale } = m {
+                    if *gdim == g {
+                        *scale = *scale * Ratio::int(l);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::{Case, Expr, Interval, PipelineBuilder, ScalarType};
+
+    /// Builds the 1-D sampling chain of Fig. 6:
+    /// f(x)=in(x); g(x)=f(2x-1)+f(2x+1); h(x)=g(2x-1)+g(2x+1);
+    /// fup(x)=h(x/2); fout(x)=fup(x/2).
+    fn fig6() -> (polymage_ir::Pipeline, Vec<FuncId>, FuncId) {
+        let mut p = PipelineBuilder::new("fig6");
+        let n = p.param("N");
+        let img = p.image("in", ScalarType::Float, vec![polymage_ir::PAff::param(n)]);
+        let x = p.var("x");
+        let dom = |k: i64| {
+            Interval::new(polymage_ir::PAff::cst(2), polymage_ir::PAff::param(n) / k - 2)
+        };
+        let f = p.func("f", &[(x, dom(1))], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        let g = p.func("g", &[(x, dom(2))], ScalarType::Float);
+        p.define(
+            g,
+            vec![Case::always(
+                Expr::at(f, [2i64 * Expr::from(x) - 1]) + Expr::at(f, [2i64 * Expr::from(x) + 1]),
+            )],
+        )
+        .unwrap();
+        let h = p.func("h", &[(x, dom(4))], ScalarType::Float);
+        p.define(
+            h,
+            vec![Case::always(
+                Expr::at(g, [2i64 * Expr::from(x) - 1]) + Expr::at(g, [2i64 * Expr::from(x) + 1]),
+            )],
+        )
+        .unwrap();
+        let fup = p.func("fup", &[(x, dom(2))], ScalarType::Float);
+        p.define(fup, vec![Case::always(Expr::at(h, [Expr::from(x) / 2]))]).unwrap();
+        let fout = p.func("fout", &[(x, dom(1))], ScalarType::Float);
+        p.define(fout, vec![Case::always(Expr::at(fup, [Expr::from(x) / 2]))]).unwrap();
+        let pipe = p.finish(&[fout]).unwrap();
+        (pipe, vec![f, g, h, fup, fout], vec![fout][0])
+    }
+
+    #[test]
+    fn fig6_scales_match_paper() {
+        let (pipe, group, sink) = fig6();
+        let al = solve_alignment(&pipe, &group, sink).unwrap();
+        // Paper's scaled schedules: f→x, g→2x, h→4x, f↑→2x, fout→x.
+        let expect = [1i64, 2, 4, 2, 1];
+        for (i, f) in group.iter().enumerate() {
+            match al.map(*f)[0] {
+                DimMap::Grouped { gdim, scale } => {
+                    assert_eq!(gdim, 0);
+                    assert_eq!(scale, Ratio::int(expect[i]), "func index {i}");
+                }
+                DimMap::Free => panic!("func {i} should be grouped"),
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_a_placement_conflict() {
+        let mut p = PipelineBuilder::new("t");
+        let (x, y) = (p.var("x"), p.var("y"));
+        let d = Interval::cst(0, 63);
+        let g = p.func("g", &[(x, d.clone()), (y, d.clone())], ScalarType::Float);
+        p.define(g, vec![Case::always(Expr::from(x) + Expr::from(y))]).unwrap();
+        let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
+        p.define(
+            f,
+            vec![Case::always(
+                Expr::at(g, [Expr::from(x), Expr::from(y)])
+                    + Expr::at(g, [Expr::from(y), Expr::from(x)]),
+            )],
+        )
+        .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let err = solve_alignment(&pipe, &[g, f], f).unwrap_err();
+        assert!(matches!(err, AlignError::PlacementConflict { .. }));
+    }
+
+    #[test]
+    fn mixed_rates_are_a_scale_conflict() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let d = Interval::cst(0, 255);
+        let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
+        p.define(g, vec![Case::always(Expr::from(x))]).unwrap();
+        let f = p.func("f", &[(x, d)], ScalarType::Float);
+        p.define(
+            f,
+            vec![Case::always(
+                Expr::at(g, [Expr::from(x) / 2]) + Expr::at(g, [Expr::from(x) / 4]),
+            )],
+        )
+        .unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let err = solve_alignment(&pipe, &[g, f], f).unwrap_err();
+        assert!(matches!(err, AlignError::ScaleConflict { .. }));
+    }
+
+    #[test]
+    fn channel_dim_stays_free() {
+        // gray(x,y) = I-like 3-channel producer rgb(c,x,y) read at constants
+        let mut p = PipelineBuilder::new("t");
+        let (c, x, y) = (p.var("c"), p.var("x"), p.var("y"));
+        let d = Interval::cst(0, 63);
+        let rgb = p.func(
+            "rgb",
+            &[(c, Interval::cst(0, 2)), (x, d.clone()), (y, d.clone())],
+            ScalarType::Float,
+        );
+        p.define(rgb, vec![Case::always(Expr::from(x) * 1.0)]).unwrap();
+        let gray = p.func("gray", &[(x, d.clone()), (y, d)], ScalarType::Float);
+        p.define(
+            gray,
+            vec![Case::always(
+                Expr::at(rgb, [Expr::i(0), Expr::from(x), Expr::from(y)]) * 0.114
+                    + Expr::at(rgb, [Expr::i(1), Expr::from(x), Expr::from(y)]) * 0.587
+                    + Expr::at(rgb, [Expr::i(2), Expr::from(x), Expr::from(y)]) * 0.299,
+            )],
+        )
+        .unwrap();
+        let pipe = p.finish(&[gray]).unwrap();
+        let al = solve_alignment(&pipe, &[rgb, gray], gray).unwrap();
+        assert_eq!(al.map(rgb)[0], DimMap::Free);
+        assert!(matches!(al.map(rgb)[1], DimMap::Grouped { gdim: 0, .. }));
+        assert!(matches!(al.map(rgb)[2], DimMap::Grouped { gdim: 1, .. }));
+    }
+
+    #[test]
+    fn parametric_offset_rejected() {
+        let mut p = PipelineBuilder::new("t");
+        let n = p.param("N");
+        let x = p.var("x");
+        let d = Interval::new(polymage_ir::PAff::cst(0), polymage_ir::PAff::param(n));
+        let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
+        p.define(g, vec![Case::always(Expr::from(x))]).unwrap();
+        let f = p.func("f", &[(x, d)], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::at(g, [x + Expr::Param(n)]))]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let err = solve_alignment(&pipe, &[g, f], f).unwrap_err();
+        assert_eq!(err, AlignError::ParametricOffset { func: "f".into() });
+    }
+
+    #[test]
+    fn multi_variable_index_rejected() {
+        let mut p = PipelineBuilder::new("t");
+        let (x, y) = (p.var("x"), p.var("y"));
+        let d = Interval::cst(0, 63);
+        let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
+        p.define(g, vec![Case::always(Expr::from(x))]).unwrap();
+        let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::at(g, [x + Expr::from(y)]))]).unwrap();
+        let pipe = p.finish(&[f]).unwrap();
+        let err = solve_alignment(&pipe, &[g, f], f).unwrap_err();
+        assert_eq!(err, AlignError::MultiVariableIndex { func: "f".into() });
+    }
+
+    #[test]
+    fn stencil_chain_identity_scales() {
+        let mut p = PipelineBuilder::new("t");
+        let x = p.var("x");
+        let d = Interval::cst(1, 62);
+        let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
+        p.define(a, vec![Case::always(Expr::from(x))]).unwrap();
+        let b = p.func("b", &[(x, d)], ScalarType::Float);
+        p.define(b, vec![Case::always(Expr::at(a, [x - 1]) + Expr::at(a, [x + 1]))])
+            .unwrap();
+        let pipe = p.finish(&[b]).unwrap();
+        let al = solve_alignment(&pipe, &[a, b], b).unwrap();
+        assert_eq!(al.scale_on(a, 0), Some(Ratio::ONE));
+        assert_eq!(al.scale_on(b, 0), Some(Ratio::ONE));
+    }
+}

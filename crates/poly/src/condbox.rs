@@ -1,0 +1,389 @@
+//! Narrowing rectangles by affine case guards.
+//!
+//! Case guards in the DSL are usually rectangular — conjunctions of
+//! single-variable affine comparisons like `x >= 1 & x <= R & y >= 2`
+//! (Fig. 1 of the paper). This module intersects such guards into a
+//! [`Rect`], which lets the compiler clip loop bounds instead of testing the
+//! guard per pixel (the paper's "avoids branching in the innermost loops by
+//! splitting function domains"). Conjuncts that are not single-variable
+//! affine comparisons are left as a *residual* the execution engine must
+//! still evaluate point-wise.
+
+use crate::{Rect, VAff};
+use polymage_ir::{CmpOp, Cond, VarId};
+
+/// Result of narrowing a rectangle by a guard condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NarrowedRect {
+    /// The narrowed rectangle (a subset of the input rectangle).
+    pub rect: Rect,
+    /// Whether the guard was captured completely by the rectangle and
+    /// strides. If `false`, the guard must still be evaluated per point
+    /// inside `rect` (e.g. data-dependent or disjunctive guards).
+    pub exact: bool,
+    /// Per-dimension `(stride, phase)` constraints from parity guards like
+    /// `x % 2 == 1` (the paper's interleaved access patterns): the case
+    /// applies only where `coord ≡ phase (mod stride)`. Identity is
+    /// `(1, 0)`.
+    pub steps: Vec<(i64, i64)>,
+}
+
+impl NarrowedRect {
+    /// Whether any dimension carries a non-trivial stride.
+    pub fn is_strided(&self) -> bool {
+        self.steps.iter().any(|&(s, _)| s != 1)
+    }
+}
+
+/// Intersects `rect` with the box implied by `cond`.
+///
+/// `vars` are the domain variables corresponding to `rect`'s dimensions.
+/// Only conjunctions of single-variable affine comparisons narrow the box;
+/// everything else (disjunctions, negations, data-dependent comparisons,
+/// multi-variable comparisons) is reported as non-exact and left to
+/// point-wise evaluation.
+pub fn narrow_rect_by_cond(
+    cond: &Cond,
+    vars: &[VarId],
+    rect: &Rect,
+    params: &[i64],
+) -> NarrowedRect {
+    let mut out = rect.clone();
+    let mut steps = vec![(1i64, 0i64); rect.ndim()];
+    let mut exact = true;
+    for c in cond.conjuncts() {
+        match c {
+            Cond::Cmp(op, a, b) => {
+                if apply_stride(*op, a, b, vars, &mut steps) {
+                    continue;
+                }
+                if !apply_cmp(*op, a, b, vars, &mut out, params) {
+                    exact = false;
+                }
+            }
+            _ => exact = false,
+        }
+    }
+    NarrowedRect { rect: out, exact, steps }
+}
+
+/// Recognizes `v % m == k` (with `%` the DSL's euclidean remainder) as a
+/// stride constraint. Returns `true` when captured.
+fn apply_stride(
+    op: CmpOp,
+    a: &polymage_ir::Expr,
+    b: &polymage_ir::Expr,
+    vars: &[VarId],
+    steps: &mut [(i64, i64)],
+) -> bool {
+    use polymage_ir::{BinOp, Expr};
+    if op != CmpOp::Eq {
+        return false;
+    }
+    let (lhs, rhs) = match (a, b) {
+        (Expr::Binary(BinOp::Mod, _, _), _) => (a, b),
+        (_, Expr::Binary(BinOp::Mod, _, _)) => (b, a),
+        _ => return false,
+    };
+    let Expr::Binary(BinOp::Mod, inner, modulus) = lhs else { return false };
+    let (Some(va), Some(vm), Some(vk)) = (
+        VAff::from_expr(inner),
+        VAff::from_expr(modulus),
+        VAff::from_expr(rhs),
+    ) else {
+        return false;
+    };
+    // inner must be a bare variable; modulus and phase plain constants
+    let Some((v, 1)) = va.single_var() else { return false };
+    if va.den != 1 || va.cst.as_const() != Some(0) {
+        return false;
+    }
+    let (Some(m), Some(k)) = (
+        if vm.is_const() && vm.den == 1 { vm.cst.as_const() } else { None },
+        if vk.is_const() && vk.den == 1 { vk.cst.as_const() } else { None },
+    ) else {
+        return false;
+    };
+    if m <= 1 || !(0..m).contains(&k) {
+        return false;
+    }
+    let Some(d) = vars.iter().position(|&u| u == v) else { return false };
+    if steps[d] != (1, 0) {
+        return false; // don't compose multiple strides on one dim
+    }
+    steps[d] = (m, k);
+    true
+}
+
+/// Tries to apply `a op b` as a bound on one rectangle dimension.
+/// Returns `false` when the comparison could not be captured.
+fn apply_cmp(
+    op: CmpOp,
+    a: &polymage_ir::Expr,
+    b: &polymage_ir::Expr,
+    vars: &[VarId],
+    rect: &mut Rect,
+    params: &[i64],
+) -> bool {
+    let (va, vb) = (VAff::from_expr(a), VAff::from_expr(b));
+    let (va, vb) = match (va, vb) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return false,
+    };
+    // Normalize to: var_side op const_side
+    let (var_side, const_side, op) = if !va.is_const() && vb.is_const() {
+        (va, vb, op)
+    } else if va.is_const() && !vb.is_const() {
+        (vb, va, flip(op))
+    } else {
+        return false; // both const (trivial) or both variable (not a box)
+    };
+    let (v, q) = match var_side.single_var() {
+        Some(vq) if vq.1 != 0 => vq,
+        _ => return false,
+    };
+    let d = match vars.iter().position(|&u| u == v) {
+        Some(d) => d,
+        None => return false,
+    };
+    let k = const_side.eval(&[], &[], params);
+    let (m, q_raw, c) = (var_side.den, q, var_side.cst.eval(params));
+    // var_side = floor((q·v + c) / m). Express bounds on v.
+    // We only handle q > 0; for negative coefficients negate both sides
+    // (q·v + c ⋈ K  ⟺  −q·v − c ⋚ −K), which is only floor-sound for m = 1.
+    let (q, c, k, op) = if q_raw > 0 {
+        (q_raw, c, k, op)
+    } else if m == 1 {
+        (-q_raw, -c, -k, flip_strictness(op))
+    } else {
+        return false;
+    };
+    match op {
+        CmpOp::Le | CmpOp::Lt => {
+            // floor((qv+c)/m) ≤ K  ⟺  qv + c ≤ K·m + m − 1
+            let k = if op == CmpOp::Lt { k - 1 } else { k };
+            let ub = (k * m + m - 1 - c).div_euclid(q);
+            let r = rect.range_mut(d);
+            r.1 = r.1.min(ub);
+            true
+        }
+        CmpOp::Ge | CmpOp::Gt => {
+            // floor((qv+c)/m) ≥ K  ⟺  qv + c ≥ K·m
+            let k = if op == CmpOp::Gt { k + 1 } else { k };
+            let lb = -(-(k * m - c)).div_euclid(q); // ceil((k·m − c)/q)
+            let r = rect.range_mut(d);
+            r.0 = r.0.max(lb);
+            true
+        }
+        CmpOp::Eq => {
+            let ub = (k * m + m - 1 - c).div_euclid(q);
+            let lb = -(-(k * m - c)).div_euclid(q);
+            let r = rect.range_mut(d);
+            r.0 = r.0.max(lb);
+            r.1 = r.1.min(ub);
+            true
+        }
+        CmpOp::Ne => false,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+/// When the variable coefficient is negated, < becomes > etc.
+fn flip_strictness(op: CmpOp) -> CmpOp {
+    flip(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::Expr;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn rectangular_guard_is_exact() {
+        let (x, y) = (v(0), v(1));
+        let cond = Expr::from(x).ge(1)
+            & Expr::from(x).le(10)
+            & Expr::from(y).ge(2)
+            & Expr::from(y).le(20);
+        let r = Rect::new(vec![(0, 100), (0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x, y], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(1, 10), (2, 20)]));
+    }
+
+    #[test]
+    fn strict_comparisons() {
+        let x = v(0);
+        let cond = Expr::from(x).gt(1) & Expr::from(x).lt(10);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(2, 9)]));
+    }
+
+    #[test]
+    fn parameter_bounds() {
+        let x = v(0);
+        let p = polymage_ir::ParamId::from_index(0);
+        let cond = Expr::from(x).le(Expr::Param(p) - 1.0);
+        // Note: Param − float const still extracts as affine (const 1.0 is
+        // integral).
+        let r = Rect::new(vec![(0, 1000)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[100]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(0, 99)]));
+    }
+
+    #[test]
+    fn scaled_variable() {
+        let x = v(0);
+        // 2x <= 10  =>  x <= 5
+        let cond = (2i64 * Expr::from(x)).le(10);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(0, 5)]));
+    }
+
+    #[test]
+    fn floored_variable() {
+        let x = v(0);
+        // x/2 >= 3  =>  x >= 6 ; x/2 <= 5 => x <= 11
+        let cond = (Expr::from(x) / 2).ge(3) & (Expr::from(x) / 2).le(5);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(6, 11)]));
+    }
+
+    #[test]
+    fn reversed_sides() {
+        let x = v(0);
+        // 5 <= x
+        let cond = Expr::i(5).le(Expr::from(x));
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(5, 100)]));
+    }
+
+    #[test]
+    fn negative_coefficient() {
+        let x = v(0);
+        // 10 − x >= 3  =>  −x >= −7  =>  x <= 7
+        let cond = (Expr::i(10) - Expr::from(x)).ge(3);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(0, 7)]));
+    }
+
+    #[test]
+    fn equality_pins_dimension() {
+        let x = v(0);
+        let cond = Expr::from(x).eq_(4);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(4, 4)]));
+    }
+
+    #[test]
+    fn disjunction_is_residual() {
+        let x = v(0);
+        let cond = Expr::from(x).lt(2) | Expr::from(x).gt(50);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(!n.exact);
+        assert_eq!(n.rect, r); // unchanged
+    }
+
+    #[test]
+    fn data_dependent_is_residual() {
+        let x = v(0);
+        let img = polymage_ir::ImageId::from_index(0);
+        let cond = Expr::at(img, [Expr::from(x)]).gt(0.5);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(!n.exact);
+    }
+
+    #[test]
+    fn mixed_guard_partially_narrows() {
+        let x = v(0);
+        let img = polymage_ir::ImageId::from_index(0);
+        let cond = Expr::from(x).ge(10) & Expr::at(img, [Expr::from(x)]).gt(0.5);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(!n.exact);
+        assert_eq!(n.rect, Rect::new(vec![(10, 100)]));
+    }
+
+    #[test]
+    fn parity_guard_becomes_stride() {
+        let x = v(0);
+        let cond = Expr::from(x).rem(2.0).eq_(1.0) & Expr::from(x).ge(4);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert!(n.is_strided());
+        assert_eq!(n.steps, vec![(2, 1)]);
+        assert_eq!(n.rect, Rect::new(vec![(4, 100)]));
+        // reversed comparison sides also capture
+        let cond = Expr::i(0).eq_(Expr::from(x).rem(4.0));
+        let n = narrow_rect_by_cond(&cond, &[x], &r, &[]);
+        assert!(n.exact);
+        assert_eq!(n.steps, vec![(4, 0)]);
+    }
+
+    #[test]
+    fn bad_parity_forms_are_residual() {
+        let x = v(0);
+        // phase out of range
+        let n = narrow_rect_by_cond(
+            &Expr::from(x).rem(2.0).eq_(2.0),
+            &[x],
+            &Rect::new(vec![(0, 10)]),
+            &[],
+        );
+        assert!(!n.exact);
+        // non-variable inner expression
+        let n = narrow_rect_by_cond(
+            &(Expr::from(x) * 2).rem(2.0).eq_(0.0),
+            &[x],
+            &Rect::new(vec![(0, 10)]),
+            &[],
+        );
+        assert!(!n.exact);
+        // inequality on a remainder
+        let n = narrow_rect_by_cond(
+            &Expr::from(x).rem(2.0).ne_(0.0),
+            &[x],
+            &Rect::new(vec![(0, 10)]),
+            &[],
+        );
+        assert!(!n.exact);
+    }
+
+    #[test]
+    fn foreign_variable_is_residual() {
+        let cond = Expr::from(v(3)).ge(0);
+        let r = Rect::new(vec![(0, 100)]);
+        let n = narrow_rect_by_cond(&cond, &[v(0)], &r, &[]);
+        assert!(!n.exact);
+    }
+}

@@ -1,0 +1,50 @@
+//! # polymage-poly
+//!
+//! The polyhedral substrate of PolyMage-rs.
+//!
+//! The original PolyMage uses isl (the integer set library) for its
+//! polyhedral representation and loop generation. The pipelines the paper
+//! targets only ever need *per-dimension* affine forms — accesses of the
+//! shape `(q·x + o) / m` (stencils, up/down-sampling, channel selection) over
+//! rectangular, parameter-affine domains — so this crate implements exactly
+//! that algebra in pure Rust:
+//!
+//! - [`Ratio`]: exact rational arithmetic for schedule scaling factors;
+//! - [`VAff`]: affine expressions over domain variables and parameters with a
+//!   floor-division denominator (the index expressions of the DSL);
+//! - [`Rect`]: concrete integer boxes with interval arithmetic;
+//! - [`extract_accesses`]: finds every value access of a stage and classifies
+//!   each dimension as affine or data-dependent;
+//! - [`solve_alignment`]: the paper's §3.3 *alignment and scaling* — computes
+//!   per-function schedule scales that make dependence components constant
+//!   (bounded), or reports that the group is not alignable;
+//! - [`group_overlap`]: the paper's §3.4 tile-shape analysis — per-stage
+//!   dependence extents and the total overlap per dimension, computed
+//!   level-wise (the tight variant of Fig. 6, not the uniform-cone
+//!   over-approximation);
+//! - [`required_region`]: backward interval propagation that turns a live-out
+//!   tile rectangle into the exact per-stage regions an overlapped tile must
+//!   compute.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod access;
+mod align;
+mod condbox;
+mod overlap;
+mod prop;
+mod ratio;
+mod tiling;
+mod rect;
+mod vaff;
+
+pub use access::{extract_accesses, Access, AccessDim};
+pub use align::{solve_alignment, AlignError, Alignment, DimMap};
+pub use condbox::{narrow_rect_by_cond, NarrowedRect};
+pub use overlap::{group_overlap, DimOverlap, GroupOverlap};
+pub use prop::{access_image, required_region};
+pub use ratio::Ratio;
+pub use tiling::{compare_tilings, TilingComparison, TilingProfile, TilingStrategy};
+pub use rect::Rect;
+pub use vaff::VAff;

@@ -1,0 +1,283 @@
+//! Tile-shape and overlap analysis for a fused group (paper §3.4).
+//!
+//! In the scaled/aligned schedule space every intra-group dependence
+//! component lies in a constant interval. Starting from the group's sink
+//! (overlap 0) and walking producers, each stage accumulates the left/right
+//! *extension* its consumers force on it; the per-dimension overlap of the
+//! whole group is the maximum extension over all stages. This is the
+//! level-wise construction of Fig. 6, which is tighter than assuming the
+//! worst-case dependence cone at every level.
+//!
+//! The grouping heuristic (Algorithm 1, implemented in `polymage-core`)
+//! merges two groups only when the overlap, as a fraction of the tile
+//! volume, stays below the threshold — this module supplies that fraction.
+
+use crate::{extract_accesses, AccessDim, AlignError, Alignment, DimMap, Ratio};
+use polymage_ir::{FuncId, Pipeline, Source};
+use std::collections::HashMap;
+
+/// Overlap of one group schedule dimension, in scaled schedule units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DimOverlap {
+    /// Extension of the tile toward smaller coordinates.
+    pub left: i64,
+    /// Extension toward larger coordinates.
+    pub right: i64,
+}
+
+impl DimOverlap {
+    /// Total widening of the tile along this dimension.
+    pub fn total(self) -> i64 {
+        self.left + self.right
+    }
+}
+
+/// Overlap analysis result for a fused group.
+#[derive(Debug, Clone)]
+pub struct GroupOverlap {
+    /// Per group schedule dimension, the tile extension.
+    pub dims: Vec<DimOverlap>,
+    /// Per stage, per group dimension, the extension of that stage's
+    /// region relative to the sink tile (used for scratchpad sizing and the
+    /// generated-code report).
+    pub per_func: HashMap<FuncId, Vec<DimOverlap>>,
+}
+
+impl GroupOverlap {
+    /// The redundant-computation fraction for the given tile sizes:
+    /// `∏(τ_d + o_d) / ∏ τ_d − 1`.
+    ///
+    /// This is the quantity Algorithm 1 compares against the overlap
+    /// threshold. Dimensions with `tile[d] == 0` are treated as untiled
+    /// (they contribute no redundancy).
+    pub fn overlap_ratio(&self, tile: &[i64]) -> f64 {
+        let mut ratio = 1.0;
+        for (d, o) in self.dims.iter().enumerate() {
+            let t = tile.get(d).copied().unwrap_or(0);
+            if t <= 0 {
+                continue;
+            }
+            ratio *= (t + o.total()) as f64 / t as f64;
+        }
+        ratio - 1.0
+    }
+}
+
+/// Computes the group overlap given a successful [`Alignment`].
+///
+/// Walks stages consumers-first; for each in-group access the dependence
+/// component interval `[lo, hi]` along a group dimension is derived from the
+/// access `(q·x + o)/m` and the consumer/producer scales (`σc`, `σp`):
+/// `[−σp·o/m, σp·(m−1−o)/m]`. The producer's extension is then
+/// `ext(p) = max(ext(c) + max(0, ±bound))` over all consumers.
+///
+/// # Errors
+///
+/// Returns an [`AlignError`] if an access couples a free consumer dimension
+/// to a scheduled producer dimension (the extension would be unbounded).
+pub fn group_overlap(
+    pipe: &Pipeline,
+    group: &[FuncId],
+    alignment: &Alignment,
+) -> Result<GroupOverlap, AlignError> {
+    let ndims = alignment.ndims;
+    let mut ext: HashMap<FuncId, Vec<DimOverlap>> = group
+        .iter()
+        .map(|&f| (f, vec![DimOverlap::default(); ndims]))
+        .collect();
+
+    // Iterate to a fixed point: extensions only grow and are bounded by the
+    // chain depth × max dependence magnitude, so this terminates quickly.
+    // (A topological pass would suffice for DAG groups; the fixed point also
+    // covers self-referencing stages conservatively.)
+    loop {
+        let mut changed = false;
+        for &c in group {
+            let cdef = pipe.func(c);
+            let cvars = cdef.var_dom.vars.clone();
+            let cext = ext[&c].clone();
+            let cmap = alignment.map(c).to_vec();
+            for acc in extract_accesses(cdef) {
+                let p = match acc.src {
+                    Source::Func(p) if group.contains(&p) => p,
+                    _ => continue,
+                };
+                let pmap = alignment.map(p).to_vec();
+                for (j, dim) in acc.dims.iter().enumerate() {
+                    let (gdim, sp) = match pmap[j] {
+                        DimMap::Grouped { gdim, scale } => (gdim, scale),
+                        DimMap::Free => continue,
+                    };
+                    let a = match dim {
+                        AccessDim::Affine(a) => a,
+                        AccessDim::Dynamic => {
+                            // Dynamic index into a scheduled dimension: the
+                            // producer extension is unbounded.
+                            return Err(AlignError::ConstantIntoGrouped {
+                                func: pipe.func(p).name.clone(),
+                                dim: j,
+                            });
+                        }
+                    };
+                    let (v, q) = match a.single_var() {
+                        Some(vq) => vq,
+                        None => {
+                            return Err(AlignError::MultiVariableIndex {
+                                func: cdef.name.clone(),
+                            })
+                        }
+                    };
+                    // Find the consumer dimension of v and check coupling.
+                    let dc = cvars.iter().position(|&u| u == v);
+                    let coupled = dc
+                        .map(|d| matches!(cmap[d], DimMap::Grouped { gdim: g, .. } if g == gdim))
+                        .unwrap_or(false);
+                    if !coupled {
+                        return Err(AlignError::PlacementConflict {
+                            func: cdef.name.clone(),
+                            dim: j,
+                        });
+                    }
+                    let o = a.cst.as_const().ok_or_else(|| AlignError::ParametricOffset {
+                        func: cdef.name.clone(),
+                    })?;
+                    let m = a.den;
+                    debug_assert!(q > 0 && m > 0);
+                    // dep ∈ [−σp·o/m, σp·(m−1−o)/m]
+                    let lo = -(sp * Ratio::new(o, m));
+                    let hi = sp * Ratio::new(m - 1 - o, m);
+                    let left_add = hi.ceil().max(0);
+                    let right_add = (-lo).ceil().max(0);
+                    let e = ext.get_mut(&p).expect("producer in group");
+                    let new_left = cext[gdim].left + left_add;
+                    let new_right = cext[gdim].right + right_add;
+                    if new_left > e[gdim].left {
+                        e[gdim].left = new_left;
+                        changed = true;
+                    }
+                    if new_right > e[gdim].right {
+                        e[gdim].right = new_right;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut dims = vec![DimOverlap::default(); ndims];
+    for e in ext.values() {
+        for d in 0..ndims {
+            dims[d].left = dims[d].left.max(e[d].left);
+            dims[d].right = dims[d].right.max(e[d].right);
+        }
+    }
+    Ok(GroupOverlap { dims, per_func: ext })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_alignment;
+    use polymage_ir::{stencil, Case, Expr, Interval, PipelineBuilder, ScalarType};
+
+    /// fout(x) = f2(x−1)·f2(x+1); f2(x) = f1(x−1)+f1(x+1); f1(x) = in(x)
+    /// — the Fig. 5 chain. Overlap grows by 1 per level on each side.
+    #[test]
+    fn fig5_chain_overlap() {
+        let mut p = PipelineBuilder::new("fig5");
+        let img = p.image("in", ScalarType::Float, vec![polymage_ir::PAff::cst(1024)]);
+        let x = p.var("x");
+        let d = Interval::cst(2, 1021);
+        let f1 = p.func("f1", &[(x, d.clone())], ScalarType::Float);
+        p.define(f1, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        let f2 = p.func("f2", &[(x, d.clone())], ScalarType::Float);
+        p.define(f2, vec![Case::always(Expr::at(f1, [x - 1]) + Expr::at(f1, [x + 1]))])
+            .unwrap();
+        let fout = p.func("fout", &[(x, d)], ScalarType::Float);
+        p.define(fout, vec![Case::always(Expr::at(f2, [x - 1]) * Expr::at(f2, [x + 1]))])
+            .unwrap();
+        let pipe = p.finish(&[fout]).unwrap();
+        let group = vec![f1, f2, fout];
+        let al = solve_alignment(&pipe, &group, fout).unwrap();
+        let ov = group_overlap(&pipe, &group, &al).unwrap();
+        assert_eq!(ov.dims[0], DimOverlap { left: 2, right: 2 });
+        assert_eq!(ov.per_func[&fout][0], DimOverlap { left: 0, right: 0 });
+        assert_eq!(ov.per_func[&f2][0], DimOverlap { left: 1, right: 1 });
+        assert_eq!(ov.per_func[&f1][0], DimOverlap { left: 2, right: 2 });
+        // ratio: tile 32 → (32+4)/32 − 1 = 0.125
+        let r = ov.overlap_ratio(&[32]);
+        assert!((r - 0.125).abs() < 1e-12, "{r}");
+    }
+
+    /// Downsample then upsample: extensions scale with the schedule.
+    #[test]
+    fn sampling_chain_overlap_scales() {
+        let mut p = PipelineBuilder::new("s");
+        let img = p.image("in", ScalarType::Float, vec![polymage_ir::PAff::cst(1024)]);
+        let x = p.var("x");
+        let f = p.func("f", &[(x, Interval::cst(2, 1021))], ScalarType::Float);
+        p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        // down(x) = f(2x−1) + f(2x+1)
+        let down = p.func("down", &[(x, Interval::cst(1, 510))], ScalarType::Float);
+        p.define(
+            down,
+            vec![Case::always(
+                Expr::at(f, [2i64 * Expr::from(x) - 1]) + Expr::at(f, [2i64 * Expr::from(x) + 1]),
+            )],
+        )
+        .unwrap();
+        // up(x) = down(x/2)
+        let up = p.func("up", &[(x, Interval::cst(2, 1020))], ScalarType::Float);
+        p.define(up, vec![Case::always(Expr::at(down, [Expr::from(x) / 2]))]).unwrap();
+        let pipe = p.finish(&[up]).unwrap();
+        let group = vec![f, down, up];
+        let al = solve_alignment(&pipe, &group, up).unwrap();
+        // scales: up=1, down=2, f=1
+        assert_eq!(al.scale_on(down, 0), Some(Ratio::int(2)));
+        assert_eq!(al.scale_on(f, 0), Some(Ratio::ONE));
+        let ov = group_overlap(&pipe, &group, &al).unwrap();
+        // up: 0. down (σ=2, access x/2: o=0,m=2): dep ∈ [0, 2·1/2]=[0,1]
+        //   → left 1, right 0.
+        // f (σ=1, accesses 2x±1 from down): o=−1: dep ∈ [1/... ] :
+        //   lo = −σp·o/m = 1, hi = 1 ⇒ dep = 1? For o=−1,m=1,σp=1:
+        //   [−1·(−1), 1·(1−1−(−1))] = [1, 1]?? left += 1 from dep hi=1.
+        //   o=+1: dep = [−1, −1] → right += 1.
+        assert_eq!(ov.per_func[&up][0], DimOverlap { left: 0, right: 0 });
+        assert_eq!(ov.per_func[&down][0], DimOverlap { left: 1, right: 0 });
+        assert_eq!(ov.per_func[&f][0], DimOverlap { left: 2, right: 1 });
+        assert_eq!(ov.dims[0], DimOverlap { left: 2, right: 1 });
+    }
+
+    #[test]
+    fn two_dim_ratio_combines_dims() {
+        let mut p = PipelineBuilder::new("t");
+        let img = p.image(
+            "in",
+            ScalarType::Float,
+            vec![polymage_ir::PAff::cst(512), polymage_ir::PAff::cst(512)],
+        );
+        let (x, y) = (p.var("x"), p.var("y"));
+        let d = Interval::cst(1, 510);
+        let a = p.func("a", &[(x, d.clone()), (y, d.clone())], ScalarType::Float);
+        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))])
+            .unwrap();
+        let b = p.func("b", &[(x, d.clone()), (y, d)], ScalarType::Float);
+        let e = stencil(a, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]);
+        p.define(b, vec![Case::always(e)]).unwrap();
+        let pipe = p.finish(&[b]).unwrap();
+        let group = vec![a, b];
+        let al = solve_alignment(&pipe, &group, b).unwrap();
+        let ov = group_overlap(&pipe, &group, &al).unwrap();
+        assert_eq!(ov.dims[0], DimOverlap { left: 1, right: 1 });
+        assert_eq!(ov.dims[1], DimOverlap { left: 1, right: 1 });
+        // (34·34)/(32·32) − 1
+        let r = ov.overlap_ratio(&[32, 32]);
+        assert!((r - (34.0 * 34.0 / 1024.0 - 1.0)).abs() < 1e-12);
+        // untiled second dim contributes nothing
+        let r = ov.overlap_ratio(&[32, 0]);
+        assert!((r - (34.0 / 32.0 - 1.0)).abs() < 1e-12);
+    }
+}

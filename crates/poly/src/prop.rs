@@ -1,0 +1,215 @@
+//! Backward interval propagation — concrete per-tile regions.
+//!
+//! At run time the tiled executor starts from a rectangle of the group's
+//! sink stage and needs, for every producer in the group, the exact region
+//! an overlapped tile must compute. Because all analyzable accesses are
+//! per-dimension affine forms, the image of a box under an access is again a
+//! box, computed here with interval arithmetic. Dynamic (data-dependent)
+//! dimensions conservatively require the producer's whole extent along that
+//! dimension — which the grouping heuristic only permits for small,
+//! parameter-independent extents (e.g. the bilateral grid's intensity axis).
+
+use crate::{Access, AccessDim, Rect};
+use polymage_ir::VarId;
+
+/// Computes the image of `consumer_rect` under one access: the producer box
+/// whose values the consumer points may read.
+///
+/// `consumer_vars` names the consumer's domain variables in dimension order
+/// (so variable mentions in the access can be mapped to rectangle
+/// dimensions). Index expressions mentioning variables that are not in
+/// `consumer_vars` are treated as dynamic. The result is clipped to
+/// `producer_dom`.
+pub fn access_image(
+    access: &Access,
+    consumer_vars: &[VarId],
+    consumer_rect: &Rect,
+    producer_dom: &Rect,
+    params: &[i64],
+) -> Rect {
+    debug_assert_eq!(access.dims.len(), producer_dom.ndim());
+    if consumer_rect.is_empty() {
+        // No reads at all: an empty box of the producer's rank.
+        return Rect::new(vec![(0, -1); producer_dom.ndim()]);
+    }
+    let mut dims = Vec::with_capacity(access.dims.len());
+    for (j, dim) in access.dims.iter().enumerate() {
+        let rng = match dim {
+            AccessDim::Dynamic => producer_dom.range(j),
+            AccessDim::Affine(a) => {
+                let mut lo = 0i64;
+                let mut hi = 0i64;
+                let mut dynamic = false;
+                for &(v, q) in &a.terms {
+                    match consumer_vars.iter().position(|&u| u == v) {
+                        Some(d) => {
+                            let (rlo, rhi) = consumer_rect.range(d);
+                            if q >= 0 {
+                                lo += q * rlo;
+                                hi += q * rhi;
+                            } else {
+                                lo += q * rhi;
+                                hi += q * rlo;
+                            }
+                        }
+                        None => {
+                            dynamic = true;
+                            break;
+                        }
+                    }
+                }
+                if dynamic {
+                    producer_dom.range(j)
+                } else {
+                    let c = a.cst.eval(params);
+                    (
+                        (lo + c).div_euclid(a.den),
+                        (hi + c).div_euclid(a.den),
+                    )
+                }
+            }
+        };
+        let (plo, phi) = producer_dom.range(j);
+        dims.push((rng.0.max(plo), rng.1.min(phi)));
+    }
+    Rect::new(dims)
+}
+
+/// Computes the region of one producer required by a consumer rectangle,
+/// as the hull of the images of all the consumer's accesses to it.
+///
+/// Returns an all-empty box of the producer's rank when no access reads the
+/// producer or the consumer rectangle is empty.
+pub fn required_region(
+    accesses: &[Access],
+    consumer_vars: &[VarId],
+    consumer_rect: &Rect,
+    producer_dom: &Rect,
+    params: &[i64],
+) -> Rect {
+    let mut out = Rect::new(vec![(0, -1); producer_dom.ndim()]);
+    for acc in accesses {
+        let img = access_image(acc, consumer_vars, consumer_rect, producer_dom, params);
+        out = out.hull(&img);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VAff;
+    use polymage_ir::{Expr, ImageId, Source};
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    fn aff(e: &Expr) -> AccessDim {
+        AccessDim::Affine(VAff::from_expr(e).unwrap())
+    }
+
+    fn src() -> Source {
+        Source::Image(ImageId::from_index(0))
+    }
+
+    #[test]
+    fn stencil_image_dilates() {
+        // access (x−1 .. x+1, y−2 .. y+2) as two extreme accesses
+        let a1 = Access { src: src(), dims: vec![aff(&(v(0) - 1)), aff(&(v(1) - 2))] };
+        let a2 = Access { src: src(), dims: vec![aff(&(v(0) + 1)), aff(&(v(1) + 2))] };
+        let cons = Rect::new(vec![(10, 20), (30, 40)]);
+        let dom = Rect::new(vec![(0, 100), (0, 100)]);
+        let req = required_region(&[a1, a2], &[v(0), v(1)], &cons, &dom, &[]);
+        assert_eq!(req, Rect::new(vec![(9, 21), (28, 42)]));
+    }
+
+    #[test]
+    fn clipping_to_producer_domain() {
+        let a = Access { src: src(), dims: vec![aff(&(v(0) - 5))] };
+        let cons = Rect::new(vec![(0, 10)]);
+        let dom = Rect::new(vec![(0, 100)]);
+        let req = required_region(&[a], &[v(0)], &cons, &dom, &[]);
+        assert_eq!(req, Rect::new(vec![(0, 5)]));
+    }
+
+    #[test]
+    fn downsample_image_shrinks() {
+        // access 2x+1 over x∈[4,7] → [9,15]
+        let a = Access { src: src(), dims: vec![aff(&(2i64 * Expr::from(v(0)) + 1))] };
+        let cons = Rect::new(vec![(4, 7)]);
+        let dom = Rect::new(vec![(0, 100)]);
+        assert_eq!(
+            access_image(&a, &[v(0)], &cons, &dom, &[]),
+            Rect::new(vec![(9, 15)])
+        );
+    }
+
+    #[test]
+    fn upsample_image_halves() {
+        // access x/2 over x∈[5,9] → [2,4]
+        let a = Access { src: src(), dims: vec![aff(&(Expr::from(v(0)) / 2))] };
+        let cons = Rect::new(vec![(5, 9)]);
+        let dom = Rect::new(vec![(0, 100)]);
+        assert_eq!(
+            access_image(&a, &[v(0)], &cons, &dom, &[]),
+            Rect::new(vec![(2, 4)])
+        );
+    }
+
+    #[test]
+    fn dynamic_dim_requires_full_extent() {
+        let a = Access { src: src(), dims: vec![AccessDim::Dynamic, aff(&Expr::from(v(0)))] };
+        let cons = Rect::new(vec![(5, 9)]);
+        let dom = Rect::new(vec![(0, 15), (0, 100)]);
+        assert_eq!(
+            access_image(&a, &[v(0)], &cons, &dom, &[]),
+            Rect::new(vec![(0, 15), (5, 9)])
+        );
+    }
+
+    #[test]
+    fn foreign_variable_is_dynamic() {
+        // index expression mentions a variable the consumer doesn't have
+        let a = Access { src: src(), dims: vec![aff(&Expr::from(v(7)))] };
+        let cons = Rect::new(vec![(5, 9)]);
+        let dom = Rect::new(vec![(0, 15)]);
+        assert_eq!(access_image(&a, &[v(0)], &cons, &dom, &[]), Rect::new(vec![(0, 15)]));
+    }
+
+    #[test]
+    fn empty_consumer_gives_empty_region() {
+        let a = Access { src: src(), dims: vec![aff(&Expr::from(v(0)))] };
+        let cons = Rect::new(vec![(5, 4)]);
+        let dom = Rect::new(vec![(0, 15)]);
+        assert!(access_image(&a, &[v(0)], &cons, &dom, &[]).is_empty());
+        assert!(required_region(&[], &[v(0)], &cons, &dom, &[]).is_empty());
+    }
+
+    #[test]
+    fn negative_coefficient_interval() {
+        // access −x + 10 over x∈[2,5] → [5,8]
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&(Expr::i(10) - Expr::from(v(0))))],
+        };
+        let cons = Rect::new(vec![(2, 5)]);
+        let dom = Rect::new(vec![(0, 100)]);
+        assert_eq!(
+            access_image(&a, &[v(0)], &cons, &dom, &[]),
+            Rect::new(vec![(5, 8)])
+        );
+    }
+
+    #[test]
+    fn param_offset_uses_param_values() {
+        let p0 = polymage_ir::ParamId::from_index(0);
+        let a = Access { src: src(), dims: vec![aff(&(v(0) + Expr::Param(p0)))] };
+        let cons = Rect::new(vec![(0, 3)]);
+        let dom = Rect::new(vec![(0, 100)]);
+        assert_eq!(
+            access_image(&a, &[v(0)], &cons, &dom, &[7]),
+            Rect::new(vec![(7, 10)])
+        );
+    }
+}

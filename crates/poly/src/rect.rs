@@ -1,0 +1,246 @@
+//! Concrete integer boxes (hyper-rectangles).
+
+use std::fmt;
+
+/// An axis-aligned integer box: per dimension an inclusive `[lo, hi]` range.
+///
+/// A dimension with `lo > hi` makes the whole box empty. `Rect` is the
+/// concrete (parameter-substituted) counterpart of a function domain and the
+/// unit of work of the tiled executor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rect {
+    dims: Vec<(i64, i64)>,
+}
+
+impl Rect {
+    /// Creates a box from per-dimension inclusive ranges.
+    ///
+    /// Empty ranges are canonicalized to `(lo, lo − 1)` so that two empty
+    /// boxes with the same lower corner compare equal regardless of how
+    /// negative their raw extents were.
+    pub fn new(dims: Vec<(i64, i64)>) -> Rect {
+        Rect { dims: dims.into_iter().map(|(lo, hi)| (lo, hi.max(lo - 1))).collect() }
+    }
+
+    /// A zero-dimensional box (contains exactly the empty tuple).
+    pub fn nullary() -> Rect {
+        Rect { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The inclusive range of dimension `d`.
+    pub fn range(&self, d: usize) -> (i64, i64) {
+        self.dims[d]
+    }
+
+    /// All ranges.
+    pub fn ranges(&self) -> &[(i64, i64)] {
+        &self.dims
+    }
+
+    /// Mutable access to a dimension's range.
+    pub fn range_mut(&mut self, d: usize) -> &mut (i64, i64) {
+        &mut self.dims[d]
+    }
+
+    /// Whether the box contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(|&(lo, hi)| lo > hi)
+    }
+
+    /// Number of points along dimension `d` (0 if that range is empty).
+    pub fn extent(&self, d: usize) -> i64 {
+        let (lo, hi) = self.dims[d];
+        (hi - lo + 1).max(0)
+    }
+
+    /// Total number of points.
+    pub fn volume(&self) -> i64 {
+        if self.is_empty() {
+            return 0;
+        }
+        self.dims.iter().map(|&(lo, hi)| hi - lo + 1).product()
+    }
+
+    /// Per-dimension intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        assert_eq!(self.ndim(), other.ndim(), "intersecting boxes of different rank");
+        Rect {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(&(a, b), &(c, d))| (a.max(c), b.min(d)))
+                .collect(),
+        }
+    }
+
+    /// Smallest box containing both (per-dimension hull).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ.
+    pub fn hull(&self, other: &Rect) -> Rect {
+        assert_eq!(self.ndim(), other.ndim(), "hull of boxes of different rank");
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        Rect {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(&(a, b), &(c, d))| (a.min(c), b.max(d)))
+                .collect(),
+        }
+    }
+
+    /// Whether `pt` lies inside the box.
+    pub fn contains(&self, pt: &[i64]) -> bool {
+        pt.len() == self.ndim()
+            && self.dims.iter().zip(pt).all(|(&(lo, hi), &p)| lo <= p && p <= hi)
+    }
+
+    /// Whether `other` is entirely inside `self` (empty boxes are contained
+    /// in everything).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.ndim() == other.ndim()
+            && self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .all(|(&(a, b), &(c, d))| a <= c && d <= b)
+    }
+
+    /// Grows every dimension by `amount` on both sides.
+    pub fn dilate(&self, amount: i64) -> Rect {
+        Rect {
+            dims: self.dims.iter().map(|&(lo, hi)| (lo - amount, hi + amount)).collect(),
+        }
+    }
+
+    /// Iterates over all points in row-major order (first dim outermost).
+    ///
+    /// Intended for tests and small domains.
+    pub fn points(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        let ndim = self.ndim();
+        let empty = self.is_empty();
+        let mut cur: Vec<i64> = self.dims.iter().map(|&(lo, _)| lo).collect();
+        let mut done = empty && ndim > 0;
+        let mut first = true;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            if first {
+                first = false;
+                if ndim == 0 {
+                    done = true;
+                    return Some(Vec::new());
+                }
+                return Some(cur.clone());
+            }
+            // advance odometer
+            for d in (0..ndim).rev() {
+                if cur[d] < self.dims[d].1 {
+                    cur[d] += 1;
+                    for t in d + 1..ndim {
+                        cur[t] = self.dims[t].0;
+                    }
+                    return Some(cur.clone());
+                }
+            }
+            done = true;
+            None
+        })
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, &(lo, hi)) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "[{lo},{hi}]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_extent() {
+        let r = Rect::new(vec![(0, 3), (1, 2)]);
+        assert_eq!(r.volume(), 8);
+        assert_eq!(r.extent(0), 4);
+        assert_eq!(r.extent(1), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let r = Rect::new(vec![(3, 1), (0, 5)]);
+        assert!(r.is_empty());
+        assert_eq!(r.volume(), 0);
+        assert_eq!(r.extent(0), 0);
+    }
+
+    #[test]
+    fn intersect_and_hull() {
+        let a = Rect::new(vec![(0, 10)]);
+        let b = Rect::new(vec![(5, 15)]);
+        assert_eq!(a.intersect(&b), Rect::new(vec![(5, 10)]));
+        assert_eq!(a.hull(&b), Rect::new(vec![(0, 15)]));
+        let e = Rect::new(vec![(7, 3)]);
+        assert_eq!(a.hull(&e), a);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(vec![(0, 4), (0, 4)]);
+        assert!(r.contains(&[0, 4]));
+        assert!(!r.contains(&[0, 5]));
+        assert!(r.contains_rect(&Rect::new(vec![(1, 2), (1, 2)])));
+        assert!(!r.contains_rect(&Rect::new(vec![(1, 5), (1, 2)])));
+        assert!(r.contains_rect(&Rect::new(vec![(3, 2), (0, 0)])));
+    }
+
+    #[test]
+    fn dilation() {
+        let r = Rect::new(vec![(2, 3)]).dilate(2);
+        assert_eq!(r, Rect::new(vec![(0, 5)]));
+    }
+
+    #[test]
+    fn point_iteration_row_major() {
+        let r = Rect::new(vec![(0, 1), (5, 6)]);
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(pts, vec![vec![0, 5], vec![0, 6], vec![1, 5], vec![1, 6]]);
+    }
+
+    #[test]
+    fn point_iteration_empty_and_nullary() {
+        let r = Rect::new(vec![(1, 0)]);
+        assert_eq!(r.points().count(), 0);
+        assert_eq!(Rect::nullary().points().count(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Comparison of tiling strategies for a fused group (paper Fig. 5).
+//!
+//! The paper motivates overlapped tiling by contrasting it with
+//! parallelogram and split tiling: each offers a different trade-off
+//! between parallelism, locality, redundant computation, and ease of
+//! storage optimization. This module makes that comparison *computable*
+//! for any aligned group: given the group's dependence extents (the same
+//! analysis that shapes overlapped tiles), it derives the quantitative
+//! profile of each strategy — the paper's bottom-right table in Fig. 5,
+//! with numbers.
+//!
+//! The compiler itself always uses overlapped tiling (§3.2's conclusion:
+//! tile-independence is what enables scratchpads); this analysis exists to
+//! reproduce and check the paper's rationale, and backs the
+//! `tile_anatomy` example and ablation discussions.
+
+use crate::{group_overlap, AlignError, Alignment, GroupOverlap};
+use polymage_ir::{FuncId, Pipeline};
+
+/// The three §3.2 tiling strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TilingStrategy {
+    /// Neighboring tiles recompute the shared cone; all tiles independent.
+    Overlapped,
+    /// Two phases (upward/downward tiles); boundary values stay live
+    /// between phases.
+    Split,
+    /// Skewed tiles with wavefront dependences between neighbors.
+    Parallelogram,
+}
+
+/// Quantitative profile of one strategy on one group.
+#[derive(Debug, Clone)]
+pub struct TilingProfile {
+    /// Which strategy.
+    pub strategy: TilingStrategy,
+    /// Can all tiles (of a phase) start concurrently?
+    pub concurrent_start: bool,
+    /// Number of sequential phases/wavefront steps needed.
+    ///
+    /// Overlapped/split: a constant (1 or 2). Parallelogram: the number of
+    /// tiles along the dependence direction — with the shallow "time"
+    /// extent of image pipelines this "effectively reduces to sequential
+    /// execution of the tiles" (§3.2).
+    pub sequential_steps: i64,
+    /// Redundant-computation fraction per tile (recomputed ÷ useful).
+    pub redundant_fraction: f64,
+    /// Values that must stay live across tile/phase boundaries, per tile
+    /// (prevents scratchpad storage when non-zero).
+    pub live_boundary_values: i64,
+    /// Whether intermediates can live in per-tile scratchpads.
+    pub scratchpad_storage: bool,
+}
+
+/// The full Fig. 5 comparison for a group.
+#[derive(Debug, Clone)]
+pub struct TilingComparison {
+    /// Profile per strategy, in Fig. 5's order.
+    pub profiles: [TilingProfile; 3],
+    /// The dependence analysis both tile shapes derive from.
+    pub overlap: GroupOverlap,
+}
+
+impl TilingComparison {
+    /// The profile of one strategy.
+    pub fn profile(&self, s: TilingStrategy) -> &TilingProfile {
+        self.profiles
+            .iter()
+            .find(|p| p.strategy == s)
+            .expect("all strategies present")
+    }
+
+    /// Renders the Fig. 5 characteristics table.
+    pub fn table(&self) -> String {
+        let mut s = String::from(
+            "strategy        parallel  seq-steps  redundancy  live-boundary  scratchpads\n",
+        );
+        for p in &self.profiles {
+            s.push_str(&format!(
+                "{:<15} {:>8} {:>10} {:>10.1}% {:>14} {:>12}\n",
+                format!("{:?}", p.strategy),
+                if p.concurrent_start { "yes" } else { "no" },
+                p.sequential_steps,
+                p.redundant_fraction * 100.0,
+                p.live_boundary_values,
+                if p.scratchpad_storage { "yes" } else { "no" },
+            ));
+        }
+        s
+    }
+}
+
+/// Computes the Fig. 5 comparison for an aligned group with the given tile
+/// sizes (`tile[d]` per group dimension; 0 = untiled) and per-dimension
+/// domain extents of the sink.
+///
+/// # Errors
+///
+/// Propagates the overlap analysis' [`AlignError`] (a group that cannot be
+/// overlap-tiled cannot be compared either).
+pub fn compare_tilings(
+    pipe: &Pipeline,
+    group: &[FuncId],
+    alignment: &Alignment,
+    tile: &[i64],
+    sink_extents: &[i64],
+) -> Result<TilingComparison, AlignError> {
+    let overlap = group_overlap(pipe, group, alignment)?;
+
+    // Boundary footprint: per tiled dimension, the dependence width that
+    // either gets recomputed (overlapped) or must stay live (split /
+    // parallelogram), counted over the tile's faces.
+    let mut live_per_tile = 0i64;
+    let mut tiles_along_dep = 1i64;
+    for (d, o) in overlap.dims.iter().enumerate() {
+        let t = tile.get(d).copied().unwrap_or(0);
+        if t <= 0 {
+            continue;
+        }
+        // face size = product of the other tiled dims' sizes
+        let mut face = 1i64;
+        for (d2, o2) in overlap.dims.iter().enumerate() {
+            if d2 != d {
+                let t2 = tile.get(d2).copied().unwrap_or(0);
+                face *= if t2 > 0 { t2 } else { 1.max(o2.total()) };
+            }
+        }
+        live_per_tile += o.total() * face;
+        let ext = sink_extents.get(d).copied().unwrap_or(t);
+        tiles_along_dep = tiles_along_dep.max((ext + t - 1) / t.max(1));
+    }
+
+    let redundancy = overlap.overlap_ratio(tile).max(0.0);
+    let profiles = [
+        TilingProfile {
+            strategy: TilingStrategy::Overlapped,
+            concurrent_start: true,
+            sequential_steps: 1,
+            redundant_fraction: redundancy,
+            live_boundary_values: 0,
+            scratchpad_storage: true,
+        },
+        TilingProfile {
+            strategy: TilingStrategy::Split,
+            concurrent_start: true,
+            sequential_steps: 2, // upward-pointing phase, then downward
+            redundant_fraction: 0.0,
+            live_boundary_values: live_per_tile,
+            scratchpad_storage: false,
+        },
+        TilingProfile {
+            strategy: TilingStrategy::Parallelogram,
+            // wavefront: each tile depends on its predecessor along the
+            // skew direction — no concurrent start (§3.2: "effectively
+            // reduces to sequential execution")
+            concurrent_start: false,
+            sequential_steps: tiles_along_dep,
+            redundant_fraction: 0.0,
+            live_boundary_values: live_per_tile,
+            scratchpad_storage: false,
+        },
+    ];
+    Ok(TilingComparison { profiles, overlap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_alignment;
+    use polymage_ir::{Case, Expr, Interval, PipelineBuilder, ScalarType};
+
+    /// The Fig. 5 chain: two chained ±1 stencils.
+    fn fig5_group() -> (Pipeline, Vec<FuncId>, FuncId) {
+        let mut p = PipelineBuilder::new("fig5");
+        let img = p.image("in", ScalarType::Float, vec![polymage_ir::PAff::cst(1024)]);
+        let x = p.var("x");
+        let d = Interval::cst(2, 1021);
+        let f1 = p.func("f1", &[(x, d.clone())], ScalarType::Float);
+        p.define(f1, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+        let f2 = p.func("f2", &[(x, d.clone())], ScalarType::Float);
+        p.define(f2, vec![Case::always(Expr::at(f1, [x - 1]) + Expr::at(f1, [x + 1]))])
+            .unwrap();
+        let fout = p.func("fout", &[(x, d)], ScalarType::Float);
+        p.define(
+            fout,
+            vec![Case::always(Expr::at(f2, [x - 1]) * Expr::at(f2, [x + 1]))],
+        )
+        .unwrap();
+        let pipe = p.finish(&[fout]).unwrap();
+        (pipe, vec![f1, f2, fout], fout)
+    }
+
+    #[test]
+    fn fig5_characteristics_table() {
+        let (pipe, group, sink) = fig5_group();
+        let al = solve_alignment(&pipe, &group, sink).unwrap();
+        let cmp = compare_tilings(&pipe, &group, &al, &[64], &[1020]).unwrap();
+
+        let ov = cmp.profile(TilingStrategy::Overlapped);
+        assert!(ov.concurrent_start);
+        assert_eq!(ov.sequential_steps, 1);
+        // overlap 2+2 on a 64 tile → 6.25% redundancy
+        assert!((ov.redundant_fraction - 4.0 / 64.0).abs() < 1e-9);
+        assert_eq!(ov.live_boundary_values, 0);
+        assert!(ov.scratchpad_storage);
+
+        let sp = cmp.profile(TilingStrategy::Split);
+        assert!(sp.concurrent_start);
+        assert_eq!(sp.sequential_steps, 2);
+        assert_eq!(sp.redundant_fraction, 0.0);
+        assert_eq!(sp.live_boundary_values, 4); // 2 left + 2 right
+        assert!(!sp.scratchpad_storage);
+
+        let pl = cmp.profile(TilingStrategy::Parallelogram);
+        assert!(!pl.concurrent_start);
+        assert_eq!(pl.sequential_steps, 16); // 1020 / 64 tiles in a wavefront
+        assert!(!pl.scratchpad_storage);
+
+        // Fig. 5's qualitative table, mechanically:
+        // overlapped is the only strategy with parallelism AND scratchpads.
+        let both = cmp
+            .profiles
+            .iter()
+            .filter(|p| p.concurrent_start && p.scratchpad_storage)
+            .count();
+        assert_eq!(both, 1);
+        let t = cmp.table();
+        assert!(t.contains("Overlapped"));
+        assert!(t.contains("Parallelogram"));
+    }
+
+    #[test]
+    fn untiled_dims_do_not_contribute() {
+        let (pipe, group, sink) = fig5_group();
+        let al = solve_alignment(&pipe, &group, sink).unwrap();
+        let cmp = compare_tilings(&pipe, &group, &al, &[0], &[1020]).unwrap();
+        assert_eq!(cmp.profile(TilingStrategy::Overlapped).redundant_fraction, 0.0);
+        assert_eq!(cmp.profile(TilingStrategy::Split).live_boundary_values, 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Affine forms over domain variables — the index expressions of accesses.
+
+use polymage_ir::{BinOp, Expr, PAff, UnOp, VarId};
+use std::fmt;
+
+/// An affine index expression `(Σ qᵢ·vᵢ + c(params)) / m` with floor
+/// division, where `vᵢ` are domain variables and `c` is parameter-affine.
+///
+/// This is the normal form of every analyzable access dimension in the DSL:
+/// stencil offsets (`x + 1`), downsampling (`2x + 1`), upsampling
+/// (`(x + 1) / 2`), channel selection (`2`), and parameter-relative indices
+/// (`x + R`). Index expressions in the DSL use *integer semantics*: division
+/// is floor division.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VAff {
+    /// Coefficients of the domain variables (sorted, non-zero).
+    pub terms: Vec<(VarId, i64)>,
+    /// Parameter-affine constant part of the numerator.
+    pub cst: PAff,
+    /// Positive floor-division denominator.
+    pub den: i64,
+}
+
+impl VAff {
+    /// The constant zero.
+    pub fn zero() -> VAff {
+        VAff { terms: Vec::new(), cst: PAff::cst(0), den: 1 }
+    }
+
+    /// A bare variable.
+    pub fn var(v: VarId) -> VAff {
+        VAff { terms: vec![(v, 1)], cst: PAff::cst(0), den: 1 }
+    }
+
+    /// A constant.
+    pub fn cst(c: i64) -> VAff {
+        VAff { terms: Vec::new(), cst: PAff::cst(c), den: 1 }
+    }
+
+    fn normalize(mut self) -> VAff {
+        self.terms.sort_by_key(|&(v, _)| v);
+        let mut out: Vec<(VarId, i64)> = Vec::with_capacity(self.terms.len());
+        for (v, q) in self.terms.drain(..) {
+            match out.last_mut() {
+                Some((u, p)) if *u == v => *p += q,
+                _ => out.push((v, q)),
+            }
+        }
+        out.retain(|&(_, q)| q != 0);
+        self.terms = out;
+        self
+    }
+
+    /// The coefficient of variable `v` in the numerator.
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.terms.iter().find(|&&(u, _)| u == v).map_or(0, |&(_, q)| q)
+    }
+
+    /// Whether the expression mentions no variables (pure constant/param).
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The single `(variable, coefficient)` pair if exactly one variable
+    /// appears, else `None`.
+    pub fn single_var(&self) -> Option<(VarId, i64)> {
+        if self.terms.len() == 1 {
+            Some(self.terms[0])
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates with concrete variable bindings (`vals[i]` is the value of
+    /// `vars[i]`) and parameter values, using floor division.
+    pub fn eval(&self, vars: &[VarId], vals: &[i64], params: &[i64]) -> i64 {
+        let mut n = 0i64;
+        for &(v, q) in &self.terms {
+            let i = vars
+                .iter()
+                .position(|&u| u == v)
+                .expect("VAff::eval: variable not bound");
+            n += q * vals[i];
+        }
+        // cst is evaluated with its own denominator first (bounds like R/2
+        // are exact in valid pipelines), then combined.
+        n += self.cst.eval(params);
+        n.div_euclid(self.den)
+    }
+
+    /// Attempts to put an index expression into affine normal form.
+    ///
+    /// Returns `None` when the expression is not affine (data-dependent
+    /// indices such as histogram targets, LUT lookups, or products of
+    /// variables).
+    ///
+    /// Recognized forms: variables, parameters, integer constants, `+`, `-`,
+    /// unary negation, multiplication by integer constants, floor division by
+    /// positive integer constants, and integer casts (identity here).
+    pub fn from_expr(e: &Expr) -> Option<VAff> {
+        match e {
+            Expr::Const(c) => {
+                if c.fract() != 0.0 {
+                    return None;
+                }
+                Some(VAff::cst(*c as i64))
+            }
+            Expr::Var(v) => Some(VAff::var(*v)),
+            Expr::Param(p) => {
+                Some(VAff { terms: Vec::new(), cst: PAff::param(*p), den: 1 })
+            }
+            Expr::Cast(ty, inner) if ty.is_integral() => VAff::from_expr(inner),
+            Expr::Unary(UnOp::Neg, a) => {
+                let a = VAff::from_expr(a)?;
+                if a.den != 1 {
+                    // -(x/2) under floor is not an affine floor form; reject.
+                    return None;
+                }
+                Some(VAff {
+                    terms: a.terms.into_iter().map(|(v, q)| (v, -q)).collect(),
+                    cst: -a.cst,
+                    den: 1,
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                let (op, a, b) = (*op, a.as_ref(), b.as_ref());
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        let a = VAff::from_expr(a)?;
+                        let b = VAff::from_expr(b)?;
+                        // Addition under distinct floor denominators does not
+                        // stay affine; require a common denominator of 1 on
+                        // one side or equal denominators.
+                        if a.den != b.den && a.den != 1 && b.den != 1 {
+                            return None;
+                        }
+                        if a.den != b.den {
+                            // Only allow when the non-trivial side is the
+                            // whole expression: (x/2) + 1 is exactly
+                            // (x + 2)/2 only when the addend is an integer —
+                            // floor(x/2) + k == floor((x + 2k)/2). That holds
+                            // for any integer k, so scale the integer side.
+                            let (mut big, small, sign) = if a.den != 1 {
+                                (a, b, if op == BinOp::Sub { -1 } else { 1 })
+                            } else {
+                                // a + (b with den) or a - (b with den): the
+                                // subtraction case -(x/2) is not affine.
+                                if op == BinOp::Sub {
+                                    return None;
+                                }
+                                (b, a, 1)
+                            };
+                            if !small.terms.is_empty() {
+                                // (x/2) + y: mixed denominators with
+                                // variables do not normalize.
+                                return None;
+                            }
+                            big.cst = big.cst + small.cst * (sign * big.den);
+                            return Some(big.normalize());
+                        }
+                        let den = a.den;
+                        let s = if op == BinOp::Sub { -1 } else { 1 };
+                        if s == -1 && den != 1 {
+                            // floor(u/m) - floor(w/m) ≠ floor((u-w)/m).
+                            return None;
+                        }
+                        let mut terms = a.terms;
+                        terms.extend(b.terms.into_iter().map(|(v, q)| (v, s * q)));
+                        Some(
+                            VAff { terms, cst: a.cst + b.cst * s, den }
+                                .normalize(),
+                        )
+                    }
+                    BinOp::Mul => {
+                        let (k, other) = match (VAff::from_expr(a), VAff::from_expr(b)) {
+                            (Some(x), Some(y)) if x.is_const() && x.den == 1 => {
+                                (x.cst.as_const(), Some(y))
+                            }
+                            (Some(x), Some(y)) if y.is_const() && y.den == 1 => {
+                                (y.cst.as_const(), Some(x))
+                            }
+                            _ => (None, None),
+                        };
+                        let (k, other) = (k?, other?);
+                        if other.den != 1 {
+                            // k * floor(x/m) is not an affine floor form.
+                            return None;
+                        }
+                        Some(
+                            VAff {
+                                terms: other
+                                    .terms
+                                    .into_iter()
+                                    .map(|(v, q)| (v, q * k))
+                                    .collect(),
+                                cst: other.cst * k,
+                                den: 1,
+                            }
+                            .normalize(),
+                        )
+                    }
+                    BinOp::Div => {
+                        let x = VAff::from_expr(a)?;
+                        let k = VAff::from_expr(b)?;
+                        let k = if k.is_const() && k.den == 1 { k.cst.as_const()? } else {
+                            return None;
+                        };
+                        if k <= 0 {
+                            return None;
+                        }
+                        // floor(floor(u/m) / k) == floor(u / (m*k))
+                        Some(VAff { terms: x.terms, cst: x.cst, den: x.den * k })
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VAff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, q) in &self.terms {
+            if q >= 0 && !first {
+                write!(f, "+")?;
+            }
+            match q {
+                1 => write!(f, "{v}")?,
+                -1 => write!(f, "-{v}")?,
+                _ => write!(f, "{q}*{v}")?,
+            }
+            first = false;
+        }
+        if self.cst != PAff::cst(0) || first {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", self.cst)?;
+        }
+        if self.den != 1 {
+            write!(f, "/{}", self.den)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymage_ir::ScalarType;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn recognizes_stencil_offset() {
+        let e = v(0) + 1;
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.coeff(v(0)), 1);
+        assert_eq!(a.cst, PAff::cst(1));
+        assert_eq!(a.den, 1);
+    }
+
+    #[test]
+    fn recognizes_downsample() {
+        let e = 2i64 * Expr::from(v(0)) + 1;
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.coeff(v(0)), 2);
+        assert_eq!(a.cst, PAff::cst(1));
+    }
+
+    #[test]
+    fn recognizes_upsample() {
+        let e = (v(0) + 1) / 2;
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.coeff(v(0)), 1);
+        assert_eq!(a.den, 2);
+        assert_eq!(a.eval(&[v(0)], &[3], &[]), 2);
+        assert_eq!(a.eval(&[v(0)], &[2], &[]), 1);
+    }
+
+    #[test]
+    fn div_plus_const_folds() {
+        // x/2 + 3 == (x + 6)/2 under floor
+        let e = Expr::from(v(0)) / 2 + 3;
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.den, 2);
+        assert_eq!(a.eval(&[v(0)], &[5], &[]), 5);
+        // const + x/2 also folds
+        let e = 3i64 + Expr::from(v(0)) / 2;
+        let b = VAff::from_expr(&e).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_div_folds() {
+        let e = Expr::from(v(0)) / 2 / 2;
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.den, 4);
+    }
+
+    #[test]
+    fn rejects_nonaffine() {
+        let x = Expr::from(v(0));
+        assert!(VAff::from_expr(&(x.clone() * x.clone())).is_none());
+        assert!(VAff::from_expr(&x.clone().sqrt()).is_none());
+        assert!(VAff::from_expr(&Expr::Const(0.5)).is_none());
+        // floor-div minus floor-div is rejected
+        let e = Expr::from(v(0)) / 2 - Expr::from(v(1)) / 2;
+        assert!(VAff::from_expr(&e).is_none());
+        // scaling a floor is rejected
+        let e = (Expr::from(v(0)) / 2) * 3;
+        assert!(VAff::from_expr(&e).is_none());
+    }
+
+    #[test]
+    fn param_and_cast() {
+        let p = polymage_ir::ParamId::from_index(0);
+        let e = (v(0) + p).cast(ScalarType::Int);
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.coeff(v(0)), 1);
+        assert_eq!(a.eval(&[v(0)], &[4], &[10]), 14);
+    }
+
+    #[test]
+    fn eval_floor_division_negative() {
+        let e = Expr::from(v(0)) / 2;
+        let a = VAff::from_expr(&e).unwrap();
+        assert_eq!(a.eval(&[v(0)], &[-3], &[]), -2);
+    }
+
+    #[test]
+    fn term_cancellation() {
+        let e = v(0) + 1 - Expr::from(v(0));
+        let a = VAff::from_expr(&e).unwrap();
+        assert!(a.is_const());
+        assert_eq!(a.cst, PAff::cst(1));
+    }
+
+    #[test]
+    fn single_var_extraction() {
+        let a = VAff::from_expr(&(2i64 * Expr::from(v(1)))).unwrap();
+        assert_eq!(a.single_var(), Some((v(1), 2)));
+        assert_eq!(VAff::cst(3).single_var(), None);
+    }
+
+    #[test]
+    fn display() {
+        let a = VAff::from_expr(&((v(0) + 1) / 2)).unwrap();
+        assert_eq!(a.to_string(), "v0+1/2");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the polyhedral substrate's algebra.
+
+use polymage_ir::{BinOp, Expr, PAff, ParamId, VarId};
+use polymage_poly::{narrow_rect_by_cond, Ratio, Rect, VAff};
+use proptest::prelude::*;
+
+fn pid(i: usize) -> ParamId {
+    ParamId::from_index(i)
+}
+
+fn vid(i: usize) -> VarId {
+    VarId::from_index(i)
+}
+
+/// Strategy for small parameter-affine expressions over two parameters.
+fn paff_strategy() -> impl Strategy<Value = PAff> {
+    (-20i64..21, -5i64..6, -5i64..6, 1i64..5).prop_map(|(c, a0, a1, den)| {
+        (PAff::cst(c) + PAff::param(pid(0)) * a0 + PAff::param(pid(1)) * a1) / den
+    })
+}
+
+proptest! {
+    /// Rational PAff arithmetic evaluates consistently: (a+b) at p equals
+    /// exact rational evaluation (checked where divisions are exact).
+    #[test]
+    fn paff_addition_is_exact_rational(
+        a in paff_strategy(),
+        b in paff_strategy(),
+        p0 in -50i64..51,
+        p1 in -50i64..51,
+    ) {
+        let sum = a.clone() + b.clone();
+        let (v, exact) = sum.eval_exact(&[p0, p1]);
+        if exact {
+            // when exact, floor-eval distributes over the rational sum
+            let (va, ea) = a.eval_exact(&[p0, p1]);
+            let (vb, eb) = b.eval_exact(&[p0, p1]);
+            if ea && eb {
+                prop_assert_eq!(v, va + vb);
+            }
+        }
+        // subtraction cancels
+        let z = a.clone() - a;
+        prop_assert_eq!(z.as_const(), Some(0));
+    }
+
+    /// Ratio arithmetic matches f64 arithmetic (within float tolerance) and
+    /// floor/ceil bracket the value.
+    #[test]
+    fn ratio_laws(n1 in -100i64..101, d1 in 1i64..20, n2 in -100i64..101, d2 in 1i64..20) {
+        let a = Ratio::new(n1, d1);
+        let b = Ratio::new(n2, d2);
+        let sum = a + b;
+        prop_assert!((sum.to_f64() - (a.to_f64() + b.to_f64())).abs() < 1e-9);
+        let prod = a * b;
+        prop_assert!((prod.to_f64() - a.to_f64() * b.to_f64()).abs() < 1e-9);
+        prop_assert!(a.floor() as f64 <= a.to_f64() + 1e-12);
+        prop_assert!(a.ceil() as f64 >= a.to_f64() - 1e-12);
+        prop_assert!(a.ceil() - a.floor() <= 1);
+        if n2 != 0 {
+            let q = a / b;
+            prop_assert!((q.to_f64() - a.to_f64() / b.to_f64()).abs() < 1e-9);
+        }
+    }
+
+    /// VAff::from_expr agrees with direct integer evaluation of the
+    /// expression for single-variable affine forms.
+    #[test]
+    fn vaff_matches_expr_semantics(
+        q in 1i64..4,
+        o in -10i64..11,
+        m in 1i64..4,
+        x in -50i64..51,
+    ) {
+        // (q·x + o) / m in index semantics
+        let e = (q * Expr::from(vid(0)) + o as f64) / (m as f64);
+        let a = VAff::from_expr(&e).expect("affine");
+        let got = a.eval(&[vid(0)], &[x], &[]);
+        let want = (q * x + o).div_euclid(m);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Rect algebra: intersection is contained in both; hull contains both;
+    /// intersection ⊆ hull.
+    #[test]
+    fn rect_lattice_laws(
+        a0 in -10i64..10, a1 in 0i64..10,
+        b0 in -10i64..10, b1 in 0i64..10,
+        c0 in -10i64..10, c1 in 0i64..10,
+        d0 in -10i64..10, d1 in 0i64..10,
+    ) {
+        let r1 = Rect::new(vec![(a0, a0 + a1), (b0, b0 + b1)]);
+        let r2 = Rect::new(vec![(c0, c0 + c1), (d0, d0 + d1)]);
+        let i = r1.intersect(&r2);
+        let h = r1.hull(&r2);
+        prop_assert!(r1.contains_rect(&i));
+        prop_assert!(r2.contains_rect(&i));
+        prop_assert!(h.contains_rect(&r1));
+        prop_assert!(h.contains_rect(&r2));
+        prop_assert!(h.contains_rect(&i));
+        // volumes: |i| ≤ min(|r1|,|r2|) ≤ max ≤ |h|
+        prop_assert!(i.volume() <= r1.volume().min(r2.volume()));
+        prop_assert!(h.volume() >= r1.volume().max(r2.volume()));
+    }
+
+    /// Guard narrowing is sound: every point of the original box satisfies
+    /// the guard iff it is inside the narrowed box (for exact captures) and
+    /// on the stride lattice.
+    #[test]
+    fn narrowing_soundness(
+        lo in -5i64..5,
+        len in 0i64..30,
+        glo in -10i64..20,
+        ghi in -10i64..40,
+        m in 2i64..4,
+        k in 0i64..2,
+    ) {
+        let x = vid(0);
+        let cond = Expr::from(x).ge(glo as f64)
+            & Expr::from(x).le(ghi as f64)
+            & Expr::from(x).rem(m as f64).eq_(k as f64);
+        let rect = Rect::new(vec![(lo, lo + len)]);
+        let n = narrow_rect_by_cond(&cond, &[x], &rect, &[]);
+        prop_assert!(n.exact);
+        for xv in lo..=lo + len {
+            let holds = xv >= glo && xv <= ghi && xv.rem_euclid(m) == k;
+            let inside = n.rect.contains(&[xv])
+                && (xv - n.steps[0].1).rem_euclid(n.steps[0].0) == 0;
+            prop_assert_eq!(holds, inside, "x = {}", xv);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Buffers: full arrays and per-tile scratchpads.
+
+use polymage_poly::Rect;
+use std::fmt;
+
+/// Identifier of a buffer inside a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub usize);
+
+/// Storage class of a buffer (paper §3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufKind {
+    /// A full array covering the stage's whole domain; indexed by absolute
+    /// coordinates. Used for inputs, live-outs, and stages consumed across
+    /// group boundaries.
+    Full,
+    /// A per-thread scratchpad covering one overlapped tile's region of the
+    /// stage; indexed relative to the tile-region origin, which the executor
+    /// rebinds per tile.
+    Scratch,
+}
+
+/// Declaration of a buffer in a compiled program.
+#[derive(Debug, Clone)]
+pub struct BufDecl {
+    /// Stage or image name the buffer stores (diagnostics only).
+    pub name: String,
+    /// Storage class.
+    pub kind: BufKind,
+    /// Allocation size per dimension. For [`BufKind::Full`] this is the
+    /// domain extent; for [`BufKind::Scratch`] the worst-case tile-region
+    /// extent over all tiles.
+    pub sizes: Vec<i64>,
+    /// For [`BufKind::Full`]: the domain's lower corner (absolute index −
+    /// origin = storage index). Scratch origins are bound per tile.
+    pub origin: Vec<i64>,
+}
+
+impl BufDecl {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.sizes.iter().product::<i64>().max(0) as usize
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for the declared sizes.
+    pub fn strides(&self) -> Vec<i64> {
+        let mut s = vec![1i64; self.sizes.len()];
+        for d in (0..self.sizes.len().saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * self.sizes[d + 1];
+        }
+        s
+    }
+}
+
+/// A concrete array of `f32` with its domain rectangle — the unit of data
+/// exchanged with the user (input images and live-out results).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer {
+    /// Element values, row-major over `rect`.
+    pub data: Vec<f32>,
+    /// The absolute coordinate box the data covers.
+    pub rect: Rect,
+}
+
+impl Buffer {
+    /// Allocates a zero-filled buffer over `rect`.
+    pub fn zeros(rect: Rect) -> Buffer {
+        let n = rect.volume().max(0) as usize;
+        Buffer { data: vec![0.0; n], rect }
+    }
+
+    /// Builds a buffer from data laid out row-major over `rect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the rectangle's volume.
+    pub fn from_vec(rect: Rect, data: Vec<f32>) -> Buffer {
+        assert_eq!(
+            data.len() as i64,
+            rect.volume(),
+            "buffer data length must match rect volume"
+        );
+        Buffer { data, rect }
+    }
+
+    /// Value at an absolute coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pt` is outside the buffer's rectangle.
+    pub fn at(&self, pt: &[i64]) -> f32 {
+        assert!(self.rect.contains(pt), "point {pt:?} outside {}", self.rect);
+        let mut idx = 0i64;
+        let mut stride = 1i64;
+        for d in (0..pt.len()).rev() {
+            let (lo, hi) = self.rect.range(d);
+            idx += (pt[d] - lo) * stride;
+            stride *= hi - lo + 1;
+        }
+        self.data[idx as usize]
+    }
+
+    /// Fills the buffer with a function of the absolute coordinates
+    /// (convenient for test inputs).
+    pub fn fill_with(mut self, f: impl Fn(&[i64]) -> f32) -> Buffer {
+        let mut i = 0;
+        for pt in self.rect.points() {
+            self.data[i] = f(&pt);
+            i += 1;
+        }
+        self
+    }
+
+    /// Maximum absolute difference against another buffer of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangles differ.
+    pub fn max_abs_diff(&self, other: &Buffer) -> f32 {
+        assert_eq!(self.rect, other.rect, "comparing buffers of different shape");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Display for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Buffer{} ({} elems)", self.rect, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_strides_and_len() {
+        let d = BufDecl {
+            name: "t".into(),
+            kind: BufKind::Full,
+            sizes: vec![4, 5, 6],
+            origin: vec![0, 0, 0],
+        };
+        assert_eq!(d.len(), 120);
+        assert_eq!(d.strides(), vec![30, 6, 1]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn buffer_indexing() {
+        let r = Rect::new(vec![(2, 3), (10, 12)]);
+        let b = Buffer::from_vec(r, (0..6).map(|i| i as f32).collect());
+        assert_eq!(b.at(&[2, 10]), 0.0);
+        assert_eq!(b.at(&[2, 12]), 2.0);
+        assert_eq!(b.at(&[3, 10]), 3.0);
+        assert_eq!(b.at(&[3, 12]), 5.0);
+    }
+
+    #[test]
+    fn fill_with_coords() {
+        let r = Rect::new(vec![(0, 1), (0, 1)]);
+        let b = Buffer::zeros(r).fill_with(|p| (p[0] * 10 + p[1]) as f32);
+        assert_eq!(b.at(&[1, 1]), 11.0);
+        assert_eq!(b.at(&[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn diff() {
+        let r = Rect::new(vec![(0, 3)]);
+        let a = Buffer::from_vec(r.clone(), vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Buffer::from_vec(r, vec![1.0, 2.5, 3.0, 4.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn from_vec_checks_len() {
+        let _ = Buffer::from_vec(Rect::new(vec![(0, 3)]), vec![0.0; 3]);
+    }
+}

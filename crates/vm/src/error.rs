@@ -1,0 +1,43 @@
+//! Executor errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported when running a compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The number of input buffers differs from the program's image count.
+    InputCountMismatch {
+        /// Inputs the program expects.
+        expected: usize,
+        /// Inputs provided.
+        got: usize,
+    },
+    /// An input buffer's rectangle does not match the declared image extent.
+    InputShapeMismatch {
+        /// Index of the offending input.
+        index: usize,
+        /// Expected shape description.
+        expected: String,
+        /// Provided shape description.
+        got: String,
+    },
+    /// Internal invariant violation (a compiler bug, not a user error).
+    Internal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input image(s), got {got}")
+            }
+            VmError::InputShapeMismatch { index, expected, got } => {
+                write!(f, "input {index} has shape {got}, expected {expected}")
+            }
+            VmError::Internal(msg) => write!(f, "internal executor error: {msg}"),
+        }
+    }
+}
+
+impl Error for VmError {}

@@ -1,0 +1,627 @@
+//! The chunk evaluator — the VM's hot path.
+//!
+//! A kernel is evaluated over a *chunk*: a run of up to [`CHUNK`] consecutive
+//! points along the consumer's innermost dimension. Each operation processes
+//! the whole chunk in a tight slice loop, which the Rust compiler
+//! auto-vectorizes — the stand-in for the paper's icc-vectorized `ivdep`
+//! loops. Scalar mode simply evaluates chunks of length 1.
+//!
+//! Kernels are produced in SSA form (every operation writes a fresh
+//! register), which lets the evaluator take disjoint borrows of destination
+//! and source registers without copying.
+
+use crate::{BinF, CmpF, IdxPlan, Kernel, Op, UnF};
+
+/// Chunk capacity (lanes per register).
+pub const CHUNK: usize = 128;
+
+/// A read-only view of a buffer during kernel evaluation.
+///
+/// `origin` is the absolute coordinate stored at flat index 0 (the domain's
+/// lower corner for full buffers, the tile-region origin for scratchpads).
+#[derive(Debug, Clone)]
+pub struct BufView<'a> {
+    /// Backing storage (row-major).
+    pub data: &'a [f32],
+    /// Absolute coordinate of flat index 0.
+    pub origin: Vec<i64>,
+    /// Row-major strides matching the allocation.
+    pub strides: Vec<i64>,
+    /// Allocation sizes.
+    pub sizes: Vec<i64>,
+}
+
+/// Per-chunk evaluation context.
+pub struct ChunkCtx<'a> {
+    /// Consumer coordinates of the chunk's first point; `coords[inner]`
+    /// advances along the chunk.
+    pub coords: &'a [i64],
+    /// Number of points in the chunk (≤ [`CHUNK`]).
+    pub len: usize,
+    /// The innermost (chunked) consumer dimension.
+    pub inner: usize,
+    /// Buffer views, indexed by [`crate::BufId`]. Entries not read by the
+    /// kernel may be `None`.
+    pub bufs: &'a [Option<BufView<'a>>],
+}
+
+/// The register file backing kernel evaluation. Reused across chunks to
+/// avoid allocation in inner loops.
+#[derive(Debug, Default)]
+pub struct RegFile {
+    regs: Vec<[f32; CHUNK]>,
+}
+
+impl RegFile {
+    /// Creates an empty register file.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Ensures capacity for `n` registers.
+    pub fn ensure(&mut self, n: usize) {
+        if self.regs.len() < n {
+            self.regs.resize(n, [0.0; CHUNK]);
+        }
+    }
+
+    /// Read access to a register's lanes.
+    pub fn reg(&self, r: crate::RegId) -> &[f32; CHUNK] {
+        &self.regs[r.0 as usize]
+    }
+
+    /// Disjoint `(dst, src)` borrows.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `dst == a`; kernels are SSA so this cannot happen
+    /// for well-formed programs.
+    fn pair(&mut self, dst: u16, a: u16) -> (&mut [f32; CHUNK], &[f32; CHUNK]) {
+        debug_assert_ne!(dst, a, "kernel not in SSA form");
+        if dst < a {
+            let (lo, hi) = self.regs.split_at_mut(a as usize);
+            (&mut lo[dst as usize], &hi[0])
+        } else {
+            let (lo, hi) = self.regs.split_at_mut(dst as usize);
+            (&mut hi[0], &lo[a as usize])
+        }
+    }
+
+    /// Disjoint `(dst, a, b)` borrows (`a` may equal `b`).
+    fn tri(
+        &mut self,
+        dst: u16,
+        a: u16,
+        b: u16,
+    ) -> (&mut [f32; CHUNK], &[f32; CHUNK], &[f32; CHUNK]) {
+        debug_assert!(dst != a && dst != b, "kernel not in SSA form");
+        let (lo, hi) = self.regs.split_at_mut(dst as usize);
+        // dst is the freshest register: in SSA kernels a, b < dst.
+        debug_assert!(a < dst && b < dst, "operands precede destination in SSA");
+        (&mut hi[0], &lo[a as usize], &lo[b as usize])
+    }
+
+    /// Disjoint `(dst, mask, a, b)` borrows.
+    #[allow(clippy::type_complexity)]
+    fn quad(
+        &mut self,
+        dst: u16,
+        m: u16,
+        a: u16,
+        b: u16,
+    ) -> (&mut [f32; CHUNK], &[f32; CHUNK], &[f32; CHUNK], &[f32; CHUNK]) {
+        debug_assert!(m < dst && a < dst && b < dst, "operands precede destination");
+        let (lo, hi) = self.regs.split_at_mut(dst as usize);
+        (&mut hi[0], &lo[m as usize], &lo[a as usize], &lo[b as usize])
+    }
+}
+
+#[inline]
+fn round_ties_away(v: f32) -> f32 {
+    // f32::round rounds half away from zero — matches C's roundf.
+    v.round()
+}
+
+/// Evaluates `k` over the chunk described by `ctx`, leaving results in
+/// `regs` at `k.outs`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on malformed kernels: unresolved buffers,
+/// non-SSA register use, or out-of-range affine indices. Data-dependent
+/// indices are clamped into the buffer, never panic.
+pub fn eval_kernel(k: &Kernel, ctx: &ChunkCtx<'_>, regs: &mut RegFile) {
+    regs.ensure(k.nregs);
+    let len = ctx.len;
+    for op in &k.ops {
+        match op {
+            Op::ConstF { dst, val } => {
+                regs.regs[dst.0 as usize][..len].fill(*val);
+            }
+            Op::CoordF { dst, dim } => {
+                let d = &mut regs.regs[dst.0 as usize];
+                if *dim == ctx.inner {
+                    let x0 = ctx.coords[*dim];
+                    for (i, v) in d[..len].iter_mut().enumerate() {
+                        *v = (x0 + i as i64) as f32;
+                    }
+                } else {
+                    d[..len].fill(ctx.coords[*dim] as f32);
+                }
+            }
+            Op::BinF { op, dst, a, b } => {
+                let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                match op {
+                    BinF::Add => {
+                        for i in 0..len {
+                            d[i] = va[i] + vb[i];
+                        }
+                    }
+                    BinF::Sub => {
+                        for i in 0..len {
+                            d[i] = va[i] - vb[i];
+                        }
+                    }
+                    BinF::Mul => {
+                        for i in 0..len {
+                            d[i] = va[i] * vb[i];
+                        }
+                    }
+                    BinF::Div => {
+                        for i in 0..len {
+                            d[i] = va[i] / vb[i];
+                        }
+                    }
+                    BinF::Min => {
+                        for i in 0..len {
+                            d[i] = va[i].min(vb[i]);
+                        }
+                    }
+                    BinF::Max => {
+                        for i in 0..len {
+                            d[i] = va[i].max(vb[i]);
+                        }
+                    }
+                    BinF::Mod => {
+                        for i in 0..len {
+                            d[i] = va[i] - vb[i] * (va[i] / vb[i]).floor();
+                        }
+                    }
+                    BinF::Pow => {
+                        for i in 0..len {
+                            d[i] = va[i].powf(vb[i]);
+                        }
+                    }
+                }
+            }
+            Op::UnF { op, dst, a } => {
+                let (d, va) = regs.pair(dst.0, a.0);
+                match op {
+                    UnF::Neg => {
+                        for i in 0..len {
+                            d[i] = -va[i];
+                        }
+                    }
+                    UnF::Abs => {
+                        for i in 0..len {
+                            d[i] = va[i].abs();
+                        }
+                    }
+                    UnF::Sqrt => {
+                        for i in 0..len {
+                            d[i] = va[i].sqrt();
+                        }
+                    }
+                    UnF::Exp => {
+                        for i in 0..len {
+                            d[i] = va[i].exp();
+                        }
+                    }
+                    UnF::Log => {
+                        for i in 0..len {
+                            d[i] = va[i].ln();
+                        }
+                    }
+                    UnF::Sin => {
+                        for i in 0..len {
+                            d[i] = va[i].sin();
+                        }
+                    }
+                    UnF::Cos => {
+                        for i in 0..len {
+                            d[i] = va[i].cos();
+                        }
+                    }
+                    UnF::Floor => {
+                        for i in 0..len {
+                            d[i] = va[i].floor();
+                        }
+                    }
+                    UnF::Ceil => {
+                        for i in 0..len {
+                            d[i] = va[i].ceil();
+                        }
+                    }
+                }
+            }
+            Op::CmpMask { op, dst, a, b } => {
+                let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                macro_rules! cmp {
+                    ($cmp:tt) => {
+                        for i in 0..len {
+                            d[i] = if va[i] $cmp vb[i] { 1.0 } else { 0.0 };
+                        }
+                    };
+                }
+                match op {
+                    CmpF::Lt => cmp!(<),
+                    CmpF::Le => cmp!(<=),
+                    CmpF::Gt => cmp!(>),
+                    CmpF::Ge => cmp!(>=),
+                    CmpF::Eq => cmp!(==),
+                    CmpF::Ne => cmp!(!=),
+                }
+            }
+            Op::MaskAnd { dst, a, b } => {
+                let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                for i in 0..len {
+                    d[i] = va[i] * vb[i];
+                }
+            }
+            Op::MaskOr { dst, a, b } => {
+                let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                for i in 0..len {
+                    d[i] = va[i].max(vb[i]);
+                }
+            }
+            Op::MaskNot { dst, a } => {
+                let (d, va) = regs.pair(dst.0, a.0);
+                for i in 0..len {
+                    d[i] = 1.0 - va[i];
+                }
+            }
+            Op::SelectF { dst, mask, a, b } => {
+                let (d, vm, va, vb) = regs.quad(dst.0, mask.0, a.0, b.0);
+                for i in 0..len {
+                    d[i] = if vm[i] != 0.0 { va[i] } else { vb[i] };
+                }
+            }
+            Op::CastRound { dst, a } => {
+                let (d, va) = regs.pair(dst.0, a.0);
+                for i in 0..len {
+                    d[i] = round_ties_away(va[i]);
+                }
+            }
+            Op::CastSat { dst, a, lo, hi } => {
+                let (d, va) = regs.pair(dst.0, a.0);
+                for i in 0..len {
+                    d[i] = round_ties_away(va[i].clamp(*lo, *hi));
+                }
+            }
+            Op::Load { dst, buf, plan } => {
+                load_chunk(ctx, regs, *dst, *buf, plan, len);
+            }
+        }
+    }
+}
+
+/// Executes one [`Op::Load`].
+fn load_chunk(
+    ctx: &ChunkCtx<'_>,
+    regs: &mut RegFile,
+    dst: crate::RegId,
+    buf: crate::BufId,
+    plan: &[IdxPlan],
+    len: usize,
+) {
+    let view = ctx.bufs[buf.0]
+        .as_ref()
+        .unwrap_or_else(|| panic!("load from unresolved buffer {buf:?}"));
+    debug_assert_eq!(plan.len(), view.sizes.len());
+
+    // Split the plan: base offset from non-varying dims; the varying parts.
+    // More than one plan dimension varying along the chunk axis (diagonal
+    // accesses like g(x, x)) takes the general per-lane path.
+    let mut base = 0i64;
+    let mut inner_aff: Option<(i64, i64, i64, i64)> = None; // (q,o,m,stride)
+    let mut extra_inner: Vec<(i64, i64, i64, i64)> = Vec::new();
+    let mut reg_dims: Vec<(usize, crate::RegId)> = Vec::new();
+    for (d, p) in plan.iter().enumerate() {
+        match *p {
+            IdxPlan::Affine { dim, q, o, m } => {
+                if dim == Some(ctx.inner) && q != 0 {
+                    if inner_aff.is_none() {
+                        inner_aff = Some((q, o, m, view.strides[d]));
+                    } else {
+                        extra_inner.push((q, o, m, view.strides[d]));
+                    }
+                } else {
+                    let coord = dim.map_or(0, |dd| ctx.coords[dd]);
+                    let idx = (q * coord + o).div_euclid(m);
+                    debug_assert!(
+                        idx >= view.origin[d] && idx < view.origin[d] + view.sizes[d],
+                        "affine index {idx} out of buffer range on dim {d} \
+                         (origin {}, size {})",
+                        view.origin[d],
+                        view.sizes[d]
+                    );
+                    base += (idx - view.origin[d]).clamp(0, view.sizes[d] - 1)
+                        * view.strides[d];
+                }
+            }
+            IdxPlan::Reg(r) => reg_dims.push((d, r)),
+        }
+    }
+
+    let d = dst.0 as usize;
+    if !extra_inner.is_empty() {
+        // general diagonal path: every lane computes all varying dims
+        let x0 = ctx.coords[ctx.inner];
+        let dreg = &mut regs.regs[d];
+        let (q0, o0, m0, st0) = inner_aff.expect("first inner plan");
+        let org0 = view.origin[inner_dim_of(plan, ctx.inner)];
+        for (i, v) in dreg[..len].iter_mut().enumerate() {
+            let x = x0 + i as i64;
+            let mut idx = base + ((q0 * x + o0).div_euclid(m0) - org0) * st0;
+            for &(q, o, m, st) in &extra_inner {
+                // origin of the matching dim: recover by stride match
+                let dd = plan
+                    .iter()
+                    .enumerate()
+                    .position(|(pd, p)| {
+                        matches!(p, IdxPlan::Affine { dim: Some(x), q: qq, o: oo, m: mm }
+                            if *x == ctx.inner && *qq == q && *oo == o && *mm == m)
+                            && view.strides[pd] == st
+                    })
+                    .expect("extra inner dim present");
+                idx += ((q * x + o).div_euclid(m) - view.origin[dd]) * st;
+            }
+            *v = view.data[idx as usize];
+        }
+        return;
+    }
+    if reg_dims.is_empty() {
+        match inner_aff {
+            None => {
+                // Fully scalar: broadcast one element.
+                let v = view.data[base as usize];
+                regs.regs[d][..len].fill(v);
+            }
+            Some((q, o, m, stride)) => {
+                let x0 = ctx.coords[ctx.inner];
+                if q == 1 && m == 1 && stride == 1 {
+                    // Contiguous fast path.
+                    let start = base + (x0 + o) - view.origin[inner_dim_of(plan, ctx.inner)];
+                    debug_assert!(start >= 0);
+                    let start = start as usize;
+                    regs.regs[d][..len].copy_from_slice(&view.data[start..start + len]);
+                } else {
+                    let org = view.origin[inner_dim_of(plan, ctx.inner)];
+                    let dreg = &mut regs.regs[d];
+                    for (i, v) in dreg[..len].iter_mut().enumerate() {
+                        let idx = (q * (x0 + i as i64) + o).div_euclid(m) - org;
+                        *v = view.data[(base + idx * stride) as usize];
+                    }
+                }
+            }
+        }
+    } else {
+        // General gather: data-dependent dims from registers.
+        let mut flat = [0i64; CHUNK];
+        flat[..len].fill(base);
+        for &(dim, r) in &reg_dims {
+            let idxs: &[f32; CHUNK] = regs.reg(r);
+            let (org, sz, st) = (view.origin[dim], view.sizes[dim], view.strides[dim]);
+            for i in 0..len {
+                let raw = round_ties_away(idxs[i]) as i64;
+                let clamped = raw.clamp(org, org + sz - 1);
+                flat[i] += (clamped - org) * st;
+            }
+        }
+        if let Some((q, o, m, stride)) = inner_aff {
+            let x0 = ctx.coords[ctx.inner];
+            let org = view.origin[inner_dim_of(plan, ctx.inner)];
+            for (i, f) in flat[..len].iter_mut().enumerate() {
+                let idx = (q * (x0 + i as i64) + o).div_euclid(m) - org;
+                *f += idx * stride;
+            }
+        }
+        let dreg = &mut regs.regs[d];
+        for i in 0..len {
+            dreg[i] = view.data[flat[i] as usize];
+        }
+    }
+}
+
+/// The buffer dimension whose plan varies along the consumer's inner dim.
+fn inner_dim_of(plan: &[IdxPlan], inner: usize) -> usize {
+    plan.iter()
+        .position(
+            |p| matches!(p, IdxPlan::Affine { dim: Some(dd), q, .. } if *dd == inner && *q != 0),
+        )
+        .expect("inner plan present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BufId, RegId};
+
+    fn view(data: &[f32], origin: Vec<i64>, sizes: Vec<i64>) -> BufView<'_> {
+        let mut strides = vec![1i64; sizes.len()];
+        for d in (0..sizes.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * sizes[d + 1];
+        }
+        BufView { data, origin, strides, sizes }
+    }
+
+    fn eval_simple(k: &Kernel, coords: &[i64], len: usize, bufs: &[Option<BufView>]) -> Vec<f32> {
+        let ctx = ChunkCtx { coords, len, inner: coords.len() - 1, bufs };
+        let mut regs = RegFile::new();
+        eval_kernel(k, &ctx, &mut regs);
+        regs.reg(k.out())[..len].to_vec()
+    }
+
+    #[test]
+    fn const_and_arith() {
+        let k = Kernel {
+            ops: vec![
+                Op::ConstF { dst: RegId(0), val: 2.0 },
+                Op::ConstF { dst: RegId(1), val: 3.0 },
+                Op::BinF { op: BinF::Mul, dst: RegId(2), a: RegId(0), b: RegId(1) },
+            ],
+            nregs: 3,
+            outs: vec![RegId(2)],
+        };
+        assert_eq!(eval_simple(&k, &[0], 4, &[]), vec![6.0; 4]);
+    }
+
+    #[test]
+    fn coord_iota_and_broadcast() {
+        let k = Kernel {
+            ops: vec![
+                Op::CoordF { dst: RegId(0), dim: 1 },
+                Op::CoordF { dst: RegId(1), dim: 0 },
+                Op::BinF { op: BinF::Add, dst: RegId(2), a: RegId(0), b: RegId(1) },
+            ],
+            nregs: 3,
+            outs: vec![RegId(2)],
+        };
+        // coords (y=7, x0=10): out = [17, 18, 19]
+        assert_eq!(eval_simple(&k, &[7, 10], 3, &[]), vec![17.0, 18.0, 19.0]);
+    }
+
+    #[test]
+    fn contiguous_load() {
+        let data: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let v = view(&data, vec![0], vec![20]);
+        let k = Kernel {
+            ops: vec![Op::Load {
+                dst: RegId(0),
+                buf: BufId(0),
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 2, m: 1 }],
+            }],
+            nregs: 1,
+            outs: vec![RegId(0)],
+        };
+        assert_eq!(eval_simple(&k, &[5], 3, &[Some(v)]), vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn strided_and_floored_loads() {
+        let data: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let v = view(&data, vec![0], vec![20]);
+        // 2x+1 over x=[1..3]
+        let k = Kernel {
+            ops: vec![Op::Load {
+                dst: RegId(0),
+                buf: BufId(0),
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 2, o: 1, m: 1 }],
+            }],
+            nregs: 1,
+            outs: vec![RegId(0)],
+        };
+        assert_eq!(eval_simple(&k, &[1], 3, &[Some(v.clone())]), vec![3.0, 5.0, 7.0]);
+        // x/2 over x=[4..7]
+        let k = Kernel {
+            ops: vec![Op::Load {
+                dst: RegId(0),
+                buf: BufId(0),
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 2 }],
+            }],
+            nregs: 1,
+            outs: vec![RegId(0)],
+        };
+        assert_eq!(eval_simple(&k, &[4], 4, &[Some(v)]), vec![2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn two_dim_load_with_origin() {
+        // 3×4 buffer with origin (2, 10)
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let v = view(&data, vec![2, 10], vec![3, 4]);
+        // load (y=3, x) for x in [11..13]  → row 1, cols 1..3 → 5,6,7
+        let k = Kernel {
+            ops: vec![Op::Load {
+                dst: RegId(0),
+                buf: BufId(0),
+                plan: vec![
+                    IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 },
+                    IdxPlan::Affine { dim: Some(1), q: 1, o: 0, m: 1 },
+                ],
+            }],
+            nregs: 1,
+            outs: vec![RegId(0)],
+        };
+        assert_eq!(eval_simple(&k, &[3, 11], 3, &[Some(v)]), vec![5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn dynamic_gather_clamps() {
+        let data: Vec<f32> = (0..10).map(|i| (i * 10) as f32).collect();
+        let v = view(&data, vec![0], vec![10]);
+        // index = coords scaled by 3 (some out of range, clamped to 9)
+        let k = Kernel {
+            ops: vec![
+                Op::CoordF { dst: RegId(0), dim: 0 },
+                Op::ConstF { dst: RegId(1), val: 3.0 },
+                Op::BinF { op: BinF::Mul, dst: RegId(2), a: RegId(0), b: RegId(1) },
+                Op::Load { dst: RegId(3), buf: BufId(0), plan: vec![IdxPlan::Reg(RegId(2))] },
+            ],
+            nregs: 4,
+            outs: vec![RegId(3)],
+        };
+        // x = 2,3,4 → idx 6, 9, 12→clamped 9
+        assert_eq!(eval_simple(&k, &[2], 3, &[Some(v)]), vec![60.0, 90.0, 90.0]);
+    }
+
+    #[test]
+    fn select_and_masks() {
+        let k = Kernel {
+            ops: vec![
+                Op::CoordF { dst: RegId(0), dim: 0 },
+                Op::ConstF { dst: RegId(1), val: 2.0 },
+                Op::CmpMask { op: CmpF::Ge, dst: RegId(2), a: RegId(0), b: RegId(1) },
+                Op::MaskNot { dst: RegId(3), a: RegId(2) },
+                Op::SelectF { dst: RegId(4), mask: RegId(3), a: RegId(1), b: RegId(0) },
+            ],
+            nregs: 5,
+            outs: vec![RegId(4)],
+        };
+        // x = 0..3: mask(x>=2) → not → select(not, 2.0, x) = [2,2,2,3]
+        assert_eq!(eval_simple(&k, &[0], 4, &[]), vec![2.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn casts() {
+        let k = Kernel {
+            ops: vec![
+                Op::ConstF { dst: RegId(0), val: 2.5 },
+                Op::CastRound { dst: RegId(1), a: RegId(0) },
+                Op::ConstF { dst: RegId(2), val: 300.0 },
+                Op::CastSat { dst: RegId(3), a: RegId(2), lo: 0.0, hi: 255.0 },
+            ],
+            nregs: 4,
+            outs: vec![RegId(1), RegId(3)],
+        };
+        let ctx = ChunkCtx { coords: &[0], len: 2, inner: 0, bufs: &[] };
+        let mut regs = RegFile::new();
+        eval_kernel(&k, &ctx, &mut regs);
+        assert_eq!(regs.reg(RegId(1))[0], 3.0);
+        assert_eq!(regs.reg(RegId(3))[0], 255.0);
+    }
+
+    #[test]
+    fn mod_is_euclidean() {
+        let k = Kernel {
+            ops: vec![
+                Op::ConstF { dst: RegId(0), val: -3.0 },
+                Op::ConstF { dst: RegId(1), val: 5.0 },
+                Op::BinF { op: BinF::Mod, dst: RegId(2), a: RegId(0), b: RegId(1) },
+            ],
+            nregs: 3,
+            outs: vec![RegId(2)],
+        };
+        assert_eq!(eval_simple(&k, &[0], 1, &[]), vec![2.0]);
+    }
+}

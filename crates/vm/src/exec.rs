@@ -1,0 +1,957 @@
+//! The parallel executor: tiled groups, reductions, sequential scans.
+
+use crate::eval::{eval_kernel, BufView, ChunkCtx};
+use crate::{
+    BufDecl, BufId, Buffer, CaseExec, EvalMode, GroupKind, Program, ReductionExec,
+    RegFile, SeqExec, StageExec, TiledGroup, VmError, CHUNK,
+};
+use polymage_poly::Rect;
+
+/// Execution statistics of one program run (all tiled groups).
+///
+/// `points_computed` counts every point evaluated, including the redundant
+/// recomputation at overlapped-tile borders — comparing it against the sum
+/// of stage domain volumes measures the *actual* redundancy, which tests
+/// check against the §3.4 analysis' prediction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Overlapped tiles executed.
+    pub tiles: u64,
+    /// Kernel chunk evaluations.
+    pub chunks: u64,
+    /// Points computed (lanes stored), including redundant recomputation.
+    pub points_computed: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    tiles: std::sync::atomic::AtomicU64,
+    chunks: std::sync::atomic::AtomicU64,
+    points: std::sync::atomic::AtomicU64,
+}
+
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Runs a compiled program on the given input images.
+///
+/// `nthreads` is the number of worker threads for tiled groups and
+/// reductions (the paper's core count). The returned buffers are the
+/// program's live-outs, in [`Program::outputs`] order.
+///
+/// # Errors
+///
+/// Returns [`VmError`] when the inputs do not match the program's images or
+/// an internal invariant is violated.
+pub fn run_program(
+    prog: &Program,
+    inputs: &[Buffer],
+    nthreads: usize,
+) -> Result<Vec<Buffer>, VmError> {
+    run_inner(prog, inputs, nthreads, None)
+}
+
+/// Like [`run_program`], additionally returning execution statistics.
+///
+/// # Errors
+///
+/// Same conditions as [`run_program`].
+pub fn run_program_stats(
+    prog: &Program,
+    inputs: &[Buffer],
+    nthreads: usize,
+) -> Result<(Vec<Buffer>, RunStats), VmError> {
+    let cells = StatCells::default();
+    let out = run_inner(prog, inputs, nthreads, Some(&cells))?;
+    Ok((
+        out,
+        RunStats {
+            tiles: cells.tiles.load(Relaxed),
+            chunks: cells.chunks.load(Relaxed),
+            points_computed: cells.points.load(Relaxed),
+        },
+    ))
+}
+
+fn run_inner(
+    prog: &Program,
+    inputs: &[Buffer],
+    nthreads: usize,
+    stats: Option<&StatCells>,
+) -> Result<Vec<Buffer>, VmError> {
+    let nthreads = nthreads.max(1);
+    if inputs.len() != prog.image_bufs.len() {
+        return Err(VmError::InputCountMismatch {
+            expected: prog.image_bufs.len(),
+            got: inputs.len(),
+        });
+    }
+    // Allocate full buffers; scratch entries stay empty (they live in
+    // per-thread arenas).
+    let mut fulls: Vec<Vec<f32>> = prog
+        .buffers
+        .iter()
+        .map(|b| match b.kind {
+            crate::BufKind::Full => vec![0.0f32; b.len()],
+            crate::BufKind::Scratch => Vec::new(),
+        })
+        .collect();
+    for (i, (&b, input)) in prog.image_bufs.iter().zip(inputs).enumerate() {
+        let decl = &prog.buffers[b.0];
+        let want = decl_rect(decl);
+        if input.rect != want {
+            return Err(VmError::InputShapeMismatch {
+                index: i,
+                expected: want.to_string(),
+                got: input.rect.to_string(),
+            });
+        }
+        fulls[b.0].copy_from_slice(&input.data);
+    }
+
+    for group in &prog.groups {
+        match &group.kind {
+            GroupKind::Tiled(tg) => execute_tiled(prog, tg, &mut fulls, nthreads, stats)?,
+            GroupKind::Reduction(red) => {
+                execute_reduction(prog, red, &mut fulls, nthreads)?
+            }
+            GroupKind::Sequential(seq) => execute_seq(prog, seq, &mut fulls)?,
+        }
+    }
+
+    Ok(prog
+        .outputs
+        .iter()
+        .map(|(_, b)| {
+            Buffer::from_vec(decl_rect(&prog.buffers[b.0]), fulls[b.0].clone())
+        })
+        .collect())
+}
+
+fn decl_rect(decl: &BufDecl) -> Rect {
+    Rect::new(
+        decl.origin
+            .iter()
+            .zip(&decl.sizes)
+            .map(|(&o, &s)| (o, o + s - 1))
+            .collect(),
+    )
+}
+
+/// Where stores land: a flat array addressed as `offset + Σ coordᵈ·strideᵈ`
+/// (strided cases fold their `(stride, phase)` into these).
+struct StoreDest<'a> {
+    data: &'a mut [f32],
+    offset: i64,
+    strides: Vec<i64>,
+}
+
+impl<'a> StoreDest<'a> {
+    /// Builds a destination for buffer storage with the given origin,
+    /// buffer strides, and per-dim case steps.
+    fn new(
+        data: &'a mut [f32],
+        origin: &[i64],
+        buf_strides: &[i64],
+        steps: &[(i64, i64)],
+    ) -> StoreDest<'a> {
+        let mut offset = 0i64;
+        let mut strides = Vec::with_capacity(buf_strides.len());
+        for d in 0..buf_strides.len() {
+            let (s, ph) = steps.get(d).copied().unwrap_or((1, 0));
+            offset += (ph - origin[d]) * buf_strides[d];
+            strides.push(s * buf_strides[d]);
+        }
+        StoreDest { data, offset, strides }
+    }
+
+    fn flat(&self, coords: &[i64]) -> usize {
+        let mut idx = self.offset;
+        for d in 0..coords.len() {
+            idx += coords[d] * self.strides[d];
+        }
+        idx as usize
+    }
+}
+
+/// Converts a concrete rectangle into strided ("virtual") coordinates:
+/// dimension `d` keeps only points `≡ phase (mod stride)`, renumbered
+/// consecutively.
+fn virtual_rect(rect: &Rect, steps: &[(i64, i64)]) -> Rect {
+    Rect::new(
+        rect.ranges()
+            .iter()
+            .enumerate()
+            .map(|(d, &(lo, hi))| {
+                let (s, ph) = steps.get(d).copied().unwrap_or((1, 0));
+                if s == 1 {
+                    (lo - ph, hi - ph) // ph is 0 for identity steps
+                } else {
+                    // ceil((lo − ph)/s) ..= floor((hi − ph)/s)
+                    (-(-(lo - ph)).div_euclid(s), (hi - ph).div_euclid(s))
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Iterates the coordinates of `rect` over every dimension except `axis`
+/// (the chunked one), invoking `f` with the coordinate buffer whose `axis`
+/// entry is reset to the range start.
+fn for_each_row(rect: &Rect, axis: usize, f: &mut dyn FnMut(&mut [i64])) {
+    if rect.is_empty() {
+        return;
+    }
+    let n = rect.ndim();
+    let mut coords: Vec<i64> = rect.ranges().iter().map(|&(lo, _)| lo).collect();
+    if n == 1 {
+        f(&mut coords);
+        return;
+    }
+    // iteration order over the non-axis dims, outermost first
+    let dims: Vec<usize> = (0..n).filter(|&d| d != axis).collect();
+    loop {
+        coords[axis] = rect.range(axis).0;
+        f(&mut coords);
+        // advance odometer over the non-axis dims
+        let mut i = dims.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            let d = dims[i];
+            coords[d] += 1;
+            if coords[d] <= rect.range(d).1 {
+                break;
+            }
+            coords[d] = rect.range(d).0;
+        }
+    }
+}
+
+/// Chooses the chunk axis for a rectangle: the last dimension unless it is
+/// short and another dimension is substantially longer (small innermost
+/// dimensions — color channels, grid depth — would otherwise cap chunks at
+/// a few lanes).
+fn chunk_axis(rect: &Rect) -> usize {
+    let n = rect.ndim();
+    if n <= 1 {
+        return 0;
+    }
+    // Innermost dimension with a worthwhile extent (smallest load/store
+    // stride wins ties), else the longest dimension overall.
+    for d in (0..n).rev() {
+        if rect.extent(d) >= 32 {
+            return d;
+        }
+    }
+    (0..n).max_by_key(|&d| rect.extent(d)).unwrap_or(n - 1)
+}
+
+/// Evaluates all cases of a stage over `region`, storing into a flat
+/// buffer addressed by `origin`/`buf_strides`.
+#[allow(clippy::too_many_arguments)]
+fn eval_cases_into(
+    cases: &[CaseExec],
+    region: &Rect,
+    sat: Option<(f32, f32)>,
+    round: bool,
+    mode: EvalMode,
+    views: &[Option<BufView<'_>>],
+    regs: &mut RegFile,
+    data: &mut [f32],
+    origin: &[i64],
+    buf_strides: &[i64],
+    local: &mut LocalStats,
+) {
+    let step = match mode {
+        EvalMode::Vector => CHUNK,
+        EvalMode::Scalar => 1,
+    };
+    for case in cases {
+        let rect = case.rect.intersect(region);
+        if rect.is_empty() {
+            continue;
+        }
+        // Strided cases iterate compressed coordinates; their kernels were
+        // lowered in that space.
+        let vrect = virtual_rect(&rect, &case.steps);
+        if vrect.is_empty() {
+            continue;
+        }
+        // Chunk along the most profitable dimension (kernels resolve the
+        // chunk axis at run time).
+        let axis = chunk_axis(&vrect);
+        let dest = StoreDest::new(&mut *data, origin, buf_strides, &case.steps);
+        let axis_contig = dest.strides[axis] == 1;
+        let (xlo, xhi) = vrect.range(axis);
+        for_each_row(&vrect, axis, &mut |coords| {
+            let mut x = xlo;
+            while x <= xhi {
+                let len = ((xhi - x + 1) as usize).min(step);
+                coords[axis] = x;
+                let ctx = ChunkCtx { coords, len, inner: axis, bufs: views };
+                eval_kernel(&case.kernel, &ctx, regs);
+                local.chunks += 1;
+                local.points += len as u64;
+                let base = dest.flat(coords);
+                let out = &regs.reg(case.kernel.out())[..len];
+                match case.mask {
+                    None if axis_contig => {
+                        let dst = &mut dest.data[base..base + len];
+                        store_lanes(dst, out, sat, round);
+                    }
+                    None => {
+                        let st = dest.strides[axis] as usize;
+                        for (i, &v) in out.iter().enumerate().take(len) {
+                            dest.data[base + i * st] = transform(v, sat, round);
+                        }
+                    }
+                    Some(m) => {
+                        let st = dest.strides[axis];
+                        let mask: [f32; CHUNK] = *regs.reg(m);
+                        for i in 0..len {
+                            if mask[i] != 0.0 {
+                                dest.data[(base as i64 + i as i64 * st) as usize] =
+                                    transform(out[i], sat, round);
+                            }
+                        }
+                    }
+                }
+                x += len as i64;
+            }
+        });
+    }
+}
+
+#[inline]
+fn transform(v: f32, sat: Option<(f32, f32)>, round: bool) -> f32 {
+    let v = match sat {
+        Some((lo, hi)) => v.clamp(lo, hi),
+        None => v,
+    };
+    if round {
+        v.round()
+    } else {
+        v
+    }
+}
+
+fn store_lanes(dst: &mut [f32], src: &[f32], sat: Option<(f32, f32)>, round: bool) {
+    match (sat, round) {
+        (None, false) => dst.copy_from_slice(src),
+        (Some((lo, hi)), true) => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.clamp(lo, hi).round();
+            }
+        }
+        (Some((lo, hi)), false) => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.clamp(lo, hi);
+            }
+        }
+        (None, true) => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.round();
+            }
+        }
+    }
+}
+
+/// A slab of a full buffer owned by one strip: rows `[row_lo, row_hi]`.
+struct Slab<'a> {
+    stage: usize,
+    row_lo: i64,
+    data: &'a mut [f32],
+}
+
+fn execute_tiled(
+    prog: &Program,
+    tg: &TiledGroup,
+    fulls: &mut [Vec<f32>],
+    nthreads: usize,
+    stats: Option<&StatCells>,
+) -> Result<(), VmError> {
+    // Which full buffers this group writes, by stage.
+    let written: Vec<(usize, BufId)> = tg
+        .stages
+        .iter()
+        .enumerate()
+        .filter_map(|(k, s)| s.full.map(|b| (k, b)))
+        .collect();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &(_, b) in &written {
+            if !seen.insert(b) {
+                return Err(VmError::Internal(format!(
+                    "buffer {b:?} written by two stages in one group"
+                )));
+            }
+        }
+    }
+
+    // Row ranges each strip owns per written stage (from precomputed stores).
+    let mut strip_rows: Vec<Vec<Option<(i64, i64)>>> =
+        vec![vec![None; tg.nstrips]; tg.stages.len()];
+    for t in &tg.tiles {
+        for (k, st) in t.stores.iter().enumerate() {
+            if let Some(r) = st {
+                if r.is_empty() {
+                    continue;
+                }
+                let (lo, hi) = r.range(0);
+                let e = &mut strip_rows[k][t.strip];
+                *e = Some(match *e {
+                    None => (lo, hi),
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                });
+            }
+        }
+    }
+
+    // Tiles grouped by strip.
+    let mut tiles_by_strip: Vec<Vec<usize>> = vec![Vec::new(); tg.nstrips];
+    for (i, t) in tg.tiles.iter().enumerate() {
+        tiles_by_strip[t.strip].push(i);
+    }
+
+    // Split written buffers out of `fulls`; everything else is read-only.
+    let writes: std::collections::HashMap<usize, usize> =
+        written.iter().map(|&(k, b)| (b.0, k)).collect();
+    let mut read_refs: Vec<Option<&[f32]>> = vec![None; fulls.len()];
+    let mut writers: Vec<(usize, BufId, &mut Vec<f32>)> = Vec::new();
+    for (i, v) in fulls.iter_mut().enumerate() {
+        if let Some(&k) = writes.get(&i) {
+            writers.push((k, BufId(i), v));
+        } else {
+            read_refs[i] = Some(&v[..]);
+        }
+    }
+
+    // Partition each written buffer into per-strip slabs.
+    let mut slabs_per_strip: Vec<Vec<Slab<'_>>> = Vec::with_capacity(tg.nstrips);
+    for _ in 0..tg.nstrips {
+        slabs_per_strip.push(Vec::new());
+    }
+    for (k, b, buf) in writers {
+        let decl = &prog.buffers[b.0];
+        let row_size = if decl.sizes.len() > 1 {
+            decl.sizes[1..].iter().product::<i64>()
+        } else {
+            1
+        };
+        let mut rest: &mut [f32] = buf.as_mut_slice();
+        let mut consumed = 0i64; // rows consumed so far (relative to origin)
+        for s in 0..tg.nstrips {
+            let Some((lo, hi)) = strip_rows[k][s] else { continue };
+            let start_row = lo - decl.origin[0];
+            if start_row < consumed {
+                return Err(VmError::Internal(format!(
+                    "strip rows overlap for stage {k} (`{}`)",
+                    tg.stages[k].name
+                )));
+            }
+            let skip = ((start_row - consumed) * row_size) as usize;
+            let take = ((hi - lo + 1) * row_size) as usize;
+            let (_, r) = rest.split_at_mut(skip);
+            let (slab, r2) = r.split_at_mut(take);
+            rest = r2;
+            consumed = start_row + (hi - lo + 1);
+            slabs_per_strip[s].push(Slab { stage: k, row_lo: lo, data: slab });
+        }
+    }
+
+    // Distribute strips round-robin over workers.
+    let mut tasks: Vec<Vec<(usize, Vec<Slab<'_>>)>> = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        tasks.push(Vec::new());
+    }
+    for (s, slabs) in slabs_per_strip.into_iter().enumerate() {
+        tasks[s % nthreads].push((s, slabs));
+    }
+
+    let read_refs = &read_refs; // shared across workers
+    let tiles_by_strip = &tiles_by_strip;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for task in tasks {
+            if task.is_empty() {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                worker_strips(prog, tg, read_refs, tiles_by_strip, task, stats);
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    });
+    Ok(())
+}
+
+/// Processes a set of strips (with their slabs) on one worker thread.
+fn worker_strips(
+    prog: &Program,
+    tg: &TiledGroup,
+    read_refs: &[Option<&[f32]>],
+    tiles_by_strip: &[Vec<usize>],
+    mut task: Vec<(usize, Vec<Slab<'_>>)>,
+    stats: Option<&StatCells>,
+) {
+    // Per-thread scratch arena, one entry per stage (empty for direct).
+    let mut arena: Vec<Vec<f32>> = tg
+        .stages
+        .iter()
+        .map(|s| {
+            if s.direct {
+                Vec::new()
+            } else {
+                vec![0.0f32; prog.buffers[s.scratch.0].len()]
+            }
+        })
+        .collect();
+    let mut regs = RegFile::new();
+
+    let mut local = LocalStats::default();
+    for (strip, slabs) in task.iter_mut() {
+        for &ti in &tiles_by_strip[*strip] {
+            let tile = &tg.tiles[ti];
+            local.tiles += 1;
+            run_tile(prog, tg, tile, read_refs, slabs, &mut arena, &mut regs, &mut local);
+        }
+    }
+    if let Some(cells) = stats {
+        cells.tiles.fetch_add(local.tiles, Relaxed);
+        cells.chunks.fetch_add(local.chunks, Relaxed);
+        cells.points.fetch_add(local.points, Relaxed);
+    }
+}
+
+/// Per-worker counters, flushed to the shared atomics once per group.
+#[derive(Default)]
+struct LocalStats {
+    tiles: u64,
+    chunks: u64,
+    points: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_tile(
+    prog: &Program,
+    tg: &TiledGroup,
+    tile: &crate::TileWork,
+    read_refs: &[Option<&[f32]>],
+    slabs: &mut [Slab<'_>],
+    arena: &mut [Vec<f32>],
+    regs: &mut RegFile,
+    local: &mut LocalStats,
+) {
+    for (k, stage) in tg.stages.iter().enumerate() {
+        let region = &tile.regions[k];
+        if region.is_empty() {
+            continue;
+        }
+        // Split the arena: producers (already computed) before `k`.
+        let (done, rest) = arena.split_at_mut(k);
+        let views = build_views(prog, tg, tile, read_refs, done, stage, k);
+
+        if stage.direct {
+            let b = stage.full.expect("direct stage stores to a full buffer");
+            let decl = &prog.buffers[b.0];
+            let store = tile.stores[k].clone().unwrap_or_else(|| region.clone());
+            if store.is_empty() {
+                continue;
+            }
+            let si = slabs
+                .iter()
+                .position(|s| s.stage == k)
+                .expect("slab for direct stage");
+            let mut origin = decl.origin.clone();
+            origin[0] = slabs[si].row_lo;
+            eval_cases_into(
+                &stage.cases, &store, stage.sat, stage.round, prog.mode, &views,
+                regs, slabs[si].data, &origin, &decl.strides(), local,
+            );
+        } else {
+            let decl = &prog.buffers[stage.scratch.0];
+            let target = &mut rest[0];
+            // Zero the region (undefined values read as 0).
+            zero_region(target, decl, region);
+            let origin: Vec<i64> = region.ranges().iter().map(|&(lo, _)| lo).collect();
+            eval_cases_into(
+                &stage.cases, region, stage.sat, stage.round, prog.mode, &views,
+                regs, target, &origin, &decl.strides(), local,
+            );
+            // Copy-out to the full buffer if required.
+            if let Some(b) = stage.full {
+                if let Some(store) = &tile.stores[k] {
+                    if !store.is_empty() {
+                        let fdecl = &prog.buffers[b.0];
+                        let si = slabs
+                            .iter()
+                            .position(|s| s.stage == k)
+                            .expect("slab for stored stage");
+                        copy_region(
+                            &rest[0], decl, region, slabs[si].data, fdecl,
+                            slabs[si].row_lo, store,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the buffer views a stage's kernels need.
+fn build_views<'a>(
+    prog: &Program,
+    tg: &TiledGroup,
+    tile: &crate::TileWork,
+    read_refs: &[Option<&'a [f32]>],
+    done: &'a [Vec<f32>],
+    stage: &StageExec,
+    _k: usize,
+) -> Vec<Option<BufView<'a>>> {
+    let mut views: Vec<Option<BufView<'a>>> = vec![None; prog.buffers.len()];
+    for &b in &stage.reads {
+        let decl = &prog.buffers[b.0];
+        match decl.kind {
+            crate::BufKind::Full => {
+                let data = read_refs[b.0].unwrap_or_else(|| {
+                    panic!(
+                        "stage `{}` reads full buffer `{}` written by its own group",
+                        stage.name, decl.name
+                    )
+                });
+                views[b.0] = Some(BufView {
+                    data,
+                    origin: decl.origin.clone(),
+                    strides: decl.strides(),
+                    sizes: decl.sizes.clone(),
+                });
+            }
+            crate::BufKind::Scratch => {
+                let j = tg
+                    .stages
+                    .iter()
+                    .position(|s| s.scratch == b)
+                    .expect("scratch owner in group");
+                let region = &tile.regions[j];
+                views[b.0] = Some(BufView {
+                    data: &done[j][..],
+                    origin: region.ranges().iter().map(|&(lo, _)| lo).collect(),
+                    strides: decl.strides(),
+                    sizes: decl.sizes.clone(),
+                });
+            }
+        }
+    }
+    views
+}
+
+/// Zeroes the rows of `region` inside a scratch allocation.
+fn zero_region(target: &mut [f32], decl: &BufDecl, region: &Rect) {
+    let strides = decl.strides();
+    let n = region.ndim();
+    let origin: Vec<i64> = region.ranges().iter().map(|&(lo, _)| lo).collect();
+    let row_len = region.extent(n - 1) as usize;
+    for_each_row(region, region.ndim() - 1, &mut |coords| {
+        let mut base = 0i64;
+        for d in 0..n - 1 {
+            base += (coords[d] - origin[d]) * strides[d];
+        }
+        let base = base as usize;
+        target[base..base + row_len].fill(0.0);
+    });
+}
+
+/// Copies `store` rows from a scratch region to a full-buffer slab.
+#[allow(clippy::too_many_arguments)]
+fn copy_region(
+    scratch: &[f32],
+    sdecl: &BufDecl,
+    region: &Rect,
+    slab: &mut [f32],
+    fdecl: &BufDecl,
+    slab_row_lo: i64,
+    store: &Rect,
+) {
+    let sstr = sdecl.strides();
+    let fstr = fdecl.strides();
+    let sorigin: Vec<i64> = region.ranges().iter().map(|&(lo, _)| lo).collect();
+    let mut forigin = fdecl.origin.clone();
+    forigin[0] = slab_row_lo;
+    let n = store.ndim();
+    let row_len = store.extent(n - 1) as usize;
+    for_each_row(store, store.ndim() - 1, &mut |coords| {
+        let mut sbase = 0i64;
+        let mut fbase = 0i64;
+        for d in 0..n {
+            let c = if d == n - 1 { store.range(d).0 } else { coords[d] };
+            sbase += (c - sorigin[d]) * sstr[d];
+            fbase += (c - forigin[d]) * fstr[d];
+        }
+        slab[fbase as usize..fbase as usize + row_len]
+            .copy_from_slice(&scratch[sbase as usize..sbase as usize + row_len]);
+    });
+}
+
+fn execute_reduction(
+    prog: &Program,
+    red: &ReductionExec,
+    fulls: &mut [Vec<f32>],
+    nthreads: usize,
+) -> Result<(), VmError> {
+    let decl = &prog.buffers[red.out.0];
+    let identity = red.op.identity() as f32;
+
+    // Views: everything the kernel reads (never its own output).
+    let mut read_refs: Vec<Option<&[f32]>> = vec![None; fulls.len()];
+    let mut out_vec: Vec<f32> = Vec::new();
+    for (i, v) in fulls.iter_mut().enumerate() {
+        if i == red.out.0 {
+            out_vec = std::mem::take(v);
+        } else {
+            read_refs[i] = Some(&v[..]);
+        }
+    }
+    out_vec.fill(identity);
+
+    let views = reduction_views(prog, red, &read_refs);
+
+    // Split the reduction domain's outer dimension across threads.
+    let (rlo, rhi) = red.red_dom.range(0);
+    let total = (rhi - rlo + 1).max(0);
+    let nth = nthreads.min(total.max(1) as usize).max(1);
+    if nth == 1 {
+        sweep_reduction(prog, red, &views, &red.red_dom, &mut out_vec);
+    } else {
+        let chunk = total.div_euclid(nth as i64) + 1;
+        let mut partials: Vec<Vec<f32>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..nth {
+                let lo = rlo + t as i64 * chunk;
+                let hi = (lo + chunk - 1).min(rhi);
+                if lo > hi {
+                    continue;
+                }
+                let views = &views;
+                let sz = out_vec.len();
+                handles.push(scope.spawn(move || {
+                    let mut part = vec![identity; sz];
+                    let mut dom = red.red_dom.clone();
+                    *dom.range_mut(0) = (lo, hi);
+                    sweep_reduction(prog, red, views, &dom, &mut part);
+                    part
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("reduction worker panicked"));
+            }
+        });
+        for part in partials {
+            for (o, p) in out_vec.iter_mut().zip(part) {
+                *o = red.op.combine(*o as f64, p as f64) as f32;
+            }
+        }
+    }
+
+    // Cells never touched keep the identity; for Min/Max that would be
+    // ±∞ — replace with 0 to match the zero-for-undefined convention.
+    if !matches!(red.op, polymage_ir::Reduction::Sum) {
+        for v in out_vec.iter_mut() {
+            if !v.is_finite() && *v == identity {
+                *v = 0.0;
+            }
+        }
+    }
+
+    fulls[red.out.0] = out_vec;
+    let _ = decl;
+    Ok(())
+}
+
+fn reduction_views<'a>(
+    prog: &Program,
+    red: &ReductionExec,
+    read_refs: &[Option<&'a [f32]>],
+) -> Vec<Option<BufView<'a>>> {
+    let mut views: Vec<Option<BufView<'a>>> = vec![None; prog.buffers.len()];
+    for &b in &red.reads {
+        let decl = &prog.buffers[b.0];
+        let data = read_refs[b.0].unwrap_or_else(|| {
+            panic!("reduction `{}` reads unavailable buffer `{}`", red.name, decl.name)
+        });
+        views[b.0] = Some(BufView {
+            data,
+            origin: decl.origin.clone(),
+            strides: decl.strides(),
+            sizes: decl.sizes.clone(),
+        });
+    }
+    views
+}
+
+/// Sweeps (part of) the reduction domain, combining into `out`.
+fn sweep_reduction(
+    prog: &Program,
+    red: &ReductionExec,
+    views: &[Option<BufView<'_>>],
+    dom: &Rect,
+    out: &mut [f32],
+) {
+    if dom.is_empty() {
+        return;
+    }
+    let decl = &prog.buffers[red.out.0];
+    let strides = decl.strides();
+    let n = dom.ndim();
+    let ndim_out = decl.sizes.len();
+    let step = match prog.mode {
+        EvalMode::Vector => CHUNK,
+        EvalMode::Scalar => 1,
+    };
+    let mut regs = RegFile::new();
+    let (xlo, xhi) = dom.range(n - 1);
+    for_each_row(dom, dom.ndim() - 1, &mut |coords| {
+        let mut x = xlo;
+        while x <= xhi {
+            let len = ((xhi - x + 1) as usize).min(step);
+            coords[n - 1] = x;
+            let ctx = ChunkCtx { coords, len, inner: n - 1, bufs: views };
+            eval_kernel(&red.kernel, &ctx, &mut regs);
+            let val: [f32; CHUNK] = *regs.reg(red.kernel.outs[0]);
+            // Gather target indices and scatter-combine.
+            for i in 0..len {
+                let mut flat = 0i64;
+                let mut ok = true;
+                for d in 0..ndim_out {
+                    let idx = regs.reg(red.kernel.outs[1 + d])[i].round() as i64;
+                    let idx = idx.clamp(
+                        decl.origin[d],
+                        decl.origin[d] + decl.sizes[d] - 1,
+                    );
+                    if decl.sizes[d] == 0 {
+                        ok = false;
+                        break;
+                    }
+                    flat += (idx - decl.origin[d]) * strides[d];
+                }
+                if ok {
+                    let cell = &mut out[flat as usize];
+                    *cell = red.op.combine(*cell as f64, val[i] as f64) as f32;
+                }
+            }
+            x += len as i64;
+        }
+    });
+}
+
+fn execute_seq(
+    prog: &Program,
+    seq: &SeqExec,
+    fulls: &mut [Vec<f32>],
+) -> Result<(), VmError> {
+    let decl = &prog.buffers[seq.out.0];
+    let strides = decl.strides();
+    let n = seq.dom.ndim();
+    let step = match (seq.chunked, prog.mode) {
+        (true, EvalMode::Vector) => CHUNK,
+        _ => 1,
+    };
+
+    let mut read_refs: Vec<Option<&[f32]>> = vec![None; fulls.len()];
+    let mut out_vec: Vec<f32> = Vec::new();
+    for (i, v) in fulls.iter_mut().enumerate() {
+        if i == seq.out.0 {
+            out_vec = std::mem::take(v);
+        } else {
+            read_refs[i] = Some(&v[..]);
+        }
+    }
+
+    let mut regs = RegFile::new();
+    let mut tmp = [0.0f32; CHUNK];
+    let mut tmp_mask = [0.0f32; CHUNK];
+    for case in &seq.cases {
+        let rect = case.rect.intersect(&seq.dom);
+        if rect.is_empty() {
+            continue;
+        }
+        let vrect = virtual_rect(&rect, &case.steps);
+        if vrect.is_empty() {
+            continue;
+        }
+        // strided store addressing: offset + Σ coordᵈ·vstrideᵈ
+        let mut offset = 0i64;
+        let mut vstrides = Vec::with_capacity(n);
+        for d in 0..n {
+            let (s, ph) = case.steps.get(d).copied().unwrap_or((1, 0));
+            offset += (ph - decl.origin[d]) * strides[d];
+            vstrides.push(s * strides[d]);
+        }
+        let (xlo, xhi) = vrect.range(n - 1);
+        for_each_row(&vrect, vrect.ndim() - 1, &mut |coords| {
+            let mut x = xlo;
+            while x <= xhi {
+                let len = ((xhi - x + 1) as usize).min(step);
+                coords[n - 1] = x;
+                {
+                    // Build views including the (partially written) output.
+                    let mut views = reduction_views_for_seq(prog, seq, &read_refs);
+                    views[seq.out.0] = Some(BufView {
+                        data: &out_vec[..],
+                        origin: decl.origin.clone(),
+                        strides: strides.clone(),
+                        sizes: decl.sizes.clone(),
+                    });
+                    let ctx = ChunkCtx { coords, len, inner: n - 1, bufs: &views };
+                    eval_kernel(&case.kernel, &ctx, &mut regs);
+                    tmp[..len].copy_from_slice(&regs.reg(case.kernel.out())[..len]);
+                    if let Some(m) = case.mask {
+                        tmp_mask[..len].copy_from_slice(&regs.reg(m)[..len]);
+                    }
+                }
+                let mut base = offset;
+                for d in 0..n {
+                    base += coords[d] * vstrides[d];
+                }
+                for i in 0..len {
+                    if case.mask.is_none() || tmp_mask[i] != 0.0 {
+                        out_vec[(base + i as i64 * vstrides[n - 1]) as usize] =
+                            transform(tmp[i], seq.sat, seq.round);
+                    }
+                }
+                x += len as i64;
+            }
+        });
+    }
+
+    fulls[seq.out.0] = out_vec;
+    Ok(())
+}
+
+fn reduction_views_for_seq<'a>(
+    prog: &Program,
+    seq: &SeqExec,
+    read_refs: &[Option<&'a [f32]>],
+) -> Vec<Option<BufView<'a>>> {
+    let mut views: Vec<Option<BufView<'a>>> = vec![None; prog.buffers.len()];
+    for &b in &seq.reads {
+        if b == seq.out {
+            continue; // bound separately to the live output
+        }
+        let decl = &prog.buffers[b.0];
+        let data = read_refs[b.0].unwrap_or_else(|| {
+            panic!("stage `{}` reads unavailable buffer `{}`", seq.name, decl.name)
+        });
+        views[b.0] = Some(BufView {
+            data,
+            origin: decl.origin.clone(),
+            strides: decl.strides(),
+            sizes: decl.sizes.clone(),
+        });
+    }
+    views
+}

@@ -1,0 +1,44 @@
+//! # polymage-vm
+//!
+//! The execution substrate of PolyMage-rs.
+//!
+//! The original PolyMage emits C++ (OpenMP + `ivdep`) and leans on icc for
+//! vectorization. This crate is the executable stand-in: the compiler
+//! (`polymage-core`) lowers each stage to a small register [`Kernel`] whose
+//! operations work on *chunks* — contiguous runs of the innermost loop —
+//! so the per-operation dispatch cost is amortized and the inner loops are
+//! tight, slice-to-slice operations the Rust compiler auto-vectorizes. The
+//! chunked mode is the analogue of the paper's `+vec` configurations;
+//! [`EvalMode::Scalar`] evaluates one point at a time, the `−vec` analogue.
+//!
+//! Everything the paper's generated code does at run time exists here:
+//!
+//! - full arrays for live-outs, per-thread [`BufKind::Scratch`] pads with
+//!   tile-relative indexing for intermediates (§3.6);
+//! - a parallel executor over precomputed overlapped tiles (§3.4/3.7);
+//! - sequential and privatized-parallel reduction execution for
+//!   `Accumulator` stages;
+//! - a sequential scan path for self-referential (time-iterated) stages.
+//!
+//! The VM computes in `f32` (with integer semantics applied on index
+//! computation and saturating stores per declared [`polymage_ir::ScalarType`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod buffer;
+mod error;
+mod eval;
+mod exec;
+mod kernel;
+mod program;
+
+pub use buffer::{BufDecl, BufId, BufKind, Buffer};
+pub use error::VmError;
+pub use eval::{eval_kernel, BufView, ChunkCtx, RegFile, CHUNK};
+pub use exec::{run_program, run_program_stats, RunStats};
+pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, RegId, UnF};
+pub use program::{
+    CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec,
+    TileWork, TiledGroup,
+};

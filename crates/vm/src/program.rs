@@ -1,0 +1,227 @@
+//! Compiled program structure: groups, stages, tiles.
+
+use crate::{BufDecl, BufId, Kernel, RegId};
+use polymage_poly::Rect;
+
+/// Whether kernels evaluate whole chunks (auto-vectorizable) or one point at
+/// a time — the analogue of the paper's ±vectorization configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Chunked evaluation (the paper's `+vec`).
+    #[default]
+    Vector,
+    /// Point-at-a-time evaluation (the paper's `−vec`).
+    Scalar,
+}
+
+/// One guarded piece of a stage's definition, compiled.
+#[derive(Debug, Clone)]
+pub struct CaseExec {
+    /// Concrete rectangle this case covers (guard box ∩ domain).
+    pub rect: Rect,
+    /// Per-dimension `(stride, phase)` from parity guards (`x % 2 == 1`):
+    /// the case covers only points with `coord ≡ phase (mod stride)`. The
+    /// kernel is lowered in *strided coordinates* (`coord = stride·c +
+    /// phase`), so the executor iterates the compressed range directly —
+    /// the paper's "splitting function domains" instead of inner-loop
+    /// branching.
+    pub steps: Vec<(i64, i64)>,
+    /// The compiled value computation; `kernel.outs[0]` is the value.
+    pub kernel: Kernel,
+    /// Residual guard mask: when present, only lanes with mask ≠ 0 store.
+    pub mask: Option<RegId>,
+}
+
+/// A compiled pipeline stage inside a tiled group.
+#[derive(Debug, Clone)]
+pub struct StageExec {
+    /// Stage name (diagnostics).
+    pub name: String,
+    /// Scratchpad buffer for intra-tile storage (§3.6).
+    pub scratch: BufId,
+    /// Full buffer to copy results into (live-outs and stages consumed by
+    /// later groups).
+    pub full: Option<BufId>,
+    /// When true the stage streams straight into its full buffer and skips
+    /// the scratchpad (single-stage groups and group sinks).
+    pub direct: bool,
+    /// Saturation bounds applied on store (per declared scalar type).
+    pub sat: Option<(f32, f32)>,
+    /// Whether stores round to integers (integral declared types).
+    pub round: bool,
+    /// Compiled cases, evaluated in order.
+    pub cases: Vec<CaseExec>,
+    /// The stage's full concrete domain.
+    pub dom: Rect,
+    /// Buffers this stage's kernels load (so the executor only materializes
+    /// the views it needs).
+    pub reads: Vec<BufId>,
+}
+
+/// Work description of one overlapped tile: the exact region of every stage
+/// it computes (backward interval propagation, precomputed at compile time)
+/// and the sub-rectangle each full-stored stage writes out (clipped to the
+/// strip's owned rows so parallel strips never write the same element).
+#[derive(Debug, Clone)]
+pub struct TileWork {
+    /// Index of the strip (outermost tile dimension) this tile belongs to.
+    pub strip: usize,
+    /// Per stage (group order): region to compute. Empty ⇒ skip.
+    pub regions: Vec<Rect>,
+    /// Per stage: rows to copy to the full buffer (`None` for scratch-only
+    /// stages).
+    pub stores: Vec<Option<Rect>>,
+}
+
+/// A group of fused stages executed with overlapped tiling (§3.4–3.7).
+#[derive(Debug, Clone)]
+pub struct TiledGroup {
+    /// Stages in intra-group topological order (producers first).
+    pub stages: Vec<StageExec>,
+    /// All tiles, grouped by strip in ascending strip order.
+    pub tiles: Vec<TileWork>,
+    /// Number of strips (parallel work units).
+    pub nstrips: usize,
+}
+
+/// A compiled reduction (`Accumulator`) stage.
+#[derive(Debug, Clone)]
+pub struct ReductionExec {
+    /// Stage name.
+    pub name: String,
+    /// Output (full) buffer over the variable domain.
+    pub out: BufId,
+    /// The reduction domain to sweep.
+    pub red_dom: Rect,
+    /// Compiled kernel: `outs[0]` is the contributed value, `outs[1..]` are
+    /// the target indices (one per output dimension), all evaluated over the
+    /// reduction domain.
+    pub kernel: Kernel,
+    /// The combining operator.
+    pub op: polymage_ir::Reduction,
+    /// Buffers the kernel loads.
+    pub reads: Vec<BufId>,
+}
+
+/// A compiled self-referential (time-iterated) stage, executed as a
+/// sequential scan in row-major order.
+#[derive(Debug, Clone)]
+pub struct SeqExec {
+    /// Stage name.
+    pub name: String,
+    /// Output (full) buffer.
+    pub out: BufId,
+    /// The stage's domain.
+    pub dom: Rect,
+    /// Compiled cases.
+    pub cases: Vec<CaseExec>,
+    /// Saturation bounds on store.
+    pub sat: Option<(f32, f32)>,
+    /// Whether stores round to integers.
+    pub round: bool,
+    /// Whether whole-row chunks are safe (self-dependences never point to
+    /// earlier points of the same row). When false the scan runs point-wise.
+    pub chunked: bool,
+    /// Buffers the kernels load (excluding the stage's own output buffer,
+    /// which is always available to the scan).
+    pub reads: Vec<BufId>,
+}
+
+/// One schedulable unit of the program.
+#[derive(Debug, Clone)]
+pub struct GroupExec {
+    /// Group name (diagnostics; e.g. `"g0:harris"`).
+    pub name: String,
+    /// The execution strategy.
+    pub kind: GroupKind,
+}
+
+/// Execution strategy of a group.
+#[derive(Debug, Clone)]
+pub enum GroupKind {
+    /// Overlap-tiled parallel execution.
+    Tiled(TiledGroup),
+    /// Reduction sweep (privatized across threads).
+    Reduction(ReductionExec),
+    /// Sequential scan (time-iterated stages).
+    Sequential(SeqExec),
+}
+
+/// A fully compiled, concrete (parameter-substituted) pipeline program.
+///
+/// Produced by `polymage-core`'s compiler; executed with
+/// [`crate::run_program`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Pipeline name.
+    pub name: String,
+    /// All buffer declarations; [`BufId`] indexes this table.
+    pub buffers: Vec<BufDecl>,
+    /// The buffer backing each input image, in image declaration order.
+    pub image_bufs: Vec<BufId>,
+    /// Groups in execution order.
+    pub groups: Vec<GroupExec>,
+    /// Live-out stages: name and full buffer.
+    pub outputs: Vec<(String, BufId)>,
+    /// Evaluation mode.
+    pub mode: EvalMode,
+}
+
+impl Program {
+    /// Total bytes of full-buffer allocations.
+    pub fn full_bytes(&self) -> usize {
+        self.buffers
+            .iter()
+            .filter(|b| b.kind == crate::BufKind::Full)
+            .map(|b| b.len() * 4)
+            .sum()
+    }
+
+    /// Total bytes of scratch allocations (per thread).
+    pub fn scratch_bytes(&self) -> usize {
+        self.buffers
+            .iter()
+            .filter(|b| b.kind == crate::BufKind::Scratch)
+            .map(|b| b.len() * 4)
+            .sum()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BufKind;
+
+    #[test]
+    fn byte_accounting() {
+        let p = Program {
+            name: "t".into(),
+            buffers: vec![
+                BufDecl {
+                    name: "a".into(),
+                    kind: BufKind::Full,
+                    sizes: vec![10],
+                    origin: vec![0],
+                },
+                BufDecl {
+                    name: "b".into(),
+                    kind: BufKind::Scratch,
+                    sizes: vec![4, 4],
+                    origin: vec![0, 0],
+                },
+            ],
+            image_bufs: vec![],
+            groups: vec![],
+            outputs: vec![],
+            mode: EvalMode::Vector,
+        };
+        assert_eq!(p.full_bytes(), 40);
+        assert_eq!(p.scratch_bytes(), 64);
+        assert_eq!(p.group_count(), 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! End-to-end executor tests on hand-assembled programs (no compiler).
+//!
+//! These pin down the executor's semantics independently of the
+//! `polymage-core` lowering: overlapped-tile scratch handling, slab
+//! partitioning of full buffers, direct stores, reductions, and the
+//! sequential scan path.
+
+use polymage_ir::Reduction;
+use polymage_poly::Rect;
+use polymage_vm::*;
+
+/// in(x) for x∈[0,63]; blur(x) = in(x−1)+in(x)+in(x+1) on [1,62];
+/// out(x) = blur(x−1)+blur(x+1) on [2,61]. Fused into one tiled group with
+/// 4 strips of 16, blur in scratch, out direct to full.
+fn two_stage_program(mode: EvalMode) -> Program {
+    let img = BufId(0);
+    let blur_s = BufId(1);
+    let out_f = BufId(2);
+    let buffers = vec![
+        BufDecl { name: "in".into(), kind: BufKind::Full, sizes: vec![64], origin: vec![0] },
+        BufDecl {
+            name: "blur".into(),
+            kind: BufKind::Scratch,
+            // worst-case region: 16 + 2 of overlap
+            sizes: vec![18],
+            origin: vec![0],
+        },
+        BufDecl { name: "out".into(), kind: BufKind::Full, sizes: vec![60], origin: vec![2] },
+    ];
+
+    let load = |buf: BufId, o: i64| Op::Load {
+        dst: RegId(0),
+        buf,
+        plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o, m: 1 }],
+    };
+    let blur_kernel = Kernel {
+        ops: vec![
+            load(img, -1),
+            Op::Load {
+                dst: RegId(1),
+                buf: img,
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 }],
+            },
+            Op::Load {
+                dst: RegId(2),
+                buf: img,
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 1, m: 1 }],
+            },
+            Op::BinF { op: BinF::Add, dst: RegId(3), a: RegId(0), b: RegId(1) },
+            Op::BinF { op: BinF::Add, dst: RegId(4), a: RegId(3), b: RegId(2) },
+        ],
+        nregs: 5,
+        outs: vec![RegId(4)],
+    };
+    let out_kernel = Kernel {
+        ops: vec![
+            load(blur_s, -1),
+            Op::Load {
+                dst: RegId(1),
+                buf: blur_s,
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 1, m: 1 }],
+            },
+            Op::BinF { op: BinF::Add, dst: RegId(2), a: RegId(0), b: RegId(1) },
+        ],
+        nregs: 3,
+        outs: vec![RegId(2)],
+    };
+
+    let blur_stage = StageExec {
+        name: "blur".into(),
+        scratch: blur_s,
+        full: None,
+        direct: false,
+        sat: None,
+        round: false,
+        cases: vec![CaseExec {
+            steps: vec![(1, 0)],
+            rect: Rect::new(vec![(1, 62)]),
+            kernel: blur_kernel,
+            mask: None,
+        }],
+        dom: Rect::new(vec![(1, 62)]),
+        reads: vec![img],
+    };
+    let out_stage = StageExec {
+        name: "out".into(),
+        scratch: BufId(1), // unused (direct)
+        full: Some(out_f),
+        direct: true,
+        sat: None,
+        round: false,
+        cases: vec![CaseExec {
+            steps: vec![(1, 0)],
+            rect: Rect::new(vec![(2, 61)]),
+            kernel: out_kernel,
+            mask: None,
+        }],
+        dom: Rect::new(vec![(2, 61)]),
+        reads: vec![blur_s],
+    };
+
+    // 4 tiles of 16 over out's domain [2,61]: [2,17],[18,33],[34,49],[50,61]
+    let mut tiles = Vec::new();
+    for (s, (lo, hi)) in [(2i64, 17i64), (18, 33), (34, 49), (50, 61)]
+        .into_iter()
+        .enumerate()
+    {
+        // out region = tile; blur region = tile dilated by 1 ∩ blur dom
+        let blur_lo = (lo - 1).max(1);
+        let blur_hi = (hi + 1).min(62);
+        tiles.push(TileWork {
+            strip: s,
+            regions: vec![
+                Rect::new(vec![(blur_lo, blur_hi)]),
+                Rect::new(vec![(lo, hi)]),
+            ],
+            stores: vec![None, Some(Rect::new(vec![(lo, hi)]))],
+        });
+    }
+
+    Program {
+        name: "two-stage".into(),
+        buffers,
+        image_bufs: vec![img],
+        groups: vec![GroupExec {
+            name: "g0".into(),
+            kind: GroupKind::Tiled(TiledGroup {
+                stages: vec![blur_stage, out_stage],
+                tiles,
+                nstrips: 4,
+            }),
+        }],
+        outputs: vec![("out".into(), out_f)],
+        mode,
+    }
+}
+
+fn reference_two_stage(input: &[f32]) -> Vec<f32> {
+    let blur: Vec<f32> =
+        (0..64).map(|x| {
+            if (1..=62).contains(&x) {
+                input[x - 1] + input[x] + input[x + 1]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (2..=61).map(|x: usize| blur[x - 1] + blur[x + 1]).collect()
+}
+
+#[test]
+fn tiled_two_stage_matches_reference_all_modes_and_threads() {
+    let input = Buffer::zeros(Rect::new(vec![(0, 63)]))
+        .fill_with(|p| ((p[0] * 7919 + 13) % 101) as f32);
+    let expect = reference_two_stage(&input.data);
+    for mode in [EvalMode::Vector, EvalMode::Scalar] {
+        for threads in [1, 2, 4, 7] {
+            let prog = two_stage_program(mode);
+            let outs = run_program(&prog, std::slice::from_ref(&input), threads).unwrap();
+            assert_eq!(outs.len(), 1);
+            assert_eq!(outs[0].rect, Rect::new(vec![(2, 61)]));
+            for (i, (&got, &want)) in outs[0].data.iter().zip(&expect).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-4,
+                    "mode {mode:?} threads {threads} x={} got {got} want {want}",
+                    i + 2
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn input_validation_errors() {
+    let prog = two_stage_program(EvalMode::Vector);
+    let err = run_program(&prog, &[], 1).unwrap_err();
+    assert!(matches!(err, VmError::InputCountMismatch { expected: 1, got: 0 }));
+    let bad = Buffer::zeros(Rect::new(vec![(0, 10)]));
+    let err = run_program(&prog, &[bad], 1).unwrap_err();
+    assert!(matches!(err, VmError::InputShapeMismatch { index: 0, .. }));
+}
+
+#[test]
+fn histogram_reduction_parallel_matches_serial() {
+    // hist(b) over b∈[0,9]: count input values.
+    let img = BufId(0);
+    let hist = BufId(1);
+    let prog = |threads_hint: usize| Program {
+        name: "hist".into(),
+        buffers: vec![
+            BufDecl {
+                name: "in".into(),
+                kind: BufKind::Full,
+                sizes: vec![32, 32],
+                origin: vec![0, 0],
+            },
+            BufDecl {
+                name: "hist".into(),
+                kind: BufKind::Full,
+                sizes: vec![10],
+                origin: vec![0],
+            },
+        ],
+        image_bufs: vec![img],
+        groups: vec![GroupExec {
+            name: "hist".into(),
+            kind: GroupKind::Reduction(ReductionExec {
+                name: "hist".into(),
+                out: hist,
+                red_dom: Rect::new(vec![(0, 31), (0, 31)]),
+                kernel: Kernel {
+                    ops: vec![
+                        Op::ConstF { dst: RegId(0), val: 1.0 },
+                        Op::Load {
+                            dst: RegId(1),
+                            buf: img,
+                            plan: vec![
+                                IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 },
+                                IdxPlan::Affine { dim: Some(1), q: 1, o: 0, m: 1 },
+                            ],
+                        },
+                    ],
+                    nregs: 2,
+                    outs: vec![RegId(0), RegId(1)],
+                },
+                op: Reduction::Sum,
+                reads: vec![img],
+            }),
+        }],
+        outputs: vec![("hist".into(), hist)],
+        mode: EvalMode::Vector,
+        // threads_hint unused; kept to exercise clone
+    };
+    let _ = prog;
+    let input = Buffer::zeros(Rect::new(vec![(0, 31), (0, 31)]))
+        .fill_with(|p| ((p[0] * 31 + p[1] * 17) % 10) as f32);
+    let serial = run_program(&prog(1), std::slice::from_ref(&input), 1).unwrap();
+    let par = run_program(&prog(4), std::slice::from_ref(&input), 4).unwrap();
+    assert_eq!(serial[0].data, par[0].data);
+    let total: f32 = serial[0].data.iter().sum();
+    assert_eq!(total, 1024.0);
+}
+
+#[test]
+fn sequential_scan_prefix_sum() {
+    // f(x) = f(x−1) + in(x) for x ≥ 1; f(0) = in(0): a prefix sum.
+    let img = BufId(0);
+    let out = BufId(1);
+    let kernel_rec = Kernel {
+        ops: vec![
+            Op::Load {
+                dst: RegId(0),
+                buf: out,
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: -1, m: 1 }],
+            },
+            Op::Load {
+                dst: RegId(1),
+                buf: img,
+                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 }],
+            },
+            Op::BinF { op: BinF::Add, dst: RegId(2), a: RegId(0), b: RegId(1) },
+        ],
+        nregs: 3,
+        outs: vec![RegId(2)],
+    };
+    let kernel_base = Kernel {
+        ops: vec![Op::Load {
+            dst: RegId(0),
+            buf: img,
+            plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 }],
+        }],
+        nregs: 1,
+        outs: vec![RegId(0)],
+    };
+    let prog = Program {
+        name: "scan".into(),
+        buffers: vec![
+            BufDecl {
+                name: "in".into(),
+                kind: BufKind::Full,
+                sizes: vec![100],
+                origin: vec![0],
+            },
+            BufDecl {
+                name: "f".into(),
+                kind: BufKind::Full,
+                sizes: vec![100],
+                origin: vec![0],
+            },
+        ],
+        image_bufs: vec![img],
+        groups: vec![GroupExec {
+            name: "scan".into(),
+            kind: GroupKind::Sequential(SeqExec {
+                name: "f".into(),
+                out,
+                dom: Rect::new(vec![(0, 99)]),
+                cases: vec![
+                    CaseExec {
+                        steps: vec![(1, 0)],
+                        rect: Rect::new(vec![(0, 0)]),
+                        kernel: kernel_base,
+                        mask: None,
+                    },
+                    CaseExec {
+                        steps: vec![(1, 0)],
+                        rect: Rect::new(vec![(1, 99)]),
+                        kernel: kernel_rec,
+                        mask: None,
+                    },
+                ],
+                sat: None,
+                round: false,
+                chunked: false, // same-row self-dependence
+                reads: vec![img, out],
+            }),
+        }],
+        outputs: vec![("f".into(), out)],
+        mode: EvalMode::Vector,
+    };
+    let input =
+        Buffer::zeros(Rect::new(vec![(0, 99)])).fill_with(|p| (p[0] % 7) as f32);
+    let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
+    let mut acc = 0.0;
+    for (x, &v) in outs[0].data.iter().enumerate() {
+        acc += input.data[x];
+        assert_eq!(v, acc, "prefix sum mismatch at {x}");
+    }
+}
+
+#[test]
+fn saturating_stores() {
+    // out(x) = in(x) * 3 stored as UChar-saturated.
+    let img = BufId(0);
+    let out = BufId(1);
+    let prog = Program {
+        name: "sat".into(),
+        buffers: vec![
+            BufDecl {
+                name: "in".into(),
+                kind: BufKind::Full,
+                sizes: vec![16],
+                origin: vec![0],
+            },
+            BufDecl {
+                name: "out".into(),
+                kind: BufKind::Full,
+                sizes: vec![16],
+                origin: vec![0],
+            },
+        ],
+        image_bufs: vec![img],
+        groups: vec![GroupExec {
+            name: "g".into(),
+            kind: GroupKind::Tiled(TiledGroup {
+                stages: vec![StageExec {
+                    name: "out".into(),
+                    scratch: BufId(1),
+                    full: Some(out),
+                    direct: true,
+                    sat: Some((0.0, 255.0)),
+                    round: true,
+                    cases: vec![CaseExec {
+                        steps: vec![(1, 0)],
+                        rect: Rect::new(vec![(0, 15)]),
+                        kernel: Kernel {
+                            ops: vec![
+                                Op::Load {
+                                    dst: RegId(0),
+                                    buf: img,
+                                    plan: vec![IdxPlan::Affine {
+                                        dim: Some(0),
+                                        q: 1,
+                                        o: 0,
+                                        m: 1,
+                                    }],
+                                },
+                                Op::ConstF { dst: RegId(1), val: 3.0 },
+                                Op::BinF {
+                                    op: BinF::Mul,
+                                    dst: RegId(2),
+                                    a: RegId(0),
+                                    b: RegId(1),
+                                },
+                            ],
+                            nregs: 3,
+                            outs: vec![RegId(2)],
+                        },
+                        mask: None,
+                    }],
+                    dom: Rect::new(vec![(0, 15)]),
+                    reads: vec![img],
+                }],
+                tiles: vec![TileWork {
+                    strip: 0,
+                    regions: vec![Rect::new(vec![(0, 15)])],
+                    stores: vec![Some(Rect::new(vec![(0, 15)]))],
+                }],
+                nstrips: 1,
+            }),
+        }],
+        outputs: vec![("out".into(), out)],
+        mode: EvalMode::Vector,
+    };
+    let input =
+        Buffer::zeros(Rect::new(vec![(0, 15)])).fill_with(|p| (p[0] * 20) as f32);
+    let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
+    assert_eq!(outs[0].data[0], 0.0);
+    assert_eq!(outs[0].data[4], 240.0);
+    assert_eq!(outs[0].data[5], 255.0); // 300 saturates
+    assert_eq!(outs[0].data[15], 255.0);
+}
+
+#[test]
+fn min_max_reductions_and_untouched_cells() {
+    // min/max over scattered targets; untouched cells read as 0.
+    for (op, expect_touched) in [(Reduction::Min, -9.0f32), (Reduction::Max, 9.0f32)] {
+        let img = BufId(0);
+        let out = BufId(1);
+        let prog = Program {
+            name: "mm".into(),
+            buffers: vec![
+                BufDecl {
+                    name: "in".into(),
+                    kind: BufKind::Full,
+                    sizes: vec![20],
+                    origin: vec![0],
+                },
+                BufDecl {
+                    name: "mm".into(),
+                    kind: BufKind::Full,
+                    sizes: vec![4],
+                    origin: vec![0],
+                },
+            ],
+            image_bufs: vec![img],
+            groups: vec![GroupExec {
+                name: "mm".into(),
+                kind: GroupKind::Reduction(ReductionExec {
+                    name: "mm".into(),
+                    out,
+                    red_dom: Rect::new(vec![(0, 19)]),
+                    kernel: Kernel {
+                        ops: vec![
+                            Op::Load {
+                                dst: RegId(0),
+                                buf: img,
+                                plan: vec![IdxPlan::Affine {
+                                    dim: Some(0),
+                                    q: 1,
+                                    o: 0,
+                                    m: 1,
+                                }],
+                            },
+                            // target = x mod 2 (never touches cells 2, 3)
+                            Op::CoordF { dst: RegId(1), dim: 0 },
+                            Op::ConstF { dst: RegId(2), val: 2.0 },
+                            Op::BinF {
+                                op: BinF::Mod,
+                                dst: RegId(3),
+                                a: RegId(1),
+                                b: RegId(2),
+                            },
+                        ],
+                        nregs: 4,
+                        outs: vec![RegId(0), RegId(3)],
+                    },
+                    op,
+                    reads: vec![img],
+                }),
+            }],
+            outputs: vec![("mm".into(), out)],
+            mode: EvalMode::Vector,
+        };
+        // values −9..10 alternating over even/odd positions
+        let input = Buffer::zeros(Rect::new(vec![(0, 19)]))
+            .fill_with(|p| (p[0] - 10) as f32 + if p[0] % 2 == 0 { 0.5 } else { 0.0 });
+        for threads in [1, 3] {
+            let got = run_program(&prog, std::slice::from_ref(&input), threads).unwrap();
+            // cell 0: evens; cell 1: odds; cells 2/3 untouched → 0
+            let evens: Vec<f32> = (0..20).filter(|i| i % 2 == 0).map(|i| input.data[i]).collect();
+            let odds: Vec<f32> = (0..20).filter(|i| i % 2 == 1).map(|i| input.data[i]).collect();
+            let fold = |v: &[f32]| match op {
+                Reduction::Min => v.iter().fold(f32::MAX, |a, &b| a.min(b)),
+                Reduction::Max => v.iter().fold(f32::MIN, |a, &b| a.max(b)),
+                Reduction::Sum => v.iter().sum(),
+            };
+            assert_eq!(got[0].data[0], fold(&evens), "{op:?} cell 0 threads {threads}");
+            assert_eq!(got[0].data[1], fold(&odds), "{op:?} cell 1 threads {threads}");
+            assert_eq!(got[0].data[2], 0.0, "untouched cell stays 0");
+            assert_eq!(got[0].data[3], 0.0);
+            let _ = expect_touched;
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The §3.8 autotuner as a library API: sweep tile sizes and overlap
+//! thresholds for a pipeline, inspect the measured landscape, and compare
+//! the model-driven space against random search over an unrestricted space.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use polymage::apps::pyramid::PyramidBlend;
+use polymage::apps::{Benchmark, Scale};
+use polymage::core::autotune::{autotune, random_search};
+use polymage::core::CompileOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = PyramidBlend::new(Scale::Small);
+    let inputs = app.make_inputs(7);
+    let base = CompileOptions::optimized(app.params());
+    let threads = 2;
+
+    // A reduced model-driven sweep (the paper's full space is
+    // TILE_CANDIDATES² × THRESHOLDS = 147 configurations; see the
+    // fig9_autotune harness binary for the complete run).
+    println!("model-driven sweep (tile0 × tile1 × threshold):");
+    let outcome = autotune(
+        app.pipeline(),
+        &base,
+        &inputs,
+        threads,
+        2,
+        &[32, 128, 512],
+        &[0.2, 0.5],
+    )?;
+    for r in &outcome.records {
+        println!(
+            "  tiles {:>3}×{:<3} thresh {:.1} → {:>7.2} ms",
+            r.tile[0],
+            r.tile[1],
+            r.threshold,
+            r.tn.as_secs_f64() * 1e3
+        );
+    }
+    let best = outcome.best_record();
+    println!(
+        "best: tiles {:?} thresh {} → {:.2} ms\n",
+        best.tile,
+        best.threshold,
+        best.tn.as_secs_f64() * 1e3
+    );
+
+    // Random search over the unrestricted space at the same budget.
+    let mut rng = StdRng::seed_from_u64(42);
+    let budget = outcome.records.len();
+    let rnd = random_search(app.pipeline(), &base, &inputs, threads, 2, budget, &mut rng)?;
+    let rbest = rnd.best_record();
+    println!(
+        "random search ({budget} configs): best tiles {:?} → {:.2} ms \
+         ({:.2}× the model-driven best)",
+        rbest.tile,
+        rbest.tn.as_secs_f64() * 1e3,
+        rbest.tn.as_secs_f64() / best.tn.as_secs_f64()
+    );
+    Ok(())
+}

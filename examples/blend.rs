@@ -1,0 +1,60 @@
+//! Pyramid blending scenario (the paper's Fig. 8 workload): blend two
+//! out-of-focus halves into one all-in-focus image, comparing the
+//! optimized schedule against the unfused baseline and the library-style
+//! reference.
+//!
+//! ```sh
+//! cargo run --release --example blend
+//! ```
+
+use polymage::apps::pyramid::PyramidBlend;
+use polymage::apps::{Benchmark, Scale};
+use polymage::core::{compile, CompileOptions};
+use polymage::vm::run_program;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = PyramidBlend::new(Scale::Small);
+    let inputs = app.make_inputs(2024);
+
+    let opt = compile(app.pipeline(), &CompileOptions::optimized(app.params()))?;
+    println!("grouping (dashed boxes of Fig. 8):");
+    for (i, g) in opt.report.groups.iter().enumerate() {
+        println!("  box {i}: {}", g.stages.join(" "));
+    }
+
+    // warm up, then time
+    let _ = run_program(&opt.program, &inputs, 2)?;
+    let t = Instant::now();
+    let out = run_program(&opt.program, &inputs, 2)?;
+    let opt_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let base = compile(app.pipeline(), &CompileOptions::base(app.params()))?;
+    let _ = run_program(&base.program, &inputs, 2)?;
+    let t = Instant::now();
+    let base_out = run_program(&base.program, &inputs, 2)?;
+    let base_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let reference = app.reference(&inputs);
+    let lib_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    println!("\noptimized: {opt_ms:.2} ms   base: {base_ms:.2} ms   library-style: {lib_ms:.2} ms");
+    println!("fusion+tiling speedup over base: {:.2}x", base_ms / opt_ms);
+
+    let diff = out[0].max_abs_diff(&base_out[0]);
+    let rdiff = out[0].max_abs_diff(&reference[0]);
+    println!("max |opt − base| = {diff}, max |opt − reference| = {rdiff}");
+    assert!(diff < 1e-3 && rdiff < 1e-3);
+
+    // a quick look at the blend seam
+    let (rx, ry) = (out[0].rect.range(0), out[0].rect.range(1));
+    let mid_x = (rx.0 + rx.1) / 2;
+    print!("blend profile @ row {mid_x}: ");
+    let step = (ry.1 - ry.0) / 8;
+    for i in 0..=8 {
+        print!("{:.2} ", out[0].at(&[mid_x, ry.0 + i * step]));
+    }
+    println!();
+    Ok(())
+}

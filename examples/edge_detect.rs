@@ -1,0 +1,141 @@
+//! A user-written pipeline that is *not* one of the paper's benchmarks:
+//! Canny-style edge detection — Gaussian smoothing, Sobel gradients,
+//! gradient magnitude/orientation, non-maximum suppression, and double
+//! thresholding. Shows how the DSL's pieces (stencils, point-wise math,
+//! `Select`-based data-dependent logic, piecewise cases) compose for a
+//! realistic computer-vision task, and what the optimizer does with a
+//! pipeline it has never seen.
+//!
+//! ```sh
+//! cargo run --release --example edge_detect
+//! ```
+
+use polymage::core::{compile, CompileOptions};
+use polymage::ir::*;
+use polymage::poly::Rect;
+use polymage::vm::{run_program, Buffer};
+
+fn build() -> Result<Pipeline, Box<dyn std::error::Error>> {
+    let mut p = PipelineBuilder::new("edge_detect");
+    let (r, c) = (p.param("R"), p.param("C"));
+    let img = p.image("I", ScalarType::Float, vec![PAff::param(r), PAff::param(c)]);
+    let (x, y) = (p.var("x"), p.var("y"));
+    let interior = |off: i64| {
+        [
+            (x, Interval::new(PAff::cst(off), PAff::param(r) - 1 - off)),
+            (y, Interval::new(PAff::cst(off), PAff::param(c) - 1 - off)),
+        ]
+    };
+
+    // 1. Gaussian smoothing (separable would fuse too; 2-D for brevity)
+    let smooth = p.func("smooth", &interior(2), ScalarType::Float);
+    p.define(
+        smooth,
+        vec![Case::always(stencil(
+            img,
+            &[x, y],
+            1.0 / 159.0,
+            &[
+                [2, 4, 5, 4, 2],
+                [4, 9, 12, 9, 4],
+                [5, 12, 15, 12, 5],
+                [4, 9, 12, 9, 4],
+                [2, 4, 5, 4, 2],
+            ],
+        ))],
+    )?;
+
+    // 2. Sobel gradients
+    let gx = p.func("gx", &interior(3), ScalarType::Float);
+    p.define(
+        gx,
+        vec![Case::always(stencil(
+            smooth,
+            &[x, y],
+            1.0,
+            &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]],
+        ))],
+    )?;
+    let gy = p.func("gy", &interior(3), ScalarType::Float);
+    p.define(
+        gy,
+        vec![Case::always(stencil(
+            smooth,
+            &[x, y],
+            1.0,
+            &[[-1, -2, -1], [0, 0, 0], [1, 2, 1]],
+        ))],
+    )?;
+
+    // 3. magnitude (point-wise → inlined by the compiler)
+    let at = |f: FuncId| Expr::at(f, [Expr::from(x), Expr::from(y)]);
+    let mag = p.func("mag", &interior(3), ScalarType::Float);
+    p.define(mag, vec![Case::always((at(gx) * at(gx) + at(gy) * at(gy)).sqrt())])?;
+
+    // 4. non-maximum suppression: keep the pixel only if it is the local
+    //    maximum along its (quantized) gradient direction — data-dependent
+    //    Select logic over the magnitude field.
+    let nms = p.func("nms", &interior(4), ScalarType::Float);
+    let m = |dx: i64, dy: i64| Expr::at(mag, [x + dx, y + dy]);
+    let horiz = at(gx).abs().ge(at(gy).abs());
+    let keep_h = m(0, 0).ge(m(0, -1)) & m(0, 0).ge(m(0, 1));
+    let keep_v = m(0, 0).ge(m(-1, 0)) & m(0, 0).ge(m(1, 0));
+    p.define(
+        nms,
+        vec![Case::always(Expr::select(
+            (horiz.clone() & keep_h) | (!horiz & keep_v),
+            m(0, 0),
+            0.0,
+        ))],
+    )?;
+
+    // 5. double threshold: strong = 1, weak = 0.5, rest = 0
+    let edges = p.func("edges", &interior(4), ScalarType::Float);
+    let v = Expr::at(nms, [Expr::from(x), Expr::from(y)]);
+    p.define(
+        edges,
+        vec![Case::always(Expr::select(
+            v.clone().ge(0.35),
+            1.0,
+            Expr::select(v.ge(0.15), 0.5, 0.0),
+        ))],
+    )?;
+
+    Ok(p.finish(&[edges])?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pipe = build()?;
+    let (rows, cols) = (512i64, 512i64);
+    let compiled = compile(&pipe, &CompileOptions::optimized(vec![rows, cols]))?;
+    println!("--- optimizer report ---\n{}", compiled.report);
+
+    // an input with clear structure: bright disc on a dark gradient
+    let input = Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)])).fill_with(|p| {
+        let (dx, dy) = (p[0] as f32 - 256.0, p[1] as f32 - 256.0);
+        let disc = if (dx * dx + dy * dy).sqrt() < 120.0 { 0.8 } else { 0.1 };
+        disc + p[1] as f32 * 0.0003
+    });
+    let out = &run_program(&compiled.program, &[input], 2)?[0];
+
+    let strong = out.data.iter().filter(|&&v| v == 1.0).count();
+    let weak = out.data.iter().filter(|&&v| v == 0.5).count();
+    println!("strong edge pixels: {strong}, weak: {weak}");
+    // the disc boundary is ~2π·120 ≈ 754 pixels; NMS thins it to ~1–2 px
+    assert!(strong > 400 && strong < 4000, "edge census looks wrong: {strong}");
+
+    // sanity: edges form a ring — check a horizontal scan through the center
+    let mut crossings = 0;
+    let mut prev = 0.0;
+    let (ylo, yhi) = out.rect.range(1);
+    for yq in ylo..=yhi {
+        let v = out.at(&[256, yq]);
+        if (v == 1.0) != (prev == 1.0) {
+            crossings += 1;
+        }
+        prev = v;
+    }
+    println!("edge crossings on the center scanline: {crossings}");
+    assert!(crossings >= 2, "the disc boundary must be crossed at least twice");
+    Ok(())
+}

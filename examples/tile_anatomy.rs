@@ -1,0 +1,94 @@
+//! Anatomy of an overlapped tile (the paper's Fig. 5/6): builds the 1-D
+//! sampling chain of Fig. 6, shows the alignment/scaling the compiler
+//! solves, the per-stage dependence extents (the tight tile shape), and the
+//! exact regions one tile computes.
+//!
+//! ```sh
+//! cargo run --example tile_anatomy
+//! ```
+
+use polymage::core::{compile, CompileOptions};
+use polymage::ir::*;
+use polymage::poly::{compare_tilings, group_overlap, solve_alignment, DimMap};
+use polymage::vm::GroupKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 6: f(x)=in(x); g(x)=f(2x−1)·f(2x+1); h(x)=g(2x−1)·g(2x+1);
+    // f↑(x)=h(x/2)·h(x/2+1); fout(x)=f↑(x/2).
+    let mut p = PipelineBuilder::new("fig6");
+    let n = p.param("N");
+    let img = p.image("in", ScalarType::Float, vec![PAff::param(n)]);
+    let x = p.var("x");
+    let dom = |k: i64, m: i64| Interval::new(PAff::cst(m), PAff::param(n) / k - 1 - m);
+    let f = p.func("f", &[(x, dom(1, 0))], ScalarType::Float);
+    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))])?;
+    let g = p.func("g", &[(x, dom(2, 1))], ScalarType::Float);
+    p.define(
+        g,
+        vec![Case::always(
+            Expr::at(f, [2i64 * Expr::from(x) - 1]) * Expr::at(f, [2i64 * Expr::from(x) + 1]),
+        )],
+    )?;
+    let h = p.func("h", &[(x, dom(4, 1))], ScalarType::Float);
+    p.define(
+        h,
+        vec![Case::always(
+            Expr::at(g, [2i64 * Expr::from(x) - 1]) * Expr::at(g, [2i64 * Expr::from(x) + 1]),
+        )],
+    )?;
+    let fup = p.func("fup", &[(x, dom(2, 4))], ScalarType::Float);
+    p.define(
+        fup,
+        vec![Case::always(
+            Expr::at(h, [Expr::from(x) / 2]) * Expr::at(h, [Expr::from(x) / 2 + 1]),
+        )],
+    )?;
+    let fout = p.func("fout", &[(x, dom(1, 8))], ScalarType::Float);
+    p.define(fout, vec![Case::always(Expr::at(fup, [Expr::from(x) / 2]))])?;
+    let pipe = p.finish(&[fout])?;
+
+    // Alignment & scaling (§3.3): the schedule scales of Fig. 6's right side.
+    let stages: Vec<FuncId> = pipe.func_ids().collect();
+    let al = solve_alignment(&pipe, &stages, fout)?;
+    println!("--- scaled schedules (paper Fig. 6: f→x, g→2x, h→4x, f↑→2x) ---");
+    for &s in &stages {
+        if let DimMap::Grouped { scale, .. } = al.map(s)[0] {
+            println!("  {:>4}: (x) → {}x", pipe.func(s).name, scale);
+        }
+    }
+
+    // Tile-shape analysis (§3.4): per-stage left/right extensions.
+    let ov = group_overlap(&pipe, &stages, &al)?;
+    println!("\n--- per-stage tile extensions (scheduled units) ---");
+    for &s in &stages {
+        let e = &ov.per_func[&s][0];
+        println!("  {:>4}: left {} right {}", pipe.func(s).name, e.left, e.right);
+    }
+    println!("total overlap: {}+{}", ov.dims[0].left, ov.dims[0].right);
+    for tau in [16i64, 32, 64, 128] {
+        println!("  tile {tau}: overlap ratio {:.3}", ov.overlap_ratio(&[tau]));
+    }
+
+    // Fig. 5: the three tiling strategies on this group, quantified.
+    println!("\n--- Fig. 5: tiling strategy trade-offs (tile 32, N=256) ---");
+    let cmp = compare_tilings(&pipe, &stages, &al, &[32], &[240])?;
+    print!("{}", cmp.table());
+
+    // Concrete regions of one overlapped tile.
+    let mut opts = CompileOptions::optimized(vec![256]);
+    opts.tile_sizes = vec![32];
+    let compiled = compile(&pipe, &opts)?;
+    for group in &compiled.program.groups {
+        if let GroupKind::Tiled(tg) = &group.kind {
+            if tg.stages.len() < 2 {
+                continue;
+            }
+            let tile = &tg.tiles[tg.tiles.len() / 2];
+            println!("\n--- regions computed by one interior tile (group {}) ---", group.name);
+            for (k, st) in tg.stages.iter().enumerate() {
+                println!("  {:>6}: {}", st.name, tile.regions[k]);
+            }
+        }
+    }
+    Ok(())
+}

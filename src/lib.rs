@@ -1,0 +1,56 @@
+//! # PolyMage-rs
+//!
+//! A Rust reproduction of *PolyMage: Automatic Optimization for Image
+//! Processing Pipelines* (Mullapudi, Vasista, Bondhugula — ASPLOS 2015):
+//! a DSL for image-processing pipelines, a polyhedral optimizing compiler
+//! (grouping, overlapped tiling, storage optimization), an execution
+//! engine, and an autotuner.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! - [`ir`]: the embedded DSL ([`ir::PipelineBuilder`], expressions,
+//!   accumulators);
+//! - [`poly`]: the polyhedral substrate (affine forms, alignment/scaling,
+//!   overlap analysis);
+//! - [`graph`]: the stage DAG, bounds checking, inlining;
+//! - [`core`]: the optimizing compiler ([`core::compile`]), reference
+//!   interpreter, C emitter, autotuner;
+//! - [`vm`]: the execution engine ([`vm::run_program`], [`vm::Buffer`]);
+//! - [`apps`]: the paper's seven benchmark pipelines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use polymage::ir::*;
+//! use polymage::core::{compile, CompileOptions};
+//! use polymage::vm::{run_program, Buffer};
+//! use polymage::poly::Rect;
+//!
+//! // blur(x) = (in(x−1) + in(x) + in(x+1)) / 3 over the interior
+//! let mut p = PipelineBuilder::new("blur1d");
+//! let n = p.param("N");
+//! let img = p.image("in", ScalarType::Float, vec![PAff::param(n)]);
+//! let x = p.var("x");
+//! let dom = Interval::new(PAff::cst(1), PAff::param(n) - 2);
+//! let blur = p.func("blur", &[(x, dom)], ScalarType::Float);
+//! let e = (Expr::at(img, [x - 1]) + Expr::at(img, [x + 0]) + Expr::at(img, [x + 1]))
+//!     * (1.0 / 3.0);
+//! p.define(blur, vec![Case::always(e)])?;
+//! let pipe = p.finish(&[blur])?;
+//!
+//! let compiled = compile(&pipe, &CompileOptions::optimized(vec![64]))?;
+//! let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| p[0] as f32);
+//! let out = run_program(&compiled.program, &[input], 2)?;
+//! assert_eq!(out[0].at(&[10]), 10.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use polymage_apps as apps;
+pub use polymage_core as core;
+pub use polymage_graph as graph;
+pub use polymage_ir as ir;
+pub use polymage_poly as poly;
+pub use polymage_vm as vm;

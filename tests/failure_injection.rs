@@ -1,0 +1,173 @@
+//! Failure injection: invalid specifications must be rejected with the
+//! right errors, at the right phase — builder, graph construction, static
+//! bounds checking, compilation, or execution — never by computing garbage.
+
+use polymage::core::{compile, CompileError, CompileOptions};
+use polymage::graph::{GraphError, PipelineGraph};
+use polymage::ir::*;
+use polymage::poly::Rect;
+use polymage::vm::{run_program, Buffer, VmError};
+
+#[test]
+fn cyclic_specification_rejected() {
+    let mut p = PipelineBuilder::new("cycle");
+    let x = p.var("x");
+    let d = Interval::cst(0, 15);
+    let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
+    let b = p.func("b", &[(x, d.clone())], ScalarType::Float);
+    let c = p.func("c", &[(x, d)], ScalarType::Float);
+    p.define(a, vec![Case::always(Expr::at(c, [x + 0]))]).unwrap();
+    p.define(b, vec![Case::always(Expr::at(a, [x + 0]))]).unwrap();
+    p.define(c, vec![Case::always(Expr::at(b, [x + 0]))]).unwrap();
+    let pipe = p.finish(&[c]).unwrap();
+    match PipelineGraph::build(&pipe) {
+        Err(GraphError::Cycle(names)) => assert_eq!(names.len(), 3),
+        other => panic!("expected a 3-cycle, got {other:?}"),
+    }
+    // compile surfaces the same error
+    assert!(matches!(
+        compile(&pipe, &CompileOptions::optimized(vec![])),
+        Err(CompileError::Graph(GraphError::Cycle(_)))
+    ));
+}
+
+#[test]
+fn out_of_bounds_stencil_reported_with_details() {
+    let mut p = PipelineBuilder::new("oob");
+    let img = p.image("I", ScalarType::Float, vec![PAff::cst(32), PAff::cst(32)]);
+    let (x, y) = (p.var("x"), p.var("y"));
+    let d = Interval::cst(0, 31);
+    let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
+    p.define(
+        f,
+        vec![Case::always(stencil(img, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+    )
+    .unwrap();
+    let pipe = p.finish(&[f]).unwrap();
+    match compile(&pipe, &CompileOptions::optimized(vec![])) {
+        Err(CompileError::Bounds(vs)) => {
+            assert_eq!(vs.len(), 1);
+            assert_eq!(vs[0].consumer, "f");
+            assert_eq!(vs[0].producer, "I");
+            // the error message names the offending ranges
+            let msg = vs[0].to_string();
+            assert!(msg.contains("reads"), "{msg}");
+        }
+        other => panic!("expected bounds violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn forward_self_dependence_rejected() {
+    let mut p = PipelineBuilder::new("fwd");
+    let x = p.var("x");
+    let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
+    p.define(
+        f,
+        vec![
+            Case::new(Expr::from(x).ge(1), Expr::at(f, [x - 1]) + 1.0),
+            // forward reference: invalid scan order
+            Case::new(Expr::from(x).le(0), Expr::at(f, [x + 1])),
+        ],
+    )
+    .unwrap();
+    let pipe = p.finish(&[f]).unwrap();
+    match compile(&pipe, &CompileOptions::optimized(vec![])) {
+        Err(CompileError::InvalidSelfReference { func, reason }) => {
+            assert_eq!(func, "f");
+            assert!(reason.contains("forward"), "{reason}");
+        }
+        other => panic!("expected invalid self-reference, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_read_of_current_point_rejected() {
+    let mut p = PipelineBuilder::new("selfpt");
+    let x = p.var("x");
+    let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
+    p.define(f, vec![Case::always(Expr::at(f, [x + 0]) + 1.0)]).unwrap();
+    let pipe = p.finish(&[f]).unwrap();
+    assert!(matches!(
+        compile(&pipe, &CompileOptions::optimized(vec![])),
+        Err(CompileError::InvalidSelfReference { .. })
+    ));
+}
+
+#[test]
+fn scaled_self_access_rejected() {
+    let mut p = PipelineBuilder::new("selfscale");
+    let x = p.var("x");
+    let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
+    p.define(
+        f,
+        vec![
+            Case::new(Expr::from(x).le(7), Expr::from(x)),
+            Case::new(Expr::from(x).ge(8), Expr::at(f, [Expr::from(x) / 2])),
+        ],
+    )
+    .unwrap();
+    let pipe = p.finish(&[f]).unwrap();
+    assert!(matches!(
+        compile(&pipe, &CompileOptions::optimized(vec![])),
+        Err(CompileError::InvalidSelfReference { .. })
+    ));
+}
+
+#[test]
+fn zero_sized_image_rejected() {
+    let mut p = PipelineBuilder::new("empty");
+    let n = p.param("N");
+    let img = p.image("I", ScalarType::Float, vec![PAff::param(n)]);
+    let x = p.var("x");
+    let f = p.func(
+        "f",
+        &[(x, Interval::new(PAff::cst(0), PAff::param(n) - 1))],
+        ScalarType::Float,
+    );
+    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+    let pipe = p.finish(&[f]).unwrap();
+    assert!(matches!(
+        compile(&pipe, &CompileOptions::optimized(vec![0])),
+        Err(CompileError::EmptyDomain { .. })
+    ));
+}
+
+#[test]
+fn execution_input_mismatches_reported() {
+    let mut p = PipelineBuilder::new("inputs");
+    let img = p.image("I", ScalarType::Float, vec![PAff::cst(16)]);
+    let x = p.var("x");
+    let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
+    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+    let pipe = p.finish(&[f]).unwrap();
+    let compiled = compile(&pipe, &CompileOptions::optimized(vec![])).unwrap();
+    // no inputs
+    assert!(matches!(
+        run_program(&compiled.program, &[], 1),
+        Err(VmError::InputCountMismatch { expected: 1, got: 0 })
+    ));
+    // wrong shape
+    let bad = Buffer::zeros(Rect::new(vec![(0, 7)]));
+    assert!(matches!(
+        run_program(&compiled.program, &[bad], 1),
+        Err(VmError::InputShapeMismatch { index: 0, .. })
+    ));
+    // wrong rank
+    let bad = Buffer::zeros(Rect::new(vec![(0, 15), (0, 15)]));
+    assert!(matches!(
+        run_program(&compiled.program, &[bad], 1),
+        Err(VmError::InputShapeMismatch { index: 0, .. })
+    ));
+}
+
+#[test]
+fn error_messages_are_human_readable() {
+    // Display implementations must carry enough context to act on.
+    let e = CompileError::MissingParams { expected: 2, got: 0 };
+    assert!(e.to_string().contains("2 parameter"));
+    let e = VmError::InputCountMismatch { expected: 3, got: 1 };
+    assert!(e.to_string().contains("expected 3"));
+    let e = GraphError::Cycle(vec!["a".into(), "b".into()]);
+    assert!(e.to_string().contains("a -> b"));
+}
