@@ -54,13 +54,15 @@ pub fn build() -> Pipeline {
         vec![
             (Expr::from(x) + PAD * S_SIGMA) / S_SIGMA,
             (Expr::from(y) + PAD * S_SIGMA) / S_SIGMA,
-            (Expr::at(img, [Expr::from(x), Expr::from(y)]) * Z_BINS as f64)
-                .cast(ScalarType::Int)
+            (Expr::at(img, [Expr::from(x), Expr::from(y)]) * Z_BINS as f64).cast(ScalarType::Int)
                 + PAD,
         ]
     };
-    let grid_dom =
-        [(gx, grid_x.clone()), (gy, grid_y.clone()), (z, grid_z.clone())];
+    let grid_dom = [
+        (gx, grid_x.clone()),
+        (gy, grid_y.clone()),
+        (z, grid_z.clone()),
+    ];
     let gridv = p
         .accumulator(
             "gridv",
@@ -98,7 +100,11 @@ pub fn build() -> Pipeline {
     for (suffix, grid) in [("v", gridv), ("w", gridw)] {
         let bz = p.func(
             format!("blurz_{suffix}"),
-            &[(gx, grid_x.clone()), (gy, grid_y.clone()), (z, blur_z_dom.clone())],
+            &[
+                (gx, grid_x.clone()),
+                (gy, grid_y.clone()),
+                (z, blur_z_dom.clone()),
+            ],
             ScalarType::Float,
         );
         p.define(
@@ -114,7 +120,11 @@ pub fn build() -> Pipeline {
         .unwrap();
         let bx = p.func(
             format!("blurx_{suffix}"),
-            &[(gx, blur_x_dom.clone()), (gy, grid_y.clone()), (z, blur_z_dom.clone())],
+            &[
+                (gx, blur_x_dom.clone()),
+                (gy, grid_y.clone()),
+                (z, blur_z_dom.clone()),
+            ],
             ScalarType::Float,
         );
         p.define(
@@ -130,7 +140,11 @@ pub fn build() -> Pipeline {
         .unwrap();
         let by = p.func(
             format!("blury_{suffix}"),
-            &[(gx, blur_x_dom.clone()), (gy, blur_y_dom.clone()), (z, blur_z_dom.clone())],
+            &[
+                (gx, blur_x_dom.clone()),
+                (gy, blur_y_dom.clone()),
+                (z, blur_z_dom.clone()),
+            ],
             ScalarType::Float,
         );
         p.define(
@@ -148,14 +162,11 @@ pub fn build() -> Pipeline {
     }
 
     // Trilinear slice of each blurred grid, then normalization.
-    let zv = Expr::at(img, [Expr::from(x), Expr::from(y)]) * Z_BINS as f64
-        + PAD as f64;
+    let zv = Expr::at(img, [Expr::from(x), Expr::from(y)]) * Z_BINS as f64 + PAD as f64;
     let zi = zv.clone().floor();
     let zf = zv - zi.clone();
-    let xf = Expr::from(x) * (1.0 / S_SIGMA as f64)
-        - (Expr::from(x) / S_SIGMA as f64).floor();
-    let yf = Expr::from(y) * (1.0 / S_SIGMA as f64)
-        - (Expr::from(y) / S_SIGMA as f64).floor();
+    let xf = Expr::from(x) * (1.0 / S_SIGMA as f64) - (Expr::from(x) / S_SIGMA as f64).floor();
+    let yf = Expr::from(y) * (1.0 / S_SIGMA as f64) - (Expr::from(y) / S_SIGMA as f64).floor();
     let trilinear = |grid: FuncId| -> Expr {
         let mut sum: Option<Expr> = None;
         for dx in 0..2i64 {
@@ -199,9 +210,11 @@ pub fn build() -> Pipeline {
         (y, Interval::new(PAff::cst(0), PAff::param(c) - 1)),
     ];
     let slice_v = p.func("slice_v", &out_dom, ScalarType::Float);
-    p.define(slice_v, vec![Case::always(trilinear(blurred[0]))]).unwrap();
+    p.define(slice_v, vec![Case::always(trilinear(blurred[0]))])
+        .unwrap();
     let slice_w = p.func("slice_w", &out_dom, ScalarType::Float);
-    p.define(slice_w, vec![Case::always(trilinear(blurred[1]))]).unwrap();
+    p.define(slice_w, vec![Case::always(trilinear(blurred[1]))])
+        .unwrap();
     let out = p.func("filtered", &out_dom, ScalarType::Float);
     p.define(
         out,
@@ -235,7 +248,11 @@ impl BilateralGrid {
             rows % S_SIGMA == 0 && cols % S_SIGMA == 0,
             "bilateral grid sizes must be multiples of {S_SIGMA}"
         );
-        BilateralGrid { pipeline: build(), rows, cols }
+        BilateralGrid {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -259,8 +276,11 @@ impl Benchmark for BilateralGrid {
     fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer> {
         let img = &inputs[0];
         let (r, c) = (self.rows, self.cols);
-        let (nx, ny, nz) =
-            (r / S_SIGMA + 2 * PAD + 1, c / S_SIGMA + 2 * PAD + 1, Z_BINS + 2 * PAD + 1);
+        let (nx, ny, nz) = (
+            r / S_SIGMA + 2 * PAD + 1,
+            c / S_SIGMA + 2 * PAD + 1,
+            Z_BINS + 2 * PAD + 1,
+        );
         let gi = |gx: i64, gy: i64, gz: i64| ((gx * ny + gy) * nz + gz) as usize;
         let mut gridv = vec![0.0f32; (nx * ny * nz) as usize];
         let mut gridw = vec![0.0f32; (nx * ny * nz) as usize];
@@ -275,8 +295,16 @@ impl Benchmark for BilateralGrid {
         }
         let blur_axis = |src: &[f32], axis: usize| -> Vec<f32> {
             let mut dst = vec![0.0f32; src.len()];
-            let (bx0, bx1) = if axis == 0 { (PAD, nx - 1 - PAD) } else { (0, nx - 1) };
-            let (by0, by1) = if axis == 1 { (PAD, ny - 1 - PAD) } else { (0, ny - 1) };
+            let (bx0, bx1) = if axis == 0 {
+                (PAD, nx - 1 - PAD)
+            } else {
+                (0, nx - 1)
+            };
+            let (by0, by1) = if axis == 1 {
+                (PAD, ny - 1 - PAD)
+            } else {
+                (0, ny - 1)
+            };
             let (bz0, bz1) = (PAD, nz - 1 - PAD);
             for gx in bx0..=bx1 {
                 for gy in by0..=by1 {
@@ -301,8 +329,7 @@ impl Benchmark for BilateralGrid {
         // harmless: weights normalize)
         let bv = blur_axis(&blur_axis(&blur_axis(&gridv, 2), 0), 1);
         let bw = blur_axis(&blur_axis(&blur_axis(&gridw, 2), 0), 1);
-        let mut out =
-            Buffer::zeros(polymage_poly::Rect::new(vec![(0, r - 1), (0, c - 1)]));
+        let mut out = Buffer::zeros(polymage_poly::Rect::new(vec![(0, r - 1), (0, c - 1)]));
         let mut i = 0;
         for x in 0..r {
             for y in 0..c {
@@ -321,8 +348,7 @@ impl Benchmark for BilateralGrid {
                                 let wx = if dx == 0 { 1.0 - xf } else { xf };
                                 let wy = if dy == 0 { 1.0 - yf } else { yf };
                                 let wz = if dz == 0 { 1.0 - zf } else { zf };
-                                let az =
-                                    ((zi0 as i64) + dz).clamp(PAD, nz - 1 - PAD);
+                                let az = ((zi0 as i64) + dz).clamp(PAD, nz - 1 - PAD);
                                 let ax = (xi + dx).clamp(PAD, nx - 1 - PAD);
                                 let ay = (yi + dy).clamp(PAD, ny - 1 - PAD);
                                 s += g[gi(ax, ay, az)] * wx * wy * wz;
@@ -352,10 +378,7 @@ mod tests {
         let p = build();
         // 2 accumulators + 6 blurs + 2 slices + 1 normalize = 11 stages
         assert_eq!(p.funcs().len(), 11);
-        assert_eq!(
-            p.funcs().iter().filter(|f| f.is_reduction()).count(),
-            2
-        );
+        assert_eq!(p.funcs().iter().filter(|f| f.is_reduction()).count(), 2);
     }
 
     #[test]

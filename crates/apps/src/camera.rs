@@ -19,11 +19,7 @@ use polymage_ir::*;
 use polymage_vm::Buffer;
 
 /// Color correction matrix (row-major; applied to [r, g, b]).
-pub const CCM: [[f64; 3]; 3] = [
-    [1.4, -0.3, -0.1],
-    [-0.2, 1.3, -0.1],
-    [-0.1, -0.4, 1.5],
-];
+pub const CCM: [[f64; 3]; 3] = [[1.4, -0.3, -0.1], [-0.2, 1.3, -0.1], [-0.1, -0.4, 1.5]];
 /// Tone-curve gamma.
 pub const GAMMA: f64 = 1.0 / 1.8;
 
@@ -41,7 +37,11 @@ const QM: i64 = 2;
 pub fn build() -> Pipeline {
     let mut p = PipelineBuilder::new("camera_pipe");
     let (r, c) = (p.param("R"), p.param("C"));
-    let raw = p.image("raw", ScalarType::Float, vec![PAff::param(r), PAff::param(c)]);
+    let raw = p.image(
+        "raw",
+        ScalarType::Float,
+        vec![PAff::param(r), PAff::param(c)],
+    );
     let (x, y, ch, v) = (p.var("x"), p.var("y"), p.var("c"), p.var("v"));
 
     // --- hot-pixel suppression (denoise) over the interior ---
@@ -49,8 +49,12 @@ pub fn build() -> Pipeline {
     let den_y = Interval::new(PAff::cst(2), PAff::param(c) - 3);
     let denoised = p.func("denoised", &[(x, den_x), (y, den_y)], ScalarType::Float);
     let at_raw = |dx: i64, dy: i64| Expr::at(raw, [x + dx, y + dy]);
-    let neigh_max = at_raw(-2, 0).max(at_raw(2, 0)).max(at_raw(0, -2).max(at_raw(0, 2)));
-    let neigh_min = at_raw(-2, 0).min(at_raw(2, 0)).min(at_raw(0, -2).min(at_raw(0, 2)));
+    let neigh_max = at_raw(-2, 0)
+        .max(at_raw(2, 0))
+        .max(at_raw(0, -2).max(at_raw(0, 2)));
+    let neigh_min = at_raw(-2, 0)
+        .min(at_raw(2, 0))
+        .min(at_raw(0, -2).min(at_raw(0, 2)));
     p.define(
         denoised,
         vec![Case::always(at_raw(0, 0).clamp(neigh_min, neigh_max))],
@@ -140,8 +144,16 @@ pub fn build() -> Pipeline {
     let h = |f: FuncId| Expr::at(f, [Expr::from(x) / 2, Expr::from(y) / 2]);
     // per (site parity, channel): which plane/interpolant supplies the value
     let site = |pxe: bool, pye: bool, rgb: [FuncId; 3]| -> Vec<Case> {
-        let px = if pxe { even(Expr::from(x)) } else { odd(Expr::from(x)) };
-        let py = if pye { even(Expr::from(y)) } else { odd(Expr::from(y)) };
+        let px = if pxe {
+            even(Expr::from(x))
+        } else {
+            odd(Expr::from(x))
+        };
+        let py = if pye {
+            even(Expr::from(y))
+        } else {
+            odd(Expr::from(y))
+        };
         (0..3)
             .map(|cc| {
                 Case::new(
@@ -165,9 +177,7 @@ pub fn build() -> Pipeline {
         ScalarType::Float,
     );
     let dm = |cc: i64| Expr::at(demosaic, [Expr::from(x), Expr::from(y), Expr::i(cc)]);
-    let ccm_row = |row: usize| {
-        dm(0) * CCM[row][0] + dm(1) * CCM[row][1] + dm(2) * CCM[row][2]
-    };
+    let ccm_row = |row: usize| dm(0) * CCM[row][0] + dm(1) * CCM[row][1] + dm(2) * CCM[row][2];
     p.define(
         corrected,
         vec![
@@ -198,8 +208,10 @@ pub fn build() -> Pipeline {
         processed,
         vec![Case::always(Expr::at(
             curve,
-            [Expr::at(corrected, [Expr::from(x), Expr::from(y), Expr::from(ch)])
-                .clamp(0.0, 1023.0)],
+            [
+                Expr::at(corrected, [Expr::from(x), Expr::from(y), Expr::from(ch)])
+                    .clamp(0.0, 1023.0),
+            ],
         ))],
     )
     .unwrap();
@@ -223,8 +235,15 @@ impl CameraPipe {
     ///
     /// Panics on odd dimensions.
     pub fn with_size(rows: i64, cols: i64) -> Self {
-        assert!(rows % 2 == 0 && cols % 2 == 0, "raw dimensions must be even");
-        CameraPipe { pipeline: build(), rows, cols }
+        assert!(
+            rows % 2 == 0 && cols % 2 == 0,
+            "raw dimensions must be even"
+        );
+        CameraPipe {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -297,10 +316,7 @@ impl Benchmark for CameraPipe {
                     ],
                     (0, 1) => [
                         rr[qi(hx, hy)],
-                        (gr[qi(hx, hy)]
-                            + gr[qi(hx, hy + 1)]
-                            + gb[qi(hx - 1, hy)]
-                            + gb[qi(hx, hy)])
+                        (gr[qi(hx, hy)] + gr[qi(hx, hy + 1)] + gb[qi(hx - 1, hy)] + gb[qi(hx, hy)])
                             * 0.25,
                         (bb[qi(hx - 1, hy)]
                             + bb[qi(hx - 1, hy + 1)]
@@ -314,10 +330,7 @@ impl Benchmark for CameraPipe {
                             + rr[qi(hx + 1, hy - 1)]
                             + rr[qi(hx + 1, hy)])
                             * 0.25,
-                        (gb[qi(hx, hy - 1)]
-                            + gb[qi(hx, hy)]
-                            + gr[qi(hx, hy)]
-                            + gr[qi(hx + 1, hy)])
+                        (gb[qi(hx, hy - 1)] + gb[qi(hx, hy)] + gr[qi(hx, hy)] + gr[qi(hx + 1, hy)])
                             * 0.25,
                         bb[qi(hx, hy)],
                     ],
@@ -327,13 +340,12 @@ impl Benchmark for CameraPipe {
                         (bb[qi(hx, hy)] + bb[qi(hx, hy + 1)]) * 0.5,
                     ],
                 };
-                for cc in 0..3usize {
-                    let corrected = (CCM[cc][0] as f32) * rgb[0]
-                        + (CCM[cc][1] as f32) * rgb[1]
-                        + (CCM[cc][2] as f32) * rgb[2];
+                for row in &CCM {
+                    let corrected = (row[0] as f32) * rgb[0]
+                        + (row[1] as f32) * rgb[1]
+                        + (row[2] as f32) * rgb[2];
                     let idx = corrected.clamp(0.0, 1023.0).round();
-                    let toned =
-                        ((idx / 1023.0) as f64).powf(GAMMA) as f32 * 255.0;
+                    let toned = ((idx / 1023.0) as f64).powf(GAMMA) as f32 * 255.0;
                     out.data[i] = toned.clamp(0.0, 255.0).round();
                     i += 1;
                 }

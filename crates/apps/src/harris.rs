@@ -23,8 +23,11 @@ pub struct HarrisCorner {
 pub fn build() -> Pipeline {
     let mut p = PipelineBuilder::new("harris");
     let (r, c) = (p.param("R"), p.param("C"));
-    let img =
-        p.image("I", ScalarType::Float, vec![PAff::param(r) + 2, PAff::param(c) + 2]);
+    let img = p.image(
+        "I",
+        ScalarType::Float,
+        vec![PAff::param(r) + 2, PAff::param(c) + 2],
+    );
     let (x, y) = (p.var("x"), p.var("y"));
     let row = Interval::new(PAff::cst(0), PAff::param(r) + 1);
     let col = Interval::new(PAff::cst(0), PAff::param(c) + 1);
@@ -43,7 +46,12 @@ pub fn build() -> Pipeline {
         iy,
         vec![Case::new(
             cond.clone(),
-            stencil(img, &[x, y], 1.0 / 12.0, &[[-1, -2, -1], [0, 0, 0], [1, 2, 1]]),
+            stencil(
+                img,
+                &[x, y],
+                1.0 / 12.0,
+                &[[-1, -2, -1], [0, 0, 0], [1, 2, 1]],
+            ),
         )],
     )
     .unwrap();
@@ -52,37 +60,60 @@ pub fn build() -> Pipeline {
         ix,
         vec![Case::new(
             cond.clone(),
-            stencil(img, &[x, y], 1.0 / 12.0, &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]),
+            stencil(
+                img,
+                &[x, y],
+                1.0 / 12.0,
+                &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]],
+            ),
         )],
     )
     .unwrap();
 
     let at = |f: FuncId, x: VarId, y: VarId| Expr::at(f, [Expr::from(x), Expr::from(y)]);
     let ixx = p.func("Ixx", &dom, ScalarType::Float);
-    p.define(ixx, vec![Case::new(cond.clone(), at(ix, x, y) * at(ix, x, y))]).unwrap();
+    p.define(
+        ixx,
+        vec![Case::new(cond.clone(), at(ix, x, y) * at(ix, x, y))],
+    )
+    .unwrap();
     let iyy = p.func("Iyy", &dom, ScalarType::Float);
-    p.define(iyy, vec![Case::new(cond.clone(), at(iy, x, y) * at(iy, x, y))]).unwrap();
+    p.define(
+        iyy,
+        vec![Case::new(cond.clone(), at(iy, x, y) * at(iy, x, y))],
+    )
+    .unwrap();
     let ixy = p.func("Ixy", &dom, ScalarType::Float);
-    p.define(ixy, vec![Case::new(cond, at(ix, x, y) * at(iy, x, y))]).unwrap();
+    p.define(ixy, vec![Case::new(cond, at(ix, x, y) * at(iy, x, y))])
+        .unwrap();
 
     let box3 = [[1i64, 1, 1], [1, 1, 1], [1, 1, 1]];
     let sxx = p.func("Sxx", &dom, ScalarType::Float);
     let syy = p.func("Syy", &dom, ScalarType::Float);
     let sxy = p.func("Sxy", &dom, ScalarType::Float);
     for (s, i) in [(sxx, ixx), (syy, iyy), (sxy, ixy)] {
-        p.define(s, vec![Case::new(condb.clone(), stencil(i, &[x, y], 1.0, &box3))])
-            .unwrap();
+        p.define(
+            s,
+            vec![Case::new(condb.clone(), stencil(i, &[x, y], 1.0, &box3))],
+        )
+        .unwrap();
     }
 
     let det = p.func("det", &dom, ScalarType::Float);
     p.define(
         det,
-        vec![Case::new(condb.clone(), at(sxx, x, y) * at(syy, x, y) - at(sxy, x, y) * at(sxy, x, y))],
+        vec![Case::new(
+            condb.clone(),
+            at(sxx, x, y) * at(syy, x, y) - at(sxy, x, y) * at(sxy, x, y),
+        )],
     )
     .unwrap();
     let trace = p.func("trace", &dom, ScalarType::Float);
-    p.define(trace, vec![Case::new(condb.clone(), at(sxx, x, y) + at(syy, x, y))])
-        .unwrap();
+    p.define(
+        trace,
+        vec![Case::new(condb.clone(), at(sxx, x, y) + at(syy, x, y))],
+    )
+    .unwrap();
     let harris = p.func("harris", &dom, ScalarType::Float);
     p.define(
         harris,
@@ -108,7 +139,11 @@ impl HarrisCorner {
 
     /// Instantiates with explicit interior dimensions (`R`, `C`).
     pub fn with_size(rows: i64, cols: i64) -> Self {
-        HarrisCorner { pipeline: build(), rows, cols }
+        HarrisCorner {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -126,7 +161,11 @@ impl Benchmark for HarrisCorner {
     }
 
     fn make_inputs(&self, seed: u64) -> Vec<Buffer> {
-        vec![crate::inputs::gray_image(self.rows + 2, self.cols + 2, seed)]
+        vec![crate::inputs::gray_image(
+            self.rows + 2,
+            self.cols + 2,
+            seed,
+        )]
     }
 
     fn reference(&self, inputs: &[Buffer]) -> Vec<Buffer> {
@@ -139,19 +178,15 @@ impl Benchmark for HarrisCorner {
         for x in 1..=r {
             for y in 1..=c {
                 let g = |dx: i64, dy: i64| img.at(&[x + dx, y + dy]);
-                iy[idx(x, y)] = (-g(-1, -1) - 2.0 * g(-1, 0) - g(-1, 1)
-                    + g(1, -1)
-                    + 2.0 * g(1, 0)
-                    + g(1, 1))
-                    / 12.0;
-                ix[idx(x, y)] = (-g(-1, -1) + g(-1, 1) - 2.0 * g(0, -1) + 2.0 * g(0, 1)
-                    - g(1, -1)
+                iy[idx(x, y)] =
+                    (-g(-1, -1) - 2.0 * g(-1, 0) - g(-1, 1) + g(1, -1) + 2.0 * g(1, 0) + g(1, 1))
+                        / 12.0;
+                ix[idx(x, y)] = (-g(-1, -1) + g(-1, 1) - 2.0 * g(0, -1) + 2.0 * g(0, 1) - g(1, -1)
                     + g(1, 1))
                     / 12.0;
             }
         }
-        let (mut ixx, mut iyy, mut ixy) =
-            (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+        let (mut ixx, mut iyy, mut ixy) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
         for x in 1..=r {
             for y in 1..=c {
                 let i = idx(x, y);
@@ -204,9 +239,7 @@ mod tests {
         let g = polymage_graph::PipelineGraph::build(&p).unwrap();
         // levels: Ix/Iy at 0, products at 1, box sums at 2, det/trace at 3,
         // harris at 4
-        let by_name = |n: &str| {
-            p.func_ids().find(|&f| p.func(f).name == n).unwrap()
-        };
+        let by_name = |n: &str| p.func_ids().find(|&f| p.func(f).name == n).unwrap();
         assert_eq!(g.level(by_name("Ix")), 0);
         assert_eq!(g.level(by_name("Ixx")), 1);
         assert_eq!(g.level(by_name("Sxx")), 2);

@@ -41,11 +41,14 @@ impl SplitMix {
 /// edge and a touch of per-pixel noise.
 pub fn luminance(x: i64, y: i64, rng_seed: u64) -> f32 {
     let (fx, fy) = (x as f32, y as f32);
-    let base = 0.5
-        + 0.25 * (fx * 0.013).sin() * (fy * 0.017).cos()
-        + 0.15 * ((fx + fy) * 0.006).sin();
+    let base =
+        0.5 + 0.25 * (fx * 0.013).sin() * (fy * 0.017).cos() + 0.15 * ((fx + fy) * 0.006).sin();
     // a hard edge band so sharpening/corner detection has features
-    let edge = if ((fx * 0.031).sin() * (fy * 0.029).cos()) > 0.55 { 0.2 } else { 0.0 };
+    let edge = if ((fx * 0.031).sin() * (fy * 0.029).cos()) > 0.55 {
+        0.2
+    } else {
+        0.0
+    };
     let mut h = SplitMix::new(
         rng_seed ^ (x as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ (y as u64).rotate_left(17),
     );
@@ -124,7 +127,10 @@ mod tests {
         let g = gray_image(32, 32, 1);
         assert!(g.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
         let u = gray_image_u8(32, 32, 1);
-        assert!(u.data.iter().all(|&v| (0.0..=255.0).contains(&v) && v.fract() == 0.0));
+        assert!(u
+            .data
+            .iter()
+            .all(|&v| (0.0..=255.0).contains(&v) && v.fract() == 0.0));
         let raw = bayer_raw(32, 32, 1);
         assert!(raw.data.iter().all(|&v| (0.0..=1023.0).contains(&v)));
         let rgb = rgb_image(8, 8, 1);

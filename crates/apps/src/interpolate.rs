@@ -31,7 +31,14 @@ pub fn build() -> Pipeline {
     let ia = pb.image("A", ScalarType::Float, dims);
     let x = pb.var("x");
     let y = pb.var("y");
-    let mut b = PyrBuilder { p: pb, r, c, x, y, extra: None };
+    let mut b = PyrBuilder {
+        p: pb,
+        r,
+        c,
+        x,
+        y,
+        extra: None,
+    };
 
     // level 0: premultiplied value and weight
     let d0 = b.dom(0, 0, (0, 0, 0, 0));
@@ -45,12 +52,23 @@ pub fn build() -> Pipeline {
     )
     .unwrap();
     let da0 = b.p.func("da0", &d0, ScalarType::Float);
-    b.p.define(da0, vec![Case::always(Expr::at(ia, [Expr::from(x), Expr::from(y)]))])
-        .unwrap();
+    b.p.define(
+        da0,
+        vec![Case::always(Expr::at(ia, [Expr::from(x), Expr::from(y)]))],
+    )
+    .unwrap();
 
     // downsweep
-    let mut dv = vec![St { f: dv0, lvl: 0, m: (0, 0, 0, 0) }];
-    let mut da = vec![St { f: da0, lvl: 0, m: (0, 0, 0, 0) }];
+    let mut dv = vec![St {
+        f: dv0,
+        lvl: 0,
+        m: (0, 0, 0, 0),
+    }];
+    let mut da = vec![St {
+        f: da0,
+        lvl: 0,
+        m: (0, 0, 0, 0),
+    }];
     for l in 1..LEVELS {
         let v = b.downsample(&format!("dv{l}"), dv[l - 1]);
         dv.push(v);
@@ -116,7 +134,11 @@ impl MultiscaleInterp {
             rows % (1 << LEVELS) == 0 && cols % (1 << LEVELS) == 0,
             "dimensions must be divisible by 2^{LEVELS}"
         );
-        MultiscaleInterp { pipeline: build(), rows, cols }
+        MultiscaleInterp {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -137,8 +159,7 @@ impl Benchmark for MultiscaleInterp {
         let img = crate::inputs::gray_image(self.rows, self.cols, seed);
         // sparse alpha: keep ~25% of pixels as "known" samples
         let alpha = Buffer::zeros(img.rect.clone()).fill_with(|p| {
-            let h = (p[0].wrapping_mul(2654435761) ^ p[1].wrapping_mul(40503))
-                .rem_euclid(97);
+            let h = (p[0].wrapping_mul(2654435761) ^ p[1].wrapping_mul(40503)).rem_euclid(97);
             if h < 24 {
                 1.0
             } else {
@@ -194,7 +215,11 @@ impl Benchmark for MultiscaleInterp {
                 .find(|f| f.name == "final")
                 .expect("final stage");
             polymage_poly::Rect::new(
-                fd.var_dom.dom.iter().map(|iv| iv.eval(&self.params())).collect(),
+                fd.var_dom
+                    .dom
+                    .iter()
+                    .map(|iv| iv.eval(&self.params()))
+                    .collect(),
             )
         };
         let mut res = Buffer::zeros(final_rect.clone());

@@ -43,7 +43,14 @@ pub fn build() -> Pipeline {
     let x = pb.var("x");
     let y = pb.var("y");
     let k = pb.var("k");
-    let mut b = PyrBuilder { p: pb, r, c, x, y, extra: Some((k, 0, K - 1)) };
+    let mut b = PyrBuilder {
+        p: pb,
+        r,
+        c,
+        x,
+        y,
+        extra: Some((k, 0, K - 1)),
+    };
 
     // 3-D remapped base: g3[0](x,y,k)
     let d0 = b.dom(0, 0, (0, 0, 0, 0));
@@ -56,7 +63,11 @@ pub fn build() -> Pipeline {
         ))],
     )
     .unwrap();
-    let mut g3 = vec![St { f: g0, lvl: 0, m: (0, 0, 0, 0) }];
+    let mut g3 = vec![St {
+        f: g0,
+        lvl: 0,
+        m: (0, 0, 0, 0),
+    }];
     for l in 1..LEVELS {
         let s = b.downsample(&format!("g3_{l}"), g3[l - 1]);
         g3.push(s);
@@ -80,9 +91,16 @@ pub fn build() -> Pipeline {
     b.extra = None;
     let din = b.dom(0, 0, (0, 0, 0, 0));
     let in0 = b.p.func("inG0", &din, ScalarType::Float);
-    b.p.define(in0, vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))])
-        .unwrap();
-    let mut ing = vec![St { f: in0, lvl: 0, m: (0, 0, 0, 0) }];
+    b.p.define(
+        in0,
+        vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))],
+    )
+    .unwrap();
+    let mut ing = vec![St {
+        f: in0,
+        lvl: 0,
+        m: (0, 0, 0, 0),
+    }];
     for l in 1..LEVELS {
         let s = b.downsample(&format!("inG{l}"), ing[l - 1]);
         ing.push(s);
@@ -94,17 +112,13 @@ pub fn build() -> Pipeline {
         let m = max_margin(ing[l].m, l3[l].m);
         let dom = b.dom(l, l, m);
         let f = b.p.func(format!("outL{l}"), &dom, ScalarType::Float);
-        let level =
-            Expr::at(ing[l].f, [Expr::from(x), Expr::from(y)]) * (K - 1) as f64;
+        let level = Expr::at(ing[l].f, [Expr::from(x), Expr::from(y)]) * (K - 1) as f64;
         let li = level.clone().floor().clamp(0.0, (K - 2) as f64);
         let lf = level - li.clone();
         let lo = Expr::at(l3[l].f, [Expr::from(x), Expr::from(y), li.clone()]);
         let hi = Expr::at(l3[l].f, [Expr::from(x), Expr::from(y), li + 1.0]);
-        b.p.define(
-            f,
-            vec![Case::always((1.0 - lf.clone()) * lo + lf * hi)],
-        )
-        .unwrap();
+        b.p.define(f, vec![Case::always((1.0 - lf.clone()) * lo + lf * hi)])
+            .unwrap();
         outl.push(St { f, lvl: l, m });
     }
 
@@ -156,7 +170,11 @@ impl LocalLaplacian {
             rows % (1 << LEVELS) == 0 && cols % (1 << LEVELS) == 0,
             "dimensions must be divisible by 2^{LEVELS}"
         );
-        LocalLaplacian { pipeline: build(), rows, cols }
+        LocalLaplacian {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -215,10 +233,7 @@ impl Benchmark for LocalLaplacian {
         let mut l3: Vec<(Vec<Plane>, M4)> = Vec::new();
         for l in 0..LEVELS {
             if l == LEVELS - 1 {
-                l3.push((
-                    g3[l].0.iter().map(|p| p.clone_plane()).collect(),
-                    g3[l].1,
-                ));
+                l3.push((g3[l].0.iter().map(|p| p.clone_plane()).collect(), g3[l].1));
             } else {
                 let mut planes = Vec::new();
                 let mut nm = m0;
@@ -239,7 +254,11 @@ impl Benchmark for LocalLaplacian {
         }
         // input Gaussian pyramid
         let mut ing = vec![(
-            Plane { rows: self.rows, cols: self.cols, data: img.data.clone() },
+            Plane {
+                rows: self.rows,
+                cols: self.cols,
+                data: img.data.clone(),
+            },
             m0,
         )];
         for l in 1..LEVELS {
@@ -288,7 +307,11 @@ impl Benchmark for LocalLaplacian {
                 .find(|f| f.name == "enhanced")
                 .expect("final stage");
             polymage_poly::Rect::new(
-                fd.var_dom.dom.iter().map(|iv| iv.eval(&self.params())).collect(),
+                fd.var_dom
+                    .dom
+                    .iter()
+                    .map(|iv| iv.eval(&self.params()))
+                    .collect(),
             )
         };
         let mut res = Buffer::zeros(final_rect.clone());

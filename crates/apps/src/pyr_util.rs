@@ -63,10 +63,8 @@ pub struct PyrBuilder {
 impl PyrBuilder {
     /// Domain at row level `rl` / column level `cl` with margins `m`.
     pub fn dom(&self, rl: usize, cl: usize, m: M4) -> Vec<(VarId, Interval)> {
-        let rows =
-            Interval::new(PAff::cst(m.0), PAff::param(self.r) / (1 << rl) - 1 - m.1);
-        let cols =
-            Interval::new(PAff::cst(m.2), PAff::param(self.c) / (1 << cl) - 1 - m.3);
+        let rows = Interval::new(PAff::cst(m.0), PAff::param(self.r) / (1 << rl) - 1 - m.1);
+        let cols = Interval::new(PAff::cst(m.2), PAff::param(self.c) / (1 << cl) - 1 - m.3);
         let mut d = vec![(self.x, rows), (self.y, cols)];
         if let Some((k, lo, hi)) = self.extra {
             d.push((k, Interval::cst(lo, hi)));
@@ -105,7 +103,11 @@ impl PyrBuilder {
             + self.access(fx, Expr::from(x), 2i64 * Expr::from(y) + 1))
             * 0.25;
         self.p.define(fy, vec![Case::always(e)]).unwrap();
-        St { f: fy, lvl: src.lvl + 1, m: my }
+        St {
+            f: fy,
+            lvl: src.lvl + 1,
+            m: my,
+        }
     }
 
     /// Separable linear upsample; returns the level-`l−1` stage.
@@ -124,17 +126,16 @@ impl PyrBuilder {
             + self.access(fx, Expr::from(x), (y + 1) / 2))
             * 0.5;
         self.p.define(fy, vec![Case::always(e)]).unwrap();
-        St { f: fy, lvl: src.lvl - 1, m: my }
+        St {
+            f: fy,
+            lvl: src.lvl - 1,
+            m: my,
+        }
     }
 
     /// Point-wise combination of same-level stages (margins maxed). The
     /// closure receives one identity access per source.
-    pub fn combine(
-        &mut self,
-        name: &str,
-        srcs: &[St],
-        expr: impl FnOnce(&[Expr]) -> Expr,
-    ) -> St {
+    pub fn combine(&mut self, name: &str, srcs: &[St], expr: impl FnOnce(&[Expr]) -> Expr) -> St {
         let lvl = srcs[0].lvl;
         assert!(srcs.iter().all(|s| s.lvl == lvl));
         let m = srcs.iter().fold((0, 0, 0, 0), |a, s| max_margin(a, s.m));
@@ -144,7 +145,9 @@ impl PyrBuilder {
             .iter()
             .map(|s| self.access(s.f, Expr::from(self.x), Expr::from(self.y)))
             .collect();
-        self.p.define(f, vec![Case::always(expr(&accesses))]).unwrap();
+        self.p
+            .define(f, vec![Case::always(expr(&accesses))])
+            .unwrap();
         St { f, lvl, m }
     }
 }
@@ -164,7 +167,11 @@ pub struct Plane {
 impl Plane {
     /// Zero-filled plane.
     pub fn zero(rows: i64, cols: i64) -> Plane {
-        Plane { rows, cols, data: vec![0.0; (rows * cols) as usize] }
+        Plane {
+            rows,
+            cols,
+            data: vec![0.0; (rows * cols) as usize],
+        }
     }
     /// Value at `(x, y)`.
     pub fn at(&self, x: i64, y: i64) -> f32 {
@@ -176,7 +183,11 @@ impl Plane {
     }
     /// Deep copy.
     pub fn clone_plane(&self) -> Plane {
-        Plane { rows: self.rows, cols: self.cols, data: self.data.clone() }
+        Plane {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
     }
 }
 
@@ -186,16 +197,14 @@ pub fn ref_down(src: &Plane, m: M4) -> (Plane, M4) {
     let mut dx = Plane::zero(src.rows / 2, src.cols);
     for x in mx.0..=dx.rows - 1 - mx.1 {
         for y in mx.2..=dx.cols - 1 - mx.3 {
-            let v = (src.at(2 * x - 1, y) + 2.0 * src.at(2 * x, y) + src.at(2 * x + 1, y))
-                * 0.25;
+            let v = (src.at(2 * x - 1, y) + 2.0 * src.at(2 * x, y) + src.at(2 * x + 1, y)) * 0.25;
             dx.set(x, y, v);
         }
     }
     let mut dy = Plane::zero(dx.rows, dx.cols / 2);
     for x in my.0..=dy.rows - 1 - my.1 {
         for y in my.2..=dy.cols - 1 - my.3 {
-            let v =
-                (dx.at(x, 2 * y - 1) + 2.0 * dx.at(x, 2 * y) + dx.at(x, 2 * y + 1)) * 0.25;
+            let v = (dx.at(x, 2 * y - 1) + 2.0 * dx.at(x, 2 * y) + dx.at(x, 2 * y + 1)) * 0.25;
             dy.set(x, y, v);
         }
     }

@@ -32,7 +32,14 @@ pub fn build() -> Pipeline {
     let im = pb.image("M", ScalarType::Float, dims);
     let x = pb.var("x");
     let y = pb.var("y");
-    let mut b = PyrBuilder { p: pb, r, c, x, y, extra: None };
+    let mut b = PyrBuilder {
+        p: pb,
+        r,
+        c,
+        x,
+        y,
+        extra: None,
+    };
 
     // level-0 copy stages (point-wise; inlined by the compiler)
     let mk0 = |b: &mut PyrBuilder, name: &str, img: ImageId| {
@@ -40,10 +47,17 @@ pub fn build() -> Pipeline {
         let f = b.p.func(name, &dom, ScalarType::Float);
         b.p.define(
             f,
-            vec![Case::always(Expr::at(img, [Expr::from(b.x), Expr::from(b.y)]))],
+            vec![Case::always(Expr::at(
+                img,
+                [Expr::from(b.x), Expr::from(b.y)],
+            ))],
         )
         .unwrap();
-        St { f, lvl: 0, m: (0, 0, 0, 0) }
+        St {
+            f,
+            lvl: 0,
+            m: (0, 0, 0, 0),
+        }
     };
     let ga0 = mk0(&mut b, "GA0", ia);
     let gb0 = mk0(&mut b, "GB0", ib);
@@ -69,11 +83,13 @@ pub fn build() -> Pipeline {
             (ga[l], gb[l])
         } else {
             let ua = b.upsample(&format!("LA{l}"), ga[l + 1]);
-            let la =
-                b.combine(&format!("LA{l}"), &[ga[l], ua], |e| e[0].clone() - e[1].clone());
+            let la = b.combine(&format!("LA{l}"), &[ga[l], ua], |e| {
+                e[0].clone() - e[1].clone()
+            });
             let ub = b.upsample(&format!("LB{l}"), gb[l + 1]);
-            let lb =
-                b.combine(&format!("LB{l}"), &[gb[l], ub], |e| e[0].clone() - e[1].clone());
+            let lb = b.combine(&format!("LB{l}"), &[gb[l], ub], |e| {
+                e[0].clone() - e[1].clone()
+            });
             (la, lb)
         };
         let bl = b.combine(&format!("blend{l}"), &[gm[l], la, lb], |e| {
@@ -131,7 +147,11 @@ impl PyramidBlend {
             rows % (1 << LEVELS) == 0 && cols % (1 << LEVELS) == 0,
             "dimensions must be divisible by 2^{LEVELS}"
         );
-        PyramidBlend { pipeline: build(), rows, cols }
+        PyramidBlend {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -174,23 +194,24 @@ impl Benchmark for PyramidBlend {
             let d = ref_down(&gm[l - 1].0, gm[l - 1].1);
             gm.push(d);
         }
-        let combine = |a: &(Plane, M4),
-                       b: &(Plane, M4),
-                       f: &dyn Fn(f32, f32) -> f32|
-         -> (Plane, M4) {
-            let m = max_margin(a.1, b.1);
-            let mut o = Plane::zero(a.0.rows, a.0.cols);
-            for x in m.0..=o.rows - 1 - m.1 {
-                for y in m.2..=o.cols - 1 - m.3 {
-                    o.set(x, y, f(a.0.at(x, y), b.0.at(x, y)));
+        let combine =
+            |a: &(Plane, M4), b: &(Plane, M4), f: &dyn Fn(f32, f32) -> f32| -> (Plane, M4) {
+                let m = max_margin(a.1, b.1);
+                let mut o = Plane::zero(a.0.rows, a.0.cols);
+                for x in m.0..=o.rows - 1 - m.1 {
+                    for y in m.2..=o.cols - 1 - m.3 {
+                        o.set(x, y, f(a.0.at(x, y), b.0.at(x, y)));
+                    }
                 }
-            }
-            (o, m)
-        };
+                (o, m)
+            };
         let mut blend: Vec<(Plane, M4)> = Vec::new();
         for l in 0..LEVELS {
             let (la, lb) = if l == LEVELS - 1 {
-                ((ga[l].0.clone_plane(), ga[l].1), (gb[l].0.clone_plane(), gb[l].1))
+                (
+                    (ga[l].0.clone_plane(), ga[l].1),
+                    (gb[l].0.clone_plane(), gb[l].1),
+                )
             } else {
                 let ua = ref_up(&ga[l + 1].0, ga[l + 1].1);
                 let ub = ref_up(&gb[l + 1].0, gb[l + 1].1);
@@ -224,7 +245,11 @@ impl Benchmark for PyramidBlend {
                 .find(|f| f.name == "blended")
                 .expect("final stage");
             polymage_poly::Rect::new(
-                fd.var_dom.dom.iter().map(|iv| iv.eval(&self.params())).collect(),
+                fd.var_dom
+                    .dom
+                    .iter()
+                    .map(|iv| iv.eval(&self.params()))
+                    .collect(),
             )
         };
         let mut res = Buffer::zeros(final_rect.clone());

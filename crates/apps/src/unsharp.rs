@@ -56,13 +56,16 @@ pub fn build() -> Pipeline {
 
     let blury = p.func(
         "blury",
-        &[(x, rows_in.clone()), (y, cols_in.clone()), (ch, chans.clone())],
+        &[
+            (x, rows_in.clone()),
+            (y, cols_in.clone()),
+            (ch, chans.clone()),
+        ],
         ScalarType::Float,
     );
     let mut by: Option<Expr> = None;
     for (i, &w) in K.iter().enumerate() {
-        let t = Expr::at(blurx, [Expr::from(x), y + (i as i64 - 2), Expr::from(ch)])
-            * w as f64;
+        let t = Expr::at(blurx, [Expr::from(x), y + (i as i64 - 2), Expr::from(ch)]) * w as f64;
         by = Some(match by {
             None => t,
             Some(s) => s + t,
@@ -79,7 +82,11 @@ pub fn build() -> Pipeline {
 
     let sharpen = p.func(
         "sharpen",
-        &[(x, rows_in.clone()), (y, cols_in.clone()), (ch, chans.clone())],
+        &[
+            (x, rows_in.clone()),
+            (y, cols_in.clone()),
+            (ch, chans.clone()),
+        ],
         ScalarType::Float,
     );
     p.define(
@@ -120,7 +127,11 @@ impl Unsharp {
 
     /// Instantiates with explicit image dimensions.
     pub fn with_size(rows: i64, cols: i64) -> Self {
-        Unsharp { pipeline: build(), rows, cols }
+        Unsharp {
+            pipeline: build(),
+            rows,
+            cols,
+        }
     }
 }
 
@@ -147,8 +158,11 @@ impl Benchmark for Unsharp {
         let at = |b: &Buffer, x: i64, y: i64, ch: i64| b.at(&[x, y, ch]);
         let rect_in = polymage_poly::Rect::new(vec![(2, r - 3), (2, c - 3), (0, 2)]);
         // blurx over full columns
-        let mut blurx =
-            Buffer::zeros(polymage_poly::Rect::new(vec![(2, r - 3), (0, c - 1), (0, 2)]));
+        let mut blurx = Buffer::zeros(polymage_poly::Rect::new(vec![
+            (2, r - 3),
+            (0, c - 1),
+            (0, 2),
+        ]));
         {
             let mut i = 0;
             for x in 2..=r - 3 {

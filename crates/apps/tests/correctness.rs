@@ -3,11 +3,11 @@
 //! the optimized and base schedules.
 
 use polymage_apps::{all_benchmarks, Scale};
-use polymage_core::{compile, CompileOptions};
-use polymage_vm::run_program;
+use polymage_core::{compile, CompileOptions, Session};
 
 #[test]
 fn compiled_matches_reference_all_benchmarks() {
+    let session = Session::with_threads(3);
     for b in all_benchmarks(Scale::Tiny) {
         let inputs = b.make_inputs(42);
         let expect = b.reference(&inputs);
@@ -16,10 +16,13 @@ fn compiled_matches_reference_all_benchmarks() {
             CompileOptions::base(b.params()),
             CompileOptions::optimized(b.params()).with_tiles(vec![8, 16]),
         ] {
-            let compiled = compile(b.pipeline(), &opts)
+            let compiled = session
+                .compile(b.pipeline(), &opts)
                 .unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.name()));
             for threads in [1, 3] {
-                let got = run_program(&compiled.program, &inputs, threads)
+                let got = session
+                    .engine()
+                    .run_with_threads(&compiled.program, &inputs, threads)
                     .unwrap_or_else(|e| panic!("{}: run failed: {e}", b.name()));
                 assert_eq!(got.len(), expect.len(), "{}", b.name());
                 let tol = b.tolerance();
@@ -47,13 +50,18 @@ fn compiled_matches_reference_all_benchmarks() {
 fn harris_valid_across_sizes() {
     use polymage_apps::harris::HarrisCorner;
     use polymage_apps::Benchmark;
+    let session = Session::with_threads(2);
     for (r, c) in [(33, 37), (64, 64), (65, 129), (40, 200), (97, 41)] {
         let app = HarrisCorner::with_size(r, c);
         let inputs = app.make_inputs(11);
         let expect = app.reference(&inputs);
-        let compiled = compile(app.pipeline(), &CompileOptions::optimized(vec![r, c]))
+        let got = session
+            .run(
+                app.pipeline(),
+                &CompileOptions::optimized(vec![r, c]),
+                &inputs,
+            )
             .unwrap_or_else(|e| panic!("{r}x{c}: {e}"));
-        let got = run_program(&compiled.program, &inputs, 2).unwrap();
         assert_eq!(got[0].rect, expect[0].rect, "{r}x{c}");
         for (i, (a, b)) in got[0].data.iter().zip(&expect[0].data).enumerate() {
             assert!(
@@ -72,11 +80,15 @@ fn camera_matches_interpreter_at_tiny() {
     use polymage_apps::{Benchmark, Scale};
     let app = CameraPipe::new(Scale::Tiny);
     let inputs = app.make_inputs(21);
-    let expect =
-        polymage_core::interp::interpret(app.pipeline(), &app.params(), &inputs).unwrap();
-    let compiled =
-        compile(app.pipeline(), &CompileOptions::optimized(app.params())).unwrap();
-    let got = run_program(&compiled.program, &inputs, 3).unwrap();
+    let expect = polymage_core::interp::interpret(app.pipeline(), &app.params(), &inputs).unwrap();
+    let session = Session::with_threads(3);
+    let got = session
+        .run(
+            app.pipeline(),
+            &CompileOptions::optimized(app.params()),
+            &inputs,
+        )
+        .unwrap();
     for (g, w) in got.iter().zip(&expect) {
         assert_eq!(g.rect, w.rect);
         for (a, b) in g.data.iter().zip(&w.data) {
@@ -99,8 +111,8 @@ fn compiled_programs_are_structurally_valid() {
                 CompileOptions::optimized(b.params()).with_tiles(vec![128, 512]),
                 CompileOptions::optimized(b.params()).with_threshold(1e-9),
             ] {
-                let compiled = compile(b.pipeline(), &opts)
-                    .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+                let compiled =
+                    compile(b.pipeline(), &opts).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
                 polymage_core::assert_valid(&compiled.program);
             }
         }

@@ -1,0 +1,49 @@
+//! Pooled-engine equivalence: for every benchmark, the persistent
+//! [`Engine`] (dynamic strip scheduling, recycled buffers, reused worker
+//! threads) must produce **bit-identical** outputs to the legacy static
+//! executor (`run_program_static`, fresh threads and static `s % nthreads`
+//! strip assignment) at every thread count. The engine is reused across
+//! all benchmarks and thread counts, so buffer-pool recycling between
+//! heterogeneous programs is exercised too.
+
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::{run_program_static, Engine};
+use std::sync::Arc;
+
+fn bits(bufs: &[polymage_vm::Buffer]) -> Vec<Vec<u32>> {
+    bufs.iter()
+        .map(|b| b.data.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn engine_matches_static_executor_bit_exact_all_benchmarks() {
+    let engine = Engine::with_threads(4);
+    for b in all_benchmarks(Scale::Tiny) {
+        let inputs = b.make_inputs(42);
+        for opts in [
+            CompileOptions::optimized(b.params()),
+            CompileOptions::base(b.params()),
+        ] {
+            let compiled =
+                compile(b.pipeline(), &opts).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            let prog = Arc::clone(&compiled.program);
+            for nthreads in [1usize, 2, 4] {
+                let legacy = run_program_static(&prog, &inputs, nthreads)
+                    .unwrap_or_else(|e| panic!("{}: static run: {e}", b.name()));
+                let pooled = engine
+                    .run_with_threads(&prog, &inputs, nthreads)
+                    .unwrap_or_else(|e| panic!("{}: engine run: {e}", b.name()));
+                assert_eq!(
+                    bits(&legacy),
+                    bits(&pooled),
+                    "{}: engine output differs from static executor \
+                     (threads {nthreads}, fuse {})",
+                    b.name(),
+                    opts.fuse
+                );
+            }
+        }
+    }
+}

@@ -9,8 +9,7 @@
 //! `cargo test -p polymage-apps --test golden -- --nocapture` and update.
 
 use polymage_apps::{all_benchmarks, Scale};
-use polymage_core::{compile, CompileOptions};
-use polymage_vm::run_program;
+use polymage_core::{CompileOptions, Session};
 
 /// An order-independent but value-sensitive checksum (sum of value·f(index)
 /// in f64 to make the test insensitive to tiny per-element noise while
@@ -37,11 +36,16 @@ fn golden_checksums() {
         ("Local Laplacian", 31886.870462656054),
     ];
     let mut failures = Vec::new();
+    let session = Session::with_threads(1);
     for b in all_benchmarks(Scale::Tiny) {
         let inputs = b.make_inputs(42);
-        let compiled =
-            compile(b.pipeline(), &CompileOptions::optimized(b.params())).unwrap();
-        let out = run_program(&compiled.program, &inputs, 1).unwrap();
+        let out = session
+            .run(
+                b.pipeline(),
+                &CompileOptions::optimized(b.params()),
+                &inputs,
+            )
+            .unwrap();
         let sum: f64 = out.iter().map(|o| checksum(&o.data)).sum();
         println!("(\"{}\", {:?}),", b.name(), sum);
         match expected.iter().find(|(n, _)| *n == b.name()) {

@@ -5,14 +5,15 @@
 //! tests against a buggy reference could miss.
 
 use polymage_apps::*;
-use polymage_core::{compile, CompileOptions};
+use polymage_core::{CompileOptions, Session};
 use polymage_poly::Rect;
-use polymage_vm::{run_program, Buffer};
+use polymage_vm::Buffer;
 
 fn run(b: &dyn Benchmark, inputs: &[Buffer]) -> Vec<Buffer> {
-    let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
-        .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
-    run_program(&compiled.program, inputs, 2).unwrap()
+    let session = Session::with_threads(2);
+    session
+        .run(b.pipeline(), &CompileOptions::optimized(b.params()), inputs)
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()))
 }
 
 /// Blurring a constant image is the identity, so unsharp's |orig − blur|
@@ -20,8 +21,7 @@ fn run(b: &dyn Benchmark, inputs: &[Buffer]) -> Vec<Buffer> {
 #[test]
 fn unsharp_is_identity_on_constant_images() {
     let app = unsharp::Unsharp::with_size(48, 56);
-    let flat = Buffer::zeros(Rect::new(vec![(0, 47), (0, 55), (0, 2)]))
-        .fill_with(|_| 77.0);
+    let flat = Buffer::zeros(Rect::new(vec![(0, 47), (0, 55), (0, 2)])).fill_with(|_| 77.0);
     let out = run(&app, &[flat]);
     assert!(out[0].data.iter().all(|&v| (v - 77.0).abs() < 1e-3));
 }
@@ -31,8 +31,7 @@ fn unsharp_is_identity_on_constant_images() {
 #[test]
 fn bilateral_preserves_constants() {
     let app = bilateral::BilateralGrid::with_size(64, 48);
-    let flat =
-        Buffer::zeros(Rect::new(vec![(0, 63), (0, 47)])).fill_with(|_| 0.625);
+    let flat = Buffer::zeros(Rect::new(vec![(0, 63), (0, 47)])).fill_with(|_| 0.625);
     let out = run(&app, &[flat]);
     for &v in &out[0].data {
         assert!((v - 0.625).abs() < 1e-3, "{v}");
@@ -49,8 +48,13 @@ fn harris_responds_to_corners_only() {
     assert!(out[0].data.iter().all(|&v| v.abs() < 1e-6));
 
     // a bright quadrant creates one strong corner at its tip
-    let corner = Buffer::zeros(Rect::new(vec![(0, 61), (0, 61)]))
-        .fill_with(|p| if p[0] >= 30 && p[1] >= 30 { 1.0 } else { 0.0 });
+    let corner = Buffer::zeros(Rect::new(vec![(0, 61), (0, 61)])).fill_with(|p| {
+        if p[0] >= 30 && p[1] >= 30 {
+            1.0
+        } else {
+            0.0
+        }
+    });
     let out = run(&app, &[corner]);
     let peak = out[0]
         .rect
@@ -102,10 +106,7 @@ fn interpolate_with_full_alpha_is_identity() {
         for y in (ry.0..=ry.1).step_by(7) {
             let got = out[0].at(&[x, y]);
             let want = img.at(&[x, y]);
-            assert!(
-                (got - want).abs() < 2e-3,
-                "({x},{y}): {got} vs {want}"
-            );
+            assert!((got - want).abs() < 2e-3, "({x},{y}): {got} vs {want}");
         }
     }
 }

@@ -12,9 +12,10 @@ fn bench_compile(c: &mut Criterion) {
     g.sample_size(10);
     for b in all_benchmarks(Scale::Small) {
         let opts = CompileOptions::optimized(b.params());
-        g.bench_function(BenchmarkId::from_parameter(b.name().replace(' ', "_")), |bench| {
-            bench.iter(|| compile(b.pipeline(), &opts).unwrap())
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(b.name().replace(' ', "_")),
+            |bench| bench.iter(|| compile(b.pipeline(), &opts).unwrap()),
+        );
     }
     g.finish();
 }
@@ -23,9 +24,10 @@ fn bench_graph(c: &mut Criterion) {
     let mut g = c.benchmark_group("graph_build");
     g.sample_size(20);
     for b in all_benchmarks(Scale::Small) {
-        g.bench_function(BenchmarkId::from_parameter(b.name().replace(' ', "_")), |bench| {
-            bench.iter(|| PipelineGraph::build(b.pipeline()).unwrap())
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(b.name().replace(' ', "_")),
+            |bench| bench.iter(|| PipelineGraph::build(b.pipeline()).unwrap()),
+        );
     }
     g.finish();
 }

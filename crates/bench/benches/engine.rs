@@ -1,0 +1,46 @@
+//! Persistent-engine throughput: frames/sec on a reused [`Engine`]
+//! (pooled workers, recycled buffers, dynamic strip scheduling) vs
+//! spawning a fresh engine per frame (what the legacy `run_program`
+//! compatibility shim does). Harris and Unsharp at Small scale — the two
+//! single-group stencil apps where per-frame fixed costs are most
+//! visible. Numbers go into EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::{run_program, Engine};
+
+fn bench_engine_reuse(c: &mut Criterion) {
+    // Tiny frames are fixed-cost dominated (spawn/alloc overhead visible);
+    // Small frames are compute dominated (overhead amortizes).
+    let apps: Vec<(Box<dyn Benchmark>, &str)> = vec![
+        (Box::new(HarrisCorner::new(Scale::Tiny)), "tiny"),
+        (Box::new(Unsharp::new(Scale::Tiny)), "tiny"),
+        (Box::new(HarrisCorner::new(Scale::Small)), "small"),
+        (Box::new(Unsharp::new(Scale::Small)), "small"),
+    ];
+    let threads = 2;
+    let engine = Engine::with_threads(threads);
+    for (b, scale) in &apps {
+        let inputs = b.make_inputs(42);
+        let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let mut g =
+            c.benchmark_group(format!("engine_{}_{scale}", b.name().replace(' ', "_")));
+        g.sample_size(20);
+        g.bench_function(BenchmarkId::from_parameter("reused-engine"), |bench| {
+            bench.iter(|| {
+                engine
+                    .run_with_threads(&compiled.program, &inputs, threads)
+                    .unwrap()
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("fresh-spawn"), |bench| {
+            bench.iter(|| run_program(&compiled.program, &inputs, threads).unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine_reuse);
+criterion_main!(benches);

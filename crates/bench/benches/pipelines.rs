@@ -5,17 +5,18 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polymage_apps::{all_benchmarks, Scale};
 use polymage_bench::{compile_config, Config};
-use polymage_vm::run_program;
+use polymage_core::Session;
 
 fn bench_pipelines(c: &mut Criterion) {
+    let session = Session::with_threads(1);
     for b in all_benchmarks(Scale::Tiny) {
         let inputs = b.make_inputs(42);
         let mut g = c.benchmark_group(b.name().replace(' ', "_"));
         g.sample_size(10);
         for cfg in Config::ALL {
-            let compiled = compile_config(b.as_ref(), cfg);
+            let compiled = compile_config(&session, b.as_ref(), cfg);
             g.bench_function(BenchmarkId::from_parameter(cfg.label()), |bench| {
-                bench.iter(|| run_program(&compiled.program, &inputs, 1).unwrap())
+                bench.iter(|| session.run_compiled(&compiled, &inputs).unwrap())
             });
         }
         // the library-style reference for comparison (Table 2's OpenCV column)

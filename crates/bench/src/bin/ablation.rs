@@ -11,11 +11,12 @@
 //!   group splits with a near-zero overlap threshold.
 
 use polymage_bench::{ms, time_program, HarnessArgs};
-use polymage_core::{compile, CompileOptions};
+use polymage_core::{CompileOptions, Session};
 
 fn main() {
     let args = HarnessArgs::parse();
     let threads = args.threads.iter().copied().max().unwrap_or(1);
+    let session = Session::with_threads(threads);
     println!(
         "Ablations — scale {:?}, threads {threads}, runs {} (ms; lower is better)",
         args.scale, args.runs
@@ -52,9 +53,16 @@ fn main() {
             CompileOptions::optimized(b.params()).with_threshold(1e-9),
         ];
         for opts in variants {
-            let compiled = compile(b.pipeline(), &opts)
+            let compiled = session
+                .compile(b.pipeline(), &opts)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
-            row.push(ms(time_program(&compiled, &inputs, threads, args.runs)));
+            row.push(ms(time_program(
+                session.engine(),
+                &compiled,
+                &inputs,
+                threads,
+                args.runs,
+            )));
         }
         println!(
             "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11}",

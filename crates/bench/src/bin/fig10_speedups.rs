@@ -8,9 +8,12 @@
 //! harness still reproduces.
 
 use polymage_bench::{compile_config, time_program, Config, HarnessArgs};
+use polymage_core::Session;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let session = Session::with_threads(args.threads.iter().copied().max().unwrap_or(1));
+    let engine = session.engine();
     println!(
         "Figure 10 — speedups over PolyMage(base) @ 1 thread; scale {:?}, runs {}",
         args.scale, args.runs
@@ -18,18 +21,18 @@ fn main() {
     for b in args.benchmarks() {
         println!("\n--- {} ---", b.name());
         let inputs = b.make_inputs(42);
-        let base = compile_config(b.as_ref(), Config::Base);
-        let t0 = time_program(&base, &inputs, 1, args.runs).as_secs_f64();
+        let base = compile_config(&session, b.as_ref(), Config::Base);
+        let t0 = time_program(engine, &base, &inputs, 1, args.runs).as_secs_f64();
         print!("{:<22}", "config \\ threads");
         for t in &args.threads {
             print!("{t:>9}");
         }
         println!();
         for cfg in Config::ALL {
-            let compiled = compile_config(b.as_ref(), cfg);
+            let compiled = compile_config(&session, b.as_ref(), cfg);
             print!("{:<22}", cfg.label());
             for &t in &args.threads {
-                let d = time_program(&compiled, &inputs, t, args.runs).as_secs_f64();
+                let d = time_program(engine, &compiled, &inputs, t, args.runs).as_secs_f64();
                 print!("{:>8.2}x", t0 / d);
             }
             println!();

@@ -13,8 +13,8 @@ fn main() {
         let graph = PipelineGraph::build(b.pipeline()).expect("valid DAG");
         println!("--- stage graph (Fig. 2 style, dot) ---");
         println!("{}", graph.to_dot(b.pipeline()));
-        let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
-            .expect("compile");
+        let compiled =
+            compile(b.pipeline(), &CompileOptions::optimized(b.params())).expect("compile");
         println!("--- grouping report ---");
         println!("{}", compiled.report);
         println!("--- grouping (Fig. 8 style, dot clusters) ---");

@@ -18,7 +18,11 @@ use rand::SeedableRng;
 fn main() {
     let args = HarnessArgs::parse();
     let threads = args.threads.iter().copied().max().unwrap_or(1);
-    let paper_apps = ["Pyramid Blending", "Camera Pipeline", "Multiscale Interpolate"];
+    let paper_apps = [
+        "Pyramid Blending",
+        "Camera Pipeline",
+        "Multiscale Interpolate",
+    ];
     for b in args.benchmarks() {
         if args.filter.is_none() && !paper_apps.contains(&b.name()) {
             continue;
@@ -36,7 +40,10 @@ fn main() {
             &THRESHOLDS,
         )
         .expect("autotune");
-        println!("{:>10} {:>10} {:>8} {:>12} {:>12}", "tile0", "tile1", "thresh", "t1(ms)", "tN(ms)");
+        println!(
+            "{:>10} {:>10} {:>8} {:>12} {:>12}",
+            "tile0", "tile1", "thresh", "t1(ms)", "tN(ms)"
+        );
         for r in &outcome.records {
             println!(
                 "{:>10} {:>10} {:>8.1} {:>12.2} {:>12.2}",

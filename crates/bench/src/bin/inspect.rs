@@ -7,8 +7,8 @@ use polymage_core::{compile, emit_c, CompileOptions};
 fn main() {
     let args = HarnessArgs::parse();
     for b in args.benchmarks() {
-        let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
-            .expect("compile");
+        let compiled =
+            compile(b.pipeline(), &CompileOptions::optimized(b.params())).expect("compile");
         println!("\n================ {} ================", b.name());
         if args.filter.is_some() {
             println!("--- specification ---\n{}\n", b.pipeline().display());

@@ -10,11 +10,15 @@
 //! the mapping.
 
 use polymage_bench::{compile_config, ms, time_program, time_reference, Config, HarnessArgs};
-use polymage_core::emit_c_reference;
+use polymage_core::{emit_c_reference, Session};
 
 fn main() {
     let args = HarnessArgs::parse();
     let threads = &args.threads;
+    // One session for the whole table: the worker pool persists across
+    // benchmarks and the compile cache deduplicates repeated configs.
+    let session = Session::with_threads(threads.iter().copied().max().unwrap_or(1));
+    let engine = session.engine();
     println!(
         "Table 2 — scale {:?}, runs {} (mean after 1 warm-up), threads {:?}",
         args.scale, args.runs, threads
@@ -37,11 +41,16 @@ fn main() {
         // input code was transformed to 732 lines of C++"): count the
         // runnable C this spec expands to
         let c_lines = emit_c_reference(b.pipeline(), &params).lines().count();
-        let size = params.iter().map(|p| p.to_string()).collect::<Vec<_>>().join("×");
+        let size = params
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join("×");
         let inputs = b.make_inputs(42);
 
         let opt = if args.tune {
             let (compiled, tiles) = polymage_bench::tune_config(
+                &session,
                 b.as_ref(),
                 &inputs,
                 *threads.iter().max().unwrap(),
@@ -50,16 +59,28 @@ fn main() {
             eprintln!("{}: tuned tiles {tiles:?}", b.name());
             compiled
         } else {
-            compile_config(b.as_ref(), Config::OptVec)
+            compile_config(&session, b.as_ref(), Config::OptVec)
         };
         let times: Vec<String> = threads
             .iter()
-            .map(|&t| ms(time_program(&opt, &inputs, t, args.runs)))
+            .map(|&t| ms(time_program(engine, &opt, &inputs, t, args.runs)))
             .collect();
-        let t_opt_max = time_program(&opt, &inputs, *threads.iter().max().unwrap(), args.runs);
+        let t_opt_max = time_program(
+            engine,
+            &opt,
+            &inputs,
+            *threads.iter().max().unwrap(),
+            args.runs,
+        );
 
-        let base = compile_config(b.as_ref(), Config::Base);
-        let t_base = time_program(&base, &inputs, *threads.iter().max().unwrap(), args.runs);
+        let base = compile_config(&session, b.as_ref(), Config::Base);
+        let t_base = time_program(
+            engine,
+            &base,
+            &inputs,
+            *threads.iter().max().unwrap(),
+            args.runs,
+        );
 
         let t_lib = time_reference(b.as_ref(), &inputs, args.runs);
 

@@ -21,21 +21,31 @@
 #![forbid(unsafe_code)]
 
 use polymage_apps::{Benchmark, Scale};
-use polymage_core::{compile, CompileOptions, Compiled};
-use polymage_vm::{run_program, Buffer, EvalMode};
+use polymage_core::{CompileOptions, Compiled, Session};
+use polymage_vm::{Buffer, Engine, EvalMode};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Times a compiled program: one discarded warm-up then the mean of `runs`.
+/// Times a compiled program on a persistent [`Engine`]: one discarded
+/// warm-up then the mean of `runs`. Reusing one engine across
+/// measurements keeps the worker pool and buffer pool warm, so the
+/// numbers reflect steady-state frame-loop behavior rather than thread
+/// spawn cost.
 pub fn time_program(
+    engine: &Engine,
     c: &Compiled,
     inputs: &[Buffer],
     threads: usize,
     runs: usize,
 ) -> Duration {
-    let _ = run_program(&c.program, inputs, threads).expect("warm-up run");
+    let _ = engine
+        .run_with_threads(&c.program, inputs, threads)
+        .expect("warm-up run");
     let start = Instant::now();
     for _ in 0..runs.max(1) {
-        let _ = run_program(&c.program, inputs, threads).expect("measured run");
+        let _ = engine
+            .run_with_threads(&c.program, inputs, threads)
+            .expect("measured run");
     }
     start.elapsed() / runs.max(1) as u32
 }
@@ -78,10 +88,13 @@ impl Config {
     }
 }
 
-/// Compiles a benchmark under a configuration (panicking on compile errors —
-/// benchmark specifications are known-valid).
-pub fn compile_config(b: &dyn Benchmark, cfg: Config) -> Compiled {
-    compile(b.pipeline(), &cfg.options(b.params()))
+/// Compiles a benchmark under a configuration through a [`Session`]
+/// (panicking on compile errors — benchmark specifications are
+/// known-valid). Repeated calls with the same configuration hit the
+/// session's compile cache.
+pub fn compile_config(session: &Session, b: &dyn Benchmark, cfg: Config) -> Arc<Compiled> {
+    session
+        .compile(b.pipeline(), &cfg.options(b.params()))
         .unwrap_or_else(|e| panic!("{}: {e}", b.name()))
 }
 
@@ -173,23 +186,25 @@ impl HarnessArgs {
 }
 
 /// Coarse per-benchmark autotuning (the paper tunes each Table 2 entry):
-/// sweeps a reduced tile set at the default threshold and returns the best
-/// configuration's compiled program.
+/// sweeps a reduced tile set at the default threshold on the session's
+/// engine and returns the best configuration's compiled program.
 pub fn tune_config(
+    session: &Session,
     b: &dyn Benchmark,
     inputs: &[Buffer],
     threads: usize,
     runs: usize,
-) -> (Compiled, Vec<i64>) {
-    let mut best: Option<(Duration, Compiled, Vec<i64>)> = None;
+) -> (Arc<Compiled>, Vec<i64>) {
+    let mut best: Option<(Duration, Arc<Compiled>, Vec<i64>)> = None;
     let mut opts = CompileOptions::optimized(b.params());
     for t0 in [32i64, 128, 512] {
         for t1 in [64i64, 256, 512] {
             opts.tile_sizes = vec![t0, t1];
-            let compiled = compile(b.pipeline(), &opts)
+            let compiled = session
+                .compile(b.pipeline(), &opts)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
             opts.skip_bounds_check = true;
-            let t = time_program(&compiled, inputs, threads, runs.max(1));
+            let t = time_program(session.engine(), &compiled, inputs, threads, runs.max(1));
             if best.as_ref().map(|(bt, _, _)| t < *bt).unwrap_or(true) {
                 best = Some((t, compiled, vec![t0, t1]));
             }

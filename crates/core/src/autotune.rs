@@ -8,9 +8,9 @@
 //! tuners the paper compares against (OpenTuner): it samples arbitrary tile
 //! shapes and thresholds from a much larger space under the same budget.
 
-use crate::{compile, CompileError, CompileOptions};
+use crate::{CompileOptions, RunError, Session};
 use polymage_ir::Pipeline;
-use polymage_vm::{run_program, Buffer};
+use polymage_vm::Buffer;
 use rand::Rng;
 use std::time::{Duration, Instant};
 
@@ -49,24 +49,26 @@ impl TuneOutcome {
 }
 
 fn measure(
+    session: &Session,
     pipe: &Pipeline,
     opts: &CompileOptions,
     inputs: &[Buffer],
     threads: usize,
     runs: usize,
-) -> Result<(Duration, Duration), CompileError> {
-    let compiled = compile(pipe, opts)?;
-    let time_with = |n: usize| {
+) -> Result<(Duration, Duration), RunError> {
+    let compiled = session.compile(pipe, opts)?;
+    let engine = session.engine();
+    let time_with = |n: usize| -> Result<Duration, RunError> {
         // one warm-up, then average
-        let _ = run_program(&compiled.program, inputs, n).expect("tuned run");
+        engine.run_with_threads(&compiled.program, inputs, n)?;
         let start = Instant::now();
         for _ in 0..runs {
-            let _ = run_program(&compiled.program, inputs, n).expect("tuned run");
+            engine.run_with_threads(&compiled.program, inputs, n)?;
         }
-        start.elapsed() / runs as u32
+        Ok(start.elapsed() / runs.max(1) as u32)
     };
-    let t1 = time_with(1);
-    let tn = if threads > 1 { time_with(threads) } else { t1 };
+    let t1 = time_with(1)?;
+    let tn = if threads > 1 { time_with(threads)? } else { t1 };
     Ok((t1, tn))
 }
 
@@ -74,11 +76,13 @@ fn measure(
 /// per 2-D group; pass `dims = 1` for 1-D pipelines).
 ///
 /// `runs` executions are averaged per configuration (after one warm-up).
+/// All measurements run on one [`Session`], so the worker pool persists
+/// across the whole sweep.
 ///
 /// # Errors
 ///
-/// Propagates the first compilation error (measurement errors panic, as
-/// they indicate compiler bugs rather than user error).
+/// Propagates the first compilation or execution error through
+/// [`RunError`]; no configuration result is silently dropped.
 pub fn autotune(
     pipe: &Pipeline,
     base: &CompileOptions,
@@ -87,7 +91,8 @@ pub fn autotune(
     runs: usize,
     tiles: &[i64],
     thresholds: &[f64],
-) -> Result<TuneOutcome, CompileError> {
+) -> Result<TuneOutcome, RunError> {
+    let session = Session::with_threads(threads.max(1));
     let mut records = Vec::new();
     let mut opts = base.clone();
     opts.skip_bounds_check = false;
@@ -96,7 +101,7 @@ pub fn autotune(
             for &th in thresholds {
                 opts.tile_sizes = vec![t0, t1];
                 opts.overlap_threshold = th;
-                let (d1, dn) = measure(pipe, &opts, inputs, threads, runs)?;
+                let (d1, dn) = measure(&session, pipe, &opts, inputs, threads, runs)?;
                 opts.skip_bounds_check = true; // checked once is enough
                 records.push(TuneRecord {
                     tile: vec![t0, t1],
@@ -123,8 +128,9 @@ pub fn autotune(
 ///
 /// # Errors
 ///
-/// Propagates compilation errors (none occur for valid pipelines; the
-/// random space only varies schedule knobs).
+/// Propagates compilation and execution errors through [`RunError`] (none
+/// occur for valid pipelines; the random space only varies schedule
+/// knobs).
 pub fn random_search(
     pipe: &Pipeline,
     base: &CompileOptions,
@@ -133,7 +139,8 @@ pub fn random_search(
     runs: usize,
     budget: usize,
     rng: &mut impl Rng,
-) -> Result<TuneOutcome, CompileError> {
+) -> Result<TuneOutcome, RunError> {
+    let session = Session::with_threads(threads.max(1));
     let mut records = Vec::new();
     let mut opts = base.clone();
     for i in 0..budget {
@@ -144,7 +151,7 @@ pub fn random_search(
         opts.fuse = rng.gen_bool(0.8);
         opts.tile = rng.gen_bool(0.8);
         opts.skip_bounds_check = i > 0;
-        let (d1, dn) = measure(pipe, &opts, inputs, threads, runs)?;
+        let (d1, dn) = measure(&session, pipe, &opts, inputs, threads, runs)?;
         records.push(TuneRecord {
             tile: opts.tile_sizes.clone(),
             threshold: opts.overlap_threshold,

@@ -141,7 +141,10 @@ fn c_cond(pipe: &Pipeline, c: &Cond, out: &mut String) {
 }
 
 fn var_name(pipe: &Pipeline, v: polymage_ir::VarId) -> String {
-    pipe.vars().get(v.index()).cloned().unwrap_or_else(|| format!("v{}", v.index()))
+    pipe.vars()
+        .get(v.index())
+        .cloned()
+        .unwrap_or_else(|| format!("v{}", v.index()))
 }
 
 /// Emits C source for a compiled program (Fig. 7 style): one function with
@@ -153,7 +156,11 @@ fn var_name(pipe: &Pipeline, v: polymage_ir::VarId) -> String {
 /// concrete parameters.
 pub fn emit_c(pipe: &Pipeline, program: &Program) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "// generated by polymage-rs for pipeline `{}`", program.name);
+    let _ = writeln!(
+        s,
+        "// generated by polymage-rs for pipeline `{}`",
+        program.name
+    );
     let _ = writeln!(s, "#include <math.h>");
     let _ = writeln!(s, "#include <stdlib.h>");
     let _ = writeln!(s, "#define max(a,b) ((a)>(b)?(a):(b))");
@@ -182,11 +189,7 @@ pub fn emit_c(pipe: &Pipeline, program: &Program) -> String {
         match &group.kind {
             GroupKind::Tiled(tg) => {
                 let _ = writeln!(s, "  #pragma omp parallel for");
-                let _ = writeln!(
-                    s,
-                    "  for (int Ti = 0; Ti < {}; Ti += 1) {{",
-                    tg.nstrips
-                );
+                let _ = writeln!(s, "  for (int Ti = 0; Ti < {}; Ti += 1) {{", tg.nstrips);
                 // scratchpads
                 for st in &tg.stages {
                     if st.direct {
@@ -196,8 +199,7 @@ pub fn emit_c(pipe: &Pipeline, program: &Program) -> String {
                     if d.kind != BufKind::Scratch {
                         continue;
                     }
-                    let dims: String =
-                        d.sizes.iter().map(|e| format!("[{e}]")).collect();
+                    let dims: String = d.sizes.iter().map(|e| format!("[{e}]")).collect();
                     let _ = writeln!(s, "    float {}{dims};", d.name.replace('.', "_"));
                 }
                 // representative tile: emit each stage's case loops using a
@@ -225,8 +227,7 @@ pub fn emit_c(pipe: &Pipeline, program: &Program) -> String {
                                     let v = var_name(pipe, fd.var_dom.vars[d]);
                                     let (lo, hi) = rect.range(d);
                                     if d == rect.ndim() - 1 {
-                                        let _ =
-                                            writeln!(s, "{indent}#pragma ivdep");
+                                        let _ = writeln!(s, "{indent}#pragma ivdep");
                                     }
                                     let _ = writeln!(
                                         s,
@@ -256,11 +257,7 @@ pub fn emit_c(pipe: &Pipeline, program: &Program) -> String {
                 );
             }
             GroupKind::Sequential(q) => {
-                let _ = writeln!(
-                    s,
-                    "  /* sequential scan `{}` over {} */",
-                    q.name, q.dom
-                );
+                let _ = writeln!(s, "  /* sequential scan `{}` over {} */", q.name, q.dom);
             }
         }
     }

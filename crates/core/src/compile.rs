@@ -11,10 +11,15 @@ use polymage_vm::{BufDecl, BufId, BufKind, Program};
 use std::collections::{HashMap, HashSet};
 
 /// A compiled pipeline: the executable program and the structural report.
+///
+/// The program is behind an [`Arc`] so cached `Compiled` values (see
+/// `Session`) can be shared with a running [`polymage_vm::Engine`] without
+/// copying; `&compiled.program` still coerces to `&Program` everywhere.
 #[derive(Debug, Clone)]
 pub struct Compiled {
-    /// Executable program for [`polymage_vm::run_program`].
-    pub program: Program,
+    /// Executable program for a [`polymage_vm::Engine`] (or the
+    /// [`polymage_vm::run_program`] shim).
+    pub program: std::sync::Arc<Program>,
     /// Structural report (grouping, storage, overlaps).
     pub report: CompileReport,
 }
@@ -64,7 +69,11 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
     let mut needs_full: HashSet<FuncId> = pipe2.live_outs().iter().copied().collect();
     for f in pipe2.func_ids() {
         let gf = grouping.group_of(f);
-        if graph.consumers(f).iter().any(|&c| grouping.group_of(c) != gf) {
+        if graph
+            .consumers(f)
+            .iter()
+            .any(|&c| grouping.group_of(c) != gf)
+        {
             needs_full.insert(f);
         }
     }
@@ -73,10 +82,15 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
     let mut buffers: Vec<BufDecl> = Vec::new();
     let mut image_bufs: Vec<BufId> = Vec::new();
     for img in pipe2.images() {
-        let sizes: Vec<i64> =
-            img.extents.iter().map(|e| e.eval(&opts.params).max(0)).collect();
-        if sizes.iter().any(|&s| s == 0) {
-            return Err(CompileError::EmptyDomain { name: img.name.clone() });
+        let sizes: Vec<i64> = img
+            .extents
+            .iter()
+            .map(|e| e.eval(&opts.params).max(0))
+            .collect();
+        if sizes.contains(&0) {
+            return Err(CompileError::EmptyDomain {
+                name: img.name.clone(),
+            });
         }
         buffers.push(BufDecl {
             name: img.name.clone(),
@@ -113,7 +127,11 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
         }
         groups.push(ge);
         group_reports.push(make_group_report(
-            &pipe2, opts, g, scratch_bytes, full_bytes,
+            &pipe2,
+            opts,
+            g,
+            scratch_bytes,
+            full_bytes,
         ));
     }
 
@@ -143,7 +161,10 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
         dead: inline_report.dead,
         groups: group_reports,
     };
-    Ok(Compiled { program, report })
+    Ok(Compiled {
+        program: std::sync::Arc::new(program),
+        report,
+    })
 }
 
 fn make_group_report(
@@ -176,7 +197,11 @@ fn make_group_report(
     };
     GroupReport {
         sink: pipe.func(g.sink).name.clone(),
-        stages: g.stages.iter().map(|&f| pipe.func(f).name.clone()).collect(),
+        stages: g
+            .stages
+            .iter()
+            .map(|&f| pipe.func(f).name.clone())
+            .collect(),
         kind: g.kind,
         tile_sizes,
         overlap,

@@ -56,7 +56,10 @@ impl fmt::Display for CompileError {
                 write!(f, "invalid self-reference in `{func}`: {reason}")
             }
             CompileError::MissingParams { expected, got } => {
-                write!(f, "pipeline declares {expected} parameter(s), got {got} value(s)")
+                write!(
+                    f,
+                    "pipeline declares {expected} parameter(s), got {got} value(s)"
+                )
             }
             CompileError::EmptyDomain { name } => {
                 write!(f, "domain of `{name}` is empty for the given parameters")

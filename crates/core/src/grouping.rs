@@ -74,7 +74,12 @@ impl Grouping {
     pub fn stage_names(&self, pipe: &Pipeline) -> Vec<Vec<String>> {
         self.groups
             .iter()
-            .map(|g| g.stages.iter().map(|&f| pipe.func(f).name.clone()).collect())
+            .map(|g| {
+                g.stages
+                    .iter()
+                    .map(|&f| pipe.func(f).name.clone())
+                    .collect()
+            })
             .collect()
     }
 }
@@ -82,10 +87,7 @@ impl Grouping {
 /// The per-group effective tile sizes: `Some(τ)` for tiled dims, `None` for
 /// untiled. A dimension is tiled when requested and at least twice the tile
 /// size. With `opts.tile == false`, only the outer strip dimension splits.
-pub(crate) fn effective_tiles(
-    extents: &[i64],
-    opts: &CompileOptions,
-) -> Vec<Option<i64>> {
+pub(crate) fn effective_tiles(extents: &[i64], opts: &CompileOptions) -> Vec<Option<i64>> {
     let mut out = vec![None; extents.len()];
     if opts.tile {
         for (d, &ext) in extents.iter().enumerate() {
@@ -107,11 +109,7 @@ pub(crate) fn effective_tiles(
 }
 
 /// Runs Algorithm 1.
-pub fn group_stages(
-    pipe: &Pipeline,
-    graph: &PipelineGraph,
-    opts: &CompileOptions,
-) -> Grouping {
+pub fn group_stages(pipe: &Pipeline, graph: &PipelineGraph, opts: &CompileOptions) -> Grouping {
     // Initial singleton groups.
     let mut groups: Vec<Group> = pipe
         .func_ids()
@@ -123,7 +121,11 @@ pub fn group_stages(
             } else {
                 GroupKindTag::Normal
             };
-            Group { stages: vec![f], sink: f, kind }
+            Group {
+                stages: vec![f],
+                sink: f,
+                kind,
+            }
         })
         .collect();
 
@@ -148,9 +150,7 @@ pub fn group_stages(
                 }
             }
             // Largest first (paper's sortGroupsBySize).
-            cands.sort_by_key(|&gi| {
-                std::cmp::Reverse(group_size(pipe, &groups[gi], &opts.params))
-            });
+            cands.sort_by_key(|&gi| std::cmp::Reverse(group_size(pipe, &groups[gi], &opts.params)));
             for gi in cands {
                 let child = *child_groups(pipe, graph, &groups, gi)
                     .iter()
@@ -250,12 +250,7 @@ fn group_size(pipe: &Pipeline, g: &Group, params: &[i64]) -> i64 {
 }
 
 /// Checks the three merge criteria for `parent ∪ child`.
-fn try_merge(
-    pipe: &Pipeline,
-    parent: &Group,
-    child: &Group,
-    opts: &CompileOptions,
-) -> bool {
+fn try_merge(pipe: &Pipeline, parent: &Group, child: &Group, opts: &CompileOptions) -> bool {
     let mut stages: Vec<FuncId> = parent.stages.clone();
     stages.extend(child.stages.iter().copied());
     let sink = child.sink;
@@ -321,8 +316,7 @@ mod tests {
     fn stencil_chain_fuses_completely() {
         let mut p = PipelineBuilder::new("t");
         let (r, c) = (p.param("R"), p.param("C"));
-        let img =
-            p.image("I", ScalarType::Float, vec![PAff::param(r), PAff::param(c)]);
+        let img = p.image("I", ScalarType::Float, vec![PAff::param(r), PAff::param(c)]);
         let (x, y) = (p.var("x"), p.var("y"));
         let mk_dom = |off: i64| {
             (
@@ -334,21 +328,36 @@ mod tests {
         let a = p.func("a", &[(x, d1r), (y, d1c)], ScalarType::Float);
         p.define(
             a,
-            vec![Case::always(stencil(img, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+            vec![Case::always(stencil(
+                img,
+                &[x, y],
+                1.0,
+                &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+            ))],
         )
         .unwrap();
         let (d2r, d2c) = mk_dom(2);
         let b = p.func("b", &[(x, d2r), (y, d2c)], ScalarType::Float);
         p.define(
             b,
-            vec![Case::always(stencil(a, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+            vec![Case::always(stencil(
+                a,
+                &[x, y],
+                1.0,
+                &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+            ))],
         )
         .unwrap();
         let (d3r, d3c) = mk_dom(3);
         let o = p.func("o", &[(x, d3r), (y, d3c)], ScalarType::Float);
         p.define(
             o,
-            vec![Case::always(stencil(b, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+            vec![Case::always(stencil(
+                b,
+                &[x, y],
+                1.0,
+                &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+            ))],
         )
         .unwrap();
         let pipe = p.finish(&[o]).unwrap();
@@ -405,7 +414,11 @@ mod tests {
         let mut funcs = Vec::new();
         for i in 1..=8i64 {
             let d = Interval::cst(8, 503);
-            let f = p.func(format!("s{i}"), &[(x, d.clone()), (y, d)], ScalarType::Float);
+            let f = p.func(
+                format!("s{i}"),
+                &[(x, d.clone()), (y, d)],
+                ScalarType::Float,
+            );
             p.define(
                 f,
                 vec![Case::always(stencil(
@@ -441,10 +454,14 @@ mod tests {
         let x = p.var("x");
         let d = Interval::cst(1, 62);
         let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
-        p.define(a, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
-        let b = p.func("b", &[(x, d)], ScalarType::Float);
-        p.define(b, vec![Case::always(Expr::at(a, [x - 1]) + Expr::at(a, [x + 1]))])
+        p.define(a, vec![Case::always(Expr::at(img, [x + 0]))])
             .unwrap();
+        let b = p.func("b", &[(x, d)], ScalarType::Float);
+        p.define(
+            b,
+            vec![Case::always(Expr::at(a, [x - 1]) + Expr::at(a, [x + 1]))],
+        )
+        .unwrap();
         let pipe = p.finish(&[b]).unwrap();
         let graph = PipelineGraph::build(&pipe).unwrap();
         let mut o = opts();
@@ -456,8 +473,11 @@ mod tests {
     #[test]
     fn effective_tiles_rules() {
         let o = opts(); // tiles [32, 256]
-        // big 2-D: both tiled
-        assert_eq!(effective_tiles(&[2048, 2048], &o), vec![Some(32), Some(256)]);
+                        // big 2-D: both tiled
+        assert_eq!(
+            effective_tiles(&[2048, 2048], &o),
+            vec![Some(32), Some(256)]
+        );
         // narrow second dim: untiled
         assert_eq!(effective_tiles(&[2048, 300], &o), vec![Some(32), None]);
         // third dim (channels) never tiled
@@ -484,7 +504,8 @@ mod tests {
         let (x, y) = (p.var("x"), p.var("y"));
         let d = Interval::cst(0, 511);
         let g0 = p.func("g0", &[(x, d.clone()), (y, d.clone())], ScalarType::Float);
-        p.define(g0, vec![Case::always(Expr::from(x) + Expr::from(y))]).unwrap();
+        p.define(g0, vec![Case::always(Expr::from(x) + Expr::from(y))])
+            .unwrap();
         let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
         p.define(
             f,

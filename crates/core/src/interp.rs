@@ -18,9 +18,7 @@
 
 use crate::CompileError;
 use polymage_graph::PipelineGraph;
-use polymage_ir::{
-    BinOp, Cond, Expr, FuncBody, FuncId, Pipeline, ScalarType, Source, UnOp, VarId,
-};
+use polymage_ir::{BinOp, Cond, Expr, FuncBody, FuncId, Pipeline, ScalarType, Source, UnOp, VarId};
 use polymage_poly::{narrow_rect_by_cond, Rect};
 use polymage_vm::Buffer;
 use std::collections::HashMap;
@@ -115,8 +113,7 @@ impl Interp<'_> {
                 }
             }
             Expr::Call(src, args) => {
-                let idx: Vec<i64> =
-                    args.iter().map(|a| self.eval_index(a, vars, pt)).collect();
+                let idx: Vec<i64> = args.iter().map(|a| self.eval_index(a, vars, pt)).collect();
                 self.read(*src, &idx)
             }
         }
@@ -251,9 +248,7 @@ impl Interp<'_> {
                 return;
             }
             FuncBody::Reduce(acc) => {
-                let red = Rect::new(
-                    acc.red_dom.iter().map(|iv| iv.eval(self.params)).collect(),
-                );
+                let red = Rect::new(acc.red_dom.iter().map(|iv| iv.eval(self.params)).collect());
                 for v in buf.data.iter_mut() {
                     *v = acc.op.identity() as f32;
                 }
@@ -272,8 +267,7 @@ impl Interp<'_> {
                             .collect();
                         let v = self.eval_value(&acc.value, &acc.red_vars, &pt);
                         let flat = flat_index(&dom, &clamped);
-                        buf.data[flat] =
-                            acc.op.combine(buf.data[flat] as f64, v as f64) as f32;
+                        buf.data[flat] = acc.op.combine(buf.data[flat] as f64, v as f64) as f32;
                     }
                 }
                 // untouched Min/Max cells: identity → 0 like the engine
@@ -341,7 +335,12 @@ pub fn interpret(
         });
     }
     let graph = PipelineGraph::build(pipe)?;
-    let mut interp = Interp { pipe, params, images: inputs, values: HashMap::new() };
+    let mut interp = Interp {
+        pipe,
+        params,
+        images: inputs,
+        values: HashMap::new(),
+    };
     for &f in graph.topo_order() {
         interp.eval_func(f);
     }
@@ -363,7 +362,8 @@ mod tests {
         let img = p.image("I", ScalarType::Float, vec![PAff::cst(4)]);
         let x = p.var("x");
         let f = p.func("f", &[(x, Interval::cst(0, 3))], ScalarType::Float);
-        p.define(f, vec![Case::always(Expr::at(img, [x + 0]) * 2.0 + 1.0)]).unwrap();
+        p.define(f, vec![Case::always(Expr::at(img, [x + 0]) * 2.0 + 1.0)])
+            .unwrap();
         let pipe = p.finish(&[f]).unwrap();
         let input = Buffer::from_vec(Rect::new(vec![(0, 3)]), vec![1.0, 2.0, 3.0, 4.0]);
         let out = interpret(&pipe, &[], &[input]).unwrap();

@@ -30,22 +30,24 @@
 
 pub mod autotune;
 mod cemit;
-mod cref;
-pub mod interp;
 mod compile;
+mod cref;
 mod error;
 mod grouping;
+pub mod interp;
 mod lower;
 mod options;
 mod report;
 mod schedule;
+mod session;
 mod validate;
 
 pub use cemit::emit_c;
-pub use cref::{emit_c_inputs, emit_c_reference};
 pub use compile::{compile, Compiled};
+pub use cref::{emit_c_inputs, emit_c_reference};
 pub use error::CompileError;
 pub use grouping::{group_stages, Group, GroupKindTag, Grouping};
-pub use options::CompileOptions;
+pub use options::{CompileOptions, OptionsKey};
 pub use report::{CompileReport, GroupReport};
+pub use session::{CacheStats, RunError, Session};
 pub use validate::{assert_valid, validate_program, Violation};

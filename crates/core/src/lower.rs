@@ -12,9 +12,7 @@
 //! computation feeding an [`IdxPlan::Reg`] gather (lookup tables, grid
 //! slicing, histogram targets).
 
-use polymage_ir::{
-    BinOp, CmpOp, Cond, Expr, FuncId, Pipeline, ScalarType, Source, UnOp, VarId,
-};
+use polymage_ir::{BinOp, CmpOp, Cond, Expr, FuncId, Pipeline, ScalarType, Source, UnOp, VarId};
 use polymage_poly::VAff;
 use polymage_vm::{BinF, BufId, CmpF, IdxPlan, Kernel, Op, RegId, UnF};
 use std::collections::HashMap;
@@ -86,7 +84,14 @@ impl<'a> KernelBuilder<'a> {
 
     /// Finishes the kernel with the given outputs.
     pub fn finish(self, outs: Vec<RegId>) -> (Kernel, Vec<BufId>) {
-        (Kernel { ops: self.ops, nregs: self.next as usize, outs }, self.reads)
+        (
+            Kernel {
+                ops: self.ops,
+                nregs: self.next as usize,
+                outs,
+            },
+            self.reads,
+        )
     }
 
     /// Lowers an expression in value position.
@@ -112,19 +117,33 @@ impl<'a> KernelBuilder<'a> {
             Expr::Unary(op, a) => {
                 let ra = self.value(a);
                 let o = lower_unop(*op);
-                self.emit(|d| Op::UnF { op: o, dst: d, a: ra })
+                self.emit(|d| Op::UnF {
+                    op: o,
+                    dst: d,
+                    a: ra,
+                })
             }
             Expr::Binary(op, a, b) => {
                 let ra = self.value(a);
                 let rb = self.value(b);
                 let o = lower_binop(*op);
-                self.emit(|d| Op::BinF { op: o, dst: d, a: ra, b: rb })
+                self.emit(|d| Op::BinF {
+                    op: o,
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                })
             }
             Expr::Select(c, a, b) => {
                 let m = self.cond(c);
                 let ra = self.value(a);
                 let rb = self.value(b);
-                self.emit(|d| Op::SelectF { dst: d, mask: m, a: ra, b: rb })
+                self.emit(|d| Op::SelectF {
+                    dst: d,
+                    mask: m,
+                    a: ra,
+                    b: rb,
+                })
             }
             Expr::Cast(ty, a) => {
                 let ra = self.value(a);
@@ -140,19 +159,37 @@ impl<'a> KernelBuilder<'a> {
             Expr::Binary(BinOp::Div, a, b) => {
                 let ra = self.index(a);
                 let rb = self.index(b);
-                let q = self.emit(|d| Op::BinF { op: BinF::Div, dst: d, a: ra, b: rb });
-                self.emit(|d| Op::UnF { op: UnF::Floor, dst: d, a: q })
+                let q = self.emit(|d| Op::BinF {
+                    op: BinF::Div,
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                });
+                self.emit(|d| Op::UnF {
+                    op: UnF::Floor,
+                    dst: d,
+                    a: q,
+                })
             }
             Expr::Binary(op, a, b) => {
                 let ra = self.index(a);
                 let rb = self.index(b);
                 let o = lower_binop(*op);
-                self.emit(|d| Op::BinF { op: o, dst: d, a: ra, b: rb })
+                self.emit(|d| Op::BinF {
+                    op: o,
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                })
             }
             Expr::Unary(op, a) => {
                 let ra = self.index(a);
                 let o = lower_unop(*op);
-                self.emit(|d| Op::UnF { op: o, dst: d, a: ra })
+                self.emit(|d| Op::UnF {
+                    op: o,
+                    dst: d,
+                    a: ra,
+                })
             }
             Expr::Cast(_, a) => {
                 let ra = self.index(a);
@@ -162,7 +199,12 @@ impl<'a> KernelBuilder<'a> {
                 let m = self.cond(c);
                 let ra = self.index(a);
                 let rb = self.index(b);
-                self.emit(|d| Op::SelectF { dst: d, mask: m, a: ra, b: rb })
+                self.emit(|d| Op::SelectF {
+                    dst: d,
+                    mask: m,
+                    a: ra,
+                    b: rb,
+                })
             }
             // Calls in index position load *values* used as indices (e.g.
             // hist(I(x,y))); the loaded value participates in integer
@@ -178,17 +220,30 @@ impl<'a> KernelBuilder<'a> {
                 let ra = self.value(a);
                 let rb = self.value(b);
                 let o = lower_cmp(*op);
-                self.emit(|d| Op::CmpMask { op: o, dst: d, a: ra, b: rb })
+                self.emit(|d| Op::CmpMask {
+                    op: o,
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                })
             }
             Cond::And(a, b) => {
                 let ra = self.cond(a);
                 let rb = self.cond(b);
-                self.emit(|d| Op::MaskAnd { dst: d, a: ra, b: rb })
+                self.emit(|d| Op::MaskAnd {
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                })
             }
             Cond::Or(a, b) => {
                 let ra = self.cond(a);
                 let rb = self.cond(b);
-                self.emit(|d| Op::MaskOr { dst: d, a: ra, b: rb })
+                self.emit(|d| Op::MaskOr {
+                    dst: d,
+                    a: ra,
+                    b: rb,
+                })
             }
             Cond::Not(a) => {
                 let ra = self.cond(a);
@@ -219,7 +274,11 @@ impl<'a> KernelBuilder<'a> {
         for a in args {
             plan.push(self.plan_dim(a));
         }
-        self.emit(move |d| Op::Load { dst: d, buf, plan: plan.clone() })
+        self.emit(move |d| Op::Load {
+            dst: d,
+            buf,
+            plan: plan.clone(),
+        })
     }
 
     /// The buffer an access resolves to: scratch for in-group producers,
@@ -327,7 +386,8 @@ mod tests {
         p.define(
             f,
             vec![Case::always(
-                Expr::at(img, [x + 1, Expr::from(y)]) * 2.0 + Expr::Param(polymage_ir::ParamId::from_index(0)),
+                Expr::at(img, [x + 1, Expr::from(y)]) * 2.0
+                    + Expr::Param(polymage_ir::ParamId::from_index(0)),
             )],
         )
         .unwrap();
@@ -368,11 +428,21 @@ mod tests {
             .unwrap();
         assert_eq!(
             load[0],
-            IdxPlan::Affine { dim: Some(0), q: 1, o: 1, m: 1 }
+            IdxPlan::Affine {
+                dim: Some(0),
+                q: 1,
+                o: 1,
+                m: 1
+            }
         );
         assert_eq!(
             load[1],
-            IdxPlan::Affine { dim: Some(1), q: 1, o: 0, m: 1 }
+            IdxPlan::Affine {
+                dim: Some(1),
+                q: 1,
+                o: 0,
+                m: 1
+            }
         );
         assert!(k
             .ops
@@ -397,11 +467,17 @@ mod tests {
         // value-position division: no floor
         let e = Expr::from(vars[0]) / 2;
         let _ = b.value(&e);
-        assert!(!b.ops.iter().any(|op| matches!(op, Op::UnF { op: UnF::Floor, .. })));
+        assert!(!b
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::UnF { op: UnF::Floor, .. })));
         // index-position division: floored
         let mut b2 = KernelBuilder::new(&env);
         let _ = b2.index(&e);
-        assert!(b2.ops.iter().any(|op| matches!(op, Op::UnF { op: UnF::Floor, .. })));
+        assert!(b2
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::UnF { op: UnF::Floor, .. })));
     }
 
     #[test]
@@ -453,7 +529,10 @@ mod tests {
         let mut b = KernelBuilder::new(&env);
         let x = Expr::from(vars[0]);
         let _ = b.value(&x.clone().cast(ScalarType::UChar));
-        assert!(b.ops.iter().any(|op| matches!(op, Op::CastSat { hi, .. } if *hi == 255.0)));
+        assert!(b
+            .ops
+            .iter()
+            .any(|op| matches!(op, Op::CastSat { hi, .. } if *hi == 255.0)));
         let _ = b.value(&x.clone().cast(ScalarType::Int));
         assert!(b.ops.iter().any(|op| matches!(op, Op::CastRound { .. })));
         let n = b.ops.len();

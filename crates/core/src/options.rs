@@ -66,7 +66,11 @@ impl CompileOptions {
     /// Options for the paper's "base" configuration: inlining and
     /// parallelism but no grouping, tiling, or storage optimization.
     pub fn base(params: Vec<i64>) -> Self {
-        CompileOptions { fuse: false, tile: false, ..CompileOptions::optimized(params) }
+        CompileOptions {
+            fuse: false,
+            tile: false,
+            ..CompileOptions::optimized(params)
+        }
     }
 
     /// Switches the evaluation mode (the ±vec axis of Fig. 10).
@@ -86,11 +90,66 @@ impl CompileOptions {
         self.overlap_threshold = t;
         self
     }
+
+    /// The hashable normal form of these options, used (together with the
+    /// pipeline's content hash) to key compile caches.
+    ///
+    /// Every knob that can change the produced program participates.
+    /// `skip_bounds_check` is deliberately excluded: it only affects
+    /// whether invalid specifications are *rejected*, never the program a
+    /// successful compilation produces.
+    pub fn cache_key(&self) -> OptionsKey {
+        OptionsKey {
+            params: self.params.clone(),
+            tile_sizes: self.tile_sizes.clone(),
+            overlap_threshold_bits: self.overlap_threshold.to_bits(),
+            mode: self.mode,
+            fuse: self.fuse,
+            tile: self.tile,
+            inline_pointwise: self.inline_pointwise,
+            storage_opt: self.storage_opt,
+            par_strips: self.par_strips,
+        }
+    }
+}
+
+/// The `Eq + Hash` normal form of [`CompileOptions`] (floats by bit
+/// pattern), produced by [`CompileOptions::cache_key`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OptionsKey {
+    params: Vec<i64>,
+    tile_sizes: Vec<i64>,
+    overlap_threshold_bits: u64,
+    mode: EvalMode,
+    fuse: bool,
+    tile: bool,
+    inline_pointwise: bool,
+    storage_opt: bool,
+    par_strips: i64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_key_normal_form() {
+        let a = CompileOptions::optimized(vec![100, 200]);
+        assert_eq!(a.cache_key(), a.clone().cache_key());
+        assert_ne!(
+            a.cache_key(),
+            a.clone().with_tiles(vec![64, 64]).cache_key()
+        );
+        assert_ne!(a.cache_key(), a.clone().with_threshold(0.5).cache_key());
+        assert_ne!(
+            a.cache_key(),
+            CompileOptions::optimized(vec![100, 201]).cache_key()
+        );
+        // skip_bounds_check never changes the produced program.
+        let mut skipped = a.clone();
+        skipped.skip_bounds_check = true;
+        assert_eq!(a.cache_key(), skipped.cache_key());
+    }
 
     #[test]
     fn presets() {
@@ -101,7 +160,9 @@ mod tests {
         assert!(!b.fuse && !b.tile);
         let s = CompileOptions::optimized(vec![]).with_mode(EvalMode::Scalar);
         assert_eq!(s.mode, EvalMode::Scalar);
-        let t = CompileOptions::optimized(vec![]).with_tiles(vec![64, 64]).with_threshold(0.2);
+        let t = CompileOptions::optimized(vec![])
+            .with_tiles(vec![64, 64])
+            .with_threshold(0.2);
         assert_eq!(t.tile_sizes, vec![64, 64]);
         assert_eq!(t.overlap_threshold, 0.2);
     }

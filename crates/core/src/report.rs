@@ -46,7 +46,25 @@ impl CompileReport {
 
     /// Finds the group containing a stage by name.
     pub fn group_of(&self, stage: &str) -> Option<&GroupReport> {
-        self.groups.iter().find(|g| g.stages.iter().any(|s| s == stage))
+        self.groups
+            .iter()
+            .find(|g| g.stages.iter().any(|s| s == stage))
+    }
+
+    /// Pairs each group report with its measured wall-clock duration from
+    /// an execution's [`polymage_vm::RunStats`] (both are in execution
+    /// order). Groups beyond the shorter list are dropped, so an empty
+    /// `group_times` (e.g. from the legacy static executor) yields an
+    /// empty profile.
+    pub fn with_timings<'a>(
+        &'a self,
+        stats: &polymage_vm::RunStats,
+    ) -> Vec<(&'a GroupReport, std::time::Duration)> {
+        self.groups
+            .iter()
+            .zip(&stats.group_times)
+            .map(|(g, (_, d))| (g, *d))
+            .collect()
     }
 
     /// Renders the grouping as Graphviz clusters (Fig. 8 style).
@@ -81,8 +99,7 @@ impl fmt::Display for CompileReport {
                 .iter()
                 .map(|t| t.map_or("-".to_string(), |v| v.to_string()))
                 .collect();
-            let ov: Vec<String> =
-                g.overlap.iter().map(|(l, r)| format!("{l}+{r}")).collect();
+            let ov: Vec<String> = g.overlap.iter().map(|(l, r)| format!("{l}+{r}")).collect();
             writeln!(
                 f,
                 "group {i} [{:?}] sink={} tiles=({}) overlap=({}) \

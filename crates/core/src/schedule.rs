@@ -7,12 +7,12 @@ use crate::{CompileError, CompileOptions};
 use polymage_graph::PipelineGraph;
 use polymage_ir::{FuncBody, FuncId, Pipeline, ScalarType, Source, VarId};
 use polymage_poly::{
-    extract_accesses, narrow_rect_by_cond, required_region, solve_alignment, Access,
-    AccessDim, DimMap, Rect,
+    extract_accesses, narrow_rect_by_cond, required_region, solve_alignment, Access, AccessDim,
+    DimMap, Rect,
 };
 use polymage_vm::{
-    BufDecl, BufId, BufKind, CaseExec, GroupExec, GroupKind, ReductionExec, RegId,
-    SeqExec, StageExec, TileWork, TiledGroup,
+    BufDecl, BufId, BufKind, CaseExec, GroupExec, GroupKind, ReductionExec, RegId, SeqExec,
+    StageExec, TileWork, TiledGroup,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -85,21 +85,23 @@ fn sat_round(ty: ScalarType) -> (Option<(f32, f32)>, bool) {
 fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, CompileError> {
     let stages = group_topo(ctx, group);
     let sink = group.sink;
-    let alignment = solve_alignment(ctx.pipe, &stages, sink)
-        .expect("grouping only forms alignable groups");
+    let alignment =
+        solve_alignment(ctx.pipe, &stages, sink).expect("grouping only forms alignable groups");
 
     // --- storage classification ---
     let mut plans: Vec<StagePlan> = Vec::with_capacity(stages.len());
     for &f in &stages {
         let dom = ctx.concrete_dom(f);
-        let in_group_consumed = ctx
-            .graph
-            .consumers(f)
-            .iter()
-            .any(|c| stages.contains(c));
+        let in_group_consumed = ctx.graph.consumers(f).iter().any(|c| stages.contains(c));
         let needs_full = ctx.needs_full.contains(&f) || !ctx.opts.storage_opt;
         let direct = needs_full && !in_group_consumed;
-        plans.push(StagePlan { f, dom, needs_full, direct, maps: alignment.map(f).to_vec() });
+        plans.push(StagePlan {
+            f,
+            dom,
+            needs_full,
+            direct,
+            maps: alignment.map(f).to_vec(),
+        });
     }
 
     // --- tiling of the sink domain ---
@@ -139,10 +141,7 @@ fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, Compile
 
     // --- tile enumeration + backward propagation ---
     let mut tiles: Vec<TileWork> = Vec::new();
-    let mut max_ext: Vec<Vec<i64>> = plans
-        .iter()
-        .map(|p| vec![0i64; p.dom.ndim()])
-        .collect();
+    let mut max_ext: Vec<Vec<i64>> = plans.iter().map(|p| vec![0i64; p.dom.ndim()]).collect();
 
     // At least one tile always runs: a sink whose domain is empty at these
     // parameter values (deep pyramid levels at small sizes) must not
@@ -183,8 +182,7 @@ fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, Compile
                 if regions[ci].is_empty() {
                     continue;
                 }
-                let cvars: Vec<VarId> =
-                    ctx.pipe.func(stages[ci]).var_dom.vars.clone();
+                let cvars: Vec<VarId> = ctx.pipe.func(stages[ci]).var_dom.vars.clone();
                 for (pi, accs) in &accesses_to[ci] {
                     let req = required_region(
                         accs,
@@ -207,8 +205,7 @@ fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, Compile
                 if !p.needs_full {
                     continue;
                 }
-                let owned =
-                    owned_rect(p, &sink_dom, &tiles_cfg, &tidx, &tile_counts, &sink_scales);
+                let owned = owned_rect(p, &sink_dom, &tiles_cfg, &tidx, &tile_counts, &sink_scales);
                 let owned = owned.intersect(&p.dom);
                 regions[k] = if regions[k].is_empty() {
                     owned.clone()
@@ -220,12 +217,16 @@ fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, Compile
             }
             for (k, r) in regions.iter().enumerate() {
                 if !r.is_empty() {
-                    for d in 0..r.ndim() {
-                        max_ext[k][d] = max_ext[k][d].max(r.extent(d));
+                    for (d, m) in max_ext[k].iter_mut().enumerate() {
+                        *m = (*m).max(r.extent(d));
                     }
                 }
             }
-            tiles.push(TileWork { strip, regions, stores });
+            tiles.push(TileWork {
+                strip,
+                regions,
+                stores,
+            });
         }
     }
     // order tiles by strip so the executor's grouping is contiguous
@@ -296,7 +297,11 @@ fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, Compile
 
     Ok(GroupExec {
         name: format!("{}+{}", ctx.pipe.func(sink).name, stages.len() - 1),
-        kind: GroupKind::Tiled(TiledGroup { stages: stage_execs, tiles, nstrips }),
+        kind: GroupKind::Tiled(TiledGroup {
+            stages: stage_execs,
+            tiles,
+            nstrips,
+        }),
     })
 }
 
@@ -389,7 +394,11 @@ fn lower_cases(
             None => (dom.clone(), vec![(1, 0); dom.ndim()], None),
             Some(c) => {
                 let nr = narrow_rect_by_cond(c, &vars, dom, &ctx.opts.params);
-                (nr.rect, nr.steps, if nr.exact { None } else { Some(c.clone()) })
+                (
+                    nr.rect,
+                    nr.steps,
+                    if nr.exact { None } else { Some(c.clone()) },
+                )
             }
         };
         if rect.is_empty() {
@@ -424,7 +433,12 @@ fn lower_cases(
             outs.push(m);
         }
         let (kernel, _reads) = b.finish(outs);
-        out.push(CaseExec { rect, steps, kernel, mask });
+        out.push(CaseExec {
+            rect,
+            steps,
+            kernel,
+            mask,
+        });
     }
     Ok(out)
 }
@@ -445,7 +459,10 @@ fn schedule_reduction(ctx: &mut Ctx<'_>, f: FuncId) -> Result<GroupExec, Compile
     ctx.func_full.insert(f, out);
 
     let red_dom = Rect::new(
-        acc.red_dom.iter().map(|iv| iv.eval(&ctx.opts.params)).collect(),
+        acc.red_dom
+            .iter()
+            .map(|iv| iv.eval(&ctx.opts.params))
+            .collect(),
     );
     let empty_scratch = HashMap::new();
     let env = LowerEnv {
@@ -500,7 +517,8 @@ fn schedule_selfref(ctx: &mut Ctx<'_>, f: FuncId) -> Result<GroupExec, CompileEr
                 }
             };
             let ok = a.den == 1
-                && a.single_var().map(|(v, q)| q == 1 && v == fd.var_dom.vars[d])
+                && a.single_var()
+                    .map(|(v, q)| q == 1 && v == fd.var_dom.vars[d])
                     == Some(true)
                 && a.cst.as_const().is_some();
             if !ok {

@@ -1,0 +1,284 @@
+//! Long-lived compile-and-run sessions: a persistent [`Engine`] plus an
+//! LRU compile cache.
+//!
+//! [`compile`](crate::compile) is cheap (microseconds) but not free, and
+//! [`polymage_vm::run_program`] spins up a fresh engine per call. Code
+//! that executes pipelines repeatedly — frame loops, autotuners,
+//! benchmarks — should hold a [`Session`]: compiled programs are cached by
+//! a *stable content hash* of the `(Pipeline, CompileOptions)` pair, and
+//! every run reuses the session's pooled workers and recycled buffers.
+//!
+//! Cache keying rules:
+//!
+//! - the pipeline participates via [`polymage_ir::Pipeline::content_hash`]
+//!   (deterministic structural hash — names, domains, expressions,
+//!   live-outs);
+//! - the options participate via [`CompileOptions::cache_key`], which
+//!   includes every knob that can change the produced program (params,
+//!   tile sizes, threshold bits, mode, fuse/tile/inline/storage flags,
+//!   strip count) and excludes `skip_bounds_check` (it only affects error
+//!   reporting, never the produced program);
+//! - errors are never cached — a failed compilation is retried on the
+//!   next call.
+
+use crate::{compile, CompileError, CompileOptions, Compiled};
+use polymage_ir::Pipeline;
+use polymage_vm::{Buffer, Engine, RunStats, VmError};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::options::OptionsKey;
+
+/// Default number of cached compilations per session.
+const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// An error from [`Session::run`]: compilation or execution failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The pipeline failed to compile.
+    Compile(CompileError),
+    /// The compiled program failed to execute.
+    Execute(VmError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compilation failed: {e}"),
+            RunError::Execute(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Compile(e) => Some(e),
+            RunError::Execute(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
+
+impl From<VmError> for RunError {
+    fn from(e: VmError) -> Self {
+        RunError::Execute(e)
+    }
+}
+
+/// Hit/miss counters of a session's compile cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compilations served from the cache (zero recompilation).
+    pub hits: u64,
+    /// Compilations that actually ran the compiler.
+    pub misses: u64,
+    /// Cached entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+#[derive(PartialEq, Eq)]
+struct CacheKey {
+    pipe_hash: u64,
+    opts: OptionsKey,
+}
+
+struct Cache {
+    /// LRU order: least recently used first, most recent last.
+    entries: Vec<(CacheKey, Arc<Compiled>)>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+/// A long-lived compile-and-run session.
+///
+/// Owns a persistent [`Engine`] (pooled worker threads, recycled buffers)
+/// and an LRU cache of compiled programs keyed by the stable content hash
+/// of the `(Pipeline, CompileOptions)` pair. All methods take `&self`;
+/// compilation and the cache are internally synchronized, and runs
+/// serialize on the engine.
+pub struct Session {
+    engine: Engine,
+    cache: Mutex<Cache>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("nthreads", &self.engine.nthreads())
+            .field("cache_stats", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl Session {
+    /// A session with one engine worker per available hardware thread.
+    pub fn new() -> Session {
+        Session::with_engine(Engine::new())
+    }
+
+    /// A session whose engine has exactly `nthreads` pooled workers.
+    pub fn with_threads(nthreads: usize) -> Session {
+        Session::with_engine(Engine::with_threads(nthreads))
+    }
+
+    /// Wraps an existing engine in a session.
+    pub fn with_engine(engine: Engine) -> Session {
+        Session {
+            engine,
+            cache: Mutex::new(Cache {
+                entries: Vec::new(),
+                capacity: DEFAULT_CACHE_CAPACITY,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Sets the compile-cache capacity (entries; minimum 1). Shrinking
+    /// evicts the least recently used entries immediately.
+    pub fn with_cache_capacity(self, capacity: usize) -> Session {
+        {
+            let mut cache = self.lock_cache();
+            cache.capacity = capacity.max(1);
+            while cache.entries.len() > cache.capacity {
+                cache.entries.remove(0);
+                cache.stats.evictions += 1;
+            }
+        }
+        self
+    }
+
+    /// The session's execution engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of pooled engine workers.
+    pub fn nthreads(&self) -> usize {
+        self.engine.nthreads()
+    }
+
+    /// Compiles a pipeline, consulting the cache first. On a hit the
+    /// cached [`Compiled`] is returned (shared via [`Arc`]) and the
+    /// compiler does not run at all.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`compile`]; errors are not cached.
+    pub fn compile(
+        &self,
+        pipe: &Pipeline,
+        opts: &CompileOptions,
+    ) -> Result<Arc<Compiled>, CompileError> {
+        let key = CacheKey {
+            pipe_hash: pipe.content_hash(),
+            opts: opts.cache_key(),
+        };
+        {
+            let mut cache = self.lock_cache();
+            if let Some(i) = cache.entries.iter().position(|(k, _)| *k == key) {
+                let entry = cache.entries.remove(i);
+                let hit = Arc::clone(&entry.1);
+                cache.entries.push(entry); // most recently used
+                cache.stats.hits += 1;
+                return Ok(hit);
+            }
+        }
+        // Compile outside the lock: a slow compilation must not block
+        // cache hits for other pipelines.
+        let compiled = Arc::new(compile(pipe, opts)?);
+        let mut cache = self.lock_cache();
+        cache.stats.misses += 1;
+        // Another thread may have compiled the same spec concurrently;
+        // prefer the existing entry so callers share one program.
+        if let Some(i) = cache.entries.iter().position(|(k, _)| *k == key) {
+            let entry = cache.entries.remove(i);
+            let existing = Arc::clone(&entry.1);
+            cache.entries.push(entry);
+            return Ok(existing);
+        }
+        if cache.entries.len() >= cache.capacity {
+            cache.entries.remove(0);
+            cache.stats.evictions += 1;
+        }
+        cache.entries.push((key, Arc::clone(&compiled)));
+        Ok(compiled)
+    }
+
+    /// Compiles (cached) and runs a pipeline on the session's engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Compile`] for invalid specifications and
+    /// [`RunError::Execute`] for input mismatches or executor faults.
+    pub fn run(
+        &self,
+        pipe: &Pipeline,
+        opts: &CompileOptions,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>, RunError> {
+        let compiled = self.compile(pipe, opts)?;
+        Ok(self.engine.run(&compiled.program, inputs)?)
+    }
+
+    /// Like [`Session::run`], additionally returning execution statistics
+    /// (tile/chunk/point counters and per-group wall-clock durations; pair
+    /// them with the report via
+    /// [`CompileReport::with_timings`](crate::CompileReport::with_timings)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run`].
+    pub fn run_stats(
+        &self,
+        pipe: &Pipeline,
+        opts: &CompileOptions,
+        inputs: &[Buffer],
+    ) -> Result<(Vec<Buffer>, RunStats), RunError> {
+        let compiled = self.compile(pipe, opts)?;
+        Ok(self.engine.run_stats(&compiled.program, inputs)?)
+    }
+
+    /// Runs an already-compiled program on the session's engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] for input mismatches or executor faults.
+    pub fn run_compiled(
+        &self,
+        compiled: &Compiled,
+        inputs: &[Buffer],
+    ) -> Result<Vec<Buffer>, VmError> {
+        self.engine.run(&compiled.program, inputs)
+    }
+
+    /// Hit/miss/eviction counters of the compile cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats
+    }
+
+    /// Number of currently cached compilations.
+    pub fn cache_len(&self) -> usize {
+        self.lock_cache().entries.len()
+    }
+
+    /// Drops every cached compilation (counters are kept).
+    pub fn clear_cache(&self) {
+        self.lock_cache().entries.clear();
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, Cache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -32,7 +32,10 @@ pub fn validate_program(prog: &Program) -> Vec<Violation> {
     let mut out = Vec::new();
     for group in &prog.groups {
         let mut push = |message: String| {
-            out.push(Violation { group: group.name.clone(), message });
+            out.push(Violation {
+                group: group.name.clone(),
+                message,
+            });
         };
         match &group.kind {
             GroupKind::Tiled(tg) => validate_tiled(prog, tg, &mut push),
@@ -79,7 +82,10 @@ fn validate_tiled(prog: &Program, tg: &TiledGroup, push: &mut dyn FnMut(String))
         if !st.direct {
             let decl = &prog.buffers[st.scratch.0];
             if decl.kind != BufKind::Scratch {
-                push(format!("stage `{}` scratch id is not a scratch buffer", st.name));
+                push(format!(
+                    "stage `{}` scratch id is not a scratch buffer",
+                    st.name
+                ));
             }
         }
         let _ = k;
@@ -145,7 +151,10 @@ fn validate_tiled(prog: &Program, tg: &TiledGroup, push: &mut dyn FnMut(String))
             if let Some(store) = &t.stores[k] {
                 covered += store.volume();
                 if !st.dom.contains_rect(store) {
-                    push(format!("stage `{}` store {} outside domain", st.name, store));
+                    push(format!(
+                        "stage `{}` store {} outside domain",
+                        st.name, store
+                    ));
                 }
             }
         }
@@ -250,7 +259,10 @@ pub fn assert_valid(prog: &Program) {
         "program `{}` violates {} invariant(s):\n{}",
         prog.name,
         vs.len(),
-        vs.iter().map(|v| format!("  {v}")).collect::<Vec<_>>().join("\n")
+        vs.iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
@@ -263,7 +275,10 @@ mod tests {
     fn tiny_prog() -> Program {
         // single direct stage writing a 1-D buffer with 2 strips
         let kernel = Kernel {
-            ops: vec![Op::ConstF { dst: RegId(0), val: 1.0 }],
+            ops: vec![Op::ConstF {
+                dst: RegId(0),
+                val: 1.0,
+            }],
             nregs: 1,
             outs: vec![RegId(0)],
         };
@@ -328,8 +343,15 @@ mod tests {
             tg.tiles[1].regions[0] = Rect::new(vec![(3, 7)]);
         }
         let vs = validate_program(&p);
-        assert!(vs.iter().any(|v| v.message.contains("exact partition")), "{vs:?}");
-        assert!(vs.iter().any(|v| v.message.contains("overlap across strips")), "{vs:?}");
+        assert!(
+            vs.iter().any(|v| v.message.contains("exact partition")),
+            "{vs:?}"
+        );
+        assert!(
+            vs.iter()
+                .any(|v| v.message.contains("overlap across strips")),
+            "{vs:?}"
+        );
     }
 
     #[test]
@@ -339,7 +361,10 @@ mod tests {
             tg.tiles[0].regions[0] = Rect::new(vec![(-1, 3)]);
         }
         let vs = validate_program(&p);
-        assert!(vs.iter().any(|v| v.message.contains("outside domain")), "{vs:?}");
+        assert!(
+            vs.iter().any(|v| v.message.contains("outside domain")),
+            "{vs:?}"
+        );
     }
 
     #[test]
@@ -348,8 +373,14 @@ mod tests {
         if let GroupKind::Tiled(tg) = &mut p.groups[0].kind {
             tg.stages[0].cases[0].kernel = Kernel {
                 ops: vec![
-                    Op::ConstF { dst: RegId(0), val: 1.0 },
-                    Op::ConstF { dst: RegId(0), val: 2.0 }, // double write
+                    Op::ConstF {
+                        dst: RegId(0),
+                        val: 1.0,
+                    },
+                    Op::ConstF {
+                        dst: RegId(0),
+                        val: 2.0,
+                    }, // double write
                 ],
                 nregs: 1,
                 outs: vec![RegId(0)],
@@ -371,6 +402,9 @@ mod tests {
             };
         }
         let vs = validate_program(&p);
-        assert!(vs.iter().any(|v| v.message.contains("undefined register")), "{vs:?}");
+        assert!(
+            vs.iter().any(|v| v.message.contains("undefined register")),
+            "{vs:?}"
+        );
     }
 }

@@ -17,14 +17,24 @@ fn blur_chain() -> (Pipeline, Vec<Buffer>) {
     let a = p.func("a", &[(x, d1.clone()), (y, d1)], ScalarType::Float);
     p.define(
         a,
-        vec![Case::always(stencil(img, &[x, y], 1.0 / 9.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+        vec![Case::always(stencil(
+            img,
+            &[x, y],
+            1.0 / 9.0,
+            &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+        ))],
     )
     .unwrap();
     let d2 = Interval::cst(2, 189);
     let b = p.func("b", &[(x, d2.clone()), (y, d2)], ScalarType::Float);
     p.define(
         b,
-        vec![Case::always(stencil(a, &[x, y], 1.0 / 9.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+        vec![Case::always(stencil(
+            a,
+            &[x, y],
+            1.0 / 9.0,
+            &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+        ))],
     )
     .unwrap();
     let pipe = p.finish(&[b]).unwrap();
@@ -64,7 +74,10 @@ fn paper_parameter_space_constants() {
     // §3.8: seven tile sizes and three thresholds → 7²·3 = 147 configs.
     assert_eq!(TILE_CANDIDATES.len(), 7);
     assert_eq!(THRESHOLDS.len(), 3);
-    assert_eq!(TILE_CANDIDATES.len() * TILE_CANDIDATES.len() * THRESHOLDS.len(), 147);
+    assert_eq!(
+        TILE_CANDIDATES.len() * TILE_CANDIDATES.len() * THRESHOLDS.len(),
+        147
+    );
 }
 
 #[test]
@@ -97,7 +110,9 @@ fn emitted_c_mentions_reductions_and_scans() {
         value: Expr::Const(1.0),
         op: Reduction::Sum,
     };
-    let h = p.accumulator("hist", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc).unwrap();
+    let h = p
+        .accumulator("hist", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc)
+        .unwrap();
     let scan = p.func("scan", &[(b, Interval::cst(0, 255))], ScalarType::Float);
     p.define(
         scan,

@@ -81,10 +81,19 @@ fn c_backend_matches_vm_on_stencil_pipeline() {
         Interval::new(PAff::cst(1), PAff::param(r) - 2),
         Interval::new(PAff::cst(1), PAff::param(c) - 2),
     );
-    let blur = p.func("blur", &[(x, d1.0.clone()), (y, d1.1.clone())], ScalarType::Float);
+    let blur = p.func(
+        "blur",
+        &[(x, d1.0.clone()), (y, d1.1.clone())],
+        ScalarType::Float,
+    );
     p.define(
         blur,
-        vec![Case::always(stencil(img, &[x, y], 1.0 / 9.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+        vec![Case::always(stencil(
+            img,
+            &[x, y],
+            1.0 / 9.0,
+            &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+        ))],
     )
     .unwrap();
     let d2 = (
@@ -119,7 +128,9 @@ fn c_backend_matches_vm_on_histogram_lut() {
         value: Expr::Const(1.0),
         op: Reduction::Sum,
     };
-    let hist = p.accumulator("hist", &[(b, Interval::cst(0, 63))], ScalarType::Int, acc).unwrap();
+    let hist = p
+        .accumulator("hist", &[(b, Interval::cst(0, 63))], ScalarType::Int, acc)
+        .unwrap();
     let out = p.func("eq", &[(x, d.clone()), (y, d)], ScalarType::Float);
     p.define(
         out,
@@ -166,8 +177,7 @@ fn c_backend_matches_vm_on_sampling_and_parity() {
     )
     .unwrap();
     let pipe = p.finish(&[up]).unwrap();
-    let input =
-        Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|pt| (pt[0] % 9) as f32 - 4.0);
+    let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|pt| (pt[0] % 9) as f32 - 4.0);
     check_roundtrip(&pipe, vec![], &[input], 0.0);
 }
 
@@ -193,8 +203,7 @@ fn c_backend_matches_vm_on_time_iteration() {
     )
     .unwrap();
     let pipe = p.finish(&[f]).unwrap();
-    let input =
-        Buffer::zeros(Rect::new(vec![(0, 31)])).fill_with(|pt| (pt[0] * pt[0] % 11) as f32);
+    let input = Buffer::zeros(Rect::new(vec![(0, 31)])).fill_with(|pt| (pt[0] * pt[0] % 11) as f32);
     check_roundtrip(&pipe, vec![], &[input], 1e-6);
 }
 

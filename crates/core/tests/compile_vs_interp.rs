@@ -15,7 +15,9 @@ fn check_all_configs(pipe: &Pipeline, params: Vec<i64>, inputs: &[Buffer], tol: 
         CompileOptions::optimized(params.clone()),
         CompileOptions::optimized(params.clone()).with_mode(EvalMode::Scalar),
         CompileOptions::optimized(params.clone()).with_tiles(vec![8, 8]),
-        CompileOptions::optimized(params.clone()).with_tiles(vec![16, 64]).with_threshold(0.2),
+        CompileOptions::optimized(params.clone())
+            .with_tiles(vec![16, 64])
+            .with_threshold(0.2),
         CompileOptions::base(params.clone()),
         CompileOptions::base(params.clone()).with_mode(EvalMode::Scalar),
         {
@@ -30,9 +32,8 @@ fn check_all_configs(pipe: &Pipeline, params: Vec<i64>, inputs: &[Buffer], tol: 
         },
     ];
     for (ci, opts) in configs.iter().enumerate() {
-        let compiled = compile(pipe, opts).unwrap_or_else(|e| {
-            panic!("config {ci} failed to compile {}: {e}", pipe.name())
-        });
+        let compiled = compile(pipe, opts)
+            .unwrap_or_else(|e| panic!("config {ci} failed to compile {}: {e}", pipe.name()));
         for threads in [1, 3] {
             let got = run_program(&compiled.program, inputs, threads)
                 .unwrap_or_else(|e| panic!("config {ci} run: {e}"));
@@ -69,7 +70,11 @@ fn noise_image(rect: Rect, seed: i64) -> Buffer {
 fn harris_corner_detection() {
     let mut p = PipelineBuilder::new("harris");
     let (r, c) = (p.param("R"), p.param("C"));
-    let img = p.image("I", ScalarType::Float, vec![PAff::param(r) + 2, PAff::param(c) + 2]);
+    let img = p.image(
+        "I",
+        ScalarType::Float,
+        vec![PAff::param(r) + 2, PAff::param(c) + 2],
+    );
     let (x, y) = (p.var("x"), p.var("y"));
     let row = Interval::new(PAff::cst(0), PAff::param(r) + 1);
     let col = Interval::new(PAff::cst(0), PAff::param(c) + 1);
@@ -88,7 +93,12 @@ fn harris_corner_detection() {
         iy,
         vec![Case::new(
             cond.clone(),
-            stencil(img, &[x, y], 1.0 / 12.0, &[[-1, -2, -1], [0, 0, 0], [1, 2, 1]]),
+            stencil(
+                img,
+                &[x, y],
+                1.0 / 12.0,
+                &[[-1, -2, -1], [0, 0, 0], [1, 2, 1]],
+            ),
         )],
     )
     .unwrap();
@@ -97,32 +107,56 @@ fn harris_corner_detection() {
         ix,
         vec![Case::new(
             cond.clone(),
-            stencil(img, &[x, y], 1.0 / 12.0, &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]),
+            stencil(
+                img,
+                &[x, y],
+                1.0 / 12.0,
+                &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]],
+            ),
         )],
     )
     .unwrap();
     let at = |f: FuncId| Expr::at(f, [Expr::from(x), Expr::from(y)]);
     let ixx = p.func("Ixx", &dom, ScalarType::Float);
-    p.define(ixx, vec![Case::new(cond.clone(), at(ix) * at(ix))]).unwrap();
+    p.define(ixx, vec![Case::new(cond.clone(), at(ix) * at(ix))])
+        .unwrap();
     let iyy = p.func("Iyy", &dom, ScalarType::Float);
-    p.define(iyy, vec![Case::new(cond.clone(), at(iy) * at(iy))]).unwrap();
+    p.define(iyy, vec![Case::new(cond.clone(), at(iy) * at(iy))])
+        .unwrap();
     let ixy = p.func("Ixy", &dom, ScalarType::Float);
-    p.define(ixy, vec![Case::new(cond.clone(), at(ix) * at(iy))]).unwrap();
+    p.define(ixy, vec![Case::new(cond.clone(), at(ix) * at(iy))])
+        .unwrap();
     let box3 = [[1i64, 1, 1], [1, 1, 1], [1, 1, 1]];
     let sxx = p.func("Sxx", &dom, ScalarType::Float);
-    p.define(sxx, vec![Case::new(condb.clone(), stencil(ixx, &[x, y], 1.0, &box3))])
-        .unwrap();
+    p.define(
+        sxx,
+        vec![Case::new(condb.clone(), stencil(ixx, &[x, y], 1.0, &box3))],
+    )
+    .unwrap();
     let syy = p.func("Syy", &dom, ScalarType::Float);
-    p.define(syy, vec![Case::new(condb.clone(), stencil(iyy, &[x, y], 1.0, &box3))])
-        .unwrap();
+    p.define(
+        syy,
+        vec![Case::new(condb.clone(), stencil(iyy, &[x, y], 1.0, &box3))],
+    )
+    .unwrap();
     let sxy = p.func("Sxy", &dom, ScalarType::Float);
-    p.define(sxy, vec![Case::new(condb.clone(), stencil(ixy, &[x, y], 1.0, &box3))])
-        .unwrap();
+    p.define(
+        sxy,
+        vec![Case::new(condb.clone(), stencil(ixy, &[x, y], 1.0, &box3))],
+    )
+    .unwrap();
     let det = p.func("det", &dom, ScalarType::Float);
-    p.define(det, vec![Case::new(condb.clone(), at(sxx) * at(syy) - at(sxy) * at(sxy))])
-        .unwrap();
+    p.define(
+        det,
+        vec![Case::new(
+            condb.clone(),
+            at(sxx) * at(syy) - at(sxy) * at(sxy),
+        )],
+    )
+    .unwrap();
     let trace = p.func("trace", &dom, ScalarType::Float);
-    p.define(trace, vec![Case::new(condb.clone(), at(sxx) + at(syy))]).unwrap();
+    p.define(trace, vec![Case::new(condb.clone(), at(sxx) + at(syy))])
+        .unwrap();
     let harris = p.func("harris", &dom, ScalarType::Float);
     p.define(
         harris,
@@ -151,15 +185,15 @@ fn sampling_pyramid_chain() {
     let x = p.var("x");
     let full = Interval::new(PAff::cst(0), PAff::param(n) - 1);
     let f = p.func("f", &[(x, full.clone())], ScalarType::Float);
-    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))])
+        .unwrap();
     // down(x) = (f(2x) + f(2x+1)) / 2 over [0, N/2 - 1]
     let half = Interval::new(PAff::cst(0), PAff::param(n) / 2 - 1);
     let down = p.func("down", &[(x, half.clone())], ScalarType::Float);
     p.define(
         down,
         vec![Case::always(
-            (Expr::at(f, [2i64 * Expr::from(x)]) + Expr::at(f, [2i64 * Expr::from(x) + 1]))
-                * 0.5,
+            (Expr::at(f, [2i64 * Expr::from(x)]) + Expr::at(f, [2i64 * Expr::from(x) + 1])) * 0.5,
         )],
     )
     .unwrap();
@@ -169,15 +203,15 @@ fn sampling_pyramid_chain() {
     p.define(
         down2,
         vec![Case::always(
-            (Expr::at(down, [2i64 * Expr::from(x)])
-                + Expr::at(down, [2i64 * Expr::from(x) + 1]))
+            (Expr::at(down, [2i64 * Expr::from(x)]) + Expr::at(down, [2i64 * Expr::from(x) + 1]))
                 * 0.5,
         )],
     )
     .unwrap();
     // up(x) = down2(x/2) over [0, N/2 - 1]
     let up = p.func("up", &[(x, half)], ScalarType::Float);
-    p.define(up, vec![Case::always(Expr::at(down2, [Expr::from(x) / 2]))]).unwrap();
+    p.define(up, vec![Case::always(Expr::at(down2, [Expr::from(x) / 2]))])
+        .unwrap();
     // out(x) = f-ish(x) − up(x/2): laplacian-like over full domain
     let out = p.func("out", &[(x, full)], ScalarType::Float);
     p.define(
@@ -209,13 +243,17 @@ fn histogram_equalization_like() {
         value: Expr::Const(1.0),
         op: Reduction::Sum,
     };
-    let hist = p.accumulator("hist", &[(b, bins.clone())], ScalarType::Int, acc).unwrap();
+    let hist = p
+        .accumulator("hist", &[(b, bins.clone())], ScalarType::Int, acc)
+        .unwrap();
     // a tiny "lut" derived from the histogram (not a real CDF — enough to
     // exercise dynamic reads of a reduction's output)
     let lut = p.func("lut", &[(b, bins)], ScalarType::Float);
     p.define(
         lut,
-        vec![Case::always(Expr::at(hist, [Expr::from(b)]) * 0.5 + Expr::from(b))],
+        vec![Case::always(
+            Expr::at(hist, [Expr::from(b)]) * 0.5 + Expr::from(b),
+        )],
     )
     .unwrap();
     let out = p.func("out", &[(x, row), (y, col)], ScalarType::Float);
@@ -295,8 +333,13 @@ fn color_pipeline_three_dims() {
             });
         }
     }
-    p.define(blur, vec![Case::always(sum.unwrap() * (1.0 / 9.0))]).unwrap();
-    let sharp = p.func("sharp", &[(x, row), (y, col), (ch, chans)], ScalarType::Float);
+    p.define(blur, vec![Case::always(sum.unwrap() * (1.0 / 9.0))])
+        .unwrap();
+    let sharp = p.func(
+        "sharp",
+        &[(x, row), (y, col), (ch, chans)],
+        ScalarType::Float,
+    );
     p.define(
         sharp,
         vec![Case::always(
@@ -353,9 +396,11 @@ fn uchar_saturation_pipeline() {
     let x = p.var("x");
     let d = Interval::cst(0, 63);
     let boost = p.func("boost", &[(x, d.clone())], ScalarType::UChar);
-    p.define(boost, vec![Case::always(Expr::at(img, [x + 0]) * 2.0)]).unwrap();
+    p.define(boost, vec![Case::always(Expr::at(img, [x + 0]) * 2.0)])
+        .unwrap();
     let out = p.func("out", &[(x, d)], ScalarType::Float);
-    p.define(out, vec![Case::always(Expr::at(boost, [x + 0]) + 0.5)]).unwrap();
+    p.define(out, vec![Case::always(Expr::at(boost, [x + 0]) + 0.5)])
+        .unwrap();
     let pipe = p.finish(&[out]).unwrap();
     let input = noise_image(Rect::new(vec![(0, 63)]), 5);
     check_all_configs(&pipe, vec![], &[input], 0.0);
@@ -368,7 +413,8 @@ fn bounds_violation_rejected() {
     let img = p.image("I", ScalarType::Float, vec![PAff::cst(16)]);
     let x = p.var("x");
     let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
-    p.define(f, vec![Case::always(Expr::at(img, [x + 1]))]).unwrap();
+    p.define(f, vec![Case::always(Expr::at(img, [x + 1]))])
+        .unwrap();
     let pipe = p.finish(&[f]).unwrap();
     let err = compile(&pipe, &CompileOptions::optimized(vec![])).unwrap_err();
     assert!(matches!(err, polymage_core::CompileError::Bounds(_)));
@@ -388,5 +434,8 @@ fn missing_params_rejected() {
     p.define(f, vec![Case::always(Expr::from(x))]).unwrap();
     let pipe = p.finish(&[f]).unwrap();
     let err = compile(&pipe, &CompileOptions::optimized(vec![])).unwrap_err();
-    assert!(matches!(err, polymage_core::CompileError::MissingParams { .. }));
+    assert!(matches!(
+        err,
+        polymage_core::CompileError::MissingParams { .. }
+    ));
 }

@@ -17,7 +17,11 @@ fn chain(depth: usize, n: i64) -> Pipeline {
     let mut last = None;
     for i in 1..=depth as i64 {
         let d = Interval::cst(i, n - 1 - i);
-        let f = p.func(format!("s{i}"), &[(x, d.clone()), (y, d)], ScalarType::Float);
+        let f = p.func(
+            format!("s{i}"),
+            &[(x, d.clone()), (y, d)],
+            ScalarType::Float,
+        );
         p.define(
             f,
             vec![Case::always(stencil(
@@ -60,7 +64,12 @@ fn measured_redundancy_matches_predicted_overlap() {
             .func_ids()
             .map(|f| {
                 Rect::new(
-                    pipe.func(f).var_dom.dom.iter().map(|iv| iv.eval(&[])).collect(),
+                    pipe.func(f)
+                        .var_dom
+                        .dom
+                        .iter()
+                        .map(|iv| iv.eval(&[]))
+                        .collect(),
                 )
                 .volume()
             })
@@ -92,14 +101,20 @@ fn measured_redundancy_matches_predicted_overlap() {
 fn base_schedule_has_no_redundancy() {
     let pipe = chain(3, 256);
     let compiled = compile(&pipe, &CompileOptions::base(vec![])).unwrap();
-    let input = Buffer::zeros(Rect::new(vec![(0, 255), (0, 255)]))
-        .fill_with(|p| (p[0] % 5) as f32);
+    let input = Buffer::zeros(Rect::new(vec![(0, 255), (0, 255)])).fill_with(|p| (p[0] % 5) as f32);
     let (_, stats) = run_program_stats(&compiled.program, &[input], 2).unwrap();
     let useful: u64 = pipe
         .func_ids()
         .map(|f| {
-            Rect::new(pipe.func(f).var_dom.dom.iter().map(|iv| iv.eval(&[])).collect())
-                .volume() as u64
+            Rect::new(
+                pipe.func(f)
+                    .var_dom
+                    .dom
+                    .iter()
+                    .map(|iv| iv.eval(&[]))
+                    .collect(),
+            )
+            .volume() as u64
         })
         .sum();
     assert_eq!(

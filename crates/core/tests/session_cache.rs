@@ -1,0 +1,128 @@
+//! Session compile-cache behavior: hits perform zero recompilation (the
+//! returned `Arc<Compiled>` is the *same allocation* and the miss counter
+//! does not move), while any change to the pipeline content, tile sizes,
+//! threshold, or parameter values is a distinct cache key.
+
+use polymage_core::{CompileOptions, Session};
+use polymage_ir::*;
+use polymage_poly::Rect;
+use polymage_vm::Buffer;
+use std::sync::Arc;
+
+/// blur(x) = (in(x−1) + in(x) + in(x+1)) / 3 over the interior of `N`.
+fn blur1d() -> Pipeline {
+    let mut p = PipelineBuilder::new("blur1d");
+    let n = p.param("N");
+    let img = p.image("in", ScalarType::Float, vec![PAff::param(n)]);
+    let x = p.var("x");
+    let dom = Interval::new(PAff::cst(1), PAff::param(n) - 2);
+    let blur = p.func("blur", &[(x, dom)], ScalarType::Float);
+    let e =
+        (Expr::at(img, [x - 1]) + Expr::at(img, [x + 0]) + Expr::at(img, [x + 1])) * (1.0 / 3.0);
+    p.define(blur, vec![Case::always(e)]).unwrap();
+    p.finish(&[blur]).unwrap()
+}
+
+#[test]
+fn same_spec_hits_without_recompiling() {
+    let session = Session::with_threads(1);
+    let pipe = blur1d();
+    let opts = CompileOptions::optimized(vec![64]);
+
+    let first = session.compile(&pipe, &opts).unwrap();
+    assert_eq!(session.cache_stats().misses, 1);
+    assert_eq!(session.cache_stats().hits, 0);
+
+    // Same spec → cache hit: zero recompilation, same allocation.
+    let second = session.compile(&pipe, &opts).unwrap();
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "hit must return the cached program"
+    );
+    assert_eq!(
+        session.cache_stats().misses,
+        1,
+        "hit path must not recompile"
+    );
+    assert_eq!(session.cache_stats().hits, 1);
+
+    // A structurally identical but separately built pipeline hashes the
+    // same — content, not identity, keys the cache.
+    let rebuilt = blur1d();
+    let third = session.compile(&rebuilt, &opts).unwrap();
+    assert!(Arc::ptr_eq(&first, &third));
+    assert_eq!(session.cache_stats().misses, 1);
+    assert_eq!(session.cache_stats().hits, 2);
+
+    // skip_bounds_check never changes a successful compile's output, so
+    // it is deliberately not part of the key.
+    let mut skip = opts.clone();
+    skip.skip_bounds_check = true;
+    let fourth = session.compile(&pipe, &skip).unwrap();
+    assert!(Arc::ptr_eq(&first, &fourth));
+    assert_eq!(session.cache_stats().misses, 1);
+}
+
+#[test]
+fn changed_knobs_and_params_miss() {
+    let session = Session::with_threads(1);
+    let pipe = blur1d();
+    let base = CompileOptions::optimized(vec![64]);
+    let first = session.compile(&pipe, &base).unwrap();
+
+    // Different tile size → different program → miss.
+    let tiled = base.clone().with_tiles(vec![16]);
+    let t = session.compile(&pipe, &tiled).unwrap();
+    assert!(!Arc::ptr_eq(&first, &t));
+
+    // Different overlap threshold → miss.
+    let th = base.clone().with_threshold(0.9);
+    let h = session.compile(&pipe, &th).unwrap();
+    assert!(!Arc::ptr_eq(&first, &h));
+
+    // Different parameter values → miss (programs are specialized).
+    let big = CompileOptions::optimized(vec![128]);
+    let p = session.compile(&pipe, &big).unwrap();
+    assert!(!Arc::ptr_eq(&first, &p));
+
+    assert_eq!(session.cache_stats().misses, 4);
+    assert_eq!(session.cache_stats().hits, 0);
+    assert_eq!(session.cache_len(), 4);
+}
+
+#[test]
+fn lru_evicts_least_recently_used() {
+    let session = Session::with_threads(1).with_cache_capacity(2);
+    let pipe = blur1d();
+    let a = CompileOptions::optimized(vec![32]);
+    let b = CompileOptions::optimized(vec![48]);
+    let c = CompileOptions::optimized(vec![64]);
+
+    session.compile(&pipe, &a).unwrap();
+    session.compile(&pipe, &b).unwrap();
+    session.compile(&pipe, &a).unwrap(); // refresh `a`
+    session.compile(&pipe, &c).unwrap(); // evicts `b`
+    assert_eq!(session.cache_stats().evictions, 1);
+
+    session.compile(&pipe, &a).unwrap(); // still cached
+    assert_eq!(session.cache_stats().hits, 2);
+    session.compile(&pipe, &b).unwrap(); // evicted → recompiles
+    assert_eq!(session.cache_stats().misses, 4);
+}
+
+#[test]
+fn run_through_cache_is_correct() {
+    let session = Session::with_threads(2);
+    let pipe = blur1d();
+    let opts = CompileOptions::optimized(vec![64]);
+    let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| p[0] as f32);
+
+    let out1 = session
+        .run(&pipe, &opts, std::slice::from_ref(&input))
+        .unwrap();
+    let out2 = session.run(&pipe, &opts, &[input]).unwrap();
+    assert_eq!(session.cache_stats().hits, 1);
+    assert_eq!(out1[0].data, out2[0].data);
+    // interior of a linear ramp: blur is the identity
+    assert_eq!(out1[0].at(&[10]), 10.0);
+}

@@ -7,12 +7,8 @@
 //! grouping (Algorithm 1). Only affine accesses are analyzed, exactly as in
 //! the paper; data-dependent indices are range-checked at run time instead.
 
-use polymage_ir::{
-    Expr, FuncBody, FuncId, Interval, Pipeline, Source, VarId,
-};
-use polymage_poly::{
-    access_image, extract_accesses, narrow_rect_by_cond, Access, Rect,
-};
+use polymage_ir::{Expr, FuncBody, FuncId, Interval, Pipeline, Source, VarId};
+use polymage_poly::{access_image, extract_accesses, narrow_rect_by_cond, Access, Rect};
 use std::fmt;
 
 /// One out-of-bounds access found by [`check_bounds`].
@@ -103,9 +99,7 @@ pub fn check_bounds(pipe: &Pipeline, params: &[i64]) -> Vec<BoundsViolation> {
                 let full = eval_dom(&fd.var_dom.dom, params);
                 for case in cases {
                     let region = match &case.cond {
-                        Some(c) => {
-                            narrow_rect_by_cond(c, &fd.var_dom.vars, &full, params).rect
-                        }
+                        Some(c) => narrow_rect_by_cond(c, &fd.var_dom.vars, &full, params).rect,
                         None => full.clone(),
                     };
                     if region.is_empty() {
@@ -119,8 +113,13 @@ pub fn check_bounds(pipe: &Pipeline, params: &[i64]) -> Vec<BoundsViolation> {
                     let _ = &mut exprs;
                     for e in exprs {
                         check_expr_accesses(
-                            pipe, fd.var_dom.vars.as_slice(), &fd.name, e, &region,
-                            params, &mut out,
+                            pipe,
+                            fd.var_dom.vars.as_slice(),
+                            &fd.name,
+                            e,
+                            &region,
+                            params,
+                            &mut out,
                         );
                     }
                 }
@@ -131,12 +130,16 @@ pub fn check_bounds(pipe: &Pipeline, params: &[i64]) -> Vec<BoundsViolation> {
                     continue;
                 }
                 check_expr_accesses(
-                    pipe, &acc.red_vars, &fd.name, &acc.value, &red, params, &mut out,
+                    pipe,
+                    &acc.red_vars,
+                    &fd.name,
+                    &acc.value,
+                    &red,
+                    params,
+                    &mut out,
                 );
                 for t in &acc.target {
-                    check_expr_accesses(
-                        pipe, &acc.red_vars, &fd.name, t, &red, params, &mut out,
-                    );
+                    check_expr_accesses(pipe, &acc.red_vars, &fd.name, t, &red, params, &mut out);
                 }
             }
         }
@@ -157,7 +160,10 @@ fn check_expr_accesses(
     // stage definition.
     let fake = polymage_ir::FuncDef {
         name: consumer.to_string(),
-        var_dom: polymage_ir::VarDom { vars: vars.to_vec(), dom: Vec::new() },
+        var_dom: polymage_ir::VarDom {
+            vars: vars.to_vec(),
+            dom: Vec::new(),
+        },
         ty: polymage_ir::ScalarType::Float,
         body: FuncBody::Cases(vec![polymage_ir::Case::always(e.clone())]),
     };
@@ -187,7 +193,9 @@ fn check_expr_accesses(
 /// Convenience: true when the pipeline has a self-referential stage `f`.
 /// (Used by the compiler to route such stages to sequential execution.)
 pub fn has_self_reference(pipe: &Pipeline, f: FuncId) -> bool {
-    extract_accesses(pipe.func(f)).iter().any(|a| a.src == Source::Func(f))
+    extract_accesses(pipe.func(f))
+        .iter()
+        .any(|a| a.src == Source::Func(f))
 }
 
 #[cfg(test)]
@@ -201,8 +209,11 @@ mod tests {
         // 3×3 stencil: in bounds.
         let mut p = PipelineBuilder::new("t");
         let (r, c) = (p.param("R"), p.param("C"));
-        let img =
-            p.image("I", ScalarType::Float, vec![PAff::param(r) + 2, PAff::param(c) + 2]);
+        let img = p.image(
+            "I",
+            ScalarType::Float,
+            vec![PAff::param(r) + 2, PAff::param(c) + 2],
+        );
         let (x, y) = (p.var("x"), p.var("y"));
         let row = Interval::new(PAff::cst(0), PAff::param(r) + 1);
         let col = Interval::new(PAff::cst(0), PAff::param(c) + 1);
@@ -242,7 +253,11 @@ mod tests {
         let f = p.func("f", &[(x, Interval::cst(0, 62))], ScalarType::Float);
         p.define(f, vec![Case::always(Expr::from(x))]).unwrap();
         let g = p.func("g", &[(x, Interval::cst(0, 31))], ScalarType::Float);
-        p.define(g, vec![Case::always(Expr::at(f, [2i64 * Expr::from(x) + 1]))]).unwrap();
+        p.define(
+            g,
+            vec![Case::always(Expr::at(f, [2i64 * Expr::from(x) + 1]))],
+        )
+        .unwrap();
         let pipe = p.finish(&[g]).unwrap();
         let vs = check_bounds(&pipe, &[]);
         assert_eq!(vs.len(), 1); // reads f(63), domain ends at 62
@@ -257,8 +272,14 @@ mod tests {
         let lut = p.func("lut", &[(x, Interval::cst(0, 255))], ScalarType::Float);
         p.define(lut, vec![Case::always(Expr::from(x))]).unwrap();
         let f = p.func("f", &[(x, Interval::cst(0, 99))], ScalarType::Float);
-        p.define(f, vec![Case::always(Expr::at(lut, [Expr::at(img, [Expr::from(x)])]))])
-            .unwrap();
+        p.define(
+            f,
+            vec![Case::always(Expr::at(
+                lut,
+                [Expr::at(img, [Expr::from(x)])],
+            ))],
+        )
+        .unwrap();
         let pipe = p.finish(&[f]).unwrap();
         assert!(check_bounds(&pipe, &[]).is_empty());
     }

@@ -1,8 +1,8 @@
 //! The stage graph: edges, topological order, and levels.
 
 use crate::GraphError;
-use polymage_poly::extract_accesses;
 use polymage_ir::{FuncId, Pipeline, Source};
+use polymage_poly::extract_accesses;
 
 /// The pipeline's directed acyclic graph of stages (Fig. 2 of the paper).
 ///
@@ -47,8 +47,10 @@ impl PipelineGraph {
         }
         // Kahn's algorithm for topological order + cycle detection.
         let mut indeg: Vec<usize> = producers.iter().map(|p| p.len()).collect();
-        let mut queue: Vec<FuncId> =
-            (0..n).filter(|&i| indeg[i] == 0).map(FuncId::from_index).collect();
+        let mut queue: Vec<FuncId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(FuncId::from_index)
+            .collect();
         let mut topo: Vec<FuncId> = Vec::with_capacity(n);
         let mut levels = vec![0usize; n];
         while let Some(f) = queue.pop() {
@@ -70,7 +72,13 @@ impl PipelineGraph {
         }
         // Stable order: by (level, declaration index) for reproducibility.
         topo.sort_by_key(|f| (levels[f.index()], f.index()));
-        Ok(PipelineGraph { producers, consumers, self_ref, levels, topo })
+        Ok(PipelineGraph {
+            producers,
+            consumers,
+            self_ref,
+            levels,
+            topo,
+        })
     }
 
     /// Stages `f` reads (excluding images and itself).
@@ -147,11 +155,14 @@ mod tests {
         let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
         p.define(a, vec![Case::always(Expr::from(x))]).unwrap();
         let b = p.func("b", &[(x, d.clone())], ScalarType::Float);
-        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]))]).unwrap();
+        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]))])
+            .unwrap();
         let c = p.func("c", &[(x, d)], ScalarType::Float);
         p.define(
             c,
-            vec![Case::always(Expr::at(b, [Expr::from(x)]) + Expr::at(a, [Expr::from(x)]))],
+            vec![Case::always(
+                Expr::at(b, [Expr::from(x)]) + Expr::at(a, [Expr::from(x)]),
+            )],
         )
         .unwrap();
         (p.finish(&[c]).unwrap(), vec![a, b, c])
@@ -177,8 +188,10 @@ mod tests {
         let d = Interval::cst(0, 9);
         let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
         let b = p.func("b", &[(x, d)], ScalarType::Float);
-        p.define(a, vec![Case::always(Expr::at(b, [Expr::from(x)]))]).unwrap();
-        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]))]).unwrap();
+        p.define(a, vec![Case::always(Expr::at(b, [Expr::from(x)]))])
+            .unwrap();
+        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]))])
+            .unwrap();
         let pipe = p.finish(&[b]).unwrap();
         match PipelineGraph::build(&pipe) {
             Err(GraphError::Cycle(names)) => {

@@ -22,8 +22,8 @@
 
 use crate::rewrite::{rewrite_calls, rewrite_calls_cond, subst_vars};
 use polymage_ir::{
-    visit_exprs, Case, Expr, FuncBody, FuncId, IrError, Pipeline, PipelineBuilder,
-    ScalarType, Source,
+    visit_exprs, Case, Expr, FuncBody, FuncId, IrError, Pipeline, PipelineBuilder, ScalarType,
+    Source,
 };
 use polymage_poly::{extract_accesses, AccessDim};
 use std::collections::{HashMap, HashSet};
@@ -295,7 +295,11 @@ pub fn inline_pointwise(pipe: &Pipeline) -> Result<(Pipeline, InlineReport), IrE
                 let acc = polymage_ir::Accumulate {
                     red_vars: acc.red_vars.clone(),
                     red_dom: acc.red_dom.clone(),
-                    target: acc.target.iter().map(|t| remap_expr(t, &func_map)).collect(),
+                    target: acc
+                        .target
+                        .iter()
+                        .map(|t| remap_expr(t, &func_map))
+                        .collect(),
                     value: remap_expr(&acc.value, &func_map),
                     op: acc.op,
                 };
@@ -305,12 +309,13 @@ pub fn inline_pointwise(pipe: &Pipeline) -> Result<(Pipeline, InlineReport), IrE
         };
         debug_assert_eq!(func_map[&f], nf, "survivor ids assigned in order");
     }
-    let live_outs: Vec<FuncId> =
-        pipe.live_outs().iter().map(|f| func_map[f]).collect();
+    let live_outs: Vec<FuncId> = pipe.live_outs().iter().map(|f| func_map[f]).collect();
     let new_pipe = b.finish(&live_outs)?;
 
-    let mut inlined: Vec<String> =
-        inlined_ids.iter().map(|f| pipe.func(*f).name.clone()).collect();
+    let mut inlined: Vec<String> = inlined_ids
+        .iter()
+        .map(|f| pipe.func(*f).name.clone())
+        .collect();
     inlined.sort();
     let mut dead: Vec<String> = pipe
         .func_ids()
@@ -318,7 +323,11 @@ pub fn inline_pointwise(pipe: &Pipeline) -> Result<(Pipeline, InlineReport), IrE
         .map(|f| pipe.func(f).name.clone())
         .collect();
     dead.sort();
-    let report = InlineReport { inlined, dead, func_map };
+    let report = InlineReport {
+        inlined,
+        dead,
+        func_map,
+    };
     Ok((new_pipe, report))
 }
 
@@ -333,8 +342,7 @@ fn substitute_call(
     if let Source::Func(f) = src {
         if let Some(body) = replacement.get(&f) {
             let fd = pipe.func(f);
-            let map: HashMap<_, _> =
-                fd.var_dom.vars.iter().copied().zip(args).collect();
+            let map: HashMap<_, _> = fd.var_dom.vars.iter().copied().zip(args).collect();
             return subst_vars(body, &map);
         }
     }
@@ -349,7 +357,9 @@ fn inline_expr(
     replacement: &HashMap<FuncId, Expr>,
     pipe: &Pipeline,
 ) -> Expr {
-    rewrite_calls(e, &mut |src, args| substitute_call(pipe, replacement, src, args))
+    rewrite_calls(e, &mut |src, args| {
+        substitute_call(pipe, replacement, src, args)
+    })
 }
 
 fn remap_expr(e: &Expr, map: &HashMap<FuncId, FuncId>) -> Expr {
@@ -392,7 +402,8 @@ mod tests {
         let x = p.var("x");
         let d = Interval::cst(1, 62);
         let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
-        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x)]))])
+            .unwrap();
         let sq = p.func("sq", &[(x, d.clone())], ScalarType::Float);
         let ax = Expr::at(a, [Expr::from(x)]);
         p.define(sq, vec![Case::always(ax.clone() * ax)]).unwrap();
@@ -422,11 +433,17 @@ mod tests {
         let d = Interval::cst(1, 62);
         // stencil stage: not point-wise
         let st = p.func("st", &[(x, d.clone())], ScalarType::Float);
-        p.define(st, vec![Case::always(Expr::at(img, [x - 1]) + Expr::at(img, [x + 1]))])
-            .unwrap();
+        p.define(
+            st,
+            vec![Case::always(
+                Expr::at(img, [x - 1]) + Expr::at(img, [x + 1]),
+            )],
+        )
+        .unwrap();
         // live-out point-wise stage: not inlined
         let out = p.func("out", &[(x, d.clone())], ScalarType::Float);
-        p.define(out, vec![Case::always(Expr::at(st, [Expr::from(x)]) * 2.0)]).unwrap();
+        p.define(out, vec![Case::always(Expr::at(st, [Expr::from(x)]) * 2.0)])
+            .unwrap();
         // reduction
         let acc = polymage_ir::Accumulate {
             red_vars: vec![x],
@@ -436,7 +453,12 @@ mod tests {
             op: polymage_ir::Reduction::Sum,
         };
         let h = p
-            .accumulator("hist", &[(bin, Interval::cst(0, 255))], ScalarType::Int, acc)
+            .accumulator(
+                "hist",
+                &[(bin, Interval::cst(0, 255))],
+                ScalarType::Int,
+                acc,
+            )
             .unwrap();
         let pipe = p.finish(&[out, h]).unwrap();
         let (np, rep) = inline_pointwise(&pipe).unwrap();
@@ -453,11 +475,15 @@ mod tests {
         let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
         p.define(
             g,
-            vec![Case::new(Expr::from(x).ge(8), Expr::at(img, [Expr::from(x)]) * 2.0)],
+            vec![Case::new(
+                Expr::from(x).ge(8),
+                Expr::at(img, [Expr::from(x)]) * 2.0,
+            )],
         )
         .unwrap();
         let out = p.func("out", &[(x, d)], ScalarType::Float);
-        p.define(out, vec![Case::always(Expr::at(g, [Expr::from(x)]) + 1.0)]).unwrap();
+        p.define(out, vec![Case::always(Expr::at(g, [Expr::from(x)]) + 1.0)])
+            .unwrap();
         let pipe = p.finish(&[out]).unwrap();
         let (np, rep) = inline_pointwise(&pipe).unwrap();
         assert_eq!(rep.inlined, vec!["g".to_string()]);
@@ -490,7 +516,8 @@ mod tests {
             let f = p.func(format!("s{i}"), &[(x, d.clone())], ScalarType::Float);
             // each stage doubles the body size: e = prev(x)*prev(x) + i
             let a = Expr::Call(prev, vec![Expr::from(x)]);
-            p.define(f, vec![Case::always(a.clone() * a + i as f64)]).unwrap();
+            p.define(f, vec![Case::always(a.clone() * a + i as f64)])
+                .unwrap();
             prev = f.into();
             last = Some(f);
         }
@@ -508,10 +535,17 @@ mod tests {
         let img = p.image("I", ScalarType::Float, vec![PAff::cst(64)]);
         let x = p.var("x");
         let lut = p.func("lut", &[(x, Interval::cst(0, 255))], ScalarType::Float);
-        p.define(lut, vec![Case::always(Expr::from(x) * 0.5)]).unwrap();
-        let out = p.func("out", &[(x, Interval::cst(0, 63))], ScalarType::Float);
-        p.define(out, vec![Case::always(Expr::at(lut, [Expr::at(img, [Expr::from(x)])]))])
+        p.define(lut, vec![Case::always(Expr::from(x) * 0.5)])
             .unwrap();
+        let out = p.func("out", &[(x, Interval::cst(0, 63))], ScalarType::Float);
+        p.define(
+            out,
+            vec![Case::always(Expr::at(
+                lut,
+                [Expr::at(img, [Expr::from(x)])],
+            ))],
+        )
+        .unwrap();
         let pipe = p.finish(&[out]).unwrap();
         let (np, rep) = inline_pointwise(&pipe).unwrap();
         assert!(rep.inlined.is_empty());
@@ -525,15 +559,23 @@ mod tests {
         let x = p.var("x");
         let d = Interval::cst(0, 63);
         let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
-        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x)]) + 1.0)]).unwrap();
+        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x)]) + 1.0)])
+            .unwrap();
         let b = p.func("b", &[(x, d.clone())], ScalarType::Float);
-        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]) * 2.0)]).unwrap();
+        p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x)]) * 2.0)])
+            .unwrap();
         // unused stencil stage (not inlinable, so exercised by DCE)
         let dead = p.func("unused", &[(x, Interval::cst(1, 62))], ScalarType::Float);
-        p.define(dead, vec![Case::always(Expr::at(img, [x - 1]) + Expr::at(img, [x + 1]))])
-            .unwrap();
+        p.define(
+            dead,
+            vec![Case::always(
+                Expr::at(img, [x - 1]) + Expr::at(img, [x + 1]),
+            )],
+        )
+        .unwrap();
         let out = p.func("out", &[(x, d)], ScalarType::Float);
-        p.define(out, vec![Case::always(Expr::at(b, [Expr::from(x)]) - 3.0)]).unwrap();
+        p.define(out, vec![Case::always(Expr::at(b, [Expr::from(x)]) - 3.0)])
+            .unwrap();
         let pipe = p.finish(&[out]).unwrap();
         let (np, rep) = inline_pointwise(&pipe).unwrap();
         assert_eq!(np.funcs().len(), 1);

@@ -19,7 +19,11 @@ fn paff_str(pipe: &Pipeline, a: &PAff) -> String {
         if q >= 0 && !first {
             s.push('+');
         }
-        let name = pipe.params().get(p.index()).map(String::as_str).unwrap_or("?");
+        let name = pipe
+            .params()
+            .get(p.index())
+            .map(String::as_str)
+            .unwrap_or("?");
         match q {
             1 => s.push_str(name),
             -1 => {
@@ -72,9 +76,23 @@ fn write_expr(pipe: &Pipeline, e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Res
                 write!(f, "{c}")
             }
         }
-        Expr::Var(v) => write!(f, "{}", pipe.vars().get(v.index()).map(String::as_str).unwrap_or("?")),
+        Expr::Var(v) => write!(
+            f,
+            "{}",
+            pipe.vars()
+                .get(v.index())
+                .map(String::as_str)
+                .unwrap_or("?")
+        ),
         Expr::Param(p) => {
-            write!(f, "{}", pipe.params().get(p.index()).map(String::as_str).unwrap_or("?"))
+            write!(
+                f,
+                "{}",
+                pipe.params()
+                    .get(p.index())
+                    .map(String::as_str)
+                    .unwrap_or("?")
+            )
         }
         Expr::Call(src, args) => {
             write!(f, "{}(", pipe.source_name(*src))?;
@@ -207,8 +225,7 @@ impl fmt::Display for PipelineDisplay<'_> {
             writeln!(f, "  params: {}", p.params().join(", "))?;
         }
         for img in p.images() {
-            let dims: Vec<String> =
-                img.extents.iter().map(|e| paff_str(p, e)).collect();
+            let dims: Vec<String> = img.extents.iter().map(|e| paff_str(p, e)).collect();
             writeln!(f, "  image {}: {} [{}]", img.name, img.ty, dims.join(", "))?;
         }
         for fd in p.funcs() {
@@ -218,8 +235,12 @@ impl fmt::Display for PipelineDisplay<'_> {
                 .iter()
                 .map(|v| p.vars().get(v.index()).map(String::as_str).unwrap_or("?"))
                 .collect();
-            let doms: Vec<String> =
-                fd.var_dom.dom.iter().map(|iv| interval_str(p, iv)).collect();
+            let doms: Vec<String> = fd
+                .var_dom
+                .dom
+                .iter()
+                .map(|iv| interval_str(p, iv))
+                .collect();
             writeln!(
                 f,
                 "  {}({}) : {} over {}",
@@ -248,8 +269,11 @@ impl fmt::Display for PipelineDisplay<'_> {
                         .iter()
                         .map(|v| p.vars().get(v.index()).map(String::as_str).unwrap_or("?"))
                         .collect();
-                    let targets: Vec<String> =
-                        acc.target.iter().map(|t| p.display_expr(t).to_string()).collect();
+                    let targets: Vec<String> = acc
+                        .target
+                        .iter()
+                        .map(|t| p.display_expr(t).to_string())
+                        .collect();
                     writeln!(
                         f,
                         "    reduce({:?}) over ({}) : [{}] <- {}",
@@ -261,8 +285,11 @@ impl fmt::Display for PipelineDisplay<'_> {
                 }
             }
         }
-        let outs: Vec<String> =
-            p.live_outs().iter().map(|&o| p.func(o).name.clone()).collect();
+        let outs: Vec<String> = p
+            .live_outs()
+            .iter()
+            .map(|&o| p.func(o).name.clone())
+            .collect();
         writeln!(f, "  live-out: {}", outs.join(", "))?;
         write!(f, "}}")
     }
@@ -298,7 +325,9 @@ mod tests {
             value: Expr::Const(1.0),
             op: Reduction::Sum,
         };
-        let h = p.accumulator("h", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc).unwrap();
+        let h = p
+            .accumulator("h", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc)
+            .unwrap();
         p.finish(&[f, h]).unwrap()
     }
 

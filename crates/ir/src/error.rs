@@ -61,16 +61,27 @@ impl fmt::Display for IrError {
             IrError::UnknownLiveOut(n) => {
                 write!(f, "live-out `{n}` does not belong to this pipeline")
             }
-            IrError::DomainArityMismatch { func, vars, intervals } => write!(
+            IrError::DomainArityMismatch {
+                func,
+                vars,
+                intervals,
+            } => write!(
                 f,
                 "function `{func}` declares {vars} variables but {intervals} intervals"
             ),
             IrError::EmptyCases(n) => write!(f, "function `{n}` defined with no cases"),
             IrError::NoLiveOuts => write!(f, "pipeline has no live-out functions"),
             IrError::RepeatedVariable { func, var } => {
-                write!(f, "function `{func}` repeats variable `{var}` in its domain")
+                write!(
+                    f,
+                    "function `{func}` repeats variable `{var}` in its domain"
+                )
             }
-            IrError::TargetArityMismatch { func, targets, dims } => write!(
+            IrError::TargetArityMismatch {
+                func,
+                targets,
+                dims,
+            } => write!(
                 f,
                 "accumulator `{func}` has {targets} target indices for {dims} dimensions"
             ),

@@ -111,6 +111,11 @@ impl Expr {
     }
 
     /// Euclidean remainder.
+    ///
+    /// Deliberately a named method, not `std::ops::Rem`: Rust's `%` is a
+    /// truncated remainder and implementing the trait would suggest those
+    /// semantics.
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(self, other: impl Into<Expr>) -> Expr {
         Expr::Binary(BinOp::Mod, Box::new(self), Box::new(other.into()))
     }
@@ -167,7 +172,11 @@ impl Expr {
 
     /// Conditional selection, the DSL's `Select(cond, a, b)`.
     pub fn select(cond: Cond, then: impl Into<Expr>, otherwise: impl Into<Expr>) -> Expr {
-        Expr::Select(Box::new(cond), Box::new(then.into()), Box::new(otherwise.into()))
+        Expr::Select(
+            Box::new(cond),
+            Box::new(then.into()),
+            Box::new(otherwise.into()),
+        )
     }
 
     /// `self < other`.

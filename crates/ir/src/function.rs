@@ -20,12 +20,18 @@ pub struct Case {
 impl Case {
     /// A guarded case.
     pub fn new(cond: Cond, expr: impl Into<Expr>) -> Self {
-        Case { cond: Some(cond), expr: expr.into() }
+        Case {
+            cond: Some(cond),
+            expr: expr.into(),
+        }
     }
 
     /// An unguarded case covering the whole domain.
     pub fn always(expr: impl Into<Expr>) -> Self {
-        Case { cond: None, expr: expr.into() }
+        Case {
+            cond: None,
+            expr: expr.into(),
+        }
     }
 }
 

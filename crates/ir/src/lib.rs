@@ -53,6 +53,7 @@ mod function;
 mod id;
 mod paff;
 mod pipeline;
+mod stable_hash;
 mod stencil;
 mod types;
 mod visit;
@@ -65,6 +66,7 @@ pub use function::{Accumulate, Case, FuncBody, FuncDef, Reduction, VarDom};
 pub use id::{FuncId, ImageId, ParamId, Source, VarId};
 pub use paff::{Interval, PAff};
 pub use pipeline::{ImageDecl, Pipeline, PipelineBuilder};
+pub use stable_hash::{StableHash, StableHasher};
 pub use stencil::{stencil, stencil_1d, stencil_sep};
 pub use types::ScalarType;
 pub use visit::{visit_cond, visit_exprs, visit_func_exprs, ExprVisitor};

@@ -41,12 +41,20 @@ fn gcd(a: i64, b: i64) -> i64 {
 impl PAff {
     /// A constant expression.
     pub fn cst(c: i64) -> Self {
-        PAff { num_c: c, terms: Vec::new(), den: 1 }
+        PAff {
+            num_c: c,
+            terms: Vec::new(),
+            den: 1,
+        }
     }
 
     /// A single parameter.
     pub fn param(p: ParamId) -> Self {
-        PAff { num_c: 0, terms: vec![(p, 1)], den: 1 }
+        PAff {
+            num_c: 0,
+            terms: vec![(p, 1)],
+            den: 1,
+        }
     }
 
     fn normalize(mut self) -> Self {
@@ -162,7 +170,12 @@ impl Add for PAff {
         let mut terms: Vec<(ParamId, i64)> =
             self.terms.into_iter().map(|(p, a)| (p, a * ls)).collect();
         terms.extend(rhs.terms.into_iter().map(|(p, a)| (p, a * rs)));
-        PAff { num_c: self.num_c * ls + rhs.num_c * rs, terms, den }.normalize()
+        PAff {
+            num_c: self.num_c * ls + rhs.num_c * rs,
+            terms,
+            den,
+        }
+        .normalize()
     }
 }
 
@@ -265,7 +278,10 @@ pub struct Interval {
 impl Interval {
     /// Creates an interval `[lo, hi]`.
     pub fn new(lo: impl Into<PAff>, hi: impl Into<PAff>) -> Self {
-        Interval { lo: lo.into(), hi: hi.into() }
+        Interval {
+            lo: lo.into(),
+            hi: hi.into(),
+        }
     }
 
     /// A constant interval.

@@ -58,7 +58,11 @@ impl PipelineBuilder {
         ty: ScalarType,
         extents: Vec<PAff>,
     ) -> ImageId {
-        self.images.push(ImageDecl { name: name.into(), ty, extents });
+        self.images.push(ImageDecl {
+            name: name.into(),
+            ty,
+            extents,
+        });
         ImageId((self.images.len() - 1) as u32)
     }
 
@@ -282,6 +286,25 @@ impl Pipeline {
             Source::Image(i) => self.images[i.index()].extents.len(),
         }
     }
+
+    /// A deterministic structural hash of the whole specification.
+    ///
+    /// Two pipelines built through identical builder calls hash equal, and
+    /// the hash is stable across processes and platforms (no random state),
+    /// which is what makes it usable as a compile-cache key in
+    /// `polymage_core::Session`. Any structural change — a constant, a
+    /// domain bound, a stage name, the live-out set — changes the hash.
+    pub fn content_hash(&self) -> u64 {
+        use crate::stable_hash::{StableHash, StableHasher};
+        let mut h = StableHasher::new();
+        self.name.stable_hash(&mut h);
+        self.params.stable_hash(&mut h);
+        self.images.stable_hash(&mut h);
+        self.vars.stable_hash(&mut h);
+        self.funcs.stable_hash(&mut h);
+        self.live_outs.stable_hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -293,14 +316,26 @@ mod tests {
         let mut p = PipelineBuilder::new("t");
         let r = p.param("R");
         let c = p.param("C");
-        let img =
-            p.image("I", ScalarType::Float, vec![PAff::param(r) + 2, PAff::param(c) + 2]);
+        let img = p.image(
+            "I",
+            ScalarType::Float,
+            vec![PAff::param(r) + 2, PAff::param(c) + 2],
+        );
         let x = p.var("x");
         let y = p.var("y");
         let row = Interval::new(PAff::cst(0), PAff::param(r) + 1);
         let col = Interval::new(PAff::cst(0), PAff::param(c) + 1);
-        let g = p.func("g", &[(x, row.clone()), (y, col.clone())], ScalarType::Float);
-        let e = stencil(img, &[x, y], 1.0 / 12.0, &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]);
+        let g = p.func(
+            "g",
+            &[(x, row.clone()), (y, col.clone())],
+            ScalarType::Float,
+        );
+        let e = stencil(
+            img,
+            &[x, y],
+            1.0 / 12.0,
+            &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]],
+        );
         let cond = Expr::from(x).ge(1)
             & Expr::from(x).le(Expr::Param(r))
             & Expr::from(y).ge(1)
@@ -356,7 +391,10 @@ mod tests {
         let mut p = PipelineBuilder::new("t");
         let x = p.var("x");
         let f = p.func("f", &[(x, Interval::cst(0, 10))], ScalarType::Float);
-        assert_eq!(p.define(f, vec![]).unwrap_err(), IrError::EmptyCases("f".into()));
+        assert_eq!(
+            p.define(f, vec![]).unwrap_err(),
+            IrError::EmptyCases("f".into())
+        );
         p.define(f, vec![Case::always(1.0)]).unwrap();
         assert_eq!(p.clone().finish(&[]).unwrap_err(), IrError::NoLiveOuts);
     }
@@ -371,7 +409,10 @@ mod tests {
             ScalarType::Float,
         );
         p.define(f, vec![Case::always(1.0)]).unwrap();
-        assert!(matches!(p.finish(&[f]), Err(IrError::RepeatedVariable { .. })));
+        assert!(matches!(
+            p.finish(&[f]),
+            Err(IrError::RepeatedVariable { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Deterministic structural hashing of pipeline specifications.
+//!
+//! `polymage_core::Session` keys its compile cache by a content hash of the
+//! `(Pipeline, params, CompileOptions)` triple, so the hash must be *stable*:
+//! identical across processes, runs, and platforms. `std::hash::Hash` with
+//! the default `RandomState` is per-process seeded and therefore unusable;
+//! this module provides [`StableHasher`] (a fixed splitmix64-mixing hasher)
+//! and the [`StableHash`] trait with implementations for every IR type that
+//! can appear in a [`Pipeline`](crate::Pipeline).
+//!
+//! Conventions that make the hash well-defined:
+//!
+//! - enum variants contribute an explicit literal tag byte (never a compiler
+//!   discriminant),
+//! - `f64` constants hash by [`f64::to_bits`], so `0.0` and `-0.0` are
+//!   distinct and NaNs hash by payload,
+//! - every variable-length sequence hashes its length first, so adjacent
+//!   collections cannot alias each other.
+
+use crate::{
+    Accumulate, Case, Cond, Expr, FuncBody, FuncDef, ImageDecl, Interval, PAff, Source, VarDom,
+};
+
+/// A deterministic 64-bit streaming hasher (no per-process seeding).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    // splitmix64 finalizer
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StableHasher {
+    /// A hasher with the fixed initial state.
+    pub fn new() -> Self {
+        StableHasher {
+            state: 0x243F_6A88_85A3_08D3,
+        } // pi digits
+    }
+
+    /// Absorbs 64 bits.
+    pub fn write_u64(&mut self, v: u64) {
+        self.state = mix(self.state.rotate_left(5) ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+
+    /// Absorbs a tag / small integer.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a signed integer.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a length or index (usize hashed as u64 for portability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs a float by bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string (length-prefixed).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        // Hash 8 bytes at a time; the length prefix disambiguates tails.
+        let mut chunks = s.as_bytes().chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.write_u64(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let mut tail = [0u8; 8];
+        let rem = chunks.remainder();
+        tail[..rem.len()].copy_from_slice(rem);
+        if !rem.is_empty() {
+            self.write_u64(u64::from_le_bytes(tail));
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        mix(self.state)
+    }
+}
+
+/// Types with a deterministic structural hash.
+pub trait StableHash {
+    /// Feeds this value's structure into the hasher.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+impl StableHash for u64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl StableHash for i64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_i64(*self);
+    }
+}
+
+impl StableHash for f64 {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(*self);
+    }
+}
+
+impl StableHash for bool {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl StableHash for usize {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(*self);
+    }
+}
+
+impl StableHash for str {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl StableHash for String {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: StableHash> StableHash for [T] {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.len());
+        for v in self {
+            v.stable_hash(h);
+        }
+    }
+}
+
+impl<T: StableHash> StableHash for Vec<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.as_slice().stable_hash(h);
+    }
+}
+
+impl<T: StableHash> StableHash for Option<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<A: StableHash, B: StableHash> StableHash for (A, B) {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.0.stable_hash(h);
+        self.1.stable_hash(h);
+    }
+}
+
+macro_rules! stable_hash_ids {
+    ($($t:ty),+) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_usize(self.index());
+            }
+        }
+    )+};
+}
+
+stable_hash_ids!(crate::FuncId, crate::ImageId, crate::ParamId, crate::VarId);
+
+macro_rules! stable_hash_tag_enums {
+    ($($t:ty),+) => {$(
+        impl StableHash for $t {
+            fn stable_hash(&self, h: &mut StableHasher) {
+                h.write_u8(*self as u8);
+            }
+        }
+    )+};
+}
+
+stable_hash_tag_enums!(
+    crate::UnOp,
+    crate::BinOp,
+    crate::CmpOp,
+    crate::Reduction,
+    crate::ScalarType
+);
+
+impl StableHash for Source {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Source::Func(f) => {
+                h.write_u8(0);
+                f.stable_hash(h);
+            }
+            Source::Image(i) => {
+                h.write_u8(1);
+                i.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for PAff {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        // PAff is kept normalized, so structural hashing is semantic.
+        h.write_i64(self.num_const());
+        h.write_i64(self.denominator());
+        let terms: Vec<_> = self.terms().collect();
+        h.write_usize(terms.len());
+        for (p, a) in terms {
+            p.stable_hash(h);
+            h.write_i64(a);
+        }
+    }
+}
+
+impl StableHash for Interval {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.lo.stable_hash(h);
+        self.hi.stable_hash(h);
+    }
+}
+
+impl StableHash for Expr {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Expr::Const(v) => {
+                h.write_u8(0);
+                h.write_f64(*v);
+            }
+            Expr::Var(v) => {
+                h.write_u8(1);
+                v.stable_hash(h);
+            }
+            Expr::Param(p) => {
+                h.write_u8(2);
+                p.stable_hash(h);
+            }
+            Expr::Call(src, args) => {
+                h.write_u8(3);
+                src.stable_hash(h);
+                args.stable_hash(h);
+            }
+            Expr::Unary(op, a) => {
+                h.write_u8(4);
+                op.stable_hash(h);
+                a.stable_hash(h);
+            }
+            Expr::Binary(op, a, b) => {
+                h.write_u8(5);
+                op.stable_hash(h);
+                a.stable_hash(h);
+                b.stable_hash(h);
+            }
+            Expr::Select(c, a, b) => {
+                h.write_u8(6);
+                c.stable_hash(h);
+                a.stable_hash(h);
+                b.stable_hash(h);
+            }
+            Expr::Cast(ty, a) => {
+                h.write_u8(7);
+                ty.stable_hash(h);
+                a.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for Cond {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Cond::Cmp(op, a, b) => {
+                h.write_u8(0);
+                op.stable_hash(h);
+                a.stable_hash(h);
+                b.stable_hash(h);
+            }
+            Cond::And(a, b) => {
+                h.write_u8(1);
+                a.stable_hash(h);
+                b.stable_hash(h);
+            }
+            Cond::Or(a, b) => {
+                h.write_u8(2);
+                a.stable_hash(h);
+                b.stable_hash(h);
+            }
+            Cond::Not(a) => {
+                h.write_u8(3);
+                a.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: StableHash + ?Sized> StableHash for Box<T> {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        (**self).stable_hash(h);
+    }
+}
+
+impl StableHash for Case {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.cond.stable_hash(h);
+        self.expr.stable_hash(h);
+    }
+}
+
+impl StableHash for Accumulate {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.red_vars.stable_hash(h);
+        self.red_dom.stable_hash(h);
+        self.target.stable_hash(h);
+        self.value.stable_hash(h);
+        self.op.stable_hash(h);
+    }
+}
+
+impl StableHash for FuncBody {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            FuncBody::Undefined => h.write_u8(0),
+            FuncBody::Cases(cs) => {
+                h.write_u8(1);
+                cs.stable_hash(h);
+            }
+            FuncBody::Reduce(acc) => {
+                h.write_u8(2);
+                acc.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for VarDom {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.vars.stable_hash(h);
+        self.dom.stable_hash(h);
+    }
+}
+
+impl StableHash for FuncDef {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.name.stable_hash(h);
+        self.var_dom.stable_hash(h);
+        self.ty.stable_hash(h);
+        self.body.stable_hash(h);
+    }
+}
+
+impl StableHash for ImageDecl {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.name.stable_hash(h);
+        self.ty.stable_hash(h);
+        self.extents.stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PipelineBuilder, ScalarType};
+
+    fn tiny(weight: f64) -> crate::Pipeline {
+        let mut p = PipelineBuilder::new("tiny");
+        let img = p.image("in", ScalarType::Float, vec![PAff::cst(16)]);
+        let x = p.var("x");
+        let f = p.func("f", &[(x, Interval::cst(1, 14))], ScalarType::Float);
+        let e = (Expr::at(img, [x - 1]) + Expr::at(img, [x + 1])) * weight;
+        p.define(f, vec![Case::always(e)]).unwrap();
+        p.finish(&[f]).unwrap()
+    }
+
+    #[test]
+    fn identical_pipelines_hash_equal() {
+        assert_eq!(tiny(0.5).content_hash(), tiny(0.5).content_hash());
+    }
+
+    #[test]
+    fn constant_change_hash_differs() {
+        assert_ne!(tiny(0.5).content_hash(), tiny(0.25).content_hash());
+    }
+
+    #[test]
+    fn sign_of_zero_distinguished() {
+        assert_ne!(tiny(0.0).content_hash(), tiny(-0.0).content_hash());
+    }
+
+    #[test]
+    fn length_prefix_prevents_sequence_aliasing() {
+        let mut a = StableHasher::new();
+        vec!["ab".to_string(), "c".to_string()].stable_hash(&mut a);
+        let mut b = StableHasher::new();
+        vec!["a".to_string(), "bc".to_string()].stable_hash(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -21,7 +21,10 @@ pub fn stencil<S, const N: usize>(
 where
     S: Into<Source>,
 {
-    assert!(!kernel.is_empty() && N > 0, "stencil kernel must be non-empty");
+    assert!(
+        !kernel.is_empty() && N > 0,
+        "stencil kernel must be non-empty"
+    );
     let src = src.into();
     let (kx, ky) = ((kernel.len() as i64 - 1) / 2, (N as i64 - 1) / 2);
     let mut sum: Option<Expr> = None;
@@ -30,8 +33,7 @@ where
             if w == 0 {
                 continue;
             }
-            let access =
-                Expr::at(src, [vars[0] + (i as i64 - kx), vars[1] + (j as i64 - ky)]);
+            let access = Expr::at(src, [vars[0] + (i as i64 - kx), vars[1] + (j as i64 - ky)]);
             let term = if w == 1 { access } else { access * w as f64 };
             sum = Some(match sum {
                 None => term,
@@ -72,7 +74,13 @@ where
         let args: Vec<Expr> = vars
             .iter()
             .enumerate()
-            .map(|(d, &v)| if d == axis { v + (i as i64 - k) } else { Expr::Var(v) })
+            .map(|(d, &v)| {
+                if d == axis {
+                    v + (i as i64 - k)
+                } else {
+                    Expr::Var(v)
+                }
+            })
             .collect();
         let access = Expr::at(src, args);
         let term = if w == 1.0 { access } else { access * w };
@@ -99,7 +107,10 @@ pub fn stencil_sep<S>(src: S, vars: &[VarId; 2], wx: &[f64], wy: &[f64]) -> Expr
 where
     S: Into<Source>,
 {
-    assert!(!wx.is_empty() && !wy.is_empty(), "tap vectors must be non-empty");
+    assert!(
+        !wx.is_empty() && !wy.is_empty(),
+        "tap vectors must be non-empty"
+    );
     let src = src.into();
     let (kx, ky) = ((wx.len() as i64 - 1) / 2, (wy.len() as i64 - 1) / 2);
     let mut sum: Option<Expr> = None;
@@ -109,8 +120,7 @@ where
             if w == 0.0 {
                 continue;
             }
-            let access =
-                Expr::at(src, [vars[0] + (i as i64 - kx), vars[1] + (j as i64 - ky)]);
+            let access = Expr::at(src, [vars[0] + (i as i64 - kx), vars[1] + (j as i64 - ky)]);
             sum = Some(match sum {
                 None => access * w,
                 Some(s) => s + access * w,
@@ -140,7 +150,12 @@ mod tests {
         let img = ImageId::from_index(0);
         let vars = [VarId::from_index(0), VarId::from_index(1)];
         // Sobel-like kernel with a zero column
-        let e = stencil(img, &vars, 1.0 / 12.0, &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]);
+        let e = stencil(
+            img,
+            &vars,
+            1.0 / 12.0,
+            &[[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]],
+        );
         assert_eq!(count_calls(&e), 6);
     }
 

@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn saturation_ranges() {
         assert_eq!(ScalarType::UChar.saturation_range(), Some((0.0, 255.0)));
-        assert_eq!(ScalarType::Short.saturation_range(), Some((-32768.0, 32767.0)));
+        assert_eq!(
+            ScalarType::Short.saturation_range(),
+            Some((-32768.0, 32767.0))
+        );
         assert_eq!(ScalarType::Float.saturation_range(), None);
         assert_eq!(ScalarType::Int.saturation_range(), None);
     }

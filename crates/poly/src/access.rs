@@ -95,7 +95,8 @@ mod tests {
         let x = p.var("x");
         let img = p.image("I", ScalarType::Float, vec![polymage_ir::PAff::cst(100)]);
         let lut = p.func("lut", &[(x, Interval::cst(0, 255))], ScalarType::Float);
-        p.define(lut, vec![Case::always(Expr::from(x) * 2.0)]).unwrap();
+        p.define(lut, vec![Case::always(Expr::from(x) * 2.0)])
+            .unwrap();
         let f = p.func("f", &[(x, Interval::cst(0, 99))], ScalarType::Float);
         // data-dependent access: lut(I(x))
         let e = Expr::at(lut, [Expr::at(img, [Expr::from(x)])]);

@@ -119,7 +119,10 @@ impl fmt::Display for AlignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AlignError::ScaleConflict { func, dim } => {
-                write!(f, "conflicting schedule scales for `{func}` dimension {dim}")
+                write!(
+                    f,
+                    "conflicting schedule scales for `{func}` dimension {dim}"
+                )
             }
             AlignError::PlacementConflict { func, dim } => {
                 write!(f, "conflicting alignment for `{func}` dimension {dim}")
@@ -173,7 +176,12 @@ pub fn solve_alignment(
     // The sink is the reference: identity alignment.
     maps.insert(
         sink,
-        (0..ndims).map(|d| DimMap::Grouped { gdim: d, scale: Ratio::ONE }).collect(),
+        (0..ndims)
+            .map(|d| DimMap::Grouped {
+                gdim: d,
+                scale: Ratio::ONE,
+            })
+            .collect(),
     );
 
     // Process consumers before producers: reverse topological order of the
@@ -263,8 +271,16 @@ fn apply_access_constraints(
         let required = sc * Ratio::new(a.den, q);
         let pmap = maps.get_mut(&p).expect("producer in group");
         match pmap[j] {
-            DimMap::Free => pmap[j] = DimMap::Grouped { gdim, scale: required },
-            DimMap::Grouped { gdim: g2, scale: s2 } => {
+            DimMap::Free => {
+                pmap[j] = DimMap::Grouped {
+                    gdim,
+                    scale: required,
+                }
+            }
+            DimMap::Grouped {
+                gdim: g2,
+                scale: s2,
+            } => {
                 if g2 != gdim {
                     return Err(AlignError::PlacementConflict {
                         func: pipe.func(p).name.clone(),
@@ -370,10 +386,14 @@ mod tests {
         let img = p.image("in", ScalarType::Float, vec![polymage_ir::PAff::param(n)]);
         let x = p.var("x");
         let dom = |k: i64| {
-            Interval::new(polymage_ir::PAff::cst(2), polymage_ir::PAff::param(n) / k - 2)
+            Interval::new(
+                polymage_ir::PAff::cst(2),
+                polymage_ir::PAff::param(n) / k - 2,
+            )
         };
         let f = p.func("f", &[(x, dom(1))], ScalarType::Float);
-        p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x)]))])
+            .unwrap();
         let g = p.func("g", &[(x, dom(2))], ScalarType::Float);
         p.define(
             g,
@@ -391,9 +411,11 @@ mod tests {
         )
         .unwrap();
         let fup = p.func("fup", &[(x, dom(2))], ScalarType::Float);
-        p.define(fup, vec![Case::always(Expr::at(h, [Expr::from(x) / 2]))]).unwrap();
+        p.define(fup, vec![Case::always(Expr::at(h, [Expr::from(x) / 2]))])
+            .unwrap();
         let fout = p.func("fout", &[(x, dom(1))], ScalarType::Float);
-        p.define(fout, vec![Case::always(Expr::at(fup, [Expr::from(x) / 2]))]).unwrap();
+        p.define(fout, vec![Case::always(Expr::at(fup, [Expr::from(x) / 2]))])
+            .unwrap();
         let pipe = p.finish(&[fout]).unwrap();
         (pipe, vec![f, g, h, fup, fout], vec![fout][0])
     }
@@ -421,7 +443,8 @@ mod tests {
         let (x, y) = (p.var("x"), p.var("y"));
         let d = Interval::cst(0, 63);
         let g = p.func("g", &[(x, d.clone()), (y, d.clone())], ScalarType::Float);
-        p.define(g, vec![Case::always(Expr::from(x) + Expr::from(y))]).unwrap();
+        p.define(g, vec![Case::always(Expr::from(x) + Expr::from(y))])
+            .unwrap();
         let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
         p.define(
             f,
@@ -467,7 +490,8 @@ mod tests {
             &[(c, Interval::cst(0, 2)), (x, d.clone()), (y, d.clone())],
             ScalarType::Float,
         );
-        p.define(rgb, vec![Case::always(Expr::from(x) * 1.0)]).unwrap();
+        p.define(rgb, vec![Case::always(Expr::from(x) * 1.0)])
+            .unwrap();
         let gray = p.func("gray", &[(x, d.clone()), (y, d)], ScalarType::Float);
         p.define(
             gray,
@@ -494,7 +518,8 @@ mod tests {
         let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
         p.define(g, vec![Case::always(Expr::from(x))]).unwrap();
         let f = p.func("f", &[(x, d)], ScalarType::Float);
-        p.define(f, vec![Case::always(Expr::at(g, [x + Expr::Param(n)]))]).unwrap();
+        p.define(f, vec![Case::always(Expr::at(g, [x + Expr::Param(n)]))])
+            .unwrap();
         let pipe = p.finish(&[f]).unwrap();
         let err = solve_alignment(&pipe, &[g, f], f).unwrap_err();
         assert_eq!(err, AlignError::ParametricOffset { func: "f".into() });
@@ -508,7 +533,8 @@ mod tests {
         let g = p.func("g", &[(x, d.clone())], ScalarType::Float);
         p.define(g, vec![Case::always(Expr::from(x))]).unwrap();
         let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
-        p.define(f, vec![Case::always(Expr::at(g, [x + Expr::from(y)]))]).unwrap();
+        p.define(f, vec![Case::always(Expr::at(g, [x + Expr::from(y)]))])
+            .unwrap();
         let pipe = p.finish(&[f]).unwrap();
         let err = solve_alignment(&pipe, &[g, f], f).unwrap_err();
         assert_eq!(err, AlignError::MultiVariableIndex { func: "f".into() });
@@ -522,8 +548,11 @@ mod tests {
         let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
         p.define(a, vec![Case::always(Expr::from(x))]).unwrap();
         let b = p.func("b", &[(x, d)], ScalarType::Float);
-        p.define(b, vec![Case::always(Expr::at(a, [x - 1]) + Expr::at(a, [x + 1]))])
-            .unwrap();
+        p.define(
+            b,
+            vec![Case::always(Expr::at(a, [x - 1]) + Expr::at(a, [x + 1]))],
+        )
+        .unwrap();
         let pipe = p.finish(&[b]).unwrap();
         let al = solve_alignment(&pipe, &[a, b], b).unwrap();
         assert_eq!(al.scale_on(a, 0), Some(Ratio::ONE));

@@ -64,7 +64,11 @@ pub fn narrow_rect_by_cond(
             _ => exact = false,
         }
     }
-    NarrowedRect { rect: out, exact, steps }
+    NarrowedRect {
+        rect: out,
+        exact,
+        steps,
+    }
 }
 
 /// Recognizes `v % m == k` (with `%` the DSL's euclidean remainder) as a
@@ -85,7 +89,9 @@ fn apply_stride(
         (_, Expr::Binary(BinOp::Mod, _, _)) => (b, a),
         _ => return false,
     };
-    let Expr::Binary(BinOp::Mod, inner, modulus) = lhs else { return false };
+    let Expr::Binary(BinOp::Mod, inner, modulus) = lhs else {
+        return false;
+    };
     let (Some(va), Some(vm), Some(vk)) = (
         VAff::from_expr(inner),
         VAff::from_expr(modulus),
@@ -94,20 +100,32 @@ fn apply_stride(
         return false;
     };
     // inner must be a bare variable; modulus and phase plain constants
-    let Some((v, 1)) = va.single_var() else { return false };
+    let Some((v, 1)) = va.single_var() else {
+        return false;
+    };
     if va.den != 1 || va.cst.as_const() != Some(0) {
         return false;
     }
     let (Some(m), Some(k)) = (
-        if vm.is_const() && vm.den == 1 { vm.cst.as_const() } else { None },
-        if vk.is_const() && vk.den == 1 { vk.cst.as_const() } else { None },
+        if vm.is_const() && vm.den == 1 {
+            vm.cst.as_const()
+        } else {
+            None
+        },
+        if vk.is_const() && vk.den == 1 {
+            vk.cst.as_const()
+        } else {
+            None
+        },
     ) else {
         return false;
     };
     if m <= 1 || !(0..m).contains(&k) {
         return false;
     }
-    let Some(d) = vars.iter().position(|&u| u == v) else { return false };
+    let Some(d) = vars.iter().position(|&u| u == v) else {
+        return false;
+    };
     if steps[d] != (1, 0) {
         return false; // don't compose multiple strides on one dim
     }
@@ -215,10 +233,8 @@ mod tests {
     #[test]
     fn rectangular_guard_is_exact() {
         let (x, y) = (v(0), v(1));
-        let cond = Expr::from(x).ge(1)
-            & Expr::from(x).le(10)
-            & Expr::from(y).ge(2)
-            & Expr::from(y).le(20);
+        let cond =
+            Expr::from(x).ge(1) & Expr::from(x).le(10) & Expr::from(y).ge(2) & Expr::from(y).le(20);
         let r = Rect::new(vec![(0, 100), (0, 100)]);
         let n = narrow_rect_by_cond(&cond, &[x, y], &r, &[]);
         assert!(n.exact);

@@ -35,8 +35,8 @@ mod condbox;
 mod overlap;
 mod prop;
 mod ratio;
-mod tiling;
 mod rect;
+mod tiling;
 mod vaff;
 
 pub use access::{extract_accesses, Access, AccessDim};
@@ -45,6 +45,6 @@ pub use condbox::{narrow_rect_by_cond, NarrowedRect};
 pub use overlap::{group_overlap, DimOverlap, GroupOverlap};
 pub use prop::{access_image, required_region};
 pub use ratio::Ratio;
-pub use tiling::{compare_tilings, TilingComparison, TilingProfile, TilingStrategy};
 pub use rect::Rect;
+pub use tiling::{compare_tilings, TilingComparison, TilingProfile, TilingStrategy};
 pub use vaff::VAff;

@@ -138,9 +138,12 @@ pub fn group_overlap(
                             dim: j,
                         });
                     }
-                    let o = a.cst.as_const().ok_or_else(|| AlignError::ParametricOffset {
-                        func: cdef.name.clone(),
-                    })?;
+                    let o = a
+                        .cst
+                        .as_const()
+                        .ok_or_else(|| AlignError::ParametricOffset {
+                            func: cdef.name.clone(),
+                        })?;
                     let m = a.den;
                     debug_assert!(q > 0 && m > 0);
                     // dep ∈ [−σp·o/m, σp·(m−1−o)/m]
@@ -174,7 +177,10 @@ pub fn group_overlap(
             dims[d].right = dims[d].right.max(e[d].right);
         }
     }
-    Ok(GroupOverlap { dims, per_func: ext })
+    Ok(GroupOverlap {
+        dims,
+        per_func: ext,
+    })
 }
 
 #[cfg(test)]
@@ -192,13 +198,20 @@ mod tests {
         let x = p.var("x");
         let d = Interval::cst(2, 1021);
         let f1 = p.func("f1", &[(x, d.clone())], ScalarType::Float);
-        p.define(f1, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        p.define(f1, vec![Case::always(Expr::at(img, [Expr::from(x)]))])
+            .unwrap();
         let f2 = p.func("f2", &[(x, d.clone())], ScalarType::Float);
-        p.define(f2, vec![Case::always(Expr::at(f1, [x - 1]) + Expr::at(f1, [x + 1]))])
-            .unwrap();
+        p.define(
+            f2,
+            vec![Case::always(Expr::at(f1, [x - 1]) + Expr::at(f1, [x + 1]))],
+        )
+        .unwrap();
         let fout = p.func("fout", &[(x, d)], ScalarType::Float);
-        p.define(fout, vec![Case::always(Expr::at(f2, [x - 1]) * Expr::at(f2, [x + 1]))])
-            .unwrap();
+        p.define(
+            fout,
+            vec![Case::always(Expr::at(f2, [x - 1]) * Expr::at(f2, [x + 1]))],
+        )
+        .unwrap();
         let pipe = p.finish(&[fout]).unwrap();
         let group = vec![f1, f2, fout];
         let al = solve_alignment(&pipe, &group, fout).unwrap();
@@ -219,7 +232,8 @@ mod tests {
         let img = p.image("in", ScalarType::Float, vec![polymage_ir::PAff::cst(1024)]);
         let x = p.var("x");
         let f = p.func("f", &[(x, Interval::cst(2, 1021))], ScalarType::Float);
-        p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x)]))]).unwrap();
+        p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x)]))])
+            .unwrap();
         // down(x) = f(2x−1) + f(2x+1)
         let down = p.func("down", &[(x, Interval::cst(1, 510))], ScalarType::Float);
         p.define(
@@ -231,7 +245,8 @@ mod tests {
         .unwrap();
         // up(x) = down(x/2)
         let up = p.func("up", &[(x, Interval::cst(2, 1020))], ScalarType::Float);
-        p.define(up, vec![Case::always(Expr::at(down, [Expr::from(x) / 2]))]).unwrap();
+        p.define(up, vec![Case::always(Expr::at(down, [Expr::from(x) / 2]))])
+            .unwrap();
         let pipe = p.finish(&[up]).unwrap();
         let group = vec![f, down, up];
         let al = solve_alignment(&pipe, &group, up).unwrap();
@@ -262,8 +277,11 @@ mod tests {
         let (x, y) = (p.var("x"), p.var("y"));
         let d = Interval::cst(1, 510);
         let a = p.func("a", &[(x, d.clone()), (y, d.clone())], ScalarType::Float);
-        p.define(a, vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))])
-            .unwrap();
+        p.define(
+            a,
+            vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))],
+        )
+        .unwrap();
         let b = p.func("b", &[(x, d.clone()), (y, d)], ScalarType::Float);
         let e = stencil(a, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]);
         p.define(b, vec![Case::always(e)]).unwrap();

@@ -62,10 +62,7 @@ pub fn access_image(
                     producer_dom.range(j)
                 } else {
                     let c = a.cst.eval(params);
-                    (
-                        (lo + c).div_euclid(a.den),
-                        (hi + c).div_euclid(a.den),
-                    )
+                    ((lo + c).div_euclid(a.den), (hi + c).div_euclid(a.den))
                 }
             }
         };
@@ -116,8 +113,14 @@ mod tests {
     #[test]
     fn stencil_image_dilates() {
         // access (x−1 .. x+1, y−2 .. y+2) as two extreme accesses
-        let a1 = Access { src: src(), dims: vec![aff(&(v(0) - 1)), aff(&(v(1) - 2))] };
-        let a2 = Access { src: src(), dims: vec![aff(&(v(0) + 1)), aff(&(v(1) + 2))] };
+        let a1 = Access {
+            src: src(),
+            dims: vec![aff(&(v(0) - 1)), aff(&(v(1) - 2))],
+        };
+        let a2 = Access {
+            src: src(),
+            dims: vec![aff(&(v(0) + 1)), aff(&(v(1) + 2))],
+        };
         let cons = Rect::new(vec![(10, 20), (30, 40)]);
         let dom = Rect::new(vec![(0, 100), (0, 100)]);
         let req = required_region(&[a1, a2], &[v(0), v(1)], &cons, &dom, &[]);
@@ -126,7 +129,10 @@ mod tests {
 
     #[test]
     fn clipping_to_producer_domain() {
-        let a = Access { src: src(), dims: vec![aff(&(v(0) - 5))] };
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&(v(0) - 5))],
+        };
         let cons = Rect::new(vec![(0, 10)]);
         let dom = Rect::new(vec![(0, 100)]);
         let req = required_region(&[a], &[v(0)], &cons, &dom, &[]);
@@ -136,7 +142,10 @@ mod tests {
     #[test]
     fn downsample_image_shrinks() {
         // access 2x+1 over x∈[4,7] → [9,15]
-        let a = Access { src: src(), dims: vec![aff(&(2i64 * Expr::from(v(0)) + 1))] };
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&(2i64 * Expr::from(v(0)) + 1))],
+        };
         let cons = Rect::new(vec![(4, 7)]);
         let dom = Rect::new(vec![(0, 100)]);
         assert_eq!(
@@ -148,7 +157,10 @@ mod tests {
     #[test]
     fn upsample_image_halves() {
         // access x/2 over x∈[5,9] → [2,4]
-        let a = Access { src: src(), dims: vec![aff(&(Expr::from(v(0)) / 2))] };
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&(Expr::from(v(0)) / 2))],
+        };
         let cons = Rect::new(vec![(5, 9)]);
         let dom = Rect::new(vec![(0, 100)]);
         assert_eq!(
@@ -159,7 +171,10 @@ mod tests {
 
     #[test]
     fn dynamic_dim_requires_full_extent() {
-        let a = Access { src: src(), dims: vec![AccessDim::Dynamic, aff(&Expr::from(v(0)))] };
+        let a = Access {
+            src: src(),
+            dims: vec![AccessDim::Dynamic, aff(&Expr::from(v(0)))],
+        };
         let cons = Rect::new(vec![(5, 9)]);
         let dom = Rect::new(vec![(0, 15), (0, 100)]);
         assert_eq!(
@@ -171,15 +186,24 @@ mod tests {
     #[test]
     fn foreign_variable_is_dynamic() {
         // index expression mentions a variable the consumer doesn't have
-        let a = Access { src: src(), dims: vec![aff(&Expr::from(v(7)))] };
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&Expr::from(v(7)))],
+        };
         let cons = Rect::new(vec![(5, 9)]);
         let dom = Rect::new(vec![(0, 15)]);
-        assert_eq!(access_image(&a, &[v(0)], &cons, &dom, &[]), Rect::new(vec![(0, 15)]));
+        assert_eq!(
+            access_image(&a, &[v(0)], &cons, &dom, &[]),
+            Rect::new(vec![(0, 15)])
+        );
     }
 
     #[test]
     fn empty_consumer_gives_empty_region() {
-        let a = Access { src: src(), dims: vec![aff(&Expr::from(v(0)))] };
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&Expr::from(v(0)))],
+        };
         let cons = Rect::new(vec![(5, 4)]);
         let dom = Rect::new(vec![(0, 15)]);
         assert!(access_image(&a, &[v(0)], &cons, &dom, &[]).is_empty());
@@ -204,7 +228,10 @@ mod tests {
     #[test]
     fn param_offset_uses_param_values() {
         let p0 = polymage_ir::ParamId::from_index(0);
-        let a = Access { src: src(), dims: vec![aff(&(v(0) + Expr::Param(p0)))] };
+        let a = Access {
+            src: src(),
+            dims: vec![aff(&(v(0) + Expr::Param(p0)))],
+        };
         let cons = Rect::new(vec![(0, 3)]);
         let dom = Rect::new(vec![(0, 100)]);
         assert_eq!(

@@ -40,7 +40,10 @@ impl Ratio {
         assert!(den != 0, "rational with zero denominator");
         let g = gcd(num, den).max(1);
         let s = if den < 0 { -1 } else { 1 };
-        Ratio { num: s * num / g, den: s * den / g }
+        Ratio {
+            num: s * num / g,
+            den: s * den / g,
+        }
     }
 
     /// An integer as a rational.
@@ -84,7 +87,10 @@ impl Ratio {
 
     /// Absolute value.
     pub fn abs(self) -> Ratio {
-        Ratio { num: self.num.abs(), den: self.den }
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Converts to `f64` (for reporting only).
@@ -125,7 +131,10 @@ impl Div for Ratio {
 impl Neg for Ratio {
     type Output = Ratio;
     fn neg(self) -> Ratio {
-        Ratio { num: -self.num, den: self.den }
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

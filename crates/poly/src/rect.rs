@@ -19,7 +19,12 @@ impl Rect {
     /// boxes with the same lower corner compare equal regardless of how
     /// negative their raw extents were.
     pub fn new(dims: Vec<(i64, i64)>) -> Rect {
-        Rect { dims: dims.into_iter().map(|(lo, hi)| (lo, hi.max(lo - 1))).collect() }
+        Rect {
+            dims: dims
+                .into_iter()
+                .map(|(lo, hi)| (lo, hi.max(lo - 1)))
+                .collect(),
+        }
     }
 
     /// A zero-dimensional box (contains exactly the empty tuple).
@@ -72,7 +77,11 @@ impl Rect {
     ///
     /// Panics if dimensionalities differ.
     pub fn intersect(&self, other: &Rect) -> Rect {
-        assert_eq!(self.ndim(), other.ndim(), "intersecting boxes of different rank");
+        assert_eq!(
+            self.ndim(),
+            other.ndim(),
+            "intersecting boxes of different rank"
+        );
         Rect {
             dims: self
                 .dims
@@ -109,7 +118,11 @@ impl Rect {
     /// Whether `pt` lies inside the box.
     pub fn contains(&self, pt: &[i64]) -> bool {
         pt.len() == self.ndim()
-            && self.dims.iter().zip(pt).all(|(&(lo, hi), &p)| lo <= p && p <= hi)
+            && self
+                .dims
+                .iter()
+                .zip(pt)
+                .all(|(&(lo, hi), &p)| lo <= p && p <= hi)
     }
 
     /// Whether `other` is entirely inside `self` (empty boxes are contained
@@ -129,7 +142,11 @@ impl Rect {
     /// Grows every dimension by `amount` on both sides.
     pub fn dilate(&self, amount: i64) -> Rect {
         Rect {
-            dims: self.dims.iter().map(|&(lo, hi)| (lo - amount, hi + amount)).collect(),
+            dims: self
+                .dims
+                .iter()
+                .map(|&(lo, hi)| (lo - amount, hi + amount))
+                .collect(),
         }
     }
 
@@ -158,8 +175,8 @@ impl Rect {
             for d in (0..ndim).rev() {
                 if cur[d] < self.dims[d].1 {
                     cur[d] += 1;
-                    for t in d + 1..ndim {
-                        cur[t] = self.dims[t].0;
+                    for (c, dim) in cur.iter_mut().zip(&self.dims).skip(d + 1) {
+                        *c = dim.0;
                     }
                     return Some(cur.clone());
                 }

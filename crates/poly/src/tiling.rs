@@ -176,10 +176,14 @@ mod tests {
         let x = p.var("x");
         let d = Interval::cst(2, 1021);
         let f1 = p.func("f1", &[(x, d.clone())], ScalarType::Float);
-        p.define(f1, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
-        let f2 = p.func("f2", &[(x, d.clone())], ScalarType::Float);
-        p.define(f2, vec![Case::always(Expr::at(f1, [x - 1]) + Expr::at(f1, [x + 1]))])
+        p.define(f1, vec![Case::always(Expr::at(img, [x + 0]))])
             .unwrap();
+        let f2 = p.func("f2", &[(x, d.clone())], ScalarType::Float);
+        p.define(
+            f2,
+            vec![Case::always(Expr::at(f1, [x - 1]) + Expr::at(f1, [x + 1]))],
+        )
+        .unwrap();
         let fout = p.func("fout", &[(x, d)], ScalarType::Float);
         p.define(
             fout,
@@ -234,7 +238,10 @@ mod tests {
         let (pipe, group, sink) = fig5_group();
         let al = solve_alignment(&pipe, &group, sink).unwrap();
         let cmp = compare_tilings(&pipe, &group, &al, &[0], &[1020]).unwrap();
-        assert_eq!(cmp.profile(TilingStrategy::Overlapped).redundant_fraction, 0.0);
+        assert_eq!(
+            cmp.profile(TilingStrategy::Overlapped).redundant_fraction,
+            0.0
+        );
         assert_eq!(cmp.profile(TilingStrategy::Split).live_boundary_values, 0);
     }
 }

@@ -24,17 +24,29 @@ pub struct VAff {
 impl VAff {
     /// The constant zero.
     pub fn zero() -> VAff {
-        VAff { terms: Vec::new(), cst: PAff::cst(0), den: 1 }
+        VAff {
+            terms: Vec::new(),
+            cst: PAff::cst(0),
+            den: 1,
+        }
     }
 
     /// A bare variable.
     pub fn var(v: VarId) -> VAff {
-        VAff { terms: vec![(v, 1)], cst: PAff::cst(0), den: 1 }
+        VAff {
+            terms: vec![(v, 1)],
+            cst: PAff::cst(0),
+            den: 1,
+        }
     }
 
     /// A constant.
     pub fn cst(c: i64) -> VAff {
-        VAff { terms: Vec::new(), cst: PAff::cst(c), den: 1 }
+        VAff {
+            terms: Vec::new(),
+            cst: PAff::cst(c),
+            den: 1,
+        }
     }
 
     fn normalize(mut self) -> VAff {
@@ -53,7 +65,10 @@ impl VAff {
 
     /// The coefficient of variable `v` in the numerator.
     pub fn coeff(&self, v: VarId) -> i64 {
-        self.terms.iter().find(|&&(u, _)| u == v).map_or(0, |&(_, q)| q)
+        self.terms
+            .iter()
+            .find(|&&(u, _)| u == v)
+            .map_or(0, |&(_, q)| q)
     }
 
     /// Whether the expression mentions no variables (pure constant/param).
@@ -106,9 +121,11 @@ impl VAff {
                 Some(VAff::cst(*c as i64))
             }
             Expr::Var(v) => Some(VAff::var(*v)),
-            Expr::Param(p) => {
-                Some(VAff { terms: Vec::new(), cst: PAff::param(*p), den: 1 })
-            }
+            Expr::Param(p) => Some(VAff {
+                terms: Vec::new(),
+                cst: PAff::param(*p),
+                den: 1,
+            }),
             Expr::Cast(ty, inner) if ty.is_integral() => VAff::from_expr(inner),
             Expr::Unary(UnOp::Neg, a) => {
                 let a = VAff::from_expr(a)?;
@@ -167,8 +184,12 @@ impl VAff {
                         let mut terms = a.terms;
                         terms.extend(b.terms.into_iter().map(|(v, q)| (v, s * q)));
                         Some(
-                            VAff { terms, cst: a.cst + b.cst * s, den }
-                                .normalize(),
+                            VAff {
+                                terms,
+                                cst: a.cst + b.cst * s,
+                                den,
+                            }
+                            .normalize(),
                         )
                     }
                     BinOp::Mul => {
@@ -188,11 +209,7 @@ impl VAff {
                         }
                         Some(
                             VAff {
-                                terms: other
-                                    .terms
-                                    .into_iter()
-                                    .map(|(v, q)| (v, q * k))
-                                    .collect(),
+                                terms: other.terms.into_iter().map(|(v, q)| (v, q * k)).collect(),
                                 cst: other.cst * k,
                                 den: 1,
                             }
@@ -202,14 +219,20 @@ impl VAff {
                     BinOp::Div => {
                         let x = VAff::from_expr(a)?;
                         let k = VAff::from_expr(b)?;
-                        let k = if k.is_const() && k.den == 1 { k.cst.as_const()? } else {
+                        let k = if k.is_const() && k.den == 1 {
+                            k.cst.as_const()?
+                        } else {
                             return None;
                         };
                         if k <= 0 {
                             return None;
                         }
                         // floor(floor(u/m) / k) == floor(u / (m*k))
-                        Some(VAff { terms: x.terms, cst: x.cst, den: x.den * k })
+                        Some(VAff {
+                            terms: x.terms,
+                            cst: x.cst,
+                            den: x.den * k,
+                        })
                     }
                     _ => None,
                 }

@@ -1,6 +1,6 @@
 //! Property-based tests for the polyhedral substrate's algebra.
 
-use polymage_ir::{BinOp, Expr, PAff, ParamId, VarId};
+use polymage_ir::{Expr, PAff, ParamId, VarId};
 use polymage_poly::{narrow_rect_by_cond, Ratio, Rect, VAff};
 use proptest::prelude::*;
 

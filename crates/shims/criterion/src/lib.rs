@@ -1,0 +1,346 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! bench harness.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! this minimal drop-in implementing the API subset the repository's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is real (wall-clock, warm-up + N timed samples, median /
+//! min / max reporting, optional throughput), but there is no HTML report,
+//! statistical regression analysis, or saved baseline — output is plain
+//! text on stdout, which is what the repo's EXPERIMENTS.md workflow records.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation: per-iteration work used to derive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements (frames, pixels, ...).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group, e.g. `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the common `group/parameter` form).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure in `bench_function`.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one duration per sample of
+    /// `iters_per_sample` back-to-back calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let n = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / n as u32);
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with per-iteration work for rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let stats = run_benchmark(
+            &mut f,
+            self.sample_size,
+            self.measurement_time,
+            self.criterion.filter.as_deref(),
+            &full,
+        );
+        if let Some(stats) = stats {
+            report(&full, &stats, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+struct Stats {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    f: &mut F,
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<&str>,
+    full_name: &str,
+) -> Option<Stats> {
+    if let Some(pat) = filter {
+        if !full_name.contains(pat) {
+            return None;
+        }
+    }
+    // Warm-up / calibration pass: one sample of one iteration.
+    let mut warm = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+    let per_iter = warm.samples.first().copied().unwrap_or(Duration::ZERO);
+    // Size samples so the whole run roughly fits the measurement budget.
+    let budget_per_sample = measurement_time / sample_size.max(1) as u32;
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+    let mut bench = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+    };
+    for _ in 0..sample_size {
+        f(&mut bench);
+    }
+    let mut samples = bench.samples;
+    if samples.is_empty() {
+        samples.push(per_iter);
+    }
+    samples.sort_unstable();
+    Some(Stats {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        max: samples[samples.len() - 1],
+    })
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, stats: &Stats, throughput: Option<Throughput>) {
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_duration(stats.min),
+        fmt_duration(stats.median),
+        fmt_duration(stats.max),
+    );
+    if let Some(t) = throughput {
+        let secs = stats.median.as_secs_f64();
+        if secs > 0.0 {
+            match t {
+                Throughput::Elements(n) => {
+                    println!("{:<48} thrpt: {:.3} elem/s", "", n as f64 / secs);
+                }
+                Throughput::Bytes(n) => {
+                    println!(
+                        "{:<48} thrpt: {:.3} MiB/s",
+                        "",
+                        n as f64 / secs / (1 << 20) as f64
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Top-level bench driver (a far smaller cousin of criterion's).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies CLI args. Recognizes a positional substring filter and
+    /// ignores criterion/libtest flags (`--bench`, `--save-baseline`, ...).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--quiet" | "-q" | "--verbose" | "--noplot" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                | "--measurement-time" | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_benchmark(
+            &mut f,
+            20,
+            Duration::from_secs(3),
+            self.filter.as_deref(),
+            name,
+        );
+        if let Some(stats) = stats {
+            report(name, &stats, None);
+        }
+        self
+    }
+
+    /// Final-summary hook; a no-op in this shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(20));
+        let mut calls = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 4).into_benchmark_id(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("p").into_benchmark_id(), "p");
+    }
+}

@@ -1,0 +1,46 @@
+//! Strategies for collections (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.inner().gen_range(self.len.clone());
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// is drawn uniformly from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(!len.is_empty(), "collection::vec: empty length range");
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::deterministic("vec_lengths");
+        let s = vec(-3i64..3, 1..9);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (-3..3).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The case-generation loop driving each `proptest!` test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// Deterministic RNG handed to strategies, seeded from the test's name so
+/// every run of a given test generates the same case sequence.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test, deterministically.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, mixed with a fixed tag.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h ^ 0x5eed_cafe_f00d_d00d),
+        }
+    }
+
+    /// The underlying generator (for `gen_range` et al.).
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Runs `case` until `config.cases` successes, skipping `prop_assume!`
+/// rejections, and panics on the first failure (no shrinking).
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::deterministic(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_cap = 1024 + 16 * config.cases as u64;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                if rejected > reject_cap {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejected}, last: {why})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {attempt}: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0u32;
+        run(&ProptestConfig::with_cases(17), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut total = 0u32;
+        let mut kept = 0u32;
+        run(&ProptestConfig::with_cases(5), "reject", |_| {
+            total += 1;
+            if total.is_multiple_of(2) {
+                Err(TestCaseError::reject("odd ones out"))
+            } else {
+                kept += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(kept, 5);
+        assert!(total > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics() {
+        run(&ProptestConfig::with_cases(5), "fail", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -71,7 +71,10 @@ impl Buffer {
     /// Allocates a zero-filled buffer over `rect`.
     pub fn zeros(rect: Rect) -> Buffer {
         let n = rect.volume().max(0) as usize;
-        Buffer { data: vec![0.0; n], rect }
+        Buffer {
+            data: vec![0.0; n],
+            rect,
+        }
     }
 
     /// Builds a buffer from data laid out row-major over `rect`.
@@ -108,10 +111,8 @@ impl Buffer {
     /// Fills the buffer with a function of the absolute coordinates
     /// (convenient for test inputs).
     pub fn fill_with(mut self, f: impl Fn(&[i64]) -> f32) -> Buffer {
-        let mut i = 0;
-        for pt in self.rect.points() {
+        for (i, pt) in self.rect.points().enumerate() {
             self.data[i] = f(&pt);
-            i += 1;
         }
         self
     }
@@ -122,7 +123,10 @@ impl Buffer {
     ///
     /// Panics if the rectangles differ.
     pub fn max_abs_diff(&self, other: &Buffer) -> f32 {
-        assert_eq!(self.rect, other.rect, "comparing buffers of different shape");
+        assert_eq!(
+            self.rect, other.rect,
+            "comparing buffers of different shape"
+        );
         self.data
             .iter()
             .zip(&other.data)

@@ -1,0 +1,676 @@
+//! The persistent execution engine: pooled workers, dynamic tile
+//! scheduling, and buffer reuse across runs.
+//!
+//! [`run_program`](crate::run_program) historically spawned fresh scoped
+//! threads for every tiled group of every run and allocated every buffer
+//! anew. For a pipeline executed once that is fine; for repeated execution
+//! (video frames, autotuning, benchmarking) the spawn and allocation costs
+//! recur per frame. [`Engine`] keeps a pool of long-lived workers plus a
+//! [`BufferPool`] of recycled allocations, and schedules strips
+//! *dynamically*: workers claim the next unprocessed strip from an atomic
+//! counter, so an unlucky static `strip % nthreads` split no longer leaves
+//! workers idle while one of them drains a heavy tail.
+//!
+//! Determinism: results are bit-identical to the legacy static executor
+//! ([`run_program_static`](crate::run_program_static)) for any thread
+//! count. Strips write disjoint slabs that the coordinator stitches with a
+//! plain copy (claim order cannot matter), scratch arenas are re-zeroed
+//! before each group exactly like a fresh allocation, and reduction
+//! partials use the legacy chunk boundaries and are combined in ascending
+//! chunk order regardless of which worker computed them.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::exec::{
+    decl_rect, execute_reduction, execute_seq, fix_untouched_identities, reduction_views, row_size,
+    run_tile, strip_layout, sweep_reduction, validate_inputs, written_stages, LocalStats, Slab,
+    StripRows,
+};
+use crate::pool::BufferPool;
+use crate::{
+    BufId, BufKind, Buffer, GroupKind, Program, ReductionExec, RegFile, RunStats, TiledGroup,
+    VmError,
+};
+
+/// A job dispatched to the worker pool.
+enum Job {
+    Tiled(Arc<TiledJob>),
+    Reduce(Arc<ReduceJob>),
+    Shutdown,
+}
+
+/// Shared state of one tiled-group execution.
+struct TiledJob {
+    prog: Arc<Program>,
+    /// Index of the [`GroupKind::Tiled`] group in `prog.groups`.
+    group: usize,
+    /// Snapshot of every buffer the group does not write (read-only).
+    reads: Vec<Option<Arc<Vec<f32>>>>,
+    /// `(stage index, full buffer)` pairs the group writes.
+    written: Vec<(usize, BufId)>,
+    strip_rows: StripRows,
+    tiles_by_strip: Vec<Vec<usize>>,
+    /// Next strip to process — workers claim strips dynamically.
+    claim: AtomicUsize,
+}
+
+/// Shared state of one parallel-reduction execution.
+struct ReduceJob {
+    prog: Arc<Program>,
+    /// Index of the [`GroupKind::Reduction`] group in `prog.groups`.
+    group: usize,
+    reads: Vec<Option<Arc<Vec<f32>>>>,
+    /// Outer-dimension chunks, ascending; workers claim by index.
+    chunks: Vec<(i64, i64)>,
+    out_len: usize,
+    identity: f32,
+    claim: AtomicUsize,
+}
+
+/// One computed slab of a written full buffer (pool-backed).
+struct SlabPart {
+    stage: usize,
+    row_lo: i64,
+    data: Vec<f32>,
+}
+
+enum WorkerMsg {
+    /// All slabs of one completed strip (streamed as strips finish; the
+    /// coordinator stitches them while other strips are still running).
+    Slabs(Vec<SlabPart>),
+    /// One reduction partial, identified by its chunk index.
+    ReducePart { chunk: usize, part: Vec<f32> },
+    /// Terminal: the worker finished the job (its job `Arc` is dropped).
+    Done(LocalStats),
+    /// Terminal: the job panicked on this worker.
+    Panicked(String),
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking worker cannot leave the pool in a torn state (it only
+    // holds the lock around freelist push/pop), so poisoning is benign.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// A persistent execution engine.
+///
+/// Construction spawns the worker threads once; every [`Engine::run`]
+/// reuses them, along with per-worker scratch arenas and a shared
+/// [`BufferPool`] of recycled output/partial allocations. Runs on the same
+/// engine are serialized internally, so `&self` methods may be called from
+/// several threads (callers queue).
+///
+/// Dropping the engine shuts the workers down and joins them.
+pub struct Engine {
+    nthreads: usize,
+    inner: Mutex<Inner>,
+    pool: Arc<Mutex<BufferPool>>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Inner {
+    txs: Vec<Sender<(u64, Job)>>,
+    rx: Receiver<(u64, WorkerMsg)>,
+    /// Monotonic job id; stale messages from an aborted run are skipped.
+    epoch: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("nthreads", &self.nthreads)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// An engine with one worker per available hardware thread.
+    pub fn new() -> Engine {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Engine::with_threads(n)
+    }
+
+    /// An engine with exactly `nthreads` pooled workers (minimum 1).
+    pub fn with_threads(nthreads: usize) -> Engine {
+        let nthreads = nthreads.max(1);
+        let pool = Arc::new(Mutex::new(BufferPool::new()));
+        let (res_tx, res_rx) = channel();
+        let mut txs = Vec::with_capacity(nthreads);
+        let mut joins = Vec::with_capacity(nthreads);
+        for i in 0..nthreads {
+            let (tx, rx) = channel::<(u64, Job)>();
+            let results = res_tx.clone();
+            let pool = Arc::clone(&pool);
+            let join = std::thread::Builder::new()
+                .name(format!("pm-worker-{i}"))
+                .spawn(move || worker_main(rx, results, pool))
+                .expect("spawn engine worker");
+            txs.push(tx);
+            joins.push(join);
+        }
+        Engine {
+            nthreads,
+            inner: Mutex::new(Inner {
+                txs,
+                rx: res_rx,
+                epoch: 0,
+            }),
+            pool,
+            joins,
+        }
+    }
+
+    /// Number of pooled workers.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Runs a program using all pooled workers. The returned buffers are
+    /// the program's live-outs, in [`Program::outputs`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] when the inputs do not match the program's
+    /// images or an internal invariant is violated.
+    pub fn run(&self, prog: &Arc<Program>, inputs: &[Buffer]) -> Result<Vec<Buffer>, VmError> {
+        Ok(self.run_impl(prog, inputs, self.nthreads)?.0)
+    }
+
+    /// Like [`Engine::run`], but behaves as if the engine had `nthreads`
+    /// workers: reductions chunk for `nthreads` and at most that many
+    /// pooled workers participate. Results are bit-identical to
+    /// `run_program_static(prog, inputs, nthreads)` regardless of pool
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_with_threads(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
+    ) -> Result<Vec<Buffer>, VmError> {
+        Ok(self.run_impl(prog, inputs, nthreads.max(1))?.0)
+    }
+
+    /// Like [`Engine::run`], additionally returning execution statistics
+    /// (including per-group wall-clock durations).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_stats(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        self.run_impl(prog, inputs, self.nthreads)
+    }
+
+    /// [`Engine::run_with_threads`] with statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_stats_with_threads(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
+    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        self.run_impl(prog, inputs, nthreads.max(1))
+    }
+
+    fn run_impl(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
+    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        validate_inputs(prog, inputs)?;
+        let mut inner = lock(&self.inner);
+
+        // Full buffers come from the pool (zero-filled, like fresh
+        // allocations); scratch entries live in per-worker arenas.
+        let mut fulls: Vec<Vec<f32>> = prog
+            .buffers
+            .iter()
+            .map(|b| match b.kind {
+                BufKind::Full => lock(&self.pool).acquire_zeroed(b.len()),
+                BufKind::Scratch => Vec::new(),
+            })
+            .collect();
+        for (&b, input) in prog.image_bufs.iter().zip(inputs) {
+            fulls[b.0].copy_from_slice(&input.data);
+        }
+
+        let mut stats = RunStats::default();
+        for (gi, group) in prog.groups.iter().enumerate() {
+            let start = Instant::now();
+            match &group.kind {
+                GroupKind::Tiled(tg) => self
+                    .run_tiled_group(&mut inner, prog, gi, tg, &mut fulls, nthreads, &mut stats)?,
+                GroupKind::Reduction(red) => {
+                    self.run_reduction_group(&mut inner, prog, gi, red, &mut fulls, nthreads)?
+                }
+                GroupKind::Sequential(seq) => execute_seq(prog, seq, &mut fulls)?,
+            }
+            stats
+                .group_times
+                .push((group.name.clone(), start.elapsed()));
+        }
+
+        let outputs = prog
+            .outputs
+            .iter()
+            .map(|(_, b)| Buffer::from_vec(decl_rect(&prog.buffers[b.0]), fulls[b.0].clone()))
+            .collect();
+        let mut pool = lock(&self.pool);
+        for v in fulls {
+            pool.release(v);
+        }
+        Ok((outputs, stats))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_tiled_group(
+        &self,
+        inner: &mut Inner,
+        prog: &Arc<Program>,
+        gi: usize,
+        tg: &TiledGroup,
+        fulls: &mut [Vec<f32>],
+        nthreads: usize,
+        stats: &mut RunStats,
+    ) -> Result<(), VmError> {
+        let written = written_stages(tg)?;
+        let (strip_rows, tiles_by_strip) = strip_layout(tg);
+        let writes: HashMap<usize, usize> = written.iter().map(|&(k, b)| (b.0, k)).collect();
+
+        // Move every non-written buffer behind an `Arc` so the 'static
+        // worker threads can read it; recovered via `try_unwrap` once the
+        // group is done (workers drop their job handle before signaling).
+        let mut reads: Vec<Option<Arc<Vec<f32>>>> = vec![None; fulls.len()];
+        for (i, v) in fulls.iter_mut().enumerate() {
+            if !writes.contains_key(&i) {
+                reads[i] = Some(Arc::new(std::mem::take(v)));
+            }
+        }
+
+        let job = Arc::new(TiledJob {
+            prog: Arc::clone(prog),
+            group: gi,
+            reads: reads.clone(),
+            written: written.clone(),
+            strip_rows,
+            tiles_by_strip,
+            claim: AtomicUsize::new(0),
+        });
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let active = nthreads.min(inner.txs.len()).max(1);
+        for tx in inner.txs.iter().take(active) {
+            tx.send((epoch, Job::Tiled(Arc::clone(&job))))
+                .map_err(|_| VmError::Internal("engine worker hung up".into()))?;
+        }
+        drop(job);
+
+        let mut done = 0usize;
+        let mut panicked: Option<String> = None;
+        while done < active {
+            let (ep, msg) = inner
+                .rx
+                .recv()
+                .map_err(|_| VmError::Internal("engine workers disconnected".into()))?;
+            if ep != epoch {
+                continue; // residue from an earlier aborted run
+            }
+            match msg {
+                WorkerMsg::Slabs(parts) => {
+                    for part in parts {
+                        let &(_, b) = written
+                            .iter()
+                            .find(|&&(k, _)| k == part.stage)
+                            .ok_or_else(|| VmError::Internal("slab for unknown stage".into()))?;
+                        let decl = &prog.buffers[b.0];
+                        let off = ((part.row_lo - decl.origin[0]) * row_size(decl)) as usize;
+                        fulls[b.0][off..off + part.data.len()].copy_from_slice(&part.data);
+                        lock(&self.pool).release(part.data);
+                    }
+                }
+                WorkerMsg::Done(local) => {
+                    stats.tiles += local.tiles;
+                    stats.chunks += local.chunks;
+                    stats.points_computed += local.points;
+                    done += 1;
+                }
+                WorkerMsg::Panicked(msg) => {
+                    panicked = Some(msg);
+                    done += 1;
+                }
+                WorkerMsg::ReducePart { .. } => {
+                    return Err(VmError::Internal("unexpected reduction partial".into()));
+                }
+            }
+        }
+
+        // All workers signaled completion after dropping their job handle,
+        // so each snapshot is uniquely owned again.
+        for (i, r) in reads.iter_mut().enumerate() {
+            if let Some(a) = r.take() {
+                fulls[i] = Arc::try_unwrap(a)
+                    .map_err(|_| VmError::Internal("buffer still shared after group".into()))?;
+            }
+        }
+        if let Some(msg) = panicked {
+            return Err(VmError::Internal(format!("worker panicked: {msg}")));
+        }
+        Ok(())
+    }
+
+    fn run_reduction_group(
+        &self,
+        inner: &mut Inner,
+        prog: &Arc<Program>,
+        gi: usize,
+        red: &ReductionExec,
+        fulls: &mut [Vec<f32>],
+        nthreads: usize,
+    ) -> Result<(), VmError> {
+        let (rlo, rhi) = red.red_dom.range(0);
+        let total = (rhi - rlo + 1).max(0);
+        // Same chunking rule as the legacy executor (based on the
+        // *requested* thread count, not pool size), so partial boundaries
+        // — and therefore float combine order — match `run_program_static`
+        // for the same `nthreads`.
+        let nth = nthreads.min(total.max(1) as usize).max(1);
+        if nth == 1 {
+            // Single sweep straight into the output; no combine step (and
+            // no `0.0 + -0.0` rounding artifacts from merging partials).
+            return execute_reduction(prog, red, fulls, 1);
+        }
+        let chunk = total.div_euclid(nth as i64) + 1;
+        let mut chunks = Vec::with_capacity(nth);
+        for t in 0..nth {
+            let lo = rlo + t as i64 * chunk;
+            let hi = (lo + chunk - 1).min(rhi);
+            if lo <= hi {
+                chunks.push((lo, hi));
+            }
+        }
+        if chunks.is_empty() {
+            return execute_reduction(prog, red, fulls, 1);
+        }
+
+        let identity = red.op.identity() as f32;
+        let mut out_vec = std::mem::take(&mut fulls[red.out.0]);
+        out_vec.fill(identity);
+        let mut reads: Vec<Option<Arc<Vec<f32>>>> = vec![None; fulls.len()];
+        for (i, v) in fulls.iter_mut().enumerate() {
+            if i != red.out.0 {
+                reads[i] = Some(Arc::new(std::mem::take(v)));
+            }
+        }
+        let job = Arc::new(ReduceJob {
+            prog: Arc::clone(prog),
+            group: gi,
+            reads: reads.clone(),
+            chunks: chunks.clone(),
+            out_len: out_vec.len(),
+            identity,
+            claim: AtomicUsize::new(0),
+        });
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let active = nth.min(inner.txs.len()).max(1);
+        for tx in inner.txs.iter().take(active) {
+            tx.send((epoch, Job::Reduce(Arc::clone(&job))))
+                .map_err(|_| VmError::Internal("engine worker hung up".into()))?;
+        }
+        drop(job);
+
+        let mut parts: Vec<Option<Vec<f32>>> = Vec::new();
+        parts.resize_with(chunks.len(), || None);
+        let mut done = 0usize;
+        let mut panicked: Option<String> = None;
+        while done < active {
+            let (ep, msg) = inner
+                .rx
+                .recv()
+                .map_err(|_| VmError::Internal("engine workers disconnected".into()))?;
+            if ep != epoch {
+                continue;
+            }
+            match msg {
+                WorkerMsg::ReducePart { chunk, part } => parts[chunk] = Some(part),
+                WorkerMsg::Done(_) => done += 1,
+                WorkerMsg::Panicked(m) => {
+                    panicked = Some(m);
+                    done += 1;
+                }
+                WorkerMsg::Slabs(_) => {
+                    return Err(VmError::Internal("unexpected tiled slab".into()));
+                }
+            }
+        }
+
+        if panicked.is_none() && parts.iter().any(Option::is_none) {
+            return Err(VmError::Internal("reduction chunk lost".into()));
+        }
+        // Combine in ascending chunk order — the order the legacy executor
+        // joins its threads — for bit-identical float results.
+        {
+            let mut pool = lock(&self.pool);
+            for part in parts.into_iter().flatten() {
+                for (o, p) in out_vec.iter_mut().zip(&part) {
+                    *o = red.op.combine(*o as f64, *p as f64) as f32;
+                }
+                pool.release(part);
+            }
+        }
+        fix_untouched_identities(red.op, identity, &mut out_vec);
+        fulls[red.out.0] = out_vec;
+        for (i, r) in reads.iter_mut().enumerate() {
+            if let Some(a) = r.take() {
+                fulls[i] = Arc::try_unwrap(a)
+                    .map_err(|_| VmError::Internal("buffer still shared after reduction".into()))?;
+            }
+        }
+        if let Some(m) = panicked {
+            return Err(VmError::Internal(format!("worker panicked: {m}")));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let inner = lock(&self.inner);
+            for tx in &inner.txs {
+                let _ = tx.send((0, Job::Shutdown));
+            }
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+fn worker_main(
+    jobs: Receiver<(u64, Job)>,
+    results: Sender<(u64, WorkerMsg)>,
+    pool: Arc<Mutex<BufferPool>>,
+) {
+    // Worker-local arena freelist, reused across jobs and runs.
+    let mut arena_pool = BufferPool::new();
+    while let Ok((epoch, job)) = jobs.recv() {
+        let msg = match job {
+            Job::Shutdown => break,
+            Job::Tiled(job) => {
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    run_tiled_job(&job, epoch, &results, &pool, &mut arena_pool)
+                }));
+                drop(job); // release shared state before signaling
+                match res {
+                    Ok(stats) => WorkerMsg::Done(stats),
+                    Err(p) => WorkerMsg::Panicked(panic_text(p)),
+                }
+            }
+            Job::Reduce(job) => {
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    run_reduce_job(&job, epoch, &results, &pool)
+                }));
+                drop(job);
+                match res {
+                    Ok(()) => WorkerMsg::Done(LocalStats::default()),
+                    Err(p) => WorkerMsg::Panicked(panic_text(p)),
+                }
+            }
+        };
+        if results.send((epoch, msg)).is_err() {
+            break; // engine dropped mid-run
+        }
+    }
+}
+
+fn run_tiled_job(
+    job: &TiledJob,
+    epoch: u64,
+    results: &Sender<(u64, WorkerMsg)>,
+    pool: &Mutex<BufferPool>,
+    arena_pool: &mut BufferPool,
+) -> LocalStats {
+    let prog = &*job.prog;
+    let GroupKind::Tiled(tg) = &prog.groups[job.group].kind else {
+        panic!("tiled job targets a non-tiled group");
+    };
+    // Per-stage scratch arena, zero-filled exactly like a fresh allocation
+    // (consumers may read the zeroed border of a producer's region).
+    let mut arena: Vec<Vec<f32>> = tg
+        .stages
+        .iter()
+        .map(|s| {
+            if s.direct {
+                Vec::new()
+            } else {
+                arena_pool.acquire_zeroed(prog.buffers[s.scratch.0].len())
+            }
+        })
+        .collect();
+    let read_refs: Vec<Option<&[f32]>> = job
+        .reads
+        .iter()
+        .map(|r| r.as_ref().map(|a| a.as_slice()))
+        .collect();
+    let mut regs = RegFile::new();
+    let mut local = LocalStats::default();
+    loop {
+        let s = job.claim.fetch_add(1, Ordering::Relaxed);
+        if s >= tg.nstrips {
+            break;
+        }
+        // Pool-backed slabs for every written stage this strip covers.
+        let mut parts: Vec<SlabPart> = Vec::new();
+        for &(k, b) in &job.written {
+            if let Some((lo, hi)) = job.strip_rows[k][s] {
+                let len = ((hi - lo + 1) * row_size(&prog.buffers[b.0])) as usize;
+                parts.push(SlabPart {
+                    stage: k,
+                    row_lo: lo,
+                    data: lock(pool).acquire_zeroed(len),
+                });
+            }
+        }
+        {
+            let mut slabs: Vec<Slab<'_>> = parts
+                .iter_mut()
+                .map(|p| Slab {
+                    stage: p.stage,
+                    row_lo: p.row_lo,
+                    data: p.data.as_mut_slice(),
+                })
+                .collect();
+            for &ti in &job.tiles_by_strip[s] {
+                local.tiles += 1;
+                run_tile(
+                    prog,
+                    tg,
+                    &tg.tiles[ti],
+                    &read_refs,
+                    &mut slabs,
+                    &mut arena,
+                    &mut regs,
+                    &mut local,
+                );
+            }
+        }
+        // Stream the finished strip; the coordinator stitches it while
+        // other strips are still being computed.
+        let _ = results.send((epoch, WorkerMsg::Slabs(parts)));
+    }
+    for v in arena {
+        arena_pool.release(v);
+    }
+    local
+}
+
+fn run_reduce_job(
+    job: &ReduceJob,
+    epoch: u64,
+    results: &Sender<(u64, WorkerMsg)>,
+    pool: &Mutex<BufferPool>,
+) {
+    let prog = &*job.prog;
+    let GroupKind::Reduction(red) = &prog.groups[job.group].kind else {
+        panic!("reduce job targets a non-reduction group");
+    };
+    let read_refs: Vec<Option<&[f32]>> = job
+        .reads
+        .iter()
+        .map(|r| r.as_ref().map(|a| a.as_slice()))
+        .collect();
+    let views = reduction_views(prog, red, &read_refs);
+    loop {
+        let c = job.claim.fetch_add(1, Ordering::Relaxed);
+        if c >= job.chunks.len() {
+            break;
+        }
+        let (lo, hi) = job.chunks[c];
+        let mut part = lock(pool).acquire_zeroed(job.out_len);
+        part.fill(job.identity);
+        let mut dom = red.red_dom.clone();
+        *dom.range_mut(0) = (lo, hi);
+        sweep_reduction(prog, red, &views, &dom, &mut part);
+        if results
+            .send((epoch, WorkerMsg::ReducePart { chunk: c, part }))
+            .is_err()
+        {
+            break;
+        }
+    }
+}

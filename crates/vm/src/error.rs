@@ -32,7 +32,11 @@ impl fmt::Display for VmError {
             VmError::InputCountMismatch { expected, got } => {
                 write!(f, "expected {expected} input image(s), got {got}")
             }
-            VmError::InputShapeMismatch { index, expected, got } => {
+            VmError::InputShapeMismatch {
+                index,
+                expected,
+                got,
+            } => {
                 write!(f, "input {index} has shape {got}, expected {expected}")
             }
             VmError::Internal(msg) => write!(f, "internal executor error: {msg}"),

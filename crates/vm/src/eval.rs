@@ -109,10 +109,23 @@ impl RegFile {
         m: u16,
         a: u16,
         b: u16,
-    ) -> (&mut [f32; CHUNK], &[f32; CHUNK], &[f32; CHUNK], &[f32; CHUNK]) {
-        debug_assert!(m < dst && a < dst && b < dst, "operands precede destination");
+    ) -> (
+        &mut [f32; CHUNK],
+        &[f32; CHUNK],
+        &[f32; CHUNK],
+        &[f32; CHUNK],
+    ) {
+        debug_assert!(
+            m < dst && a < dst && b < dst,
+            "operands precede destination"
+        );
         let (lo, hi) = self.regs.split_at_mut(dst as usize);
-        (&mut hi[0], &lo[m as usize], &lo[a as usize], &lo[b as usize])
+        (
+            &mut hi[0],
+            &lo[m as usize],
+            &lo[a as usize],
+            &lo[b as usize],
+        )
     }
 }
 
@@ -345,8 +358,7 @@ fn load_chunk(
                         view.origin[d],
                         view.sizes[d]
                     );
-                    base += (idx - view.origin[d]).clamp(0, view.sizes[d] - 1)
-                        * view.strides[d];
+                    base += (idx - view.origin[d]).clamp(0, view.sizes[d] - 1) * view.strides[d];
                 }
             }
             IdxPlan::Reg(r) => reg_dims.push((d, r)),
@@ -452,11 +464,21 @@ mod tests {
         for d in (0..sizes.len().saturating_sub(1)).rev() {
             strides[d] = strides[d + 1] * sizes[d + 1];
         }
-        BufView { data, origin, strides, sizes }
+        BufView {
+            data,
+            origin,
+            strides,
+            sizes,
+        }
     }
 
     fn eval_simple(k: &Kernel, coords: &[i64], len: usize, bufs: &[Option<BufView>]) -> Vec<f32> {
-        let ctx = ChunkCtx { coords, len, inner: coords.len() - 1, bufs };
+        let ctx = ChunkCtx {
+            coords,
+            len,
+            inner: coords.len() - 1,
+            bufs,
+        };
         let mut regs = RegFile::new();
         eval_kernel(k, &ctx, &mut regs);
         regs.reg(k.out())[..len].to_vec()
@@ -466,9 +488,20 @@ mod tests {
     fn const_and_arith() {
         let k = Kernel {
             ops: vec![
-                Op::ConstF { dst: RegId(0), val: 2.0 },
-                Op::ConstF { dst: RegId(1), val: 3.0 },
-                Op::BinF { op: BinF::Mul, dst: RegId(2), a: RegId(0), b: RegId(1) },
+                Op::ConstF {
+                    dst: RegId(0),
+                    val: 2.0,
+                },
+                Op::ConstF {
+                    dst: RegId(1),
+                    val: 3.0,
+                },
+                Op::BinF {
+                    op: BinF::Mul,
+                    dst: RegId(2),
+                    a: RegId(0),
+                    b: RegId(1),
+                },
             ],
             nregs: 3,
             outs: vec![RegId(2)],
@@ -480,9 +513,20 @@ mod tests {
     fn coord_iota_and_broadcast() {
         let k = Kernel {
             ops: vec![
-                Op::CoordF { dst: RegId(0), dim: 1 },
-                Op::CoordF { dst: RegId(1), dim: 0 },
-                Op::BinF { op: BinF::Add, dst: RegId(2), a: RegId(0), b: RegId(1) },
+                Op::CoordF {
+                    dst: RegId(0),
+                    dim: 1,
+                },
+                Op::CoordF {
+                    dst: RegId(1),
+                    dim: 0,
+                },
+                Op::BinF {
+                    op: BinF::Add,
+                    dst: RegId(2),
+                    a: RegId(0),
+                    b: RegId(1),
+                },
             ],
             nregs: 3,
             outs: vec![RegId(2)],
@@ -499,7 +543,12 @@ mod tests {
             ops: vec![Op::Load {
                 dst: RegId(0),
                 buf: BufId(0),
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 2, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: 2,
+                    m: 1,
+                }],
             }],
             nregs: 1,
             outs: vec![RegId(0)],
@@ -516,23 +565,39 @@ mod tests {
             ops: vec![Op::Load {
                 dst: RegId(0),
                 buf: BufId(0),
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 2, o: 1, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 2,
+                    o: 1,
+                    m: 1,
+                }],
             }],
             nregs: 1,
             outs: vec![RegId(0)],
         };
-        assert_eq!(eval_simple(&k, &[1], 3, &[Some(v.clone())]), vec![3.0, 5.0, 7.0]);
+        assert_eq!(
+            eval_simple(&k, &[1], 3, &[Some(v.clone())]),
+            vec![3.0, 5.0, 7.0]
+        );
         // x/2 over x=[4..7]
         let k = Kernel {
             ops: vec![Op::Load {
                 dst: RegId(0),
                 buf: BufId(0),
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 2 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: 0,
+                    m: 2,
+                }],
             }],
             nregs: 1,
             outs: vec![RegId(0)],
         };
-        assert_eq!(eval_simple(&k, &[4], 4, &[Some(v)]), vec![2.0, 2.0, 3.0, 3.0]);
+        assert_eq!(
+            eval_simple(&k, &[4], 4, &[Some(v)]),
+            vec![2.0, 2.0, 3.0, 3.0]
+        );
     }
 
     #[test]
@@ -546,14 +611,27 @@ mod tests {
                 dst: RegId(0),
                 buf: BufId(0),
                 plan: vec![
-                    IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 },
-                    IdxPlan::Affine { dim: Some(1), q: 1, o: 0, m: 1 },
+                    IdxPlan::Affine {
+                        dim: Some(0),
+                        q: 1,
+                        o: 0,
+                        m: 1,
+                    },
+                    IdxPlan::Affine {
+                        dim: Some(1),
+                        q: 1,
+                        o: 0,
+                        m: 1,
+                    },
                 ],
             }],
             nregs: 1,
             outs: vec![RegId(0)],
         };
-        assert_eq!(eval_simple(&k, &[3, 11], 3, &[Some(v)]), vec![5.0, 6.0, 7.0]);
+        assert_eq!(
+            eval_simple(&k, &[3, 11], 3, &[Some(v)]),
+            vec![5.0, 6.0, 7.0]
+        );
     }
 
     #[test]
@@ -563,10 +641,25 @@ mod tests {
         // index = coords scaled by 3 (some out of range, clamped to 9)
         let k = Kernel {
             ops: vec![
-                Op::CoordF { dst: RegId(0), dim: 0 },
-                Op::ConstF { dst: RegId(1), val: 3.0 },
-                Op::BinF { op: BinF::Mul, dst: RegId(2), a: RegId(0), b: RegId(1) },
-                Op::Load { dst: RegId(3), buf: BufId(0), plan: vec![IdxPlan::Reg(RegId(2))] },
+                Op::CoordF {
+                    dst: RegId(0),
+                    dim: 0,
+                },
+                Op::ConstF {
+                    dst: RegId(1),
+                    val: 3.0,
+                },
+                Op::BinF {
+                    op: BinF::Mul,
+                    dst: RegId(2),
+                    a: RegId(0),
+                    b: RegId(1),
+                },
+                Op::Load {
+                    dst: RegId(3),
+                    buf: BufId(0),
+                    plan: vec![IdxPlan::Reg(RegId(2))],
+                },
             ],
             nregs: 4,
             outs: vec![RegId(3)],
@@ -579,11 +672,30 @@ mod tests {
     fn select_and_masks() {
         let k = Kernel {
             ops: vec![
-                Op::CoordF { dst: RegId(0), dim: 0 },
-                Op::ConstF { dst: RegId(1), val: 2.0 },
-                Op::CmpMask { op: CmpF::Ge, dst: RegId(2), a: RegId(0), b: RegId(1) },
-                Op::MaskNot { dst: RegId(3), a: RegId(2) },
-                Op::SelectF { dst: RegId(4), mask: RegId(3), a: RegId(1), b: RegId(0) },
+                Op::CoordF {
+                    dst: RegId(0),
+                    dim: 0,
+                },
+                Op::ConstF {
+                    dst: RegId(1),
+                    val: 2.0,
+                },
+                Op::CmpMask {
+                    op: CmpF::Ge,
+                    dst: RegId(2),
+                    a: RegId(0),
+                    b: RegId(1),
+                },
+                Op::MaskNot {
+                    dst: RegId(3),
+                    a: RegId(2),
+                },
+                Op::SelectF {
+                    dst: RegId(4),
+                    mask: RegId(3),
+                    a: RegId(1),
+                    b: RegId(0),
+                },
             ],
             nregs: 5,
             outs: vec![RegId(4)],
@@ -596,15 +708,34 @@ mod tests {
     fn casts() {
         let k = Kernel {
             ops: vec![
-                Op::ConstF { dst: RegId(0), val: 2.5 },
-                Op::CastRound { dst: RegId(1), a: RegId(0) },
-                Op::ConstF { dst: RegId(2), val: 300.0 },
-                Op::CastSat { dst: RegId(3), a: RegId(2), lo: 0.0, hi: 255.0 },
+                Op::ConstF {
+                    dst: RegId(0),
+                    val: 2.5,
+                },
+                Op::CastRound {
+                    dst: RegId(1),
+                    a: RegId(0),
+                },
+                Op::ConstF {
+                    dst: RegId(2),
+                    val: 300.0,
+                },
+                Op::CastSat {
+                    dst: RegId(3),
+                    a: RegId(2),
+                    lo: 0.0,
+                    hi: 255.0,
+                },
             ],
             nregs: 4,
             outs: vec![RegId(1), RegId(3)],
         };
-        let ctx = ChunkCtx { coords: &[0], len: 2, inner: 0, bufs: &[] };
+        let ctx = ChunkCtx {
+            coords: &[0],
+            len: 2,
+            inner: 0,
+            bufs: &[],
+        };
         let mut regs = RegFile::new();
         eval_kernel(&k, &ctx, &mut regs);
         assert_eq!(regs.reg(RegId(1))[0], 3.0);
@@ -615,9 +746,20 @@ mod tests {
     fn mod_is_euclidean() {
         let k = Kernel {
             ops: vec![
-                Op::ConstF { dst: RegId(0), val: -3.0 },
-                Op::ConstF { dst: RegId(1), val: 5.0 },
-                Op::BinF { op: BinF::Mod, dst: RegId(2), a: RegId(0), b: RegId(1) },
+                Op::ConstF {
+                    dst: RegId(0),
+                    val: -3.0,
+                },
+                Op::ConstF {
+                    dst: RegId(1),
+                    val: 5.0,
+                },
+                Op::BinF {
+                    op: BinF::Mod,
+                    dst: RegId(2),
+                    a: RegId(0),
+                    b: RegId(1),
+                },
             ],
             nregs: 3,
             outs: vec![RegId(2)],

@@ -2,8 +2,8 @@
 
 use crate::eval::{eval_kernel, BufView, ChunkCtx};
 use crate::{
-    BufDecl, BufId, Buffer, CaseExec, EvalMode, GroupKind, Program, ReductionExec,
-    RegFile, SeqExec, StageExec, TiledGroup, VmError, CHUNK,
+    BufDecl, BufId, Buffer, CaseExec, EvalMode, GroupKind, Program, ReductionExec, RegFile,
+    SeqExec, StageExec, TiledGroup, VmError, CHUNK,
 };
 use polymage_poly::Rect;
 
@@ -13,7 +13,11 @@ use polymage_poly::Rect;
 /// recomputation at overlapped-tile borders — comparing it against the sum
 /// of stage domain volumes measures the *actual* redundancy, which tests
 /// check against the §3.4 analysis' prediction.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// `group_times` attributes wall-clock time to groups (in execution order);
+/// it is populated by [`crate::Engine`] runs and left empty by the legacy
+/// static executor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Overlapped tiles executed.
     pub tiles: u64,
@@ -21,6 +25,8 @@ pub struct RunStats {
     pub chunks: u64,
     /// Points computed (lanes stored), including redundant recomputation.
     pub points_computed: u64,
+    /// Per-group wall-clock durations, in execution order.
+    pub group_times: Vec<(String, std::time::Duration)>,
 }
 
 #[derive(Default)]
@@ -38,6 +44,12 @@ use std::sync::atomic::Ordering::Relaxed;
 /// reductions (the paper's core count). The returned buffers are the
 /// program's live-outs, in [`Program::outputs`] order.
 ///
+/// This is a compatibility shim: it builds a one-shot [`crate::Engine`]
+/// with `nthreads` pooled workers and runs the program through it. Code
+/// that executes a program more than once should hold a long-lived
+/// [`crate::Engine`] (or a `polymage_core::Session`) instead, so worker
+/// threads, scratch arenas, and buffers are reused across runs.
+///
 /// # Errors
 ///
 /// Returns [`VmError`] when the inputs do not match the program's images or
@@ -47,7 +59,8 @@ pub fn run_program(
     inputs: &[Buffer],
     nthreads: usize,
 ) -> Result<Vec<Buffer>, VmError> {
-    run_inner(prog, inputs, nthreads, None)
+    let engine = crate::Engine::with_threads(nthreads.max(1));
+    engine.run(&std::sync::Arc::new(prog.clone()), inputs)
 }
 
 /// Like [`run_program`], additionally returning execution statistics.
@@ -60,6 +73,40 @@ pub fn run_program_stats(
     inputs: &[Buffer],
     nthreads: usize,
 ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+    let engine = crate::Engine::with_threads(nthreads.max(1));
+    engine.run_stats(&std::sync::Arc::new(prog.clone()), inputs)
+}
+
+/// Runs a program with the legacy static executor: per-group scoped
+/// threads and a fixed `strip % nthreads` assignment.
+///
+/// Kept as the reference implementation — the pooled [`crate::Engine`] is
+/// required to be bit-identical to this path (the equivalence suite in
+/// `crates/apps` asserts it), and tests use it as the differential oracle.
+///
+/// # Errors
+///
+/// Same conditions as [`run_program`].
+pub fn run_program_static(
+    prog: &Program,
+    inputs: &[Buffer],
+    nthreads: usize,
+) -> Result<Vec<Buffer>, VmError> {
+    run_inner(prog, inputs, nthreads, None)
+}
+
+/// Like [`run_program_static`], additionally returning execution
+/// statistics (with empty `group_times`; the static path does not time
+/// groups).
+///
+/// # Errors
+///
+/// Same conditions as [`run_program`].
+pub fn run_program_static_stats(
+    prog: &Program,
+    inputs: &[Buffer],
+    nthreads: usize,
+) -> Result<(Vec<Buffer>, RunStats), VmError> {
     let cells = StatCells::default();
     let out = run_inner(prog, inputs, nthreads, Some(&cells))?;
     Ok((
@@ -68,33 +115,20 @@ pub fn run_program_stats(
             tiles: cells.tiles.load(Relaxed),
             chunks: cells.chunks.load(Relaxed),
             points_computed: cells.points.load(Relaxed),
+            group_times: Vec::new(),
         },
     ))
 }
 
-fn run_inner(
-    prog: &Program,
-    inputs: &[Buffer],
-    nthreads: usize,
-    stats: Option<&StatCells>,
-) -> Result<Vec<Buffer>, VmError> {
-    let nthreads = nthreads.max(1);
+/// Checks that `inputs` matches the program's declared images (count and
+/// shape).
+pub(crate) fn validate_inputs(prog: &Program, inputs: &[Buffer]) -> Result<(), VmError> {
     if inputs.len() != prog.image_bufs.len() {
         return Err(VmError::InputCountMismatch {
             expected: prog.image_bufs.len(),
             got: inputs.len(),
         });
     }
-    // Allocate full buffers; scratch entries stay empty (they live in
-    // per-thread arenas).
-    let mut fulls: Vec<Vec<f32>> = prog
-        .buffers
-        .iter()
-        .map(|b| match b.kind {
-            crate::BufKind::Full => vec![0.0f32; b.len()],
-            crate::BufKind::Scratch => Vec::new(),
-        })
-        .collect();
     for (i, (&b, input)) in prog.image_bufs.iter().zip(inputs).enumerate() {
         let decl = &prog.buffers[b.0];
         let want = decl_rect(decl);
@@ -105,15 +139,36 @@ fn run_inner(
                 got: input.rect.to_string(),
             });
         }
+    }
+    Ok(())
+}
+
+fn run_inner(
+    prog: &Program,
+    inputs: &[Buffer],
+    nthreads: usize,
+    stats: Option<&StatCells>,
+) -> Result<Vec<Buffer>, VmError> {
+    let nthreads = nthreads.max(1);
+    validate_inputs(prog, inputs)?;
+    // Allocate full buffers; scratch entries stay empty (they live in
+    // per-thread arenas).
+    let mut fulls: Vec<Vec<f32>> = prog
+        .buffers
+        .iter()
+        .map(|b| match b.kind {
+            crate::BufKind::Full => vec![0.0f32; b.len()],
+            crate::BufKind::Scratch => Vec::new(),
+        })
+        .collect();
+    for (&b, input) in prog.image_bufs.iter().zip(inputs) {
         fulls[b.0].copy_from_slice(&input.data);
     }
 
     for group in &prog.groups {
         match &group.kind {
             GroupKind::Tiled(tg) => execute_tiled(prog, tg, &mut fulls, nthreads, stats)?,
-            GroupKind::Reduction(red) => {
-                execute_reduction(prog, red, &mut fulls, nthreads)?
-            }
+            GroupKind::Reduction(red) => execute_reduction(prog, red, &mut fulls, nthreads)?,
             GroupKind::Sequential(seq) => execute_seq(prog, seq, &mut fulls)?,
         }
     }
@@ -121,13 +176,11 @@ fn run_inner(
     Ok(prog
         .outputs
         .iter()
-        .map(|(_, b)| {
-            Buffer::from_vec(decl_rect(&prog.buffers[b.0]), fulls[b.0].clone())
-        })
+        .map(|(_, b)| Buffer::from_vec(decl_rect(&prog.buffers[b.0]), fulls[b.0].clone()))
         .collect())
 }
 
-fn decl_rect(decl: &BufDecl) -> Rect {
+pub(crate) fn decl_rect(decl: &BufDecl) -> Rect {
     Rect::new(
         decl.origin
             .iter()
@@ -161,13 +214,17 @@ impl<'a> StoreDest<'a> {
             offset += (ph - origin[d]) * buf_strides[d];
             strides.push(s * buf_strides[d]);
         }
-        StoreDest { data, offset, strides }
+        StoreDest {
+            data,
+            offset,
+            strides,
+        }
     }
 
     fn flat(&self, coords: &[i64]) -> usize {
         let mut idx = self.offset;
-        for d in 0..coords.len() {
-            idx += coords[d] * self.strides[d];
+        for (c, s) in coords.iter().zip(&self.strides) {
+            idx += c * s;
         }
         idx as usize
     }
@@ -290,7 +347,12 @@ fn eval_cases_into(
             while x <= xhi {
                 let len = ((xhi - x + 1) as usize).min(step);
                 coords[axis] = x;
-                let ctx = ChunkCtx { coords, len, inner: axis, bufs: views };
+                let ctx = ChunkCtx {
+                    coords,
+                    len,
+                    inner: axis,
+                    bufs: views,
+                };
                 eval_kernel(&case.kernel, &ctx, regs);
                 local.chunks += 1;
                 local.points += len as u64;
@@ -359,40 +421,44 @@ fn store_lanes(dst: &mut [f32], src: &[f32], sat: Option<(f32, f32)>, round: boo
 }
 
 /// A slab of a full buffer owned by one strip: rows `[row_lo, row_hi]`.
-struct Slab<'a> {
-    stage: usize,
-    row_lo: i64,
-    data: &'a mut [f32],
+pub(crate) struct Slab<'a> {
+    pub(crate) stage: usize,
+    pub(crate) row_lo: i64,
+    pub(crate) data: &'a mut [f32],
 }
 
-fn execute_tiled(
-    prog: &Program,
-    tg: &TiledGroup,
-    fulls: &mut [Vec<f32>],
-    nthreads: usize,
-    stats: Option<&StatCells>,
-) -> Result<(), VmError> {
-    // Which full buffers this group writes, by stage.
+/// The full buffers a tiled group writes, as `(stage index, buffer)` pairs.
+///
+/// # Errors
+///
+/// Rejects groups where two stages store to the same full buffer (slab
+/// partitioning assumes one writer per buffer).
+pub(crate) fn written_stages(tg: &TiledGroup) -> Result<Vec<(usize, BufId)>, VmError> {
     let written: Vec<(usize, BufId)> = tg
         .stages
         .iter()
         .enumerate()
         .filter_map(|(k, s)| s.full.map(|b| (k, b)))
         .collect();
-    {
-        let mut seen = std::collections::HashSet::new();
-        for &(_, b) in &written {
-            if !seen.insert(b) {
-                return Err(VmError::Internal(format!(
-                    "buffer {b:?} written by two stages in one group"
-                )));
-            }
+    let mut seen = std::collections::HashSet::new();
+    for &(_, b) in &written {
+        if !seen.insert(b) {
+            return Err(VmError::Internal(format!(
+                "buffer {b:?} written by two stages in one group"
+            )));
         }
     }
+    Ok(written)
+}
 
+/// Per-strip layout of a tiled group: the row range each strip owns per
+/// stage (from the precomputed tile stores) and the tile indices grouped by
+/// strip.
+pub(crate) type StripRows = Vec<Vec<Option<(i64, i64)>>>;
+
+pub(crate) fn strip_layout(tg: &TiledGroup) -> (StripRows, Vec<Vec<usize>>) {
     // Row ranges each strip owns per written stage (from precomputed stores).
-    let mut strip_rows: Vec<Vec<Option<(i64, i64)>>> =
-        vec![vec![None; tg.nstrips]; tg.stages.len()];
+    let mut strip_rows: StripRows = vec![vec![None; tg.nstrips]; tg.stages.len()];
     for t in &tg.tiles {
         for (k, st) in t.stores.iter().enumerate() {
             if let Some(r) = st {
@@ -414,6 +480,29 @@ fn execute_tiled(
     for (i, t) in tg.tiles.iter().enumerate() {
         tiles_by_strip[t.strip].push(i);
     }
+    (strip_rows, tiles_by_strip)
+}
+
+/// Rows-per-unit size of a buffer's trailing dimensions (elements per row
+/// of dimension 0).
+pub(crate) fn row_size(decl: &BufDecl) -> i64 {
+    if decl.sizes.len() > 1 {
+        decl.sizes[1..].iter().product::<i64>()
+    } else {
+        1
+    }
+}
+
+fn execute_tiled(
+    prog: &Program,
+    tg: &TiledGroup,
+    fulls: &mut [Vec<f32>],
+    nthreads: usize,
+    stats: Option<&StatCells>,
+) -> Result<(), VmError> {
+    // Which full buffers this group writes, by stage.
+    let written = written_stages(tg)?;
+    let (strip_rows, tiles_by_strip) = strip_layout(tg);
 
     // Split written buffers out of `fulls`; everything else is read-only.
     let writes: std::collections::HashMap<usize, usize> =
@@ -435,15 +524,13 @@ fn execute_tiled(
     }
     for (k, b, buf) in writers {
         let decl = &prog.buffers[b.0];
-        let row_size = if decl.sizes.len() > 1 {
-            decl.sizes[1..].iter().product::<i64>()
-        } else {
-            1
-        };
+        let rsz = row_size(decl);
         let mut rest: &mut [f32] = buf.as_mut_slice();
         let mut consumed = 0i64; // rows consumed so far (relative to origin)
         for s in 0..tg.nstrips {
-            let Some((lo, hi)) = strip_rows[k][s] else { continue };
+            let Some((lo, hi)) = strip_rows[k][s] else {
+                continue;
+            };
             let start_row = lo - decl.origin[0];
             if start_row < consumed {
                 return Err(VmError::Internal(format!(
@@ -451,13 +538,17 @@ fn execute_tiled(
                     tg.stages[k].name
                 )));
             }
-            let skip = ((start_row - consumed) * row_size) as usize;
-            let take = ((hi - lo + 1) * row_size) as usize;
+            let skip = ((start_row - consumed) * rsz) as usize;
+            let take = ((hi - lo + 1) * rsz) as usize;
             let (_, r) = rest.split_at_mut(skip);
             let (slab, r2) = r.split_at_mut(take);
             rest = r2;
             consumed = start_row + (hi - lo + 1);
-            slabs_per_strip[s].push(Slab { stage: k, row_lo: lo, data: slab });
+            slabs_per_strip[s].push(Slab {
+                stage: k,
+                row_lo: lo,
+                data: slab,
+            });
         }
     }
 
@@ -517,7 +608,9 @@ fn worker_strips(
         for &ti in &tiles_by_strip[*strip] {
             let tile = &tg.tiles[ti];
             local.tiles += 1;
-            run_tile(prog, tg, tile, read_refs, slabs, &mut arena, &mut regs, &mut local);
+            run_tile(
+                prog, tg, tile, read_refs, slabs, &mut arena, &mut regs, &mut local,
+            );
         }
     }
     if let Some(cells) = stats {
@@ -528,15 +621,15 @@ fn worker_strips(
 }
 
 /// Per-worker counters, flushed to the shared atomics once per group.
-#[derive(Default)]
-struct LocalStats {
-    tiles: u64,
-    chunks: u64,
-    points: u64,
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LocalStats {
+    pub(crate) tiles: u64,
+    pub(crate) chunks: u64,
+    pub(crate) points: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_tile(
+pub(crate) fn run_tile(
     prog: &Program,
     tg: &TiledGroup,
     tile: &crate::TileWork,
@@ -569,8 +662,17 @@ fn run_tile(
             let mut origin = decl.origin.clone();
             origin[0] = slabs[si].row_lo;
             eval_cases_into(
-                &stage.cases, &store, stage.sat, stage.round, prog.mode, &views,
-                regs, slabs[si].data, &origin, &decl.strides(), local,
+                &stage.cases,
+                &store,
+                stage.sat,
+                stage.round,
+                prog.mode,
+                &views,
+                regs,
+                slabs[si].data,
+                &origin,
+                &decl.strides(),
+                local,
             );
         } else {
             let decl = &prog.buffers[stage.scratch.0];
@@ -579,8 +681,17 @@ fn run_tile(
             zero_region(target, decl, region);
             let origin: Vec<i64> = region.ranges().iter().map(|&(lo, _)| lo).collect();
             eval_cases_into(
-                &stage.cases, region, stage.sat, stage.round, prog.mode, &views,
-                regs, target, &origin, &decl.strides(), local,
+                &stage.cases,
+                region,
+                stage.sat,
+                stage.round,
+                prog.mode,
+                &views,
+                regs,
+                target,
+                &origin,
+                &decl.strides(),
+                local,
             );
             // Copy-out to the full buffer if required.
             if let Some(b) = stage.full {
@@ -592,8 +703,13 @@ fn run_tile(
                             .position(|s| s.stage == k)
                             .expect("slab for stored stage");
                         copy_region(
-                            &rest[0], decl, region, slabs[si].data, fdecl,
-                            slabs[si].row_lo, store,
+                            &rest[0],
+                            decl,
+                            region,
+                            slabs[si].data,
+                            fdecl,
+                            slabs[si].row_lo,
+                            store,
                         );
                     }
                 }
@@ -687,7 +803,11 @@ fn copy_region(
         let mut sbase = 0i64;
         let mut fbase = 0i64;
         for d in 0..n {
-            let c = if d == n - 1 { store.range(d).0 } else { coords[d] };
+            let c = if d == n - 1 {
+                store.range(d).0
+            } else {
+                coords[d]
+            };
             sbase += (c - sorigin[d]) * sstr[d];
             fbase += (c - forigin[d]) * fstr[d];
         }
@@ -696,7 +816,7 @@ fn copy_region(
     });
 }
 
-fn execute_reduction(
+pub(crate) fn execute_reduction(
     prog: &Program,
     red: &ReductionExec,
     fulls: &mut [Vec<f32>],
@@ -757,22 +877,26 @@ fn execute_reduction(
         }
     }
 
-    // Cells never touched keep the identity; for Min/Max that would be
-    // ±∞ — replace with 0 to match the zero-for-undefined convention.
-    if !matches!(red.op, polymage_ir::Reduction::Sum) {
-        for v in out_vec.iter_mut() {
-            if !v.is_finite() && *v == identity {
-                *v = 0.0;
-            }
-        }
-    }
+    fix_untouched_identities(red.op, identity, &mut out_vec);
 
     fulls[red.out.0] = out_vec;
     let _ = decl;
     Ok(())
 }
 
-fn reduction_views<'a>(
+/// Cells never touched by a reduction keep the identity; for Min/Max that
+/// would be ±∞ — replace with 0 to match the zero-for-undefined convention.
+pub(crate) fn fix_untouched_identities(op: polymage_ir::Reduction, identity: f32, out: &mut [f32]) {
+    if !matches!(op, polymage_ir::Reduction::Sum) {
+        for v in out.iter_mut() {
+            if !v.is_finite() && *v == identity {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+pub(crate) fn reduction_views<'a>(
     prog: &Program,
     red: &ReductionExec,
     read_refs: &[Option<&'a [f32]>],
@@ -781,7 +905,10 @@ fn reduction_views<'a>(
     for &b in &red.reads {
         let decl = &prog.buffers[b.0];
         let data = read_refs[b.0].unwrap_or_else(|| {
-            panic!("reduction `{}` reads unavailable buffer `{}`", red.name, decl.name)
+            panic!(
+                "reduction `{}` reads unavailable buffer `{}`",
+                red.name, decl.name
+            )
         });
         views[b.0] = Some(BufView {
             data,
@@ -794,7 +921,7 @@ fn reduction_views<'a>(
 }
 
 /// Sweeps (part of) the reduction domain, combining into `out`.
-fn sweep_reduction(
+pub(crate) fn sweep_reduction(
     prog: &Program,
     red: &ReductionExec,
     views: &[Option<BufView<'_>>],
@@ -819,28 +946,30 @@ fn sweep_reduction(
         while x <= xhi {
             let len = ((xhi - x + 1) as usize).min(step);
             coords[n - 1] = x;
-            let ctx = ChunkCtx { coords, len, inner: n - 1, bufs: views };
+            let ctx = ChunkCtx {
+                coords,
+                len,
+                inner: n - 1,
+                bufs: views,
+            };
             eval_kernel(&red.kernel, &ctx, &mut regs);
             let val: [f32; CHUNK] = *regs.reg(red.kernel.outs[0]);
             // Gather target indices and scatter-combine.
-            for i in 0..len {
+            for (i, &v) in val.iter().enumerate().take(len) {
                 let mut flat = 0i64;
                 let mut ok = true;
-                for d in 0..ndim_out {
+                for (d, &stride) in strides.iter().enumerate().take(ndim_out) {
                     let idx = regs.reg(red.kernel.outs[1 + d])[i].round() as i64;
-                    let idx = idx.clamp(
-                        decl.origin[d],
-                        decl.origin[d] + decl.sizes[d] - 1,
-                    );
+                    let idx = idx.clamp(decl.origin[d], decl.origin[d] + decl.sizes[d] - 1);
                     if decl.sizes[d] == 0 {
                         ok = false;
                         break;
                     }
-                    flat += (idx - decl.origin[d]) * strides[d];
+                    flat += (idx - decl.origin[d]) * stride;
                 }
                 if ok {
                     let cell = &mut out[flat as usize];
-                    *cell = red.op.combine(*cell as f64, val[i] as f64) as f32;
+                    *cell = red.op.combine(*cell as f64, v as f64) as f32;
                 }
             }
             x += len as i64;
@@ -848,7 +977,7 @@ fn sweep_reduction(
     });
 }
 
-fn execute_seq(
+pub(crate) fn execute_seq(
     prog: &Program,
     seq: &SeqExec,
     fulls: &mut [Vec<f32>],
@@ -886,10 +1015,10 @@ fn execute_seq(
         // strided store addressing: offset + Σ coordᵈ·vstrideᵈ
         let mut offset = 0i64;
         let mut vstrides = Vec::with_capacity(n);
-        for d in 0..n {
+        for (d, &stride) in strides.iter().enumerate().take(n) {
             let (s, ph) = case.steps.get(d).copied().unwrap_or((1, 0));
-            offset += (ph - decl.origin[d]) * strides[d];
-            vstrides.push(s * strides[d]);
+            offset += (ph - decl.origin[d]) * stride;
+            vstrides.push(s * stride);
         }
         let (xlo, xhi) = vrect.range(n - 1);
         for_each_row(&vrect, vrect.ndim() - 1, &mut |coords| {
@@ -906,7 +1035,12 @@ fn execute_seq(
                         strides: strides.clone(),
                         sizes: decl.sizes.clone(),
                     });
-                    let ctx = ChunkCtx { coords, len, inner: n - 1, bufs: &views };
+                    let ctx = ChunkCtx {
+                        coords,
+                        len,
+                        inner: n - 1,
+                        bufs: &views,
+                    };
                     eval_kernel(&case.kernel, &ctx, &mut regs);
                     tmp[..len].copy_from_slice(&regs.reg(case.kernel.out())[..len]);
                     if let Some(m) = case.mask {
@@ -944,7 +1078,10 @@ fn reduction_views_for_seq<'a>(
         }
         let decl = &prog.buffers[b.0];
         let data = read_refs[b.0].unwrap_or_else(|| {
-            panic!("stage `{}` reads unavailable buffer `{}`", seq.name, decl.name)
+            panic!(
+                "stage `{}` reads unavailable buffer `{}`",
+                seq.name, decl.name
+            )
         });
         views[b.0] = Some(BufView {
             data,

@@ -232,15 +232,28 @@ mod tests {
 
     #[test]
     fn dst_extraction() {
-        let op = Op::BinF { op: BinF::Add, dst: RegId(3), a: RegId(1), b: RegId(2) };
+        let op = Op::BinF {
+            op: BinF::Add,
+            dst: RegId(3),
+            a: RegId(1),
+            b: RegId(2),
+        };
         assert_eq!(op.dst(), RegId(3));
-        let op = Op::Load { dst: RegId(5), buf: BufId(0), plan: vec![] };
+        let op = Op::Load {
+            dst: RegId(5),
+            buf: BufId(0),
+            plan: vec![],
+        };
         assert_eq!(op.dst(), RegId(5));
     }
 
     #[test]
     fn kernel_primary_out() {
-        let k = Kernel { ops: vec![], nregs: 2, outs: vec![RegId(1), RegId(0)] };
+        let k = Kernel {
+            ops: vec![],
+            nregs: 2,
+            outs: vec![RegId(1), RegId(0)],
+        };
         assert_eq!(k.out(), RegId(1));
     }
 }

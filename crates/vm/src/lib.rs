@@ -27,18 +27,24 @@
 #![forbid(unsafe_code)]
 
 mod buffer;
+mod engine;
 mod error;
 mod eval;
 mod exec;
 mod kernel;
+mod pool;
 mod program;
 
 pub use buffer::{BufDecl, BufId, BufKind, Buffer};
+pub use engine::Engine;
 pub use error::VmError;
 pub use eval::{eval_kernel, BufView, ChunkCtx, RegFile, CHUNK};
-pub use exec::{run_program, run_program_stats, RunStats};
+pub use exec::{
+    run_program, run_program_static, run_program_static_stats, run_program_stats, RunStats,
+};
 pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, RegId, UnF};
+pub use pool::BufferPool;
 pub use program::{
-    CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec,
-    TileWork, TiledGroup,
+    CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, TileWork,
+    TiledGroup,
 };

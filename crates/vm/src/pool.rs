@@ -1,0 +1,115 @@
+//! A freelist allocator for `f32` working buffers.
+
+/// A bounded freelist of `Vec<f32>` allocations, shared by the
+/// [`crate::Engine`] coordinator and its workers for full buffers, output
+/// slabs, and reduction partials.
+///
+/// [`BufferPool::acquire_zeroed`] returns a zero-filled vector of exactly
+/// the requested length, reusing the retained allocation with the smallest
+/// sufficient capacity when one exists; [`BufferPool::release`] returns a
+/// vector to the freelist. Retention is capped so pathological workloads
+/// cannot hoard memory indefinitely.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f32>>,
+    acquires: u64,
+    reuses: u64,
+}
+
+/// Maximum number of free buffers retained for reuse.
+const MAX_RETAINED: usize = 64;
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// A zero-filled vector of length `len`, reusing a retained allocation
+    /// when one is large enough (best fit by capacity).
+    pub fn acquire_zeroed(&mut self, len: usize) -> Vec<f32> {
+        self.acquires += 1;
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, v) in self.free.iter().enumerate() {
+            let cap = v.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        let mut v = match best {
+            Some((i, _)) => {
+                self.reuses += 1;
+                self.free.swap_remove(i)
+            }
+            None => Vec::new(),
+        };
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a vector to the freelist for later reuse.
+    pub fn release(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 && self.free.len() < MAX_RETAINED {
+            self.free.push(v);
+        }
+    }
+
+    /// `(acquires, reuses)` counters since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.acquires, self.reuses)
+    }
+
+    /// Number of currently retained free buffers.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_capacity_and_zeroes() {
+        let mut p = BufferPool::new();
+        let mut v = p.acquire_zeroed(100);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v.iter_mut().for_each(|x| *x = 7.0);
+        let cap = v.capacity();
+        p.release(v);
+        assert_eq!(p.retained(), 1);
+        let v2 = p.acquire_zeroed(50);
+        assert_eq!(v2.len(), 50);
+        assert!(v2.capacity() >= cap.min(100));
+        assert!(
+            v2.iter().all(|&x| x == 0.0),
+            "reused buffer must be re-zeroed"
+        );
+        assert_eq!(p.stats(), (2, 1));
+        assert_eq!(p.retained(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient() {
+        let mut p = BufferPool::new();
+        let big = p.acquire_zeroed(1000);
+        let small = p.acquire_zeroed(10);
+        p.release(big);
+        p.release(small);
+        let v = p.acquire_zeroed(8);
+        assert!(v.capacity() < 1000, "should reuse the 10-element buffer");
+        let v2 = p.acquire_zeroed(500);
+        assert!(
+            v2.capacity() >= 1000,
+            "should reuse the 1000-element buffer"
+        );
+    }
+
+    #[test]
+    fn empty_vectors_are_not_retained() {
+        let mut p = BufferPool::new();
+        p.release(Vec::new());
+        assert_eq!(p.retained(), 0);
+    }
+}

@@ -5,7 +5,7 @@ use polymage_poly::Rect;
 
 /// Whether kernels evaluate whole chunks (auto-vectorizable) or one point at
 /// a time — the analogue of the paper's ±vectorization configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EvalMode {
     /// Chunked evaluation (the paper's `+vec`).
     #[default]

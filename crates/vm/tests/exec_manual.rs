@@ -17,7 +17,12 @@ fn two_stage_program(mode: EvalMode) -> Program {
     let blur_s = BufId(1);
     let out_f = BufId(2);
     let buffers = vec![
-        BufDecl { name: "in".into(), kind: BufKind::Full, sizes: vec![64], origin: vec![0] },
+        BufDecl {
+            name: "in".into(),
+            kind: BufKind::Full,
+            sizes: vec![64],
+            origin: vec![0],
+        },
         BufDecl {
             name: "blur".into(),
             kind: BufKind::Scratch,
@@ -25,13 +30,23 @@ fn two_stage_program(mode: EvalMode) -> Program {
             sizes: vec![18],
             origin: vec![0],
         },
-        BufDecl { name: "out".into(), kind: BufKind::Full, sizes: vec![60], origin: vec![2] },
+        BufDecl {
+            name: "out".into(),
+            kind: BufKind::Full,
+            sizes: vec![60],
+            origin: vec![2],
+        },
     ];
 
     let load = |buf: BufId, o: i64| Op::Load {
         dst: RegId(0),
         buf,
-        plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o, m: 1 }],
+        plan: vec![IdxPlan::Affine {
+            dim: Some(0),
+            q: 1,
+            o,
+            m: 1,
+        }],
     };
     let blur_kernel = Kernel {
         ops: vec![
@@ -39,15 +54,35 @@ fn two_stage_program(mode: EvalMode) -> Program {
             Op::Load {
                 dst: RegId(1),
                 buf: img,
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: 0,
+                    m: 1,
+                }],
             },
             Op::Load {
                 dst: RegId(2),
                 buf: img,
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 1, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: 1,
+                    m: 1,
+                }],
             },
-            Op::BinF { op: BinF::Add, dst: RegId(3), a: RegId(0), b: RegId(1) },
-            Op::BinF { op: BinF::Add, dst: RegId(4), a: RegId(3), b: RegId(2) },
+            Op::BinF {
+                op: BinF::Add,
+                dst: RegId(3),
+                a: RegId(0),
+                b: RegId(1),
+            },
+            Op::BinF {
+                op: BinF::Add,
+                dst: RegId(4),
+                a: RegId(3),
+                b: RegId(2),
+            },
         ],
         nregs: 5,
         outs: vec![RegId(4)],
@@ -58,9 +93,19 @@ fn two_stage_program(mode: EvalMode) -> Program {
             Op::Load {
                 dst: RegId(1),
                 buf: blur_s,
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 1, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: 1,
+                    m: 1,
+                }],
             },
-            Op::BinF { op: BinF::Add, dst: RegId(2), a: RegId(0), b: RegId(1) },
+            Op::BinF {
+                op: BinF::Add,
+                dst: RegId(2),
+                a: RegId(0),
+                b: RegId(1),
+            },
         ],
         nregs: 3,
         outs: vec![RegId(2)],
@@ -136,8 +181,8 @@ fn two_stage_program(mode: EvalMode) -> Program {
 }
 
 fn reference_two_stage(input: &[f32]) -> Vec<f32> {
-    let blur: Vec<f32> =
-        (0..64).map(|x| {
+    let blur: Vec<f32> = (0..64)
+        .map(|x| {
             if (1..=62).contains(&x) {
                 input[x - 1] + input[x] + input[x + 1]
             } else {
@@ -150,8 +195,8 @@ fn reference_two_stage(input: &[f32]) -> Vec<f32> {
 
 #[test]
 fn tiled_two_stage_matches_reference_all_modes_and_threads() {
-    let input = Buffer::zeros(Rect::new(vec![(0, 63)]))
-        .fill_with(|p| ((p[0] * 7919 + 13) % 101) as f32);
+    let input =
+        Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| ((p[0] * 7919 + 13) % 101) as f32);
     let expect = reference_two_stage(&input.data);
     for mode in [EvalMode::Vector, EvalMode::Scalar] {
         for threads in [1, 2, 4, 7] {
@@ -174,7 +219,13 @@ fn tiled_two_stage_matches_reference_all_modes_and_threads() {
 fn input_validation_errors() {
     let prog = two_stage_program(EvalMode::Vector);
     let err = run_program(&prog, &[], 1).unwrap_err();
-    assert!(matches!(err, VmError::InputCountMismatch { expected: 1, got: 0 }));
+    assert!(matches!(
+        err,
+        VmError::InputCountMismatch {
+            expected: 1,
+            got: 0
+        }
+    ));
     let bad = Buffer::zeros(Rect::new(vec![(0, 10)]));
     let err = run_program(&prog, &[bad], 1).unwrap_err();
     assert!(matches!(err, VmError::InputShapeMismatch { index: 0, .. }));
@@ -185,7 +236,7 @@ fn histogram_reduction_parallel_matches_serial() {
     // hist(b) over b∈[0,9]: count input values.
     let img = BufId(0);
     let hist = BufId(1);
-    let prog = |threads_hint: usize| Program {
+    let prog = |_threads_hint: usize| Program {
         name: "hist".into(),
         buffers: vec![
             BufDecl {
@@ -210,13 +261,26 @@ fn histogram_reduction_parallel_matches_serial() {
                 red_dom: Rect::new(vec![(0, 31), (0, 31)]),
                 kernel: Kernel {
                     ops: vec![
-                        Op::ConstF { dst: RegId(0), val: 1.0 },
+                        Op::ConstF {
+                            dst: RegId(0),
+                            val: 1.0,
+                        },
                         Op::Load {
                             dst: RegId(1),
                             buf: img,
                             plan: vec![
-                                IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 },
-                                IdxPlan::Affine { dim: Some(1), q: 1, o: 0, m: 1 },
+                                IdxPlan::Affine {
+                                    dim: Some(0),
+                                    q: 1,
+                                    o: 0,
+                                    m: 1,
+                                },
+                                IdxPlan::Affine {
+                                    dim: Some(1),
+                                    q: 1,
+                                    o: 0,
+                                    m: 1,
+                                },
                             ],
                         },
                     ],
@@ -229,9 +293,7 @@ fn histogram_reduction_parallel_matches_serial() {
         }],
         outputs: vec![("hist".into(), hist)],
         mode: EvalMode::Vector,
-        // threads_hint unused; kept to exercise clone
     };
-    let _ = prog;
     let input = Buffer::zeros(Rect::new(vec![(0, 31), (0, 31)]))
         .fill_with(|p| ((p[0] * 31 + p[1] * 17) % 10) as f32);
     let serial = run_program(&prog(1), std::slice::from_ref(&input), 1).unwrap();
@@ -251,14 +313,29 @@ fn sequential_scan_prefix_sum() {
             Op::Load {
                 dst: RegId(0),
                 buf: out,
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: -1, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: -1,
+                    m: 1,
+                }],
             },
             Op::Load {
                 dst: RegId(1),
                 buf: img,
-                plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 }],
+                plan: vec![IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 1,
+                    o: 0,
+                    m: 1,
+                }],
             },
-            Op::BinF { op: BinF::Add, dst: RegId(2), a: RegId(0), b: RegId(1) },
+            Op::BinF {
+                op: BinF::Add,
+                dst: RegId(2),
+                a: RegId(0),
+                b: RegId(1),
+            },
         ],
         nregs: 3,
         outs: vec![RegId(2)],
@@ -267,7 +344,12 @@ fn sequential_scan_prefix_sum() {
         ops: vec![Op::Load {
             dst: RegId(0),
             buf: img,
-            plan: vec![IdxPlan::Affine { dim: Some(0), q: 1, o: 0, m: 1 }],
+            plan: vec![IdxPlan::Affine {
+                dim: Some(0),
+                q: 1,
+                o: 0,
+                m: 1,
+            }],
         }],
         nregs: 1,
         outs: vec![RegId(0)],
@@ -318,8 +400,7 @@ fn sequential_scan_prefix_sum() {
         outputs: vec![("f".into(), out)],
         mode: EvalMode::Vector,
     };
-    let input =
-        Buffer::zeros(Rect::new(vec![(0, 99)])).fill_with(|p| (p[0] % 7) as f32);
+    let input = Buffer::zeros(Rect::new(vec![(0, 99)])).fill_with(|p| (p[0] % 7) as f32);
     let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
     let mut acc = 0.0;
     for (x, &v) in outs[0].data.iter().enumerate() {
@@ -375,7 +456,10 @@ fn saturating_stores() {
                                         m: 1,
                                     }],
                                 },
-                                Op::ConstF { dst: RegId(1), val: 3.0 },
+                                Op::ConstF {
+                                    dst: RegId(1),
+                                    val: 3.0,
+                                },
                                 Op::BinF {
                                     op: BinF::Mul,
                                     dst: RegId(2),
@@ -402,8 +486,7 @@ fn saturating_stores() {
         outputs: vec![("out".into(), out)],
         mode: EvalMode::Vector,
     };
-    let input =
-        Buffer::zeros(Rect::new(vec![(0, 15)])).fill_with(|p| (p[0] * 20) as f32);
+    let input = Buffer::zeros(Rect::new(vec![(0, 15)])).fill_with(|p| (p[0] * 20) as f32);
     let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
     assert_eq!(outs[0].data[0], 0.0);
     assert_eq!(outs[0].data[4], 240.0);
@@ -453,8 +536,14 @@ fn min_max_reductions_and_untouched_cells() {
                                 }],
                             },
                             // target = x mod 2 (never touches cells 2, 3)
-                            Op::CoordF { dst: RegId(1), dim: 0 },
-                            Op::ConstF { dst: RegId(2), val: 2.0 },
+                            Op::CoordF {
+                                dst: RegId(1),
+                                dim: 0,
+                            },
+                            Op::ConstF {
+                                dst: RegId(2),
+                                val: 2.0,
+                            },
                             Op::BinF {
                                 op: BinF::Mod,
                                 dst: RegId(3),
@@ -478,18 +567,75 @@ fn min_max_reductions_and_untouched_cells() {
         for threads in [1, 3] {
             let got = run_program(&prog, std::slice::from_ref(&input), threads).unwrap();
             // cell 0: evens; cell 1: odds; cells 2/3 untouched → 0
-            let evens: Vec<f32> = (0..20).filter(|i| i % 2 == 0).map(|i| input.data[i]).collect();
-            let odds: Vec<f32> = (0..20).filter(|i| i % 2 == 1).map(|i| input.data[i]).collect();
+            let evens: Vec<f32> = (0..20)
+                .filter(|i| i % 2 == 0)
+                .map(|i| input.data[i])
+                .collect();
+            let odds: Vec<f32> = (0..20)
+                .filter(|i| i % 2 == 1)
+                .map(|i| input.data[i])
+                .collect();
             let fold = |v: &[f32]| match op {
                 Reduction::Min => v.iter().fold(f32::MAX, |a, &b| a.min(b)),
                 Reduction::Max => v.iter().fold(f32::MIN, |a, &b| a.max(b)),
                 Reduction::Sum => v.iter().sum(),
             };
-            assert_eq!(got[0].data[0], fold(&evens), "{op:?} cell 0 threads {threads}");
-            assert_eq!(got[0].data[1], fold(&odds), "{op:?} cell 1 threads {threads}");
+            assert_eq!(
+                got[0].data[0],
+                fold(&evens),
+                "{op:?} cell 0 threads {threads}"
+            );
+            assert_eq!(
+                got[0].data[1],
+                fold(&odds),
+                "{op:?} cell 1 threads {threads}"
+            );
             assert_eq!(got[0].data[2], 0.0, "untouched cell stays 0");
             assert_eq!(got[0].data[3], 0.0);
             let _ = expect_touched;
         }
     }
+}
+
+#[test]
+fn engine_reuse_matches_static_executor_bit_exact() {
+    // One Engine, many runs, varied thread counts and inputs: every result
+    // must be bit-identical to the legacy static executor.
+    let engine = Engine::with_threads(4);
+    for mode in [EvalMode::Vector, EvalMode::Scalar] {
+        let prog = std::sync::Arc::new(two_stage_program(mode));
+        for round in 0..3 {
+            let input = Buffer::zeros(Rect::new(vec![(0, 63)]))
+                .fill_with(|p| ((p[0] * 7919 + 13 * (round + 1)) % 101) as f32);
+            for threads in [1, 2, 4, 7] {
+                let legacy =
+                    run_program_static(&prog, std::slice::from_ref(&input), threads).unwrap();
+                let pooled = engine
+                    .run_with_threads(&prog, std::slice::from_ref(&input), threads)
+                    .unwrap();
+                assert_eq!(legacy.len(), pooled.len());
+                for (l, p) in legacy.iter().zip(&pooled) {
+                    assert_eq!(l.rect, p.rect);
+                    let lb: Vec<u32> = l.data.iter().map(|v| v.to_bits()).collect();
+                    let pb: Vec<u32> = p.data.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(lb, pb, "mode {mode:?} threads {threads} round {round}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_stats_report_group_times() {
+    let prog = std::sync::Arc::new(two_stage_program(EvalMode::Vector));
+    let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| p[0] as f32);
+    let engine = Engine::with_threads(2);
+    let (outs, stats) = engine
+        .run_stats(&prog, std::slice::from_ref(&input))
+        .unwrap();
+    assert_eq!(outs.len(), 1);
+    assert_eq!(stats.tiles, 4);
+    assert!(stats.points_computed > 0);
+    assert_eq!(stats.group_times.len(), 1);
+    assert_eq!(stats.group_times[0].0, "g0");
 }

@@ -85,8 +85,7 @@ proptest! {
         };
         let mut regs = RegFile::new();
         eval_kernel(&k, &ctx, &mut regs);
-        for i in 0..len {
-            let v = vals[i];
+        for (i, &v) in vals.iter().enumerate().take(len) {
             let want = (v * c + v).abs().max(c);
             prop_assert_eq!(regs.reg(RegId(5))[i], want);
         }
@@ -126,8 +125,7 @@ proptest! {
         };
         let mut regs = RegFile::new();
         eval_kernel(&k, &ctx, &mut regs);
-        for i in 0..len {
-            let v = vals[i];
+        for (i, &v) in vals.iter().enumerate().take(len) {
             let want = if !(v > 0.0 && v < 5.0) { -1.0 } else { v };
             prop_assert_eq!(regs.reg(RegId(8))[i], want);
         }

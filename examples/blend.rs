@@ -9,30 +9,30 @@
 
 use polymage::apps::pyramid::PyramidBlend;
 use polymage::apps::{Benchmark, Scale};
-use polymage::core::{compile, CompileOptions};
-use polymage::vm::run_program;
+use polymage::core::{CompileOptions, Session};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = PyramidBlend::new(Scale::Small);
     let inputs = app.make_inputs(2024);
+    let session = Session::with_threads(2);
 
-    let opt = compile(app.pipeline(), &CompileOptions::optimized(app.params()))?;
+    let opt = session.compile(app.pipeline(), &CompileOptions::optimized(app.params()))?;
     println!("grouping (dashed boxes of Fig. 8):");
     for (i, g) in opt.report.groups.iter().enumerate() {
         println!("  box {i}: {}", g.stages.join(" "));
     }
 
-    // warm up, then time
-    let _ = run_program(&opt.program, &inputs, 2)?;
+    // warm up, then time (the session's pooled workers stay warm between runs)
+    let _ = session.run_compiled(&opt, &inputs)?;
     let t = Instant::now();
-    let out = run_program(&opt.program, &inputs, 2)?;
+    let out = session.run_compiled(&opt, &inputs)?;
     let opt_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let base = compile(app.pipeline(), &CompileOptions::base(app.params()))?;
-    let _ = run_program(&base.program, &inputs, 2)?;
+    let base = session.compile(app.pipeline(), &CompileOptions::base(app.params()))?;
+    let _ = session.run_compiled(&base, &inputs)?;
     let t = Instant::now();
-    let base_out = run_program(&base.program, &inputs, 2)?;
+    let base_out = session.run_compiled(&base, &inputs)?;
     let base_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();

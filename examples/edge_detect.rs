@@ -10,10 +10,10 @@
 //! cargo run --release --example edge_detect
 //! ```
 
-use polymage::core::{compile, CompileOptions};
+use polymage::core::{CompileOptions, Session};
 use polymage::ir::*;
 use polymage::poly::Rect;
-use polymage::vm::{run_program, Buffer};
+use polymage::vm::Buffer;
 
 fn build() -> Result<Pipeline, Box<dyn std::error::Error>> {
     let mut p = PipelineBuilder::new("edge_detect");
@@ -70,7 +70,10 @@ fn build() -> Result<Pipeline, Box<dyn std::error::Error>> {
     // 3. magnitude (point-wise → inlined by the compiler)
     let at = |f: FuncId| Expr::at(f, [Expr::from(x), Expr::from(y)]);
     let mag = p.func("mag", &interior(3), ScalarType::Float);
-    p.define(mag, vec![Case::always((at(gx) * at(gx) + at(gy) * at(gy)).sqrt())])?;
+    p.define(
+        mag,
+        vec![Case::always((at(gx) * at(gx) + at(gy) * at(gy)).sqrt())],
+    )?;
 
     // 4. non-maximum suppression: keep the pixel only if it is the local
     //    maximum along its (quantized) gradient direction — data-dependent
@@ -107,22 +110,31 @@ fn build() -> Result<Pipeline, Box<dyn std::error::Error>> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipe = build()?;
     let (rows, cols) = (512i64, 512i64);
-    let compiled = compile(&pipe, &CompileOptions::optimized(vec![rows, cols]))?;
+    let session = Session::with_threads(2);
+    let opts = CompileOptions::optimized(vec![rows, cols]);
+    let compiled = session.compile(&pipe, &opts)?;
     println!("--- optimizer report ---\n{}", compiled.report);
 
     // an input with clear structure: bright disc on a dark gradient
     let input = Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)])).fill_with(|p| {
         let (dx, dy) = (p[0] as f32 - 256.0, p[1] as f32 - 256.0);
-        let disc = if (dx * dx + dy * dy).sqrt() < 120.0 { 0.8 } else { 0.1 };
+        let disc = if (dx * dx + dy * dy).sqrt() < 120.0 {
+            0.8
+        } else {
+            0.1
+        };
         disc + p[1] as f32 * 0.0003
     });
-    let out = &run_program(&compiled.program, &[input], 2)?[0];
+    let out = &session.run_compiled(&compiled, &[input])?[0];
 
     let strong = out.data.iter().filter(|&&v| v == 1.0).count();
     let weak = out.data.iter().filter(|&&v| v == 0.5).count();
     println!("strong edge pixels: {strong}, weak: {weak}");
     // the disc boundary is ~2π·120 ≈ 754 pixels; NMS thins it to ~1–2 px
-    assert!(strong > 400 && strong < 4000, "edge census looks wrong: {strong}");
+    assert!(
+        strong > 400 && strong < 4000,
+        "edge census looks wrong: {strong}"
+    );
 
     // sanity: edges form a ring — check a horizontal scan through the center
     let mut crossings = 0;
@@ -136,6 +148,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prev = v;
     }
     println!("edge crossings on the center scanline: {crossings}");
-    assert!(crossings >= 2, "the disc boundary must be crossed at least twice");
+    assert!(
+        crossings >= 2,
+        "the disc boundary must be crossed at least twice"
+    );
     Ok(())
 }

@@ -10,9 +10,8 @@
 
 use polymage::apps::harris::HarrisCorner;
 use polymage::apps::{Benchmark, Scale};
-use polymage::core::{compile, emit_c, CompileOptions};
+use polymage::core::{emit_c, CompileOptions, Session};
 use polymage::graph::PipelineGraph;
-use polymage::vm::run_program;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = HarrisCorner::new(Scale::Small);
@@ -25,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = PipelineGraph::build(pipe)?;
     println!("{}", graph.to_dot(pipe));
 
-    let compiled = compile(pipe, &CompileOptions::optimized(app.params()))?;
+    let session = Session::with_threads(2);
+    let compiled = session.compile(pipe, &CompileOptions::optimized(app.params()))?;
     println!("--- grouping & storage (the paper's §4 schedule) ---");
     println!("{}", compiled.report);
 
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("... ({} lines total)", c.lines().count());
 
     let inputs = app.make_inputs(7);
-    let out = &run_program(&compiled.program, &inputs, 2)?[0];
+    let out = &session.run_compiled(&compiled, &inputs)?[0];
     // top corner responses
     let mut best: Vec<(f32, i64, i64)> = Vec::new();
     for pt in out.rect.points() {

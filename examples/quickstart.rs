@@ -5,17 +5,21 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use polymage::core::{compile, CompileOptions};
+use polymage::core::{CompileOptions, Session};
 use polymage::ir::*;
 use polymage::poly::Rect;
-use polymage::vm::{run_program, Buffer};
+use polymage::vm::Buffer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A two-stage 2-D pipeline: 3×3 box blur, then a sharpen that reads
     // both the blur and the input (Table 1's point-wise + stencil patterns).
     let mut p = PipelineBuilder::new("quickstart");
     let (r, c) = (p.param("R"), p.param("C"));
-    let img = p.image("in", ScalarType::Float, vec![PAff::param(r), PAff::param(c)]);
+    let img = p.image(
+        "in",
+        ScalarType::Float,
+        vec![PAff::param(r), PAff::param(c)],
+    );
     let (x, y) = (p.var("x"), p.var("y"));
 
     let interior = |off: i64| {
@@ -46,22 +50,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let pipe = p.finish(&[sharp])?;
 
+    // A session owns a persistent worker pool and a compile cache; hold
+    // one for the lifetime of your frame loop.
+    let session = Session::with_threads(2);
+
     // Compile for a concrete size with the fully optimized schedule.
     let (rows, cols) = (512i64, 512i64);
-    let compiled = compile(&pipe, &CompileOptions::optimized(vec![rows, cols]))?;
+    let opts = CompileOptions::optimized(vec![rows, cols]);
+    let compiled = session.compile(&pipe, &opts)?;
     println!("--- what the compiler did ---\n{}", compiled.report);
 
     // Run on a synthetic image.
     let input = Buffer::zeros(Rect::new(vec![(0, rows - 1), (0, cols - 1)]))
         .fill_with(|p| ((p[0] * 31 + p[1] * 17) % 256) as f32);
-    let outputs = run_program(&compiled.program, &[input.clone()], 2)?;
+    let outputs = session.run(&pipe, &opts, std::slice::from_ref(&input))?;
     let out = &outputs[0];
     println!("output region: {}", out.rect);
-    println!("sample values: {} {} {}", out.at(&[2, 2]), out.at(&[100, 100]), out.at(&[509, 509]));
+    println!(
+        "sample values: {} {} {}",
+        out.at(&[2, 2]),
+        out.at(&[100, 100]),
+        out.at(&[509, 509])
+    );
+
+    // The second run hit the compile cache: zero recompilation.
+    let stats = session.cache_stats();
+    println!(
+        "compile cache: {} hits, {} misses",
+        stats.hits, stats.misses
+    );
+    assert_eq!(stats.hits, 1);
 
     // The unfused "base" schedule computes the same function.
-    let base = compile(&pipe, &CompileOptions::base(vec![rows, cols]))?;
-    let base_out = run_program(&base.program, &[input], 1)?;
+    let base_out = session.run(&pipe, &CompileOptions::base(vec![rows, cols]), &[input])?;
     let diff = out.max_abs_diff(&base_out[0]);
     println!("max |opt − base| = {diff} (schedules do not change results)");
     assert!(diff < 1e-3);

@@ -62,11 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- per-stage tile extensions (scheduled units) ---");
     for &s in &stages {
         let e = &ov.per_func[&s][0];
-        println!("  {:>4}: left {} right {}", pipe.func(s).name, e.left, e.right);
+        println!(
+            "  {:>4}: left {} right {}",
+            pipe.func(s).name,
+            e.left,
+            e.right
+        );
     }
     println!("total overlap: {}+{}", ov.dims[0].left, ov.dims[0].right);
     for tau in [16i64, 32, 64, 128] {
-        println!("  tile {tau}: overlap ratio {:.3}", ov.overlap_ratio(&[tau]));
+        println!(
+            "  tile {tau}: overlap ratio {:.3}",
+            ov.overlap_ratio(&[tau])
+        );
     }
 
     // Fig. 5: the three tiling strategies on this group, quantified.
@@ -84,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
             let tile = &tg.tiles[tg.tiles.len() / 2];
-            println!("\n--- regions computed by one interior tile (group {}) ---", group.name);
+            println!(
+                "\n--- regions computed by one interior tile (group {}) ---",
+                group.name
+            );
             for (k, st) in tg.stages.iter().enumerate() {
                 println!("  {:>6}: {}", st.name, tile.regions[k]);
             }

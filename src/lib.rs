@@ -13,17 +13,22 @@
 //! - [`poly`]: the polyhedral substrate (affine forms, alignment/scaling,
 //!   overlap analysis);
 //! - [`graph`]: the stage DAG, bounds checking, inlining;
-//! - [`core`]: the optimizing compiler ([`core::compile`]), reference
-//!   interpreter, C emitter, autotuner;
-//! - [`vm`]: the execution engine ([`vm::run_program`], [`vm::Buffer`]);
+//! - [`core`]: the optimizing compiler ([`core::Session`],
+//!   [`core::compile`]), reference interpreter, C emitter, autotuner;
+//! - [`vm`]: the execution engine ([`vm::Engine`], [`vm::Buffer`]);
 //! - [`apps`]: the paper's seven benchmark pipelines.
 //!
 //! ## Quickstart
 //!
+//! Hold a [`core::Session`] for repeated work: it owns a persistent
+//! [`vm::Engine`] (pooled worker threads, recycled buffers) and an LRU
+//! compile cache keyed by a stable content hash of the
+//! `(Pipeline, CompileOptions)` pair — recompiling the same spec is free.
+//!
 //! ```
 //! use polymage::ir::*;
-//! use polymage::core::{compile, CompileOptions};
-//! use polymage::vm::{run_program, Buffer};
+//! use polymage::core::{CompileOptions, Session};
+//! use polymage::vm::Buffer;
 //! use polymage::poly::Rect;
 //!
 //! // blur(x) = (in(x−1) + in(x) + in(x+1)) / 3 over the interior
@@ -38,12 +43,22 @@
 //! p.define(blur, vec![Case::always(e)])?;
 //! let pipe = p.finish(&[blur])?;
 //!
-//! let compiled = compile(&pipe, &CompileOptions::optimized(vec![64]))?;
+//! let session = Session::with_threads(2);
+//! let opts = CompileOptions::optimized(vec![64]);
 //! let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| p[0] as f32);
-//! let out = run_program(&compiled.program, &[input], 2)?;
+//! let out = session.run(&pipe, &opts, &[input.clone()])?;
 //! assert_eq!(out[0].at(&[10]), 10.0);
+//!
+//! // The second run reuses the pooled workers AND the cached program.
+//! let again = session.run(&pipe, &opts, &[input])?;
+//! assert_eq!(again[0].at(&[10]), 10.0);
+//! assert_eq!(session.cache_stats().hits, 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! One-shot execution is still available as
+//! [`vm::run_program`] — now a thin shim that builds a throwaway
+//! [`vm::Engine`] per call.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -16,9 +16,12 @@ fn cyclic_specification_rejected() {
     let a = p.func("a", &[(x, d.clone())], ScalarType::Float);
     let b = p.func("b", &[(x, d.clone())], ScalarType::Float);
     let c = p.func("c", &[(x, d)], ScalarType::Float);
-    p.define(a, vec![Case::always(Expr::at(c, [x + 0]))]).unwrap();
-    p.define(b, vec![Case::always(Expr::at(a, [x + 0]))]).unwrap();
-    p.define(c, vec![Case::always(Expr::at(b, [x + 0]))]).unwrap();
+    p.define(a, vec![Case::always(Expr::at(c, [x + 0]))])
+        .unwrap();
+    p.define(b, vec![Case::always(Expr::at(a, [x + 0]))])
+        .unwrap();
+    p.define(c, vec![Case::always(Expr::at(b, [x + 0]))])
+        .unwrap();
     let pipe = p.finish(&[c]).unwrap();
     match PipelineGraph::build(&pipe) {
         Err(GraphError::Cycle(names)) => assert_eq!(names.len(), 3),
@@ -40,7 +43,12 @@ fn out_of_bounds_stencil_reported_with_details() {
     let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
     p.define(
         f,
-        vec![Case::always(stencil(img, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+        vec![Case::always(stencil(
+            img,
+            &[x, y],
+            1.0,
+            &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+        ))],
     )
     .unwrap();
     let pipe = p.finish(&[f]).unwrap();
@@ -86,7 +94,8 @@ fn self_read_of_current_point_rejected() {
     let mut p = PipelineBuilder::new("selfpt");
     let x = p.var("x");
     let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
-    p.define(f, vec![Case::always(Expr::at(f, [x + 0]) + 1.0)]).unwrap();
+    p.define(f, vec![Case::always(Expr::at(f, [x + 0]) + 1.0)])
+        .unwrap();
     let pipe = p.finish(&[f]).unwrap();
     assert!(matches!(
         compile(&pipe, &CompileOptions::optimized(vec![])),
@@ -125,7 +134,8 @@ fn zero_sized_image_rejected() {
         &[(x, Interval::new(PAff::cst(0), PAff::param(n) - 1))],
         ScalarType::Float,
     );
-    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))])
+        .unwrap();
     let pipe = p.finish(&[f]).unwrap();
     assert!(matches!(
         compile(&pipe, &CompileOptions::optimized(vec![0])),
@@ -139,13 +149,17 @@ fn execution_input_mismatches_reported() {
     let img = p.image("I", ScalarType::Float, vec![PAff::cst(16)]);
     let x = p.var("x");
     let f = p.func("f", &[(x, Interval::cst(0, 15))], ScalarType::Float);
-    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+    p.define(f, vec![Case::always(Expr::at(img, [x + 0]))])
+        .unwrap();
     let pipe = p.finish(&[f]).unwrap();
     let compiled = compile(&pipe, &CompileOptions::optimized(vec![])).unwrap();
     // no inputs
     assert!(matches!(
         run_program(&compiled.program, &[], 1),
-        Err(VmError::InputCountMismatch { expected: 1, got: 0 })
+        Err(VmError::InputCountMismatch {
+            expected: 1,
+            got: 0
+        })
     ));
     // wrong shape
     let bad = Buffer::zeros(Rect::new(vec![(0, 7)]));
@@ -164,9 +178,15 @@ fn execution_input_mismatches_reported() {
 #[test]
 fn error_messages_are_human_readable() {
     // Display implementations must carry enough context to act on.
-    let e = CompileError::MissingParams { expected: 2, got: 0 };
+    let e = CompileError::MissingParams {
+        expected: 2,
+        got: 0,
+    };
     assert!(e.to_string().contains("2 parameter"));
-    let e = VmError::InputCountMismatch { expected: 3, got: 1 };
+    let e = VmError::InputCountMismatch {
+        expected: 3,
+        got: 1,
+    };
     assert!(e.to_string().contains("expected 3"));
     let e = GraphError::Cycle(vec!["a".into(), "b".into()]);
     assert!(e.to_string().contains("a -> b"));

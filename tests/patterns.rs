@@ -35,8 +35,11 @@ fn pattern_pointwise() {
     let (x, y) = (p.var("x"), p.var("y"));
     let d = Interval::cst(0, 31);
     let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
-    p.define(f, vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))])
-        .unwrap();
+    p.define(
+        f,
+        vec![Case::always(Expr::at(img, [Expr::from(x), Expr::from(y)]))],
+    )
+    .unwrap();
     let pipe = p.finish(&[f]).unwrap();
     let input = image_2d(32);
     let out = run_both(&pipe, vec![], std::slice::from_ref(&input));
@@ -53,7 +56,12 @@ fn pattern_stencil() {
     let f = p.func("f", &[(x, d.clone()), (y, d)], ScalarType::Float);
     p.define(
         f,
-        vec![Case::always(stencil(img, &[x, y], 1.0, &[[1, 1, 1], [1, 1, 1], [1, 1, 1]]))],
+        vec![Case::always(stencil(
+            img,
+            &[x, y],
+            1.0,
+            &[[1, 1, 1], [1, 1, 1], [1, 1, 1]],
+        ))],
     )
     .unwrap();
     let pipe = p.finish(&[f]).unwrap();
@@ -134,8 +142,9 @@ fn pattern_histogram() {
         value: Expr::Const(1.0),
         op: Reduction::Sum,
     };
-    let hist =
-        p.accumulator("hist", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc).unwrap();
+    let hist = p
+        .accumulator("hist", &[(b, Interval::cst(0, 255))], ScalarType::Int, acc)
+        .unwrap();
     let pipe = p.finish(&[hist]).unwrap();
     let input = Buffer::zeros(Rect::new(vec![(0, 31), (0, 31)]))
         .fill_with(|p| ((p[0] * 13 + p[1] * 7) % 256) as f32);

@@ -79,8 +79,7 @@ fn build_pipeline(steps: &[Step]) -> Option<Pipeline> {
 
     for (i, step) in steps.iter().enumerate() {
         let last = stages.last().copied();
-        let (lvl, mlo, mhi) =
-            last.map(|s| (s.lvl, s.mlo, s.mhi)).unwrap_or((0, 0, 0));
+        let (lvl, mlo, mhi) = last.map(|s| (s.lvl, s.mlo, s.mhi)).unwrap_or((0, 0, 0));
         let name = format!("s{i}");
         let next = match step {
             Step::Stencil(w0, w1, w2) => {
@@ -91,7 +90,12 @@ fn build_pipeline(steps: &[Step]) -> Option<Pipeline> {
                     + access(last.as_ref(), x + 0) * *w1 as f64
                     + access(last.as_ref(), x + 1) * *w2 as f64;
                 p.define(f, vec![Case::always(e * 0.25)]).ok()?;
-                StageInfo { f, lvl, mlo: nmlo, mhi: nmhi }
+                StageInfo {
+                    f,
+                    lvl,
+                    mlo: nmlo,
+                    mhi: nmhi,
+                }
             }
             Step::Affine(a, b) => {
                 let d = dom(lvl, mlo, mhi)?;
@@ -112,7 +116,12 @@ fn build_pipeline(steps: &[Step]) -> Option<Pipeline> {
                     + access(last.as_ref(), 2i64 * Expr::from(x) + 1))
                     * (1.0 / 3.0);
                 p.define(f, vec![Case::always(e)]).ok()?;
-                StageInfo { f, lvl: lvl + 1, mlo: nmlo, mhi: nmhi }
+                StageInfo {
+                    f,
+                    lvl: lvl + 1,
+                    mlo: nmlo,
+                    mhi: nmhi,
+                }
             }
             Step::Up => {
                 if lvl == 0 || last.is_none() {
@@ -125,7 +134,12 @@ fn build_pipeline(steps: &[Step]) -> Option<Pipeline> {
                     + access(last.as_ref(), (x + 1) / 2))
                     * 0.5;
                 p.define(f, vec![Case::always(e)]).ok()?;
-                StageInfo { f, lvl: lvl - 1, mlo: nmlo, mhi: nmhi }
+                StageInfo {
+                    f,
+                    lvl: lvl - 1,
+                    mlo: nmlo,
+                    mhi: nmhi,
+                }
             }
             Step::Combine(j) => {
                 let last = last?;
@@ -136,10 +150,15 @@ fn build_pipeline(steps: &[Step]) -> Option<Pipeline> {
                 let (nmlo, nmhi) = (last.mlo.max(other.mlo), last.mhi.max(other.mhi));
                 let d = dom(last.lvl, nmlo, nmhi)?;
                 let f = p.func(&name, &[(x, d)], ScalarType::Float);
-                let e = Expr::at(last.f, [Expr::from(x)])
-                    + Expr::at(other.f, [Expr::from(x)]) * 0.5;
+                let e =
+                    Expr::at(last.f, [Expr::from(x)]) + Expr::at(other.f, [Expr::from(x)]) * 0.5;
                 p.define(f, vec![Case::always(e)]).ok()?;
-                StageInfo { f, lvl: last.lvl, mlo: nmlo, mhi: nmhi }
+                StageInfo {
+                    f,
+                    lvl: last.lvl,
+                    mlo: nmlo,
+                    mhi: nmhi,
+                }
             }
             Step::Guarded => {
                 let d = dom(lvl, mlo, mhi)?;
@@ -148,8 +167,7 @@ fn build_pipeline(steps: &[Step]) -> Option<Pipeline> {
                     return None;
                 }
                 let f = p.func(&name, &[(x, d)], ScalarType::Float);
-                let guard =
-                    Expr::from(x).ge((lo + 2) as f64) & Expr::from(x).le((hi - 2) as f64);
+                let guard = Expr::from(x).ge((lo + 2) as f64) & Expr::from(x).le((hi - 2) as f64);
                 let e = access(last.as_ref(), Expr::from(x)) + 1.0;
                 p.define(f, vec![Case::new(guard, e)]).ok()?;
                 StageInfo { f, lvl, mlo, mhi }
@@ -326,12 +344,23 @@ fn build_pipeline2(steps: &[Step2]) -> Option<Pipeline> {
                 let nm = m / 2 + 1;
                 let d = dom(lvl + 1, nm)?;
                 let f = p.func(&name, &d, ScalarType::Float);
-                let e = (access(last.as_ref(), 2i64 * Expr::from(x) - 1, 2i64 * Expr::from(y))
-                    + access(last.as_ref(), 2i64 * Expr::from(x), 2i64 * Expr::from(y))
-                    + access(last.as_ref(), 2i64 * Expr::from(x) + 1, 2i64 * Expr::from(y) + 1))
+                let e = (access(
+                    last.as_ref(),
+                    2i64 * Expr::from(x) - 1,
+                    2i64 * Expr::from(y),
+                ) + access(last.as_ref(), 2i64 * Expr::from(x), 2i64 * Expr::from(y))
+                    + access(
+                        last.as_ref(),
+                        2i64 * Expr::from(x) + 1,
+                        2i64 * Expr::from(y) + 1,
+                    ))
                     * (1.0 / 3.0);
                 p.define(f, vec![Case::always(e)]).ok()?;
-                Stage2 { f, lvl: lvl + 1, m: nm }
+                Stage2 {
+                    f,
+                    lvl: lvl + 1,
+                    m: nm,
+                }
             }
             Step2::Up => {
                 if lvl == 0 || last.is_none() {
@@ -344,7 +373,11 @@ fn build_pipeline2(steps: &[Step2]) -> Option<Pipeline> {
                     + access(last.as_ref(), (x + 1) / 2, (y + 1) / 2))
                     * 0.5;
                 p.define(f, vec![Case::always(e)]).ok()?;
-                Stage2 { f, lvl: lvl - 1, m: nm }
+                Stage2 {
+                    f,
+                    lvl: lvl - 1,
+                    m: nm,
+                }
             }
             Step2::Combine(j) => {
                 let last = last?;
@@ -358,7 +391,11 @@ fn build_pipeline2(steps: &[Step2]) -> Option<Pipeline> {
                 let e = Expr::at(last.f, [Expr::from(x), Expr::from(y)])
                     - Expr::at(other.f, [Expr::from(x), Expr::from(y)]) * 0.25;
                 p.define(f, vec![Case::always(e)]).ok()?;
-                Stage2 { f, lvl: last.lvl, m: nm }
+                Stage2 {
+                    f,
+                    lvl: last.lvl,
+                    m: nm,
+                }
             }
             Step2::Parity => {
                 let d = dom(lvl, m)?;

@@ -109,7 +109,10 @@ fn paper_grouping_structure() {
     let b = polymage::apps::pyramid::PyramidBlend::new(Scale::Small);
     let c = compile(b.pipeline(), &CompileOptions::optimized(b.params())).unwrap();
     let max_group = c.report.group_sizes().into_iter().max().unwrap();
-    assert!(max_group >= 10, "expected a large fused group, got {max_group}");
+    assert!(
+        max_group >= 10,
+        "expected a large fused group, got {max_group}"
+    );
 }
 
 /// The report's storage accounting: optimized schedules allocate less full
@@ -145,30 +148,30 @@ fn empty_deep_stages_are_skipped() {
         &[(x, Interval::new(PAff::cst(0), PAff::param(n) - 1))],
         ScalarType::Float,
     );
-    p.define(a, vec![Case::always(Expr::at(img, [x + 0]))]).unwrap();
+    p.define(a, vec![Case::always(Expr::at(img, [x + 0]))])
+        .unwrap();
     // a "level" whose domain [4, N/8 − 1] is empty for N < 40
     let b = p.func(
         "b",
         &[(x, Interval::new(PAff::cst(4), PAff::param(n) / 8 - 1))],
         ScalarType::Float,
     );
-    p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x) * 4]))]).unwrap();
+    p.define(b, vec![Case::always(Expr::at(a, [Expr::from(x) * 4]))])
+        .unwrap();
     // output reads b where defined, clamped dynamic index keeps it legal
     let out = p.func(
         "out",
         &[(x, Interval::new(PAff::cst(4), PAff::param(n) / 8 - 1))],
         ScalarType::Float,
     );
-    p.define(out, vec![Case::always(Expr::at(b, [x + 0]) + 1.0)]).unwrap();
+    p.define(out, vec![Case::always(Expr::at(b, [x + 0]) + 1.0)])
+        .unwrap();
     let pipe = p.finish(&[a, out]).unwrap();
     for n_val in [16i64, 32, 33, 64, 100] {
         let compiled = compile(&pipe, &CompileOptions::optimized(vec![n_val]))
             .unwrap_or_else(|e| panic!("N={n_val}: {e}"));
-        let input = polymage::vm::Buffer::zeros(polymage::poly::Rect::new(vec![(
-            0,
-            n_val - 1,
-        )]))
-        .fill_with(|p| p[0] as f32);
+        let input = polymage::vm::Buffer::zeros(polymage::poly::Rect::new(vec![(0, n_val - 1)]))
+            .fill_with(|p| p[0] as f32);
         let expect =
             polymage::core::interp::interpret(&pipe, &[n_val], std::slice::from_ref(&input))
                 .unwrap();
