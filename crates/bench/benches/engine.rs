@@ -25,8 +25,7 @@ fn bench_engine_reuse(c: &mut Criterion) {
         let inputs = b.make_inputs(42);
         let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
             .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
-        let mut g =
-            c.benchmark_group(format!("engine_{}_{scale}", b.name().replace(' ', "_")));
+        let mut g = c.benchmark_group(format!("engine_{}_{scale}", b.name().replace(' ', "_")));
         g.sample_size(20);
         g.bench_function(BenchmarkId::from_parameter("reused-engine"), |bench| {
             bench.iter(|| {

@@ -1,0 +1,46 @@
+//! Kernel-optimizer ablation: the opt+vec schedule with the bit-exact SSA
+//! pass pipeline (`CompileOptions::kernel_opt`) on vs off, across all seven
+//! apps. Isolates the instruction-quality term — constant folding, CSE,
+//! DCE, uniform-op hoisting, and specialized load loops — from the
+//! schedule-level optimizations (grouping/tiling/storage), which are held
+//! fixed. Numbers go into EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::Engine;
+
+fn bench_kernel_opt(c: &mut Criterion) {
+    let threads = 1; // single-core container; avoids scheduler noise
+    let engine = Engine::with_threads(threads);
+    for b in all_benchmarks(Scale::Small) {
+        let inputs = b.make_inputs(42);
+        let on = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let off = compile(
+            b.pipeline(),
+            &CompileOptions::optimized(b.params()).with_kernel_opt(false),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let mut g = c.benchmark_group(format!("kernels_{}", b.name().replace(' ', "_")));
+        g.sample_size(15);
+        g.bench_function(BenchmarkId::from_parameter("kernel-opt"), |bench| {
+            bench.iter(|| {
+                engine
+                    .run_with_threads(&on.program, &inputs, threads)
+                    .unwrap()
+            })
+        });
+        g.bench_function(BenchmarkId::from_parameter("no-kernel-opt"), |bench| {
+            bench.iter(|| {
+                engine
+                    .run_with_threads(&off.program, &inputs, threads)
+                    .unwrap()
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernel_opt);
+criterion_main!(benches);

@@ -8,7 +8,9 @@
 //! - **fusion without tiling** and **tiling without fusion**: separating
 //!   the two halves of the paper's headline optimization;
 //! - **overlap estimate**: the level-wise tight tile shapes vs forcing
-//!   group splits with a near-zero overlap threshold.
+//!   group splits with a near-zero overlap threshold;
+//! - **kernel optimizer**: the bit-exact SSA pass pipeline plus
+//!   uniform-op hoisting and load specialization on/off.
 
 use polymage_bench::{ms, time_program, HarnessArgs};
 use polymage_core::{CompileOptions, Session};
@@ -22,8 +24,15 @@ fn main() {
         args.scale, args.runs
     );
     println!(
-        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11}",
-        "Benchmark", "opt", "no-inline", "no-scratch", "fuse-only", "tile-only", "thresh≈0"
+        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9}",
+        "Benchmark",
+        "opt",
+        "no-inline",
+        "no-scratch",
+        "fuse-only",
+        "tile-only",
+        "thresh≈0",
+        "no-kopt"
     );
     for b in args.benchmarks() {
         let inputs = b.make_inputs(42);
@@ -51,6 +60,7 @@ fn main() {
                 o
             },
             CompileOptions::optimized(b.params()).with_threshold(1e-9),
+            CompileOptions::optimized(b.params()).with_kernel_opt(false),
         ];
         for opts in variants {
             let compiled = session
@@ -65,14 +75,15 @@ fn main() {
             )));
         }
         println!(
-            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11}",
+            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9}",
             b.name(),
             row[0],
             row[1],
             row[2],
             row[3],
             row[4],
-            row[5]
+            row[5],
+            row[6]
         );
     }
 }

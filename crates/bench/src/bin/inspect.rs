@@ -21,6 +21,19 @@ fn main() {
             compiled.program.scratch_bytes(),
             compiled.program.group_count()
         );
+        let r = &compiled.report;
+        let folded: usize = r.kernels.iter().map(|k| k.folded).sum();
+        let simplified: usize = r.kernels.iter().map(|k| k.simplified).sum();
+        println!(
+            "optimizer: {} kernels, {} ops eliminated ({} folded, {} simplified), \
+             {} regs eliminated, loads [{}]",
+            r.kernels.len(),
+            r.ops_eliminated(),
+            folded,
+            simplified,
+            r.regs_eliminated(),
+            r.load_histogram()
+        );
         if args.filter.is_some() {
             println!("--- emitted C (Fig. 7 style) ---");
             println!("{}", emit_c(b.pipeline(), &compiled.program));

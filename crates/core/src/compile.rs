@@ -148,7 +148,7 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
         })
         .collect();
 
-    let program = Program {
+    let mut program = Program {
         name: pipe2.name().to_string(),
         buffers: ctx.buffers,
         image_bufs: ctx.image_bufs,
@@ -156,10 +156,20 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
         outputs,
         mode: opts.mode,
     };
+
+    // Kernel optimization: rewrite each kernel in place (bit-exact) and
+    // attach uniformity metadata so the evaluator takes the fast paths.
+    let kernels = if opts.kernel_opt {
+        polymage_vm::optimize_program(&mut program)
+    } else {
+        Vec::new()
+    };
+
     let report = CompileReport {
         inlined: inline_report.inlined,
         dead: inline_report.dead,
         groups: group_reports,
+        kernels,
     };
     Ok(Compiled {
         program: std::sync::Arc::new(program),

@@ -35,17 +35,18 @@ pub struct LowerEnv<'a> {
     pub vars: &'a [VarId],
 }
 
-/// Incremental kernel builder with hash-consing: structurally identical
-/// pure operations (all kernel ops are pure within a case) are emitted once
-/// and shared — the common-subexpression elimination a C compiler would
-/// perform on the paper's generated code (repeated stencil loads, cloned
-/// interpolation weights).
+/// Incremental kernel builder. Emission is purely *structural*: one op per
+/// expression node, duplicates and all — repeated stencil loads, cloned
+/// interpolation weights, condition subtrees shared with the value. Sharing
+/// them is the job of the kernel optimizer's CSE pass
+/// (`polymage_vm::opt`), which keeps lowering trivially correct and makes
+/// the cleanup measurable and ablatable (`kernel_opt: false` runs the
+/// pristine structural form).
 pub struct KernelBuilder<'a> {
     env: &'a LowerEnv<'a>,
     ops: Vec<Op>,
     next: u16,
     reads: Vec<BufId>,
-    cse: HashMap<String, RegId>,
 }
 
 impl<'a> KernelBuilder<'a> {
@@ -56,7 +57,6 @@ impl<'a> KernelBuilder<'a> {
             ops: Vec::new(),
             next: 0,
             reads: Vec::new(),
-            cse: HashMap::new(),
         }
     }
 
@@ -69,16 +69,10 @@ impl<'a> KernelBuilder<'a> {
         r
     }
 
-    /// Emits an operation, reusing an existing register when a structurally
-    /// identical operation was emitted before.
+    /// Emits an operation into a fresh register.
     fn emit(&mut self, build: impl Fn(RegId) -> Op) -> RegId {
-        let key = format!("{:?}", build(RegId(u16::MAX)));
-        if let Some(&r) = self.cse.get(&key) {
-            return r;
-        }
         let d = self.fresh();
         self.ops.push(build(d));
-        self.cse.insert(key, d);
         d
     }
 
@@ -88,6 +82,7 @@ impl<'a> KernelBuilder<'a> {
             Kernel {
                 ops: self.ops,
                 nregs: self.next as usize,
+                meta: None,
                 outs,
             },
             self.reads,
@@ -537,7 +532,8 @@ mod tests {
         assert!(b.ops.iter().any(|op| matches!(op, Op::CastRound { .. })));
         let n = b.ops.len();
         let _ = b.value(&x.cast(ScalarType::Float));
-        // float cast adds no op at all (the CoordF is CSE-shared)
-        assert_eq!(b.ops.len(), n);
+        // float-to-float cast adds no op of its own — only the operand's
+        // CoordF is emitted
+        assert_eq!(b.ops.len(), n + 1);
     }
 }

@@ -43,6 +43,11 @@ pub struct CompileOptions {
     /// Skip the static bounds check (useful in the autotuner's inner loop,
     /// where the same pipeline was already checked).
     pub skip_bounds_check: bool,
+    /// Run the kernel optimizer (`polymage_vm::opt`): bit-exact constant
+    /// folding, simplification, CSE, DCE, register compaction, uniformity
+    /// analysis, and load specialization. `false` executes kernels exactly
+    /// as lowering emits them (the pre-optimizer behavior, for ablation).
+    pub kernel_opt: bool,
 }
 
 impl CompileOptions {
@@ -60,6 +65,7 @@ impl CompileOptions {
             storage_opt: true,
             par_strips: 128,
             skip_bounds_check: false,
+            kernel_opt: true,
         }
     }
 
@@ -91,13 +97,20 @@ impl CompileOptions {
         self
     }
 
+    /// Enables or disables the kernel optimizer (on by default).
+    pub fn with_kernel_opt(mut self, on: bool) -> Self {
+        self.kernel_opt = on;
+        self
+    }
+
     /// The hashable normal form of these options, used (together with the
     /// pipeline's content hash) to key compile caches.
     ///
-    /// Every knob that can change the produced program participates.
-    /// `skip_bounds_check` is deliberately excluded: it only affects
-    /// whether invalid specifications are *rejected*, never the program a
-    /// successful compilation produces.
+    /// Every knob that can change the produced program participates —
+    /// including `kernel_opt`, which rewrites kernels and attaches
+    /// uniformity metadata. `skip_bounds_check` is deliberately excluded:
+    /// it only affects whether invalid specifications are *rejected*,
+    /// never the program a successful compilation produces.
     pub fn cache_key(&self) -> OptionsKey {
         OptionsKey {
             params: self.params.clone(),
@@ -109,6 +122,7 @@ impl CompileOptions {
             inline_pointwise: self.inline_pointwise,
             storage_opt: self.storage_opt,
             par_strips: self.par_strips,
+            kernel_opt: self.kernel_opt,
         }
     }
 }
@@ -126,6 +140,7 @@ pub struct OptionsKey {
     inline_pointwise: bool,
     storage_opt: bool,
     par_strips: i64,
+    kernel_opt: bool,
 }
 
 #[cfg(test)]
@@ -149,12 +164,14 @@ mod tests {
         let mut skipped = a.clone();
         skipped.skip_bounds_check = true;
         assert_eq!(a.cache_key(), skipped.cache_key());
+        // kernel_opt rewrites kernels, so it must change the key.
+        assert_ne!(a.cache_key(), a.clone().with_kernel_opt(false).cache_key());
     }
 
     #[test]
     fn presets() {
         let o = CompileOptions::optimized(vec![100]);
-        assert!(o.fuse && o.tile);
+        assert!(o.fuse && o.tile && o.kernel_opt);
         assert_eq!(o.mode, EvalMode::Vector);
         let b = CompileOptions::base(vec![100]);
         assert!(!b.fuse && !b.tile);

@@ -36,6 +36,8 @@ pub struct CompileReport {
     pub dead: Vec<String>,
     /// Scheduled groups, in execution order.
     pub groups: Vec<GroupReport>,
+    /// Per-kernel optimizer statistics (empty when `kernel_opt` is off).
+    pub kernels: Vec<polymage_vm::KernelOptReport>,
 }
 
 impl CompileReport {
@@ -65,6 +67,25 @@ impl CompileReport {
             .zip(&stats.group_times)
             .map(|(g, (_, d))| (g, *d))
             .collect()
+    }
+
+    /// Total ops removed by the kernel optimizer across all kernels.
+    pub fn ops_eliminated(&self) -> usize {
+        self.kernels.iter().map(|k| k.eliminated_ops()).sum()
+    }
+
+    /// Total registers removed by compaction across all kernels.
+    pub fn regs_eliminated(&self) -> usize {
+        self.kernels.iter().map(|k| k.eliminated_regs()).sum()
+    }
+
+    /// Load-class histogram merged over all kernels.
+    pub fn load_histogram(&self) -> polymage_vm::LoadHistogram {
+        let mut h = polymage_vm::LoadHistogram::default();
+        for k in &self.kernels {
+            h.merge(&k.loads);
+        }
+        h
     }
 
     /// Renders the grouping as Graphviz clusters (Fig. 8 style).
@@ -113,6 +134,18 @@ impl fmt::Display for CompileReport {
                 g.stages.join(" ")
             )?;
         }
+        if !self.kernels.is_empty() {
+            writeln!(
+                f,
+                "kernel opt: {} ops / {} regs eliminated, loads [{}]",
+                self.ops_eliminated(),
+                self.regs_eliminated(),
+                self.load_histogram()
+            )?;
+            for k in &self.kernels {
+                writeln!(f, "  {k}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -134,6 +167,7 @@ mod tests {
                 scratch_bytes: 1024,
                 full_bytes: 4096,
             }],
+            kernels: vec![],
         }
     }
 

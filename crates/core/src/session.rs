@@ -16,8 +16,9 @@
 //! - the options participate via [`CompileOptions::cache_key`], which
 //!   includes every knob that can change the produced program (params,
 //!   tile sizes, threshold bits, mode, fuse/tile/inline/storage flags,
-//!   strip count) and excludes `skip_bounds_check` (it only affects error
-//!   reporting, never the produced program);
+//!   strip count, and `kernel_opt` — the optimizer rewrites kernels) and
+//!   excludes `skip_bounds_check` (it only affects error reporting, never
+//!   the produced program);
 //! - errors are never cached — a failed compilation is retried on the
 //!   next call.
 

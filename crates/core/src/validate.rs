@@ -280,6 +280,7 @@ mod tests {
                 val: 1.0,
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         Program {
@@ -383,6 +384,7 @@ mod tests {
                     }, // double write
                 ],
                 nregs: 1,
+                meta: None,
                 outs: vec![RegId(0)],
             };
         }
@@ -398,6 +400,7 @@ mod tests {
                     a: RegId(0), // never defined
                 }],
                 nregs: 2,
+                meta: None,
                 outs: vec![RegId(1)],
             };
         }

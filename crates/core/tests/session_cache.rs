@@ -91,6 +91,36 @@ fn changed_knobs_and_params_miss() {
 }
 
 #[test]
+fn kernel_opt_is_part_of_the_key() {
+    let session = Session::with_threads(1);
+    let pipe = blur1d();
+    let on = CompileOptions::optimized(vec![64]);
+    let first = session.compile(&pipe, &on).unwrap();
+
+    // kernel_opt rewrites kernels → different program → must miss.
+    let off = on.clone().with_kernel_opt(false);
+    let second = session.compile(&pipe, &off).unwrap();
+    assert!(
+        !Arc::ptr_eq(&first, &second),
+        "flipping kernel_opt must not reuse the cached program"
+    );
+    assert_eq!(session.cache_stats().misses, 2);
+
+    // The optimized entry reports kernel statistics; the unoptimized must
+    // be the pristine lowering.
+    assert!(!first.report.kernels.is_empty());
+    assert!(second.report.kernels.is_empty());
+
+    // skip_bounds_check still hits on top of either entry.
+    let mut skip = off.clone();
+    skip.skip_bounds_check = true;
+    let third = session.compile(&pipe, &skip).unwrap();
+    assert!(Arc::ptr_eq(&second, &third));
+    assert_eq!(session.cache_stats().misses, 2);
+    assert_eq!(session.cache_stats().hits, 1);
+}
+
+#[test]
 fn lru_evicts_least_recently_used() {
     let session = Session::with_threads(1).with_cache_capacity(2);
     let pipe = blur1d();

@@ -10,6 +10,8 @@
 //! register), which lets the evaluator take disjoint borrows of destination
 //! and source registers without copying.
 
+use crate::kernel::OptMeta;
+use crate::loadclass::{self, ResolvedLoad};
 use crate::{BinF, CmpF, IdxPlan, Kernel, Op, UnF};
 
 /// Chunk capacity (lanes per register).
@@ -47,9 +49,48 @@ pub struct ChunkCtx<'a> {
 
 /// The register file backing kernel evaluation. Reused across chunks to
 /// avoid allocation in inner loops.
-#[derive(Debug, Default)]
+///
+/// For kernels carrying optimizer metadata ([`crate::kernel::OptMeta`]) the
+/// file additionally caches the chunk-invariant *preamble* — uniform
+/// register values and resolved load plans — across the chunks of one row.
+/// Executors call [`RegFile::begin_row`] whenever the outer coordinates,
+/// buffer views, or current kernel may have changed; evaluating an
+/// optimized kernel at different outer coordinates without an intervening
+/// `begin_row` is detected by the coordinate check and recomputed.
+#[derive(Debug)]
 pub struct RegFile {
-    regs: Vec<[f32; CHUNK]>,
+    pub(crate) regs: Vec<[f32; CHUNK]>,
+    /// True when lanes `1..` of the register replicate lane 0 (uniform
+    /// registers are broadcast lazily).
+    bcast: Vec<bool>,
+    /// Monotonic row counter; bumped by [`RegFile::begin_row`].
+    epoch: u64,
+    /// Row epoch the preamble cache was built in (`0` = never).
+    cache_epoch: u64,
+    /// Identity of the cached kernel (address of its op list).
+    cache_token: usize,
+    /// Chunk axis the cache was resolved for.
+    cache_inner: usize,
+    /// Outer coordinates the cache was computed at.
+    cache_coords: Vec<i64>,
+    /// Resolved load plans for the cached row, one per `Op::Load`.
+    resolved: Vec<ResolvedLoad>,
+}
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile {
+            regs: Vec::new(),
+            bcast: Vec::new(),
+            // Start at 1 so a zeroed cache (epoch 0) can never match.
+            epoch: 1,
+            cache_epoch: 0,
+            cache_token: 0,
+            cache_inner: 0,
+            cache_coords: Vec::new(),
+            resolved: Vec::new(),
+        }
+    }
 }
 
 impl RegFile {
@@ -62,7 +103,50 @@ impl RegFile {
     pub fn ensure(&mut self, n: usize) {
         if self.regs.len() < n {
             self.regs.resize(n, [0.0; CHUNK]);
+            self.bcast.resize(n, false);
         }
+    }
+
+    /// Invalidates the per-row preamble cache. Executors call this at the
+    /// start of every row (and per chunk for sequential scans, whose output
+    /// buffer mutates under the kernel).
+    #[inline]
+    pub fn begin_row(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Broadcasts lane 0 of `r` into all lanes, once.
+    #[inline]
+    fn broadcast_full(&mut self, r: u16) {
+        let i = r as usize;
+        if !self.bcast[i] {
+            let v = self.regs[i][0];
+            self.regs[i].fill(v);
+            self.bcast[i] = true;
+        }
+    }
+
+    /// Whether the cached preamble is valid for this kernel/axis/row.
+    fn cache_valid(&self, token: usize, ctx: &ChunkCtx<'_>) -> bool {
+        self.cache_epoch == self.epoch
+            && self.cache_token == token
+            && self.cache_inner == ctx.inner
+            && self.cache_coords.len() == ctx.coords.len()
+            && self
+                .cache_coords
+                .iter()
+                .zip(ctx.coords)
+                .enumerate()
+                .all(|(d, (&c, &x))| d == ctx.inner || c == x)
+    }
+
+    /// Records the cache key for the preamble being (re)computed.
+    fn cache_store_key(&mut self, token: usize, ctx: &ChunkCtx<'_>) {
+        self.cache_epoch = self.epoch;
+        self.cache_token = token;
+        self.cache_inner = ctx.inner;
+        self.cache_coords.clear();
+        self.cache_coords.extend_from_slice(ctx.coords);
     }
 
     /// Read access to a register's lanes.
@@ -130,7 +214,7 @@ impl RegFile {
 }
 
 #[inline]
-fn round_ties_away(v: f32) -> f32 {
+pub(crate) fn round_ties_away(v: f32) -> f32 {
     // f32::round rounds half away from zero — matches C's roundf.
     v.round()
 }
@@ -145,8 +229,164 @@ fn round_ties_away(v: f32) -> f32 {
 /// indices are clamped into the buffer, never panic.
 pub fn eval_kernel(k: &Kernel, ctx: &ChunkCtx<'_>, regs: &mut RegFile) {
     regs.ensure(k.nregs);
+    if let Some(meta) = &k.meta {
+        eval_optimized(k, meta, ctx, regs);
+        return;
+    }
     let len = ctx.len;
     for op in &k.ops {
+        exec_op(op, ctx, regs, len);
+    }
+}
+
+/// Evaluates a kernel carrying uniformity metadata: chunk-invariant ops run
+/// once per row in a scalar preamble (cached across the row's chunks),
+/// lane-varying ops run through the same vector loops as the legacy path,
+/// and loads dispatch through their resolved class.
+fn eval_optimized(k: &Kernel, meta: &OptMeta, ctx: &ChunkCtx<'_>, regs: &mut RegFile) {
+    let len = ctx.len;
+    let inner_bit: u32 = 1u32 << ctx.inner;
+    let token = k.ops.as_ptr() as usize;
+    let fresh = !regs.cache_valid(token, ctx);
+    if fresh {
+        regs.cache_store_key(token, ctx);
+        let mut resolved = std::mem::take(&mut regs.resolved);
+        resolved.clear();
+        for op in &k.ops {
+            if let Op::Load { dst, buf, plan } = op {
+                if meta.dep[dst.0 as usize] & inner_bit == 0 {
+                    resolved.push(ResolvedLoad::Uniform);
+                } else {
+                    resolved.push(loadclass::resolve_load(ctx, *buf, plan));
+                }
+            }
+        }
+        regs.resolved = resolved;
+    }
+    let resolved = std::mem::take(&mut regs.resolved);
+    let mut li = 0usize;
+    for op in &k.ops {
+        let dst = op.dst().0 as usize;
+        if meta.dep[dst] & inner_bit == 0 {
+            if fresh {
+                eval_op_scalar(op, ctx, regs);
+                regs.bcast[dst] = false;
+            }
+            if matches!(op, Op::Load { .. }) {
+                li += 1;
+            }
+            continue;
+        }
+        // Lane-varying op: materialize uniform operands first.
+        op.for_each_src(|r| {
+            if meta.dep[r.0 as usize] & inner_bit == 0 {
+                regs.broadcast_full(r.0);
+            }
+        });
+        if let Op::Load { dst, buf, .. } = op {
+            loadclass::exec_resolved(ctx, regs, *dst, *buf, &resolved[li], len);
+            li += 1;
+        } else {
+            exec_op(op, ctx, regs, len);
+        }
+    }
+    regs.resolved = resolved;
+    // Consumers (stores, reduction scatter, store masks) read full lanes.
+    for &o in &k.outs {
+        if meta.dep[o.0 as usize] & inner_bit == 0 {
+            regs.broadcast_full(o.0);
+        }
+    }
+}
+
+/// Scalar (lane-0) evaluation of one op — the uniform preamble. Uses the
+/// same scalar semantics as the vector loops in [`exec_op`], so uniform
+/// results are bit-identical to evaluating all lanes.
+fn eval_op_scalar(op: &Op, ctx: &ChunkCtx<'_>, regs: &mut RegFile) {
+    let v = match *op {
+        Op::ConstF { val, .. } => val,
+        Op::CoordF { dim, .. } => ctx.coords[dim] as f32,
+        Op::BinF { op, a, b, .. } => {
+            scalar_bin(op, regs.regs[a.0 as usize][0], regs.regs[b.0 as usize][0])
+        }
+        Op::UnF { op, a, .. } => scalar_un(op, regs.regs[a.0 as usize][0]),
+        Op::CmpMask { op, a, b, .. } => {
+            scalar_cmp(op, regs.regs[a.0 as usize][0], regs.regs[b.0 as usize][0])
+        }
+        Op::MaskAnd { a, b, .. } => regs.regs[a.0 as usize][0] * regs.regs[b.0 as usize][0],
+        Op::MaskOr { a, b, .. } => regs.regs[a.0 as usize][0].max(regs.regs[b.0 as usize][0]),
+        Op::MaskNot { a, .. } => 1.0 - regs.regs[a.0 as usize][0],
+        Op::SelectF { mask, a, b, .. } => {
+            if regs.regs[mask.0 as usize][0] != 0.0 {
+                regs.regs[a.0 as usize][0]
+            } else {
+                regs.regs[b.0 as usize][0]
+            }
+        }
+        Op::CastRound { a, .. } => round_ties_away(regs.regs[a.0 as usize][0]),
+        Op::CastSat { a, lo, hi, .. } => round_ties_away(regs.regs[a.0 as usize][0].clamp(lo, hi)),
+        Op::Load { buf, ref plan, .. } => loadclass::load_scalar(ctx, regs, buf, plan),
+    };
+    regs.regs[op.dst().0 as usize][0] = v;
+}
+
+/// Scalar semantics of [`BinF`] — shared by constant folding and the
+/// uniform preamble; must match the vector loops in [`exec_op`] bit-exactly.
+pub(crate) fn scalar_bin(op: BinF, a: f32, b: f32) -> f32 {
+    match op {
+        BinF::Add => a + b,
+        BinF::Sub => a - b,
+        BinF::Mul => a * b,
+        BinF::Div => a / b,
+        BinF::Min => a.min(b),
+        BinF::Max => a.max(b),
+        BinF::Mod => a - b * (a / b).floor(),
+        BinF::Pow => a.powf(b),
+    }
+}
+
+/// Scalar semantics of [`UnF`] (see [`scalar_bin`]).
+pub(crate) fn scalar_un(op: UnF, a: f32) -> f32 {
+    match op {
+        UnF::Neg => -a,
+        UnF::Abs => a.abs(),
+        UnF::Sqrt => a.sqrt(),
+        UnF::Exp => a.exp(),
+        UnF::Log => a.ln(),
+        UnF::Sin => a.sin(),
+        UnF::Cos => a.cos(),
+        UnF::Floor => a.floor(),
+        UnF::Ceil => a.ceil(),
+    }
+}
+
+/// Scalar semantics of [`CmpF`] (see [`scalar_bin`]).
+pub(crate) fn scalar_cmp(op: CmpF, a: f32, b: f32) -> f32 {
+    let t = match op {
+        CmpF::Lt => a < b,
+        CmpF::Le => a <= b,
+        CmpF::Gt => a > b,
+        CmpF::Ge => a >= b,
+        CmpF::Eq => a == b,
+        CmpF::Ne => a != b,
+    };
+    if t {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Scalar semantics of [`Op::CastRound`]/[`Op::CastSat`] rounding (see
+/// [`scalar_bin`]).
+pub(crate) fn scalar_round(a: f32) -> f32 {
+    round_ties_away(a)
+}
+
+/// Executes one op across the chunk (the legacy all-lanes path; also the
+/// lane-varying body of optimized kernels).
+fn exec_op(op: &Op, ctx: &ChunkCtx<'_>, regs: &mut RegFile, len: usize) {
+    {
         match op {
             Op::ConstF { dst, val } => {
                 regs.regs[dst.0 as usize][..len].fill(*val);
@@ -504,6 +744,7 @@ mod tests {
                 },
             ],
             nregs: 3,
+            meta: None,
             outs: vec![RegId(2)],
         };
         assert_eq!(eval_simple(&k, &[0], 4, &[]), vec![6.0; 4]);
@@ -529,6 +770,7 @@ mod tests {
                 },
             ],
             nregs: 3,
+            meta: None,
             outs: vec![RegId(2)],
         };
         // coords (y=7, x0=10): out = [17, 18, 19]
@@ -551,6 +793,7 @@ mod tests {
                 }],
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         assert_eq!(eval_simple(&k, &[5], 3, &[Some(v)]), vec![7.0, 8.0, 9.0]);
@@ -573,6 +816,7 @@ mod tests {
                 }],
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         assert_eq!(
@@ -592,6 +836,7 @@ mod tests {
                 }],
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         assert_eq!(
@@ -626,6 +871,7 @@ mod tests {
                 ],
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         assert_eq!(
@@ -662,6 +908,7 @@ mod tests {
                 },
             ],
             nregs: 4,
+            meta: None,
             outs: vec![RegId(3)],
         };
         // x = 2,3,4 → idx 6, 9, 12→clamped 9
@@ -698,6 +945,7 @@ mod tests {
                 },
             ],
             nregs: 5,
+            meta: None,
             outs: vec![RegId(4)],
         };
         // x = 0..3: mask(x>=2) → not → select(not, 2.0, x) = [2,2,2,3]
@@ -728,6 +976,7 @@ mod tests {
                 },
             ],
             nregs: 4,
+            meta: None,
             outs: vec![RegId(1), RegId(3)],
         };
         let ctx = ChunkCtx {
@@ -762,6 +1011,7 @@ mod tests {
                 },
             ],
             nregs: 3,
+            meta: None,
             outs: vec![RegId(2)],
         };
         assert_eq!(eval_simple(&k, &[0], 1, &[]), vec![2.0]);

@@ -343,6 +343,7 @@ fn eval_cases_into(
         let axis_contig = dest.strides[axis] == 1;
         let (xlo, xhi) = vrect.range(axis);
         for_each_row(&vrect, axis, &mut |coords| {
+            regs.begin_row();
             let mut x = xlo;
             while x <= xhi {
                 let len = ((xhi - x + 1) as usize).min(step);
@@ -942,6 +943,7 @@ pub(crate) fn sweep_reduction(
     let mut regs = RegFile::new();
     let (xlo, xhi) = dom.range(n - 1);
     for_each_row(dom, dom.ndim() - 1, &mut |coords| {
+        regs.begin_row();
         let mut x = xlo;
         while x <= xhi {
             let len = ((xhi - x + 1) as usize).min(step);
@@ -1027,6 +1029,11 @@ pub(crate) fn execute_seq(
                 let len = ((xhi - x + 1) as usize).min(step);
                 coords[n - 1] = x;
                 {
+                    // The scan's own output buffer mutates between chunks, so
+                    // the uniform-row cache must be invalidated per chunk —
+                    // within one chunk reads precede this chunk's writes,
+                    // exactly matching the unoptimized evaluation order.
+                    regs.begin_row();
                     // Build views including the (partially written) output.
                     let mut views = reduction_views_for_seq(prog, seq, &read_refs);
                     views[seq.out.0] = Some(BufView {

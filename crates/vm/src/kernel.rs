@@ -205,6 +205,101 @@ impl Op {
             | Op::Load { dst, .. } => dst,
         }
     }
+
+    /// Calls `f` on every source register, including data-dependent load
+    /// index registers.
+    pub fn for_each_src(&self, mut f: impl FnMut(RegId)) {
+        match self {
+            Op::ConstF { .. } | Op::CoordF { .. } => {}
+            Op::BinF { a, b, .. }
+            | Op::CmpMask { a, b, .. }
+            | Op::MaskAnd { a, b, .. }
+            | Op::MaskOr { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            Op::UnF { a, .. }
+            | Op::MaskNot { a, .. }
+            | Op::CastRound { a, .. }
+            | Op::CastSat { a, .. } => f(*a),
+            Op::SelectF { mask, a, b, .. } => {
+                f(*mask);
+                f(*a);
+                f(*b);
+            }
+            Op::Load { plan, .. } => {
+                for p in plan {
+                    if let IdxPlan::Reg(r) = p {
+                        f(*r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Calls `f` with mutable access to every source register.
+    pub fn for_each_src_mut(&mut self, mut f: impl FnMut(&mut RegId)) {
+        match self {
+            Op::ConstF { .. } | Op::CoordF { .. } => {}
+            Op::BinF { a, b, .. }
+            | Op::CmpMask { a, b, .. }
+            | Op::MaskAnd { a, b, .. }
+            | Op::MaskOr { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Op::UnF { a, .. }
+            | Op::MaskNot { a, .. }
+            | Op::CastRound { a, .. }
+            | Op::CastSat { a, .. } => f(a),
+            Op::SelectF { mask, a, b, .. } => {
+                f(mask);
+                f(a);
+                f(b);
+            }
+            Op::Load { plan, .. } => {
+                for p in plan {
+                    if let IdxPlan::Reg(r) = p {
+                        f(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mutable access to the destination register.
+    pub fn dst_mut(&mut self) -> &mut RegId {
+        match self {
+            Op::ConstF { dst, .. }
+            | Op::CoordF { dst, .. }
+            | Op::BinF { dst, .. }
+            | Op::UnF { dst, .. }
+            | Op::CmpMask { dst, .. }
+            | Op::MaskAnd { dst, .. }
+            | Op::MaskOr { dst, .. }
+            | Op::MaskNot { dst, .. }
+            | Op::SelectF { dst, .. }
+            | Op::CastRound { dst, .. }
+            | Op::CastSat { dst, .. }
+            | Op::Load { dst, .. } => dst,
+        }
+    }
+}
+
+/// Optimizer metadata attached to a kernel by
+/// [`crate::optimize_kernel`](crate::opt::optimize_kernel).
+///
+/// `dep[r]` is a bitmask over the consumer loop dimensions: bit `d` is set
+/// iff register `r`'s value can vary with coordinate `d` (transitively,
+/// through operands and affine load indices). Because the executor picks
+/// the chunk axis per region at run time, uniformity is decided at
+/// evaluation time: a register is *chunk-invariant* for chunk axis `inner`
+/// iff bit `inner` is clear, and the evaluator then computes it once per
+/// row in a scalar preamble instead of once per lane per chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptMeta {
+    /// Per-register dimension-dependence bitmask (indexed by register).
+    pub dep: Vec<u32>,
 }
 
 /// A straight-line program over chunk registers with one or more result
@@ -217,6 +312,10 @@ pub struct Kernel {
     pub nregs: usize,
     /// Result registers.
     pub outs: Vec<RegId>,
+    /// Uniformity metadata, present only on optimized kernels. `None` means
+    /// the evaluator runs every op across all lanes (the pre-optimizer
+    /// behavior).
+    pub meta: Option<OptMeta>,
 }
 
 impl Kernel {
@@ -252,6 +351,7 @@ mod tests {
         let k = Kernel {
             ops: vec![],
             nregs: 2,
+            meta: None,
             outs: vec![RegId(1), RegId(0)],
         };
         assert_eq!(k.out(), RegId(1));

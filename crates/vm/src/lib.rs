@@ -32,6 +32,8 @@ mod error;
 mod eval;
 mod exec;
 mod kernel;
+mod loadclass;
+pub mod opt;
 mod pool;
 mod program;
 
@@ -42,7 +44,9 @@ pub use eval::{eval_kernel, BufView, ChunkCtx, RegFile, CHUNK};
 pub use exec::{
     run_program, run_program_static, run_program_static_stats, run_program_stats, RunStats,
 };
-pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, RegId, UnF};
+pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, OptMeta, RegId, UnF};
+pub use loadclass::{LoadClass, LoadHistogram};
+pub use opt::{optimize_kernel, optimize_program, KernelOptReport};
 pub use pool::BufferPool;
 pub use program::{
     CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, TileWork,

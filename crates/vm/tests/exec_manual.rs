@@ -85,6 +85,7 @@ fn two_stage_program(mode: EvalMode) -> Program {
             },
         ],
         nregs: 5,
+        meta: None,
         outs: vec![RegId(4)],
     };
     let out_kernel = Kernel {
@@ -108,6 +109,7 @@ fn two_stage_program(mode: EvalMode) -> Program {
             },
         ],
         nregs: 3,
+        meta: None,
         outs: vec![RegId(2)],
     };
 
@@ -285,6 +287,7 @@ fn histogram_reduction_parallel_matches_serial() {
                         },
                     ],
                     nregs: 2,
+                    meta: None,
                     outs: vec![RegId(0), RegId(1)],
                 },
                 op: Reduction::Sum,
@@ -338,6 +341,7 @@ fn sequential_scan_prefix_sum() {
             },
         ],
         nregs: 3,
+        meta: None,
         outs: vec![RegId(2)],
     };
     let kernel_base = Kernel {
@@ -352,6 +356,7 @@ fn sequential_scan_prefix_sum() {
             }],
         }],
         nregs: 1,
+        meta: None,
         outs: vec![RegId(0)],
     };
     let prog = Program {
@@ -468,6 +473,7 @@ fn saturating_stores() {
                                 },
                             ],
                             nregs: 3,
+                            meta: None,
                             outs: vec![RegId(2)],
                         },
                         mask: None,
@@ -552,6 +558,7 @@ fn min_max_reductions_and_untouched_cells() {
                             },
                         ],
                         nregs: 4,
+                        meta: None,
                         outs: vec![RegId(0), RegId(3)],
                     },
                     op,

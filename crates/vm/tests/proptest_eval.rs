@@ -31,6 +31,7 @@ proptest! {
                 plan: vec![IdxPlan::Affine { dim: Some(0), q, o: oo, m }],
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         let view = polymage_vm::ChunkCtx {
@@ -74,6 +75,7 @@ proptest! {
                 Op::BinF { op: BinF::Max, dst: RegId(5), a: RegId(4), b: RegId(1) },
             ],
             nregs: 6,
+            meta: None,
             outs: vec![RegId(5)],
         };
         let (origin, strides, sizes) = view_1d(&data);
@@ -114,6 +116,7 @@ proptest! {
                 Op::SelectF { dst: RegId(8), mask: RegId(6), a: RegId(7), b: RegId(0) },
             ],
             nregs: 9,
+            meta: None,
             outs: vec![RegId(8)],
         };
         let (origin, strides, sizes) = view_1d(&data);
@@ -146,6 +149,7 @@ proptest! {
                 ],
             }],
             nregs: 1,
+            meta: None,
             outs: vec![RegId(0)],
         };
         let view = || BufView {

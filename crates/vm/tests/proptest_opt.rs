@@ -1,0 +1,206 @@
+//! The kernel optimizer's bit-exactness contract, checked on random SSA
+//! kernels: for any kernel, any chunk axis, any chunk length, and any row,
+//! the optimized kernel (constant folding, simplification, CSE, DCE,
+//! compaction, uniformity metadata, specialized loads) produces **bit
+//! identical** lane values for every output register.
+
+use polymage_vm::opt::optimize_kernel;
+use polymage_vm::*;
+use proptest::prelude::*;
+
+const CONSTS: [f32; 8] = [0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 4.0, 3.1];
+const BINOPS: [BinF; 8] = [
+    BinF::Add,
+    BinF::Sub,
+    BinF::Mul,
+    BinF::Div,
+    BinF::Min,
+    BinF::Max,
+    BinF::Mod,
+    BinF::Pow,
+];
+const UNOPS: [UnF; 9] = [
+    UnF::Neg,
+    UnF::Abs,
+    UnF::Sqrt,
+    UnF::Exp,
+    UnF::Log,
+    UnF::Sin,
+    UnF::Cos,
+    UnF::Floor,
+    UnF::Ceil,
+];
+const CMPS: [CmpF; 6] = [CmpF::Lt, CmpF::Le, CmpF::Gt, CmpF::Ge, CmpF::Eq, CmpF::Ne];
+
+/// Builds a random SSA kernel from opcode tuples. Register 0/1 are the two
+/// coordinates, 2/3 seed constants; every subsequent op reads earlier
+/// registers only. Load plans stay within the fixed 16×200 test buffer for
+/// the evaluation grid used below (affine dim-0 offsets ≤ 2 on x ≤ 5;
+/// dim-1 coefficients ≤ 2 on y ≤ 39).
+fn build_kernel(codes: &[(u8, usize, usize, u8)]) -> Kernel {
+    let mut ops = vec![
+        Op::CoordF {
+            dst: RegId(0),
+            dim: 0,
+        },
+        Op::CoordF {
+            dst: RegId(1),
+            dim: 1,
+        },
+        Op::ConstF {
+            dst: RegId(2),
+            val: 2.0,
+        },
+        Op::ConstF {
+            dst: RegId(3),
+            val: -0.5,
+        },
+    ];
+    let mut n: u16 = 4;
+    for &(code, a, b, extra) in codes {
+        let ra = RegId((a % n as usize) as u16);
+        let rb = RegId((b % n as usize) as u16);
+        let rc = RegId(((a + b) % n as usize) as u16);
+        let dst = RegId(n);
+        let e = extra as usize;
+        let op = match code % 12 {
+            0 => Op::ConstF {
+                dst,
+                val: CONSTS[e % CONSTS.len()],
+            },
+            1 => Op::CoordF { dst, dim: e % 2 },
+            2 => Op::BinF {
+                op: BINOPS[e % BINOPS.len()],
+                dst,
+                a: ra,
+                b: rb,
+            },
+            3 => Op::UnF {
+                op: UNOPS[e % UNOPS.len()],
+                dst,
+                a: ra,
+            },
+            4 => Op::CmpMask {
+                op: CMPS[e % CMPS.len()],
+                dst,
+                a: ra,
+                b: rb,
+            },
+            5 => Op::MaskAnd { dst, a: ra, b: rb },
+            6 => Op::MaskOr { dst, a: ra, b: rb },
+            7 => Op::MaskNot { dst, a: ra },
+            8 => Op::SelectF {
+                dst,
+                mask: ra,
+                a: rb,
+                b: rc,
+            },
+            9 => Op::CastRound { dst, a: ra },
+            10 => Op::CastSat {
+                dst,
+                a: ra,
+                lo: 0.0,
+                hi: 255.0,
+            },
+            _ => {
+                let inner = if extra & 1 == 0 {
+                    // affine: (q·y + o)/m with q,m ∈ {1,2}
+                    IdxPlan::Affine {
+                        dim: Some(1),
+                        q: 1 + (e as i64 >> 1 & 1),
+                        o: (e as i64 >> 2) % 3,
+                        m: 1 + (e as i64 >> 3 & 1),
+                    }
+                } else {
+                    // data-dependent (rounded + clamped in both paths)
+                    IdxPlan::Reg(ra)
+                };
+                Op::Load {
+                    dst,
+                    buf: BufId(0),
+                    plan: vec![
+                        IdxPlan::Affine {
+                            dim: Some(0),
+                            q: 1,
+                            o: (e as i64) % 3,
+                            m: 1,
+                        },
+                        inner,
+                    ],
+                }
+            }
+        };
+        ops.push(op);
+        n += 1;
+    }
+    Kernel {
+        ops,
+        nregs: n as usize,
+        meta: None,
+        // two outputs so multi-out (value + mask style) kernels and the
+        // uniform-out broadcast path are exercised
+        outs: vec![RegId(n - 1), RegId(n / 2)],
+    }
+}
+
+/// Evaluates all output registers of `k` over a 2-D grid, chunking along
+/// `inner` with the given chunk length, starting a fresh uniform-row cache
+/// per row. Returns the concatenated bit patterns of every out register.
+fn eval_grid(k: &Kernel, data: &[f32], inner: usize, chunk: usize) -> Vec<u32> {
+    let bufs = [Some(BufView {
+        data,
+        origin: vec![0, 0],
+        strides: vec![200, 1],
+        sizes: vec![16, 200],
+    })];
+    let (xe, ye) = (6i64, 40i64);
+    let mut regs = RegFile::new();
+    let mut out = Vec::new();
+    let (outer_end, inner_end) = if inner == 1 { (xe, ye) } else { (ye, xe) };
+    for o in 0..outer_end {
+        regs.begin_row();
+        let mut i = 0i64;
+        while i < inner_end {
+            let len = ((inner_end - i) as usize).min(chunk);
+            let coords = if inner == 1 { [o, i] } else { [i, o] };
+            let ctx = ChunkCtx {
+                coords: &coords,
+                len,
+                inner,
+                bufs: &bufs,
+            };
+            eval_kernel(k, &ctx, &mut regs);
+            for &r in &k.outs {
+                out.extend(regs.reg(r)[..len].iter().map(|v| v.to_bits()));
+            }
+            i += len as i64;
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Optimized ≡ unoptimized, bit-exactly, for random kernels under both
+    /// chunk axes and non-CHUNK-aligned chunk lengths.
+    #[test]
+    fn optimizer_is_bit_exact(
+        codes in proptest::collection::vec(
+            (0u8..12, 0usize..64, 0usize..64, 0u8..=255), 1..40),
+        chunk in 1usize..50,
+    ) {
+        let data: Vec<f32> = (0..16 * 200)
+            .map(|i| ((i * 37 % 113) as f32) - 50.0)
+            .collect();
+        let k = build_kernel(&codes);
+        let mut k2 = k.clone();
+        let rpt = optimize_kernel(&mut k2, 2, &[], "prop".into());
+        prop_assert!(k2.meta.is_some());
+        prop_assert!(rpt.ops_after <= rpt.ops_before);
+        for inner in [1usize, 0] {
+            let want = eval_grid(&k, &data, inner, chunk);
+            let got = eval_grid(&k2, &data, inner, chunk);
+            prop_assert_eq!(&want, &got,
+                "axis {} chunk {} kernel {:?}", inner, chunk, &k);
+        }
+    }
+}
