@@ -1,0 +1,84 @@
+//! Engine edge cases: worker pools larger than the tile count, explicit
+//! single-thread execution, and the per-worker utilization counters
+//! (`RunStats::worker_tiles` / `worker_busy`) introduced with the
+//! diagnostics layer — claims must always sum to the total tile count.
+
+use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::Engine;
+
+#[test]
+fn more_workers_than_tiles() {
+    let b = Unsharp::new(Scale::Tiny);
+    let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params())).unwrap();
+    let inputs = b.make_inputs(7);
+
+    // A pool far larger than the frame's tile count: most workers claim
+    // nothing, and the run must still be complete and bit-exact.
+    let wide = Engine::with_threads(64);
+    let (out_wide, stats) = wide.run_stats(&compiled.program, &inputs).unwrap();
+    assert!(
+        (stats.tiles as usize) < 64,
+        "test premise: fewer tiles ({}) than workers",
+        stats.tiles
+    );
+    assert_eq!(stats.worker_tiles.len(), 64);
+    assert_eq!(
+        stats.worker_tiles.iter().sum::<u64>(),
+        stats.tiles,
+        "claims must account for every tile exactly once"
+    );
+
+    let narrow = Engine::with_threads(1);
+    let (out_narrow, _) = narrow.run_stats(&compiled.program, &inputs).unwrap();
+    for (a, b) in out_wide.iter().zip(&out_narrow) {
+        assert_eq!(a.data, b.data, "thread count must not change results");
+    }
+}
+
+#[test]
+fn single_thread_claims_everything() {
+    let b = HarrisCorner::new(Scale::Tiny);
+    let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params())).unwrap();
+    let inputs = b.make_inputs(11);
+
+    let engine = Engine::with_threads(4);
+    let (_, stats) = engine
+        .run_stats_with_threads(&compiled.program, &inputs, 1)
+        .unwrap();
+    assert!(stats.tiles > 0);
+    assert_eq!(stats.worker_tiles.len(), engine.nthreads());
+    assert_eq!(stats.worker_tiles.iter().sum::<u64>(), stats.tiles);
+    // Only the first pooled worker receives jobs when one thread is
+    // requested; everyone else must stay idle.
+    assert_eq!(stats.worker_tiles[0], stats.tiles);
+    assert!(stats.worker_tiles[1..].iter().all(|&t| t == 0));
+    assert!(
+        stats.worker_busy[1..].iter().all(|d| d.is_zero()),
+        "idle workers must not accumulate busy time"
+    );
+}
+
+#[test]
+fn utilization_counters_sum_to_total_tiles() {
+    let b = HarrisCorner::new(Scale::Tiny);
+    let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params())).unwrap();
+    let inputs = b.make_inputs(3);
+
+    let engine = Engine::with_threads(4);
+    for _ in 0..3 {
+        let (_, stats) = engine.run_stats(&compiled.program, &inputs).unwrap();
+        assert_eq!(stats.worker_tiles.iter().sum::<u64>(), stats.tiles);
+        // Work happened, so someone was busy.
+        assert!(stats.worker_busy.iter().any(|d| !d.is_zero()));
+        // A worker that claimed tiles must have nonzero busy time.
+        for (t, d) in stats.worker_tiles.iter().zip(&stats.worker_busy) {
+            if *t > 0 {
+                assert!(
+                    !d.is_zero(),
+                    "worker with {t} tiles reported zero busy time"
+                );
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
 use polymage_core::{compile, CompileOptions};
+use polymage_diag::Diag;
 use polymage_vm::{run_program, Engine};
 
 fn bench_engine_reuse(c: &mut Criterion) {
@@ -41,5 +42,44 @@ fn bench_engine_reuse(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_engine_reuse);
+/// Pins the diagnostics layer's hot-path cost: the same traced run with the
+/// no-op sink must stay within noise (<2%) of the untraced path, and the
+/// recording sink shows what full tracing costs. Numbers go into
+/// EXPERIMENTS.md §PR3.
+fn bench_diag_overhead(c: &mut Criterion) {
+    let b = HarrisCorner::new(Scale::Small);
+    let inputs = b.make_inputs(42);
+    let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+    let threads = 2;
+    let engine = Engine::with_threads(threads);
+    let mut g = c.benchmark_group("diag_overhead_Harris_small");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::from_parameter("untraced"), |bench| {
+        bench.iter(|| {
+            engine
+                .run_with_threads(&compiled.program, &inputs, threads)
+                .unwrap()
+        })
+    });
+    let noop = Diag::noop();
+    g.bench_function(BenchmarkId::from_parameter("diag-noop"), |bench| {
+        bench.iter(|| {
+            engine
+                .run_stats_traced(&compiled.program, &inputs, threads, &noop)
+                .unwrap()
+        })
+    });
+    let rec = Diag::recorder();
+    g.bench_function(BenchmarkId::from_parameter("diag-recording"), |bench| {
+        bench.iter(|| {
+            engine
+                .run_stats_traced(&compiled.program, &inputs, threads, &rec)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_reuse, bench_diag_overhead);
 criterion_main!(benches);

@@ -41,15 +41,16 @@ fn main() {
         )
         .expect("autotune");
         println!(
-            "{:>10} {:>10} {:>8} {:>12} {:>12}",
-            "tile0", "tile1", "thresh", "t1(ms)", "tN(ms)"
+            "{:>10} {:>10} {:>8} {:>10} {:>12} {:>12}",
+            "tile0", "tile1", "thresh", "model-ov", "t1(ms)", "tN(ms)"
         );
         for r in &outcome.records {
             println!(
-                "{:>10} {:>10} {:>8.1} {:>12.2} {:>12.2}",
+                "{:>10} {:>10} {:>8.1} {:>9.1}% {:>12.2} {:>12.2}",
                 r.tile[0],
                 r.tile[1],
                 r.threshold,
+                r.predicted_overlap * 100.0,
                 r.t1.as_secs_f64() * 1e3,
                 r.tn.as_secs_f64() * 1e3
             );

@@ -9,6 +9,7 @@
 //! shapes and thresholds from a much larger space under the same budget.
 
 use crate::{CompileOptions, RunError, Session};
+use polymage_diag::Value;
 use polymage_ir::Pipeline;
 use polymage_vm::Buffer;
 use rand::Rng;
@@ -26,6 +27,11 @@ pub struct TuneRecord {
     pub tile: Vec<i64>,
     /// Overlap threshold tried.
     pub threshold: f64,
+    /// The compiler model's predicted redundancy fraction for this
+    /// configuration ([`crate::CompileReport::predicted_overlap`]) —
+    /// recorded next to the measured times so model-vs-measured tables
+    /// fall straight out of a sweep.
+    pub predicted_overlap: f64,
     /// Single-thread execution time.
     pub t1: Duration,
     /// Execution time with `threads` workers.
@@ -55,8 +61,9 @@ fn measure(
     inputs: &[Buffer],
     threads: usize,
     runs: usize,
-) -> Result<(Duration, Duration), RunError> {
+) -> Result<(Duration, Duration, f64), RunError> {
     let compiled = session.compile(pipe, opts)?;
+    let predicted = compiled.report.predicted_overlap();
     let engine = session.engine();
     let time_with = |n: usize| -> Result<Duration, RunError> {
         // one warm-up, then average
@@ -69,7 +76,27 @@ fn measure(
     };
     let t1 = time_with(1)?;
     let tn = if threads > 1 { time_with(threads)? } else { t1 };
-    Ok((t1, tn))
+    Ok((t1, tn, predicted))
+}
+
+/// Records one tuned configuration (model prediction next to measured
+/// times) through the session's diagnostics sink.
+fn emit_tune_event(session: &Session, rec: &TuneRecord) {
+    let diag = session.diag();
+    if !diag.enabled() {
+        return;
+    }
+    let tile: Vec<String> = rec.tile.iter().map(|t| t.to_string()).collect();
+    diag.event(
+        "tune.config",
+        vec![
+            ("tile", Value::from(tile.join("x"))),
+            ("threshold", Value::Float(rec.threshold)),
+            ("predicted_overlap", Value::Float(rec.predicted_overlap)),
+            ("t1_us", Value::UInt(rec.t1.as_micros() as u64)),
+            ("tn_us", Value::UInt(rec.tn.as_micros() as u64)),
+        ],
+    );
 }
 
 /// Runs the paper's model-driven sweep: `tiles² × thresholds` (square tiles
@@ -92,7 +119,34 @@ pub fn autotune(
     tiles: &[i64],
     thresholds: &[f64],
 ) -> Result<TuneOutcome, RunError> {
-    let session = Session::with_threads(threads.max(1));
+    // Size the compile cache to hold the whole sweep so a repeated sweep
+    // on the same session (e.g. after resizing inputs back) hits entirely.
+    let sweep = tiles.len() * tiles.len() * thresholds.len();
+    let session = Session::with_threads(threads.max(1)).with_cache_capacity(sweep.max(1));
+    autotune_with_session(
+        &session, pipe, base, inputs, threads, runs, tiles, thresholds,
+    )
+}
+
+/// [`autotune`] on a caller-provided [`Session`]: compilations go through
+/// the session's compile cache (a re-sweep of the same space is all cache
+/// hits) and each configuration is recorded as a `tune.config` diagnostics
+/// event with the predicted overlap ratio next to the measured times.
+///
+/// # Errors
+///
+/// Same conditions as [`autotune`].
+#[allow(clippy::too_many_arguments)]
+pub fn autotune_with_session(
+    session: &Session,
+    pipe: &Pipeline,
+    base: &CompileOptions,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+    tiles: &[i64],
+    thresholds: &[f64],
+) -> Result<TuneOutcome, RunError> {
     let mut records = Vec::new();
     let mut opts = base.clone();
     opts.skip_bounds_check = false;
@@ -101,14 +155,16 @@ pub fn autotune(
             for &th in thresholds {
                 opts.tile_sizes = vec![t0, t1];
                 opts.overlap_threshold = th;
-                let (d1, dn) = measure(&session, pipe, &opts, inputs, threads, runs)?;
+                let (d1, dn, predicted) = measure(session, pipe, &opts, inputs, threads, runs)?;
                 opts.skip_bounds_check = true; // checked once is enough
                 records.push(TuneRecord {
                     tile: vec![t0, t1],
                     threshold: th,
+                    predicted_overlap: predicted,
                     t1: d1,
                     tn: dn,
                 });
+                emit_tune_event(session, records.last().expect("just pushed"));
             }
         }
     }
@@ -151,13 +207,15 @@ pub fn random_search(
         opts.fuse = rng.gen_bool(0.8);
         opts.tile = rng.gen_bool(0.8);
         opts.skip_bounds_check = i > 0;
-        let (d1, dn) = measure(&session, pipe, &opts, inputs, threads, runs)?;
+        let (d1, dn, predicted) = measure(&session, pipe, &opts, inputs, threads, runs)?;
         records.push(TuneRecord {
             tile: opts.tile_sizes.clone(),
             threshold: opts.overlap_threshold,
+            predicted_overlap: predicted,
             t1: d1,
             tn: dn,
         });
+        emit_tune_event(&session, records.last().expect("just pushed"));
     }
     let best = records
         .iter()

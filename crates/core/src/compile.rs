@@ -1,18 +1,18 @@
 //! The compiler driver: front-end → grouping → scheduling → program.
 
-use crate::grouping::{effective_tiles, group_stages, GroupKindTag};
+use crate::grouping::{effective_tiles, group_stages_with, GroupKindTag};
 use crate::report::{CompileReport, GroupReport};
 use crate::schedule::{schedule_group, Ctx};
 use crate::{CompileError, CompileOptions};
+use polymage_diag::{Diag, Value};
 use polymage_graph::{check_bounds, inline_pointwise, PipelineGraph};
 use polymage_ir::{FuncId, Pipeline};
-use polymage_poly::{group_overlap, solve_alignment};
 use polymage_vm::{BufDecl, BufId, BufKind, Program};
 use std::collections::{HashMap, HashSet};
 
 /// A compiled pipeline: the executable program and the structural report.
 ///
-/// The program is behind an [`Arc`] so cached `Compiled` values (see
+/// The program is behind an [`Arc`](std::sync::Arc) so cached `Compiled` values (see
 /// `Session`) can be shared with a running [`polymage_vm::Engine`] without
 /// copying; `&compiled.program` still coerces to `&Program` everywhere.
 #[derive(Debug, Clone)]
@@ -37,16 +37,31 @@ pub struct Compiled {
 /// out-of-bounds accesses, unsupported self-references) or mismatched
 /// parameter counts.
 pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    compile_with(pipe, opts, &Diag::noop())
+}
+
+/// [`compile`] with diagnostics: each compiler phase (`frontend`,
+/// `grouping`, `schedule`, `kernel-opt`) becomes a span, every candidate
+/// merge becomes a `grouping.merge` event (see
+/// [`crate::grouping::group_stages_with`]), and each scheduled group emits a
+/// `group.scheduled` event with its tile shape and storage footprint.
+pub fn compile_with(
+    pipe: &Pipeline,
+    opts: &CompileOptions,
+    diag: &Diag,
+) -> Result<Compiled, CompileError> {
     if opts.params.len() != pipe.params().len() {
         return Err(CompileError::MissingParams {
             expected: pipe.params().len(),
             got: opts.params.len(),
         });
     }
+    let compile_span = diag.begin();
 
     // Front-end. Cycle detection runs on the user's specification (before
     // inlining, which could fold a cycle of point-wise stages into a
     // self-reference and misreport the error).
+    let span = diag.begin();
     PipelineGraph::build(pipe)?;
     let (pipe2, inline_report) = if opts.inline_pointwise {
         inline_pointwise(pipe)?
@@ -60,9 +75,34 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
             return Err(CompileError::Bounds(violations));
         }
     }
+    diag.end(
+        span,
+        "phase.frontend",
+        if diag.enabled() {
+            vec![
+                ("inlined", Value::UInt(inline_report.inlined.len() as u64)),
+                ("dead", Value::UInt(inline_report.dead.len() as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
 
     // Grouping.
-    let grouping = group_stages(&pipe2, &graph, opts);
+    let span = diag.begin();
+    let grouping = group_stages_with(&pipe2, &graph, opts, diag);
+    diag.end(
+        span,
+        "phase.grouping",
+        if diag.enabled() {
+            vec![
+                ("groups", Value::UInt(grouping.groups.len() as u64)),
+                ("stages", Value::UInt(pipe2.func_ids().count() as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
 
     // Storage obligations: live-outs and cross-group values need full
     // arrays.
@@ -113,6 +153,7 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
 
     // Schedule groups in execution order; collect per-group byte accounting
     // for the report.
+    let sched_span = diag.begin();
     let mut groups = Vec::with_capacity(grouping.groups.len());
     let mut group_reports = Vec::with_capacity(grouping.groups.len());
     for g in &grouping.groups {
@@ -126,14 +167,38 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
             }
         }
         groups.push(ge);
-        group_reports.push(make_group_report(
-            &pipe2,
-            opts,
-            g,
-            scratch_bytes,
-            full_bytes,
-        ));
+        let gr = make_group_report(&pipe2, opts, g, scratch_bytes, full_bytes);
+        if diag.enabled() {
+            let tiles: Vec<String> = gr
+                .tile_sizes
+                .iter()
+                .map(|t| t.map_or("-".to_string(), |v| v.to_string()))
+                .collect();
+            diag.event(
+                "group.scheduled",
+                vec![
+                    ("sink", Value::from(gr.sink.as_str())),
+                    ("sink_uid", Value::UInt(pipe2.stage_uid(g.sink))),
+                    ("stages", Value::UInt(gr.stages.len() as u64)),
+                    ("kind", Value::from(format!("{:?}", gr.kind))),
+                    ("tiles", Value::from(tiles.join("x"))),
+                    ("overlap_ratio", Value::Float(gr.overlap_ratio)),
+                    ("scratch_bytes", Value::UInt(gr.scratch_bytes as u64)),
+                    ("full_bytes", Value::UInt(gr.full_bytes as u64)),
+                ],
+            );
+        }
+        group_reports.push(gr);
     }
+    diag.end(
+        sched_span,
+        "phase.schedule",
+        if diag.enabled() {
+            vec![("groups", Value::UInt(group_reports.len() as u64))]
+        } else {
+            Vec::new()
+        },
+    );
 
     // Live-out outputs.
     let outputs: Vec<(String, BufId)> = pipe2
@@ -159,11 +224,25 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
 
     // Kernel optimization: rewrite each kernel in place (bit-exact) and
     // attach uniformity metadata so the evaluator takes the fast paths.
+    let span = diag.begin();
     let kernels = if opts.kernel_opt {
         polymage_vm::optimize_program(&mut program)
     } else {
         Vec::new()
     };
+    diag.end(
+        span,
+        "phase.kernel-opt",
+        if diag.enabled() {
+            let ops: usize = kernels.iter().map(|k| k.eliminated_ops()).sum();
+            vec![
+                ("kernels", Value::UInt(kernels.len() as u64)),
+                ("ops_eliminated", Value::UInt(ops as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
 
     let report = CompileReport {
         inlined: inline_report.inlined,
@@ -171,6 +250,22 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
         groups: group_reports,
         kernels,
     };
+    diag.end(
+        compile_span,
+        "compile",
+        if diag.enabled() {
+            vec![
+                ("pipeline", Value::from(pipe2.name())),
+                ("groups", Value::UInt(report.groups.len() as u64)),
+                (
+                    "predicted_overlap",
+                    Value::Float(report.predicted_overlap()),
+                ),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
     Ok(Compiled {
         program: std::sync::Arc::new(program),
         report,
@@ -194,16 +289,12 @@ fn make_group_report(
             (hi - lo + 1).max(0)
         })
         .collect();
-    let (tile_sizes, overlap) = if g.kind == GroupKindTag::Normal {
-        let tiles = effective_tiles(&sink_extents, opts);
-        let overlap = solve_alignment(pipe, &g.stages, g.sink)
-            .ok()
-            .and_then(|a| group_overlap(pipe, &g.stages, &a).ok())
-            .map(|o| o.dims.iter().map(|d| (d.left, d.right)).collect())
-            .unwrap_or_default();
-        (tiles, overlap)
+    // The grouping pass already solved alignment and cached the overlap
+    // vector and ratio on the group — no need to re-run the solver here.
+    let tile_sizes = if g.kind == GroupKindTag::Normal {
+        effective_tiles(&sink_extents, opts)
     } else {
-        (Vec::new(), Vec::new())
+        Vec::new()
     };
     GroupReport {
         sink: pipe.func(g.sink).name.clone(),
@@ -214,7 +305,8 @@ fn make_group_report(
             .collect(),
         kind: g.kind,
         tile_sizes,
-        overlap,
+        overlap: g.overlap.clone(),
+        overlap_ratio: g.overlap_ratio,
         scratch_bytes,
         full_bytes,
     }

@@ -21,6 +21,7 @@
 //! operations" (§4, Bilateral Grid).
 
 use crate::CompileOptions;
+use polymage_diag::{Counter, Diag, Value};
 use polymage_graph::PipelineGraph;
 use polymage_ir::{FuncId, Pipeline};
 use polymage_poly::{group_overlap, solve_alignment, DimMap};
@@ -50,6 +51,14 @@ pub struct Group {
     pub sink: FuncId,
     /// Execution class.
     pub kind: GroupKindTag,
+    /// Per sink dimension: (left, right) overlap in scheduled units —
+    /// computed once by the grouping pass (the compiler's report reads it
+    /// instead of re-solving alignment). Empty for non-[`GroupKindTag::Normal`]
+    /// groups.
+    pub overlap: Vec<(i64, i64)>,
+    /// Estimated redundant-computation fraction for the configured tile
+    /// sizes (`∏(τ+o)/∏τ − 1`); `0.0` for non-normal or untiled groups.
+    pub overlap_ratio: f64,
 }
 
 /// The result of grouping: disjoint groups covering all stages, in a valid
@@ -110,6 +119,19 @@ pub(crate) fn effective_tiles(extents: &[i64], opts: &CompileOptions) -> Vec<Opt
 
 /// Runs Algorithm 1.
 pub fn group_stages(pipe: &Pipeline, graph: &PipelineGraph, opts: &CompileOptions) -> Grouping {
+    group_stages_with(pipe, graph, opts, &Diag::noop())
+}
+
+/// Runs Algorithm 1, emitting a `grouping.merge` event (accept or reject,
+/// with the computed overlap ratio vs. the threshold and stable stage uids)
+/// plus [`Counter::GroupMergeAccept`]/[`Counter::GroupMergeReject`] through
+/// `diag` for every candidate merge considered.
+pub fn group_stages_with(
+    pipe: &Pipeline,
+    graph: &PipelineGraph,
+    opts: &CompileOptions,
+    diag: &Diag,
+) -> Grouping {
     // Initial singleton groups.
     let mut groups: Vec<Group> = pipe
         .func_ids()
@@ -125,6 +147,8 @@ pub fn group_stages(pipe: &Pipeline, graph: &PipelineGraph, opts: &CompileOption
                 stages: vec![f],
                 sink: f,
                 kind,
+                overlap: Vec::new(),
+                overlap_ratio: 0.0,
             }
         })
         .collect();
@@ -156,18 +180,34 @@ pub fn group_stages(pipe: &Pipeline, graph: &PipelineGraph, opts: &CompileOption
                     .iter()
                     .next()
                     .expect("candidate has a child");
-                if try_merge(pipe, &groups[gi], &groups[child], opts) {
+                let decision = merge_decision(pipe, &groups[gi], &groups[child], opts);
+                emit_merge_event(pipe, diag, &groups[gi], &groups[child], opts, &decision);
+                if let MergeDecision::Merged { overlap, ratio } = decision {
+                    diag.count(Counter::GroupMergeAccept, 1);
                     let g = groups[gi].clone();
                     groups[child].stages.extend(g.stages);
                     groups[child].stages.sort();
+                    groups[child].overlap = overlap;
+                    groups[child].overlap_ratio = ratio;
                     groups.remove(gi);
                     merged_any = true;
                     break;
+                } else {
+                    diag.count(Counter::GroupMergeReject, 1);
                 }
             }
             if !merged_any {
                 break;
             }
+        }
+    }
+
+    // Singleton Normal groups never went through `merge_decision`; their
+    // overlap is identically zero (no intra-group dependences), so fill it
+    // in without re-solving alignment.
+    for g in &mut groups {
+        if g.kind == GroupKindTag::Normal && g.overlap.is_empty() {
+            g.overlap = vec![(0, 0); pipe.func(g.sink).var_dom.dom.len()];
         }
     }
 
@@ -249,8 +289,49 @@ fn group_size(pipe: &Pipeline, g: &Group, params: &[i64]) -> i64 {
         .sum()
 }
 
+/// The outcome of evaluating the merge criteria for a candidate pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeDecision {
+    /// All criteria passed: the merged group's per-dimension overlap (in the
+    /// sink's scheduled frame) and the estimated redundancy ratio.
+    Merged {
+        /// Per sink dimension `(left, right)` overlap.
+        overlap: Vec<(i64, i64)>,
+        /// `∏(τ+o)/∏τ − 1` for the effective tile sizes.
+        ratio: f64,
+    },
+    /// Alignment/scaling failed (a dependence component is not constant).
+    AlignFailed,
+    /// A free dimension is parameter-sized or the total free extent exceeds
+    /// the materialization limit (`FREE_DIM_LIMIT`).
+    FreeDimTooLarge,
+    /// Alignment succeeded but the estimated redundancy ratio met or
+    /// exceeded `opts.overlap_threshold`.
+    OverThreshold {
+        /// The computed ratio that tripped the threshold.
+        ratio: f64,
+    },
+}
+
+impl MergeDecision {
+    /// Short machine-readable label for diagnostics payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MergeDecision::Merged { .. } => "accept",
+            MergeDecision::AlignFailed => "align-failed",
+            MergeDecision::FreeDimTooLarge => "free-dim-too-large",
+            MergeDecision::OverThreshold { .. } => "over-threshold",
+        }
+    }
+}
+
 /// Checks the three merge criteria for `parent ∪ child`.
-fn try_merge(pipe: &Pipeline, parent: &Group, child: &Group, opts: &CompileOptions) -> bool {
+pub fn merge_decision(
+    pipe: &Pipeline,
+    parent: &Group,
+    child: &Group,
+    opts: &CompileOptions,
+) -> MergeDecision {
     let mut stages: Vec<FuncId> = parent.stages.clone();
     stages.extend(child.stages.iter().copied());
     let sink = child.sink;
@@ -258,7 +339,7 @@ fn try_merge(pipe: &Pipeline, parent: &Group, child: &Group, opts: &CompileOptio
     // Criterion 1: alignment and scaling must succeed (constant deps).
     let alignment = match solve_alignment(pipe, &stages, sink) {
         Ok(a) => a,
-        Err(_) => return false,
+        Err(_) => return MergeDecision::AlignFailed,
     };
 
     // Criterion 1b: free dimensions must have constant extents small enough
@@ -271,12 +352,13 @@ fn try_merge(pipe: &Pipeline, parent: &Group, child: &Group, opts: &CompileOptio
                 let iv = &fd.var_dom.dom[d];
                 match (iv.lo.as_const(), iv.hi.as_const()) {
                     (Some(lo), Some(hi)) => free_total *= (hi - lo + 1).max(1),
-                    _ => return false, // parameter-sized free dim
+                    // Parameter-sized free dimension.
+                    _ => return MergeDecision::FreeDimTooLarge,
                 }
             }
         }
         if free_total > FREE_DIM_LIMIT {
-            return false;
+            return MergeDecision::FreeDimTooLarge;
         }
     }
 
@@ -284,7 +366,7 @@ fn try_merge(pipe: &Pipeline, parent: &Group, child: &Group, opts: &CompileOptio
     // tile sizes.
     let overlap = match group_overlap(pipe, &stages, &alignment) {
         Ok(o) => o,
-        Err(_) => return false,
+        Err(_) => return MergeDecision::AlignFailed,
     };
     let sink_extents: Vec<i64> = pipe
         .func(sink)
@@ -299,7 +381,44 @@ fn try_merge(pipe: &Pipeline, parent: &Group, child: &Group, opts: &CompileOptio
     let tiles = effective_tiles(&sink_extents, opts);
     let tile_vec: Vec<i64> = tiles.iter().map(|t| t.unwrap_or(0)).collect();
     let ratio = overlap.overlap_ratio(&tile_vec);
-    ratio < opts.overlap_threshold
+    if ratio < opts.overlap_threshold {
+        MergeDecision::Merged {
+            overlap: overlap.dims.iter().map(|d| (d.left, d.right)).collect(),
+            ratio,
+        }
+    } else {
+        MergeDecision::OverThreshold { ratio }
+    }
+}
+
+/// Records one candidate merge (accepted or rejected) as a diagnostics
+/// event. All argument construction is skipped when `diag` is a no-op.
+fn emit_merge_event(
+    pipe: &Pipeline,
+    diag: &Diag,
+    parent: &Group,
+    child: &Group,
+    opts: &CompileOptions,
+    decision: &MergeDecision,
+) {
+    if !diag.enabled() {
+        return;
+    }
+    let mut args = vec![
+        ("parent", Value::from(pipe.func(parent.sink).name.as_str())),
+        ("child", Value::from(pipe.func(child.sink).name.as_str())),
+        ("parent_uid", Value::UInt(pipe.stage_uid(parent.sink))),
+        ("child_uid", Value::UInt(pipe.stage_uid(child.sink))),
+        ("decision", Value::from(decision.label())),
+        ("threshold", Value::Float(opts.overlap_threshold)),
+    ];
+    match decision {
+        MergeDecision::Merged { ratio, .. } | MergeDecision::OverThreshold { ratio } => {
+            args.push(("ratio", Value::Float(*ratio)));
+        }
+        _ => {}
+    }
+    diag.event("grouping.merge", args);
 }
 
 #[cfg(test)]

@@ -43,10 +43,10 @@ mod session;
 mod validate;
 
 pub use cemit::emit_c;
-pub use compile::{compile, Compiled};
+pub use compile::{compile, compile_with, Compiled};
 pub use cref::{emit_c_inputs, emit_c_reference};
 pub use error::CompileError;
-pub use grouping::{group_stages, Group, GroupKindTag, Grouping};
+pub use grouping::{group_stages, group_stages_with, Group, GroupKindTag, Grouping, MergeDecision};
 pub use options::{CompileOptions, OptionsKey};
 pub use report::{CompileReport, GroupReport};
 pub use session::{CacheStats, RunError, Session};

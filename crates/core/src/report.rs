@@ -21,6 +21,9 @@ pub struct GroupReport {
     pub tile_sizes: Vec<Option<i64>>,
     /// Per group dimension: (left, right) overlap in scheduled units.
     pub overlap: Vec<(i64, i64)>,
+    /// Estimated redundant-computation fraction for the effective tile
+    /// sizes (`∏(τ+o)/∏τ − 1`); `0.0` for non-normal or untiled groups.
+    pub overlap_ratio: f64,
     /// Scratchpad bytes allocated per thread for this group.
     pub scratch_bytes: usize,
     /// Full-array bytes allocated for this group's outputs.
@@ -67,6 +70,16 @@ impl CompileReport {
             .zip(&stats.group_times)
             .map(|(g, (_, d))| (g, *d))
             .collect()
+    }
+
+    /// The model's predicted redundancy fraction for the whole pipeline:
+    /// the maximum per-group overlap ratio (the group that dominates
+    /// redundant recomputation). `0.0` when nothing fused.
+    pub fn predicted_overlap(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.overlap_ratio)
+            .fold(0.0, f64::max)
     }
 
     /// Total ops removed by the kernel optimizer across all kernels.
@@ -164,6 +177,7 @@ mod tests {
                 kind: GroupKindTag::Normal,
                 tile_sizes: vec![Some(32), Some(256)],
                 overlap: vec![(2, 2), (2, 2)],
+                overlap_ratio: 0.07,
                 scratch_bytes: 1024,
                 full_bytes: 4096,
             }],
@@ -177,6 +191,7 @@ mod tests {
         assert_eq!(r.group_sizes(), vec![2]);
         assert!(r.group_of("b").is_some());
         assert!(r.group_of("zzz").is_none());
+        assert!((r.predicted_overlap() - 0.07).abs() < 1e-12);
     }
 
     #[test]

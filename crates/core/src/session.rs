@@ -22,7 +22,8 @@
 //! - errors are never cached — a failed compilation is retried on the
 //!   next call.
 
-use crate::{compile, CompileError, CompileOptions, Compiled};
+use crate::{compile_with, CompileError, CompileOptions, Compiled};
+use polymage_diag::{Counter, Diag};
 use polymage_ir::Pipeline;
 use polymage_vm::{Buffer, Engine, RunStats, VmError};
 use std::fmt;
@@ -106,6 +107,7 @@ struct Cache {
 pub struct Session {
     engine: Engine,
     cache: Mutex<Cache>,
+    diag: Diag,
 }
 
 impl Default for Session {
@@ -143,7 +145,22 @@ impl Session {
                 capacity: DEFAULT_CACHE_CAPACITY,
                 stats: CacheStats::default(),
             }),
+            diag: Diag::noop(),
         }
+    }
+
+    /// Attaches a diagnostics sink: every compilation (phase spans, merge
+    /// decisions), cache lookup (hit/miss/evict counters) and engine run
+    /// (group/worker spans, pool and evaluator counters) flows through it.
+    /// The default is the zero-cost no-op sink.
+    pub fn with_diag(mut self, diag: Diag) -> Session {
+        self.diag = diag;
+        self
+    }
+
+    /// The session's diagnostics handle (clones share the same sink).
+    pub fn diag(&self) -> &Diag {
+        &self.diag
     }
 
     /// Sets the compile-cache capacity (entries; minimum 1). Shrinking
@@ -155,6 +172,7 @@ impl Session {
             while cache.entries.len() > cache.capacity {
                 cache.entries.remove(0);
                 cache.stats.evictions += 1;
+                self.diag.count(Counter::CacheEvict, 1);
             }
         }
         self
@@ -176,7 +194,7 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`compile`]; errors are not cached.
+    /// Same conditions as [`compile`](crate::compile); errors are not cached.
     pub fn compile(
         &self,
         pipe: &Pipeline,
@@ -193,12 +211,14 @@ impl Session {
                 let hit = Arc::clone(&entry.1);
                 cache.entries.push(entry); // most recently used
                 cache.stats.hits += 1;
+                self.diag.count(Counter::CacheHit, 1);
                 return Ok(hit);
             }
         }
         // Compile outside the lock: a slow compilation must not block
         // cache hits for other pipelines.
-        let compiled = Arc::new(compile(pipe, opts)?);
+        self.diag.count(Counter::CacheMiss, 1);
+        let compiled = Arc::new(compile_with(pipe, opts, &self.diag)?);
         let mut cache = self.lock_cache();
         cache.stats.misses += 1;
         // Another thread may have compiled the same spec concurrently;
@@ -212,6 +232,7 @@ impl Session {
         if cache.entries.len() >= cache.capacity {
             cache.entries.remove(0);
             cache.stats.evictions += 1;
+            self.diag.count(Counter::CacheEvict, 1);
         }
         cache.entries.push((key, Arc::clone(&compiled)));
         Ok(compiled)
@@ -230,7 +251,10 @@ impl Session {
         inputs: &[Buffer],
     ) -> Result<Vec<Buffer>, RunError> {
         let compiled = self.compile(pipe, opts)?;
-        Ok(self.engine.run(&compiled.program, inputs)?)
+        let (out, _) =
+            self.engine
+                .run_stats_traced(&compiled.program, inputs, self.nthreads(), &self.diag)?;
+        Ok(out)
     }
 
     /// Like [`Session::run`], additionally returning execution statistics
@@ -248,7 +272,9 @@ impl Session {
         inputs: &[Buffer],
     ) -> Result<(Vec<Buffer>, RunStats), RunError> {
         let compiled = self.compile(pipe, opts)?;
-        Ok(self.engine.run_stats(&compiled.program, inputs)?)
+        Ok(self
+            .engine
+            .run_stats_traced(&compiled.program, inputs, self.nthreads(), &self.diag)?)
     }
 
     /// Runs an already-compiled program on the session's engine.
@@ -261,7 +287,10 @@ impl Session {
         compiled: &Compiled,
         inputs: &[Buffer],
     ) -> Result<Vec<Buffer>, VmError> {
-        self.engine.run(&compiled.program, inputs)
+        let (out, _) =
+            self.engine
+                .run_stats_traced(&compiled.program, inputs, self.nthreads(), &self.diag)?;
+        Ok(out)
     }
 
     /// Hit/miss/eviction counters of the compile cache.

@@ -3,7 +3,9 @@
 //! does not move), while any change to the pipeline content, tile sizes,
 //! threshold, or parameter values is a distinct cache key.
 
+use polymage_core::autotune::autotune_with_session;
 use polymage_core::{CompileOptions, Session};
+use polymage_diag::{Counter, Diag};
 use polymage_ir::*;
 use polymage_poly::Rect;
 use polymage_vm::Buffer;
@@ -138,6 +140,67 @@ fn lru_evicts_least_recently_used() {
     assert_eq!(session.cache_stats().hits, 2);
     session.compile(&pipe, &b).unwrap(); // evicted → recompiles
     assert_eq!(session.cache_stats().misses, 4);
+}
+
+#[test]
+fn autotune_reuses_the_session_cache() {
+    let diag = Diag::recorder();
+    let session = Session::with_threads(1)
+        .with_cache_capacity(16)
+        .with_diag(diag.clone());
+    let pipe = blur1d();
+    let base = CompileOptions::optimized(vec![64]);
+    let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| p[0] as f32);
+    let tiles = [8i64, 16];
+    let thresholds = [0.4f64];
+
+    let first = autotune_with_session(
+        &session,
+        &pipe,
+        &base,
+        std::slice::from_ref(&input),
+        1,
+        1,
+        &tiles,
+        &thresholds,
+    )
+    .unwrap();
+    assert_eq!(first.records.len(), 4); // 2 × 2 tile pairs × 1 threshold
+    assert_eq!(session.cache_stats().misses, 4);
+    assert_eq!(session.cache_stats().hits, 0);
+    assert!(first.records.iter().all(|r| r.predicted_overlap >= 0.0));
+
+    // Re-sweeping the identical space on the same session must be served
+    // entirely from the compile cache.
+    let second = autotune_with_session(
+        &session,
+        &pipe,
+        &base,
+        std::slice::from_ref(&input),
+        1,
+        1,
+        &tiles,
+        &thresholds,
+    )
+    .unwrap();
+    assert_eq!(second.records.len(), 4);
+    assert_eq!(
+        session.cache_stats().misses,
+        4,
+        "re-sweep must not recompile anything"
+    );
+    assert_eq!(session.cache_stats().hits, 4);
+
+    // The diagnostics counters mirror the cache stats, and every measured
+    // configuration left a tune.config event with the model's prediction.
+    let rec = diag.snapshot().expect("recording sink");
+    assert_eq!(rec.counter(Counter::CacheHit), 4);
+    assert_eq!(rec.counter(Counter::CacheMiss), 4);
+    let tune_events: Vec<_> = rec.events_named("tune.config").collect();
+    assert_eq!(tune_events.len(), 8);
+    assert!(tune_events
+        .iter()
+        .all(|e| e.arg("predicted_overlap").is_some() && e.arg("tn_us").is_some()));
 }
 
 #[test]

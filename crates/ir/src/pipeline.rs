@@ -305,6 +305,20 @@ impl Pipeline {
         self.live_outs.stable_hash(&mut h);
         h.finish()
     }
+
+    /// A stable identifier for one stage, usable in diagnostic span
+    /// payloads: combines the pipeline's [`Pipeline::content_hash`] with
+    /// the stage's name, so the id survives process restarts and
+    /// distinguishes like-named stages of structurally different
+    /// pipelines. Arena indices alone are not stable across front-end
+    /// transforms (inlining renumbers the survivors).
+    pub fn stage_uid(&self, f: FuncId) -> u64 {
+        use crate::stable_hash::{StableHash, StableHasher};
+        let mut h = StableHasher::new();
+        h.write_u64(self.content_hash());
+        self.funcs[f.index()].name.stable_hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,24 @@ pub struct ChunkCtx<'a> {
     pub bufs: &'a [Option<BufView<'a>>],
 }
 
+/// Uniform-preamble cache and load-resolution counters, accumulated by a
+/// [`RegFile`] while evaluating optimized kernels and drained with
+/// [`RegFile::take_counters`].
+///
+/// These are plain integers bumped in the evaluator (never diagnostics
+/// calls — the hot path stays branch-light); executors flush them at group
+/// granularity into run statistics and the diagnostics layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounters {
+    /// Chunks that reused a cached uniform preamble (row cache hit).
+    pub uniform_hits: u64,
+    /// Chunks that (re)computed the uniform preamble.
+    pub uniform_misses: u64,
+    /// Load-class histogram of row-resolved loads (counted at resolve
+    /// time, i.e. once per row per lane-varying load).
+    pub loads: crate::LoadHistogram,
+}
+
 /// The register file backing kernel evaluation. Reused across chunks to
 /// avoid allocation in inner loops.
 ///
@@ -75,6 +93,8 @@ pub struct RegFile {
     cache_coords: Vec<i64>,
     /// Resolved load plans for the cached row, one per `Op::Load`.
     resolved: Vec<ResolvedLoad>,
+    /// Optimized-kernel evaluation counters since the last drain.
+    counters: EvalCounters,
 }
 
 impl Default for RegFile {
@@ -89,6 +109,7 @@ impl Default for RegFile {
             cache_inner: 0,
             cache_coords: Vec::new(),
             resolved: Vec::new(),
+            counters: EvalCounters::default(),
         }
     }
 }
@@ -147,6 +168,11 @@ impl RegFile {
         self.cache_inner = ctx.inner;
         self.cache_coords.clear();
         self.cache_coords.extend_from_slice(ctx.coords);
+    }
+
+    /// Returns and resets the accumulated evaluation counters.
+    pub fn take_counters(&mut self) -> EvalCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Read access to a register's lanes.
@@ -249,6 +275,7 @@ fn eval_optimized(k: &Kernel, meta: &OptMeta, ctx: &ChunkCtx<'_>, regs: &mut Reg
     let token = k.ops.as_ptr() as usize;
     let fresh = !regs.cache_valid(token, ctx);
     if fresh {
+        regs.counters.uniform_misses += 1;
         regs.cache_store_key(token, ctx);
         let mut resolved = std::mem::take(&mut regs.resolved);
         resolved.clear();
@@ -259,9 +286,14 @@ fn eval_optimized(k: &Kernel, meta: &OptMeta, ctx: &ChunkCtx<'_>, regs: &mut Reg
                 } else {
                     resolved.push(loadclass::resolve_load(ctx, *buf, plan));
                 }
+                regs.counters
+                    .loads
+                    .add(resolved[resolved.len() - 1].class());
             }
         }
         regs.resolved = resolved;
+    } else {
+        regs.counters.uniform_hits += 1;
     }
     let resolved = std::mem::take(&mut regs.resolved);
     let mut li = 0usize;

@@ -16,7 +16,8 @@ use polymage_poly::Rect;
 ///
 /// `group_times` attributes wall-clock time to groups (in execution order);
 /// it is populated by [`crate::Engine`] runs and left empty by the legacy
-/// static executor.
+/// static executor — as are the per-worker and evaluator-cache fields
+/// below, which only engine runs collect.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Overlapped tiles executed.
@@ -27,6 +28,28 @@ pub struct RunStats {
     pub points_computed: u64,
     /// Per-group wall-clock durations, in execution order.
     pub group_times: Vec<(String, std::time::Duration)>,
+    /// Chunks that reused a cached uniform preamble (optimized kernels).
+    pub uniform_hits: u64,
+    /// Chunks that (re)computed the uniform preamble.
+    pub uniform_misses: u64,
+    /// Load-class histogram of runtime row resolutions (optimized
+    /// kernels; one tally per row per lane-varying load).
+    pub loads: crate::LoadHistogram,
+    /// Tiles executed per pooled worker, indexed by worker id. The sum
+    /// equals `tiles` for engine runs.
+    pub worker_tiles: Vec<u64>,
+    /// Busy wall-clock per pooled worker (time spent inside jobs), indexed
+    /// by worker id. Subtracting from the run's group time gives idle time.
+    pub worker_busy: Vec<std::time::Duration>,
+}
+
+impl RunStats {
+    /// The uniform-preamble cache hit rate over optimized-kernel chunks,
+    /// or `None` when no optimized kernels ran.
+    pub fn uniform_hit_rate(&self) -> Option<f64> {
+        let total = self.uniform_hits + self.uniform_misses;
+        (total > 0).then(|| self.uniform_hits as f64 / total as f64)
+    }
 }
 
 #[derive(Default)]
@@ -115,7 +138,7 @@ pub fn run_program_static_stats(
             tiles: cells.tiles.load(Relaxed),
             chunks: cells.chunks.load(Relaxed),
             points_computed: cells.points.load(Relaxed),
-            group_times: Vec::new(),
+            ..RunStats::default()
         },
     ))
 }
@@ -621,12 +644,18 @@ fn worker_strips(
     }
 }
 
-/// Per-worker counters, flushed to the shared atomics once per group.
+/// Per-worker counters, flushed to the coordinator once per group.
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct LocalStats {
     pub(crate) tiles: u64,
     pub(crate) chunks: u64,
     pub(crate) points: u64,
+    /// Pool index of the worker that produced these counters.
+    pub(crate) worker: usize,
+    /// Wall-clock the worker spent inside the job.
+    pub(crate) busy: std::time::Duration,
+    /// Drained evaluator counters (uniform cache, load classes).
+    pub(crate) eval: crate::EvalCounters,
 }
 
 #[allow(clippy::too_many_arguments)]

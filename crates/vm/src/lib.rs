@@ -40,14 +40,14 @@ mod program;
 pub use buffer::{BufDecl, BufId, BufKind, Buffer};
 pub use engine::Engine;
 pub use error::VmError;
-pub use eval::{eval_kernel, BufView, ChunkCtx, RegFile, CHUNK};
+pub use eval::{eval_kernel, BufView, ChunkCtx, EvalCounters, RegFile, CHUNK};
 pub use exec::{
     run_program, run_program_static, run_program_static_stats, run_program_stats, RunStats,
 };
 pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, OptMeta, RegId, UnF};
 pub use loadclass::{LoadClass, LoadHistogram};
 pub use opt::{optimize_kernel, optimize_program, KernelOptReport};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolStats};
 pub use program::{
     CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, TileWork,
     TiledGroup,

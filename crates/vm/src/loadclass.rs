@@ -182,6 +182,20 @@ pub(crate) enum ResolvedLoad {
     },
 }
 
+impl ResolvedLoad {
+    /// The access class this resolved form corresponds to (used by the
+    /// runtime resolution counters; matches [`classify`]'s taxonomy, with
+    /// diagonal `Multi` accesses tallied as strided).
+    pub(crate) fn class(&self) -> LoadClass {
+        match self {
+            ResolvedLoad::Uniform => LoadClass::Broadcast,
+            ResolvedLoad::Contig { .. } => LoadClass::Contiguous,
+            ResolvedLoad::Strided { .. } | ResolvedLoad::Multi { .. } => LoadClass::Strided,
+            ResolvedLoad::Gather { .. } => LoadClass::Gather,
+        }
+    }
+}
+
 /// Resolves a lane-varying load plan against the current views and chunk
 /// axis. Must only be called for plans that vary along `ctx.inner`.
 pub(crate) fn resolve_load(ctx: &ChunkCtx<'_>, buf: BufId, plan: &[IdxPlan]) -> ResolvedLoad {

@@ -8,7 +8,7 @@
 //!
 //! 1. **Constant folding** — ops whose operands are all constants are
 //!    evaluated at compile time with the *same scalar functions* the
-//!    evaluator uses ([`crate::eval`]'s `scalar_*` helpers), so folded
+//!    evaluator uses (`crate::eval`'s `scalar_*` helpers), so folded
 //!    results are bit-identical to runtime results.
 //! 2. **Identity / algebraic simplification and strength reduction** —
 //!    restricted to rewrites that are **bit-exact** over all `f32` inputs
@@ -30,7 +30,7 @@
 //! ([`OptMeta`]): which consumer loop dimensions each register's value can
 //! vary with. The evaluator uses them to split the kernel into a scalar
 //! per-row preamble (chunk-invariant ops) and a lane-varying body, and to
-//! dispatch loads through [`crate::loadclass`]'s specialized forms.
+//! dispatch loads through `crate::loadclass`'s specialized forms.
 //!
 //! All rewrites preserve bit-exact results; `kernel_opt: false` in
 //! `polymage_core::CompileOptions` skips this module entirely for ablation.

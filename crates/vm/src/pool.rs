@@ -1,23 +1,37 @@
 //! A freelist allocator for `f32` working buffers.
 
+/// Counters and occupancy of a [`BufferPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out (both acquire variants).
+    pub acquires: u64,
+    /// Acquisitions served by a retained allocation instead of a fresh one.
+    pub reuses: u64,
+    /// Releases dropped because the freelist was at its retention cap.
+    pub dropped: u64,
+    /// Bytes currently retained on the freelist (by capacity).
+    pub retained_bytes: usize,
+}
+
 /// A bounded freelist of `Vec<f32>` allocations, shared by the
 /// [`crate::Engine`] coordinator and its workers for full buffers, output
 /// slabs, and reduction partials.
 ///
 /// [`BufferPool::acquire_zeroed`] returns a zero-filled vector of exactly
-/// the requested length, reusing the retained allocation with the smallest
+/// the requested length; [`BufferPool::acquire`] skips the zero-fill for
+/// buffers the caller provably overwrites in full before any read (see the
+/// method contract). Both reuse the retained allocation with the smallest
 /// sufficient capacity when one exists; [`BufferPool::release`] returns a
 /// vector to the freelist. Retention is capped so pathological workloads
 /// cannot hoard memory indefinitely.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Vec<Vec<f32>>,
-    acquires: u64,
-    reuses: u64,
+    stats: PoolStats,
 }
 
 /// Maximum number of free buffers retained for reuse.
-const MAX_RETAINED: usize = 64;
+pub(crate) const MAX_RETAINED: usize = 64;
 
 impl BufferPool {
     /// An empty pool.
@@ -25,10 +39,9 @@ impl BufferPool {
         BufferPool::default()
     }
 
-    /// A zero-filled vector of length `len`, reusing a retained allocation
-    /// when one is large enough (best fit by capacity).
-    pub fn acquire_zeroed(&mut self, len: usize) -> Vec<f32> {
-        self.acquires += 1;
+    /// Pops the retained allocation with the smallest sufficient capacity,
+    /// if any (best fit).
+    fn pop_best_fit(&mut self, len: usize) -> Option<Vec<f32>> {
         let mut best: Option<(usize, usize)> = None; // (index, capacity)
         for (i, v) in self.free.iter().enumerate() {
             let cap = v.capacity();
@@ -36,28 +49,66 @@ impl BufferPool {
                 best = Some((i, cap));
             }
         }
-        let mut v = match best {
-            Some((i, _)) => {
-                self.reuses += 1;
-                self.free.swap_remove(i)
-            }
-            None => Vec::new(),
-        };
+        best.map(|(i, cap)| {
+            self.stats.reuses += 1;
+            self.stats.retained_bytes -= cap * std::mem::size_of::<f32>();
+            self.free.swap_remove(i)
+        })
+    }
+
+    /// A zero-filled vector of length `len`, reusing a retained allocation
+    /// when one is large enough (best fit by capacity).
+    pub fn acquire_zeroed(&mut self, len: usize) -> Vec<f32> {
+        self.stats.acquires += 1;
+        let mut v = self.pop_best_fit(len).unwrap_or_default();
         v.clear();
         v.resize(len, 0.0);
         v
     }
 
-    /// Returns a vector to the freelist for later reuse.
-    pub fn release(&mut self, v: Vec<f32>) {
-        if v.capacity() > 0 && self.free.len() < MAX_RETAINED {
-            self.free.push(v);
+    /// A vector of length `len` with **arbitrary contents** (whatever the
+    /// previous user left behind), reusing a retained allocation when one
+    /// is large enough.
+    ///
+    /// Only for buffers the caller provably writes in full before any
+    /// read — e.g. full-array group sinks, whose tile stores exactly
+    /// partition a buffer sized exactly to the stage domain (the invariant
+    /// `polymage_core`'s validator checks). Callers that may leave any
+    /// element unwritten must use [`BufferPool::acquire_zeroed`].
+    pub fn acquire(&mut self, len: usize) -> Vec<f32> {
+        self.stats.acquires += 1;
+        match self.pop_best_fit(len) {
+            Some(mut v) => {
+                if v.len() >= len {
+                    v.truncate(len);
+                } else {
+                    // Only the tail beyond the previous length is
+                    // zero-filled; the rest keeps stale contents.
+                    v.resize(len, 0.0);
+                }
+                v
+            }
+            None => vec![0.0; len],
         }
     }
 
-    /// `(acquires, reuses)` counters since creation.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.acquires, self.reuses)
+    /// Returns a vector to the freelist for later reuse. At the retention
+    /// cap (`MAX_RETAINED` buffers) the allocation is dropped instead.
+    pub fn release(&mut self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        if self.free.len() < MAX_RETAINED {
+            self.stats.retained_bytes += v.capacity() * std::mem::size_of::<f32>();
+            self.free.push(v);
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Counters and occupancy since creation.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
     }
 
     /// Number of currently retained free buffers.
@@ -79,6 +130,7 @@ mod tests {
         let cap = v.capacity();
         p.release(v);
         assert_eq!(p.retained(), 1);
+        assert_eq!(p.stats().retained_bytes, cap * 4);
         let v2 = p.acquire_zeroed(50);
         assert_eq!(v2.len(), 50);
         assert!(v2.capacity() >= cap.min(100));
@@ -86,8 +138,35 @@ mod tests {
             v2.iter().all(|&x| x == 0.0),
             "reused buffer must be re-zeroed"
         );
-        assert_eq!(p.stats(), (2, 1));
+        let s = p.stats();
+        assert_eq!((s.acquires, s.reuses), (2, 1));
+        assert_eq!(s.retained_bytes, 0);
         assert_eq!(p.retained(), 0);
+    }
+
+    #[test]
+    fn acquire_skips_zeroing_but_fixes_length() {
+        let mut p = BufferPool::new();
+        let mut v = p.acquire_zeroed(100);
+        v.iter_mut().for_each(|x| *x = 3.0);
+        p.release(v);
+
+        // Shrinking reuse: stale contents are visible, length is exact.
+        let v2 = p.acquire(40);
+        assert_eq!(v2.len(), 40);
+        assert!(v2.iter().all(|&x| x == 3.0), "acquire must not zero");
+        p.release(v2);
+
+        // Growing reuse within capacity: the tail past the previous length
+        // is zero-filled, the prefix keeps stale contents.
+        let v3 = p.acquire(60);
+        assert_eq!(v3.len(), 60);
+        assert!(v3[..40].iter().all(|&x| x == 3.0));
+        assert!(v3[40..].iter().all(|&x| x == 0.0));
+
+        // Fresh allocations are zeroed by construction.
+        let v4 = p.acquire(10_000);
+        assert!(v4.iter().all(|&x| x == 0.0));
     }
 
     #[test]
@@ -111,5 +190,31 @@ mod tests {
         let mut p = BufferPool::new();
         p.release(Vec::new());
         assert_eq!(p.retained(), 0);
+        assert_eq!(p.stats().dropped, 0);
+    }
+
+    #[test]
+    fn eviction_at_the_retention_cap() {
+        let mut p = BufferPool::new();
+        let bufs: Vec<Vec<f32>> = (0..MAX_RETAINED + 3).map(|_| vec![0.0; 16]).collect();
+        let mut expected_bytes = 0;
+        for (i, v) in bufs.into_iter().enumerate() {
+            if i < MAX_RETAINED {
+                expected_bytes += v.capacity() * 4;
+            }
+            p.release(v);
+        }
+        assert_eq!(p.retained(), MAX_RETAINED);
+        let s = p.stats();
+        assert_eq!(s.dropped, 3, "releases beyond the cap are dropped");
+        assert_eq!(s.retained_bytes, expected_bytes);
+
+        // Draining one slot re-opens retention for exactly one buffer.
+        let v = p.acquire(16);
+        assert_eq!(p.retained(), MAX_RETAINED - 1);
+        p.release(v);
+        p.release(vec![0.0; 16]);
+        assert_eq!(p.retained(), MAX_RETAINED);
+        assert_eq!(p.stats().dropped, 4);
     }
 }

@@ -58,6 +58,19 @@ pub struct StageExec {
     pub reads: Vec<BufId>,
 }
 
+impl StageExec {
+    /// True when evaluating this stage provably writes *every* point of any
+    /// store region: some case covers the whole domain unconditionally (no
+    /// residual mask, unit steps). Stages failing this rely on the
+    /// zero-for-undefined convention — their store targets must be
+    /// zero-filled before evaluation.
+    pub fn covers_domain(&self) -> bool {
+        self.cases.iter().any(|c| {
+            c.mask.is_none() && c.steps.iter().all(|&(s, p)| s == 1 && p == 0) && c.rect == self.dom
+        })
+    }
+}
+
 /// Work description of one overlapped tile: the exact region of every stage
 /// it computes (backward interval propagation, precomputed at compile time)
 /// and the sub-rectangle each full-stored stage writes out (clipped to the

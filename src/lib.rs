@@ -16,6 +16,8 @@
 //! - [`core`]: the optimizing compiler ([`core::Session`],
 //!   [`core::compile`]), reference interpreter, C emitter, autotuner;
 //! - [`vm`]: the execution engine ([`vm::Engine`], [`vm::Buffer`]);
+//! - [`diag`]: structured diagnostics ([`diag::Diag`] spans, counters, and
+//!   the chrome://tracing exporter) threaded through compile and runtime;
 //! - [`apps`]: the paper's seven benchmark pipelines.
 //!
 //! ## Quickstart
@@ -65,6 +67,7 @@
 
 pub use polymage_apps as apps;
 pub use polymage_core as core;
+pub use polymage_diag as diag;
 pub use polymage_graph as graph;
 pub use polymage_ir as ir;
 pub use polymage_poly as poly;
