@@ -10,10 +10,12 @@
 //! - **overlap estimate**: the level-wise tight tile shapes vs forcing
 //!   group splits with a near-zero overlap threshold;
 //! - **kernel optimizer**: the bit-exact SSA pass pipeline plus
-//!   uniform-op hoisting and load specialization on/off.
+//!   uniform-op hoisting and load specialization on/off;
+//! - **SIMD backend**: runtime-dispatched vector chunk loops vs the
+//!   forced-scalar fallback (`CompileOptions::with_simd(SimdOpt::Off)`).
 
 use polymage_bench::{ms, time_program, HarnessArgs};
-use polymage_core::{CompileOptions, Session};
+use polymage_core::{CompileOptions, Session, SimdOpt};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -24,7 +26,7 @@ fn main() {
         args.scale, args.runs
     );
     println!(
-        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9}",
+        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9}",
         "Benchmark",
         "opt",
         "no-inline",
@@ -32,7 +34,8 @@ fn main() {
         "fuse-only",
         "tile-only",
         "thresh≈0",
-        "no-kopt"
+        "no-kopt",
+        "simd-off"
     );
     for b in args.benchmarks() {
         let inputs = b.make_inputs(42);
@@ -61,6 +64,7 @@ fn main() {
             },
             CompileOptions::optimized(b.params()).with_threshold(1e-9),
             CompileOptions::optimized(b.params()).with_kernel_opt(false),
+            CompileOptions::optimized(b.params()).with_simd(SimdOpt::Off),
         ];
         for opts in variants {
             let compiled = session
@@ -75,7 +79,7 @@ fn main() {
             )));
         }
         println!(
-            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9}",
+            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9}",
             b.name(),
             row[0],
             row[1],
@@ -83,7 +87,8 @@ fn main() {
             row[3],
             row[4],
             row[5],
-            row[6]
+            row[6],
+            row[7]
         );
     }
 }

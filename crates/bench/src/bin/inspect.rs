@@ -15,6 +15,15 @@ fn main() {
         }
         println!("{}", compiled.report);
         println!(
+            "simd: dispatching {} (host supports: {})",
+            compiled.report.simd,
+            polymage_vm::available_simd_levels()
+                .iter()
+                .map(|l| l.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!(
             "buffers: {} ({} full bytes, {} scratch bytes/thread), groups: {}",
             compiled.program.buffers.len(),
             compiled.program.full_bytes(),

@@ -169,6 +169,14 @@ fn summarize(b: &dyn Benchmark, session: &Session, stats: &RunStats, rec: &Recor
         rec.counter(Counter::UniformHit),
         rec.counter(Counter::UniformMiss),
     );
+    println!(
+        "  simd: {} (lanes avx2 {} / sse2 {} / neon {} / scalar {})",
+        compiled.report.simd,
+        rec.counter(Counter::SimdLanesAvx2),
+        rec.counter(Counter::SimdLanesSse2),
+        rec.counter(Counter::SimdLanesNeon),
+        rec.counter(Counter::SimdLanesScalar),
+    );
 }
 
 fn main() {

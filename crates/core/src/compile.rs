@@ -220,6 +220,7 @@ pub fn compile_with(
         groups,
         outputs,
         mode: opts.mode,
+        simd: polymage_vm::resolve_simd(opts.simd),
     };
 
     // Kernel optimization: rewrite each kernel in place (bit-exact) and
@@ -249,6 +250,7 @@ pub fn compile_with(
         dead: inline_report.dead,
         groups: group_reports,
         kernels,
+        simd: program.simd,
     };
     diag.end(
         compile_span,

@@ -48,6 +48,7 @@ pub use cref::{emit_c_inputs, emit_c_reference};
 pub use error::CompileError;
 pub use grouping::{group_stages, group_stages_with, Group, GroupKindTag, Grouping, MergeDecision};
 pub use options::{CompileOptions, OptionsKey};
+pub use polymage_vm::{SimdLevel, SimdOpt};
 pub use report::{CompileReport, GroupReport};
 pub use session::{CacheStats, RunError, Session};
 pub use validate::{assert_valid, validate_program, Violation};

@@ -1,6 +1,6 @@
 //! Compiler options: the schedule-relevant knobs of the paper.
 
-use polymage_vm::EvalMode;
+use polymage_vm::{EvalMode, SimdOpt};
 
 /// Options controlling compilation.
 ///
@@ -48,6 +48,15 @@ pub struct CompileOptions {
     /// analysis, and load specialization. `false` executes kernels exactly
     /// as lowering emits them (the pre-optimizer behavior, for ablation).
     pub kernel_opt: bool,
+    /// SIMD backend selection for the chunk evaluator. [`SimdOpt::Auto`]
+    /// (the default) uses the best instruction set detected at startup;
+    /// [`SimdOpt::Off`] forces the scalar loops; explicit levels are
+    /// clamped to what the host supports. The `POLYMAGE_SIMD` environment
+    /// variable, when set, overrides this option. All levels are bit-exact
+    /// (see `polymage-vm`'s `simd` module), so this is a pure performance
+    /// knob — but it still participates in the cache key because the
+    /// compiled [`polymage_vm::Program`] records the resolved level.
+    pub simd: SimdOpt,
 }
 
 impl CompileOptions {
@@ -66,6 +75,7 @@ impl CompileOptions {
             par_strips: 128,
             skip_bounds_check: false,
             kernel_opt: true,
+            simd: SimdOpt::Auto,
         }
     }
 
@@ -103,6 +113,12 @@ impl CompileOptions {
         self
     }
 
+    /// Selects the SIMD backend ([`SimdOpt::Auto`] by default).
+    pub fn with_simd(mut self, simd: SimdOpt) -> Self {
+        self.simd = simd;
+        self
+    }
+
     /// The hashable normal form of these options, used (together with the
     /// pipeline's content hash) to key compile caches.
     ///
@@ -123,6 +139,7 @@ impl CompileOptions {
             storage_opt: self.storage_opt,
             par_strips: self.par_strips,
             kernel_opt: self.kernel_opt,
+            simd: polymage_vm::resolve_simd(self.simd),
         }
     }
 }
@@ -141,6 +158,10 @@ pub struct OptionsKey {
     storage_opt: bool,
     par_strips: i64,
     kernel_opt: bool,
+    /// The *resolved* [`polymage_vm::SimdLevel`]: environment override and
+    /// host clamping applied, so two option sets that resolve to the same
+    /// level share a cache entry.
+    simd: polymage_vm::SimdLevel,
 }
 
 #[cfg(test)]
@@ -166,6 +187,15 @@ mod tests {
         assert_eq!(a.cache_key(), skipped.cache_key());
         // kernel_opt rewrites kernels, so it must change the key.
         assert_ne!(a.cache_key(), a.clone().with_kernel_opt(false).cache_key());
+        // The simd option participates through its *resolved* level
+        // (environment override and host clamping applied), so the keys
+        // differ exactly when the resolved levels do.
+        let off = a.clone().with_simd(SimdOpt::Off).cache_key();
+        if polymage_vm::resolve_simd(SimdOpt::Off) == polymage_vm::resolve_simd(SimdOpt::Auto) {
+            assert_eq!(a.cache_key(), off);
+        } else {
+            assert_ne!(a.cache_key(), off);
+        }
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct CompileReport {
     pub groups: Vec<GroupReport>,
     /// Per-kernel optimizer statistics (empty when `kernel_opt` is off).
     pub kernels: Vec<polymage_vm::KernelOptReport>,
+    /// The SIMD level the compiled program dispatches to (environment
+    /// override and host clamping already applied).
+    pub simd: polymage_vm::SimdLevel,
 }
 
 impl CompileReport {
@@ -147,6 +150,7 @@ impl fmt::Display for CompileReport {
                 g.stages.join(" ")
             )?;
         }
+        writeln!(f, "simd: {}", self.simd)?;
         if !self.kernels.is_empty() {
             writeln!(
                 f,
@@ -182,6 +186,7 @@ mod tests {
                 full_bytes: 4096,
             }],
             kernels: vec![],
+            simd: polymage_vm::SimdLevel::Scalar,
         }
     }
 
@@ -200,6 +205,7 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("inlined: a"));
         assert!(text.contains("sink=out"));
+        assert!(text.contains("simd: scalar"));
         let dot = r.grouping_dot();
         assert!(dot.contains("cluster_0"));
         assert!(dot.contains("\"out\""));

@@ -328,6 +328,7 @@ mod tests {
             }],
             outputs: vec![("out".into(), polymage_vm::BufId(0))],
             mode: polymage_vm::EvalMode::Vector,
+            simd: polymage_vm::process_simd_level(),
         }
     }
 

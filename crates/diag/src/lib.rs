@@ -170,6 +170,14 @@ counters! {
     LoadStrided => "eval.load.strided",
     /// Loads resolved to the gather class.
     LoadGather => "eval.load.gather",
+    /// Register lanes evaluated through the AVX2 chunk loops.
+    SimdLanesAvx2 => "eval.simd.lanes.avx2",
+    /// Register lanes evaluated through the SSE2 chunk loops.
+    SimdLanesSse2 => "eval.simd.lanes.sse2",
+    /// Register lanes evaluated through the NEON chunk loops.
+    SimdLanesNeon => "eval.simd.lanes.neon",
+    /// Register lanes evaluated by the scalar fallback loops.
+    SimdLanesScalar => "eval.simd.lanes.scalar",
 }
 
 /// An in-flight span, created by [`Diag::begin`] and closed by

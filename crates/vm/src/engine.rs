@@ -388,6 +388,10 @@ impl Engine {
             diag.count(Counter::LoadContiguous, stats.loads.contiguous as u64);
             diag.count(Counter::LoadStrided, stats.loads.strided as u64);
             diag.count(Counter::LoadGather, stats.loads.gather as u64);
+            diag.count(Counter::SimdLanesAvx2, stats.simd_lanes_avx2);
+            diag.count(Counter::SimdLanesSse2, stats.simd_lanes_sse2);
+            diag.count(Counter::SimdLanesNeon, stats.simd_lanes_neon);
+            diag.count(Counter::SimdLanesScalar, stats.simd_lanes_scalar);
             diag.end(
                 run_span,
                 "run",
@@ -661,6 +665,10 @@ fn absorb_local(stats: &mut RunStats, local: &LocalStats) {
     stats.uniform_hits += local.eval.uniform_hits;
     stats.uniform_misses += local.eval.uniform_misses;
     stats.loads.merge(&local.eval.loads);
+    stats.simd_lanes_avx2 += local.eval.simd_lanes_avx2;
+    stats.simd_lanes_sse2 += local.eval.simd_lanes_sse2;
+    stats.simd_lanes_neon += local.eval.simd_lanes_neon;
+    stats.simd_lanes_scalar += local.eval.simd_lanes_scalar;
     if local.worker < stats.worker_tiles.len() {
         stats.worker_tiles[local.worker] += local.tiles;
         stats.worker_busy[local.worker] += local.busy;
@@ -675,13 +683,18 @@ fn worker_main(
 ) {
     // Worker-local arena freelist, reused across jobs and runs.
     let mut arena_pool = BufferPool::new();
+    // Persistent register file: its backing storage (and its uniform-row
+    // cache, keyed by a per-row epoch) is reused across jobs. `begin_row`
+    // bumps the epoch on every row, so state left behind by a previous
+    // job can never validate as a cache hit.
+    let mut regs = RegFile::new();
     while let Ok((epoch, job)) = jobs.recv() {
         let start = Instant::now();
         let msg = match job {
             Job::Shutdown => break,
             Job::Tiled(job) => {
                 let res = catch_unwind(AssertUnwindSafe(|| {
-                    run_tiled_job(&job, epoch, &results, &pool, &mut arena_pool)
+                    run_tiled_job(&job, epoch, &results, &pool, &mut arena_pool, &mut regs)
                 }));
                 drop(job); // release shared state before signaling
                 match res {
@@ -720,8 +733,10 @@ fn run_tiled_job(
     results: &Sender<(u64, WorkerMsg)>,
     pool: &Mutex<BufferPool>,
     arena_pool: &mut BufferPool,
+    regs: &mut RegFile,
 ) -> LocalStats {
     let prog = &*job.prog;
+    regs.set_simd(prog.simd);
     let GroupKind::Tiled(tg) = &prog.groups[job.group].kind else {
         panic!("tiled job targets a non-tiled group");
     };
@@ -743,7 +758,6 @@ fn run_tiled_job(
         .iter()
         .map(|r| r.as_ref().map(|a| a.as_slice()))
         .collect();
-    let mut regs = RegFile::new();
     let mut local = LocalStats::default();
     loop {
         let s = job.claim.fetch_add(1, Ordering::Relaxed);
@@ -793,7 +807,7 @@ fn run_tiled_job(
                     &read_refs,
                     &mut slabs,
                     &mut arena,
-                    &mut regs,
+                    regs,
                     &mut local,
                 );
             }

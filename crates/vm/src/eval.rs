@@ -12,6 +12,7 @@
 
 use crate::kernel::OptMeta;
 use crate::loadclass::{self, ResolvedLoad};
+use crate::simd::{self, Lanes, SimdLevel};
 use crate::{BinF, CmpF, IdxPlan, Kernel, Op, UnF};
 
 /// Chunk capacity (lanes per register).
@@ -63,6 +64,28 @@ pub struct EvalCounters {
     /// Load-class histogram of row-resolved loads (counted at resolve
     /// time, i.e. once per row per lane-varying load).
     pub loads: crate::LoadHistogram,
+    /// Lanes evaluated while dispatching AVX2 chunk loops.
+    pub simd_lanes_avx2: u64,
+    /// Lanes evaluated while dispatching SSE2 chunk loops.
+    pub simd_lanes_sse2: u64,
+    /// Lanes evaluated while dispatching NEON chunk loops.
+    pub simd_lanes_neon: u64,
+    /// Lanes evaluated on the portable scalar path.
+    pub simd_lanes_scalar: u64,
+}
+
+impl EvalCounters {
+    /// Attributes one evaluated chunk's lanes to the active dispatch level.
+    #[inline]
+    pub(crate) fn count_chunk(&mut self, level: SimdLevel, len: usize) {
+        let lanes = len as u64;
+        match level {
+            SimdLevel::Avx2 => self.simd_lanes_avx2 += lanes,
+            SimdLevel::Sse2 => self.simd_lanes_sse2 += lanes,
+            SimdLevel::Neon => self.simd_lanes_neon += lanes,
+            SimdLevel::Scalar => self.simd_lanes_scalar += lanes,
+        }
+    }
 }
 
 /// The register file backing kernel evaluation. Reused across chunks to
@@ -77,7 +100,11 @@ pub struct EvalCounters {
 /// `begin_row` is detected by the coordinate check and recomputed.
 #[derive(Debug)]
 pub struct RegFile {
-    pub(crate) regs: Vec<[f32; CHUNK]>,
+    pub(crate) regs: Vec<Lanes>,
+    /// SIMD dispatch level for the chunk loops; always clamped to what the
+    /// running CPU supports (see [`RegFile::set_simd`]), which is the
+    /// safety invariant the `simd` module's `target_feature` calls rely on.
+    pub(crate) simd: SimdLevel,
     /// True when lanes `1..` of the register replicate lane 0 (uniform
     /// registers are broadcast lazily).
     bcast: Vec<bool>,
@@ -101,6 +128,7 @@ impl Default for RegFile {
     fn default() -> RegFile {
         RegFile {
             regs: Vec::new(),
+            simd: simd::process_level(),
             bcast: Vec::new(),
             // Start at 1 so a zeroed cache (epoch 0) can never match.
             epoch: 1,
@@ -121,11 +149,35 @@ impl RegFile {
     }
 
     /// Ensures capacity for `n` registers.
+    ///
+    /// Registers are zero-filled only here, when the vec grows past its
+    /// high-water mark (safe-Rust initialization of fresh storage) — never
+    /// re-zeroed on reuse. That is sound because ops write `[..len]` before
+    /// anything reads it and no consumer reads lanes at or beyond
+    /// `ctx.len`, so stale lanes from a previous kernel or a longer chunk
+    /// can never leak into results (see the tail-chunk regression test in
+    /// `tests/simd_levels.rs`).
     pub fn ensure(&mut self, n: usize) {
         if self.regs.len() < n {
-            self.regs.resize(n, [0.0; CHUNK]);
+            self.regs.resize(n, Lanes::zeroed());
             self.bcast.resize(n, false);
         }
+    }
+
+    /// Sets the SIMD dispatch level, clamped to the running CPU's
+    /// capabilities (so any stored level is safe to dispatch on). Executors
+    /// call this with the level resolved at compile time
+    /// (`Program::simd`); freshly created register files default to the
+    /// per-process level.
+    #[inline]
+    pub fn set_simd(&mut self, level: SimdLevel) {
+        self.simd = simd::clamp_to_detected(level);
+    }
+
+    /// The active SIMD dispatch level.
+    #[inline]
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// Invalidates the per-row preamble cache. Executors call this at the
@@ -177,7 +229,7 @@ impl RegFile {
 
     /// Read access to a register's lanes.
     pub fn reg(&self, r: crate::RegId) -> &[f32; CHUNK] {
-        &self.regs[r.0 as usize]
+        &self.regs[r.0 as usize].0
     }
 
     /// Disjoint `(dst, src)` borrows.
@@ -190,10 +242,10 @@ impl RegFile {
         debug_assert_ne!(dst, a, "kernel not in SSA form");
         if dst < a {
             let (lo, hi) = self.regs.split_at_mut(a as usize);
-            (&mut lo[dst as usize], &hi[0])
+            (&mut lo[dst as usize].0, &hi[0].0)
         } else {
             let (lo, hi) = self.regs.split_at_mut(dst as usize);
-            (&mut hi[0], &lo[a as usize])
+            (&mut hi[0].0, &lo[a as usize].0)
         }
     }
 
@@ -208,7 +260,7 @@ impl RegFile {
         let (lo, hi) = self.regs.split_at_mut(dst as usize);
         // dst is the freshest register: in SSA kernels a, b < dst.
         debug_assert!(a < dst && b < dst, "operands precede destination in SSA");
-        (&mut hi[0], &lo[a as usize], &lo[b as usize])
+        (&mut hi[0].0, &lo[a as usize].0, &lo[b as usize].0)
     }
 
     /// Disjoint `(dst, mask, a, b)` borrows.
@@ -231,10 +283,10 @@ impl RegFile {
         );
         let (lo, hi) = self.regs.split_at_mut(dst as usize);
         (
-            &mut hi[0],
-            &lo[m as usize],
-            &lo[a as usize],
-            &lo[b as usize],
+            &mut hi[0].0,
+            &lo[m as usize].0,
+            &lo[a as usize].0,
+            &lo[b as usize].0,
         )
     }
 }
@@ -255,6 +307,7 @@ pub(crate) fn round_ties_away(v: f32) -> f32 {
 /// indices are clamped into the buffer, never panic.
 pub fn eval_kernel(k: &Kernel, ctx: &ChunkCtx<'_>, regs: &mut RegFile) {
     regs.ensure(k.nregs);
+    regs.counters.count_chunk(regs.simd, ctx.len);
     if let Some(meta) = &k.meta {
         eval_optimized(k, meta, ctx, regs);
         return;
@@ -435,7 +488,11 @@ fn exec_op(op: &Op, ctx: &ChunkCtx<'_>, regs: &mut RegFile, len: usize) {
                 }
             }
             Op::BinF { op, dst, a, b } => {
+                let lvl = regs.simd;
                 let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                if simd::bin(lvl, *op, d, va, vb, len) {
+                    return;
+                }
                 match op {
                     BinF::Add => {
                         for i in 0..len {
@@ -530,7 +587,11 @@ fn exec_op(op: &Op, ctx: &ChunkCtx<'_>, regs: &mut RegFile, len: usize) {
                 }
             }
             Op::CmpMask { op, dst, a, b } => {
+                let lvl = regs.simd;
                 let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                if simd::cmp(lvl, *op, d, va, vb, len) {
+                    return;
+                }
                 macro_rules! cmp {
                     ($cmp:tt) => {
                         for i in 0..len {
@@ -548,37 +609,63 @@ fn exec_op(op: &Op, ctx: &ChunkCtx<'_>, regs: &mut RegFile, len: usize) {
                 }
             }
             Op::MaskAnd { dst, a, b } => {
+                let lvl = regs.simd;
                 let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                // Mask AND is a lane product — same instruction as `Mul`.
+                if simd::bin(lvl, BinF::Mul, d, va, vb, len) {
+                    return;
+                }
                 for i in 0..len {
                     d[i] = va[i] * vb[i];
                 }
             }
             Op::MaskOr { dst, a, b } => {
+                let lvl = regs.simd;
                 let (d, va, vb) = regs.tri(dst.0, a.0, b.0);
+                // Mask OR is a lane max — same sequence as `Max`.
+                if simd::bin(lvl, BinF::Max, d, va, vb, len) {
+                    return;
+                }
                 for i in 0..len {
                     d[i] = va[i].max(vb[i]);
                 }
             }
             Op::MaskNot { dst, a } => {
+                let lvl = regs.simd;
                 let (d, va) = regs.pair(dst.0, a.0);
+                if simd::mask_not(lvl, d, va, len) {
+                    return;
+                }
                 for i in 0..len {
                     d[i] = 1.0 - va[i];
                 }
             }
             Op::SelectF { dst, mask, a, b } => {
+                let lvl = regs.simd;
                 let (d, vm, va, vb) = regs.quad(dst.0, mask.0, a.0, b.0);
+                if simd::select(lvl, d, vm, va, vb, len) {
+                    return;
+                }
                 for i in 0..len {
                     d[i] = if vm[i] != 0.0 { va[i] } else { vb[i] };
                 }
             }
             Op::CastRound { dst, a } => {
+                let lvl = regs.simd;
                 let (d, va) = regs.pair(dst.0, a.0);
+                if simd::cast_round(lvl, d, va, len) {
+                    return;
+                }
                 for i in 0..len {
                     d[i] = round_ties_away(va[i]);
                 }
             }
             Op::CastSat { dst, a, lo, hi } => {
+                let lvl = regs.simd;
                 let (d, va) = regs.pair(dst.0, a.0);
+                if simd::cast_sat(lvl, d, va, *lo, *hi, len) {
+                    return;
+                }
                 for i in 0..len {
                     d[i] = round_ties_away(va[i].clamp(*lo, *hi));
                 }

@@ -41,6 +41,14 @@ pub struct RunStats {
     /// Busy wall-clock per pooled worker (time spent inside jobs), indexed
     /// by worker id. Subtracting from the run's group time gives idle time.
     pub worker_busy: Vec<std::time::Duration>,
+    /// Lanes evaluated while dispatching AVX2 chunk loops.
+    pub simd_lanes_avx2: u64,
+    /// Lanes evaluated while dispatching SSE2 chunk loops.
+    pub simd_lanes_sse2: u64,
+    /// Lanes evaluated while dispatching NEON chunk loops.
+    pub simd_lanes_neon: u64,
+    /// Lanes evaluated on the portable scalar path.
+    pub simd_lanes_scalar: u64,
 }
 
 impl RunStats {
@@ -381,11 +389,12 @@ fn eval_cases_into(
                 local.chunks += 1;
                 local.points += len as u64;
                 let base = dest.flat(coords);
+                let lvl = regs.simd_level();
                 let out = &regs.reg(case.kernel.out())[..len];
                 match case.mask {
                     None if axis_contig => {
                         let dst = &mut dest.data[base..base + len];
-                        store_lanes(dst, out, sat, round);
+                        store_lanes(lvl, dst, out, sat, round);
                     }
                     None => {
                         let st = dest.strides[axis] as usize;
@@ -395,11 +404,13 @@ fn eval_cases_into(
                     }
                     Some(m) => {
                         let st = dest.strides[axis];
-                        let mask: [f32; CHUNK] = *regs.reg(m);
-                        for i in 0..len {
-                            if mask[i] != 0.0 {
+                        // Borrow only the live lanes — lanes at or beyond
+                        // `len` may hold stale values from earlier chunks.
+                        let mask = &regs.reg(m)[..len];
+                        for (i, (&mv, &v)) in mask.iter().zip(out).enumerate() {
+                            if mv != 0.0 {
                                 dest.data[(base as i64 + i as i64 * st) as usize] =
-                                    transform(out[i], sat, round);
+                                    transform(v, sat, round);
                             }
                         }
                     }
@@ -423,9 +434,22 @@ fn transform(v: f32, sat: Option<(f32, f32)>, round: bool) -> f32 {
     }
 }
 
-fn store_lanes(dst: &mut [f32], src: &[f32], sat: Option<(f32, f32)>, round: bool) {
+fn store_lanes(
+    lvl: crate::SimdLevel,
+    dst: &mut [f32],
+    src: &[f32],
+    sat: Option<(f32, f32)>,
+    round: bool,
+) {
+    if let (None, false) = (sat, round) {
+        dst.copy_from_slice(src);
+        return;
+    }
+    if crate::simd::store(lvl, dst, src, sat, round) {
+        return;
+    }
     match (sat, round) {
-        (None, false) => dst.copy_from_slice(src),
+        (None, false) => unreachable!("handled above"),
         (Some((lo, hi)), true) => {
             for (d, s) in dst.iter_mut().zip(src) {
                 *d = s.clamp(lo, hi).round();
@@ -626,6 +650,7 @@ fn worker_strips(
         })
         .collect();
     let mut regs = RegFile::new();
+    regs.set_simd(prog.simd);
 
     let mut local = LocalStats::default();
     for (strip, slabs) in task.iter_mut() {
@@ -970,6 +995,7 @@ pub(crate) fn sweep_reduction(
         EvalMode::Scalar => 1,
     };
     let mut regs = RegFile::new();
+    regs.set_simd(prog.simd);
     let (xlo, xhi) = dom.range(n - 1);
     for_each_row(dom, dom.ndim() - 1, &mut |coords| {
         regs.begin_row();
@@ -984,9 +1010,11 @@ pub(crate) fn sweep_reduction(
                 bufs: views,
             };
             eval_kernel(&red.kernel, &ctx, &mut regs);
-            let val: [f32; CHUNK] = *regs.reg(red.kernel.outs[0]);
+            // Borrow only the live lanes (stale lanes beyond `len` are
+            // meaningless); the index registers below are read per-lane.
+            let val = &regs.reg(red.kernel.outs[0])[..len];
             // Gather target indices and scatter-combine.
-            for (i, &v) in val.iter().enumerate().take(len) {
+            for (i, &v) in val.iter().enumerate() {
                 let mut flat = 0i64;
                 let mut ok = true;
                 for (d, &stride) in strides.iter().enumerate().take(ndim_out) {
@@ -1032,6 +1060,7 @@ pub(crate) fn execute_seq(
     }
 
     let mut regs = RegFile::new();
+    regs.set_simd(prog.simd);
     let mut tmp = [0.0f32; CHUNK];
     let mut tmp_mask = [0.0f32; CHUNK];
     for case in &seq.cases {

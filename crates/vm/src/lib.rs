@@ -24,7 +24,7 @@
 //! computation and saturating stores per declared [`polymage_ir::ScalarType`]).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 mod buffer;
 mod engine;
@@ -36,6 +36,12 @@ mod loadclass;
 pub mod opt;
 mod pool;
 mod program;
+// The SIMD backend is the single sanctioned home for `unsafe` in this
+// crate: `#[target_feature]` chunk loops reached only through
+// runtime-detected dispatch levels (see `simd/mod.rs` for the safety
+// argument). Everything else stays under `deny(unsafe_code)`.
+#[allow(unsafe_code)]
+mod simd;
 
 pub use buffer::{BufDecl, BufId, BufKind, Buffer};
 pub use engine::Engine;
@@ -51,4 +57,9 @@ pub use pool::{BufferPool, PoolStats};
 pub use program::{
     CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, TileWork,
     TiledGroup,
+};
+pub use simd::{
+    available_levels as available_simd_levels, clamp_to_detected as clamp_simd_level,
+    detect as detect_simd, process_level as process_simd_level, resolve as resolve_simd, SimdLevel,
+    SimdOpt,
 };

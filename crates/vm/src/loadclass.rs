@@ -299,7 +299,19 @@ pub(crate) fn exec_resolved(
             org,
             base,
         } => {
+            let lvl = regs.simd;
             let dreg = &mut regs.regs[d];
+            // With no floor division the lane index is affine in the lane
+            // number — a hardware gather (AVX2) loads exactly the elements
+            // the scalar loop would. Other shapes, and any index that the
+            // wrapper cannot prove in-bounds, take the scalar walk.
+            if m == 1 {
+                let start = base + (q * x0 + o - org) * stride;
+                let step = q * stride;
+                if crate::simd::strided_load(lvl, &mut dreg.0, view.data, start, step, len) {
+                    return;
+                }
+            }
             for (i, v) in dreg[..len].iter_mut().enumerate() {
                 let idx = (q * (x0 + i as i64) + o).div_euclid(m) - org;
                 *v = view.data[(base + idx * stride) as usize];

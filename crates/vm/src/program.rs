@@ -178,6 +178,10 @@ pub struct Program {
     pub outputs: Vec<(String, BufId)>,
     /// Evaluation mode.
     pub mode: EvalMode,
+    /// SIMD dispatch level resolved at compile time (from
+    /// `CompileOptions::simd` / `POLYMAGE_SIMD`); executors hand it to
+    /// every register file they create.
+    pub simd: crate::SimdLevel,
 }
 
 impl Program {
@@ -232,6 +236,7 @@ mod tests {
             groups: vec![],
             outputs: vec![],
             mode: EvalMode::Vector,
+            simd: crate::process_simd_level(),
         };
         assert_eq!(p.full_bytes(), 40);
         assert_eq!(p.scratch_bytes(), 64);

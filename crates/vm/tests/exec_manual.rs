@@ -179,6 +179,7 @@ fn two_stage_program(mode: EvalMode) -> Program {
         }],
         outputs: vec![("out".into(), out_f)],
         mode,
+        simd: polymage_vm::process_simd_level(),
     }
 }
 
@@ -296,6 +297,7 @@ fn histogram_reduction_parallel_matches_serial() {
         }],
         outputs: vec![("hist".into(), hist)],
         mode: EvalMode::Vector,
+        simd: polymage_vm::process_simd_level(),
     };
     let input = Buffer::zeros(Rect::new(vec![(0, 31), (0, 31)]))
         .fill_with(|p| ((p[0] * 31 + p[1] * 17) % 10) as f32);
@@ -404,6 +406,7 @@ fn sequential_scan_prefix_sum() {
         }],
         outputs: vec![("f".into(), out)],
         mode: EvalMode::Vector,
+        simd: polymage_vm::process_simd_level(),
     };
     let input = Buffer::zeros(Rect::new(vec![(0, 99)])).fill_with(|p| (p[0] % 7) as f32);
     let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
@@ -491,6 +494,7 @@ fn saturating_stores() {
         }],
         outputs: vec![("out".into(), out)],
         mode: EvalMode::Vector,
+        simd: polymage_vm::process_simd_level(),
     };
     let input = Buffer::zeros(Rect::new(vec![(0, 15)])).fill_with(|p| (p[0] * 20) as f32);
     let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
@@ -567,6 +571,7 @@ fn min_max_reductions_and_untouched_cells() {
             }],
             outputs: vec![("mm".into(), out)],
             mode: EvalMode::Vector,
+            simd: polymage_vm::process_simd_level(),
         };
         // values −9..10 alternating over even/odd positions
         let input = Buffer::zeros(Rect::new(vec![(0, 19)]))

@@ -1,6 +1,8 @@
 //! Property-based tests for the chunk evaluator: chunked evaluation over
 //! any chunk axis must agree with a direct scalar computation, and load
-//! plans must agree with naive indexing.
+//! plans must agree with naive indexing. Every value-producing property
+//! runs at each SIMD level the host supports — the vector loops must be
+//! bit-identical to the scalar reference.
 
 use polymage_vm::*;
 use proptest::prelude::*;
@@ -45,11 +47,14 @@ proptest! {
                 sizes: sizes.clone(),
             })],
         };
-        let mut regs = RegFile::new();
-        eval_kernel(&k, &view, &mut regs);
-        for i in 0..len {
-            let idx = (q * (x0 + i as i64) + oo).div_euclid(m);
-            prop_assert_eq!(regs.reg(RegId(0))[i], data[idx as usize]);
+        for level in available_simd_levels() {
+            let mut regs = RegFile::new();
+            regs.set_simd(level);
+            eval_kernel(&k, &view, &mut regs);
+            for i in 0..len {
+                let idx = (q * (x0 + i as i64) + oo).div_euclid(m);
+                prop_assert_eq!(regs.reg(RegId(0))[i], data[idx as usize]);
+            }
         }
     }
 
@@ -85,11 +90,14 @@ proptest! {
             inner: 0,
             bufs: &[Some(BufView { data: &data, origin, strides, sizes })],
         };
-        let mut regs = RegFile::new();
-        eval_kernel(&k, &ctx, &mut regs);
-        for (i, &v) in vals.iter().enumerate().take(len) {
-            let want = (v * c + v).abs().max(c);
-            prop_assert_eq!(regs.reg(RegId(5))[i], want);
+        for level in available_simd_levels() {
+            let mut regs = RegFile::new();
+            regs.set_simd(level);
+            eval_kernel(&k, &ctx, &mut regs);
+            for (i, &v) in vals.iter().enumerate().take(len) {
+                let want = (v * c + v).abs().max(c);
+                prop_assert_eq!(regs.reg(RegId(5))[i], want);
+            }
         }
     }
 
@@ -126,11 +134,14 @@ proptest! {
             inner: 0,
             bufs: &[Some(BufView { data: &data, origin, strides, sizes })],
         };
-        let mut regs = RegFile::new();
-        eval_kernel(&k, &ctx, &mut regs);
-        for (i, &v) in vals.iter().enumerate().take(len) {
-            let want = if !(v > 0.0 && v < 5.0) { -1.0 } else { v };
-            prop_assert_eq!(regs.reg(RegId(8))[i], want);
+        for level in available_simd_levels() {
+            let mut regs = RegFile::new();
+            regs.set_simd(level);
+            eval_kernel(&k, &ctx, &mut regs);
+            for (i, &v) in vals.iter().enumerate().take(len) {
+                let want = if !(v > 0.0 && v < 5.0) { -1.0 } else { v };
+                prop_assert_eq!(regs.reg(RegId(8))[i], want);
+            }
         }
     }
 
@@ -158,11 +169,13 @@ proptest! {
             strides: vec![cols, 1],
             sizes: vec![rows, cols],
         };
+        for level in available_simd_levels() {
         // chunk along axis 1 (rows of the buffer)
         let mut got_rowwise = vec![0.0f32; n];
         {
             let bufs = [Some(view())];
             let mut regs = RegFile::new();
+            regs.set_simd(level);
             for x in ox..rows {
                 let len = (cols - oy) as usize;
                 let ctx = ChunkCtx { coords: &[x, oy], len, inner: 1, bufs: &bufs };
@@ -173,11 +186,13 @@ proptest! {
                 }
             }
         }
-        // chunk along axis 0 (columns of the buffer, strided loads)
+        // chunk along axis 0 (columns of the buffer, strided loads —
+        // the AVX2 gather path when the level allows it)
         let mut got_colwise = vec![0.0f32; n];
         {
             let bufs = [Some(view())];
             let mut regs = RegFile::new();
+            regs.set_simd(level);
             for y in oy..cols {
                 let len = (rows - ox) as usize;
                 let ctx = ChunkCtx { coords: &[ox, y], len, inner: 0, bufs: &bufs };
@@ -194,6 +209,7 @@ proptest! {
                 prop_assert_eq!(got_rowwise[i], data[i]);
                 prop_assert_eq!(got_colwise[i], data[i]);
             }
+        }
         }
     }
 }

@@ -145,8 +145,10 @@ fn build_kernel(codes: &[(u8, usize, usize, u8)]) -> Kernel {
 
 /// Evaluates all output registers of `k` over a 2-D grid, chunking along
 /// `inner` with the given chunk length, starting a fresh uniform-row cache
-/// per row. Returns the concatenated bit patterns of every out register.
-fn eval_grid(k: &Kernel, data: &[f32], inner: usize, chunk: usize) -> Vec<u32> {
+/// per row. Evaluation dispatches at the given SIMD `level` (clamped to
+/// host support). Returns the concatenated bit patterns of every out
+/// register.
+fn eval_grid(k: &Kernel, data: &[f32], inner: usize, chunk: usize, level: SimdLevel) -> Vec<u32> {
     let bufs = [Some(BufView {
         data,
         origin: vec![0, 0],
@@ -155,6 +157,7 @@ fn eval_grid(k: &Kernel, data: &[f32], inner: usize, chunk: usize) -> Vec<u32> {
     })];
     let (xe, ye) = (6i64, 40i64);
     let mut regs = RegFile::new();
+    regs.set_simd(level);
     let mut out = Vec::new();
     let (outer_end, inner_end) = if inner == 1 { (xe, ye) } else { (ye, xe) };
     for o in 0..outer_end {
@@ -181,7 +184,8 @@ fn eval_grid(k: &Kernel, data: &[f32], inner: usize, chunk: usize) -> Vec<u32> {
 
 proptest! {
     /// Optimized ≡ unoptimized, bit-exactly, for random kernels under both
-    /// chunk axes and non-CHUNK-aligned chunk lengths.
+    /// chunk axes and non-CHUNK-aligned chunk lengths — and at every SIMD
+    /// level the host supports, all compared against the scalar loops.
     #[test]
     fn optimizer_is_bit_exact(
         codes in proptest::collection::vec(
@@ -197,10 +201,17 @@ proptest! {
         prop_assert!(k2.meta.is_some());
         prop_assert!(rpt.ops_after <= rpt.ops_before);
         for inner in [1usize, 0] {
-            let want = eval_grid(&k, &data, inner, chunk);
-            let got = eval_grid(&k2, &data, inner, chunk);
-            prop_assert_eq!(&want, &got,
-                "axis {} chunk {} kernel {:?}", inner, chunk, &k);
+            let want = eval_grid(&k, &data, inner, chunk, SimdLevel::Scalar);
+            for level in available_simd_levels() {
+                let raw = eval_grid(&k, &data, inner, chunk, level);
+                prop_assert_eq!(&want, &raw,
+                    "unoptimized axis {} chunk {} level {} kernel {:?}",
+                    inner, chunk, level, &k);
+                let got = eval_grid(&k2, &data, inner, chunk, level);
+                prop_assert_eq!(&want, &got,
+                    "axis {} chunk {} level {} kernel {:?}",
+                    inner, chunk, level, &k);
+            }
         }
     }
 }

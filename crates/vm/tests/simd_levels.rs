@@ -1,0 +1,359 @@
+//! The SIMD backend's bit-exactness contract, checked exhaustively at the
+//! chunk level: for every instruction-set level the host supports, every
+//! vectorized operation, and every chunk length 1..=CHUNK (so every
+//! vector-body/scalar-tail split), the lanes produced must be bit-identical
+//! to the scalar loops — including NaN, ±0.0, infinities, denormals, and
+//! round-half-away ties.
+//!
+//! Also pins down the register-file reuse contract behind the persistent
+//! per-worker `RegFile`: operations write only `[..len]` and consumers read
+//! only `[..len]`, so lanes left over from an earlier, longer evaluation
+//! can never leak into a later short one.
+
+use polymage_vm::*;
+
+/// Adversarial lane values: exercises NaN propagation/ordering, signed
+/// zeros, infinities, denormals, round-half-away ties, and saturation
+/// boundaries.
+const SPECIALS: [f32; 16] = [
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    0.5,
+    -0.5,
+    2.5,
+    -3.5,
+    255.49,
+    256.0,
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    f32::MIN_POSITIVE,
+    1.0e-40,   // denormal
+    8388609.0, // 2^23 + 1: already integral, "big" path of round
+];
+
+/// Fills a CHUNK-sized buffer cycling through the special values, offset
+/// so that `a` and `b` operands pair every special with every other over
+/// the various lengths.
+fn special_data(offset: usize) -> Vec<f32> {
+    (0..2 * CHUNK)
+        .map(|i| SPECIALS[(i * 7 + offset) % SPECIALS.len()])
+        .collect()
+}
+
+/// A kernel applying every vectorized op class to two loaded operands.
+fn all_ops_kernel() -> Kernel {
+    let bin = [
+        BinF::Add,
+        BinF::Sub,
+        BinF::Mul,
+        BinF::Div,
+        BinF::Min,
+        BinF::Max,
+    ];
+    let cmp = [CmpF::Lt, CmpF::Le, CmpF::Gt, CmpF::Ge, CmpF::Eq, CmpF::Ne];
+    let mut ops = vec![
+        Op::Load {
+            dst: RegId(0),
+            buf: BufId(0),
+            plan: vec![IdxPlan::Affine {
+                dim: Some(0),
+                q: 1,
+                o: 0,
+                m: 1,
+            }],
+        },
+        Op::Load {
+            dst: RegId(1),
+            buf: BufId(1),
+            plan: vec![IdxPlan::Affine {
+                dim: Some(0),
+                q: 1,
+                o: 0,
+                m: 1,
+            }],
+        },
+    ];
+    let mut n = 2u16;
+    for op in bin {
+        ops.push(Op::BinF {
+            op,
+            dst: RegId(n),
+            a: RegId(0),
+            b: RegId(1),
+        });
+        n += 1;
+    }
+    for op in cmp {
+        ops.push(Op::CmpMask {
+            op,
+            dst: RegId(n),
+            a: RegId(0),
+            b: RegId(1),
+        });
+        n += 1;
+    }
+    let m1 = RegId(n - 1); // Ne mask
+    let m2 = RegId(n - 2); // Eq mask
+    for op in [
+        Op::MaskAnd {
+            dst: RegId(n),
+            a: m1,
+            b: m2,
+        },
+        Op::MaskOr {
+            dst: RegId(n + 1),
+            a: m1,
+            b: m2,
+        },
+        Op::MaskNot {
+            dst: RegId(n + 2),
+            a: m1,
+        },
+        Op::SelectF {
+            dst: RegId(n + 3),
+            mask: RegId(0),
+            a: RegId(1),
+            b: RegId(2),
+        },
+        Op::CastRound {
+            dst: RegId(n + 4),
+            a: RegId(0),
+        },
+        Op::CastSat {
+            dst: RegId(n + 5),
+            a: RegId(0),
+            lo: 0.0,
+            hi: 255.0,
+        },
+    ] {
+        ops.push(op);
+        n += 1;
+    }
+    Kernel {
+        ops,
+        nregs: n as usize,
+        meta: None,
+        // every computed register is an output
+        outs: (2..n).map(RegId).collect(),
+    }
+}
+
+/// 1-D contiguous view over a data slice.
+fn view(d: &[f32]) -> BufView<'_> {
+    BufView {
+        data: d,
+        origin: vec![0],
+        strides: vec![1],
+        sizes: vec![d.len() as i64],
+    }
+}
+
+/// Evaluates `k` once at (x0=0, len) against the two special-value buffers
+/// and returns the bit pattern of every output register's live lanes.
+fn eval_bits(k: &Kernel, a: &[f32], b: &[f32], len: usize, level: SimdLevel) -> Vec<u32> {
+    let bufs = [Some(view(a)), Some(view(b))];
+    let ctx = ChunkCtx {
+        coords: &[0],
+        len,
+        inner: 0,
+        bufs: &bufs,
+    };
+    let mut regs = RegFile::new();
+    regs.set_simd(level);
+    eval_kernel(k, &ctx, &mut regs);
+    let mut out = Vec::new();
+    for &r in &k.outs {
+        out.extend(regs.reg(r)[..len].iter().map(|v| v.to_bits()));
+    }
+    out
+}
+
+/// Every level × every vectorized op × every body/tail split 1..=CHUNK is
+/// bit-identical to the scalar loops on adversarial values.
+#[test]
+fn all_levels_bit_identical_at_every_tail_length() {
+    let k = all_ops_kernel();
+    let a = special_data(0);
+    let b = special_data(3);
+    for len in 1..=CHUNK {
+        let want = eval_bits(&k, &a, &b, len, SimdLevel::Scalar);
+        for level in available_simd_levels() {
+            let got = eval_bits(&k, &a, &b, len, level);
+            assert_eq!(want, got, "level {level} diverged from scalar at len {len}");
+        }
+    }
+}
+
+/// Strided loads (the AVX2 gather path) are value-identical to scalar
+/// indexing at every length, including negative strides via dim-0 chunking
+/// of a row-major 2-D view.
+#[test]
+fn strided_loads_bit_identical() {
+    let cols = 7i64;
+    let rows = CHUNK as i64 + 3;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| SPECIALS[i as usize % SPECIALS.len()])
+        .collect();
+    let k = Kernel {
+        ops: vec![Op::Load {
+            dst: RegId(0),
+            buf: BufId(0),
+            plan: vec![
+                IdxPlan::Affine {
+                    dim: Some(0),
+                    q: 2,
+                    o: 1,
+                    m: 1,
+                },
+                IdxPlan::Affine {
+                    dim: Some(1),
+                    q: 1,
+                    o: 0,
+                    m: 1,
+                },
+            ],
+        }],
+        nregs: 1,
+        meta: None,
+        outs: vec![RegId(0)],
+    };
+    let bufs = [Some(BufView {
+        data: &data,
+        origin: vec![0, 0],
+        strides: vec![cols, 1],
+        sizes: vec![rows, cols],
+    })];
+    for len in [1usize, 3, 4, 5, 8, 9, 31, 60] {
+        for y in 0..cols {
+            let ctx = ChunkCtx {
+                coords: &[0, y],
+                len,
+                inner: 0,
+                bufs: &bufs,
+            };
+            let mut want = Vec::new();
+            for level in available_simd_levels() {
+                let mut regs = RegFile::new();
+                regs.set_simd(level);
+                eval_kernel(&k, &ctx, &mut regs);
+                let got: Vec<u32> = regs.reg(RegId(0))[..len]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                if level == SimdLevel::Scalar {
+                    for (i, &bits) in got.iter().enumerate() {
+                        let idx = (2 * i as i64 + 1) * cols + y;
+                        assert_eq!(bits, data[idx as usize].to_bits());
+                    }
+                    want = got;
+                } else {
+                    assert_eq!(want, got, "level {level} gather len {len} y {y}");
+                }
+            }
+        }
+    }
+}
+
+/// Register-file reuse: a long evaluation followed by a short one on the
+/// *same* register file yields exactly what a fresh register file yields —
+/// stale lanes beyond `len` are never observable through outputs. This is
+/// the contract that lets engine workers keep one `RegFile` across jobs
+/// and lets `ensure`/`begin_row` skip re-zeroing live registers.
+#[test]
+fn tail_chunks_never_see_stale_lanes() {
+    let k = all_ops_kernel();
+    let a = special_data(1);
+    let b = special_data(5);
+    let a2 = special_data(9);
+    let b2 = special_data(13);
+    for level in available_simd_levels() {
+        let mut reused = RegFile::new();
+        reused.set_simd(level);
+        // Long evaluation fills all CHUNK lanes of every register.
+        {
+            let bufs = [Some(view(&a)), Some(view(&b))];
+            reused.begin_row();
+            let ctx = ChunkCtx {
+                coords: &[0],
+                len: CHUNK,
+                inner: 0,
+                bufs: &bufs,
+            };
+            eval_kernel(&k, &ctx, &mut reused);
+        }
+        // Short tail evaluation on different data, same register file.
+        for len in [1usize, 2, 7, 31] {
+            let bufs = [Some(view(&a2)), Some(view(&b2))];
+            reused.begin_row();
+            let ctx = ChunkCtx {
+                coords: &[0],
+                len,
+                inner: 0,
+                bufs: &bufs,
+            };
+            eval_kernel(&k, &ctx, &mut reused);
+            let fresh_bits = eval_bits(&k, &a2, &b2, len, level);
+            let mut reused_bits = Vec::new();
+            for &r in &k.outs {
+                reused_bits.extend(reused.reg(r)[..len].iter().map(|v| v.to_bits()));
+            }
+            assert_eq!(
+                fresh_bits, reused_bits,
+                "stale lanes leaked at level {level} len {len}"
+            );
+        }
+    }
+}
+
+/// `set_simd` clamps to host support, and lane counters attribute work to
+/// the level actually dispatched.
+#[test]
+fn level_clamping_and_counters() {
+    let k = all_ops_kernel();
+    let a = special_data(0);
+    let b = special_data(3);
+    for level in available_simd_levels() {
+        let bufs = [Some(view(&a)), Some(view(&b))];
+        let ctx = ChunkCtx {
+            coords: &[0],
+            len: 17,
+            inner: 0,
+            bufs: &bufs,
+        };
+        let mut regs = RegFile::new();
+        regs.set_simd(level);
+        assert_eq!(regs.simd_level(), level, "available level must stick");
+        eval_kernel(&k, &ctx, &mut regs);
+        let c = regs.take_counters();
+        let lanes = [
+            c.simd_lanes_scalar,
+            c.simd_lanes_sse2,
+            c.simd_lanes_avx2,
+            c.simd_lanes_neon,
+        ];
+        let idx = match level {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Sse2 => 1,
+            SimdLevel::Avx2 => 2,
+            SimdLevel::Neon => 3,
+        };
+        assert_eq!(lanes[idx], 17, "lanes counted at the dispatched level");
+        for (i, &l) in lanes.iter().enumerate() {
+            if i != idx {
+                assert_eq!(l, 0, "no lanes counted at other levels");
+            }
+        }
+    }
+    // An unavailable level clamps to something the host has (never panics,
+    // never dispatches unsupported instructions).
+    let mut regs = RegFile::new();
+    regs.set_simd(SimdLevel::Avx2);
+    let eff = regs.simd_level();
+    assert!(
+        available_simd_levels().contains(&eff),
+        "clamped level {eff} must be available"
+    );
+}
