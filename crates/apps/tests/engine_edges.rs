@@ -47,16 +47,14 @@ fn single_thread_claims_everything() {
         .run_stats_with_threads(&compiled.program, &inputs, 1)
         .unwrap();
     assert!(stats.tiles > 0);
-    assert_eq!(stats.worker_tiles.len(), engine.nthreads());
-    assert_eq!(stats.worker_tiles.iter().sum::<u64>(), stats.tiles);
-    // Only the first pooled worker receives jobs when one thread is
-    // requested; everyone else must stay idle.
+    // The per-worker vectors are sized to the run's *effective* worker
+    // count — min(requested threads, pool size) — so a single-thread run
+    // on a 4-worker pool reports exactly one participation slot, and that
+    // slot claims everything.
+    assert_eq!(stats.worker_tiles.len(), 1);
+    assert_eq!(stats.worker_busy.len(), 1);
     assert_eq!(stats.worker_tiles[0], stats.tiles);
-    assert!(stats.worker_tiles[1..].iter().all(|&t| t == 0));
-    assert!(
-        stats.worker_busy[1..].iter().all(|d| d.is_zero()),
-        "idle workers must not accumulate busy time"
-    );
+    assert!(!stats.worker_busy[0].is_zero());
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Multi-tenant throughput: runs/sec on one shared [`Engine`] as the
+//! number of concurrent submitter threads grows. Each iteration pushes a
+//! fixed batch of frames through the engine — one submitter drains it
+//! serially, N submitters split it and overlap their runs on the shared
+//! worker pool. Gains come from overlapping per-run setup/finalize and
+//! scheduler gaps with another run's tiles, so they are modest on few
+//! cores and disappear on a single-core container (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::{Buffer, Engine, Program};
+use std::sync::Arc;
+
+const BATCH: usize = 16;
+
+/// Split a `BATCH`-frame batch across `submitters` threads, each running
+/// its share on the shared engine at 1 thread per run (tenant-style:
+/// parallelism comes from run concurrency, not intra-run fan-out).
+fn drain_batch(engine: &Engine, prog: &Arc<Program>, inputs: &[Buffer], submitters: usize) {
+    let share = BATCH / submitters;
+    std::thread::scope(|s| {
+        for _ in 0..submitters {
+            s.spawn(move || {
+                for _ in 0..share {
+                    engine.run_with_threads(prog, inputs, 1).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let apps: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(HarrisCorner::new(Scale::Tiny)),
+        Box::new(Unsharp::new(Scale::Tiny)),
+    ];
+    let engine = Engine::with_threads(4);
+    for b in &apps {
+        let inputs = b.make_inputs(42);
+        let compiled = compile(b.pipeline(), &CompileOptions::optimized(b.params()))
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let prog = Arc::clone(&compiled.program);
+        let mut g = c.benchmark_group(format!("throughput_{}_tiny", b.name().replace(' ', "_")));
+        g.sample_size(15);
+        g.throughput(Throughput::Elements(BATCH as u64));
+        for submitters in [1usize, 4] {
+            g.bench_function(
+                BenchmarkId::from_parameter(format!("{submitters}-submitters")),
+                |bench| bench.iter(|| drain_batch(&engine, &prog, &inputs, submitters)),
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

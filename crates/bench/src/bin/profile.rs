@@ -97,6 +97,38 @@ fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// One line per traced run, in submission order: the engine tags every
+/// span and event with a `run_id`, so a trace holding many (possibly
+/// concurrent) runs can still be split cleanly per tenant.
+fn per_run_breakdown(rec: &Recording) {
+    let ids = rec.run_ids();
+    if ids.is_empty() {
+        return;
+    }
+    println!("  per-run breakdown ({} runs traced):", ids.len());
+    for id in ids {
+        let mut wall_us = 0u64;
+        let mut tiles = 0u64;
+        let mut threads = 0u64;
+        let mut groups = 0usize;
+        for e in rec.events_for_run(id) {
+            match e.name {
+                "run" => {
+                    wall_us = e.dur_us.unwrap_or(0);
+                    tiles = e.arg("tiles").and_then(|v| v.as_u64()).unwrap_or(0);
+                    threads = e.arg("nthreads").and_then(|v| v.as_u64()).unwrap_or(0);
+                }
+                "group" => groups += 1,
+                _ => {}
+            }
+        }
+        println!(
+            "    run {id:>3}: {:>9.3} ms  {groups} groups, {tiles} tiles, {threads} threads",
+            wall_us as f64 / 1e3,
+        );
+    }
+}
+
 fn summarize(b: &dyn Benchmark, session: &Session, stats: &RunStats, rec: &Recording) {
     let compiled = session
         .compile(b.pipeline(), &CompileOptions::optimized(b.params()))
@@ -225,6 +257,7 @@ fn main() {
             path.display(),
         );
         summarize(b.as_ref(), &session, &stats, &rec);
+        per_run_breakdown(&rec);
         println!();
     }
 }

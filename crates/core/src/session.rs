@@ -76,23 +76,62 @@ impl From<VmError> for RunError {
 /// Hit/miss counters of a session's compile cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Compilations served from the cache (zero recompilation).
+    /// Compilations served without running the compiler in the calling
+    /// thread: cache hits, plus threads that blocked on another thread's
+    /// in-flight compilation of the same key (single-flight followers).
     pub hits: u64,
-    /// Compilations that actually ran the compiler.
+    /// Compilations that actually ran the compiler — exactly one per
+    /// single-flight group, counted whether or not the compile succeeds.
     pub misses: u64,
     /// Cached entries evicted by the LRU policy.
     pub evictions: u64,
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 struct CacheKey {
     pipe_hash: u64,
     opts: OptionsKey,
 }
 
+/// Rendezvous for racing compilations of one key: the leader compiles and
+/// publishes; followers block here instead of compiling again.
+struct FlightSlot {
+    /// `None` = pending, `Some(None)` = leader failed (followers retry),
+    /// `Some(Some(_))` = compiled.
+    state: Mutex<Option<Option<Arc<Compiled>>>>,
+    cv: std::sync::Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> FlightSlot {
+        FlightSlot {
+            state: Mutex::new(None),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Option<Arc<Compiled>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Option<Arc<Compiled>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = &*state {
+                return result.clone();
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
 struct Cache {
     /// LRU order: least recently used first, most recent last.
     entries: Vec<(CacheKey, Arc<Compiled>)>,
+    /// Misses currently being compiled, one slot per key (single-flight).
+    inflight: Vec<(CacheKey, Arc<FlightSlot>)>,
     capacity: usize,
     stats: CacheStats,
 }
@@ -101,9 +140,15 @@ struct Cache {
 ///
 /// Owns a persistent [`Engine`] (pooled worker threads, recycled buffers)
 /// and an LRU cache of compiled programs keyed by the stable content hash
-/// of the `(Pipeline, CompileOptions)` pair. All methods take `&self`;
-/// compilation and the cache are internally synchronized, and runs
-/// serialize on the engine.
+/// of the `(Pipeline, CompileOptions)` pair.
+///
+/// Sessions are built for concurrent serving: every method takes `&self`,
+/// so one `Session` (behind an `Arc` or a plain reference) can be shared
+/// across request threads. Runs execute **concurrently** on the engine's
+/// shared worker pool — each gets its own run context, and results are
+/// bit-identical to an idle engine. Racing compilations of the same
+/// pipeline are deduplicated (single-flight), so a thundering herd on a
+/// cold cache compiles once.
 pub struct Session {
     engine: Engine,
     cache: Mutex<Cache>,
@@ -142,6 +187,7 @@ impl Session {
             engine,
             cache: Mutex::new(Cache {
                 entries: Vec::new(),
+                inflight: Vec::new(),
                 capacity: DEFAULT_CACHE_CAPACITY,
                 stats: CacheStats::default(),
             }),
@@ -192,6 +238,12 @@ impl Session {
     /// cached [`Compiled`] is returned (shared via [`Arc`]) and the
     /// compiler does not run at all.
     ///
+    /// Misses are **single-flight**: when N threads race the same key,
+    /// exactly one runs the compiler (one [`CacheStats::misses`] tick);
+    /// the others block on the in-flight entry and share its result,
+    /// counting as hits. If the leader's compilation fails, followers
+    /// retry — errors are never cached or shared.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`compile`](crate::compile); errors are not cached.
@@ -204,38 +256,112 @@ impl Session {
             pipe_hash: pipe.content_hash(),
             opts: opts.cache_key(),
         };
-        {
-            let mut cache = self.lock_cache();
-            if let Some(i) = cache.entries.iter().position(|(k, _)| *k == key) {
-                let entry = cache.entries.remove(i);
-                let hit = Arc::clone(&entry.1);
-                cache.entries.push(entry); // most recently used
-                cache.stats.hits += 1;
-                self.diag.count(Counter::CacheHit, 1);
-                return Ok(hit);
+        loop {
+            let slot = {
+                let mut cache = self.lock_cache();
+                if let Some(i) = cache.entries.iter().position(|(k, _)| *k == key) {
+                    let entry = cache.entries.remove(i);
+                    let hit = Arc::clone(&entry.1);
+                    cache.entries.push(entry); // most recently used
+                    cache.stats.hits += 1;
+                    self.diag.count(Counter::CacheHit, 1);
+                    return Ok(hit);
+                }
+                if let Some((_, slot)) = cache.inflight.iter().find(|(k, _)| *k == key) {
+                    // Another thread is already compiling this key:
+                    // follow its flight instead of compiling again.
+                    Some(Arc::clone(slot))
+                } else {
+                    // Become the leader. The miss is counted here — one
+                    // per single-flight group, hit or error.
+                    cache
+                        .inflight
+                        .push((key.clone(), Arc::new(FlightSlot::new())));
+                    cache.stats.misses += 1;
+                    self.diag.count(Counter::CacheMiss, 1);
+                    None
+                }
+            };
+            if let Some(slot) = slot {
+                match slot.wait() {
+                    Some(compiled) => {
+                        // Served by the leader's compilation: a hit from
+                        // this thread's perspective (no compiler run).
+                        let mut cache = self.lock_cache();
+                        cache.stats.hits += 1;
+                        self.diag.count(Counter::CacheHit, 1);
+                        return Ok(compiled);
+                    }
+                    // The leader failed; retry (and possibly lead).
+                    None => continue,
+                }
+            }
+            return self.compile_as_leader(pipe, opts, &key);
+        }
+    }
+
+    /// Runs the compiler for a key this thread holds the in-flight slot
+    /// of, then publishes the result to the cache and every follower. The
+    /// guard unwinds the slot on error *and* on panic, so followers never
+    /// block on a flight whose leader died.
+    fn compile_as_leader(
+        &self,
+        pipe: &Pipeline,
+        opts: &CompileOptions,
+        key: &CacheKey,
+    ) -> Result<Arc<Compiled>, CompileError> {
+        struct FlightGuard<'a> {
+            session: &'a Session,
+            key: Option<CacheKey>,
+        }
+        impl FlightGuard<'_> {
+            fn finish(&mut self, result: Option<Arc<Compiled>>) {
+                let key = self.key.take().expect("flight finished twice");
+                let slot = {
+                    let mut cache = self.session.lock_cache();
+                    if let Some(compiled) = &result {
+                        if cache.entries.len() >= cache.capacity {
+                            cache.entries.remove(0);
+                            cache.stats.evictions += 1;
+                            self.session.diag.count(Counter::CacheEvict, 1);
+                        }
+                        cache.entries.push((key.clone(), Arc::clone(compiled)));
+                    }
+                    let i = cache
+                        .inflight
+                        .iter()
+                        .position(|(k, _)| *k == key)
+                        .expect("leader's flight slot disappeared");
+                    cache.inflight.swap_remove(i).1
+                };
+                slot.resolve(result);
             }
         }
-        // Compile outside the lock: a slow compilation must not block
-        // cache hits for other pipelines.
-        self.diag.count(Counter::CacheMiss, 1);
-        let compiled = Arc::new(compile_with(pipe, opts, &self.diag)?);
-        let mut cache = self.lock_cache();
-        cache.stats.misses += 1;
-        // Another thread may have compiled the same spec concurrently;
-        // prefer the existing entry so callers share one program.
-        if let Some(i) = cache.entries.iter().position(|(k, _)| *k == key) {
-            let entry = cache.entries.remove(i);
-            let existing = Arc::clone(&entry.1);
-            cache.entries.push(entry);
-            return Ok(existing);
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                if self.key.is_some() {
+                    self.finish(None); // unwinding: fail the flight
+                }
+            }
         }
-        if cache.entries.len() >= cache.capacity {
-            cache.entries.remove(0);
-            cache.stats.evictions += 1;
-            self.diag.count(Counter::CacheEvict, 1);
+
+        // Compile outside every lock: a slow compilation must not block
+        // cache hits (or other keys' flights).
+        let mut guard = FlightGuard {
+            session: self,
+            key: Some(key.clone()),
+        };
+        match compile_with(pipe, opts, &self.diag) {
+            Ok(c) => {
+                let compiled = Arc::new(c);
+                guard.finish(Some(Arc::clone(&compiled)));
+                Ok(compiled)
+            }
+            Err(e) => {
+                guard.finish(None);
+                Err(e)
+            }
         }
-        cache.entries.push((key, Arc::clone(&compiled)));
-        Ok(compiled)
     }
 
     /// Compiles (cached) and runs a pipeline on the session's engine.

@@ -204,6 +204,45 @@ fn autotune_reuses_the_session_cache() {
 }
 
 #[test]
+fn racing_cold_compiles_are_single_flight() {
+    // Regression test: N threads racing on a cold cache used to compile
+    // the same key N times (each thread checked the cache, missed, and
+    // compiled outside the lock). Single-flight must collapse the group
+    // to exactly one compile; followers block on the leader's slot and
+    // share its allocation.
+    const N: usize = 8;
+    let session = Session::with_threads(2);
+    let pipe = blur1d();
+    let opts = CompileOptions::optimized(vec![256]);
+
+    let barrier = std::sync::Barrier::new(N);
+    let compiled: Vec<Arc<polymage_core::Compiled>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let (session, pipe, opts, barrier) = (&session, &pipe, &opts, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    session.compile(pipe, opts).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        session.cache_stats().misses,
+        1,
+        "racing threads must be deduplicated into one compile"
+    );
+    assert_eq!(session.cache_stats().hits as usize, N - 1);
+    assert!(
+        compiled.iter().all(|c| Arc::ptr_eq(c, &compiled[0])),
+        "every racer must receive the leader's allocation"
+    );
+    assert_eq!(session.cache_len(), 1);
+}
+
+#[test]
 fn run_through_cache_is_correct() {
     let session = Session::with_threads(2);
     let pipe = blur1d();

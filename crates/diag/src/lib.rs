@@ -208,6 +208,16 @@ impl Event {
     pub fn arg(&self, key: &str) -> Option<&Value> {
         self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
+
+    /// The engine run this event belongs to (its `run_id` argument), if
+    /// any. Engine-emitted spans and events all carry one, so traces from
+    /// overlapping runs are separable.
+    pub fn run_id(&self) -> Option<u64> {
+        match self.arg("run_id") {
+            Some(Value::UInt(id)) => Some(*id),
+            _ => None,
+        }
+    }
 }
 
 /// The in-memory recording sink.
@@ -363,6 +373,28 @@ impl Recording {
     /// Every event with the given name.
     pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
         self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Every distinct engine run id appearing in the recording, in first-
+    /// appearance order.
+    pub fn run_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for e in &self.events {
+            if let Some(id) = e.run_id() {
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids
+    }
+
+    /// Every event belonging to one engine run (events without a `run_id`
+    /// argument — compiler phases, grouping decisions — are excluded).
+    pub fn events_for_run(&self, run_id: u64) -> impl Iterator<Item = &Event> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.run_id() == Some(run_id))
     }
 
     /// Exports the recording as a chrome://tracing JSON document

@@ -1,100 +1,55 @@
-//! The persistent execution engine: pooled workers, dynamic tile
-//! scheduling, and buffer reuse across runs.
+//! The multi-tenant execution engine: pooled workers shared by
+//! concurrent runs, dynamic strip scheduling, and buffer reuse.
 //!
-//! [`run_program`](crate::run_program) historically spawned fresh scoped
-//! threads for every tiled group of every run and allocated every buffer
-//! anew. For a pipeline executed once that is fine; for repeated execution
-//! (video frames, autotuning, benchmarking) the spawn and allocation costs
-//! recur per frame. [`Engine`] keeps a pool of long-lived workers plus a
-//! [`BufferPool`] of recycled allocations, and schedules strips
-//! *dynamically*: workers claim the next unprocessed strip from an atomic
-//! counter, so an unlucky static `strip % nthreads` split no longer leaves
-//! workers idle while one of them drains a heavy tail.
+//! Earlier revisions guarded the whole engine behind one `Mutex<Inner>`
+//! held for the *entire* run, so concurrent callers of the same engine (or
+//! of a `polymage_core::Session`) serialized: the pool accelerated one
+//! frame, never a stream of requests. This engine inverts that ownership
+//! model — mutable state moves from "the engine, guarded" to "the run,
+//! shared-nothing":
+//!
+//! - [`Engine`] itself holds only immutable pool configuration, the shared
+//!   [`SharedPool`] of recycled allocations, and the scheduler: a FIFO of
+//!   live [`RunContext`]s plus an admission cap (`max_inflight`) for
+//!   backpressure.
+//! - Each submitted run owns a `RunContext` with its full buffers, strip
+//!   claims, and [`RunStats`]; two runs never contend on each other's
+//!   state. Workers scan the FIFO front-to-back and claim the next strip
+//!   (or reduction chunk) of the first run that has work, so one pool
+//!   drives many overlapping runs.
+//! - [`Engine::submit`] returns a [`RunHandle`]; [`RunHandle::join`]
+//!   blocks for the result. [`Engine::run`] and friends are submit+join
+//!   shims, bit-identical to their historical behavior.
 //!
 //! Determinism: results are bit-identical to the legacy static executor
 //! ([`run_program_static`](crate::run_program_static)) for any thread
-//! count. Strips write disjoint slabs that the coordinator stitches with a
-//! plain copy (claim order cannot matter), scratch arenas are re-zeroed
-//! before each group exactly like a fresh allocation, and reduction
-//! partials use the legacy chunk boundaries and are combined in ascending
-//! chunk order regardless of which worker computed them.
+//! count, any pool size, and any number of concurrent runs. Strips write
+//! disjoint slabs stitched by position (claim order cannot matter),
+//! scratch arenas are re-zeroed exactly like fresh allocations, and
+//! reduction partials use the requested thread count's chunk boundaries
+//! and are combined in ascending chunk order regardless of which worker
+//! computed them. Nothing a run computes ever reads another run's state.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crate::exec::{
     decl_rect, execute_reduction, execute_seq, fix_untouched_identities, reduction_views, row_size,
     run_tile, strip_layout, sweep_reduction, validate_inputs, written_stages, LocalStats, Slab,
     StripRows,
 };
-use crate::pool::BufferPool;
-use crate::{
-    BufId, BufKind, Buffer, GroupKind, Program, ReductionExec, RegFile, RunStats, TiledGroup,
-    VmError,
-};
-use polymage_diag::{Counter, Diag, Value};
-
-/// A job dispatched to the worker pool.
-enum Job {
-    Tiled(Arc<TiledJob>),
-    Reduce(Arc<ReduceJob>),
-    Shutdown,
-}
-
-/// Shared state of one tiled-group execution.
-struct TiledJob {
-    prog: Arc<Program>,
-    /// Index of the [`GroupKind::Tiled`] group in `prog.groups`.
-    group: usize,
-    /// Snapshot of every buffer the group does not write (read-only).
-    reads: Vec<Option<Arc<Vec<f32>>>>,
-    /// `(stage index, full buffer)` pairs the group writes.
-    written: Vec<(usize, BufId)>,
-    strip_rows: StripRows,
-    tiles_by_strip: Vec<Vec<usize>>,
-    /// Next strip to process — workers claim strips dynamically.
-    claim: AtomicUsize,
-}
-
-/// Shared state of one parallel-reduction execution.
-struct ReduceJob {
-    prog: Arc<Program>,
-    /// Index of the [`GroupKind::Reduction`] group in `prog.groups`.
-    group: usize,
-    reads: Vec<Option<Arc<Vec<f32>>>>,
-    /// Outer-dimension chunks, ascending; workers claim by index.
-    chunks: Vec<(i64, i64)>,
-    out_len: usize,
-    identity: f32,
-    claim: AtomicUsize,
-}
-
-/// One computed slab of a written full buffer (pool-backed).
-struct SlabPart {
-    stage: usize,
-    row_lo: i64,
-    data: Vec<f32>,
-}
-
-enum WorkerMsg {
-    /// All slabs of one completed strip (streamed as strips finish; the
-    /// coordinator stitches them while other strips are still running).
-    Slabs(Vec<SlabPart>),
-    /// One reduction partial, identified by its chunk index.
-    ReducePart { chunk: usize, part: Vec<f32> },
-    /// Terminal: the worker finished the job (its job `Arc` is dropped).
-    Done(LocalStats),
-    /// Terminal: the job panicked on this worker.
-    Panicked(String),
-}
+use crate::pool::{BufferPool, SharedPool};
+use crate::{BufId, BufKind, Buffer, GroupKind, Program, RegFile, RunStats, TiledGroup, VmError};
+use polymage_diag::{Counter, Diag, Span, Value};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    // A panicking worker cannot leave the pool in a torn state (it only
-    // holds the lock around freelist push/pop), so poisoning is benign.
+    // Poisoning is benign everywhere this helper is used: every critical
+    // section either only moves buffers between containers or is followed
+    // by an explicit `failed`/`result` check, so a panicking holder cannot
+    // leave state that a later holder would misread.
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -108,27 +63,224 @@ fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// A persistent execution engine.
+/// Shared state of one tiled-group execution (one run, one group).
+struct TiledTask {
+    /// Index of the [`GroupKind::Tiled`] group in the run's program.
+    group: usize,
+    /// Snapshot of every buffer the group does not write (read-only).
+    reads: Vec<Option<Arc<Vec<f32>>>>,
+    /// `(stage index, full buffer)` pairs the group writes.
+    written: Vec<(usize, BufId)>,
+    strip_rows: StripRows,
+    tiles_by_strip: Vec<Vec<usize>>,
+}
+
+/// Shared state of one parallel-reduction execution.
+struct ReduceTask {
+    /// Index of the [`GroupKind::Reduction`] group in the run's program.
+    group: usize,
+    reads: Vec<Option<Arc<Vec<f32>>>>,
+    /// Outer-dimension chunks, ascending; claimed by index.
+    chunks: Vec<(i64, i64)>,
+    out_len: usize,
+    identity: f32,
+}
+
+/// One computed slab of a written full buffer (pool-backed).
+struct SlabPart {
+    buf: BufId,
+    row_lo: i64,
+    data: Vec<f32>,
+}
+
+/// What a run currently needs from the worker pool.
+enum Phase {
+    /// A worker must pick the run up and advance it (initial setup,
+    /// sequential groups, group finalization).
+    Advance,
+    /// One worker is inside the advance logic; nobody else may touch it.
+    Advancing,
+    /// A tiled group is claimable strip-by-strip.
+    Tiled(Arc<TiledTask>),
+    /// A reduction is claimable chunk-by-chunk.
+    Reduce(Arc<ReduceTask>),
+    /// The run has a result; it is leaving (or has left) the scheduler.
+    Complete,
+}
+
+/// Which kind of group just drained and awaits finalization.
+enum Finalize {
+    Tiled,
+    Reduce,
+}
+
+/// The mutable half of a run — owned by the run, never by the engine.
+struct RunState {
+    fulls: Vec<Vec<f32>>,
+    /// Index of the group being set up / executed.
+    group: usize,
+    phase: Phase,
+    /// Set by the worker that drains the last claim; consumed by advance.
+    finalize: Option<Finalize>,
+    stats: RunStats,
+    /// Pool worker id per participation slot (slot = index). At most
+    /// `effective` distinct workers ever join a run.
+    slots: Vec<usize>,
+    /// Per-slot (tiles, busy) for the current group's diag worker events.
+    group_worker: Vec<(u64, Duration)>,
+    /// The coordinator-side handle on buffers snapshotted into the current
+    /// task; recovered via `Arc::try_unwrap` at finalization.
+    reads_keep: Vec<Option<Arc<Vec<f32>>>>,
+    /// Next strip/chunk to hand out for the current task.
+    next_claim: usize,
+    /// Total strips/chunks of the current task.
+    total_claims: usize,
+    /// Claims handed out but not yet merged back.
+    outstanding: usize,
+    /// First failure (worker panic or internal error); claims stop.
+    failed: Option<VmError>,
+    /// Reduction output being accumulated (identity-filled).
+    red_out: Vec<f32>,
+    /// Reduction partials by chunk index.
+    red_parts: Vec<Option<Vec<f32>>>,
+    group_start: Instant,
+    group_span: Option<Span>,
+    run_span: Option<Span>,
+    result: Option<Result<Vec<Buffer>, VmError>>,
+}
+
+/// One concurrent run: its program, its thread policy, and all of its
+/// mutable execution state.
+struct RunContext {
+    run_id: u64,
+    prog: Arc<Program>,
+    /// Requested thread count: fixes reduction chunk boundaries so results
+    /// stay bit-identical to `run_program_static(.., req_threads)`.
+    req_threads: usize,
+    /// `min(req_threads, pool size)`: at most this many distinct pooled
+    /// workers ever execute the run's tiles/chunks, and `RunStats`'
+    /// per-worker vectors have exactly this length.
+    effective: usize,
+    diag: Diag,
+    state: Mutex<RunState>,
+    done_cv: Condvar,
+}
+
+/// The scheduler: live runs in submission order plus admission state.
+struct Sched {
+    /// Live runs, FIFO. Present from submission until completion; workers
+    /// scan front-to-back, so earlier submissions get workers first.
+    runs: Vec<Arc<RunContext>>,
+    inflight: usize,
+    max_inflight: usize,
+    shutdown: bool,
+}
+
+/// Everything workers and submitters share.
+struct Shared {
+    sched: Mutex<Sched>,
+    /// Workers wait here for claimable work.
+    work_cv: Condvar,
+    /// Submitters wait here for an admission slot.
+    admit_cv: Condvar,
+    pool: SharedPool,
+    next_run_id: AtomicU64,
+    /// Pool counters already flushed to diag; guards the flush delta.
+    flushed: Mutex<crate::PoolStats>,
+}
+
+/// Work handed to one worker for one step.
+enum Work {
+    Advance(Arc<RunContext>),
+    Strip {
+        run: Arc<RunContext>,
+        task: Arc<TiledTask>,
+        strip: usize,
+        slot: usize,
+    },
+    Chunk {
+        run: Arc<RunContext>,
+        task: Arc<ReduceTask>,
+        chunk: usize,
+        slot: usize,
+    },
+}
+
+/// A persistent multi-tenant execution engine.
 ///
-/// Construction spawns the worker threads once; every [`Engine::run`]
-/// reuses them, along with per-worker scratch arenas and a shared
-/// [`BufferPool`] of recycled output/partial allocations. Runs on the same
-/// engine are serialized internally, so `&self` methods may be called from
-/// several threads (callers queue).
+/// Construction spawns the worker threads once; every run — submitted
+/// asynchronously with [`Engine::submit`] or synchronously with
+/// [`Engine::run`] — executes on them, together with recycled scratch
+/// arenas and a size-class-sharded [`SharedPool`] of output/partial
+/// allocations. Multiple runs execute **concurrently**: each owns its own
+/// buffers, claims, and statistics, and workers interleave strips from
+/// every live run (earliest submission first). Results are bit-identical
+/// to a run that had the engine to itself.
 ///
-/// Dropping the engine shuts the workers down and joins them.
+/// Admission is capped: at most `max_inflight` runs are live at once and
+/// further submissions block, bounding memory under load.
+///
+/// Dropping the engine completes every pending run, then shuts the
+/// workers down and joins them.
 pub struct Engine {
     nthreads: usize,
-    inner: Mutex<Inner>,
-    pool: Arc<Mutex<BufferPool>>,
+    shared: Arc<Shared>,
     joins: Vec<std::thread::JoinHandle<()>>,
 }
 
-struct Inner {
-    txs: Vec<Sender<(u64, Job)>>,
-    rx: Receiver<(u64, WorkerMsg)>,
-    /// Monotonic job id; stale messages from an aborted run are skipped.
-    epoch: u64,
+/// A handle on a submitted run; redeem it with [`RunHandle::join`] (or
+/// [`RunHandle::join_stats`]) for the outputs. The run makes progress
+/// whether or not anyone is joining.
+pub struct RunHandle {
+    run: Arc<RunContext>,
+}
+
+impl std::fmt::Debug for RunHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHandle")
+            .field("run_id", &self.run.run_id)
+            .finish()
+    }
+}
+
+impl RunHandle {
+    /// The engine-unique id of this run (also stamped on every diag span
+    /// and event the run emits, as `run_id`).
+    pub fn run_id(&self) -> u64 {
+        self.run.run_id
+    }
+
+    /// Whether the run has finished (joining would not block).
+    pub fn is_finished(&self) -> bool {
+        lock(&self.run.state).result.is_some()
+    }
+
+    /// Blocks until the run completes and returns its live-out buffers, in
+    /// [`Program::outputs`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] when the run failed (worker panic or internal
+    /// invariant violation).
+    pub fn join(self) -> Result<Vec<Buffer>, VmError> {
+        self.join_stats().map(|(out, _)| out)
+    }
+
+    /// Like [`RunHandle::join`], additionally returning execution
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RunHandle::join`].
+    pub fn join_stats(self) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        let mut st = lock(&self.run.state);
+        while st.result.is_none() {
+            st = self.run.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let result = st.result.take().expect("checked above");
+        let stats = std::mem::take(&mut st.stats);
+        result.map(|out| (out, stats))
+    }
 }
 
 impl Default for Engine {
@@ -141,6 +293,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("nthreads", &self.nthreads)
+            .field("max_inflight", &self.max_inflight())
             .finish()
     }
 }
@@ -154,32 +307,43 @@ impl Engine {
         Engine::with_threads(n)
     }
 
-    /// An engine with exactly `nthreads` pooled workers (minimum 1).
+    /// An engine with exactly `nthreads` pooled workers (minimum 1) and
+    /// the default admission cap of `2 × nthreads` concurrent runs.
     pub fn with_threads(nthreads: usize) -> Engine {
         let nthreads = nthreads.max(1);
-        let pool = Arc::new(Mutex::new(BufferPool::new()));
-        let (res_tx, res_rx) = channel();
-        let mut txs = Vec::with_capacity(nthreads);
+        Engine::with_threads_and_inflight(nthreads, 2 * nthreads)
+    }
+
+    /// An engine with exactly `nthreads` pooled workers and an explicit
+    /// admission cap: at most `max_inflight` runs (minimum 1) are live at
+    /// once; [`Engine::submit`] blocks past the cap until a run completes.
+    pub fn with_threads_and_inflight(nthreads: usize, max_inflight: usize) -> Engine {
+        let nthreads = nthreads.max(1);
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(Sched {
+                runs: Vec::new(),
+                inflight: 0,
+                max_inflight: max_inflight.max(1),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            admit_cv: Condvar::new(),
+            pool: SharedPool::new(),
+            next_run_id: AtomicU64::new(1),
+            flushed: Mutex::new(crate::PoolStats::default()),
+        });
         let mut joins = Vec::with_capacity(nthreads);
         for i in 0..nthreads {
-            let (tx, rx) = channel::<(u64, Job)>();
-            let results = res_tx.clone();
-            let pool = Arc::clone(&pool);
+            let shared = Arc::clone(&shared);
             let join = std::thread::Builder::new()
                 .name(format!("pm-worker-{i}"))
-                .spawn(move || worker_main(i, rx, results, pool))
+                .spawn(move || worker_main(i, shared))
                 .expect("spawn engine worker");
-            txs.push(tx);
             joins.push(join);
         }
         Engine {
             nthreads,
-            inner: Mutex::new(Inner {
-                txs,
-                rx: res_rx,
-                epoch: 0,
-            }),
-            pool,
+            shared,
             joins,
         }
     }
@@ -189,99 +353,80 @@ impl Engine {
         self.nthreads
     }
 
-    /// Runs a program using all pooled workers. The returned buffers are
-    /// the program's live-outs, in [`Program::outputs`] order.
+    /// The admission cap: maximum concurrently live runs.
+    pub fn max_inflight(&self) -> usize {
+        lock(&self.shared.sched).max_inflight
+    }
+
+    /// Submits a run using all pooled workers and returns immediately; the
+    /// run executes on the pool, concurrently with any other live runs.
+    ///
+    /// Blocks only while the engine is at its `max_inflight` admission cap.
     ///
     /// # Errors
     ///
     /// Returns [`VmError`] when the inputs do not match the program's
-    /// images or an internal invariant is violated.
-    pub fn run(&self, prog: &Arc<Program>, inputs: &[Buffer]) -> Result<Vec<Buffer>, VmError> {
-        Ok(self.run_impl(prog, inputs, self.nthreads, &Diag::noop())?.0)
+    /// images. Execution-time failures surface from [`RunHandle::join`].
+    pub fn submit(&self, prog: &Arc<Program>, inputs: &[Buffer]) -> Result<RunHandle, VmError> {
+        self.submit_traced(prog, inputs, self.nthreads, &Diag::noop())
     }
 
-    /// Like [`Engine::run`], but behaves as if the engine had `nthreads`
-    /// workers: reductions chunk for `nthreads` and at most that many
-    /// pooled workers participate. Results are bit-identical to
+    /// Like [`Engine::submit`], but the run behaves as if the engine had
+    /// `nthreads` workers: reductions chunk for `nthreads` and at most
+    /// that many pooled workers participate. Results are bit-identical to
     /// `run_program_static(prog, inputs, nthreads)` regardless of pool
-    /// size.
+    /// size or concurrent load.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Engine::run`].
-    pub fn run_with_threads(
+    /// Same conditions as [`Engine::submit`].
+    pub fn submit_with_threads(
         &self,
         prog: &Arc<Program>,
         inputs: &[Buffer],
         nthreads: usize,
-    ) -> Result<Vec<Buffer>, VmError> {
-        Ok(self
-            .run_impl(prog, inputs, nthreads.max(1), &Diag::noop())?
-            .0)
+    ) -> Result<RunHandle, VmError> {
+        self.submit_traced(prog, inputs, nthreads, &Diag::noop())
     }
 
-    /// Like [`Engine::run`], additionally returning execution statistics
-    /// (including per-group wall-clock durations).
+    /// [`Engine::submit_with_threads`] with structured diagnostics: the
+    /// run's spans and events (run, groups, per-worker utilization) all
+    /// carry this run's `run_id`, so traces from overlapping runs are
+    /// separable.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Engine::run`].
-    pub fn run_stats(
-        &self,
-        prog: &Arc<Program>,
-        inputs: &[Buffer],
-    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
-        self.run_impl(prog, inputs, self.nthreads, &Diag::noop())
-    }
-
-    /// [`Engine::run_with_threads`] with statistics.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::run`].
-    pub fn run_stats_with_threads(
-        &self,
-        prog: &Arc<Program>,
-        inputs: &[Buffer],
-        nthreads: usize,
-    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
-        self.run_impl(prog, inputs, nthreads.max(1), &Diag::noop())
-    }
-
-    /// Like [`Engine::run_stats_with_threads`], additionally emitting
-    /// structured diagnostics: a span per group, one event per worker per
-    /// group (tiles claimed, busy time), and pool/evaluator counters.
-    ///
-    /// With [`Diag::noop`] this is exactly [`Engine::run_stats_with_threads`]
-    /// (the no-op sink reduces every emission site to one enum check; a
-    /// criterion benchmark pins the overhead under 2%).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::run`].
-    pub fn run_stats_traced(
+    /// Same conditions as [`Engine::submit`].
+    pub fn submit_traced(
         &self,
         prog: &Arc<Program>,
         inputs: &[Buffer],
         nthreads: usize,
         diag: &Diag,
-    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
-        self.run_impl(prog, inputs, nthreads.max(1), diag)
-    }
-
-    fn run_impl(
-        &self,
-        prog: &Arc<Program>,
-        inputs: &[Buffer],
-        nthreads: usize,
-        diag: &Diag,
-    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+    ) -> Result<RunHandle, VmError> {
         validate_inputs(prog, inputs)?;
-        let mut inner = lock(&self.inner);
-        let run_span = diag.begin();
-        let pool_before = diag.enabled().then(|| lock(&self.pool).stats());
+        let req_threads = nthreads.max(1);
+        let effective = req_threads.min(self.nthreads);
 
-        // Full buffers come from the pool. Buffers the run provably
+        // Reserve an admission slot *before* allocating the run's buffers,
+        // so a backlog of blocked submitters holds no memory.
+        {
+            let mut sched = lock(&self.shared.sched);
+            while sched.inflight >= sched.max_inflight && !sched.shutdown {
+                sched = self
+                    .shared
+                    .admit_cv
+                    .wait(sched)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            if sched.shutdown {
+                return Err(VmError::Internal("engine is shutting down".into()));
+            }
+            sched.inflight += 1;
+        }
+
+        let run_span = diag.begin();
+        // Full buffers come from the shared pool. Buffers the run provably
         // overwrites in full skip the zero-fill: input images are copied
         // whole below, tiled sinks' tile stores exactly partition a buffer
         // sized exactly to the stage domain (the validator's coverage
@@ -311,8 +456,8 @@ impl Engine {
             .iter()
             .enumerate()
             .map(|(i, b)| match b.kind {
-                BufKind::Full if overwritten[i] => lock(&self.pool).acquire(b.len()),
-                BufKind::Full => lock(&self.pool).acquire_zeroed(b.len()),
+                BufKind::Full if overwritten[i] => self.shared.pool.acquire(b.len()),
+                BufKind::Full => self.shared.pool.acquire_zeroed(b.len()),
                 BufKind::Scratch => Vec::new(),
             })
             .collect();
@@ -320,336 +465,133 @@ impl Engine {
             fulls[b.0].copy_from_slice(&input.data);
         }
 
-        let mut stats = RunStats {
-            worker_tiles: vec![0; self.nthreads],
-            worker_busy: vec![std::time::Duration::ZERO; self.nthreads],
-            ..RunStats::default()
-        };
-        for (gi, group) in prog.groups.iter().enumerate() {
-            let span = diag.begin();
-            let start = Instant::now();
-            match &group.kind {
-                GroupKind::Tiled(tg) => self.run_tiled_group(
-                    &mut inner, prog, gi, tg, &mut fulls, nthreads, &mut stats, diag,
-                )?,
-                GroupKind::Reduction(red) => self.run_reduction_group(
-                    &mut inner, prog, gi, red, &mut fulls, nthreads, &mut stats, diag,
-                )?,
-                GroupKind::Sequential(seq) => execute_seq(prog, seq, &mut fulls)?,
-            }
-            stats
-                .group_times
-                .push((group.name.clone(), start.elapsed()));
-            if diag.enabled() {
-                diag.end(
-                    span,
-                    "group",
-                    vec![
-                        ("name", Value::Str(group.name.clone())),
-                        (
-                            "kind",
-                            Value::Str(
-                                match &group.kind {
-                                    GroupKind::Tiled(_) => "tiled",
-                                    GroupKind::Reduction(_) => "reduction",
-                                    GroupKind::Sequential(_) => "sequential",
-                                }
-                                .to_string(),
-                            ),
-                        ),
-                    ],
-                );
-            }
-        }
+        let nbufs = prog.buffers.len();
+        let run = Arc::new(RunContext {
+            run_id: self.shared.next_run_id.fetch_add(1, Ordering::Relaxed),
+            prog: Arc::clone(prog),
+            req_threads,
+            effective,
+            diag: diag.clone(),
+            state: Mutex::new(RunState {
+                fulls,
+                group: 0,
+                phase: Phase::Advance,
+                finalize: None,
+                stats: RunStats {
+                    worker_tiles: vec![0; effective],
+                    worker_busy: vec![Duration::ZERO; effective],
+                    ..RunStats::default()
+                },
+                slots: Vec::new(),
+                group_worker: vec![(0, Duration::ZERO); effective],
+                reads_keep: vec![None; nbufs],
+                next_claim: 0,
+                total_claims: 0,
+                outstanding: 0,
+                failed: None,
+                red_out: Vec::new(),
+                red_parts: Vec::new(),
+                group_start: Instant::now(),
+                group_span: None,
+                run_span: Some(run_span),
+                result: None,
+            }),
+            done_cv: Condvar::new(),
+        });
 
-        let outputs = prog
-            .outputs
-            .iter()
-            .map(|(_, b)| Buffer::from_vec(decl_rect(&prog.buffers[b.0]), fulls[b.0].clone()))
-            .collect();
-        {
-            let mut pool = lock(&self.pool);
-            for v in fulls {
-                pool.release(v);
-            }
-        }
-        if let Some(pool_before) = pool_before {
-            let pool_after = lock(&self.pool).stats();
-            diag.count(
-                Counter::PoolAcquire,
-                pool_after.acquires - pool_before.acquires,
-            );
-            diag.count(Counter::PoolReuse, pool_after.reuses - pool_before.reuses);
-            diag.count(Counter::PoolDrop, pool_after.dropped - pool_before.dropped);
-            diag.count(Counter::TileClaim, stats.tiles);
-            diag.count(Counter::UniformHit, stats.uniform_hits);
-            diag.count(Counter::UniformMiss, stats.uniform_misses);
-            diag.count(Counter::LoadBroadcast, stats.loads.broadcast as u64);
-            diag.count(Counter::LoadContiguous, stats.loads.contiguous as u64);
-            diag.count(Counter::LoadStrided, stats.loads.strided as u64);
-            diag.count(Counter::LoadGather, stats.loads.gather as u64);
-            diag.count(Counter::SimdLanesAvx2, stats.simd_lanes_avx2);
-            diag.count(Counter::SimdLanesSse2, stats.simd_lanes_sse2);
-            diag.count(Counter::SimdLanesNeon, stats.simd_lanes_neon);
-            diag.count(Counter::SimdLanesScalar, stats.simd_lanes_scalar);
-            diag.end(
-                run_span,
-                "run",
-                vec![
-                    ("program", Value::Str(prog.name.clone())),
-                    ("nthreads", Value::UInt(nthreads as u64)),
-                    ("tiles", Value::UInt(stats.tiles)),
-                    ("points", Value::UInt(stats.points_computed)),
-                ],
-            );
-        }
-        Ok((outputs, stats))
+        let mut sched = lock(&self.shared.sched);
+        sched.runs.push(Arc::clone(&run));
+        self.shared.work_cv.notify_all();
+        drop(sched);
+        Ok(RunHandle { run })
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn run_tiled_group(
-        &self,
-        inner: &mut Inner,
-        prog: &Arc<Program>,
-        gi: usize,
-        tg: &TiledGroup,
-        fulls: &mut [Vec<f32>],
-        nthreads: usize,
-        stats: &mut RunStats,
-        diag: &Diag,
-    ) -> Result<(), VmError> {
-        let written = written_stages(tg)?;
-        let (strip_rows, tiles_by_strip) = strip_layout(tg);
-        let writes: HashMap<usize, usize> = written.iter().map(|&(k, b)| (b.0, k)).collect();
-
-        // Move every non-written buffer behind an `Arc` so the 'static
-        // worker threads can read it; recovered via `try_unwrap` once the
-        // group is done (workers drop their job handle before signaling).
-        let mut reads: Vec<Option<Arc<Vec<f32>>>> = vec![None; fulls.len()];
-        for (i, v) in fulls.iter_mut().enumerate() {
-            if !writes.contains_key(&i) {
-                reads[i] = Some(Arc::new(std::mem::take(v)));
-            }
-        }
-
-        let job = Arc::new(TiledJob {
-            prog: Arc::clone(prog),
-            group: gi,
-            reads: reads.clone(),
-            written: written.clone(),
-            strip_rows,
-            tiles_by_strip,
-            claim: AtomicUsize::new(0),
-        });
-        inner.epoch += 1;
-        let epoch = inner.epoch;
-        let active = nthreads.min(inner.txs.len()).max(1);
-        for tx in inner.txs.iter().take(active) {
-            tx.send((epoch, Job::Tiled(Arc::clone(&job))))
-                .map_err(|_| VmError::Internal("engine worker hung up".into()))?;
-        }
-        drop(job);
-
-        let mut done = 0usize;
-        let mut panicked: Option<String> = None;
-        while done < active {
-            let (ep, msg) = inner
-                .rx
-                .recv()
-                .map_err(|_| VmError::Internal("engine workers disconnected".into()))?;
-            if ep != epoch {
-                continue; // residue from an earlier aborted run
-            }
-            match msg {
-                WorkerMsg::Slabs(parts) => {
-                    for part in parts {
-                        let &(_, b) = written
-                            .iter()
-                            .find(|&&(k, _)| k == part.stage)
-                            .ok_or_else(|| VmError::Internal("slab for unknown stage".into()))?;
-                        let decl = &prog.buffers[b.0];
-                        let off = ((part.row_lo - decl.origin[0]) * row_size(decl)) as usize;
-                        fulls[b.0][off..off + part.data.len()].copy_from_slice(&part.data);
-                        lock(&self.pool).release(part.data);
-                    }
-                }
-                WorkerMsg::Done(local) => {
-                    absorb_local(stats, &local);
-                    if diag.enabled() {
-                        diag.event(
-                            "worker",
-                            vec![
-                                ("group", Value::Str(prog.groups[gi].name.clone())),
-                                ("worker", Value::UInt(local.worker as u64)),
-                                ("tiles", Value::UInt(local.tiles)),
-                                ("busy_us", Value::UInt(local.busy.as_micros() as u64)),
-                            ],
-                        );
-                    }
-                    done += 1;
-                }
-                WorkerMsg::Panicked(msg) => {
-                    panicked = Some(msg);
-                    done += 1;
-                }
-                WorkerMsg::ReducePart { .. } => {
-                    return Err(VmError::Internal("unexpected reduction partial".into()));
-                }
-            }
-        }
-
-        // All workers signaled completion after dropping their job handle,
-        // so each snapshot is uniquely owned again.
-        for (i, r) in reads.iter_mut().enumerate() {
-            if let Some(a) = r.take() {
-                fulls[i] = Arc::try_unwrap(a)
-                    .map_err(|_| VmError::Internal("buffer still shared after group".into()))?;
-            }
-        }
-        if let Some(msg) = panicked {
-            return Err(VmError::Internal(format!("worker panicked: {msg}")));
-        }
-        Ok(())
+    /// Runs a program using all pooled workers, blocking for the result —
+    /// a [`Engine::submit`] + [`RunHandle::join`] shim. The returned
+    /// buffers are the program's live-outs, in [`Program::outputs`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] when the inputs do not match the program's
+    /// images or an internal invariant is violated.
+    pub fn run(&self, prog: &Arc<Program>, inputs: &[Buffer]) -> Result<Vec<Buffer>, VmError> {
+        self.submit(prog, inputs)?.join()
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn run_reduction_group(
+    /// Like [`Engine::run`] with an explicit per-run thread count (see
+    /// [`Engine::submit_with_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_with_threads(
         &self,
-        inner: &mut Inner,
         prog: &Arc<Program>,
-        gi: usize,
-        red: &ReductionExec,
-        fulls: &mut [Vec<f32>],
+        inputs: &[Buffer],
         nthreads: usize,
-        stats: &mut RunStats,
+    ) -> Result<Vec<Buffer>, VmError> {
+        self.submit_with_threads(prog, inputs, nthreads)?.join()
+    }
+
+    /// Like [`Engine::run`], additionally returning execution statistics
+    /// (including per-group wall-clock durations).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_stats(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        self.submit(prog, inputs)?.join_stats()
+    }
+
+    /// [`Engine::run_with_threads`] with statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_stats_with_threads(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
+    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        self.submit_with_threads(prog, inputs, nthreads)?
+            .join_stats()
+    }
+
+    /// Like [`Engine::run_stats_with_threads`], additionally emitting
+    /// structured diagnostics (see [`Engine::submit_traced`]).
+    ///
+    /// With [`Diag::noop`] this is exactly [`Engine::run_stats_with_threads`]
+    /// (the no-op sink reduces every emission site to one enum check; a
+    /// criterion benchmark pins the overhead under 2%).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_stats_traced(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
         diag: &Diag,
-    ) -> Result<(), VmError> {
-        let (rlo, rhi) = red.red_dom.range(0);
-        let total = (rhi - rlo + 1).max(0);
-        // Same chunking rule as the legacy executor (based on the
-        // *requested* thread count, not pool size), so partial boundaries
-        // — and therefore float combine order — match `run_program_static`
-        // for the same `nthreads`.
-        let nth = nthreads.min(total.max(1) as usize).max(1);
-        if nth == 1 {
-            // Single sweep straight into the output; no combine step (and
-            // no `0.0 + -0.0` rounding artifacts from merging partials).
-            return execute_reduction(prog, red, fulls, 1);
-        }
-        let chunk = total.div_euclid(nth as i64) + 1;
-        let mut chunks = Vec::with_capacity(nth);
-        for t in 0..nth {
-            let lo = rlo + t as i64 * chunk;
-            let hi = (lo + chunk - 1).min(rhi);
-            if lo <= hi {
-                chunks.push((lo, hi));
-            }
-        }
-        if chunks.is_empty() {
-            return execute_reduction(prog, red, fulls, 1);
-        }
-
-        let identity = red.op.identity() as f32;
-        let mut out_vec = std::mem::take(&mut fulls[red.out.0]);
-        out_vec.fill(identity);
-        let mut reads: Vec<Option<Arc<Vec<f32>>>> = vec![None; fulls.len()];
-        for (i, v) in fulls.iter_mut().enumerate() {
-            if i != red.out.0 {
-                reads[i] = Some(Arc::new(std::mem::take(v)));
-            }
-        }
-        let job = Arc::new(ReduceJob {
-            prog: Arc::clone(prog),
-            group: gi,
-            reads: reads.clone(),
-            chunks: chunks.clone(),
-            out_len: out_vec.len(),
-            identity,
-            claim: AtomicUsize::new(0),
-        });
-        inner.epoch += 1;
-        let epoch = inner.epoch;
-        let active = nth.min(inner.txs.len()).max(1);
-        for tx in inner.txs.iter().take(active) {
-            tx.send((epoch, Job::Reduce(Arc::clone(&job))))
-                .map_err(|_| VmError::Internal("engine worker hung up".into()))?;
-        }
-        drop(job);
-
-        let mut parts: Vec<Option<Vec<f32>>> = Vec::new();
-        parts.resize_with(chunks.len(), || None);
-        let mut done = 0usize;
-        let mut panicked: Option<String> = None;
-        while done < active {
-            let (ep, msg) = inner
-                .rx
-                .recv()
-                .map_err(|_| VmError::Internal("engine workers disconnected".into()))?;
-            if ep != epoch {
-                continue;
-            }
-            match msg {
-                WorkerMsg::ReducePart { chunk, part } => parts[chunk] = Some(part),
-                WorkerMsg::Done(local) => {
-                    absorb_local(stats, &local);
-                    if diag.enabled() {
-                        diag.event(
-                            "worker",
-                            vec![
-                                ("group", Value::Str(prog.groups[gi].name.clone())),
-                                ("worker", Value::UInt(local.worker as u64)),
-                                ("busy_us", Value::UInt(local.busy.as_micros() as u64)),
-                            ],
-                        );
-                    }
-                    done += 1;
-                }
-                WorkerMsg::Panicked(m) => {
-                    panicked = Some(m);
-                    done += 1;
-                }
-                WorkerMsg::Slabs(_) => {
-                    return Err(VmError::Internal("unexpected tiled slab".into()));
-                }
-            }
-        }
-
-        if panicked.is_none() && parts.iter().any(Option::is_none) {
-            return Err(VmError::Internal("reduction chunk lost".into()));
-        }
-        // Combine in ascending chunk order — the order the legacy executor
-        // joins its threads — for bit-identical float results.
-        {
-            let mut pool = lock(&self.pool);
-            for part in parts.into_iter().flatten() {
-                for (o, p) in out_vec.iter_mut().zip(&part) {
-                    *o = red.op.combine(*o as f64, *p as f64) as f32;
-                }
-                pool.release(part);
-            }
-        }
-        fix_untouched_identities(red.op, identity, &mut out_vec);
-        fulls[red.out.0] = out_vec;
-        for (i, r) in reads.iter_mut().enumerate() {
-            if let Some(a) = r.take() {
-                fulls[i] = Arc::try_unwrap(a)
-                    .map_err(|_| VmError::Internal("buffer still shared after reduction".into()))?;
-            }
-        }
-        if let Some(m) = panicked {
-            return Err(VmError::Internal(format!("worker panicked: {m}")));
-        }
-        Ok(())
+    ) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        self.submit_traced(prog, inputs, nthreads, diag)?
+            .join_stats()
     }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
         {
-            let inner = lock(&self.inner);
-            for tx in &inner.txs {
-                let _ = tx.send((0, Job::Shutdown));
-            }
+            let mut sched = lock(&self.shared.sched);
+            sched.shutdown = true;
+            // Workers drain every pending run before exiting, so
+            // outstanding `RunHandle`s stay redeemable.
+            self.shared.work_cv.notify_all();
         }
         for j in self.joins.drain(..) {
             let _ = j.join();
@@ -657,205 +599,758 @@ impl Drop for Engine {
     }
 }
 
-/// Merges one worker's per-group counters into the run statistics.
-fn absorb_local(stats: &mut RunStats, local: &LocalStats) {
-    stats.tiles += local.tiles;
-    stats.chunks += local.chunks;
-    stats.points_computed += local.points;
-    stats.uniform_hits += local.eval.uniform_hits;
-    stats.uniform_misses += local.eval.uniform_misses;
-    stats.loads.merge(&local.eval.loads);
-    stats.simd_lanes_avx2 += local.eval.simd_lanes_avx2;
-    stats.simd_lanes_sse2 += local.eval.simd_lanes_sse2;
-    stats.simd_lanes_neon += local.eval.simd_lanes_neon;
-    stats.simd_lanes_scalar += local.eval.simd_lanes_scalar;
-    if local.worker < stats.worker_tiles.len() {
-        stats.worker_tiles[local.worker] += local.tiles;
-        stats.worker_busy[local.worker] += local.busy;
+// ---------------------------------------------------------------------------
+// Scheduling: how workers find and claim work.
+// ---------------------------------------------------------------------------
+
+/// Looks up (or assigns) this run's participation slot for a pool worker.
+/// Returns `None` when the run's worker cap is exhausted by other workers.
+fn slot_for(st: &mut RunState, worker: usize, effective: usize) -> Option<usize> {
+    if let Some(i) = st.slots.iter().position(|&w| w == worker) {
+        return Some(i);
+    }
+    if st.slots.len() < effective {
+        st.slots.push(worker);
+        return Some(st.slots.len() - 1);
+    }
+    None
+}
+
+/// Asks one run for a unit of work. Uses `try_lock` so a busy run (one
+/// worker stitching or advancing) never blocks the scheduler scan — the
+/// scan just moves on to the next run.
+fn poll(run: &Arc<RunContext>, worker: usize) -> Option<Work> {
+    let mut st = match run.state.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::WouldBlock) => return None,
+        Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+    };
+    match &st.phase {
+        Phase::Advance => {
+            st.phase = Phase::Advancing;
+            Some(Work::Advance(Arc::clone(run)))
+        }
+        Phase::Tiled(task) => {
+            if st.next_claim >= st.total_claims {
+                return None;
+            }
+            let task = Arc::clone(task);
+            let slot = slot_for(&mut st, worker, run.effective)?;
+            let strip = st.next_claim;
+            st.next_claim += 1;
+            st.outstanding += 1;
+            Some(Work::Strip {
+                run: Arc::clone(run),
+                task,
+                strip,
+                slot,
+            })
+        }
+        Phase::Reduce(task) => {
+            if st.next_claim >= st.total_claims {
+                return None;
+            }
+            let task = Arc::clone(task);
+            let slot = slot_for(&mut st, worker, run.effective)?;
+            let chunk = st.next_claim;
+            st.next_claim += 1;
+            st.outstanding += 1;
+            Some(Work::Chunk {
+                run: Arc::clone(run),
+                task,
+                chunk,
+                slot,
+            })
+        }
+        Phase::Advancing | Phase::Complete => None,
     }
 }
 
-fn worker_main(
-    index: usize,
-    jobs: Receiver<(u64, Job)>,
-    results: Sender<(u64, WorkerMsg)>,
-    pool: Arc<Mutex<BufferPool>>,
-) {
-    // Worker-local arena freelist, reused across jobs and runs.
+fn find_work(runs: &[Arc<RunContext>], worker: usize) -> Option<Work> {
+    runs.iter().find_map(|r| poll(r, worker))
+}
+
+fn notify_workers(shared: &Shared) {
+    // Taking the scheduler lock serializes the notification with any
+    // worker's scan→wait transition, so wakeups are never lost.
+    let _sched = lock(&shared.sched);
+    shared.work_cv.notify_all();
+}
+
+/// Per-worker, per-run execution state: the scratch arena for the run's
+/// current tiled group and a persistent register file. Keyed by `run_id`
+/// so interleaving strips from different runs never share kernel state
+/// (the register file's uniform-row cache is additionally epoch-guarded,
+/// but keeping it per run makes the isolation structural).
+struct WorkerRun {
+    group: usize,
+    arena: Vec<Vec<f32>>,
+    regs: RegFile,
+}
+
+/// Worker-local per-run states are evicted wholesale past this count (a
+/// worker rarely interleaves more than a handful of live runs; the cap
+/// only bounds leakage from completed runs the worker never revisits).
+const WORKER_RUN_CAP: usize = 16;
+
+fn worker_main(index: usize, shared: Arc<Shared>) {
+    // Worker-local arena freelist, reused across strips, groups, and runs.
     let mut arena_pool = BufferPool::new();
-    // Persistent register file: its backing storage (and its uniform-row
-    // cache, keyed by a per-row epoch) is reused across jobs. `begin_row`
-    // bumps the epoch on every row, so state left behind by a previous
-    // job can never validate as a cache hit.
-    let mut regs = RegFile::new();
-    while let Ok((epoch, job)) = jobs.recv() {
-        let start = Instant::now();
-        let msg = match job {
-            Job::Shutdown => break,
-            Job::Tiled(job) => {
-                let res = catch_unwind(AssertUnwindSafe(|| {
-                    run_tiled_job(&job, epoch, &results, &pool, &mut arena_pool, &mut regs)
-                }));
-                drop(job); // release shared state before signaling
-                match res {
-                    Ok(mut stats) => {
-                        stats.worker = index;
-                        stats.busy = start.elapsed();
-                        WorkerMsg::Done(stats)
-                    }
-                    Err(p) => WorkerMsg::Panicked(panic_text(p)),
+    let mut runs: HashMap<u64, WorkerRun> = HashMap::new();
+    loop {
+        let work = {
+            let mut sched = lock(&shared.sched);
+            loop {
+                if sched.shutdown && sched.runs.is_empty() {
+                    return;
                 }
-            }
-            Job::Reduce(job) => {
-                let res = catch_unwind(AssertUnwindSafe(|| {
-                    run_reduce_job(&job, epoch, &results, &pool)
-                }));
-                drop(job);
-                match res {
-                    Ok(()) => WorkerMsg::Done(LocalStats {
-                        worker: index,
-                        busy: start.elapsed(),
-                        ..LocalStats::default()
-                    }),
-                    Err(p) => WorkerMsg::Panicked(panic_text(p)),
+                if let Some(w) = find_work(&sched.runs, index) {
+                    break w;
                 }
+                sched = shared
+                    .work_cv
+                    .wait(sched)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
-        if results.send((epoch, msg)).is_err() {
-            break; // engine dropped mid-run
+        match work {
+            Work::Advance(run) => advance(&shared, &run),
+            Work::Strip {
+                run,
+                task,
+                strip,
+                slot,
+            } => exec_strip(&shared, &run, task, strip, slot, &mut runs, &mut arena_pool),
+            Work::Chunk {
+                run,
+                task,
+                chunk,
+                slot,
+            } => exec_chunk(&shared, &run, task, chunk, slot),
         }
     }
 }
 
-fn run_tiled_job(
-    job: &TiledJob,
-    epoch: u64,
-    results: &Sender<(u64, WorkerMsg)>,
-    pool: &Mutex<BufferPool>,
+/// The per-worker scratch/register state for one run's current group,
+/// (re)built on group change.
+fn worker_run_state<'a>(
+    runs: &'a mut HashMap<u64, WorkerRun>,
     arena_pool: &mut BufferPool,
-    regs: &mut RegFile,
-) -> LocalStats {
-    let prog = &*job.prog;
-    regs.set_simd(prog.simd);
-    let GroupKind::Tiled(tg) = &prog.groups[job.group].kind else {
-        panic!("tiled job targets a non-tiled group");
-    };
-    // Per-stage scratch arena, zero-filled exactly like a fresh allocation
-    // (consumers may read the zeroed border of a producer's region).
-    let mut arena: Vec<Vec<f32>> = tg
-        .stages
-        .iter()
-        .map(|s| {
-            if s.direct {
-                Vec::new()
-            } else {
-                arena_pool.acquire_zeroed(prog.buffers[s.scratch.0].len())
+    run: &RunContext,
+    group: usize,
+    tg: &TiledGroup,
+) -> &'a mut WorkerRun {
+    if runs.len() >= WORKER_RUN_CAP && !runs.contains_key(&run.run_id) {
+        for (_, wr) in runs.drain() {
+            for v in wr.arena {
+                arena_pool.release(v);
             }
-        })
-        .collect();
-    let read_refs: Vec<Option<&[f32]>> = job
+        }
+    }
+    let wr = runs.entry(run.run_id).or_insert_with(|| WorkerRun {
+        group: usize::MAX,
+        arena: Vec::new(),
+        regs: RegFile::new(),
+    });
+    if wr.group != group {
+        for v in wr.arena.drain(..) {
+            arena_pool.release(v);
+        }
+        // Per-stage scratch arena, zero-filled exactly like a fresh
+        // allocation (consumers may read the zeroed border of a producer's
+        // region).
+        wr.arena = tg
+            .stages
+            .iter()
+            .map(|s| {
+                if s.direct {
+                    Vec::new()
+                } else {
+                    arena_pool.acquire_zeroed(run.prog.buffers[s.scratch.0].len())
+                }
+            })
+            .collect();
+        wr.group = group;
+    }
+    wr
+}
+
+/// Executes one claimed strip: computes its slabs, then merges them (and
+/// the strip's counters) into the run under the run's own lock. The last
+/// merge of a drained group finalizes it inline.
+fn exec_strip(
+    shared: &Arc<Shared>,
+    run: &Arc<RunContext>,
+    task: Arc<TiledTask>,
+    strip: usize,
+    slot: usize,
+    runs: &mut HashMap<u64, WorkerRun>,
+    arena_pool: &mut BufferPool,
+) {
+    let start = Instant::now();
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        run_strip(shared, run, &task, strip, runs, arena_pool)
+    }));
+    drop(task); // release the shared task before merging (see finalize)
+    let busy = start.elapsed();
+
+    let mut st = lock(&run.state);
+    match res {
+        Ok((parts, local)) => {
+            let prog = &*run.prog;
+            for part in parts {
+                let decl = &prog.buffers[part.buf.0];
+                let off = ((part.row_lo - decl.origin[0]) * row_size(decl)) as usize;
+                st.fulls[part.buf.0][off..off + part.data.len()].copy_from_slice(&part.data);
+                shared.pool.release(part.data);
+            }
+            absorb_local(&mut st, slot, &local, busy);
+        }
+        Err(p) => fail(&mut st, p),
+    }
+    finish_claim(shared, run, st);
+}
+
+/// Executes one claimed reduction chunk.
+fn exec_chunk(
+    shared: &Arc<Shared>,
+    run: &Arc<RunContext>,
+    task: Arc<ReduceTask>,
+    chunk: usize,
+    slot: usize,
+) {
+    let start = Instant::now();
+    let res = catch_unwind(AssertUnwindSafe(|| run_chunk(shared, run, &task, chunk)));
+    drop(task);
+    let busy = start.elapsed();
+
+    let mut st = lock(&run.state);
+    match res {
+        Ok(part) => {
+            st.red_parts[chunk] = Some(part);
+            absorb_local(&mut st, slot, &LocalStats::default(), busy);
+        }
+        Err(p) => fail(&mut st, p),
+    }
+    finish_claim(shared, run, st);
+}
+
+/// Records a strip/chunk failure: the run stops handing out claims and
+/// completes with the first error once outstanding work drains.
+fn fail(st: &mut RunState, p: Box<dyn std::any::Any + Send>) {
+    if st.failed.is_none() {
+        st.failed = Some(VmError::Internal(format!(
+            "worker panicked: {}",
+            panic_text(p)
+        )));
+    }
+    st.next_claim = st.total_claims; // stop granting claims
+}
+
+/// Closes out one claim; the worker that drains the last one finalizes
+/// the group (and keeps advancing the run) inline.
+fn finish_claim(shared: &Arc<Shared>, run: &Arc<RunContext>, mut st: MutexGuard<'_, RunState>) {
+    st.outstanding -= 1;
+    let drained = st.next_claim >= st.total_claims && st.outstanding == 0;
+    if drained {
+        st.finalize = Some(match st.phase {
+            Phase::Tiled(_) => Finalize::Tiled,
+            Phase::Reduce(_) => Finalize::Reduce,
+            _ => unreachable!("claims exist only in claimable phases"),
+        });
+        // Replacing the phase drops the run's task handle; together with
+        // the workers' (already dropped), the read snapshots become
+        // uniquely owned again for recovery.
+        st.phase = Phase::Advancing;
+    }
+    drop(st);
+    if drained {
+        advance(shared, run);
+    } else {
+        // Wake scanners that skipped this run while we held its lock.
+        notify_workers(shared);
+    }
+}
+
+/// Computes one strip of a tiled group into pool-backed slabs.
+fn run_strip(
+    shared: &Shared,
+    run: &RunContext,
+    task: &TiledTask,
+    strip: usize,
+    runs: &mut HashMap<u64, WorkerRun>,
+    arena_pool: &mut BufferPool,
+) -> (Vec<SlabPart>, LocalStats) {
+    let prog = &*run.prog;
+    let GroupKind::Tiled(tg) = &prog.groups[task.group].kind else {
+        panic!("strip work targets a non-tiled group");
+    };
+    let ws = worker_run_state(runs, arena_pool, run, task.group, tg);
+    ws.regs.set_simd(prog.simd);
+    let read_refs: Vec<Option<&[f32]>> = task
         .reads
         .iter()
         .map(|r| r.as_ref().map(|a| a.as_slice()))
         .collect();
+
+    // Pool-backed slabs for every written stage this strip covers. Strips
+    // are disjoint along dimension 0 and tile stores exactly partition the
+    // stage domain, so every element of a strip's slab is written before
+    // the run reads it — the zero-fill can be skipped. Exception: a
+    // *direct* stage stores only at points its (possibly guarded) cases
+    // cover, so unless one case spans the whole domain unconditionally its
+    // slab must start zeroed (the zero-for-undefined border convention).
+    let mut parts: Vec<SlabPart> = Vec::new();
+    for &(k, b) in &task.written {
+        if let Some((lo, hi)) = task.strip_rows[k][strip] {
+            let len = ((hi - lo + 1) * row_size(&prog.buffers[b.0])) as usize;
+            let stage = &tg.stages[k];
+            let data = if stage.direct && !stage.covers_domain() {
+                shared.pool.acquire_zeroed(len)
+            } else {
+                shared.pool.acquire(len)
+            };
+            parts.push(SlabPart {
+                buf: b,
+                row_lo: lo,
+                data,
+            });
+        }
+    }
     let mut local = LocalStats::default();
-    loop {
-        let s = job.claim.fetch_add(1, Ordering::Relaxed);
-        if s >= tg.nstrips {
-            break;
-        }
-        // Pool-backed slabs for every written stage this strip covers.
-        // Strips are disjoint along dimension 0 and tile stores exactly
-        // partition the stage domain, so every element of a strip's slab
-        // is written before the coordinator reads it — the zero-fill can
-        // be skipped. Exception: a *direct* stage stores only at points
-        // its (possibly guarded) cases cover, so unless one case spans the
-        // whole domain unconditionally its slab must start zeroed (the
-        // zero-for-undefined border convention).
-        let mut parts: Vec<SlabPart> = Vec::new();
-        for &(k, b) in &job.written {
-            if let Some((lo, hi)) = job.strip_rows[k][s] {
-                let len = ((hi - lo + 1) * row_size(&prog.buffers[b.0])) as usize;
-                let stage = &tg.stages[k];
-                let data = if stage.direct && !stage.covers_domain() {
-                    lock(pool).acquire_zeroed(len)
-                } else {
-                    lock(pool).acquire(len)
-                };
-                parts.push(SlabPart {
+    {
+        let mut slabs: Vec<Slab<'_>> = parts
+            .iter_mut()
+            .map(|p| {
+                let k = task
+                    .written
+                    .iter()
+                    .find(|&&(_, b)| b == p.buf)
+                    .map(|&(k, _)| k)
+                    .expect("slab for a written stage");
+                Slab {
                     stage: k,
-                    row_lo: lo,
-                    data,
-                });
-            }
-        }
-        {
-            let mut slabs: Vec<Slab<'_>> = parts
-                .iter_mut()
-                .map(|p| Slab {
-                    stage: p.stage,
                     row_lo: p.row_lo,
                     data: p.data.as_mut_slice(),
-                })
-                .collect();
-            for &ti in &job.tiles_by_strip[s] {
-                local.tiles += 1;
-                run_tile(
-                    prog,
-                    tg,
-                    &tg.tiles[ti],
-                    &read_refs,
-                    &mut slabs,
-                    &mut arena,
-                    regs,
-                    &mut local,
-                );
-            }
+                }
+            })
+            .collect();
+        for &ti in &task.tiles_by_strip[strip] {
+            local.tiles += 1;
+            run_tile(
+                prog,
+                tg,
+                &tg.tiles[ti],
+                &read_refs,
+                &mut slabs,
+                &mut ws.arena,
+                &mut ws.regs,
+                &mut local,
+            );
         }
-        // Stream the finished strip; the coordinator stitches it while
-        // other strips are still being computed.
-        let _ = results.send((epoch, WorkerMsg::Slabs(parts)));
     }
-    for v in arena {
-        arena_pool.release(v);
-    }
-    local.eval = regs.take_counters();
-    local
+    local.eval = ws.regs.take_counters();
+    (parts, local)
 }
 
-fn run_reduce_job(
-    job: &ReduceJob,
-    epoch: u64,
-    results: &Sender<(u64, WorkerMsg)>,
-    pool: &Mutex<BufferPool>,
-) {
-    let prog = &*job.prog;
-    let GroupKind::Reduction(red) = &prog.groups[job.group].kind else {
-        panic!("reduce job targets a non-reduction group");
+/// Computes one reduction chunk into a pool-backed, identity-filled
+/// partial.
+fn run_chunk(shared: &Shared, run: &RunContext, task: &ReduceTask, chunk: usize) -> Vec<f32> {
+    let prog = &*run.prog;
+    let GroupKind::Reduction(red) = &prog.groups[task.group].kind else {
+        panic!("chunk work targets a non-reduction group");
     };
-    let read_refs: Vec<Option<&[f32]>> = job
+    let read_refs: Vec<Option<&[f32]>> = task
         .reads
         .iter()
         .map(|r| r.as_ref().map(|a| a.as_slice()))
         .collect();
     let views = reduction_views(prog, red, &read_refs);
-    loop {
-        let c = job.claim.fetch_add(1, Ordering::Relaxed);
-        if c >= job.chunks.len() {
-            break;
-        }
-        let (lo, hi) = job.chunks[c];
-        // The fill overwrites every element, so no zero-fill is needed.
-        let mut part = lock(pool).acquire(job.out_len);
-        part.fill(job.identity);
-        let mut dom = red.red_dom.clone();
-        *dom.range_mut(0) = (lo, hi);
-        sweep_reduction(prog, red, &views, &dom, &mut part);
-        if results
-            .send((epoch, WorkerMsg::ReducePart { chunk: c, part }))
-            .is_err()
-        {
-            break;
+    let (lo, hi) = task.chunks[chunk];
+    // The fill overwrites every element, so no zero-fill is needed.
+    let mut part = shared.pool.acquire(task.out_len);
+    part.fill(task.identity);
+    let mut dom = red.red_dom.clone();
+    *dom.range_mut(0) = (lo, hi);
+    sweep_reduction(prog, red, &views, &dom, &mut part);
+    part
+}
+
+/// Merges one strip's counters into the run statistics at its
+/// participation slot.
+fn absorb_local(st: &mut RunState, slot: usize, local: &LocalStats, busy: Duration) {
+    st.stats.tiles += local.tiles;
+    st.stats.chunks += local.chunks;
+    st.stats.points_computed += local.points;
+    st.stats.uniform_hits += local.eval.uniform_hits;
+    st.stats.uniform_misses += local.eval.uniform_misses;
+    st.stats.loads.merge(&local.eval.loads);
+    st.stats.simd_lanes_avx2 += local.eval.simd_lanes_avx2;
+    st.stats.simd_lanes_sse2 += local.eval.simd_lanes_sse2;
+    st.stats.simd_lanes_neon += local.eval.simd_lanes_neon;
+    st.stats.simd_lanes_scalar += local.eval.simd_lanes_scalar;
+    st.stats.worker_tiles[slot] += local.tiles;
+    st.stats.worker_busy[slot] += busy;
+    st.group_worker[slot].0 += local.tiles;
+    st.group_worker[slot].1 += busy;
+}
+
+// ---------------------------------------------------------------------------
+// The run state machine: setup, sequential groups, finalization, completion.
+// ---------------------------------------------------------------------------
+
+/// Advances a run: finalizes a drained group, executes sequential groups
+/// inline, sets up the next claimable task, or completes the run. Exactly
+/// one worker is ever inside this for a given run (`Phase::Advancing`).
+fn advance(shared: &Arc<Shared>, run: &Arc<RunContext>) {
+    let res = catch_unwind(AssertUnwindSafe(|| advance_inner(shared, run)));
+    if let Err(p) = res {
+        // A panic while advancing (sequential group, finalization) fails
+        // the run; the state may be mid-transition but is never read again
+        // past `complete_run`.
+        let already_done = lock(&run.state).result.is_some();
+        if !already_done {
+            complete_run(
+                shared,
+                run,
+                Err(VmError::Internal(format!(
+                    "worker panicked: {}",
+                    panic_text(p)
+                ))),
+            );
         }
     }
+}
+
+fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
+    let prog = Arc::clone(&run.prog);
+    let mut st = lock(&run.state);
+    debug_assert!(matches!(st.phase, Phase::Advancing));
+
+    // Finalize the group whose last claim just drained, if any.
+    match st.finalize.take() {
+        Some(Finalize::Tiled) => {
+            if st.failed.is_none() {
+                recover_reads(&mut st);
+            }
+            end_group(run, &mut st);
+        }
+        Some(Finalize::Reduce) => {
+            if st.failed.is_none() {
+                let GroupKind::Reduction(red) = &prog.groups[st.group].kind else {
+                    unreachable!("reduce finalize on a non-reduction group");
+                };
+                if st.red_parts.iter().any(Option::is_none) {
+                    st.failed = Some(VmError::Internal("reduction chunk lost".into()));
+                } else {
+                    // Combine in ascending chunk order — the order the
+                    // legacy executor joins its threads — for bit-identical
+                    // float results.
+                    let mut out_vec = std::mem::take(&mut st.red_out);
+                    let parts: Vec<Vec<f32>> = st.red_parts.drain(..).flatten().collect();
+                    for part in parts {
+                        for (o, p) in out_vec.iter_mut().zip(&part) {
+                            *o = red.op.combine(*o as f64, *p as f64) as f32;
+                        }
+                        shared.pool.release(part);
+                    }
+                    fix_untouched_identities(red.op, red.op.identity() as f32, &mut out_vec);
+                    let out = red.out.0;
+                    st.fulls[out] = out_vec;
+                    recover_reads(&mut st);
+                }
+            }
+            end_group(run, &mut st);
+        }
+        None => {}
+    }
+    if let Some(err) = st.failed.take() {
+        drop(st);
+        complete_run(shared, run, Err(err));
+        return;
+    }
+
+    // Walk groups until the run blocks on claimable work or completes.
+    loop {
+        if st.group == prog.groups.len() {
+            let outputs = prog
+                .outputs
+                .iter()
+                .map(|(_, b)| {
+                    Buffer::from_vec(decl_rect(&prog.buffers[b.0]), st.fulls[b.0].clone())
+                })
+                .collect();
+            drop(st);
+            complete_run(shared, run, Ok(outputs));
+            return;
+        }
+        let gi = st.group;
+        match &prog.groups[gi].kind {
+            GroupKind::Sequential(seq) => {
+                begin_group(run, &mut st);
+                // Execute outside the lock: polls see `Advancing` and skip.
+                let mut fulls = std::mem::take(&mut st.fulls);
+                drop(st);
+                let r = execute_seq(&prog, seq, &mut fulls);
+                st = lock(&run.state);
+                st.fulls = fulls;
+                end_group(run, &mut st);
+                if let Err(e) = r {
+                    drop(st);
+                    complete_run(shared, run, Err(e));
+                    return;
+                }
+            }
+            GroupKind::Reduction(red) => {
+                let (rlo, rhi) = red.red_dom.range(0);
+                let total = (rhi - rlo + 1).max(0);
+                // Same chunking rule as the legacy executor (based on the
+                // *requested* thread count, not pool size), so partial
+                // boundaries — and therefore float combine order — match
+                // `run_program_static` for the same thread count.
+                let nth = run.req_threads.min(total.max(1) as usize).max(1);
+                let chunk = total.div_euclid(nth as i64) + 1;
+                let mut chunks = Vec::with_capacity(nth);
+                if nth > 1 {
+                    for t in 0..nth {
+                        let lo = rlo + t as i64 * chunk;
+                        let hi = (lo + chunk - 1).min(rhi);
+                        if lo <= hi {
+                            chunks.push((lo, hi));
+                        }
+                    }
+                }
+                if chunks.is_empty() {
+                    // Single sweep straight into the output; no combine
+                    // step (and no `0.0 + -0.0` rounding artifacts from
+                    // merging partials).
+                    begin_group(run, &mut st);
+                    let mut fulls = std::mem::take(&mut st.fulls);
+                    drop(st);
+                    let r = execute_reduction(&prog, red, &mut fulls, 1);
+                    st = lock(&run.state);
+                    st.fulls = fulls;
+                    end_group(run, &mut st);
+                    if let Err(e) = r {
+                        drop(st);
+                        complete_run(shared, run, Err(e));
+                        return;
+                    }
+                } else {
+                    begin_group(run, &mut st);
+                    let identity = red.op.identity() as f32;
+                    let mut out_vec = std::mem::take(&mut st.fulls[red.out.0]);
+                    out_vec.fill(identity);
+                    st.red_out = out_vec;
+                    st.red_parts = {
+                        let mut v: Vec<Option<Vec<f32>>> = Vec::new();
+                        v.resize_with(chunks.len(), || None);
+                        v
+                    };
+                    let reads = snapshot_reads(&mut st, &[red.out.0]);
+                    let out_len = st.red_out.len();
+                    st.next_claim = 0;
+                    st.total_claims = chunks.len();
+                    st.outstanding = 0;
+                    st.phase = Phase::Reduce(Arc::new(ReduceTask {
+                        group: gi,
+                        reads,
+                        chunks,
+                        out_len,
+                        identity,
+                    }));
+                    drop(st);
+                    notify_workers(shared);
+                    return;
+                }
+            }
+            GroupKind::Tiled(tg) => {
+                let written = match written_stages(tg) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        drop(st);
+                        complete_run(shared, run, Err(e));
+                        return;
+                    }
+                };
+                begin_group(run, &mut st);
+                let (strip_rows, tiles_by_strip) = strip_layout(tg);
+                let written_bufs: Vec<usize> = written.iter().map(|&(_, b)| b.0).collect();
+                let reads = snapshot_reads(&mut st, &written_bufs);
+                st.next_claim = 0;
+                st.total_claims = tg.nstrips;
+                st.outstanding = 0;
+                st.phase = Phase::Tiled(Arc::new(TiledTask {
+                    group: gi,
+                    reads,
+                    written,
+                    strip_rows,
+                    tiles_by_strip,
+                }));
+                drop(st);
+                notify_workers(shared);
+                return;
+            }
+        }
+    }
+}
+
+/// Moves every full buffer the current task does not write behind an
+/// `Arc` snapshot workers can read without the run lock; the run keeps a
+/// second handle in `reads_keep` for recovery at finalization.
+fn snapshot_reads(st: &mut RunState, written: &[usize]) -> Vec<Option<Arc<Vec<f32>>>> {
+    let mut reads: Vec<Option<Arc<Vec<f32>>>> = vec![None; st.fulls.len()];
+    for (i, v) in st.fulls.iter_mut().enumerate() {
+        if !written.contains(&i) {
+            let arc = Arc::new(std::mem::take(v));
+            st.reads_keep[i] = Some(Arc::clone(&arc));
+            reads[i] = Some(arc);
+        }
+    }
+    reads
+}
+
+/// Recovers the read snapshots back into `fulls`. All task handles are
+/// dropped by the time a group finalizes, so each `Arc` is uniquely owned
+/// again; a still-shared buffer fails the run.
+fn recover_reads(st: &mut RunState) {
+    for i in 0..st.reads_keep.len() {
+        if let Some(a) = st.reads_keep[i].take() {
+            match Arc::try_unwrap(a) {
+                Ok(v) => st.fulls[i] = v,
+                Err(_) => {
+                    st.failed = Some(VmError::Internal("buffer still shared after group".into()));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Opens the current group: wall-clock start and (when tracing) its span.
+fn begin_group(run: &RunContext, st: &mut RunState) {
+    st.group_start = Instant::now();
+    st.group_span = run.diag.enabled().then(|| run.diag.begin());
+    for gw in st.group_worker.iter_mut() {
+        *gw = (0, Duration::ZERO);
+    }
+}
+
+/// Closes the current group: records its wall time, emits its span and
+/// per-worker events (all stamped with the run id), and moves to the next
+/// group.
+fn end_group(run: &RunContext, st: &mut RunState) {
+    let prog = &run.prog;
+    let group = &prog.groups[st.group];
+    st.stats
+        .group_times
+        .push((group.name.clone(), st.group_start.elapsed()));
+    if run.diag.enabled() {
+        for (slot, &(tiles, busy)) in st.group_worker.iter().enumerate() {
+            if tiles == 0 && busy.is_zero() {
+                continue;
+            }
+            run.diag.event(
+                "worker",
+                vec![
+                    ("run_id", Value::UInt(run.run_id)),
+                    ("group", Value::Str(group.name.clone())),
+                    ("worker", Value::UInt(slot as u64)),
+                    ("tiles", Value::UInt(tiles)),
+                    ("busy_us", Value::UInt(busy.as_micros() as u64)),
+                ],
+            );
+        }
+        if let Some(span) = st.group_span.take() {
+            run.diag.end(
+                span,
+                "group",
+                vec![
+                    ("run_id", Value::UInt(run.run_id)),
+                    ("name", Value::Str(group.name.clone())),
+                    (
+                        "kind",
+                        Value::Str(
+                            match &group.kind {
+                                GroupKind::Tiled(_) => "tiled",
+                                GroupKind::Reduction(_) => "reduction",
+                                GroupKind::Sequential(_) => "sequential",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                ],
+            );
+        }
+    }
+    st.group += 1;
+}
+
+/// Publishes a run's result, releases its buffers, flushes diagnostics,
+/// and removes it from the scheduler (freeing an admission slot).
+fn complete_run(shared: &Arc<Shared>, run: &Arc<RunContext>, result: Result<Vec<Buffer>, VmError>) {
+    let mut st = lock(&run.state);
+    st.phase = Phase::Complete;
+    for v in st.fulls.drain(..) {
+        shared.pool.release(v);
+    }
+    st.reads_keep.clear();
+    st.red_out = Vec::new();
+    st.red_parts.clear();
+    if run.diag.enabled() {
+        // Pool counters are engine-global: the delta since the previous
+        // flush, which under concurrency includes overlapping (and
+        // untraced) runs' pool traffic. Totals stay exact; attribution is
+        // per completion. Per-run counters (tiles, evaluator) are exact.
+        let now = shared.pool.stats();
+        let mut fl = lock(&shared.flushed);
+        run.diag
+            .count(Counter::PoolAcquire, now.acquires - fl.acquires);
+        run.diag.count(Counter::PoolReuse, now.reuses - fl.reuses);
+        run.diag.count(Counter::PoolDrop, now.dropped - fl.dropped);
+        *fl = now;
+        drop(fl);
+        run.diag.count(Counter::TileClaim, st.stats.tiles);
+        run.diag.count(Counter::UniformHit, st.stats.uniform_hits);
+        run.diag
+            .count(Counter::UniformMiss, st.stats.uniform_misses);
+        run.diag
+            .count(Counter::LoadBroadcast, st.stats.loads.broadcast as u64);
+        run.diag
+            .count(Counter::LoadContiguous, st.stats.loads.contiguous as u64);
+        run.diag
+            .count(Counter::LoadStrided, st.stats.loads.strided as u64);
+        run.diag
+            .count(Counter::LoadGather, st.stats.loads.gather as u64);
+        run.diag
+            .count(Counter::SimdLanesAvx2, st.stats.simd_lanes_avx2);
+        run.diag
+            .count(Counter::SimdLanesSse2, st.stats.simd_lanes_sse2);
+        run.diag
+            .count(Counter::SimdLanesNeon, st.stats.simd_lanes_neon);
+        run.diag
+            .count(Counter::SimdLanesScalar, st.stats.simd_lanes_scalar);
+        if let Some(span) = st.run_span.take() {
+            run.diag.end(
+                span,
+                "run",
+                vec![
+                    ("run_id", Value::UInt(run.run_id)),
+                    ("program", Value::Str(run.prog.name.clone())),
+                    ("nthreads", Value::UInt(run.req_threads as u64)),
+                    ("tiles", Value::UInt(st.stats.tiles)),
+                    ("points", Value::UInt(st.stats.points_computed)),
+                ],
+            );
+        }
+    }
+    st.result = Some(result);
+    run.done_cv.notify_all();
+    drop(st);
+
+    let mut sched = lock(&shared.sched);
+    sched.runs.retain(|r| r.run_id != run.run_id);
+    sched.inflight -= 1;
+    shared.admit_cv.notify_one();
+    shared.work_cv.notify_all();
 }

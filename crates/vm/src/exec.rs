@@ -35,11 +35,17 @@ pub struct RunStats {
     /// Load-class histogram of runtime row resolutions (optimized
     /// kernels; one tally per row per lane-varying load).
     pub loads: crate::LoadHistogram,
-    /// Tiles executed per pooled worker, indexed by worker id. The sum
-    /// equals `tiles` for engine runs.
+    /// Tiles executed per participating worker. Sized to the run's
+    /// *effective* worker count — `min(requested threads, engine pool
+    /// size)` — and indexed by participation slot: slot `i` is the
+    /// `i`-th distinct pooled worker (in first-claim order) that executed
+    /// work for this run, not a pool-wide worker id. At most `effective`
+    /// distinct workers ever join one run, so trailing slots of lightly
+    /// parallel runs stay zero. The sum equals `tiles` for engine runs.
     pub worker_tiles: Vec<u64>,
-    /// Busy wall-clock per pooled worker (time spent inside jobs), indexed
-    /// by worker id. Subtracting from the run's group time gives idle time.
+    /// Busy wall-clock per participating worker (time spent inside strip
+    /// and reduction-chunk execution), indexed like [`RunStats::worker_tiles`].
+    /// Subtracting from the run's group time gives idle time.
     pub worker_busy: Vec<std::time::Duration>,
     /// Lanes evaluated while dispatching AVX2 chunk loops.
     pub simd_lanes_avx2: u64,
@@ -675,10 +681,6 @@ pub(crate) struct LocalStats {
     pub(crate) tiles: u64,
     pub(crate) chunks: u64,
     pub(crate) points: u64,
-    /// Pool index of the worker that produced these counters.
-    pub(crate) worker: usize,
-    /// Wall-clock the worker spent inside the job.
-    pub(crate) busy: std::time::Duration,
     /// Drained evaluator counters (uniform cache, load classes).
     pub(crate) eval: crate::EvalCounters,
 }

@@ -44,7 +44,7 @@ mod program;
 mod simd;
 
 pub use buffer::{BufDecl, BufId, BufKind, Buffer};
-pub use engine::Engine;
+pub use engine::{Engine, RunHandle};
 pub use error::VmError;
 pub use eval::{eval_kernel, BufView, ChunkCtx, EvalCounters, RegFile, CHUNK};
 pub use exec::{
@@ -53,7 +53,7 @@ pub use exec::{
 pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, OptMeta, RegId, UnF};
 pub use loadclass::{LoadClass, LoadHistogram};
 pub use opt::{optimize_kernel, optimize_program, KernelOptReport};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BufferPool, PoolStats, SharedPool};
 pub use program::{
     CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, TileWork,
     TiledGroup,

@@ -1,4 +1,8 @@
-//! A freelist allocator for `f32` working buffers.
+//! Freelist allocators for `f32` working buffers: the single-threaded
+//! [`BufferPool`] (worker-local scratch arenas) and the size-class-sharded
+//! [`SharedPool`] the [`crate::Engine`] shares across concurrent runs.
+
+use std::sync::{Mutex, MutexGuard};
 
 /// Counters and occupancy of a [`BufferPool`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,6 +58,22 @@ impl BufferPool {
             self.stats.retained_bytes -= cap * std::mem::size_of::<f32>();
             self.free.swap_remove(i)
         })
+    }
+
+    /// [`SharedPool`] variant of [`BufferPool::pop_best_fit`]: counts one
+    /// acquire and (on success) one reuse on this shard.
+    fn pop_tracked(&mut self, len: usize) -> Option<Vec<f32>> {
+        let hit = self.pop_best_fit(len);
+        if hit.is_some() {
+            self.stats.acquires += 1;
+        }
+        hit
+    }
+
+    /// Accounts an acquisition that every shard probe missed (the caller
+    /// allocates fresh).
+    fn note_fresh_acquire(&mut self) {
+        self.stats.acquires += 1;
     }
 
     /// A zero-filled vector of length `len`, reusing a retained allocation
@@ -115,6 +135,128 @@ impl BufferPool {
     pub fn retained(&self) -> usize {
         self.free.len()
     }
+}
+
+/// Number of size-class shards in a [`SharedPool`].
+const NSHARDS: usize = 8;
+
+/// Smallest length (log2) owned by shard 0; classes double per shard.
+const SHARD_BASE_LOG2: u32 = 10; // 1 Ki elements = 4 KiB
+
+/// The size class of a length: shard `i` owns lengths in
+/// `[2^(BASE+i), 2^(BASE+i+1))`, clamped at both ends.
+fn shard_of(len: usize) -> usize {
+    let log2 = usize::BITS - len.max(1).leading_zeros() - 1;
+    (log2.saturating_sub(SHARD_BASE_LOG2) as usize).min(NSHARDS - 1)
+}
+
+/// A size-class-sharded, internally synchronized buffer pool.
+///
+/// One engine-wide `Mutex<BufferPool>` was fine when runs serialized; with
+/// concurrent [`crate::Engine`] runs every strip's slab acquire/release
+/// would contend on that single lock. `SharedPool` splits the freelist
+/// into eight independently locked [`BufferPool`]s by size class
+/// (powers of two, so one run's full-frame buffers and another's small
+/// reduction partials never touch the same lock), keeping critical
+/// sections to a freelist push/pop.
+///
+/// Acquisition checks the requested length's own class and the next one up
+/// (a release routes by *capacity*, which can land one class above the
+/// originally requested length); a miss in both falls back to a fresh
+/// allocation rather than scanning every shard.
+#[derive(Debug)]
+pub struct SharedPool {
+    shards: [Mutex<BufferPool>; NSHARDS],
+}
+
+impl Default for SharedPool {
+    fn default() -> Self {
+        SharedPool::new()
+    }
+}
+
+fn lock_shard(m: &Mutex<BufferPool>) -> MutexGuard<'_, BufferPool> {
+    // Shard state is only a freelist; a panicking holder cannot tear it.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SharedPool {
+    /// An empty sharded pool.
+    pub fn new() -> SharedPool {
+        SharedPool {
+            shards: std::array::from_fn(|_| Mutex::new(BufferPool::new())),
+        }
+    }
+
+    fn acquire_impl(&self, len: usize, zeroed: bool) -> Vec<f32> {
+        let c = shard_of(len);
+        // Try the length's own class, then one class up (capacity-routed
+        // releases can promote a buffer by one class). One lock is held at
+        // a time, and never across the zero-fill.
+        let neighbor = (c + 1).min(NSHARDS - 1);
+        for s in if c == neighbor { c..=c } else { c..=neighbor } {
+            if let Some(v) = lock_shard(&self.shards[s]).pop_tracked(len) {
+                return finish_reuse(v, len, zeroed);
+            }
+        }
+        // Fresh allocation: account it on the home shard.
+        lock_shard(&self.shards[c]).note_fresh_acquire();
+        vec![0.0; len]
+    }
+
+    /// A zero-filled vector of length `len` (see
+    /// [`BufferPool::acquire_zeroed`]).
+    pub fn acquire_zeroed(&self, len: usize) -> Vec<f32> {
+        self.acquire_impl(len, true)
+    }
+
+    /// A vector of length `len` with **arbitrary contents**; same contract
+    /// as [`BufferPool::acquire`] — only for buffers provably overwritten
+    /// in full before any read.
+    pub fn acquire(&self, len: usize) -> Vec<f32> {
+        self.acquire_impl(len, false)
+    }
+
+    /// Returns a vector to its capacity class's freelist.
+    pub fn release(&self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        lock_shard(&self.shards[shard_of(v.capacity())]).release(v);
+    }
+
+    /// Aggregated counters and occupancy across all shards.
+    pub fn stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for shard in &self.shards {
+            let s = lock_shard(shard).stats();
+            total.acquires += s.acquires;
+            total.reuses += s.reuses;
+            total.dropped += s.dropped;
+            total.retained_bytes += s.retained_bytes;
+        }
+        total
+    }
+
+    /// Total retained free buffers across all shards.
+    pub fn retained(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).retained()).sum()
+    }
+}
+
+/// Fixes up a reused allocation exactly like the [`BufferPool`] variants:
+/// zeroed reuse re-zeroes in full; raw reuse only zero-fills growth past
+/// the previous length.
+fn finish_reuse(mut v: Vec<f32>, len: usize, zeroed: bool) -> Vec<f32> {
+    if zeroed {
+        v.clear();
+        v.resize(len, 0.0);
+    } else if v.len() >= len {
+        v.truncate(len);
+    } else {
+        v.resize(len, 0.0);
+    }
+    v
 }
 
 #[cfg(test)]
@@ -216,5 +358,88 @@ mod tests {
         p.release(vec![0.0; 16]);
         assert_eq!(p.retained(), MAX_RETAINED);
         assert_eq!(p.stats().dropped, 4);
+    }
+
+    #[test]
+    fn shard_classes_are_monotone_and_clamped() {
+        assert_eq!(shard_of(0), 0);
+        assert_eq!(shard_of(1), 0);
+        assert_eq!(shard_of(1 << SHARD_BASE_LOG2), 0);
+        assert_eq!(shard_of((1 << (SHARD_BASE_LOG2 + 1)) - 1), 0);
+        assert_eq!(shard_of(1 << (SHARD_BASE_LOG2 + 1)), 1);
+        assert_eq!(shard_of(usize::MAX), NSHARDS - 1);
+        let mut prev = 0;
+        for i in 0..30 {
+            let s = shard_of(1 << i);
+            assert!(s >= prev, "classes must be monotone in length");
+            assert!(s < NSHARDS);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn shared_pool_reuses_within_a_class() {
+        let p = SharedPool::new();
+        let mut v = p.acquire_zeroed(5000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v.iter_mut().for_each(|x| *x = 9.0);
+        p.release(v);
+        assert_eq!(p.retained(), 1);
+        let v2 = p.acquire_zeroed(4000);
+        assert!(v2.capacity() >= 5000, "same class must reuse");
+        assert!(v2.iter().all(|&x| x == 0.0), "zeroed reuse re-zeroes");
+        let s = p.stats();
+        assert_eq!((s.acquires, s.reuses), (2, 1));
+        assert_eq!(p.retained(), 0);
+        p.release(v2);
+    }
+
+    #[test]
+    fn shared_pool_probes_one_class_up() {
+        let p = SharedPool::new();
+        // A release routes by capacity, which may sit one class above the
+        // length a later caller asks for.
+        let v = vec![0.0f32; 3000]; // class of 3000 > class of 1500
+        assert_eq!(shard_of(3000), shard_of(1500) + 1);
+        p.release(v);
+        let v2 = p.acquire(1500);
+        assert!(v2.capacity() >= 3000, "neighbor-class probe must hit");
+        let s = p.stats();
+        assert_eq!((s.acquires, s.reuses), (1, 1));
+    }
+
+    #[test]
+    fn shared_pool_raw_acquire_keeps_stale_prefix() {
+        let p = SharedPool::new();
+        // Length 100 but capacity 200: reuse for 140 grows within capacity.
+        let mut v = Vec::with_capacity(200);
+        v.resize(100, 3.0f32);
+        p.release(v);
+        let v2 = p.acquire(140);
+        assert_eq!(v2.len(), 140);
+        assert!(v2[..100].iter().all(|&x| x == 3.0));
+        assert!(v2[100..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn shared_pool_is_usable_from_many_threads() {
+        let p = std::sync::Arc::new(SharedPool::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let p = std::sync::Arc::clone(&p);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let len = 64 + 97 * ((t * 50 + i) % 40);
+                        let v = p.acquire_zeroed(len);
+                        assert_eq!(v.len(), len);
+                        assert!(v.iter().all(|&x| x == 0.0));
+                        p.release(v);
+                    }
+                });
+            }
+        });
+        let s = p.stats();
+        assert_eq!(s.acquires, 200);
+        assert!(s.reuses > 0);
     }
 }

@@ -1,0 +1,166 @@
+//! Worker-panic recovery: a tile that panics must fail only its own run
+//! (as a clean [`VmError`]), and the *same* engine instance must keep
+//! serving later runs — the pool must not wedge and the `lock()` helpers
+//! must shrug off any poisoned mutexes the unwind left behind.
+
+use polymage_poly::Rect;
+use polymage_vm::*;
+use std::sync::Arc;
+
+/// out(x) = in(x−1) + in(x+1) on [1,62], one direct stage, 4 strips.
+/// With `poisoned`, the stage also claims to read its own group's written
+/// full buffer — the executor panics on the first tile (deterministically,
+/// on every strip), exercising the catch_unwind path.
+fn program(poisoned: bool) -> Program {
+    let img = BufId(0);
+    let out_f = BufId(1);
+    let buffers = vec![
+        BufDecl {
+            name: "in".into(),
+            kind: BufKind::Full,
+            sizes: vec![64],
+            origin: vec![0],
+        },
+        BufDecl {
+            name: "out".into(),
+            kind: BufKind::Full,
+            sizes: vec![62],
+            origin: vec![1],
+        },
+    ];
+    let load = |dst: u16, o: i64| Op::Load {
+        dst: RegId(dst),
+        buf: img,
+        plan: vec![IdxPlan::Affine {
+            dim: Some(0),
+            q: 1,
+            o,
+            m: 1,
+        }],
+    };
+    let kernel = Kernel {
+        ops: vec![
+            load(0, -1),
+            load(1, 1),
+            Op::BinF {
+                op: BinF::Add,
+                dst: RegId(2),
+                a: RegId(0),
+                b: RegId(1),
+            },
+        ],
+        nregs: 3,
+        meta: None,
+        outs: vec![RegId(2)],
+    };
+    let mut reads = vec![img];
+    if poisoned {
+        // A full buffer written by the stage's own group is never readable
+        // (its snapshot is withheld); the executor panics on lookup.
+        reads.push(out_f);
+    }
+    let stage = StageExec {
+        name: "out".into(),
+        scratch: out_f, // unused (direct)
+        full: Some(out_f),
+        direct: true,
+        sat: None,
+        round: false,
+        cases: vec![CaseExec {
+            steps: vec![(1, 0)],
+            rect: Rect::new(vec![(1, 62)]),
+            kernel,
+            mask: None,
+        }],
+        dom: Rect::new(vec![(1, 62)]),
+        reads,
+    };
+    let mut tiles = Vec::new();
+    for (s, (lo, hi)) in [(1i64, 16i64), (17, 32), (33, 48), (49, 62)]
+        .into_iter()
+        .enumerate()
+    {
+        tiles.push(TileWork {
+            strip: s,
+            regions: vec![Rect::new(vec![(lo, hi)])],
+            stores: vec![Some(Rect::new(vec![(lo, hi)]))],
+        });
+    }
+    Program {
+        name: if poisoned { "poisoned" } else { "good" }.into(),
+        buffers,
+        image_bufs: vec![img],
+        groups: vec![GroupExec {
+            name: "g0".into(),
+            kind: GroupKind::Tiled(TiledGroup {
+                stages: vec![stage],
+                tiles,
+                nstrips: 4,
+            }),
+        }],
+        outputs: vec![("out".into(), out_f)],
+        mode: EvalMode::Vector,
+        simd: polymage_vm::process_simd_level(),
+    }
+}
+
+fn bits(bufs: &[Buffer]) -> Vec<Vec<u32>> {
+    bufs.iter()
+        .map(|b| b.data.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn engine_survives_worker_panics() {
+    let engine = Engine::with_threads(2);
+    let good = Arc::new(program(false));
+    let bad = Arc::new(program(true));
+    let input =
+        Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| ((p[0] * 31 + 7) % 13) as f32);
+    let inputs = std::slice::from_ref(&input);
+
+    // The poisoned run fails with a clean error, not a hang or abort.
+    let err = engine.run(&bad, inputs).unwrap_err();
+    match &err {
+        VmError::Internal(msg) => assert!(
+            msg.contains("panicked"),
+            "expected a worker-panic error, got: {msg}"
+        ),
+        other => panic!("expected VmError::Internal, got {other:?}"),
+    }
+
+    // The same engine instance completes subsequent runs, bit-identical
+    // to the static oracle — pool not wedged, no poisoned-lock fallout.
+    for threads in [1, 2] {
+        let oracle = run_program_static(&good, inputs, threads).unwrap();
+        let got = engine.run_with_threads(&good, inputs, threads).unwrap();
+        assert_eq!(bits(&oracle), bits(&got), "threads {threads}");
+    }
+
+    // Panics stay survivable, run after run.
+    let err2 = engine.run(&bad, inputs).unwrap_err();
+    assert!(matches!(err2, VmError::Internal(_)));
+    let oracle = run_program_static(&good, inputs, 2).unwrap();
+    let got = engine.run(&good, inputs).unwrap();
+    assert_eq!(bits(&oracle), bits(&got));
+}
+
+#[test]
+fn panicked_run_fails_while_concurrent_run_completes() {
+    // A poisoned run submitted alongside a good run must not corrupt the
+    // good run's result (per-run state is shared-nothing).
+    let engine = Engine::with_threads(2);
+    let good = Arc::new(program(false));
+    let bad = Arc::new(program(true));
+    let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| (p[0] % 9) as f32);
+    let inputs = std::slice::from_ref(&input);
+    let oracle = run_program_static(&good, inputs, 2).unwrap();
+
+    for _ in 0..8 {
+        let h_bad = engine.submit(&bad, inputs).unwrap();
+        let h_good = engine.submit(&good, inputs).unwrap();
+        assert!(h_bad.join().is_err());
+        let got = h_good.join().unwrap();
+        assert_eq!(bits(&oracle), bits(&got));
+    }
+}
