@@ -12,7 +12,10 @@
 //! - **kernel optimizer**: the bit-exact SSA pass pipeline plus
 //!   uniform-op hoisting and load specialization on/off;
 //! - **SIMD backend**: runtime-dispatched vector chunk loops vs the
-//!   forced-scalar fallback (`CompileOptions::with_simd(SimdOpt::Off)`).
+//!   forced-scalar fallback (`CompileOptions::with_simd(SimdOpt::Off)`);
+//! - **storage folding** (§3.6, second half): liveness-based scratch-slot
+//!   reuse and early full-buffer release on/off
+//!   (`CompileOptions::with_storage_fold(false)`).
 
 use polymage_bench::{ms, time_program, HarnessArgs};
 use polymage_core::{CompileOptions, Session, SimdOpt};
@@ -26,7 +29,7 @@ fn main() {
         args.scale, args.runs
     );
     println!(
-        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9}",
+        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9}",
         "Benchmark",
         "opt",
         "no-inline",
@@ -35,7 +38,8 @@ fn main() {
         "tile-only",
         "thresh≈0",
         "no-kopt",
-        "simd-off"
+        "simd-off",
+        "fold-off"
     );
     for b in args.benchmarks() {
         let inputs = b.make_inputs(42);
@@ -65,6 +69,7 @@ fn main() {
             CompileOptions::optimized(b.params()).with_threshold(1e-9),
             CompileOptions::optimized(b.params()).with_kernel_opt(false),
             CompileOptions::optimized(b.params()).with_simd(SimdOpt::Off),
+            CompileOptions::optimized(b.params()).with_storage_fold(false),
         ];
         for opts in variants {
             let compiled = session
@@ -79,7 +84,7 @@ fn main() {
             )));
         }
         println!(
-            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9}",
+            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9}",
             b.name(),
             row[0],
             row[1],
@@ -88,7 +93,8 @@ fn main() {
             row[4],
             row[5],
             row[6],
-            row[7]
+            row[7],
+            row[8]
         );
     }
 }

@@ -30,6 +30,32 @@ fn main() {
             compiled.program.scratch_bytes(),
             compiled.program.group_count()
         );
+        println!(
+            "storage: {} arena bytes/worker after folding, {} peak full bytes",
+            compiled.program.arena_bytes(),
+            compiled.report.peak_full_bytes
+        );
+        for g in &compiled.program.groups {
+            let polymage_vm::GroupKind::Tiled(tg) = &g.kind else {
+                continue;
+            };
+            let map: Vec<String> = tg
+                .stages
+                .iter()
+                .zip(&tg.slots.stage)
+                .map(|(s, r)| match r {
+                    Some(r) => format!("{}→slot{}@{}+{}", s.name, r.slot, r.offset, r.len),
+                    None => format!("{}→direct", s.name),
+                })
+                .collect();
+            println!(
+                "  {}: {} slots, {} arena f32s [{}]",
+                g.name,
+                tg.slots.nslots,
+                tg.slots.arena_len,
+                map.join(", ")
+            );
+        }
         let r = &compiled.report;
         let folded: usize = r.kernels.iter().map(|k| k.folded).sum();
         let simplified: usize = r.kernels.iter().map(|k| k.simplified).sum();

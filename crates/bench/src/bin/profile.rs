@@ -202,6 +202,15 @@ fn summarize(b: &dyn Benchmark, session: &Session, stats: &RunStats, rec: &Recor
         rec.counter(Counter::UniformMiss),
     );
     println!(
+        "  storage: {} scratch bytes/worker folded away; peak full bytes {} \
+         (last run {}); early releases {} (last run {})",
+        rec.counter(Counter::StorageFoldedBytes),
+        rec.counter(Counter::StoragePeakBytes),
+        stats.peak_full_bytes,
+        rec.counter(Counter::StorageEarlyRelease),
+        stats.early_releases,
+    );
+    println!(
         "  simd: {} (lanes avx2 {} / sse2 {} / neon {} / scalar {})",
         compiled.report.simd,
         rec.counter(Counter::SimdLanesAvx2),

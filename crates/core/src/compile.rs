@@ -4,10 +4,10 @@ use crate::grouping::{effective_tiles, group_stages_with, GroupKindTag};
 use crate::report::{CompileReport, GroupReport};
 use crate::schedule::{schedule_group, Ctx};
 use crate::{CompileError, CompileOptions};
-use polymage_diag::{Diag, Value};
+use polymage_diag::{Counter, Diag, Value};
 use polymage_graph::{check_bounds, inline_pointwise, PipelineGraph};
 use polymage_ir::{FuncId, Pipeline};
-use polymage_vm::{BufDecl, BufId, BufKind, Program};
+use polymage_vm::{BufDecl, BufId, BufKind, Program, StoragePlan};
 use std::collections::{HashMap, HashSet};
 
 /// A compiled pipeline: the executable program and the structural report.
@@ -213,6 +213,7 @@ pub fn compile_with(
         })
         .collect();
 
+    let nbufs = ctx.buffers.len();
     let mut program = Program {
         name: pipe2.name().to_string(),
         buffers: ctx.buffers,
@@ -221,7 +222,35 @@ pub fn compile_with(
         outputs,
         mode: opts.mode,
         simd: polymage_vm::resolve_simd(opts.simd),
+        storage: StoragePlan::run_scoped(nbufs),
     };
+
+    // Storage optimization (§3.6): fold scratchpads of non-interfering
+    // stages onto shared arena slots and narrow full-buffer lifetimes to
+    // their last consumer group.
+    let span = diag.begin();
+    let storage = crate::storage::optimize_storage(&mut program, opts.storage_fold);
+    for (gr, gs) in group_reports.iter_mut().zip(&storage.groups) {
+        gr.scratch_folded_bytes = gs.folded_bytes;
+        gr.scratch_slots = gs.slots;
+    }
+    diag.count(Counter::StorageFoldedBytes, storage.folded_bytes as u64);
+    diag.end(
+        span,
+        "phase.storage",
+        if diag.enabled() {
+            vec![
+                ("enabled", Value::UInt(opts.storage_fold as u64)),
+                ("folded_bytes", Value::UInt(storage.folded_bytes as u64)),
+                (
+                    "peak_full_bytes",
+                    Value::UInt(storage.peak_full_bytes as u64),
+                ),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
 
     // Kernel optimization: rewrite each kernel in place (bit-exact) and
     // attach uniformity metadata so the evaluator takes the fast paths.
@@ -251,6 +280,7 @@ pub fn compile_with(
         groups: group_reports,
         kernels,
         simd: program.simd,
+        peak_full_bytes: storage.peak_full_bytes,
     };
     diag.end(
         compile_span,
@@ -311,5 +341,8 @@ fn make_group_report(
         overlap_ratio: g.overlap_ratio,
         scratch_bytes,
         full_bytes,
+        // Filled in by the storage pass once slots are assigned.
+        scratch_folded_bytes: 0,
+        scratch_slots: 0,
     }
 }

@@ -40,6 +40,7 @@ mod options;
 mod report;
 mod schedule;
 mod session;
+mod storage;
 mod validate;
 
 pub use cemit::emit_c;

@@ -37,6 +37,13 @@ pub struct CompileOptions {
     /// "without storage reduction, the tiling transformations are not very
     /// effective".
     pub storage_opt: bool,
+    /// Liveness-driven storage folding (§3.6, second half): reuse one
+    /// arena slot for scratchpads of stages whose live ranges don't
+    /// intersect, and release full buffers right after their last consumer
+    /// group instead of at run end. Bit-exact; purely a memory-footprint /
+    /// locality knob. The `POLYMAGE_STORAGE_FOLD` environment variable
+    /// (`off`/`0`/`false`), when set, flips the default for ablation runs.
+    pub storage_fold: bool,
     /// Target strip count for parallelism when a domain's outer dimension is
     /// not tiled.
     pub par_strips: i64,
@@ -72,6 +79,7 @@ impl CompileOptions {
             tile: true,
             inline_pointwise: true,
             storage_opt: true,
+            storage_fold: default_storage_fold(),
             par_strips: 128,
             skip_bounds_check: false,
             kernel_opt: true,
@@ -119,6 +127,13 @@ impl CompileOptions {
         self
     }
 
+    /// Enables or disables liveness-driven storage folding (on by default
+    /// unless `POLYMAGE_STORAGE_FOLD` says otherwise).
+    pub fn with_storage_fold(mut self, on: bool) -> Self {
+        self.storage_fold = on;
+        self
+    }
+
     /// The hashable normal form of these options, used (together with the
     /// pipeline's content hash) to key compile caches.
     ///
@@ -137,10 +152,21 @@ impl CompileOptions {
             tile: self.tile,
             inline_pointwise: self.inline_pointwise,
             storage_opt: self.storage_opt,
+            storage_fold: self.storage_fold,
             par_strips: self.par_strips,
             kernel_opt: self.kernel_opt,
             simd: polymage_vm::resolve_simd(self.simd),
         }
+    }
+}
+
+/// Default for [`CompileOptions::storage_fold`]: on, unless the
+/// `POLYMAGE_STORAGE_FOLD` environment variable disables it (used by the
+/// CI ablation matrix, mirroring `POLYMAGE_SIMD`).
+fn default_storage_fold() -> bool {
+    match std::env::var("POLYMAGE_STORAGE_FOLD") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
     }
 }
 
@@ -156,6 +182,7 @@ pub struct OptionsKey {
     tile: bool,
     inline_pointwise: bool,
     storage_opt: bool,
+    storage_fold: bool,
     par_strips: i64,
     kernel_opt: bool,
     /// The *resolved* [`polymage_vm::SimdLevel`]: environment override and
@@ -187,6 +214,11 @@ mod tests {
         assert_eq!(a.cache_key(), skipped.cache_key());
         // kernel_opt rewrites kernels, so it must change the key.
         assert_ne!(a.cache_key(), a.clone().with_kernel_opt(false).cache_key());
+        // storage_fold changes slot assignments and buffer lifetimes.
+        assert_ne!(
+            a.cache_key(),
+            a.clone().with_storage_fold(!a.storage_fold).cache_key()
+        );
         // The simd option participates through its *resolved* level
         // (environment override and host clamping applied), so the keys
         // differ exactly when the resolved levels do.

@@ -28,6 +28,13 @@ pub struct GroupReport {
     pub scratch_bytes: usize,
     /// Full-array bytes allocated for this group's outputs.
     pub full_bytes: usize,
+    /// Per-thread scratch arena bytes after liveness folding (equals the
+    /// aligned sum of `scratch_bytes` when folding is off; `0` for
+    /// non-tiled groups).
+    pub scratch_folded_bytes: usize,
+    /// Number of shared arena slots after folding (`0` for non-tiled
+    /// groups).
+    pub scratch_slots: usize,
 }
 
 /// The complete compilation report.
@@ -44,6 +51,9 @@ pub struct CompileReport {
     /// The SIMD level the compiled program dispatches to (environment
     /// override and host clamping already applied).
     pub simd: polymage_vm::SimdLevel,
+    /// Estimated peak bytes of concurrently resident full buffers under
+    /// the program's acquire/release schedule (input images included).
+    pub peak_full_bytes: usize,
 }
 
 impl CompileReport {
@@ -140,17 +150,20 @@ impl fmt::Display for CompileReport {
             writeln!(
                 f,
                 "group {i} [{:?}] sink={} tiles=({}) overlap=({}) \
-                 scratch={}B full={}B: {}",
+                 scratch={}B folded={}B/{} slots full={}B: {}",
                 g.kind,
                 g.sink,
                 tiles.join(","),
                 ov.join(","),
                 g.scratch_bytes,
+                g.scratch_folded_bytes,
+                g.scratch_slots,
                 g.full_bytes,
                 g.stages.join(" ")
             )?;
         }
         writeln!(f, "simd: {}", self.simd)?;
+        writeln!(f, "peak full bytes: {}", self.peak_full_bytes)?;
         if !self.kernels.is_empty() {
             writeln!(
                 f,
@@ -184,9 +197,12 @@ mod tests {
                 overlap_ratio: 0.07,
                 scratch_bytes: 1024,
                 full_bytes: 4096,
+                scratch_folded_bytes: 512,
+                scratch_slots: 1,
             }],
             kernels: vec![],
             simd: polymage_vm::SimdLevel::Scalar,
+            peak_full_bytes: 8192,
         }
     }
 
@@ -206,6 +222,8 @@ mod tests {
         assert!(text.contains("inlined: a"));
         assert!(text.contains("sink=out"));
         assert!(text.contains("simd: scalar"));
+        assert!(text.contains("folded=512B/1 slots"));
+        assert!(text.contains("peak full bytes: 8192"));
         let dot = r.grouping_dot();
         assert!(dot.contains("cluster_0"));
         assert!(dot.contains("\"out\""));

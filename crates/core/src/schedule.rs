@@ -297,11 +297,7 @@ fn schedule_tiled(ctx: &mut Ctx<'_>, group: &Group) -> Result<GroupExec, Compile
 
     Ok(GroupExec {
         name: format!("{}+{}", ctx.pipe.func(sink).name, stages.len() - 1),
-        kind: GroupKind::Tiled(TiledGroup {
-            stages: stage_execs,
-            tiles,
-            nstrips,
-        }),
+        kind: GroupKind::Tiled(TiledGroup::new(stage_execs, tiles, nstrips, &ctx.buffers)),
     })
 }
 

@@ -91,6 +91,65 @@ fn validate_tiled(prog: &Program, tg: &TiledGroup, push: &mut dyn FnMut(String))
         let _ = k;
     }
 
+    // Slot-map invariants: every non-direct stage owns an in-bounds arena
+    // range of exactly its scratch declaration's length, and stages whose
+    // live ranges intersect (stage k is live from its own evaluation to the
+    // last stage reading its scratchpad) occupy disjoint arena ranges.
+    if tg.slots.stage.len() != nstages {
+        push(format!(
+            "slot map covers {} stages, group has {nstages}",
+            tg.slots.stage.len()
+        ));
+    }
+    let mut last_use: Vec<usize> = (0..nstages).collect();
+    for (j, s) in tg.stages.iter().enumerate() {
+        for &b in &s.reads {
+            if let Some(k) = tg.stages.iter().position(|p| !p.direct && p.scratch == b) {
+                last_use[k] = last_use[k].max(j);
+            }
+        }
+    }
+    for (k, st) in tg.stages.iter().enumerate() {
+        let Some(r) = tg.slots.stage.get(k).copied().flatten() else {
+            if !st.direct {
+                push(format!("non-direct stage `{}` has no arena slot", st.name));
+            }
+            continue;
+        };
+        if st.direct {
+            push(format!("direct stage `{}` has an arena slot", st.name));
+            continue;
+        }
+        if r.len != prog.buffers[st.scratch.0].len() {
+            push(format!(
+                "stage `{}` slot length {} != scratch declaration {}",
+                st.name,
+                r.len,
+                prog.buffers[st.scratch.0].len()
+            ));
+        }
+        if r.offset + r.len > tg.slots.arena_len || r.slot >= tg.slots.nslots {
+            push(format!(
+                "stage `{}` slot {:?} out of arena bounds (len {}, {} slots)",
+                st.name, r, tg.slots.arena_len, tg.slots.nslots
+            ));
+        }
+        for (j, other) in tg.stages.iter().enumerate().skip(k + 1) {
+            let Some(o) = tg.slots.stage.get(j).copied().flatten() else {
+                continue;
+            };
+            // Intervals [k, last_use[k]] and [j, last_use[j]] with k < j
+            // intersect iff stage k is still live when j evaluates.
+            if last_use[k] >= j && r.offset < o.offset + o.len && o.offset < r.offset + r.len {
+                push(format!(
+                    "stages `{}` and `{}` are simultaneously live but share \
+                     arena bytes ({:?} vs {:?})",
+                    st.name, other.name, r, o
+                ));
+            }
+        }
+    }
+
     // Per-tile invariants.
     let mut strips_seen: i64 = -1;
     for (ti, t) in tg.tiles.iter().enumerate() {
@@ -283,52 +342,53 @@ mod tests {
             meta: None,
             outs: vec![RegId(0)],
         };
+        let buffers = vec![BufDecl {
+            name: "out".into(),
+            kind: BufKind::Full,
+            sizes: vec![8],
+            origin: vec![0],
+        }];
+        let stages = vec![StageExec {
+            name: "out".into(),
+            scratch: polymage_vm::BufId(0),
+            full: Some(polymage_vm::BufId(0)),
+            direct: true,
+            sat: None,
+            round: false,
+            cases: vec![CaseExec {
+                rect: Rect::new(vec![(0, 7)]),
+                steps: vec![(1, 0)],
+                kernel,
+                mask: None,
+            }],
+            dom: Rect::new(vec![(0, 7)]),
+            reads: vec![],
+        }];
+        let tiles = vec![
+            TileWork {
+                strip: 0,
+                regions: vec![Rect::new(vec![(0, 3)])],
+                stores: vec![Some(Rect::new(vec![(0, 3)]))],
+            },
+            TileWork {
+                strip: 1,
+                regions: vec![Rect::new(vec![(4, 7)])],
+                stores: vec![Some(Rect::new(vec![(4, 7)]))],
+            },
+        ];
+        let tg = TiledGroup::new(stages, tiles, 2, &buffers);
         Program {
             name: "v".into(),
-            buffers: vec![BufDecl {
-                name: "out".into(),
-                kind: BufKind::Full,
-                sizes: vec![8],
-                origin: vec![0],
-            }],
+            buffers,
             image_bufs: vec![],
             groups: vec![GroupExec {
                 name: "g".into(),
-                kind: GroupKind::Tiled(TiledGroup {
-                    stages: vec![StageExec {
-                        name: "out".into(),
-                        scratch: polymage_vm::BufId(0),
-                        full: Some(polymage_vm::BufId(0)),
-                        direct: true,
-                        sat: None,
-                        round: false,
-                        cases: vec![CaseExec {
-                            rect: Rect::new(vec![(0, 7)]),
-                            steps: vec![(1, 0)],
-                            kernel,
-                            mask: None,
-                        }],
-                        dom: Rect::new(vec![(0, 7)]),
-                        reads: vec![],
-                    }],
-                    tiles: vec![
-                        TileWork {
-                            strip: 0,
-                            regions: vec![Rect::new(vec![(0, 3)])],
-                            stores: vec![Some(Rect::new(vec![(0, 3)]))],
-                        },
-                        TileWork {
-                            strip: 1,
-                            regions: vec![Rect::new(vec![(4, 7)])],
-                            stores: vec![Some(Rect::new(vec![(4, 7)]))],
-                        },
-                    ],
-                    nstrips: 2,
-                }),
+                kind: GroupKind::Tiled(tg),
             }],
             outputs: vec![("out".into(), polymage_vm::BufId(0))],
             mode: polymage_vm::EvalMode::Vector,
             simd: polymage_vm::process_simd_level(),
+            storage: polymage_vm::StoragePlan::run_scoped(1),
         }
     }
 

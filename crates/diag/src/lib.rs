@@ -178,6 +178,13 @@ counters! {
     SimdLanesNeon => "eval.simd.lanes.neon",
     /// Register lanes evaluated by the scalar fallback loops.
     SimdLanesScalar => "eval.simd.lanes.scalar",
+    /// Scratch bytes eliminated by slot folding (per-worker, at compile).
+    StorageFoldedBytes => "storage.folded_bytes",
+    /// Full buffers returned to the pool before run completion.
+    StorageEarlyRelease => "storage.early_release",
+    /// Peak bytes of full buffers resident across the engine (monotone;
+    /// flushed as deltas so the summed counter equals the final peak).
+    StoragePeakBytes => "storage.peak_bytes",
 }
 
 /// An in-flight span, created by [`Diag::begin`] and closed by

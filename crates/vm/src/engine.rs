@@ -139,6 +139,9 @@ struct RunState {
     outstanding: usize,
     /// First failure (worker panic or internal error); claims stop.
     failed: Option<VmError>,
+    /// Bytes of this run's full buffers currently resident (the peak goes
+    /// to `stats.peak_full_bytes`).
+    cur_full_bytes: u64,
     /// Reduction output being accumulated (identity-filled).
     red_out: Vec<f32>,
     /// Reduction partials by chunk index.
@@ -161,6 +164,9 @@ struct RunContext {
     /// workers ever execute the run's tiles/chunks, and `RunStats`'
     /// per-worker vectors have exactly this length.
     effective: usize,
+    /// Per buffer: provably overwritten in full before being read, so its
+    /// (lazy or eager) acquisition may skip the zero-fill.
+    overwritten: Vec<bool>,
     diag: Diag,
     state: Mutex<RunState>,
     done_cv: Condvar,
@@ -185,8 +191,21 @@ struct Shared {
     admit_cv: Condvar,
     pool: SharedPool,
     next_run_id: AtomicU64,
-    /// Pool counters already flushed to diag; guards the flush delta.
-    flushed: Mutex<crate::PoolStats>,
+    /// Bytes of full buffers currently held by live runs (engine-global;
+    /// excludes slabs, partials, and scratch arenas).
+    full_bytes: AtomicU64,
+    /// High-water mark of [`Shared::full_bytes`] (monotone).
+    full_peak: AtomicU64,
+    /// Engine-global counters already flushed to diag; guards the flush
+    /// deltas.
+    flushed: Mutex<FlushedCounters>,
+}
+
+/// Snapshot of engine-global counters at the last diag flush.
+#[derive(Default)]
+struct FlushedCounters {
+    pool: crate::PoolStats,
+    peak_full_bytes: u64,
 }
 
 /// Work handed to one worker for one step.
@@ -330,7 +349,9 @@ impl Engine {
             admit_cv: Condvar::new(),
             pool: SharedPool::new(),
             next_run_id: AtomicU64::new(1),
-            flushed: Mutex::new(crate::PoolStats::default()),
+            full_bytes: AtomicU64::new(0),
+            full_peak: AtomicU64::new(0),
+            flushed: Mutex::new(FlushedCounters::default()),
         });
         let mut joins = Vec::with_capacity(nthreads);
         for i in 0..nthreads {
@@ -451,19 +472,36 @@ impl Engine {
                 GroupKind::Sequential(_) => {}
             }
         }
+        // Only buffers the storage plan scopes to the whole run (input
+        // images, live-outs, and everything under the legacy run-scoped
+        // plan) materialize here; the rest acquire lazily when the group
+        // walk first reaches their `acquire_group`.
+        let mut acquired_bytes = 0u64;
         let mut fulls: Vec<Vec<f32>> = prog
             .buffers
             .iter()
             .enumerate()
             .map(|(i, b)| match b.kind {
-                BufKind::Full if overwritten[i] => self.shared.pool.acquire(b.len()),
-                BufKind::Full => self.shared.pool.acquire_zeroed(b.len()),
-                BufKind::Scratch => Vec::new(),
+                BufKind::Full if prog.storage.acquire_group[i].is_none() => {
+                    acquired_bytes += (b.len() * 4) as u64;
+                    if overwritten[i] {
+                        self.shared.pool.acquire(b.len())
+                    } else {
+                        self.shared.pool.acquire_zeroed(b.len())
+                    }
+                }
+                BufKind::Full | BufKind::Scratch => Vec::new(),
             })
             .collect();
         for (&b, input) in prog.image_bufs.iter().zip(inputs) {
             fulls[b.0].copy_from_slice(&input.data);
         }
+        let cur = self
+            .shared
+            .full_bytes
+            .fetch_add(acquired_bytes, Ordering::Relaxed)
+            + acquired_bytes;
+        self.shared.full_peak.fetch_max(cur, Ordering::Relaxed);
 
         let nbufs = prog.buffers.len();
         let run = Arc::new(RunContext {
@@ -471,6 +509,7 @@ impl Engine {
             prog: Arc::clone(prog),
             req_threads,
             effective,
+            overwritten,
             diag: diag.clone(),
             state: Mutex::new(RunState {
                 fulls,
@@ -480,6 +519,7 @@ impl Engine {
                 stats: RunStats {
                     worker_tiles: vec![0; effective],
                     worker_busy: vec![Duration::ZERO; effective],
+                    peak_full_bytes: acquired_bytes,
                     ..RunStats::default()
                 },
                 slots: Vec::new(),
@@ -489,6 +529,7 @@ impl Engine {
                 total_claims: 0,
                 outstanding: 0,
                 failed: None,
+                cur_full_bytes: acquired_bytes,
                 red_out: Vec::new(),
                 red_parts: Vec::new(),
                 group_start: Instant::now(),
@@ -684,7 +725,9 @@ fn notify_workers(shared: &Shared) {
 /// but keeping it per run makes the isolation structural).
 struct WorkerRun {
     group: usize,
-    arena: Vec<Vec<f32>>,
+    /// Packed scratch arena for the run's current tiled group (slot
+    /// offsets come from the group's [`crate::ScratchSlots`]).
+    arena: Vec<f32>,
     regs: RegFile,
 }
 
@@ -742,9 +785,7 @@ fn worker_run_state<'a>(
 ) -> &'a mut WorkerRun {
     if runs.len() >= WORKER_RUN_CAP && !runs.contains_key(&run.run_id) {
         for (_, wr) in runs.drain() {
-            for v in wr.arena {
-                arena_pool.release(v);
-            }
+            arena_pool.release(wr.arena);
         }
     }
     let wr = runs.entry(run.run_id).or_insert_with(|| WorkerRun {
@@ -753,23 +794,11 @@ fn worker_run_state<'a>(
         regs: RegFile::new(),
     });
     if wr.group != group {
-        for v in wr.arena.drain(..) {
-            arena_pool.release(v);
-        }
-        // Per-stage scratch arena, zero-filled exactly like a fresh
+        arena_pool.release(std::mem::take(&mut wr.arena));
+        // Packed scratch arena, zero-filled exactly like a fresh
         // allocation (consumers may read the zeroed border of a producer's
         // region).
-        wr.arena = tg
-            .stages
-            .iter()
-            .map(|s| {
-                if s.direct {
-                    Vec::new()
-                } else {
-                    arena_pool.acquire_zeroed(run.prog.buffers[s.scratch.0].len())
-                }
-            })
-            .collect();
+        wr.arena = arena_pool.acquire_zeroed(tg.slots.arena_len);
         wr.group = group;
     }
     wr
@@ -1033,7 +1062,7 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
             if st.failed.is_none() {
                 recover_reads(&mut st);
             }
-            end_group(run, &mut st);
+            end_group(shared, run, &mut st);
         }
         Some(Finalize::Reduce) => {
             if st.failed.is_none() {
@@ -1060,7 +1089,7 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
                     recover_reads(&mut st);
                 }
             }
-            end_group(run, &mut st);
+            end_group(shared, run, &mut st);
         }
         None => {}
     }
@@ -1085,6 +1114,7 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
             return;
         }
         let gi = st.group;
+        acquire_for_group(shared, run, &mut st, gi);
         match &prog.groups[gi].kind {
             GroupKind::Sequential(seq) => {
                 begin_group(run, &mut st);
@@ -1094,7 +1124,7 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
                 let r = execute_seq(&prog, seq, &mut fulls);
                 st = lock(&run.state);
                 st.fulls = fulls;
-                end_group(run, &mut st);
+                end_group(shared, run, &mut st);
                 if let Err(e) = r {
                     drop(st);
                     complete_run(shared, run, Err(e));
@@ -1130,7 +1160,7 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
                     let r = execute_reduction(&prog, red, &mut fulls, 1);
                     st = lock(&run.state);
                     st.fulls = fulls;
-                    end_group(run, &mut st);
+                    end_group(shared, run, &mut st);
                     if let Err(e) = r {
                         drop(st);
                         complete_run(shared, run, Err(e));
@@ -1195,6 +1225,27 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
     }
 }
 
+/// Materializes the full buffers whose narrowed lifetime starts at group
+/// `gi` (the group walk visits each group index exactly once). Under the
+/// run-scoped plan this is a no-op.
+fn acquire_for_group(shared: &Shared, run: &RunContext, st: &mut RunState, gi: usize) {
+    for (i, b) in run.prog.buffers.iter().enumerate() {
+        if b.kind == BufKind::Full && run.prog.storage.acquire_group[i] == Some(gi) {
+            debug_assert!(st.fulls[i].is_empty());
+            st.fulls[i] = if run.overwritten[i] {
+                shared.pool.acquire(b.len())
+            } else {
+                shared.pool.acquire_zeroed(b.len())
+            };
+            let bytes = (b.len() * 4) as u64;
+            st.cur_full_bytes += bytes;
+            st.stats.peak_full_bytes = st.stats.peak_full_bytes.max(st.cur_full_bytes);
+            let cur = shared.full_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+            shared.full_peak.fetch_max(cur, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Moves every full buffer the current task does not write behind an
 /// `Arc` snapshot workers can read without the run lock; the run keeps a
 /// second handle in `reads_keep` for recovery at finalization.
@@ -1237,9 +1288,9 @@ fn begin_group(run: &RunContext, st: &mut RunState) {
 }
 
 /// Closes the current group: records its wall time, emits its span and
-/// per-worker events (all stamped with the run id), and moves to the next
-/// group.
-fn end_group(run: &RunContext, st: &mut RunState) {
+/// per-worker events (all stamped with the run id), releases full buffers
+/// whose last consumer just ran, and moves to the next group.
+fn end_group(shared: &Shared, run: &RunContext, st: &mut RunState) {
     let prog = &run.prog;
     let group = &prog.groups[st.group];
     st.stats
@@ -1283,6 +1334,24 @@ fn end_group(run: &RunContext, st: &mut RunState) {
             );
         }
     }
+    // Liveness-driven early release: buffers whose last consumer was this
+    // group go back to the pool now instead of at run completion. On a
+    // failed run the snapshot entries are empty and skipped (the Arcs in
+    // `reads_keep` are dropped unpooled at completion, as before).
+    let gi = st.group;
+    for (i, b) in prog.buffers.iter().enumerate() {
+        if b.kind == BufKind::Full && prog.storage.release_group[i] == Some(gi) {
+            let v = std::mem::take(&mut st.fulls[i]);
+            if v.is_empty() {
+                continue;
+            }
+            let bytes = (b.len() * 4) as u64;
+            st.cur_full_bytes = st.cur_full_bytes.saturating_sub(bytes);
+            shared.full_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            st.stats.early_releases += 1;
+            shared.pool.release(v);
+        }
+    }
     st.group += 1;
 }
 
@@ -1294,6 +1363,10 @@ fn complete_run(shared: &Arc<Shared>, run: &Arc<RunContext>, result: Result<Vec<
     for v in st.fulls.drain(..) {
         shared.pool.release(v);
     }
+    shared
+        .full_bytes
+        .fetch_sub(st.cur_full_bytes, Ordering::Relaxed);
+    st.cur_full_bytes = 0;
     st.reads_keep.clear();
     st.red_out = Vec::new();
     st.red_parts.clear();
@@ -1305,11 +1378,23 @@ fn complete_run(shared: &Arc<Shared>, run: &Arc<RunContext>, result: Result<Vec<
         let now = shared.pool.stats();
         let mut fl = lock(&shared.flushed);
         run.diag
-            .count(Counter::PoolAcquire, now.acquires - fl.acquires);
-        run.diag.count(Counter::PoolReuse, now.reuses - fl.reuses);
-        run.diag.count(Counter::PoolDrop, now.dropped - fl.dropped);
-        *fl = now;
+            .count(Counter::PoolAcquire, now.acquires - fl.pool.acquires);
+        run.diag
+            .count(Counter::PoolReuse, now.reuses - fl.pool.reuses);
+        run.diag
+            .count(Counter::PoolDrop, now.dropped - fl.pool.dropped);
+        fl.pool = now;
+        // The engine-global full-buffer peak is monotone; flushing the
+        // delta keeps the summed counter equal to the final peak.
+        let peak_now = shared.full_peak.load(Ordering::Relaxed);
+        run.diag.count(
+            Counter::StoragePeakBytes,
+            peak_now.saturating_sub(fl.peak_full_bytes),
+        );
+        fl.peak_full_bytes = fl.peak_full_bytes.max(peak_now);
         drop(fl);
+        run.diag
+            .count(Counter::StorageEarlyRelease, st.stats.early_releases);
         run.diag.count(Counter::TileClaim, st.stats.tiles);
         run.diag.count(Counter::UniformHit, st.stats.uniform_hits);
         run.diag

@@ -55,6 +55,13 @@ pub struct RunStats {
     pub simd_lanes_neon: u64,
     /// Lanes evaluated on the portable scalar path.
     pub simd_lanes_scalar: u64,
+    /// Full buffers returned to the pool before run completion (engine
+    /// runs under a narrowed [`crate::StoragePlan`]; 0 on the static path
+    /// and for run-scoped plans).
+    pub early_releases: u64,
+    /// Peak bytes of this run's full buffers resident at once (engine
+    /// runs; 0 on the static path).
+    pub peak_full_bytes: u64,
 }
 
 impl RunStats {
@@ -634,6 +641,13 @@ fn execute_tiled(
     Ok(())
 }
 
+/// Process-wide pool for the static path's per-thread scratch arenas, so
+/// repeated one-shot runs stop re-allocating what the engine already pools.
+pub(crate) fn static_arena_pool() -> &'static crate::SharedPool {
+    static POOL: std::sync::OnceLock<crate::SharedPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(crate::SharedPool::new)
+}
+
 /// Processes a set of strips (with their slabs) on one worker thread.
 fn worker_strips(
     prog: &Program,
@@ -643,18 +657,10 @@ fn worker_strips(
     mut task: Vec<(usize, Vec<Slab<'_>>)>,
     stats: Option<&StatCells>,
 ) {
-    // Per-thread scratch arena, one entry per stage (empty for direct).
-    let mut arena: Vec<Vec<f32>> = tg
-        .stages
-        .iter()
-        .map(|s| {
-            if s.direct {
-                Vec::new()
-            } else {
-                vec![0.0f32; prog.buffers[s.scratch.0].len()]
-            }
-        })
-        .collect();
+    // Per-thread packed scratch arena (one slot range per non-direct
+    // stage), pooled across runs. `acquire_zeroed` matches a fresh
+    // zero-filled allocation bit-for-bit.
+    let mut arena = static_arena_pool().acquire_zeroed(tg.slots.arena_len);
     let mut regs = RegFile::new();
     regs.set_simd(prog.simd);
 
@@ -668,6 +674,7 @@ fn worker_strips(
             );
         }
     }
+    static_arena_pool().release(arena);
     if let Some(cells) = stats {
         cells.tiles.fetch_add(local.tiles, Relaxed);
         cells.chunks.fetch_add(local.chunks, Relaxed);
@@ -692,20 +699,19 @@ pub(crate) fn run_tile(
     tile: &crate::TileWork,
     read_refs: &[Option<&[f32]>],
     slabs: &mut [Slab<'_>],
-    arena: &mut [Vec<f32>],
+    arena: &mut [f32],
     regs: &mut RegFile,
     local: &mut LocalStats,
 ) {
+    debug_assert_eq!(arena.len(), tg.slots.arena_len);
     for (k, stage) in tg.stages.iter().enumerate() {
         let region = &tile.regions[k];
         if region.is_empty() {
             continue;
         }
-        // Split the arena: producers (already computed) before `k`.
-        let (done, rest) = arena.split_at_mut(k);
-        let views = build_views(prog, tg, tile, read_refs, done, stage, k);
 
         if stage.direct {
+            let views = build_views(prog, tg, tile, read_refs, arena, &[], arena.len(), stage);
             let b = stage.full.expect("direct stage stores to a full buffer");
             let decl = &prog.buffers[b.0];
             let store = tile.stores[k].clone().unwrap_or_else(|| region.clone());
@@ -733,9 +739,26 @@ pub(crate) fn run_tile(
             );
         } else {
             let decl = &prog.buffers[stage.scratch.0];
-            let target = &mut rest[0];
-            // Zero the region (undefined values read as 0).
-            zero_region(target, decl, region);
+            // Carve the stage's own slot range out of the packed arena;
+            // producer slots resolve from the remaining `lo`/`hi` halves
+            // (slot sharing guarantees live producers never overlap it).
+            let own = tg.slots.stage[k].expect("non-direct stage has a slot");
+            let (lo, rest) = arena.split_at_mut(own.offset);
+            let (target, hi) = rest.split_at_mut(own.len);
+            let views = build_views(
+                prog,
+                tg,
+                tile,
+                read_refs,
+                lo,
+                hi,
+                own.offset + own.len,
+                stage,
+            );
+            // Reset the whole slot: undefined values must read as 0, and a
+            // previous occupant (or this stage's previous tile) may have
+            // left residue anywhere in it.
+            target.fill(0.0);
             let origin: Vec<i64> = region.ranges().iter().map(|&(lo, _)| lo).collect();
             eval_cases_into(
                 &stage.cases,
@@ -760,7 +783,7 @@ pub(crate) fn run_tile(
                             .position(|s| s.stage == k)
                             .expect("slab for stored stage");
                         copy_region(
-                            &rest[0],
+                            target,
                             decl,
                             region,
                             slabs[si].data,
@@ -776,14 +799,22 @@ pub(crate) fn run_tile(
 }
 
 /// Builds the buffer views a stage's kernels need.
+///
+/// The packed arena arrives as the two halves around the current stage's
+/// own slot (`lo` = `[0, hi_start − own.len)` … actually `[0, lo.len())`,
+/// `hi` = `[hi_start, arena_len)`); a producer's slot always falls entirely
+/// inside one half because live ranges that intersect are assigned
+/// disjoint slot bytes.
+#[allow(clippy::too_many_arguments)]
 fn build_views<'a>(
     prog: &Program,
     tg: &TiledGroup,
     tile: &crate::TileWork,
     read_refs: &[Option<&'a [f32]>],
-    done: &'a [Vec<f32>],
+    lo: &'a [f32],
+    hi: &'a [f32],
+    hi_start: usize,
     stage: &StageExec,
-    _k: usize,
 ) -> Vec<Option<BufView<'a>>> {
     let mut views: Vec<Option<BufView<'a>>> = vec![None; prog.buffers.len()];
     for &b in &stage.reads {
@@ -807,11 +838,22 @@ fn build_views<'a>(
                 let j = tg
                     .stages
                     .iter()
-                    .position(|s| s.scratch == b)
+                    .position(|s| !s.direct && s.scratch == b)
                     .expect("scratch owner in group");
+                let r = tg.slots.stage[j].expect("producer has a slot");
+                let data: &'a [f32] = if r.offset + r.len <= lo.len() {
+                    &lo[r.offset..r.offset + r.len]
+                } else if r.offset >= hi_start {
+                    &hi[r.offset - hi_start..r.offset - hi_start + r.len]
+                } else {
+                    panic!(
+                        "stage `{}` reads scratch `{}` whose slot aliases its own (liveness violation)",
+                        stage.name, decl.name
+                    )
+                };
                 let region = &tile.regions[j];
                 views[b.0] = Some(BufView {
-                    data: &done[j][..],
+                    data,
                     origin: region.ranges().iter().map(|&(lo, _)| lo).collect(),
                     strides: decl.strides(),
                     sizes: decl.sizes.clone(),
@@ -820,22 +862,6 @@ fn build_views<'a>(
         }
     }
     views
-}
-
-/// Zeroes the rows of `region` inside a scratch allocation.
-fn zero_region(target: &mut [f32], decl: &BufDecl, region: &Rect) {
-    let strides = decl.strides();
-    let n = region.ndim();
-    let origin: Vec<i64> = region.ranges().iter().map(|&(lo, _)| lo).collect();
-    let row_len = region.extent(n - 1) as usize;
-    for_each_row(region, region.ndim() - 1, &mut |coords| {
-        let mut base = 0i64;
-        for d in 0..n - 1 {
-            base += (coords[d] - origin[d]) * strides[d];
-        }
-        let base = base as usize;
-        target[base..base + row_len].fill(0.0);
-    });
 }
 
 /// Copies `store` rows from a scratch region to a full-buffer slab.

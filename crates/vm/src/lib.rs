@@ -55,8 +55,8 @@ pub use loadclass::{LoadClass, LoadHistogram};
 pub use opt::{optimize_kernel, optimize_program, KernelOptReport};
 pub use pool::{BufferPool, PoolStats, SharedPool};
 pub use program::{
-    CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, TileWork,
-    TiledGroup,
+    CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, ScratchSlots, SeqExec,
+    SlotRange, StageExec, StoragePlan, TileWork, TiledGroup,
 };
 pub use simd::{
     available_levels as available_simd_levels, clamp_to_detected as clamp_simd_level,

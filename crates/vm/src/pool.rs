@@ -55,7 +55,14 @@ impl BufferPool {
         }
         best.map(|(i, cap)| {
             self.stats.reuses += 1;
-            self.stats.retained_bytes -= cap * std::mem::size_of::<f32>();
+            // Saturating: `retained_bytes` is an exact mirror of the
+            // freelist (see `audit_retained_bytes`), so this never actually
+            // saturates — but a u-underflow here would poison every later
+            // stat, so fail soft.
+            self.stats.retained_bytes = self
+                .stats
+                .retained_bytes
+                .saturating_sub(cap * std::mem::size_of::<f32>());
             self.free.swap_remove(i)
         })
     }
@@ -134,6 +141,17 @@ impl BufferPool {
     /// Number of currently retained free buffers.
     pub fn retained(&self) -> usize {
         self.free.len()
+    }
+
+    /// Recounts freelist occupancy from the buffers themselves
+    /// (Σ capacity × 4). Always equals `stats().retained_bytes`; regression
+    /// tests assert the incremental accounting never drifts across
+    /// acquire → early-release → re-acquire cycles.
+    pub fn audit_retained_bytes(&self) -> usize {
+        self.free
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<f32>())
+            .sum()
     }
 }
 
@@ -241,6 +259,15 @@ impl SharedPool {
     /// Total retained free buffers across all shards.
     pub fn retained(&self) -> usize {
         self.shards.iter().map(|s| lock_shard(s).retained()).sum()
+    }
+
+    /// Recounted freelist occupancy across all shards (see
+    /// [`BufferPool::audit_retained_bytes`]).
+    pub fn audit_retained_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).audit_retained_bytes())
+            .sum()
     }
 }
 
@@ -419,6 +446,71 @@ mod tests {
         assert_eq!(v2.len(), 140);
         assert!(v2[..100].iter().all(|&x| x == 3.0));
         assert!(v2[100..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn early_release_reacquire_does_not_double_count() {
+        // The engine's liveness plan releases a full buffer mid-run and may
+        // re-acquire the same allocation for a later run (or a later lazily
+        // acquired buffer). `retained_bytes` must track the freelist
+        // exactly through the cycle — neither double-counting the release
+        // nor leaking bytes on the reuse.
+        let p = SharedPool::new();
+        let v = p.acquire(5000);
+        let cap = v.capacity();
+        assert_eq!(p.stats().retained_bytes, 0);
+
+        // Early release: bytes appear once.
+        p.release(v);
+        assert_eq!(p.stats().retained_bytes, cap * 4);
+        assert_eq!(p.audit_retained_bytes(), cap * 4);
+
+        // Re-acquire (same class): bytes leave in full.
+        let v2 = p.acquire(4500);
+        assert!(v2.capacity() >= 5000, "must reuse the early release");
+        assert_eq!(p.stats().retained_bytes, 0);
+        assert_eq!(p.audit_retained_bytes(), 0);
+
+        // Release again: still counted once, not accumulated.
+        let cap2 = v2.capacity();
+        p.release(v2);
+        let s = p.stats();
+        assert_eq!(s.retained_bytes, cap2 * 4);
+        assert_eq!(s.retained_bytes, p.audit_retained_bytes());
+        assert_eq!((s.acquires, s.reuses), (2, 1));
+    }
+
+    #[test]
+    fn neighbor_shard_reuse_keeps_retained_bytes_exact() {
+        // A release routes by capacity to one shard; a reuse may pull it
+        // from the acquiring length's neighbor class. The decrement must
+        // land on the shard that held the bytes.
+        let p = SharedPool::new();
+        let v = vec![0.0f32; 3000];
+        let cap = v.capacity();
+        assert_eq!(shard_of(3000), shard_of(1500) + 1);
+        p.release(v);
+        assert_eq!(p.stats().retained_bytes, cap * 4);
+        assert_eq!(p.audit_retained_bytes(), cap * 4);
+        let v2 = p.acquire(1500);
+        assert!(v2.capacity() >= 3000);
+        assert_eq!(p.stats().retained_bytes, 0);
+        assert_eq!(p.audit_retained_bytes(), 0);
+    }
+
+    #[test]
+    fn buffer_pool_accounting_matches_audit_across_cycles() {
+        let mut p = BufferPool::new();
+        let mut held = Vec::new();
+        for round in 0..3 {
+            for i in 0..10 {
+                held.push(p.acquire_zeroed(64 + 37 * i + round));
+            }
+            for v in held.drain(..) {
+                p.release(v);
+            }
+            assert_eq!(p.stats().retained_bytes, p.audit_retained_bytes());
+        }
     }
 
     #[test]

@@ -86,6 +86,82 @@ pub struct TileWork {
     pub stores: Vec<Option<Rect>>,
 }
 
+/// Placement of one stage's scratchpad inside its group's packed per-worker
+/// arena (§3.6 storage optimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRange {
+    /// Slot index. Stages assigned the same slot share its memory; the
+    /// storage pass guarantees their live ranges never intersect.
+    pub slot: usize,
+    /// Offset of the slot in the packed arena, in `f32` elements.
+    pub offset: usize,
+    /// Length of this stage's scratch view (its declaration's element
+    /// count — a slot is sized to the largest of its occupants, but each
+    /// occupant keeps its own geometry and strides).
+    pub len: usize,
+}
+
+/// The scratch-slot assignment of a tiled group: where each stage's
+/// per-tile scratchpad lives inside one packed per-worker arena.
+///
+/// Executors allocate a single `arena_len`-element buffer per worker per
+/// group instead of one vector per stage. The identity assignment
+/// ([`ScratchSlots::unfolded`]) gives every non-direct stage a private
+/// slot; the liveness pass in `polymage-core` folds stages with disjoint
+/// live ranges onto shared slots, shrinking the per-tile working set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScratchSlots {
+    /// Per stage (group order): its arena placement; `None` for direct
+    /// stages (they stream straight into their full buffer).
+    pub stage: Vec<Option<SlotRange>>,
+    /// Number of distinct slots.
+    pub nslots: usize,
+    /// Total packed arena length per worker, in `f32` elements.
+    pub arena_len: usize,
+}
+
+impl ScratchSlots {
+    /// Slot alignment in `f32` elements (64 bytes, one cache line).
+    pub const ALIGN: usize = 16;
+
+    /// Rounds a slot size up to the alignment quantum.
+    pub fn align(len: usize) -> usize {
+        len.div_ceil(Self::ALIGN) * Self::ALIGN
+    }
+
+    /// The identity (unfolded) assignment: one private, aligned slot per
+    /// non-direct stage, in stage order.
+    pub fn unfolded(stages: &[StageExec], buffers: &[BufDecl]) -> ScratchSlots {
+        let mut stage_ranges = Vec::with_capacity(stages.len());
+        let mut offset = 0usize;
+        let mut nslots = 0usize;
+        for s in stages {
+            if s.direct {
+                stage_ranges.push(None);
+            } else {
+                let len = buffers[s.scratch.0].len();
+                stage_ranges.push(Some(SlotRange {
+                    slot: nslots,
+                    offset,
+                    len,
+                }));
+                offset += Self::align(len);
+                nslots += 1;
+            }
+        }
+        ScratchSlots {
+            stage: stage_ranges,
+            nslots,
+            arena_len: offset,
+        }
+    }
+
+    /// Packed arena bytes per worker.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena_len * 4
+    }
+}
+
 /// A group of fused stages executed with overlapped tiling (§3.4–3.7).
 #[derive(Debug, Clone)]
 pub struct TiledGroup {
@@ -95,6 +171,58 @@ pub struct TiledGroup {
     pub tiles: Vec<TileWork>,
     /// Number of strips (parallel work units).
     pub nstrips: usize,
+    /// Scratch-slot assignment (identity until the storage pass folds it).
+    pub slots: ScratchSlots,
+}
+
+impl TiledGroup {
+    /// A tiled group with the identity (one slot per stage) scratch
+    /// assignment derived from the program's buffer declarations.
+    pub fn new(
+        stages: Vec<StageExec>,
+        tiles: Vec<TileWork>,
+        nstrips: usize,
+        buffers: &[BufDecl],
+    ) -> TiledGroup {
+        let slots = ScratchSlots::unfolded(&stages, buffers);
+        TiledGroup {
+            stages,
+            tiles,
+            nstrips,
+            slots,
+        }
+    }
+}
+
+/// Inter-group lifetimes of full buffers: when the engine must materialize
+/// each one and when it may return it to the pool.
+///
+/// Indices refer to [`Program::groups`] execution order. The default
+/// ([`StoragePlan::run_scoped`]) pins every buffer for the whole run —
+/// exactly the legacy behavior; the storage pass narrows lifetimes to
+/// first/last accessing group so deep pipelines release dead full arrays
+/// early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoragePlan {
+    /// Per buffer: the group before which the buffer must be materialized;
+    /// `None` = at submission (always the case for input images, whose
+    /// data is copied in before any group runs).
+    pub acquire_group: Vec<Option<usize>>,
+    /// Per buffer: the group after which the buffer is dead and may be
+    /// released; `None` = at run completion (always the case for
+    /// live-outs, which are cloned into the result).
+    pub release_group: Vec<Option<usize>>,
+}
+
+impl StoragePlan {
+    /// The run-scoped (legacy) plan: every buffer lives from submission to
+    /// completion.
+    pub fn run_scoped(nbufs: usize) -> StoragePlan {
+        StoragePlan {
+            acquire_group: vec![None; nbufs],
+            release_group: vec![None; nbufs],
+        }
+    }
 }
 
 /// A compiled reduction (`Accumulator`) stage.
@@ -182,6 +310,9 @@ pub struct Program {
     /// `CompileOptions::simd` / `POLYMAGE_SIMD`); executors hand it to
     /// every register file they create.
     pub simd: crate::SimdLevel,
+    /// Inter-group full-buffer lifetimes (run-scoped unless the storage
+    /// pass narrowed them).
+    pub storage: StoragePlan,
 }
 
 impl Program {
@@ -200,6 +331,19 @@ impl Program {
             .iter()
             .filter(|b| b.kind == crate::BufKind::Scratch)
             .map(|b| b.len() * 4)
+            .sum()
+    }
+
+    /// Total packed scratch-arena bytes per worker, summed over tiled
+    /// groups (≤ [`Program::scratch_bytes`] modulo alignment once slots
+    /// are folded).
+    pub fn arena_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| match &g.kind {
+                GroupKind::Tiled(tg) => tg.slots.arena_bytes(),
+                _ => 0,
+            })
             .sum()
     }
 
@@ -237,9 +381,67 @@ mod tests {
             outputs: vec![],
             mode: EvalMode::Vector,
             simd: crate::process_simd_level(),
+            storage: StoragePlan::run_scoped(2),
         };
         assert_eq!(p.full_bytes(), 40);
         assert_eq!(p.scratch_bytes(), 64);
+        assert_eq!(p.arena_bytes(), 0);
         assert_eq!(p.group_count(), 0);
+    }
+
+    #[test]
+    fn unfolded_slots_are_private_and_aligned() {
+        let buffers = vec![
+            BufDecl {
+                name: "a.scratch".into(),
+                kind: BufKind::Scratch,
+                sizes: vec![18],
+                origin: vec![0],
+            },
+            BufDecl {
+                name: "b.scratch".into(),
+                kind: BufKind::Scratch,
+                sizes: vec![5],
+                origin: vec![0],
+            },
+        ];
+        let stage = |name: &str, scratch: usize, direct: bool| StageExec {
+            name: name.into(),
+            scratch: BufId(scratch),
+            full: None,
+            direct,
+            sat: None,
+            round: false,
+            cases: vec![],
+            dom: Rect::new(vec![(0, 0)]),
+            reads: vec![],
+        };
+        let stages = vec![
+            stage("a", 0, false),
+            stage("b", 1, false),
+            stage("c", 0, true),
+        ];
+        let slots = ScratchSlots::unfolded(&stages, &buffers);
+        assert_eq!(slots.nslots, 2);
+        assert_eq!(
+            slots.stage[0],
+            Some(SlotRange {
+                slot: 0,
+                offset: 0,
+                len: 18
+            })
+        );
+        // 18 rounds up to 32 elements; the second slot starts there.
+        assert_eq!(
+            slots.stage[1],
+            Some(SlotRange {
+                slot: 1,
+                offset: 32,
+                len: 5
+            })
+        );
+        assert_eq!(slots.stage[2], None);
+        assert_eq!(slots.arena_len, 48);
+        assert_eq!(slots.arena_bytes(), 192);
     }
 }

@@ -86,21 +86,19 @@ fn program(poisoned: bool) -> Program {
             stores: vec![Some(Rect::new(vec![(lo, hi)]))],
         });
     }
+    let tg = TiledGroup::new(vec![stage], tiles, 4, &buffers);
     Program {
         name: if poisoned { "poisoned" } else { "good" }.into(),
         buffers,
         image_bufs: vec![img],
         groups: vec![GroupExec {
             name: "g0".into(),
-            kind: GroupKind::Tiled(TiledGroup {
-                stages: vec![stage],
-                tiles,
-                nstrips: 4,
-            }),
+            kind: GroupKind::Tiled(tg),
         }],
         outputs: vec![("out".into(), out_f)],
         mode: EvalMode::Vector,
         simd: polymage_vm::process_simd_level(),
+        storage: StoragePlan::run_scoped(2),
     }
 }
 

@@ -165,21 +165,19 @@ fn two_stage_program(mode: EvalMode) -> Program {
         });
     }
 
+    let tg = TiledGroup::new(vec![blur_stage, out_stage], tiles, 4, &buffers);
     Program {
         name: "two-stage".into(),
         buffers,
         image_bufs: vec![img],
         groups: vec![GroupExec {
             name: "g0".into(),
-            kind: GroupKind::Tiled(TiledGroup {
-                stages: vec![blur_stage, out_stage],
-                tiles,
-                nstrips: 4,
-            }),
+            kind: GroupKind::Tiled(tg),
         }],
         outputs: vec![("out".into(), out_f)],
         mode,
         simd: polymage_vm::process_simd_level(),
+        storage: StoragePlan::run_scoped(3),
     }
 }
 
@@ -298,6 +296,7 @@ fn histogram_reduction_parallel_matches_serial() {
         outputs: vec![("hist".into(), hist)],
         mode: EvalMode::Vector,
         simd: polymage_vm::process_simd_level(),
+        storage: StoragePlan::run_scoped(2),
     };
     let input = Buffer::zeros(Rect::new(vec![(0, 31), (0, 31)]))
         .fill_with(|p| ((p[0] * 31 + p[1] * 17) % 10) as f32);
@@ -407,6 +406,7 @@ fn sequential_scan_prefix_sum() {
         outputs: vec![("f".into(), out)],
         mode: EvalMode::Vector,
         simd: polymage_vm::process_simd_level(),
+        storage: StoragePlan::run_scoped(2),
     };
     let input = Buffer::zeros(Rect::new(vec![(0, 99)])).fill_with(|p| (p[0] % 7) as f32);
     let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
@@ -422,79 +422,83 @@ fn saturating_stores() {
     // out(x) = in(x) * 3 stored as UChar-saturated.
     let img = BufId(0);
     let out = BufId(1);
+    let buffers = vec![
+        BufDecl {
+            name: "in".into(),
+            kind: BufKind::Full,
+            sizes: vec![16],
+            origin: vec![0],
+        },
+        BufDecl {
+            name: "out".into(),
+            kind: BufKind::Full,
+            sizes: vec![16],
+            origin: vec![0],
+        },
+    ];
+    let tg = TiledGroup::new(
+        vec![StageExec {
+            name: "out".into(),
+            scratch: BufId(1),
+            full: Some(out),
+            direct: true,
+            sat: Some((0.0, 255.0)),
+            round: true,
+            cases: vec![CaseExec {
+                steps: vec![(1, 0)],
+                rect: Rect::new(vec![(0, 15)]),
+                kernel: Kernel {
+                    ops: vec![
+                        Op::Load {
+                            dst: RegId(0),
+                            buf: img,
+                            plan: vec![IdxPlan::Affine {
+                                dim: Some(0),
+                                q: 1,
+                                o: 0,
+                                m: 1,
+                            }],
+                        },
+                        Op::ConstF {
+                            dst: RegId(1),
+                            val: 3.0,
+                        },
+                        Op::BinF {
+                            op: BinF::Mul,
+                            dst: RegId(2),
+                            a: RegId(0),
+                            b: RegId(1),
+                        },
+                    ],
+                    nregs: 3,
+                    meta: None,
+                    outs: vec![RegId(2)],
+                },
+                mask: None,
+            }],
+            dom: Rect::new(vec![(0, 15)]),
+            reads: vec![img],
+        }],
+        vec![TileWork {
+            strip: 0,
+            regions: vec![Rect::new(vec![(0, 15)])],
+            stores: vec![Some(Rect::new(vec![(0, 15)]))],
+        }],
+        1,
+        &buffers,
+    );
     let prog = Program {
         name: "sat".into(),
-        buffers: vec![
-            BufDecl {
-                name: "in".into(),
-                kind: BufKind::Full,
-                sizes: vec![16],
-                origin: vec![0],
-            },
-            BufDecl {
-                name: "out".into(),
-                kind: BufKind::Full,
-                sizes: vec![16],
-                origin: vec![0],
-            },
-        ],
+        buffers,
         image_bufs: vec![img],
         groups: vec![GroupExec {
             name: "g".into(),
-            kind: GroupKind::Tiled(TiledGroup {
-                stages: vec![StageExec {
-                    name: "out".into(),
-                    scratch: BufId(1),
-                    full: Some(out),
-                    direct: true,
-                    sat: Some((0.0, 255.0)),
-                    round: true,
-                    cases: vec![CaseExec {
-                        steps: vec![(1, 0)],
-                        rect: Rect::new(vec![(0, 15)]),
-                        kernel: Kernel {
-                            ops: vec![
-                                Op::Load {
-                                    dst: RegId(0),
-                                    buf: img,
-                                    plan: vec![IdxPlan::Affine {
-                                        dim: Some(0),
-                                        q: 1,
-                                        o: 0,
-                                        m: 1,
-                                    }],
-                                },
-                                Op::ConstF {
-                                    dst: RegId(1),
-                                    val: 3.0,
-                                },
-                                Op::BinF {
-                                    op: BinF::Mul,
-                                    dst: RegId(2),
-                                    a: RegId(0),
-                                    b: RegId(1),
-                                },
-                            ],
-                            nregs: 3,
-                            meta: None,
-                            outs: vec![RegId(2)],
-                        },
-                        mask: None,
-                    }],
-                    dom: Rect::new(vec![(0, 15)]),
-                    reads: vec![img],
-                }],
-                tiles: vec![TileWork {
-                    strip: 0,
-                    regions: vec![Rect::new(vec![(0, 15)])],
-                    stores: vec![Some(Rect::new(vec![(0, 15)]))],
-                }],
-                nstrips: 1,
-            }),
+            kind: GroupKind::Tiled(tg),
         }],
         outputs: vec![("out".into(), out)],
         mode: EvalMode::Vector,
         simd: polymage_vm::process_simd_level(),
+        storage: StoragePlan::run_scoped(2),
     };
     let input = Buffer::zeros(Rect::new(vec![(0, 15)])).fill_with(|p| (p[0] * 20) as f32);
     let outs = run_program(&prog, std::slice::from_ref(&input), 1).unwrap();
@@ -572,6 +576,7 @@ fn min_max_reductions_and_untouched_cells() {
             outputs: vec![("mm".into(), out)],
             mode: EvalMode::Vector,
             simd: polymage_vm::process_simd_level(),
+            storage: StoragePlan::run_scoped(2),
         };
         // values −9..10 alternating over even/odd positions
         let input = Buffer::zeros(Rect::new(vec![(0, 19)]))
