@@ -230,11 +230,7 @@ pub fn build() -> Pipeline {
 impl BilateralGrid {
     /// Instantiates at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (2560, 1536),
-            Scale::Small => (640, 384),
-            Scale::Tiny => (64, 48),
-        };
+        let (rows, cols) = crate::sizes::BILATERAL.at(scale);
         BilateralGrid::with_size(rows, cols)
     }
 

@@ -221,11 +221,7 @@ pub fn build() -> Pipeline {
 impl CameraPipe {
     /// Instantiates at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (2528, 1920),
-            Scale::Small => (632, 480),
-            Scale::Tiny => (64, 48),
-        };
+        let (rows, cols) = crate::sizes::CAMERA.at(scale);
         CameraPipe::with_size(rows, cols)
     }
 

@@ -129,11 +129,7 @@ pub fn build() -> Pipeline {
 impl HarrisCorner {
     /// Instantiates at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (6400, 6400),
-            Scale::Small => (1600, 1600),
-            Scale::Tiny => (60, 68),
-        };
+        let (rows, cols) = crate::sizes::HARRIS.at(scale);
         HarrisCorner::with_size(rows, cols)
     }
 

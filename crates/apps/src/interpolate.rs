@@ -116,11 +116,7 @@ pub struct MultiscaleInterp {
 impl MultiscaleInterp {
     /// Instantiates at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (2560, 1536),
-            Scale::Small => (640, 384),
-            Scale::Tiny => (352, 320),
-        };
+        let (rows, cols) = crate::sizes::INTERPOLATE.at(scale);
         MultiscaleInterp::with_size(rows, cols)
     }
 

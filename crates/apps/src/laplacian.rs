@@ -152,11 +152,7 @@ pub struct LocalLaplacian {
 impl LocalLaplacian {
     /// Instantiates at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (2560, 1536),
-            Scale::Small => (640, 384),
-            Scale::Tiny => (176, 160),
-        };
+        let (rows, cols) = crate::sizes::LAPLACIAN.at(scale);
         LocalLaplacian::with_size(rows, cols)
     }
 

@@ -34,6 +34,7 @@ pub mod interpolate;
 pub mod laplacian;
 pub mod pyr_util;
 pub mod pyramid;
+pub mod sizes;
 pub mod unsharp;
 
 use polymage_ir::Pipeline;

@@ -128,11 +128,7 @@ pub struct PyramidBlend {
 impl PyramidBlend {
     /// Instantiates at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (2048, 2048),
-            Scale::Small => (512, 512),
-            Scale::Tiny => (256, 256),
-        };
+        let (rows, cols) = crate::sizes::PYRAMID.at(scale);
         PyramidBlend::with_size(rows, cols)
     }
 

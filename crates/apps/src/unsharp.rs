@@ -117,11 +117,7 @@ pub fn build() -> Pipeline {
 impl Unsharp {
     /// Instantiates the benchmark at a given scale.
     pub fn new(scale: Scale) -> Self {
-        let (rows, cols) = match scale {
-            Scale::Paper => (2048, 2048),
-            Scale::Small => (512, 512),
-            Scale::Tiny => (48, 56),
-        };
+        let (rows, cols) = crate::sizes::UNSHARP.at(scale);
         Unsharp::with_size(rows, cols)
     }
 

@@ -1,0 +1,130 @@
+//! Parametric-compilation equivalence: a [`ParametricPlan`] built once
+//! (with pinned parameter estimates) and instantiated at several sizes
+//! must produce **bit-identical** outputs to a direct `compile` at each
+//! size, for every benchmark, both schedule configurations, and thread
+//! counts {1, 2, 4}. Two of the three sizes differ from the estimates, so
+//! the symbolic geometry — not the estimate-time numbers — carries the
+//! binding. At the largest (off-estimate) size the output is also checked
+//! against the unfused reference implementation, pinning correctness and
+//! not merely agreement between two compiler paths.
+
+use polymage_apps::sizes::ALL;
+use polymage_apps::{
+    bilateral::BilateralGrid, camera::CameraPipe, harris::HarrisCorner,
+    interpolate::MultiscaleInterp, laplacian::LocalLaplacian, pyramid::PyramidBlend,
+    unsharp::Unsharp, Benchmark,
+};
+use polymage_core::{compile, instantiate, plan, CompileOptions};
+use polymage_vm::{Buffer, Engine, EvalMode};
+
+/// Size offsets from each app's tiny dims. `64` keeps every app's
+/// constraint intact (pyramid apps need divisibility by at most
+/// `2^5 = 32`, and the camera mosaic needs even dims).
+const DELTAS: [(i64, i64); 3] = [(0, 0), (64, 64), (128, 64)];
+/// The estimates are pinned at the middle size, so `DELTAS[0]` and
+/// `DELTAS[2]` instantiate at sizes that differ from the estimates.
+const ESTIMATE_DELTA: (i64, i64) = (64, 64);
+
+/// Every benchmark at `tiny + delta`.
+fn apps_at(delta: (i64, i64)) -> Vec<Box<dyn Benchmark>> {
+    let dims: Vec<(i64, i64)> = ALL
+        .iter()
+        .map(|s| (s.tiny.0 + delta.0, s.tiny.1 + delta.1))
+        .collect();
+    vec![
+        Box::new(Unsharp::with_size(dims[0].0, dims[0].1)),
+        Box::new(BilateralGrid::with_size(dims[1].0, dims[1].1)),
+        Box::new(HarrisCorner::with_size(dims[2].0, dims[2].1)),
+        Box::new(CameraPipe::with_size(dims[3].0, dims[3].1)),
+        Box::new(PyramidBlend::with_size(dims[4].0, dims[4].1)),
+        Box::new(MultiscaleInterp::with_size(dims[5].0, dims[5].1)),
+        Box::new(LocalLaplacian::with_size(dims[6].0, dims[6].1)),
+    ]
+}
+
+fn bits(bufs: &[Buffer]) -> Vec<Vec<u32>> {
+    bufs.iter()
+        .map(|b| b.data.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn close(a: &[Buffer], b: &[Buffer], tol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.data.len() == y.data.len()
+                && x.data
+                    .iter()
+                    .zip(&y.data)
+                    .all(|(u, v)| (u - v).abs() <= tol * (1.0 + v.abs()))
+        })
+}
+
+#[test]
+fn instantiate_matches_direct_compile_bit_exact() {
+    let engine = Engine::with_threads(4);
+    let estimate_apps = apps_at(ESTIMATE_DELTA);
+    for (ai, est_app) in estimate_apps.iter().enumerate() {
+        let est_params = est_app.params();
+        for base in [false, true] {
+            let mk_opts = |params: Vec<i64>| {
+                let o = if base {
+                    CompileOptions::base(params).with_mode(EvalMode::Scalar)
+                } else {
+                    CompileOptions::optimized(params)
+                };
+                o.with_estimates(est_params.clone())
+            };
+            // One plan, built from the estimate-size instance's pipeline
+            // (pipelines are size-independent; sizes enter via params).
+            let p = plan(est_app.pipeline(), &mk_opts(est_app.params()))
+                .unwrap_or_else(|e| panic!("{}: plan: {e}", est_app.name()));
+            for delta in DELTAS {
+                let b = &apps_at(delta)[ai];
+                let params = b.params();
+                let via_plan = instantiate(&p, &params)
+                    .unwrap_or_else(|e| panic!("{}: instantiate {params:?}: {e}", b.name()));
+                let direct = compile(b.pipeline(), &mk_opts(params.clone()))
+                    .unwrap_or_else(|e| panic!("{}: compile {params:?}: {e}", b.name()));
+                assert_eq!(
+                    via_plan.report.provenance.estimates,
+                    est_params,
+                    "{}: provenance records the plan's estimates",
+                    b.name()
+                );
+                assert_eq!(
+                    via_plan.report.provenance.params,
+                    params,
+                    "{}: provenance records the bound parameters",
+                    b.name()
+                );
+                let inputs = b.make_inputs(7 + ai as u64);
+                for nthreads in [1usize, 2, 4] {
+                    let got = engine
+                        .run_with_threads(&via_plan.program, &inputs, nthreads)
+                        .unwrap_or_else(|e| panic!("{}: instantiated run: {e}", b.name()));
+                    let want = engine
+                        .run_with_threads(&direct.program, &inputs, nthreads)
+                        .unwrap_or_else(|e| panic!("{}: direct run: {e}", b.name()));
+                    assert_eq!(
+                        bits(&got),
+                        bits(&want),
+                        "{}: instantiated output differs from direct compile \
+                         (params {params:?}, base {base}, threads {nthreads})",
+                        b.name()
+                    );
+                    // At the largest off-estimate size, also pin real
+                    // correctness against the unfused reference.
+                    if delta == DELTAS[2] && nthreads == 1 {
+                        let reference = b.reference(&inputs);
+                        assert!(
+                            close(&got, &reference, b.tolerance()),
+                            "{}: instantiated output diverges from reference \
+                             (params {params:?}, base {base})",
+                            b.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The serving loop the parametric split exists for: each benchmark is
+//! compiled once at one size, then **executed at two other sizes through
+//! the session's plan cache** — one plan compilation total, three
+//! instantiations, and correct output (checked against the unfused
+//! reference) at the final, off-estimate size.
+
+use polymage_apps::sizes::ALL;
+use polymage_apps::{
+    bilateral::BilateralGrid, camera::CameraPipe, harris::HarrisCorner,
+    interpolate::MultiscaleInterp, laplacian::LocalLaplacian, pyramid::PyramidBlend,
+    unsharp::Unsharp, Benchmark,
+};
+use polymage_core::{CompileOptions, Session};
+use polymage_diag::{Counter, Diag};
+
+/// Offsets keeping every app's constraints (divisibility by `2^levels`
+/// for the pyramid apps, even dims for the camera mosaic).
+const DELTAS: [(i64, i64); 3] = [(0, 0), (64, 64), (128, 64)];
+
+fn app_at(ai: usize, delta: (i64, i64)) -> Box<dyn Benchmark> {
+    let (r, c) = (ALL[ai].tiny.0 + delta.0, ALL[ai].tiny.1 + delta.1);
+    match ai {
+        0 => Box::new(Unsharp::with_size(r, c)),
+        1 => Box::new(BilateralGrid::with_size(r, c)),
+        2 => Box::new(HarrisCorner::with_size(r, c)),
+        3 => Box::new(CameraPipe::with_size(r, c)),
+        4 => Box::new(PyramidBlend::with_size(r, c)),
+        5 => Box::new(MultiscaleInterp::with_size(r, c)),
+        6 => Box::new(LocalLaplacian::with_size(r, c)),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn each_app_serves_three_sizes_from_one_plan() {
+    for ai in 0..ALL.len() {
+        let diag = Diag::recorder();
+        let session = Session::with_threads(2).with_diag(diag.clone());
+        // The plan's estimates are pinned at the first size, so the two
+        // later (larger) sizes rebind the same plan.
+        let estimates = app_at(ai, DELTAS[0]).params();
+        for (di, delta) in DELTAS.iter().enumerate() {
+            let b = app_at(ai, *delta);
+            let opts = CompileOptions::optimized(b.params()).with_estimates(estimates.clone());
+            let inputs = b.make_inputs(3 + ai as u64);
+            let got = session
+                .run(b.pipeline(), &opts, &inputs)
+                .unwrap_or_else(|e| panic!("{}: run at {:?}: {e}", b.name(), b.params()));
+            let s = session.cache_stats();
+            assert_eq!(
+                s.plan_misses,
+                1,
+                "{}: one plan compilation serves every size",
+                b.name()
+            );
+            assert_eq!(s.plan_hits, di as u64, "{}: later sizes rebind", b.name());
+            assert_eq!(s.misses, di as u64 + 1, "{}: one bind per size", b.name());
+            // At the last (off-estimate) size, pin correctness of the
+            // rebound program against the reference implementation.
+            if di == DELTAS.len() - 1 {
+                let expect = b.reference(&inputs);
+                assert_eq!(got.len(), expect.len(), "{}", b.name());
+                let tol = b.tolerance();
+                for (g, w) in got.iter().zip(&expect) {
+                    assert_eq!(g.rect, w.rect, "{} output shape", b.name());
+                    for (a, r) in g.data.iter().zip(&w.data) {
+                        assert!(
+                            (a - r).abs() <= tol + tol * r.abs(),
+                            "{}: rebound output diverges from reference \
+                             ({a} vs {r} at size {:?})",
+                            b.name(),
+                            b.params()
+                        );
+                    }
+                }
+            }
+        }
+        let rec = diag.snapshot().expect("recording sink");
+        assert_eq!(rec.counter(Counter::PlanMiss), 1);
+        assert_eq!(rec.counter(Counter::PlanHit), 2);
+        assert_eq!(rec.counter(Counter::InstanceMiss), 3);
+        assert_eq!(rec.counter(Counter::InstanceHit), 0);
+    }
+}

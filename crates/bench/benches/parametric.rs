@@ -1,0 +1,49 @@
+//! Criterion benches for the parametric split: per benchmark, the cost of
+//! a full `compile` (plan + instantiate) versus re-binding a pre-built
+//! [`ParametricPlan`] at a fresh size with `instantiate`. The serving-path
+//! claim is that instantiation is an order of magnitude cheaper than
+//! compilation (geomean across the seven apps), since everything
+//! size-independent — grouping, schedule structure, kernel lowering and
+//! SSA optimization — is already paid for by the plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_core::{compile, instantiate, plan, CompileOptions};
+
+/// Options at the app's own size with estimates pinned there too, so the
+/// plan built once is the one a serving loop would rebind per request.
+fn opts_for(params: Vec<i64>) -> CompileOptions {
+    let est = params.clone();
+    CompileOptions::optimized(params).with_estimates(est)
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parametric/compile");
+    g.sample_size(10);
+    for b in all_benchmarks(Scale::Small) {
+        let opts = opts_for(b.params());
+        g.bench_function(
+            BenchmarkId::from_parameter(b.name().replace(' ', "_")),
+            |bench| bench.iter(|| compile(b.pipeline(), &opts).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_instantiate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parametric/instantiate");
+    g.sample_size(10);
+    for b in all_benchmarks(Scale::Small) {
+        let p = plan(b.pipeline(), &opts_for(b.params())).unwrap();
+        // Bind at a size different from the estimates — the serving case.
+        let bound: Vec<i64> = b.params().iter().map(|v| v + 64).collect();
+        g.bench_function(
+            BenchmarkId::from_parameter(b.name().replace(' ', "_")),
+            |bench| bench.iter(|| instantiate(&p, &bound).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_compile, bench_instantiate);
+criterion_main!(benches);

@@ -1,18 +1,29 @@
 //! Developer inspection tool: compiler report, generated C (Fig. 7 style),
-//! and program statistics for any benchmark.
+//! and program statistics for any benchmark. Compilation goes through the
+//! two-phase path explicitly, so the size-independent [`ParametricPlan`]
+//! (symbolic bounds) is shown alongside the geometry it instantiates at
+//! the benchmark's concrete parameters.
 
 use polymage_bench::HarnessArgs;
-use polymage_core::{compile, emit_c, CompileOptions};
+use polymage_core::{emit_c, instantiate, plan, CompileOptions};
 
 fn main() {
     let args = HarnessArgs::parse();
     for b in args.benchmarks() {
-        let compiled =
-            compile(b.pipeline(), &CompileOptions::optimized(b.params())).expect("compile");
+        let params = b.params();
+        let p = plan(
+            b.pipeline(),
+            &CompileOptions::optimized(params.clone()).with_estimates(params.clone()),
+        )
+        .expect("plan");
+        let compiled = instantiate(&p, &params).expect("instantiate");
         println!("\n================ {} ================", b.name());
         if args.filter.is_some() {
             println!("--- specification ---\n{}\n", b.pipeline().display());
         }
+        println!("--- parametric plan (symbolic bounds) ---");
+        println!("{}", p.describe_symbolic());
+        println!("--- instantiated at {params:?} ---");
         println!("{}", compiled.report);
         println!(
             "simd: dispatching {} (host supports: {})",

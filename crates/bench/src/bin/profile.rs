@@ -192,6 +192,14 @@ fn summarize(b: &dyn Benchmark, session: &Session, stats: &RunStats, rec: &Recor
 
     // Counters from the diagnostics recording.
     println!(
+        "  session: {} plan hits / {} plan misses; {} instance hits / {} \
+         instance misses",
+        rec.counter(Counter::PlanHit),
+        rec.counter(Counter::PlanMiss),
+        rec.counter(Counter::InstanceHit),
+        rec.counter(Counter::InstanceMiss),
+    );
+    println!(
         "  cache: {} hits / {} misses; pool: {} reuses / {} acquires; \
          uniform cache: {} hits / {} misses",
         rec.counter(Counter::CacheHit),

@@ -20,6 +20,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod sizes;
+
 use polymage_apps::{Benchmark, Scale};
 use polymage_core::{CompileOptions, Compiled, Session};
 use polymage_vm::{Buffer, Engine, EvalMode};

@@ -1,14 +1,20 @@
-//! The compiler driver: front-end → grouping → scheduling → program.
+//! The compiler driver: size-independent planning (phase 1) followed by
+//! binding to the options' parameter values (phase 2).
+//!
+//! [`compile`] is now a thin composition of [`crate::plan`] and
+//! [`crate::instantiate`] — the paper's full flow (Fig. 4) split at the
+//! size boundary: graph construction, point-wise inlining, grouping
+//! (Algorithm 1) and kernel pre-optimization happen in the plan; bounds
+//! checking, overlapped-tile construction, storage optimization and
+//! kernel finalization happen per binding. When the estimates default to
+//! the bound values (the common case) the result is identical to the old
+//! monolithic driver.
 
-use crate::grouping::{effective_tiles, group_stages_with, GroupKindTag};
-use crate::report::{CompileReport, GroupReport};
-use crate::schedule::{schedule_group, Ctx};
+use crate::report::CompileReport;
 use crate::{CompileError, CompileOptions};
-use polymage_diag::{Counter, Diag, Value};
-use polymage_graph::{check_bounds, inline_pointwise, PipelineGraph};
-use polymage_ir::{FuncId, Pipeline};
-use polymage_vm::{BufDecl, BufId, BufKind, Program, StoragePlan};
-use std::collections::{HashMap, HashSet};
+use polymage_diag::{Diag, Value};
+use polymage_ir::Pipeline;
+use polymage_vm::Program;
 
 /// A compiled pipeline: the executable program and the structural report.
 ///
@@ -26,10 +32,13 @@ pub struct Compiled {
 
 /// Compiles a pipeline specification with the given options.
 ///
-/// This runs the paper's full flow (Fig. 4): graph construction, static
-/// bounds checking, point-wise inlining, grouping (Algorithm 1), overlapped
-/// tile construction, storage optimization, and lowering to the execution
-/// engine.
+/// This runs the paper's full flow (Fig. 4): graph construction, point-wise
+/// inlining, grouping (Algorithm 1), overlapped tile construction, storage
+/// optimization, static bounds checking, and lowering to the execution
+/// engine. Internally it is [`crate::plan`] (size-independent, at
+/// [`CompileOptions::estimates`]) followed by [`crate::instantiate`] at
+/// `opts.params` — build the plan yourself to amortize phase 1 across many
+/// sizes.
 ///
 /// # Errors
 ///
@@ -40,309 +49,37 @@ pub fn compile(pipe: &Pipeline, opts: &CompileOptions) -> Result<Compiled, Compi
     compile_with(pipe, opts, &Diag::noop())
 }
 
-/// [`compile`] with diagnostics: each compiler phase (`frontend`,
-/// `grouping`, `schedule`, `kernel-opt`) becomes a span, every candidate
-/// merge becomes a `grouping.merge` event (see
-/// [`crate::grouping::group_stages_with`]), and each scheduled group emits a
-/// `group.scheduled` event with its tile shape and storage footprint.
+/// [`compile`] with diagnostics: a `compile` span wrapping the `plan` span
+/// (`phase.frontend`, `phase.grouping`, `phase.lower`) and the
+/// `instantiate` span (`phase.schedule`, `phase.storage`,
+/// `phase.kernel-opt`); every candidate merge becomes a `grouping.merge`
+/// event and each bound group a `group.scheduled` event.
 pub fn compile_with(
     pipe: &Pipeline,
     opts: &CompileOptions,
     diag: &Diag,
 ) -> Result<Compiled, CompileError> {
     if opts.params.len() != pipe.params().len() {
-        return Err(CompileError::MissingParams {
-            expected: pipe.params().len(),
-            got: opts.params.len(),
-        });
+        return Err(CompileError::param_mismatch(pipe, opts.params.len()));
     }
     let compile_span = diag.begin();
-
-    // Front-end. Cycle detection runs on the user's specification (before
-    // inlining, which could fold a cycle of point-wise stages into a
-    // self-reference and misreport the error).
-    let span = diag.begin();
-    PipelineGraph::build(pipe)?;
-    let (pipe2, inline_report) = if opts.inline_pointwise {
-        inline_pointwise(pipe)?
-    } else {
-        (pipe.clone(), Default::default())
-    };
-    let graph = PipelineGraph::build(&pipe2)?;
-    if !opts.skip_bounds_check {
-        let violations = check_bounds(&pipe2, &opts.params);
-        if !violations.is_empty() {
-            return Err(CompileError::Bounds(violations));
-        }
-    }
-    diag.end(
-        span,
-        "phase.frontend",
-        if diag.enabled() {
-            vec![
-                ("inlined", Value::UInt(inline_report.inlined.len() as u64)),
-                ("dead", Value::UInt(inline_report.dead.len() as u64)),
-            ]
-        } else {
-            Vec::new()
-        },
-    );
-
-    // Grouping.
-    let span = diag.begin();
-    let grouping = group_stages_with(&pipe2, &graph, opts, diag);
-    diag.end(
-        span,
-        "phase.grouping",
-        if diag.enabled() {
-            vec![
-                ("groups", Value::UInt(grouping.groups.len() as u64)),
-                ("stages", Value::UInt(pipe2.func_ids().count() as u64)),
-            ]
-        } else {
-            Vec::new()
-        },
-    );
-
-    // Storage obligations: live-outs and cross-group values need full
-    // arrays.
-    let mut needs_full: HashSet<FuncId> = pipe2.live_outs().iter().copied().collect();
-    for f in pipe2.func_ids() {
-        let gf = grouping.group_of(f);
-        if graph
-            .consumers(f)
-            .iter()
-            .any(|&c| grouping.group_of(c) != gf)
-        {
-            needs_full.insert(f);
-        }
-    }
-
-    // Image buffers.
-    let mut buffers: Vec<BufDecl> = Vec::new();
-    let mut image_bufs: Vec<BufId> = Vec::new();
-    for img in pipe2.images() {
-        let sizes: Vec<i64> = img
-            .extents
-            .iter()
-            .map(|e| e.eval(&opts.params).max(0))
-            .collect();
-        if sizes.contains(&0) {
-            return Err(CompileError::EmptyDomain {
-                name: img.name.clone(),
-            });
-        }
-        buffers.push(BufDecl {
-            name: img.name.clone(),
-            kind: BufKind::Full,
-            sizes: sizes.clone(),
-            origin: vec![0; sizes.len()],
-        });
-        image_bufs.push(BufId(buffers.len() - 1));
-    }
-
-    let mut ctx = Ctx {
-        pipe: &pipe2,
-        graph: &graph,
-        opts,
-        buffers,
-        image_bufs,
-        func_full: HashMap::new(),
-        needs_full,
-    };
-
-    // Schedule groups in execution order; collect per-group byte accounting
-    // for the report.
-    let sched_span = diag.begin();
-    let mut groups = Vec::with_capacity(grouping.groups.len());
-    let mut group_reports = Vec::with_capacity(grouping.groups.len());
-    for g in &grouping.groups {
-        let bufs_before = ctx.buffers.len();
-        let ge = schedule_group(&mut ctx, g)?;
-        let (mut scratch_bytes, mut full_bytes) = (0usize, 0usize);
-        for b in &ctx.buffers[bufs_before..] {
-            match b.kind {
-                BufKind::Scratch => scratch_bytes += b.len() * 4,
-                BufKind::Full => full_bytes += b.len() * 4,
-            }
-        }
-        groups.push(ge);
-        let gr = make_group_report(&pipe2, opts, g, scratch_bytes, full_bytes);
-        if diag.enabled() {
-            let tiles: Vec<String> = gr
-                .tile_sizes
-                .iter()
-                .map(|t| t.map_or("-".to_string(), |v| v.to_string()))
-                .collect();
-            diag.event(
-                "group.scheduled",
-                vec![
-                    ("sink", Value::from(gr.sink.as_str())),
-                    ("sink_uid", Value::UInt(pipe2.stage_uid(g.sink))),
-                    ("stages", Value::UInt(gr.stages.len() as u64)),
-                    ("kind", Value::from(format!("{:?}", gr.kind))),
-                    ("tiles", Value::from(tiles.join("x"))),
-                    ("overlap_ratio", Value::Float(gr.overlap_ratio)),
-                    ("scratch_bytes", Value::UInt(gr.scratch_bytes as u64)),
-                    ("full_bytes", Value::UInt(gr.full_bytes as u64)),
-                ],
-            );
-        }
-        group_reports.push(gr);
-    }
-    diag.end(
-        sched_span,
-        "phase.schedule",
-        if diag.enabled() {
-            vec![("groups", Value::UInt(group_reports.len() as u64))]
-        } else {
-            Vec::new()
-        },
-    );
-
-    // Live-out outputs.
-    let outputs: Vec<(String, BufId)> = pipe2
-        .live_outs()
-        .iter()
-        .map(|f| {
-            let b = *ctx
-                .func_full
-                .get(f)
-                .expect("live-out stages always receive full storage");
-            (pipe2.func(*f).name.clone(), b)
-        })
-        .collect();
-
-    let nbufs = ctx.buffers.len();
-    let mut program = Program {
-        name: pipe2.name().to_string(),
-        buffers: ctx.buffers,
-        image_bufs: ctx.image_bufs,
-        groups,
-        outputs,
-        mode: opts.mode,
-        simd: polymage_vm::resolve_simd(opts.simd),
-        storage: StoragePlan::run_scoped(nbufs),
-    };
-
-    // Storage optimization (§3.6): fold scratchpads of non-interfering
-    // stages onto shared arena slots and narrow full-buffer lifetimes to
-    // their last consumer group.
-    let span = diag.begin();
-    let storage = crate::storage::optimize_storage(&mut program, opts.storage_fold);
-    for (gr, gs) in group_reports.iter_mut().zip(&storage.groups) {
-        gr.scratch_folded_bytes = gs.folded_bytes;
-        gr.scratch_slots = gs.slots;
-    }
-    diag.count(Counter::StorageFoldedBytes, storage.folded_bytes as u64);
-    diag.end(
-        span,
-        "phase.storage",
-        if diag.enabled() {
-            vec![
-                ("enabled", Value::UInt(opts.storage_fold as u64)),
-                ("folded_bytes", Value::UInt(storage.folded_bytes as u64)),
-                (
-                    "peak_full_bytes",
-                    Value::UInt(storage.peak_full_bytes as u64),
-                ),
-            ]
-        } else {
-            Vec::new()
-        },
-    );
-
-    // Kernel optimization: rewrite each kernel in place (bit-exact) and
-    // attach uniformity metadata so the evaluator takes the fast paths.
-    let span = diag.begin();
-    let kernels = if opts.kernel_opt {
-        polymage_vm::optimize_program(&mut program)
-    } else {
-        Vec::new()
-    };
-    diag.end(
-        span,
-        "phase.kernel-opt",
-        if diag.enabled() {
-            let ops: usize = kernels.iter().map(|k| k.eliminated_ops()).sum();
-            vec![
-                ("kernels", Value::UInt(kernels.len() as u64)),
-                ("ops_eliminated", Value::UInt(ops as u64)),
-            ]
-        } else {
-            Vec::new()
-        },
-    );
-
-    let report = CompileReport {
-        inlined: inline_report.inlined,
-        dead: inline_report.dead,
-        groups: group_reports,
-        kernels,
-        simd: program.simd,
-        peak_full_bytes: storage.peak_full_bytes,
-    };
+    let plan = crate::plan::plan_with(pipe, opts, diag)?;
+    let compiled = crate::instantiate::instantiate_with(&plan, &opts.params, diag)?;
     diag.end(
         compile_span,
         "compile",
         if diag.enabled() {
             vec![
-                ("pipeline", Value::from(pipe2.name())),
-                ("groups", Value::UInt(report.groups.len() as u64)),
+                ("pipeline", Value::from(plan.pipeline().name())),
+                ("groups", Value::UInt(compiled.report.groups.len() as u64)),
                 (
                     "predicted_overlap",
-                    Value::Float(report.predicted_overlap()),
+                    Value::Float(compiled.report.predicted_overlap()),
                 ),
             ]
         } else {
             Vec::new()
         },
     );
-    Ok(Compiled {
-        program: std::sync::Arc::new(program),
-        report,
-    })
-}
-
-fn make_group_report(
-    pipe: &Pipeline,
-    opts: &CompileOptions,
-    g: &crate::grouping::Group,
-    scratch_bytes: usize,
-    full_bytes: usize,
-) -> GroupReport {
-    let sink_extents: Vec<i64> = pipe
-        .func(g.sink)
-        .var_dom
-        .dom
-        .iter()
-        .map(|iv| {
-            let (lo, hi) = iv.eval(&opts.params);
-            (hi - lo + 1).max(0)
-        })
-        .collect();
-    // The grouping pass already solved alignment and cached the overlap
-    // vector and ratio on the group — no need to re-run the solver here.
-    let tile_sizes = if g.kind == GroupKindTag::Normal {
-        effective_tiles(&sink_extents, opts)
-    } else {
-        Vec::new()
-    };
-    GroupReport {
-        sink: pipe.func(g.sink).name.clone(),
-        stages: g
-            .stages
-            .iter()
-            .map(|&f| pipe.func(f).name.clone())
-            .collect(),
-        kind: g.kind,
-        tile_sizes,
-        overlap: g.overlap.clone(),
-        overlap_ratio: g.overlap_ratio,
-        scratch_bytes,
-        full_bytes,
-        // Filled in by the storage pass once slots are assigned.
-        scratch_folded_bytes: 0,
-        scratch_slots: 0,
-    }
+    Ok(compiled)
 }

@@ -23,12 +23,21 @@ pub enum CompileError {
         /// Explanation.
         reason: String,
     },
-    /// A parameter value required by the pipeline was not supplied.
-    MissingParams {
+    /// The supplied parameter values do not match the pipeline's declared
+    /// parameters: too few (the missing ones are named) or too many (the
+    /// extra value indices have no declared `ParamId`).
+    ParamMismatch {
+        /// Pipeline name (as reported by `Pipeline::name`).
+        pipeline: String,
         /// Parameters the pipeline declares.
         expected: usize,
         /// Values supplied.
         got: usize,
+        /// `(ParamId index, name)` of every declared parameter without a
+        /// supplied value.
+        missing: Vec<(usize, String)>,
+        /// Indices of supplied values beyond the declared parameters.
+        extra: Vec<usize>,
     },
     /// A stage domain or image extent evaluated to an empty/negative size.
     EmptyDomain {
@@ -55,15 +64,54 @@ impl fmt::Display for CompileError {
             CompileError::InvalidSelfReference { func, reason } => {
                 write!(f, "invalid self-reference in `{func}`: {reason}")
             }
-            CompileError::MissingParams { expected, got } => {
+            CompileError::ParamMismatch {
+                pipeline,
+                expected,
+                got,
+                missing,
+                extra,
+            } => {
                 write!(
                     f,
-                    "pipeline declares {expected} parameter(s), got {got} value(s)"
-                )
+                    "pipeline `{pipeline}` declares {expected} parameter(s), got {got} value(s)"
+                )?;
+                if !missing.is_empty() {
+                    let names: Vec<String> = missing
+                        .iter()
+                        .map(|(i, n)| format!("`{n}` (#{i})"))
+                        .collect();
+                    write!(f, "; missing: {}", names.join(", "))?;
+                }
+                if !extra.is_empty() {
+                    let idxs: Vec<String> = extra.iter().map(|i| format!("#{i}")).collect();
+                    write!(f, "; extra value(s) at: {}", idxs.join(", "))?;
+                }
+                Ok(())
             }
             CompileError::EmptyDomain { name } => {
                 write!(f, "domain of `{name}` is empty for the given parameters")
             }
+        }
+    }
+}
+
+impl CompileError {
+    /// Builds a [`CompileError::ParamMismatch`] naming the missing
+    /// parameters (by `ParamId` index and pipeline name) and the indices
+    /// of any extra values.
+    pub(crate) fn param_mismatch(pipe: &polymage_ir::Pipeline, got: usize) -> CompileError {
+        let names = pipe.params();
+        CompileError::ParamMismatch {
+            pipeline: pipe.name().to_string(),
+            expected: names.len(),
+            got,
+            missing: names
+                .iter()
+                .enumerate()
+                .skip(got)
+                .map(|(i, n)| (i, n.clone()))
+                .collect(),
+            extra: (names.len()..got).collect(),
         }
     }
 }

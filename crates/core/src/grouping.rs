@@ -173,8 +173,12 @@ pub fn group_stages_with(
                     _ => {}
                 }
             }
-            // Largest first (paper's sortGroupsBySize).
-            cands.sort_by_key(|&gi| std::cmp::Reverse(group_size(pipe, &groups[gi], &opts.params)));
+            // Largest first (paper's sortGroupsBySize). Size heuristics
+            // read the parameter *estimates* so grouping stays
+            // size-independent and one plan serves every binding.
+            cands.sort_by_key(|&gi| {
+                std::cmp::Reverse(group_size(pipe, &groups[gi], opts.estimates()))
+            });
             for gi in cands {
                 let child = *child_groups(pipe, graph, &groups, gi)
                     .iter()
@@ -374,7 +378,7 @@ pub fn merge_decision(
         .dom
         .iter()
         .map(|iv| {
-            let (lo, hi) = iv.eval(&opts.params);
+            let (lo, hi) = iv.eval(opts.estimates());
             (hi - lo + 1).max(0)
         })
         .collect();

@@ -1,0 +1,814 @@
+//! Phase 2 of parametric compilation: binding a [`ParametricPlan`] to
+//! concrete parameter values.
+//!
+//! [`instantiate`] is the cheap half of the split: it evaluates the plan's
+//! symbolic geometry (stage domains, image extents, reduction domains) at
+//! the bound values, enumerates the overlapped tiles, sizes buffers, and
+//! finalizes kernels — reusing the plan's pre-optimized kernels verbatim
+//! whenever they are provably byte-identical (the case is not
+//! parameter-sensitive and the bound rect pins the same dimensions the
+//! proto was specialized for). No graph analysis, grouping, alignment
+//! solving, or lowering from the expression IR happens here unless a
+//! kernel embeds parameter values.
+//!
+//! The resulting [`Compiled`] is bit-identical to what [`crate::compile`]
+//! produces directly at the same values whenever the grouping heuristics
+//! agree between the plan's estimates and the bound sizes.
+
+use crate::grouping::{effective_tiles, GroupKindTag};
+use crate::lower::{KernelBuilder, LowerEnv};
+use crate::plan::{CasePlan, GroupPlan, ParametricPlan, ReductionPlan, SelfRefPlan, TiledPlan};
+use crate::report::{CompileReport, GroupReport, Provenance};
+use crate::{CompileError, Compiled};
+use polymage_diag::{Counter, Diag, Value};
+use polymage_graph::check_bounds;
+use polymage_ir::{FuncBody, FuncId, Pipeline, VarId};
+use polymage_poly::{narrow_rect_by_cond, required_region, DimMap, Rect};
+use polymage_vm::{
+    collect_reads, fixed_dims, optimize_kernel, sync_mask, BufDecl, BufId, BufKind, CaseExec,
+    GroupExec, GroupKind, Program, ReductionExec, SeqExec, StageExec, StoragePlan, TileWork,
+    TiledGroup,
+};
+use std::collections::HashMap;
+
+/// Binds a [`ParametricPlan`] to concrete parameter values, producing an
+/// executable [`Compiled`] (phase 2).
+///
+/// This is the cheap path: pure geometry evaluation plus kernel reuse.
+/// One plan can be instantiated at arbitrarily many sizes; `Session` does
+/// exactly that behind its two-level cache.
+///
+/// # Errors
+///
+/// [`CompileError::ParamMismatch`] when `params` does not match the
+/// pipeline's declared parameters, [`CompileError::Bounds`] /
+/// [`CompileError::EmptyDomain`] when the bound geometry is invalid
+/// (unless the plan was built with `skip_bounds_check`).
+pub fn instantiate(plan: &ParametricPlan, params: &[i64]) -> Result<Compiled, CompileError> {
+    instantiate_with(plan, params, &Diag::noop())
+}
+
+/// [`instantiate`] with diagnostics: wraps the bind in an `instantiate`
+/// span containing the classic `phase.schedule` / `phase.storage` /
+/// `phase.kernel-opt` spans and per-group `group.scheduled` events.
+pub fn instantiate_with(
+    plan: &ParametricPlan,
+    params: &[i64],
+    diag: &Diag,
+) -> Result<Compiled, CompileError> {
+    let pipe = &plan.pipe;
+    if params.len() != pipe.params().len() {
+        return Err(CompileError::param_mismatch(pipe, params.len()));
+    }
+    let inst_span = diag.begin();
+
+    // The static bounds check is a per-binding property; the plan never
+    // ran it.
+    if !plan.opts.skip_bounds_check {
+        let violations = check_bounds(pipe, params);
+        if !violations.is_empty() {
+            return Err(CompileError::Bounds(violations));
+        }
+    }
+
+    // Image buffers (ids fixed by the plan).
+    let mut buffers: Vec<BufDecl> = Vec::with_capacity(plan.nbufs);
+    for img in pipe.images() {
+        let sizes: Vec<i64> = img.extents.iter().map(|e| e.eval(params).max(0)).collect();
+        if sizes.contains(&0) {
+            return Err(CompileError::EmptyDomain {
+                name: img.name.clone(),
+            });
+        }
+        buffers.push(BufDecl {
+            name: img.name.clone(),
+            kind: BufKind::Full,
+            sizes: sizes.clone(),
+            origin: vec![0; sizes.len()],
+        });
+    }
+
+    // Per-group bind: evaluate geometry, enumerate tiles, size buffers,
+    // materialize raw kernels (cloned from the plan, or re-lowered at the
+    // bound values when parameter-sensitive).
+    let sched_span = diag.begin();
+    let mut groups: Vec<GroupExec> = Vec::with_capacity(plan.groups.len());
+    let mut case_maps: Vec<Vec<Vec<usize>>> = Vec::with_capacity(plan.groups.len());
+    let mut group_reports: Vec<GroupReport> = Vec::with_capacity(plan.groups.len());
+    for (gi, gp) in plan.groups.iter().enumerate() {
+        let bufs_before = buffers.len();
+        let (ge, cmap) = match gp {
+            GroupPlan::Tiled(tp) => bind_tiled(plan, tp, params, &mut buffers),
+            GroupPlan::Reduction(rp) => {
+                (bind_reduction(plan, rp, params, &mut buffers), Vec::new())
+            }
+            GroupPlan::SelfRef(sp) => bind_selfref(plan, sp, params, &mut buffers),
+        };
+        let (mut scratch_bytes, mut full_bytes) = (0usize, 0usize);
+        for b in &buffers[bufs_before..] {
+            match b.kind {
+                BufKind::Scratch => scratch_bytes += b.len() * 4,
+                BufKind::Full => full_bytes += b.len() * 4,
+            }
+        }
+        let g = &plan.grouping.groups[gi];
+        let gr = make_group_report(plan, params, g, scratch_bytes, full_bytes);
+        if diag.enabled() {
+            let tiles: Vec<String> = gr
+                .tile_sizes
+                .iter()
+                .map(|t| t.map_or("-".to_string(), |v| v.to_string()))
+                .collect();
+            diag.event(
+                "group.scheduled",
+                vec![
+                    ("sink", Value::from(gr.sink.as_str())),
+                    ("sink_uid", Value::UInt(pipe.stage_uid(g.sink))),
+                    ("stages", Value::UInt(gr.stages.len() as u64)),
+                    ("kind", Value::from(format!("{:?}", gr.kind))),
+                    ("tiles", Value::from(tiles.join("x"))),
+                    ("overlap_ratio", Value::Float(gr.overlap_ratio)),
+                    ("scratch_bytes", Value::UInt(gr.scratch_bytes as u64)),
+                    ("full_bytes", Value::UInt(gr.full_bytes as u64)),
+                ],
+            );
+        }
+        group_reports.push(gr);
+        groups.push(ge);
+        case_maps.push(cmap);
+    }
+    debug_assert_eq!(buffers.len(), plan.nbufs, "bind declared plan's buffers");
+    diag.end(
+        sched_span,
+        "phase.schedule",
+        if diag.enabled() {
+            vec![("groups", Value::UInt(group_reports.len() as u64))]
+        } else {
+            Vec::new()
+        },
+    );
+
+    let nbufs = buffers.len();
+    let mut program = Program {
+        name: pipe.name().to_string(),
+        buffers,
+        image_bufs: plan.image_bufs.clone(),
+        groups,
+        outputs: plan.outputs.clone(),
+        mode: plan.opts.mode,
+        simd: plan.simd,
+        storage: StoragePlan::run_scoped(nbufs),
+    };
+
+    // Storage optimization (§3.6) — runs on the raw-kernel reads, exactly
+    // as in the monolithic driver.
+    let span = diag.begin();
+    let storage = crate::storage::optimize_storage(&mut program, plan.opts.storage_fold);
+    for (gr, gs) in group_reports.iter_mut().zip(&storage.groups) {
+        gr.scratch_folded_bytes = gs.folded_bytes;
+        gr.scratch_slots = gs.slots;
+    }
+    diag.count(Counter::StorageFoldedBytes, storage.folded_bytes as u64);
+    diag.end(
+        span,
+        "phase.storage",
+        if diag.enabled() {
+            vec![
+                ("enabled", Value::UInt(plan.opts.storage_fold as u64)),
+                ("folded_bytes", Value::UInt(storage.folded_bytes as u64)),
+                (
+                    "peak_full_bytes",
+                    Value::UInt(storage.peak_full_bytes as u64),
+                ),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
+    // Kernel finalization: reuse the plan's pre-optimized kernels when
+    // byte-identity is guaranteed; re-optimize otherwise.
+    let span = diag.begin();
+    let (kernels, reused, respecialized) = if plan.opts.kernel_opt {
+        finalize_kernels(plan, &mut program, &case_maps)
+    } else {
+        (Vec::new(), 0, 0)
+    };
+    diag.end(
+        span,
+        "phase.kernel-opt",
+        if diag.enabled() {
+            let ops: usize = kernels.iter().map(|k| k.eliminated_ops()).sum();
+            vec![
+                ("kernels", Value::UInt(kernels.len() as u64)),
+                ("ops_eliminated", Value::UInt(ops as u64)),
+                ("reused", Value::UInt(reused as u64)),
+                ("respecialized", Value::UInt(respecialized as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
+    let report = CompileReport {
+        inlined: plan.inlined.clone(),
+        dead: plan.dead.clone(),
+        groups: group_reports,
+        kernels,
+        simd: program.simd,
+        peak_full_bytes: storage.peak_full_bytes,
+        provenance: Provenance {
+            estimates: plan.estimates.clone(),
+            params: params.to_vec(),
+            kernels_reused: reused,
+            kernels_respecialized: respecialized,
+        },
+    };
+    diag.end(
+        inst_span,
+        "instantiate",
+        if diag.enabled() {
+            vec![
+                ("pipeline", Value::from(pipe.name())),
+                ("groups", Value::UInt(report.groups.len() as u64)),
+                ("kernels_reused", Value::UInt(reused as u64)),
+                ("kernels_respecialized", Value::UInt(respecialized as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    Ok(Compiled {
+        program: std::sync::Arc::new(program),
+        report,
+    })
+}
+
+fn concrete_dom(pipe: &Pipeline, f: FuncId, params: &[i64]) -> Rect {
+    Rect::new(
+        pipe.func(f)
+            .var_dom
+            .dom
+            .iter()
+            .map(|iv| iv.eval(params))
+            .collect(),
+    )
+}
+
+/// Binds one tiled group: tile enumeration and backward region
+/// propagation at the bound sizes, buffer sizing, raw-kernel
+/// materialization. Returns the group and, per stage, the plan case index
+/// behind each bound (non-empty) case.
+fn bind_tiled(
+    plan: &ParametricPlan,
+    tp: &TiledPlan,
+    params: &[i64],
+    buffers: &mut Vec<BufDecl>,
+) -> (GroupExec, Vec<Vec<usize>>) {
+    let pipe = &plan.pipe;
+    let doms: Vec<Rect> = tp
+        .stages
+        .iter()
+        .map(|sp| concrete_dom(pipe, sp.f, params))
+        .collect();
+    let sink_idx = tp
+        .stages
+        .iter()
+        .position(|sp| sp.f == tp.sink)
+        .expect("sink is a member of its group");
+    let sink_dom = &doms[sink_idx];
+    let sink_extents: Vec<i64> = (0..sink_dom.ndim()).map(|d| sink_dom.extent(d)).collect();
+    let tiles_cfg = effective_tiles(&sink_extents, &plan.opts);
+    let tile_counts: Vec<i64> = (0..sink_dom.ndim())
+        .map(|d| match tiles_cfg[d] {
+            Some(t) => (sink_dom.extent(d) + t - 1) / t,
+            None => 1,
+        })
+        .collect();
+    let nstrips = tile_counts.first().copied().unwrap_or(1).max(1) as usize;
+
+    // --- tile enumeration + backward propagation ---
+    let mut tiles: Vec<TileWork> = Vec::new();
+    let mut max_ext: Vec<Vec<i64>> = doms.iter().map(|d| vec![0i64; d.ndim()]).collect();
+    let stage_vars: Vec<&[VarId]> = tp
+        .stages
+        .iter()
+        .map(|sp| pipe.func(sp.f).var_dom.vars.as_slice())
+        .collect();
+
+    // At least one tile always runs: a sink whose domain is empty at these
+    // parameter values (deep pyramid levels at small sizes) must not
+    // prevent full-stored member stages from materializing — their regions
+    // then come entirely from the owned-coverage extension.
+    let total_tiles: i64 = tile_counts.iter().product::<i64>().max(1);
+    for lin in 0..total_tiles {
+        // decompose the linear index into per-dim tile coordinates
+        let mut tidx = vec![0i64; sink_dom.ndim()];
+        let mut rem = lin;
+        for d in (0..sink_dom.ndim()).rev() {
+            tidx[d] = rem % tile_counts[d];
+            rem /= tile_counts[d];
+        }
+        // sink tile rectangle
+        let tile_rect = Rect::new(
+            (0..sink_dom.ndim())
+                .map(|d| {
+                    let (lo, hi) = sink_dom.range(d);
+                    match tiles_cfg[d] {
+                        Some(t) => (lo + tidx[d] * t, (lo + (tidx[d] + 1) * t - 1).min(hi)),
+                        None => (lo, hi),
+                    }
+                })
+                .collect(),
+        );
+        let strip = tidx[0] as usize;
+        let mut regions: Vec<Rect> = doms
+            .iter()
+            .map(|d| Rect::new(vec![(0, -1); d.ndim()]))
+            .collect();
+        // sink gets the tile itself
+        regions[sink_idx] = tile_rect.clone();
+        // reverse topological propagation
+        for ci in (0..tp.stages.len()).rev() {
+            if regions[ci].is_empty() {
+                continue;
+            }
+            for (pi, accs) in &tp.accesses_to[ci] {
+                let req = required_region(accs, stage_vars[ci], &regions[ci], &doms[*pi], params);
+                regions[*pi] = if regions[*pi].is_empty() {
+                    req
+                } else {
+                    regions[*pi].hull(&req)
+                };
+            }
+        }
+        // owned ranges + stores for full stages; region extension for
+        // coverage.
+        let mut stores: Vec<Option<Rect>> = vec![None; tp.stages.len()];
+        for (k, sp) in tp.stages.iter().enumerate() {
+            if !sp.needs_full {
+                continue;
+            }
+            let owned = owned_rect(
+                &doms[k],
+                &sp.maps,
+                sink_dom,
+                &tiles_cfg,
+                &tidx,
+                &tile_counts,
+                &tp.sink_scales,
+            );
+            let owned = owned.intersect(&doms[k]);
+            regions[k] = if regions[k].is_empty() {
+                owned.clone()
+            } else {
+                regions[k].hull(&owned)
+            };
+            let store = regions[k].intersect(&owned);
+            stores[k] = Some(store);
+        }
+        for (k, r) in regions.iter().enumerate() {
+            if !r.is_empty() {
+                for (d, m) in max_ext[k].iter_mut().enumerate() {
+                    *m = (*m).max(r.extent(d));
+                }
+            }
+        }
+        tiles.push(TileWork {
+            strip,
+            regions,
+            stores,
+        });
+    }
+    // order tiles by strip so the executor's grouping is contiguous
+    tiles.sort_by_key(|t| t.strip);
+
+    // --- buffer sizing (ids preassigned by the plan) ---
+    for (k, sp) in tp.stages.iter().enumerate() {
+        let name = pipe.func(sp.f).name.clone();
+        if !sp.direct {
+            debug_assert_eq!(sp.scratch, BufId(buffers.len()), "plan buffer order");
+            buffers.push(BufDecl {
+                name: format!("{name}.scratch"),
+                kind: BufKind::Scratch,
+                sizes: max_ext[k].iter().map(|&e| e.max(1)).collect(),
+                origin: vec![0; doms[k].ndim()],
+            });
+        }
+        if let Some(full) = sp.full {
+            debug_assert_eq!(full, BufId(buffers.len()), "plan buffer order");
+            buffers.push(BufDecl {
+                name,
+                kind: BufKind::Full,
+                // exact extents: an empty domain yields an empty buffer
+                sizes: (0..doms[k].ndim())
+                    .map(|d| doms[k].extent(d).max(0))
+                    .collect(),
+                origin: doms[k].ranges().iter().map(|&(lo, _)| lo).collect(),
+            });
+        }
+    }
+
+    // --- raw kernel materialization ---
+    let mut stage_execs: Vec<StageExec> = Vec::with_capacity(tp.stages.len());
+    let mut cmap: Vec<Vec<usize>> = Vec::with_capacity(tp.stages.len());
+    for (k, sp) in tp.stages.iter().enumerate() {
+        let fd = pipe.func(sp.f);
+        let (cases, map) = bind_cases(plan, &sp.cases, &doms[k], sp.f, &tp.func_scratch, params);
+        let reads = collect_reads(cases.iter().map(|c| &c.kernel), None);
+        stage_execs.push(StageExec {
+            name: fd.name.clone(),
+            scratch: sp.scratch,
+            full: sp.full,
+            direct: sp.direct,
+            sat: sp.sat,
+            round: sp.round,
+            cases,
+            dom: doms[k].clone(),
+            reads,
+        });
+        cmap.push(map);
+    }
+
+    (
+        GroupExec {
+            name: tp.name.clone(),
+            kind: GroupKind::Tiled(TiledGroup::new(stage_execs, tiles, nstrips, buffers)),
+        },
+        cmap,
+    )
+}
+
+/// The sub-rectangle of a stage's coordinates "owned" by tile `tidx`
+/// (used to make parallel strips' full-buffer writes disjoint). Boundary
+/// strips absorb coordinates outside the sink's scaled range.
+#[allow(clippy::too_many_arguments)]
+fn owned_rect(
+    dom: &Rect,
+    maps: &[DimMap],
+    sink_dom: &Rect,
+    tiles_cfg: &[Option<i64>],
+    tidx: &[i64],
+    tile_counts: &[i64],
+    sink_scales: &[i64],
+) -> Rect {
+    const INF: i64 = i64::MAX / 4;
+    let n = dom.ndim();
+    let mut dims: Vec<(i64, i64)> = dom.ranges().to_vec();
+
+    // Strips run along group dim 0, so cross-thread disjointness requires
+    // the stage's own dim 0 to be aligned with group dim 0. Without that
+    // alignment, the very first tile materializes the whole stage.
+    let dim0_on_gdim0 = matches!(
+        maps.first(),
+        Some(DimMap::Grouped { gdim: 0, scale }) if scale.is_integer() && scale.num() > 0
+    );
+    if !dim0_on_gdim0 && tile_counts.first().copied().unwrap_or(1) > 1 {
+        if tidx.iter().any(|&t| t != 0) {
+            return Rect::new(vec![(0, -1); n]);
+        }
+        return Rect::new(dims);
+    }
+
+    // Partition every aligned, tiled dimension by its tile's scheduled range.
+    for (k, m) in maps.iter().enumerate() {
+        let (g, sigma) = match m {
+            DimMap::Grouped { gdim, scale } if scale.is_integer() && scale.num() > 0 => {
+                (*gdim, scale.num())
+            }
+            _ => continue,
+        };
+        if g >= sink_dom.ndim() {
+            continue;
+        }
+        let Some(tg) = tiles_cfg[g] else { continue };
+        let (slo, _) = sink_dom.range(g);
+        let ls = sink_scales[g];
+        let t = tidx[g];
+        let last = tile_counts[g] - 1;
+        let lo = if t == 0 {
+            -INF
+        } else {
+            let s = (slo + t * tg) * ls;
+            -(-s).div_euclid(sigma) // ceil(s/σ)
+        };
+        let hi = if t == last {
+            INF
+        } else {
+            let s = (slo + (t + 1) * tg) * ls;
+            -(-s).div_euclid(sigma) - 1
+        };
+        dims[k] = (dims[k].0.max(lo), dims[k].1.min(hi));
+    }
+    Rect::new(dims)
+}
+
+/// Binds a stage's [`CasePlan`]s to concrete [`CaseExec`]s: re-narrows
+/// each guard at the bound values, drops cases empty at this binding, and
+/// materializes raw kernels — cloned from the plan when
+/// parameter-insensitive (provably byte-identical), re-lowered from the
+/// stored (stride-substituted) expression otherwise. The second return
+/// maps each bound case back to its plan case.
+fn bind_cases(
+    plan: &ParametricPlan,
+    cases: &[CasePlan],
+    dom: &Rect,
+    f: FuncId,
+    func_scratch: &HashMap<FuncId, BufId>,
+    params: &[i64],
+) -> (Vec<CaseExec>, Vec<usize>) {
+    let pipe = &plan.pipe;
+    let vars: Vec<VarId> = pipe.func(f).var_dom.vars.clone();
+    let mut out = Vec::with_capacity(cases.len());
+    let mut map = Vec::with_capacity(cases.len());
+    for (pi, cp) in cases.iter().enumerate() {
+        let rect = match &cp.cond {
+            None => dom.clone(),
+            Some(c) => {
+                let nr = narrow_rect_by_cond(c, &vars, dom, params);
+                // Strides and exactness are structural — the plan's record
+                // must agree at every binding.
+                debug_assert_eq!(nr.steps, cp.steps, "narrowing strides are structural");
+                debug_assert_eq!(
+                    nr.exact,
+                    cp.residual.is_none(),
+                    "narrowing exactness is structural"
+                );
+                nr.rect
+            }
+        };
+        if rect.is_empty() {
+            continue;
+        }
+        let (kernel, mask) = if cp.param_sensitive {
+            // The plan's kernel embeds the estimate values; re-lower at
+            // the bound ones.
+            let env = LowerEnv {
+                pipe,
+                params,
+                image_bufs: &plan.image_bufs,
+                func_scratch,
+                func_full: &plan.func_full,
+                vars: &vars,
+            };
+            let mut b = KernelBuilder::new(&env);
+            let val = b.value(&cp.expr);
+            let mask = cp.residual.as_ref().map(|c| b.cond(c));
+            let mut outs = vec![val];
+            if let Some(m) = mask {
+                outs.push(m);
+            }
+            let (kernel, _reads) = b.finish(outs);
+            (kernel, mask)
+        } else {
+            (cp.kernel.clone(), cp.mask)
+        };
+        out.push(CaseExec {
+            rect,
+            steps: cp.steps.clone(),
+            kernel,
+            mask,
+        });
+        map.push(pi);
+    }
+    (out, map)
+}
+
+fn bind_reduction(
+    plan: &ParametricPlan,
+    rp: &ReductionPlan,
+    params: &[i64],
+    buffers: &mut Vec<BufDecl>,
+) -> GroupExec {
+    let pipe = &plan.pipe;
+    let fd = pipe.func(rp.f);
+    let dom = concrete_dom(pipe, rp.f, params);
+    debug_assert_eq!(rp.out, BufId(buffers.len()), "plan buffer order");
+    buffers.push(BufDecl {
+        name: fd.name.clone(),
+        kind: BufKind::Full,
+        sizes: (0..dom.ndim()).map(|d| dom.extent(d).max(0)).collect(),
+        origin: dom.ranges().iter().map(|&(lo, _)| lo).collect(),
+    });
+    let acc = match &fd.body {
+        FuncBody::Reduce(a) => a.clone(),
+        _ => unreachable!("reduction group"),
+    };
+    let red_dom = Rect::new(acc.red_dom.iter().map(|iv| iv.eval(params)).collect());
+    let kernel = if rp.param_sensitive {
+        let empty_scratch = HashMap::new();
+        let env = LowerEnv {
+            pipe,
+            params,
+            image_bufs: &plan.image_bufs,
+            func_scratch: &empty_scratch,
+            func_full: &plan.func_full,
+            vars: &acc.red_vars,
+        };
+        let mut b = KernelBuilder::new(&env);
+        let val = b.value(&acc.value);
+        let mut outs = vec![val];
+        for t in &acc.target {
+            outs.push(b.index(t));
+        }
+        b.finish(outs).0
+    } else {
+        rp.kernel.clone()
+    };
+    let reads = collect_reads(std::iter::once(&kernel), None);
+    GroupExec {
+        name: rp.group_name.clone(),
+        kind: GroupKind::Reduction(ReductionExec {
+            name: fd.name.clone(),
+            out: rp.out,
+            red_dom,
+            kernel,
+            op: acc.op,
+            reads,
+        }),
+    }
+}
+
+fn bind_selfref(
+    plan: &ParametricPlan,
+    sp: &SelfRefPlan,
+    params: &[i64],
+    buffers: &mut Vec<BufDecl>,
+) -> (GroupExec, Vec<Vec<usize>>) {
+    let pipe = &plan.pipe;
+    let fd = pipe.func(sp.f);
+    let dom = concrete_dom(pipe, sp.f, params);
+    debug_assert_eq!(sp.out, BufId(buffers.len()), "plan buffer order");
+    buffers.push(BufDecl {
+        name: fd.name.clone(),
+        kind: BufKind::Full,
+        sizes: (0..dom.ndim()).map(|d| dom.extent(d).max(0)).collect(),
+        origin: dom.ranges().iter().map(|&(lo, _)| lo).collect(),
+    });
+    let empty_scratch = HashMap::new();
+    let (cases, map) = bind_cases(plan, &sp.cases, &dom, sp.f, &empty_scratch, params);
+    let reads = collect_reads(cases.iter().map(|c| &c.kernel), None);
+    (
+        GroupExec {
+            name: sp.group_name.clone(),
+            kind: GroupKind::Sequential(SeqExec {
+                name: fd.name.clone(),
+                out: sp.out,
+                dom,
+                cases,
+                sat: sp.sat,
+                round: sp.round,
+                chunked: sp.chunked,
+                reads,
+            }),
+        },
+        vec![map],
+    )
+}
+
+/// The bind-time counterpart of [`polymage_vm::optimize_program`]: walks
+/// the bound program with the plan's kernel protos in hand, reusing a
+/// proto verbatim when the case is parameter-insensitive and the bound
+/// rect pins the same fixed dimensions the proto was specialized for, and
+/// re-running the optimizer otherwise. Returns the per-kernel reports and
+/// the `(reused, respecialized)` split.
+fn finalize_kernels(
+    plan: &ParametricPlan,
+    program: &mut Program,
+    case_maps: &[Vec<Vec<usize>>],
+) -> (Vec<polymage_vm::KernelOptReport>, usize, usize) {
+    let mut reports = Vec::new();
+    let (mut reused, mut respecialized) = (0usize, 0usize);
+    for (gi, group) in program.groups.iter_mut().enumerate() {
+        match (&mut group.kind, &plan.groups[gi]) {
+            (GroupKind::Tiled(tg), GroupPlan::Tiled(tp)) => {
+                for (si, stage) in tg.stages.iter_mut().enumerate() {
+                    let ndims = stage.dom.ndim();
+                    for (ci, case) in stage.cases.iter_mut().enumerate() {
+                        let cp = &tp.stages[si].cases[case_maps[gi][si][ci]];
+                        let name = format!("{}/{}#{}", group.name, stage.name, ci);
+                        let fixed = fixed_dims(&case.rect.intersect(&stage.dom), &case.steps);
+                        reports.push(finalize_case(
+                            case,
+                            cp,
+                            ndims,
+                            fixed,
+                            name,
+                            &mut reused,
+                            &mut respecialized,
+                        ));
+                    }
+                    stage.reads = collect_reads(stage.cases.iter().map(|c| &c.kernel), None);
+                }
+            }
+            (GroupKind::Reduction(red), GroupPlan::Reduction(rp)) => {
+                let ndims = red.red_dom.ndim();
+                let name = format!("{}/{}", group.name, red.name);
+                let fixed = fixed_dims(&red.red_dom, &[]);
+                let proto = rp.opt.as_ref().expect("plan built with kernel_opt");
+                let report = if !rp.param_sensitive && proto.fixed == fixed {
+                    reused += 1;
+                    red.kernel = proto.kernel.clone();
+                    let mut r = proto.report.clone();
+                    r.name = name;
+                    r
+                } else {
+                    respecialized += 1;
+                    optimize_kernel(&mut red.kernel, ndims, &fixed, name)
+                };
+                reports.push(report);
+                red.reads = collect_reads(std::iter::once(&red.kernel), None);
+            }
+            (GroupKind::Sequential(seq), GroupPlan::SelfRef(sp)) => {
+                let ndims = seq.dom.ndim();
+                for (ci, case) in seq.cases.iter_mut().enumerate() {
+                    let cp = &sp.cases[case_maps[gi][0][ci]];
+                    let name = format!("{}/{}#{}", group.name, seq.name, ci);
+                    let fixed = fixed_dims(&case.rect.intersect(&seq.dom), &case.steps);
+                    reports.push(finalize_case(
+                        case,
+                        cp,
+                        ndims,
+                        fixed,
+                        name,
+                        &mut reused,
+                        &mut respecialized,
+                    ));
+                }
+                let out = seq.out;
+                seq.reads = collect_reads(seq.cases.iter().map(|c| &c.kernel), Some(out));
+            }
+            _ => unreachable!("plan and program group kinds are parallel"),
+        }
+    }
+    (reports, reused, respecialized)
+}
+
+fn finalize_case(
+    case: &mut CaseExec,
+    cp: &CasePlan,
+    ndims: usize,
+    fixed: Vec<Option<i64>>,
+    name: String,
+    reused: &mut usize,
+    respecialized: &mut usize,
+) -> polymage_vm::KernelOptReport {
+    let proto = cp.opt.as_ref().expect("plan built with kernel_opt");
+    if !cp.param_sensitive && proto.fixed == fixed {
+        *reused += 1;
+        case.kernel = proto.kernel.clone();
+        case.mask = proto.mask;
+        let mut r = proto.report.clone();
+        r.name = name;
+        r
+    } else {
+        *respecialized += 1;
+        let report = optimize_kernel(&mut case.kernel, ndims, &fixed, name);
+        sync_mask(case);
+        report
+    }
+}
+
+fn make_group_report(
+    plan: &ParametricPlan,
+    params: &[i64],
+    g: &crate::grouping::Group,
+    scratch_bytes: usize,
+    full_bytes: usize,
+) -> GroupReport {
+    let pipe = &plan.pipe;
+    let sink_extents: Vec<i64> = pipe
+        .func(g.sink)
+        .var_dom
+        .dom
+        .iter()
+        .map(|iv| {
+            let (lo, hi) = iv.eval(params);
+            (hi - lo + 1).max(0)
+        })
+        .collect();
+    // The grouping pass already solved alignment and cached the overlap
+    // vector and ratio on the group — no need to re-run the solver here.
+    let tile_sizes = if g.kind == GroupKindTag::Normal {
+        effective_tiles(&sink_extents, &plan.opts)
+    } else {
+        Vec::new()
+    };
+    GroupReport {
+        sink: pipe.func(g.sink).name.clone(),
+        stages: g
+            .stages
+            .iter()
+            .map(|&f| pipe.func(f).name.clone())
+            .collect(),
+        kind: g.kind,
+        tile_sizes,
+        overlap: g.overlap.clone(),
+        overlap_ratio: g.overlap_ratio,
+        scratch_bytes,
+        full_bytes,
+        // Filled in by the storage pass once slots are assigned.
+        scratch_folded_bytes: 0,
+        scratch_slots: 0,
+    }
+}

@@ -322,17 +322,14 @@ fn flat_index(rect: &Rect, pt: &[i64]) -> usize {
 /// # Errors
 ///
 /// Returns [`CompileError::Graph`] for cyclic specifications and
-/// [`CompileError::MissingParams`] for wrong parameter counts.
+/// [`CompileError::ParamMismatch`] for wrong parameter counts.
 pub fn interpret(
     pipe: &Pipeline,
     params: &[i64],
     inputs: &[Buffer],
 ) -> Result<Vec<Buffer>, CompileError> {
     if params.len() != pipe.params().len() {
-        return Err(CompileError::MissingParams {
-            expected: pipe.params().len(),
-            got: params.len(),
-        });
+        return Err(CompileError::param_mismatch(pipe, params.len()));
     }
     let graph = PipelineGraph::build(pipe)?;
     let mut interp = Interp {

@@ -21,9 +21,13 @@
 //! 6. an [`autotune`] module exploring the paper's 7-tile-sizes ×
 //!    3-thresholds space (§3.8), and a random-schedule baseline tuner.
 //!
-//! The compiler specializes programs to the given parameter values (the
-//! original emits parametric C++; recompiling per size takes microseconds
-//! here and keeps every analysis concrete).
+//! Compilation is split at the size boundary: [`plan`] runs every
+//! size-independent analysis once (steered by parameter *estimates*) into
+//! a [`ParametricPlan`] whose geometry stays symbolic, and
+//! [`instantiate`] binds it to concrete parameter values cheaply — the
+//! analogue of the paper's parametric generated code, which compiles once
+//! and runs at any size. [`compile`] composes the two; `Session` caches
+//! plans across sizes.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,11 +38,12 @@ mod compile;
 mod cref;
 mod error;
 mod grouping;
+mod instantiate;
 pub mod interp;
 mod lower;
 mod options;
+mod plan;
 mod report;
-mod schedule;
 mod session;
 mod storage;
 mod validate;
@@ -48,8 +53,10 @@ pub use compile::{compile, compile_with, Compiled};
 pub use cref::{emit_c_inputs, emit_c_reference};
 pub use error::CompileError;
 pub use grouping::{group_stages, group_stages_with, Group, GroupKindTag, Grouping, MergeDecision};
-pub use options::{CompileOptions, OptionsKey};
+pub use instantiate::{instantiate, instantiate_with};
+pub use options::{CompileOptions, OptionsKey, StructuralKey};
+pub use plan::{plan, plan_with, ParametricPlan};
 pub use polymage_vm::{SimdLevel, SimdOpt};
-pub use report::{CompileReport, GroupReport};
+pub use report::{CompileReport, GroupReport, Provenance};
 pub use session::{CacheStats, RunError, Session};
 pub use validate::{assert_valid, validate_program, Violation};

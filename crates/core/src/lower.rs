@@ -47,6 +47,7 @@ pub struct KernelBuilder<'a> {
     ops: Vec<Op>,
     next: u16,
     reads: Vec<BufId>,
+    param_sensitive: bool,
 }
 
 impl<'a> KernelBuilder<'a> {
@@ -57,7 +58,17 @@ impl<'a> KernelBuilder<'a> {
             ops: Vec::new(),
             next: 0,
             reads: Vec::new(),
+            param_sensitive: false,
         }
+    }
+
+    /// Whether any emitted op depends on the concrete parameter values
+    /// (`Expr::Param` constants, parametric affine load offsets). A kernel
+    /// built from a param-insensitive expression is byte-identical for
+    /// every parameter binding, so `instantiate` can reuse it verbatim
+    /// across sizes; sensitive kernels are re-lowered per binding.
+    pub fn param_sensitive(&self) -> bool {
+        self.param_sensitive
     }
 
     fn fresh(&mut self) -> RegId {
@@ -98,6 +109,7 @@ impl<'a> KernelBuilder<'a> {
             }
             Expr::Param(p) => {
                 let val = self.env.params[p.index()] as f32;
+                self.param_sensitive = true;
                 self.emit(|d| Op::ConstF { dst: d, val })
             }
             Expr::Var(v) => {
@@ -305,6 +317,9 @@ impl<'a> KernelBuilder<'a> {
                 match (a.single_var(), a.is_const()) {
                     (Some((v, q)), _) => {
                         let dim = self.env.vars.iter().position(|&u| u == v);
+                        if a.cst.as_const().is_none() {
+                            self.param_sensitive = true;
+                        }
                         return IdxPlan::Affine {
                             dim,
                             q,
@@ -313,6 +328,9 @@ impl<'a> KernelBuilder<'a> {
                         };
                     }
                     (None, true) => {
+                        if a.cst.as_const().is_none() {
+                            self.param_sensitive = true;
+                        }
                         return IdxPlan::Affine {
                             dim: None,
                             q: 0,
@@ -506,6 +524,43 @@ mod tests {
             .unwrap();
         assert!(matches!(load[0], IdxPlan::Reg(_)));
         assert!(matches!(load[1], IdxPlan::Affine { .. }));
+    }
+
+    #[test]
+    fn param_sensitivity_is_tracked() {
+        let (pipe, f, vars) = env_fixture();
+        let scratch = HashMap::new();
+        let full = HashMap::new();
+        let env = LowerEnv {
+            pipe: &pipe,
+            params: &[100],
+            image_bufs: &[BufId(0)],
+            func_scratch: &scratch,
+            func_full: &full,
+            vars: &vars,
+        };
+        // The fixture's case mentions Expr::Param → sensitive.
+        let case = match &pipe.func(f).body {
+            polymage_ir::FuncBody::Cases(cs) => &cs[0],
+            _ => unreachable!(),
+        };
+        let mut b = KernelBuilder::new(&env);
+        let _ = b.value(&case.expr);
+        assert!(b.param_sensitive());
+        // A plain constant-offset access is parameter-independent.
+        let mut b2 = KernelBuilder::new(&env);
+        let img = polymage_ir::ImageId::from_index(0);
+        let _ = b2.value(&Expr::at(img, [Expr::from(vars[0]), Expr::from(vars[1])]));
+        assert!(!b2.param_sensitive());
+        // A parametric access offset (I(x + R, y)) is sensitive even
+        // without a Param in value position.
+        let mut b3 = KernelBuilder::new(&env);
+        let r = Expr::Param(polymage_ir::ParamId::from_index(0));
+        let _ = b3.value(&Expr::at(
+            img,
+            [Expr::from(vars[0]) + r, Expr::from(vars[1])],
+        ));
+        assert!(b3.param_sensitive());
     }
 
     #[test]

@@ -10,9 +10,21 @@ use polymage_vm::{EvalMode, SimdOpt};
 #[derive(Debug, Clone)]
 pub struct CompileOptions {
     /// Concrete values for the pipeline parameters (indexed by
-    /// [`polymage_ir::ParamId::index`]). Also used as the estimates of
-    /// Algorithm 1.
+    /// [`polymage_ir::ParamId::index`]).
     pub params: Vec<i64>,
+    /// Parameter *estimates* for the size-dependent heuristics (grouping's
+    /// `group_size` ordering and the overlap-vs-tile ratio of Algorithm 1,
+    /// matching the paper's estimate-driven decisions). `None` (the
+    /// default) uses [`params`](Self::params), reproducing the historical
+    /// behavior where every analysis is specialized to the bound values.
+    ///
+    /// Setting explicit estimates makes the expensive phase-1 analysis
+    /// ([`crate::plan`]) independent of `params`: one
+    /// [`crate::ParametricPlan`] can then be
+    /// [instantiated](crate::instantiate) at many sizes, and `Session`
+    /// shares the plan across them (see
+    /// [`cache_key_structural`](Self::cache_key_structural)).
+    pub param_estimates: Option<Vec<i64>>,
     /// Tile sizes for the leading dimensions of each group's sink stage
     /// (the paper's `T`). A dimension is tiled only when its extent is at
     /// least twice the requested size.
@@ -72,6 +84,7 @@ impl CompileOptions {
     pub fn optimized(params: Vec<i64>) -> Self {
         CompileOptions {
             params,
+            param_estimates: None,
             tile_sizes: vec![32, 256],
             overlap_threshold: 0.4,
             mode: EvalMode::Vector,
@@ -134,6 +147,20 @@ impl CompileOptions {
         self
     }
 
+    /// Sets explicit parameter estimates for the size-dependent heuristics
+    /// (see [`param_estimates`](Self::param_estimates)).
+    pub fn with_estimates(mut self, estimates: Vec<i64>) -> Self {
+        self.param_estimates = Some(estimates);
+        self
+    }
+
+    /// The parameter values the heuristics use: the explicit
+    /// [`param_estimates`](Self::param_estimates) when set, the bound
+    /// [`params`](Self::params) otherwise.
+    pub fn estimates(&self) -> &[i64] {
+        self.param_estimates.as_deref().unwrap_or(&self.params)
+    }
+
     /// The hashable normal form of these options, used (together with the
     /// pipeline's content hash) to key compile caches.
     ///
@@ -145,6 +172,24 @@ impl CompileOptions {
     pub fn cache_key(&self) -> OptionsKey {
         OptionsKey {
             params: self.params.clone(),
+            structural: self.cache_key_structural(),
+        }
+    }
+
+    /// The *size-independent* part of [`cache_key`](Self::cache_key):
+    /// every knob except the bound `params`. Two option sets with the same
+    /// structural key produce the same [`crate::ParametricPlan`] (for the
+    /// same pipeline), so `Session` keys its plan cache on this form and
+    /// shares one plan across all bound parameter values.
+    ///
+    /// The *resolved* estimates participate (they steer grouping), which
+    /// means that with the default `param_estimates: None` the structural
+    /// key still varies with `params` — exactly the historical
+    /// one-plan-per-size behavior. Pin `param_estimates` to share plans
+    /// across sizes.
+    pub fn cache_key_structural(&self) -> StructuralKey {
+        StructuralKey {
+            estimates: self.estimates().to_vec(),
             tile_sizes: self.tile_sizes.clone(),
             overlap_threshold_bits: self.overlap_threshold.to_bits(),
             mode: self.mode,
@@ -171,10 +216,29 @@ fn default_storage_fold() -> bool {
 }
 
 /// The `Eq + Hash` normal form of [`CompileOptions`] (floats by bit
-/// pattern), produced by [`CompileOptions::cache_key`].
+/// pattern), produced by [`CompileOptions::cache_key`]: the bound
+/// parameter values plus the size-independent [`StructuralKey`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OptionsKey {
     params: Vec<i64>,
+    structural: StructuralKey,
+}
+
+impl OptionsKey {
+    /// The size-independent part of the key (plan-cache key).
+    pub fn structural(&self) -> &StructuralKey {
+        &self.structural
+    }
+}
+
+/// The size-independent normal form of [`CompileOptions`] (every knob but
+/// `params`; floats by bit pattern), produced by
+/// [`CompileOptions::cache_key_structural`]. Keys `Session`'s plan cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StructuralKey {
+    /// Resolved heuristic estimates (explicit `param_estimates`, or the
+    /// bound `params` when none were given).
+    estimates: Vec<i64>,
     tile_sizes: Vec<i64>,
     overlap_threshold_bits: u64,
     mode: EvalMode,
@@ -228,6 +292,26 @@ mod tests {
         } else {
             assert_ne!(a.cache_key(), off);
         }
+    }
+
+    #[test]
+    fn structural_key_drops_params() {
+        // Pinned estimates: the structural key is size-independent, the
+        // full key still varies with the bound params.
+        let a = CompileOptions::optimized(vec![100, 200]).with_estimates(vec![100, 200]);
+        let b = CompileOptions::optimized(vec![400, 300]).with_estimates(vec![100, 200]);
+        assert_eq!(a.cache_key_structural(), b.cache_key_structural());
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Default estimates follow params (one plan per size, as before).
+        let c = CompileOptions::optimized(vec![100, 200]);
+        let d = CompileOptions::optimized(vec![400, 300]);
+        assert_ne!(c.cache_key_structural(), d.cache_key_structural());
+        assert_eq!(a.cache_key_structural(), c.cache_key_structural());
+        // Estimates participate in both keys: they steer grouping.
+        let e = CompileOptions::optimized(vec![100, 200]).with_estimates(vec![64, 64]);
+        assert_ne!(c.cache_key(), e.cache_key());
+        assert_eq!(e.estimates(), &[64, 64]);
+        assert_eq!(c.estimates(), &[100, 200]);
     }
 
     #[test]

@@ -1,0 +1,836 @@
+//! Phase 1 of parametric compilation: everything *size-independent*.
+//!
+//! [`plan`] runs the expensive analyses exactly once per pipeline
+//! *structure* — front-end (cycle check, point-wise inlining), grouping
+//! (Algorithm 1, steered by [`CompileOptions::estimates`]), alignment and
+//! scaling, storage classification, schedule-space construction, kernel
+//! lowering and SSA pre-optimization, SIMD level resolution — and captures
+//! the result in a [`ParametricPlan`] whose geometry stays *symbolic*:
+//! stage domains and image extents remain the `PAff`/`Interval` forms of
+//! the specification, evaluated only when [`crate::instantiate`] binds
+//! concrete parameter values (the paper keeps emitted loop bounds
+//! parametric for the same reason; heuristic decisions use estimates).
+//!
+//! What is deliberately *not* here (because it genuinely depends on the
+//! bound sizes): tile enumeration and backward region propagation, buffer
+//! extents and scratch sizing, the storage-folding slot coloring, and the
+//! single-point-dimension kernel specialization — all of which
+//! [`crate::instantiate`] derives per binding, reusing the plan's
+//! pre-optimized kernels whenever they are provably byte-identical.
+
+use crate::grouping::{group_stages_with, Group, GroupKindTag, Grouping};
+use crate::lower::{KernelBuilder, LowerEnv};
+use crate::{CompileError, CompileOptions};
+use polymage_diag::{Diag, Value};
+use polymage_graph::{inline_pointwise, PipelineGraph};
+use polymage_ir::{Cond, Expr, FuncBody, FuncId, Pipeline, ScalarType, Source, VarId};
+use polymage_poly::{extract_accesses, narrow_rect_by_cond, solve_alignment, Access, DimMap, Rect};
+use polymage_vm::{fixed_dims, optimize_kernel, sync_mask};
+use polymage_vm::{BufId, CaseExec, Kernel, KernelOptReport, RegId, SimdLevel};
+use std::collections::{HashMap, HashSet};
+
+/// A size-independent compilation plan: phase 1's output, phase 2's input.
+///
+/// Produced by [`plan`]; bind concrete parameter values with
+/// [`crate::instantiate`] to obtain an executable
+/// [`polymage_vm::Program`]. One plan serves arbitrarily many bindings —
+/// `Session` caches plans by `content_hash ×`
+/// [`CompileOptions::cache_key_structural`] and instances per bound
+/// params.
+#[derive(Debug, Clone)]
+pub struct ParametricPlan {
+    /// The inlined pipeline (phase-1 front-end output). Domains and image
+    /// extents in here are the plan's *symbolic* geometry.
+    pub(crate) pipe: Pipeline,
+    pub(crate) inlined: Vec<String>,
+    pub(crate) dead: Vec<String>,
+    /// Grouping decisions (Algorithm 1 at the estimates).
+    pub(crate) grouping: Grouping,
+    /// Per-group structural schedules, parallel to `grouping.groups`.
+    pub(crate) groups: Vec<GroupPlan>,
+    /// Buffer ids of the input images (`BufId(0)..`).
+    pub(crate) image_bufs: Vec<BufId>,
+    /// Full buffer of every full-stored stage.
+    pub(crate) func_full: HashMap<FuncId, BufId>,
+    /// Live-out `(name, buffer)` pairs.
+    pub(crate) outputs: Vec<(String, BufId)>,
+    /// Total number of buffers every instantiation declares.
+    pub(crate) nbufs: usize,
+    /// The options snapshot the plan was built with (`params` inside it is
+    /// only the default binding; `instantiate` receives explicit values).
+    pub(crate) opts: CompileOptions,
+    /// The estimates the heuristics used.
+    pub(crate) estimates: Vec<i64>,
+    /// SIMD level, resolved once at plan time.
+    pub(crate) simd: SimdLevel,
+}
+
+impl ParametricPlan {
+    /// The inlined pipeline the plan schedules (its domains and image
+    /// extents are the plan's symbolic geometry).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipe
+    }
+
+    /// The parameter estimates the size-dependent heuristics used.
+    pub fn estimates(&self) -> &[i64] {
+        &self.estimates
+    }
+
+    /// Number of scheduled groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Renders the plan's *symbolic* geometry: parameter legend, image
+    /// extents and per-stage domains as affine forms over the `ParamId`s
+    /// (`p0`, `p1`, …), plus each group's structural schedule (storage
+    /// class per stage, overlap vector). `bin/inspect` prints this next to
+    /// one instantiated binding.
+    pub fn describe_symbolic(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let names = self.pipe.params();
+        for (i, n) in names.iter().enumerate() {
+            let est = self.estimates.get(i).copied().unwrap_or(0);
+            let _ = writeln!(s, "param p{i} = `{n}` (estimate {est})");
+        }
+        for (i, img) in self.pipe.images().iter().enumerate() {
+            let exts: Vec<String> = img.extents.iter().map(|e| e.to_string()).collect();
+            let _ = writeln!(s, "image {} [{}] -> buf{}", img.name, exts.join(" x "), i);
+        }
+        for (g, gp) in self.grouping.groups.iter().zip(&self.groups) {
+            let _ = writeln!(s, "group {} [{:?}]", gp.name(), g.kind);
+            for f in gp.stage_ids() {
+                let fd = self.pipe.func(f);
+                let dom: Vec<String> = fd.var_dom.dom.iter().map(|iv| iv.to_string()).collect();
+                let class = match &gp {
+                    GroupPlan::Tiled(t) => {
+                        let sp = t
+                            .stages
+                            .iter()
+                            .find(|sp| sp.f == f)
+                            .expect("stage in its own group");
+                        if sp.direct {
+                            "full(direct)"
+                        } else if sp.needs_full {
+                            "scratch+full"
+                        } else {
+                            "scratch"
+                        }
+                    }
+                    GroupPlan::Reduction(_) => "full(reduce)",
+                    GroupPlan::SelfRef(_) => "full(scan)",
+                };
+                let _ = writeln!(s, "  {}: {} {}", fd.name, dom.join(" x "), class);
+            }
+            if !g.overlap.is_empty() {
+                let ov: Vec<String> = g.overlap.iter().map(|(l, r)| format!("{l}+{r}")).collect();
+                let _ = writeln!(s, "  overlap: ({})", ov.join(","));
+            }
+        }
+        s
+    }
+}
+
+/// Structural schedule of one group (geometry left symbolic).
+#[derive(Debug, Clone)]
+pub(crate) enum GroupPlan {
+    Tiled(TiledPlan),
+    Reduction(ReductionPlan),
+    SelfRef(SelfRefPlan),
+}
+
+impl GroupPlan {
+    fn name(&self) -> &str {
+        match self {
+            GroupPlan::Tiled(t) => &t.name,
+            GroupPlan::Reduction(r) => &r.group_name,
+            GroupPlan::SelfRef(s) => &s.group_name,
+        }
+    }
+
+    fn stage_ids(&self) -> Vec<FuncId> {
+        match self {
+            GroupPlan::Tiled(t) => t.stages.iter().map(|s| s.f).collect(),
+            GroupPlan::Reduction(r) => vec![r.f],
+            GroupPlan::SelfRef(s) => vec![s.f],
+        }
+    }
+}
+
+/// Structural schedule of a tiled (Normal) group.
+#[derive(Debug, Clone)]
+pub(crate) struct TiledPlan {
+    pub(crate) name: String,
+    pub(crate) sink: FuncId,
+    /// Member stages, producers first.
+    pub(crate) stages: Vec<StagePlanP>,
+    /// Per sink dimension: the sink's own normalization scale (tile
+    /// boundaries live in the scheduled space).
+    pub(crate) sink_scales: Vec<i64>,
+    /// Pre-extracted in-group accesses: consumer stage index → list of
+    /// `(producer stage index, accesses)`.
+    pub(crate) accesses_to: Vec<Vec<(usize, Vec<Access>)>>,
+    /// Scratch buffer of each non-direct stage (for re-lowering).
+    pub(crate) func_scratch: HashMap<FuncId, BufId>,
+}
+
+/// Structural plan for one stage of a tiled group.
+#[derive(Debug, Clone)]
+pub(crate) struct StagePlanP {
+    pub(crate) f: FuncId,
+    pub(crate) needs_full: bool,
+    pub(crate) direct: bool,
+    /// Alignment of each stage dimension to the group's schedule space.
+    pub(crate) maps: Vec<DimMap>,
+    pub(crate) scratch: BufId,
+    pub(crate) full: Option<BufId>,
+    pub(crate) sat: Option<(f32, f32)>,
+    pub(crate) round: bool,
+    pub(crate) cases: Vec<CasePlan>,
+}
+
+/// One lowered case: the structural narrowing outcome plus kernel protos.
+///
+/// `steps` and residual-mask presence depend only on the guard's
+/// *structure* (parity strides and exactness never read parameter values —
+/// see `polymage_poly::narrow_rect_by_cond`), so they are fixed at plan
+/// time; only the rectangle is re-narrowed per binding.
+#[derive(Debug, Clone)]
+pub(crate) struct CasePlan {
+    /// The original guard (`None` = always).
+    pub(crate) cond: Option<Cond>,
+    /// Stride/phase per dimension (structural).
+    pub(crate) steps: Vec<(i64, i64)>,
+    /// Residual guard after strided substitution (`Some` iff the guard was
+    /// not captured exactly — structural).
+    pub(crate) residual: Option<Cond>,
+    /// The case expression after strided substitution (re-lowered per
+    /// binding when `param_sensitive`).
+    pub(crate) expr: Expr,
+    /// Whether the lowered kernel embeds concrete parameter values
+    /// (`Expr::Param` constants, parametric load offsets). Insensitive
+    /// kernels are byte-identical across bindings and reused verbatim.
+    pub(crate) param_sensitive: bool,
+    /// Raw structural kernel, lowered at the estimates.
+    pub(crate) kernel: Kernel,
+    /// Store-mask register of the raw kernel (`Some` iff `residual`).
+    pub(crate) mask: Option<RegId>,
+    /// Pre-optimized kernel (present iff `kernel_opt`).
+    pub(crate) opt: Option<OptProto>,
+}
+
+/// A kernel pre-optimized at plan time, with the geometry signature it was
+/// specialized for. Reused verbatim at bind when the case is
+/// parameter-insensitive and the bound rect's single-point-dimension
+/// signature matches; otherwise `instantiate` re-runs the optimizer.
+#[derive(Debug, Clone)]
+pub(crate) struct OptProto {
+    pub(crate) kernel: Kernel,
+    pub(crate) mask: Option<RegId>,
+    /// `fixed_dims` signature the optimization assumed.
+    pub(crate) fixed: Vec<Option<i64>>,
+    pub(crate) report: KernelOptReport,
+}
+
+/// Structural plan for a reduction group.
+#[derive(Debug, Clone)]
+pub(crate) struct ReductionPlan {
+    pub(crate) group_name: String,
+    pub(crate) f: FuncId,
+    pub(crate) out: BufId,
+    pub(crate) param_sensitive: bool,
+    pub(crate) kernel: Kernel,
+    pub(crate) opt: Option<OptProto>,
+}
+
+/// Structural plan for a self-referential (scan) group.
+#[derive(Debug, Clone)]
+pub(crate) struct SelfRefPlan {
+    pub(crate) group_name: String,
+    pub(crate) f: FuncId,
+    pub(crate) out: BufId,
+    pub(crate) chunked: bool,
+    pub(crate) sat: Option<(f32, f32)>,
+    pub(crate) round: bool,
+    pub(crate) cases: Vec<CasePlan>,
+}
+
+pub(crate) fn sat_round(ty: ScalarType) -> (Option<(f32, f32)>, bool) {
+    let sat = ty.saturation_range().map(|(lo, hi)| (lo as f32, hi as f32));
+    (sat, ty.is_integral())
+}
+
+/// Builds a size-independent [`ParametricPlan`] (phase 1).
+///
+/// Runs the front-end, grouping (at [`CompileOptions::estimates`]),
+/// alignment/scaling, storage classification, kernel lowering and SSA
+/// pre-optimization. The bound `opts.params` are *not* consumed — pass
+/// them to [`crate::instantiate`].
+///
+/// # Errors
+///
+/// Same structural conditions as [`crate::compile`] (cycles, unsupported
+/// self-references, estimate-count mismatch). Bounds violations and empty
+/// domains are only detectable per binding and surface from
+/// [`crate::instantiate`].
+pub fn plan(pipe: &Pipeline, opts: &CompileOptions) -> Result<ParametricPlan, CompileError> {
+    plan_with(pipe, opts, &Diag::noop())
+}
+
+/// [`plan`] with diagnostics: emits the `phase.frontend` / `phase.grouping`
+/// spans of the classic compiler plus a `phase.lower` span for structural
+/// scheduling and kernel pre-optimization, all inside a `plan` span.
+pub fn plan_with(
+    pipe: &Pipeline,
+    opts: &CompileOptions,
+    diag: &Diag,
+) -> Result<ParametricPlan, CompileError> {
+    if opts.estimates().len() != pipe.params().len() {
+        return Err(CompileError::param_mismatch(pipe, opts.estimates().len()));
+    }
+    let plan_span = diag.begin();
+
+    // Front-end. Cycle detection runs on the user's specification (before
+    // inlining, which could fold a cycle of point-wise stages into a
+    // self-reference and misreport the error). The static bounds check is
+    // *per binding* and lives in `instantiate`.
+    let span = diag.begin();
+    PipelineGraph::build(pipe)?;
+    let (pipe2, inline_report) = if opts.inline_pointwise {
+        inline_pointwise(pipe)?
+    } else {
+        (pipe.clone(), Default::default())
+    };
+    let graph = PipelineGraph::build(&pipe2)?;
+    diag.end(
+        span,
+        "phase.frontend",
+        if diag.enabled() {
+            vec![
+                ("inlined", Value::UInt(inline_report.inlined.len() as u64)),
+                ("dead", Value::UInt(inline_report.dead.len() as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
+    // Grouping (Algorithm 1) — size-dependent heuristics read the
+    // estimates.
+    let span = diag.begin();
+    let grouping = group_stages_with(&pipe2, &graph, opts, diag);
+    diag.end(
+        span,
+        "phase.grouping",
+        if diag.enabled() {
+            vec![
+                ("groups", Value::UInt(grouping.groups.len() as u64)),
+                ("stages", Value::UInt(pipe2.func_ids().count() as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
+    // Storage obligations: live-outs and cross-group values need full
+    // arrays (structural).
+    let mut needs_full: HashSet<FuncId> = pipe2.live_outs().iter().copied().collect();
+    for f in pipe2.func_ids() {
+        let gf = grouping.group_of(f);
+        if graph
+            .consumers(f)
+            .iter()
+            .any(|&c| grouping.group_of(c) != gf)
+        {
+            needs_full.insert(f);
+        }
+    }
+
+    // Buffer ids are fully structural: images first, then per group (in
+    // execution order) each stage's scratch and full slots in stage order.
+    // `instantiate` re-declares them in exactly this order with concrete
+    // sizes.
+    let image_bufs: Vec<BufId> = (0..pipe2.images().len()).map(BufId).collect();
+
+    let span = diag.begin();
+    let estimates = opts.estimates().to_vec();
+    let mut ctx = PlanCtx {
+        pipe: &pipe2,
+        graph: &graph,
+        opts,
+        est: &estimates,
+        image_bufs: &image_bufs,
+        func_full: HashMap::new(),
+        needs_full,
+        next_buf: image_bufs.len(),
+    };
+    let mut groups = Vec::with_capacity(grouping.groups.len());
+    for g in &grouping.groups {
+        groups.push(plan_group(&mut ctx, g)?);
+    }
+    diag.end(
+        span,
+        "phase.lower",
+        if diag.enabled() {
+            let kernels: usize = groups
+                .iter()
+                .map(|g| match g {
+                    GroupPlan::Tiled(t) => t.stages.iter().map(|s| s.cases.len()).sum(),
+                    GroupPlan::Reduction(_) => 1,
+                    GroupPlan::SelfRef(s) => s.cases.len(),
+                })
+                .sum();
+            vec![
+                ("groups", Value::UInt(groups.len() as u64)),
+                ("kernels", Value::UInt(kernels as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+
+    let outputs: Vec<(String, BufId)> = pipe2
+        .live_outs()
+        .iter()
+        .map(|f| {
+            let b = *ctx
+                .func_full
+                .get(f)
+                .expect("live-out stages always receive full storage");
+            (pipe2.func(*f).name.clone(), b)
+        })
+        .collect();
+
+    let nbufs = ctx.next_buf;
+    let func_full = std::mem::take(&mut ctx.func_full);
+    let simd = polymage_vm::resolve_simd(opts.simd);
+    diag.end(
+        plan_span,
+        "plan",
+        if diag.enabled() {
+            vec![
+                ("pipeline", Value::from(pipe2.name())),
+                ("groups", Value::UInt(groups.len() as u64)),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    Ok(ParametricPlan {
+        pipe: pipe2,
+        inlined: inline_report.inlined,
+        dead: inline_report.dead,
+        grouping,
+        groups,
+        image_bufs,
+        func_full,
+        outputs,
+        nbufs,
+        opts: opts.clone(),
+        estimates,
+        simd,
+    })
+}
+
+/// Mutable planning context shared across groups.
+struct PlanCtx<'a> {
+    pipe: &'a Pipeline,
+    graph: &'a PipelineGraph,
+    opts: &'a CompileOptions,
+    est: &'a [i64],
+    image_bufs: &'a [BufId],
+    func_full: HashMap<FuncId, BufId>,
+    needs_full: HashSet<FuncId>,
+    next_buf: usize,
+}
+
+impl PlanCtx<'_> {
+    fn alloc_buf(&mut self) -> BufId {
+        let b = BufId(self.next_buf);
+        self.next_buf += 1;
+        b
+    }
+
+    fn dom_at_estimates(&self, f: FuncId) -> Rect {
+        Rect::new(
+            self.pipe
+                .func(f)
+                .var_dom
+                .dom
+                .iter()
+                .map(|iv| iv.eval(self.est))
+                .collect(),
+        )
+    }
+}
+
+fn plan_group(ctx: &mut PlanCtx<'_>, group: &Group) -> Result<GroupPlan, CompileError> {
+    match group.kind {
+        GroupKindTag::Reduction => plan_reduction(ctx, group.sink),
+        GroupKindTag::SelfRef => plan_selfref(ctx, group.sink),
+        GroupKindTag::Normal => plan_tiled(ctx, group),
+    }
+}
+
+fn plan_tiled(ctx: &mut PlanCtx<'_>, group: &Group) -> Result<GroupPlan, CompileError> {
+    // Producers first.
+    let stages: Vec<FuncId> = ctx
+        .graph
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|f| group.stages.contains(f))
+        .collect();
+    let sink = group.sink;
+    let alignment =
+        solve_alignment(ctx.pipe, &stages, sink).expect("grouping only forms alignable groups");
+
+    // Storage classification (structural).
+    struct Classified {
+        f: FuncId,
+        needs_full: bool,
+        direct: bool,
+        maps: Vec<DimMap>,
+    }
+    let classified: Vec<Classified> = stages
+        .iter()
+        .map(|&f| {
+            let in_group_consumed = ctx.graph.consumers(f).iter().any(|c| stages.contains(c));
+            let needs_full = ctx.needs_full.contains(&f) || !ctx.opts.storage_opt;
+            let direct = needs_full && !in_group_consumed;
+            Classified {
+                f,
+                needs_full,
+                direct,
+                maps: alignment.map(f).to_vec(),
+            }
+        })
+        .collect();
+
+    // Sink normalization scales (structural).
+    let sink_ndim = ctx.pipe.func(sink).var_dom.dom.len();
+    let sink_scales: Vec<i64> = (0..sink_ndim)
+        .map(|g| alignment.scale_on(sink, g).map_or(1, |s| s.num().max(1)))
+        .collect();
+
+    // Pre-extracted in-group accesses: consumer stage index → producer →
+    // accesses (structural).
+    let accesses_to: Vec<Vec<(usize, Vec<Access>)>> = stages
+        .iter()
+        .map(|&c| {
+            let mut per_prod: HashMap<usize, Vec<Access>> = HashMap::new();
+            for acc in extract_accesses(ctx.pipe.func(c)) {
+                if let Source::Func(p) = acc.src {
+                    if let Some(pi) = stages.iter().position(|&s| s == p) {
+                        if p != c {
+                            per_prod.entry(pi).or_default().push(acc);
+                        }
+                    }
+                }
+            }
+            per_prod.into_iter().collect()
+        })
+        .collect();
+
+    // Buffer ids: per stage, scratch then full (matching `instantiate`'s
+    // declaration order).
+    let mut func_scratch: HashMap<FuncId, BufId> = HashMap::new();
+    let mut stage_bufs: Vec<(BufId, Option<BufId>)> = Vec::with_capacity(classified.len());
+    for c in &classified {
+        let scratch = if c.direct {
+            BufId(0) // placeholder, unused by direct stages
+        } else {
+            let b = ctx.alloc_buf();
+            func_scratch.insert(c.f, b);
+            b
+        };
+        let full = if c.needs_full {
+            let b = ctx.alloc_buf();
+            ctx.func_full.insert(c.f, b);
+            Some(b)
+        } else {
+            None
+        };
+        stage_bufs.push((scratch, full));
+    }
+
+    // Kernel protos.
+    let group_name = format!("{}+{}", ctx.pipe.func(sink).name, stages.len() - 1);
+    let mut stage_plans: Vec<StagePlanP> = Vec::with_capacity(classified.len());
+    for (k, c) in classified.iter().enumerate() {
+        let fd = ctx.pipe.func(c.f);
+        let (sat, round) = sat_round(fd.ty);
+        let dom_est = ctx.dom_at_estimates(c.f);
+        let cases = plan_cases(ctx, c.f, &dom_est, &func_scratch, &group_name)?;
+        stage_plans.push(StagePlanP {
+            f: c.f,
+            needs_full: c.needs_full,
+            direct: c.direct,
+            maps: c.maps.clone(),
+            scratch: stage_bufs[k].0,
+            full: stage_bufs[k].1,
+            sat,
+            round,
+            cases,
+        });
+    }
+
+    Ok(GroupPlan::Tiled(TiledPlan {
+        name: group_name,
+        sink,
+        stages: stage_plans,
+        sink_scales,
+        accesses_to,
+        func_scratch,
+    }))
+}
+
+/// Lowers every case of a stage into a [`CasePlan`] proto at the
+/// estimates. Unlike the classic per-size scheduler, cases whose rectangle
+/// is empty *at the estimates* are still lowered — they may be non-empty
+/// at other bindings; `instantiate` filters per binding.
+fn plan_cases(
+    ctx: &PlanCtx<'_>,
+    f: FuncId,
+    dom_est: &Rect,
+    func_scratch: &HashMap<FuncId, BufId>,
+    group_name: &str,
+) -> Result<Vec<CasePlan>, CompileError> {
+    let fd = ctx.pipe.func(f);
+    let cases = match &fd.body {
+        FuncBody::Cases(cs) => cs,
+        _ => unreachable!("tiled stages are case-defined"),
+    };
+    let vars: Vec<VarId> = fd.var_dom.vars.clone();
+    let env = LowerEnv {
+        pipe: ctx.pipe,
+        params: ctx.est,
+        image_bufs: ctx.image_bufs,
+        func_scratch,
+        func_full: &ctx.func_full,
+        vars: &vars,
+    };
+    let mut out = Vec::with_capacity(cases.len());
+    for (ci, case) in cases.iter().enumerate() {
+        let (rect_est, steps, residual) = match &case.cond {
+            None => (dom_est.clone(), vec![(1, 0); dom_est.ndim()], None),
+            Some(c) => {
+                // `steps` and `exact` are structural (strides and
+                // exactness never read parameter values); only the rect
+                // varies per binding.
+                let nr = narrow_rect_by_cond(c, &vars, dom_est, ctx.est);
+                (
+                    nr.rect,
+                    nr.steps,
+                    if nr.exact { None } else { Some(c.clone()) },
+                )
+            }
+        };
+        // Strided cases (parity guards): lower the body in strided
+        // coordinates by substituting v_d -> stride_d*v_d + phase_d — the
+        // paper's domain splitting instead of inner-loop branching.
+        let strided = steps.iter().any(|&(s, _)| s != 1);
+        let (expr, residual) = if strided {
+            let map: HashMap<_, _> = vars
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| steps[*d] != (1, 0))
+                .map(|(d, &v)| {
+                    let (s, ph) = steps[d];
+                    (v, s * polymage_ir::Expr::Var(v) + ph as f64)
+                })
+                .collect();
+            (
+                polymage_graph::subst_vars(&case.expr, &map),
+                residual.map(|c| polymage_graph::subst_vars_cond(&c, &map)),
+            )
+        } else {
+            (case.expr.clone(), residual)
+        };
+        let mut b = KernelBuilder::new(&env);
+        let val = b.value(&expr);
+        let mask: Option<RegId> = residual.as_ref().map(|c| b.cond(c));
+        let param_sensitive = b.param_sensitive();
+        let mut outs = vec![val];
+        if let Some(m) = mask {
+            outs.push(m);
+        }
+        let (kernel, _reads) = b.finish(outs);
+
+        // Pre-optimize at the estimate geometry; `instantiate` reuses the
+        // result when the binding's fixed-dimension signature matches.
+        let opt = if ctx.opts.kernel_opt {
+            let mut tmp = CaseExec {
+                rect: rect_est.clone(),
+                steps: steps.clone(),
+                kernel: kernel.clone(),
+                mask,
+            };
+            let fixed = fixed_dims(&tmp.rect.intersect(dom_est), &tmp.steps);
+            let name = format!("{}/{}#{}", group_name, fd.name, ci);
+            let report = optimize_kernel(&mut tmp.kernel, dom_est.ndim(), &fixed, name);
+            sync_mask(&mut tmp);
+            Some(OptProto {
+                kernel: tmp.kernel,
+                mask: tmp.mask,
+                fixed,
+                report,
+            })
+        } else {
+            None
+        };
+        out.push(CasePlan {
+            cond: case.cond.clone(),
+            steps,
+            residual,
+            expr,
+            param_sensitive,
+            kernel,
+            mask,
+            opt,
+        });
+    }
+    Ok(out)
+}
+
+fn plan_reduction(ctx: &mut PlanCtx<'_>, f: FuncId) -> Result<GroupPlan, CompileError> {
+    let fd = ctx.pipe.func(f);
+    let acc = match &fd.body {
+        FuncBody::Reduce(a) => a.clone(),
+        _ => unreachable!("reduction group"),
+    };
+    let out = ctx.alloc_buf();
+    ctx.func_full.insert(f, out);
+
+    let empty_scratch = HashMap::new();
+    let env = LowerEnv {
+        pipe: ctx.pipe,
+        params: ctx.est,
+        image_bufs: ctx.image_bufs,
+        func_scratch: &empty_scratch,
+        func_full: &ctx.func_full,
+        vars: &acc.red_vars,
+    };
+    let mut b = KernelBuilder::new(&env);
+    let val = b.value(&acc.value);
+    let mut outs = vec![val];
+    for t in &acc.target {
+        outs.push(b.index(t));
+    }
+    let param_sensitive = b.param_sensitive();
+    let (kernel, _reads) = b.finish(outs);
+    let group_name = format!("{}(reduce)", fd.name);
+
+    let opt = if ctx.opts.kernel_opt {
+        let red_dom_est = Rect::new(acc.red_dom.iter().map(|iv| iv.eval(ctx.est)).collect());
+        let fixed = fixed_dims(&red_dom_est, &[]);
+        let mut k = kernel.clone();
+        let name = format!("{}/{}", group_name, fd.name);
+        let report = optimize_kernel(&mut k, red_dom_est.ndim(), &fixed, name);
+        Some(OptProto {
+            kernel: k,
+            mask: None,
+            fixed,
+            report,
+        })
+    } else {
+        None
+    };
+    Ok(GroupPlan::Reduction(ReductionPlan {
+        group_name,
+        f,
+        out,
+        param_sensitive,
+        kernel,
+        opt,
+    }))
+}
+
+fn plan_selfref(ctx: &mut PlanCtx<'_>, f: FuncId) -> Result<GroupPlan, CompileError> {
+    let fd = ctx.pipe.func(f);
+    let n = fd.var_dom.dom.len();
+
+    // Validate self-access patterns (structural): pure constant offsets,
+    // lexicographically negative.
+    let mut chunked = true;
+    for acc in extract_accesses(fd) {
+        if acc.src != Source::Func(f) {
+            continue;
+        }
+        let mut offsets: Vec<i64> = Vec::with_capacity(n);
+        for (d, dim) in acc.dims.iter().enumerate() {
+            let a = match dim {
+                polymage_poly::AccessDim::Affine(a) => a,
+                polymage_poly::AccessDim::Dynamic => {
+                    return Err(CompileError::InvalidSelfReference {
+                        func: fd.name.clone(),
+                        reason: "data-dependent self access".into(),
+                    })
+                }
+            };
+            let ok = a.den == 1
+                && a.single_var()
+                    .map(|(v, q)| q == 1 && v == fd.var_dom.vars[d])
+                    == Some(true)
+                && a.cst.as_const().is_some();
+            if !ok {
+                return Err(CompileError::InvalidSelfReference {
+                    func: fd.name.clone(),
+                    reason: format!("unsupported self index in dimension {d}"),
+                });
+            }
+            offsets.push(a.cst.as_const().unwrap());
+        }
+        match offsets.iter().position(|&o| o != 0) {
+            None => {
+                return Err(CompileError::InvalidSelfReference {
+                    func: fd.name.clone(),
+                    reason: "stage reads its own current point".into(),
+                })
+            }
+            Some(first) => {
+                if offsets[first] > 0 {
+                    return Err(CompileError::InvalidSelfReference {
+                        func: fd.name.clone(),
+                        reason: "self dependence points forward in scan order".into(),
+                    });
+                }
+                if first == n - 1 {
+                    chunked = false; // same-row backward dependence
+                }
+            }
+        }
+    }
+
+    let out = ctx.alloc_buf();
+    ctx.func_full.insert(f, out);
+
+    let (sat, round) = sat_round(fd.ty);
+    let dom_est = ctx.dom_at_estimates(f);
+    let group_name = format!("{}(scan)", fd.name);
+    let empty_scratch = HashMap::new();
+    let cases = plan_cases_inner(ctx, f, &dom_est, &empty_scratch, &group_name)?;
+    Ok(GroupPlan::SelfRef(SelfRefPlan {
+        group_name,
+        f,
+        out,
+        chunked,
+        sat,
+        round,
+        cases,
+    }))
+}
+
+/// `plan_cases` callable after `ctx.func_full` was already extended for
+/// the current group (scan stages read their own output buffer).
+fn plan_cases_inner(
+    ctx: &PlanCtx<'_>,
+    f: FuncId,
+    dom_est: &Rect,
+    func_scratch: &HashMap<FuncId, BufId>,
+    group_name: &str,
+) -> Result<Vec<CasePlan>, CompileError> {
+    plan_cases(ctx, f, dom_est, func_scratch, group_name)
+}

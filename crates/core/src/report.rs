@@ -37,6 +37,44 @@ pub struct GroupReport {
     pub scratch_slots: usize,
 }
 
+/// Phase provenance of a compiled artifact: which parameter estimates the
+/// size-independent plan (phase 1) was built with, which concrete values
+/// the instantiation (phase 2) bound, and how many kernels the bind could
+/// reuse verbatim from the plan versus re-specialize for the bound
+/// geometry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Provenance {
+    /// Parameter estimates the plan's heuristics (grouping, tile choice,
+    /// kernel pre-optimization) used.
+    pub estimates: Vec<i64>,
+    /// Concrete parameter values this instance was bound to.
+    pub params: Vec<i64>,
+    /// Kernels taken verbatim from the plan's pre-optimized protos.
+    pub kernels_reused: usize,
+    /// Kernels re-optimized at bind time (parameter-sensitive, or the
+    /// bound geometry's fixed-dimension signature diverged).
+    pub kernels_respecialized: usize,
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_vec = |v: &[i64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(
+            f,
+            "plan@[{}] bound@[{}] kernels reused={} respecialized={}",
+            fmt_vec(&self.estimates),
+            fmt_vec(&self.params),
+            self.kernels_reused,
+            self.kernels_respecialized
+        )
+    }
+}
+
 /// The complete compilation report.
 #[derive(Debug, Clone, Default)]
 pub struct CompileReport {
@@ -54,6 +92,9 @@ pub struct CompileReport {
     /// Estimated peak bytes of concurrently resident full buffers under
     /// the program's acquire/release schedule (input images included).
     pub peak_full_bytes: usize,
+    /// Which estimates planned this artifact, which values bound it, and
+    /// the kernel reuse/respecialization split.
+    pub provenance: Provenance,
 }
 
 impl CompileReport {
@@ -164,6 +205,7 @@ impl fmt::Display for CompileReport {
         }
         writeln!(f, "simd: {}", self.simd)?;
         writeln!(f, "peak full bytes: {}", self.peak_full_bytes)?;
+        writeln!(f, "provenance: {}", self.provenance)?;
         if !self.kernels.is_empty() {
             writeln!(
                 f,
@@ -203,6 +245,12 @@ mod tests {
             kernels: vec![],
             simd: polymage_vm::SimdLevel::Scalar,
             peak_full_bytes: 8192,
+            provenance: Provenance {
+                estimates: vec![64, 64],
+                params: vec![128, 128],
+                kernels_reused: 3,
+                kernels_respecialized: 1,
+            },
         }
     }
 
@@ -224,6 +272,8 @@ mod tests {
         assert!(text.contains("simd: scalar"));
         assert!(text.contains("folded=512B/1 slots"));
         assert!(text.contains("peak full bytes: 8192"));
+        assert!(text
+            .contains("provenance: plan@[64,64] bound@[128,128] kernels reused=3 respecialized=1"));
         let dot = r.grouping_dot();
         assert!(dot.contains("cluster_0"));
         assert!(dot.contains("\"out\""));

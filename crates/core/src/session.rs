@@ -1,5 +1,5 @@
-//! Long-lived compile-and-run sessions: a persistent [`Engine`] plus an
-//! LRU compile cache.
+//! Long-lived compile-and-run sessions: a persistent [`Engine`] plus a
+//! two-level LRU compile cache (size-independent plans × bound instances).
 //!
 //! [`compile`](crate::compile) is cheap (microseconds) but not free, and
 //! [`polymage_vm::run_program`] spins up a fresh engine per call. Code
@@ -8,6 +8,24 @@
 //! a *stable content hash* of the `(Pipeline, CompileOptions)` pair, and
 //! every run reuses the session's pooled workers and recycled buffers.
 //!
+//! The cache has two levels, mirroring the phase split of
+//! [`plan`](crate::plan) / [`instantiate`](crate::instantiate):
+//!
+//! - **plans** are keyed by `content_hash ×`
+//!   [`CompileOptions::cache_key_structural`] — everything *except* the
+//!   bound parameter values. Pin the heuristics with
+//!   [`CompileOptions::with_estimates`] and one
+//!   [`ParametricPlan`](crate::ParametricPlan) serves every size: a serving
+//!   loop that sees a new image resolution pays only the cheap bind.
+//! - **instances** (the executable [`Compiled`]s) are keyed by the full
+//!   [`CompileOptions::cache_key`], i.e. structural key plus the bound
+//!   params.
+//!
+//! Both levels are single-flight: N threads racing a cold key run phase 1
+//! once and phase 2 once. Instance hits/misses surface as the legacy
+//! `cache.hit`/`cache.miss` diagnostics counters *and* the explicit
+//! `session.instance_{hit,miss}`; plan lookups as `session.plan_{hit,miss}`.
+//!
 //! Cache keying rules:
 //!
 //! - the pipeline participates via [`polymage_ir::Pipeline::content_hash`]
@@ -15,23 +33,23 @@
 //!   live-outs);
 //! - the options participate via [`CompileOptions::cache_key`], which
 //!   includes every knob that can change the produced program (params,
-//!   tile sizes, threshold bits, mode, fuse/tile/inline/storage flags,
-//!   strip count, and `kernel_opt` — the optimizer rewrites kernels) and
-//!   excludes `skip_bounds_check` (it only affects error reporting, never
-//!   the produced program);
+//!   estimates, tile sizes, threshold bits, mode, fuse/tile/inline/storage
+//!   flags, strip count, and `kernel_opt` — the optimizer rewrites
+//!   kernels) and excludes `skip_bounds_check` (it only affects error
+//!   reporting, never the produced program);
 //! - errors are never cached — a failed compilation is retried on the
 //!   next call.
 
-use crate::{compile_with, CompileError, CompileOptions, Compiled};
+use crate::options::{OptionsKey, StructuralKey};
+use crate::plan::{plan_with, ParametricPlan};
+use crate::{instantiate_with, CompileError, CompileOptions, Compiled};
 use polymage_diag::{Counter, Diag};
 use polymage_ir::Pipeline;
 use polymage_vm::{Buffer, Engine, RunStats, VmError};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use crate::options::OptionsKey;
-
-/// Default number of cached compilations per session.
+/// Default number of cached compilations per session (each level).
 const DEFAULT_CACHE_CAPACITY: usize = 32;
 
 /// An error from [`Session::run`]: compilation or execution failed.
@@ -73,18 +91,33 @@ impl From<VmError> for RunError {
     }
 }
 
-/// Hit/miss counters of a session's compile cache.
+/// Hit/miss counters of a session's two-level compile cache.
+///
+/// `hits`/`misses`/`evictions` are the *instance* level (bound programs) —
+/// the counters the cache has always reported. The `plan_*` fields count
+/// the size-independent plan level underneath: a serving loop that binds
+/// one pipeline at many sizes shows `plan_misses == 1` with
+/// `plan_hits` growing, while `misses` ticks once per distinct size.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Compilations served without running the compiler in the calling
     /// thread: cache hits, plus threads that blocked on another thread's
     /// in-flight compilation of the same key (single-flight followers).
     pub hits: u64,
-    /// Compilations that actually ran the compiler — exactly one per
-    /// single-flight group, counted whether or not the compile succeeds.
+    /// Compilations that actually ran phase 2 (instantiate) — exactly one
+    /// per single-flight group, counted whether or not the compile
+    /// succeeds.
     pub misses: u64,
-    /// Cached entries evicted by the LRU policy.
+    /// Cached instances evicted by the LRU policy.
     pub evictions: u64,
+    /// Plan lookups served from the plan cache (including single-flight
+    /// followers of an in-flight planning run).
+    pub plan_hits: u64,
+    /// Plan lookups that ran phase 1 (the expensive analyses) — exactly
+    /// one per single-flight group.
+    pub plan_misses: u64,
+    /// Cached plans evicted by the LRU policy.
+    pub plan_evictions: u64,
 }
 
 #[derive(Clone, PartialEq, Eq)]
@@ -93,30 +126,36 @@ struct CacheKey {
     opts: OptionsKey,
 }
 
-/// Rendezvous for racing compilations of one key: the leader compiles and
-/// publishes; followers block here instead of compiling again.
-struct FlightSlot {
+#[derive(Clone, PartialEq, Eq)]
+struct PlanKey {
+    pipe_hash: u64,
+    structural: StructuralKey,
+}
+
+/// Rendezvous for racing computations of one key: the leader computes and
+/// publishes; followers block here instead of computing again.
+struct FlightSlot<T> {
     /// `None` = pending, `Some(None)` = leader failed (followers retry),
-    /// `Some(Some(_))` = compiled.
-    state: Mutex<Option<Option<Arc<Compiled>>>>,
+    /// `Some(Some(_))` = done.
+    state: Mutex<Option<Option<T>>>,
     cv: std::sync::Condvar,
 }
 
-impl FlightSlot {
-    fn new() -> FlightSlot {
+impl<T: Clone> FlightSlot<T> {
+    fn new() -> FlightSlot<T> {
         FlightSlot {
             state: Mutex::new(None),
             cv: std::sync::Condvar::new(),
         }
     }
 
-    fn resolve(&self, result: Option<Arc<Compiled>>) {
+    fn resolve(&self, result: Option<T>) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         *state = Some(result);
         self.cv.notify_all();
     }
 
-    fn wait(&self) -> Option<Arc<Compiled>> {
+    fn wait(&self) -> Option<T> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(result) = &*state {
@@ -128,10 +167,15 @@ impl FlightSlot {
 }
 
 struct Cache {
-    /// LRU order: least recently used first, most recent last.
+    /// Instance LRU: least recently used first, most recent last.
     entries: Vec<(CacheKey, Arc<Compiled>)>,
-    /// Misses currently being compiled, one slot per key (single-flight).
-    inflight: Vec<(CacheKey, Arc<FlightSlot>)>,
+    /// Instance misses currently being bound, one slot per key.
+    inflight: Vec<(CacheKey, Arc<FlightSlot<Arc<Compiled>>>)>,
+    /// Plan LRU (size-independent level).
+    plans: Vec<(PlanKey, Arc<ParametricPlan>)>,
+    /// Plan misses currently being planned, one slot per key.
+    plan_inflight: Vec<(PlanKey, Arc<FlightSlot<Arc<ParametricPlan>>>)>,
+    /// Per-level entry capacity (shared setting).
     capacity: usize,
     stats: CacheStats,
 }
@@ -139,16 +183,18 @@ struct Cache {
 /// A long-lived compile-and-run session.
 ///
 /// Owns a persistent [`Engine`] (pooled worker threads, recycled buffers)
-/// and an LRU cache of compiled programs keyed by the stable content hash
-/// of the `(Pipeline, CompileOptions)` pair.
+/// and a two-level LRU cache: size-independent
+/// [`ParametricPlan`](crate::ParametricPlan)s keyed by the structural
+/// options, and bound programs keyed by the full options (see the module
+/// docs for the split).
 ///
 /// Sessions are built for concurrent serving: every method takes `&self`,
 /// so one `Session` (behind an `Arc` or a plain reference) can be shared
 /// across request threads. Runs execute **concurrently** on the engine's
 /// shared worker pool — each gets its own run context, and results are
 /// bit-identical to an idle engine. Racing compilations of the same
-/// pipeline are deduplicated (single-flight), so a thundering herd on a
-/// cold cache compiles once.
+/// pipeline are deduplicated (single-flight) at both levels, so a
+/// thundering herd on a cold cache plans once and binds once.
 pub struct Session {
     engine: Engine,
     cache: Mutex<Cache>,
@@ -188,6 +234,8 @@ impl Session {
             cache: Mutex::new(Cache {
                 entries: Vec::new(),
                 inflight: Vec::new(),
+                plans: Vec::new(),
+                plan_inflight: Vec::new(),
                 capacity: DEFAULT_CACHE_CAPACITY,
                 stats: CacheStats::default(),
             }),
@@ -196,9 +244,10 @@ impl Session {
     }
 
     /// Attaches a diagnostics sink: every compilation (phase spans, merge
-    /// decisions), cache lookup (hit/miss/evict counters) and engine run
-    /// (group/worker spans, pool and evaluator counters) flows through it.
-    /// The default is the zero-cost no-op sink.
+    /// decisions), cache lookup (hit/miss/evict counters, plan/instance
+    /// counters) and engine run (group/worker spans, pool and evaluator
+    /// counters) flows through it. The default is the zero-cost no-op
+    /// sink.
     pub fn with_diag(mut self, diag: Diag) -> Session {
         self.diag = diag;
         self
@@ -209,7 +258,7 @@ impl Session {
         &self.diag
     }
 
-    /// Sets the compile-cache capacity (entries; minimum 1). Shrinking
+    /// Sets the cache capacity (entries per level; minimum 1). Shrinking
     /// evicts the least recently used entries immediately.
     pub fn with_cache_capacity(self, capacity: usize) -> Session {
         {
@@ -219,6 +268,10 @@ impl Session {
                 cache.entries.remove(0);
                 cache.stats.evictions += 1;
                 self.diag.count(Counter::CacheEvict, 1);
+            }
+            while cache.plans.len() > cache.capacity {
+                cache.plans.remove(0);
+                cache.stats.plan_evictions += 1;
             }
         }
         self
@@ -234,9 +287,134 @@ impl Session {
         self.engine.nthreads()
     }
 
+    /// Builds (or fetches) the size-independent
+    /// [`ParametricPlan`](crate::ParametricPlan) for a pipeline — phase 1
+    /// only. The key ignores `opts.params`: two option sets differing only
+    /// in the bound values share one plan (provided the estimates agree —
+    /// pin them with [`CompileOptions::with_estimates`]).
+    ///
+    /// Misses are **single-flight**: when N threads race the same key,
+    /// exactly one runs the planner (one [`CacheStats::plan_misses`]
+    /// tick); the others block and share its result, counting as plan
+    /// hits. Errors are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::plan`]; errors are not cached.
+    pub fn plan(
+        &self,
+        pipe: &Pipeline,
+        opts: &CompileOptions,
+    ) -> Result<Arc<ParametricPlan>, CompileError> {
+        let key = PlanKey {
+            pipe_hash: pipe.content_hash(),
+            structural: opts.cache_key_structural(),
+        };
+        loop {
+            let slot = {
+                let mut cache = self.lock_cache();
+                if let Some(i) = cache.plans.iter().position(|(k, _)| *k == key) {
+                    let entry = cache.plans.remove(i);
+                    let hit = Arc::clone(&entry.1);
+                    cache.plans.push(entry); // most recently used
+                    cache.stats.plan_hits += 1;
+                    self.diag.count(Counter::PlanHit, 1);
+                    return Ok(hit);
+                }
+                if let Some((_, slot)) = cache.plan_inflight.iter().find(|(k, _)| *k == key) {
+                    Some(Arc::clone(slot))
+                } else {
+                    cache
+                        .plan_inflight
+                        .push((key.clone(), Arc::new(FlightSlot::new())));
+                    cache.stats.plan_misses += 1;
+                    self.diag.count(Counter::PlanMiss, 1);
+                    None
+                }
+            };
+            if let Some(slot) = slot {
+                match slot.wait() {
+                    Some(plan) => {
+                        let mut cache = self.lock_cache();
+                        cache.stats.plan_hits += 1;
+                        self.diag.count(Counter::PlanHit, 1);
+                        drop(cache);
+                        return Ok(plan);
+                    }
+                    None => continue, // the leader failed; retry
+                }
+            }
+            return self.plan_as_leader(pipe, opts, &key);
+        }
+    }
+
+    /// Runs the planner for a key this thread holds the in-flight slot of,
+    /// then publishes the result. The guard unwinds the slot on error
+    /// *and* on panic, so followers never block on a dead flight.
+    fn plan_as_leader(
+        &self,
+        pipe: &Pipeline,
+        opts: &CompileOptions,
+        key: &PlanKey,
+    ) -> Result<Arc<ParametricPlan>, CompileError> {
+        struct PlanGuard<'a> {
+            session: &'a Session,
+            key: Option<PlanKey>,
+        }
+        impl PlanGuard<'_> {
+            fn finish(&mut self, result: Option<Arc<ParametricPlan>>) {
+                let key = self.key.take().expect("plan flight finished twice");
+                let slot = {
+                    let mut cache = self.session.lock_cache();
+                    if let Some(plan) = &result {
+                        if cache.plans.len() >= cache.capacity {
+                            cache.plans.remove(0);
+                            cache.stats.plan_evictions += 1;
+                        }
+                        cache.plans.push((key.clone(), Arc::clone(plan)));
+                    }
+                    let i = cache
+                        .plan_inflight
+                        .iter()
+                        .position(|(k, _)| *k == key)
+                        .expect("leader's plan flight slot disappeared");
+                    cache.plan_inflight.swap_remove(i).1
+                };
+                slot.resolve(result);
+            }
+        }
+        impl Drop for PlanGuard<'_> {
+            fn drop(&mut self) {
+                if self.key.is_some() {
+                    self.finish(None); // unwinding: fail the flight
+                }
+            }
+        }
+
+        // Plan outside every lock: a slow planning run must not block
+        // cache hits (or other keys' flights).
+        let mut guard = PlanGuard {
+            session: self,
+            key: Some(key.clone()),
+        };
+        match plan_with(pipe, opts, &self.diag) {
+            Ok(p) => {
+                let plan = Arc::new(p);
+                guard.finish(Some(Arc::clone(&plan)));
+                Ok(plan)
+            }
+            Err(e) => {
+                guard.finish(None);
+                Err(e)
+            }
+        }
+    }
+
     /// Compiles a pipeline, consulting the cache first. On a hit the
     /// cached [`Compiled`] is returned (shared via [`Arc`]) and the
-    /// compiler does not run at all.
+    /// compiler does not run at all. On an instance miss, the plan level
+    /// is consulted next — with a cached plan only the cheap
+    /// [`instantiate`](crate::instantiate) bind runs.
     ///
     /// Misses are **single-flight**: when N threads race the same key,
     /// exactly one runs the compiler (one [`CacheStats::misses`] tick);
@@ -265,6 +443,7 @@ impl Session {
                     cache.entries.push(entry); // most recently used
                     cache.stats.hits += 1;
                     self.diag.count(Counter::CacheHit, 1);
+                    self.diag.count(Counter::InstanceHit, 1);
                     return Ok(hit);
                 }
                 if let Some((_, slot)) = cache.inflight.iter().find(|(k, _)| *k == key) {
@@ -279,6 +458,7 @@ impl Session {
                         .push((key.clone(), Arc::new(FlightSlot::new())));
                     cache.stats.misses += 1;
                     self.diag.count(Counter::CacheMiss, 1);
+                    self.diag.count(Counter::InstanceMiss, 1);
                     None
                 }
             };
@@ -290,6 +470,8 @@ impl Session {
                         let mut cache = self.lock_cache();
                         cache.stats.hits += 1;
                         self.diag.count(Counter::CacheHit, 1);
+                        self.diag.count(Counter::InstanceHit, 1);
+                        drop(cache);
                         return Ok(compiled);
                     }
                     // The leader failed; retry (and possibly lead).
@@ -300,10 +482,10 @@ impl Session {
         }
     }
 
-    /// Runs the compiler for a key this thread holds the in-flight slot
-    /// of, then publishes the result to the cache and every follower. The
-    /// guard unwinds the slot on error *and* on panic, so followers never
-    /// block on a flight whose leader died.
+    /// Runs phase 1 (via the plan cache) and phase 2 for a key this thread
+    /// holds the in-flight slot of, then publishes the result to the cache
+    /// and every follower. The guard unwinds the slot on error *and* on
+    /// panic, so followers never block on a flight whose leader died.
     fn compile_as_leader(
         &self,
         pipe: &Pipeline,
@@ -346,12 +528,17 @@ impl Session {
         }
 
         // Compile outside every lock: a slow compilation must not block
-        // cache hits (or other keys' flights).
+        // cache hits (or other keys' flights). The plan level has its own
+        // single-flight, so racing binds of *different* sizes share one
+        // planning run.
         let mut guard = FlightGuard {
             session: self,
             key: Some(key.clone()),
         };
-        match compile_with(pipe, opts, &self.diag) {
+        let result = self
+            .plan(pipe, opts)
+            .and_then(|plan| instantiate_with(&plan, &opts.params, &self.diag));
+        match result {
             Ok(c) => {
                 let compiled = Arc::new(c);
                 guard.finish(Some(Arc::clone(&compiled)));
@@ -419,19 +606,26 @@ impl Session {
         Ok(out)
     }
 
-    /// Hit/miss/eviction counters of the compile cache.
+    /// Hit/miss/eviction counters of both cache levels.
     pub fn cache_stats(&self) -> CacheStats {
         self.lock_cache().stats
     }
 
-    /// Number of currently cached compilations.
+    /// Number of currently cached instances (bound programs).
     pub fn cache_len(&self) -> usize {
         self.lock_cache().entries.len()
     }
 
-    /// Drops every cached compilation (counters are kept).
+    /// Number of currently cached size-independent plans.
+    pub fn plan_cache_len(&self) -> usize {
+        self.lock_cache().plans.len()
+    }
+
+    /// Drops every cached plan and instance (counters are kept).
     pub fn clear_cache(&self) {
-        self.lock_cache().entries.clear();
+        let mut cache = self.lock_cache();
+        cache.entries.clear();
+        cache.plans.clear();
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, Cache> {

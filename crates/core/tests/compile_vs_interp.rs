@@ -434,8 +434,20 @@ fn missing_params_rejected() {
     p.define(f, vec![Case::always(Expr::from(x))]).unwrap();
     let pipe = p.finish(&[f]).unwrap();
     let err = compile(&pipe, &CompileOptions::optimized(vec![])).unwrap_err();
-    assert!(matches!(
-        err,
-        polymage_core::CompileError::MissingParams { .. }
-    ));
+    match err {
+        polymage_core::CompileError::ParamMismatch {
+            ref pipeline,
+            expected,
+            got,
+            ref missing,
+            ref extra,
+        } => {
+            assert_eq!(pipeline, "params");
+            assert_eq!((expected, got), (1, 0));
+            assert_eq!(missing, &[(0, "N".to_string())]);
+            assert!(extra.is_empty());
+            assert!(err.to_string().contains("`N` (#0)"));
+        }
+        other => panic!("expected ParamMismatch, got {other:?}"),
+    }
 }

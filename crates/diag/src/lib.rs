@@ -185,6 +185,15 @@ counters! {
     /// Peak bytes of full buffers resident across the engine (monotone;
     /// flushed as deltas so the summed counter equals the final peak).
     StoragePeakBytes => "storage.peak_bytes",
+    /// Session plan-cache hits (a size-independent `ParametricPlan` was
+    /// reused).
+    PlanHit => "session.plan_hit",
+    /// Session plan-cache misses (phase-1 planning ran).
+    PlanMiss => "session.plan_miss",
+    /// Session instance-cache hits (a bound `Program` was reused).
+    InstanceHit => "session.instance_hit",
+    /// Session instance-cache misses (phase-2 instantiation ran).
+    InstanceMiss => "session.instance_miss",
 }
 
 /// An in-flight span, created by [`Diag::begin`] and closed by

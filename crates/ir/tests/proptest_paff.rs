@@ -1,0 +1,129 @@
+//! Property-based tests pinning [`PAff::eval`] / [`PAff::eval_exact`]
+//! floor-division semantics, with particular attention to negative and
+//! non-exact (denominator does not divide the numerator) values.
+//!
+//! The parametric compiler relies on these semantics twice: once at plan
+//! time (evaluating bounds at the *estimates*) and once at every
+//! instantiation (evaluating the same symbolic forms at the bound
+//! parameters), so floor behavior at negatives must be C-`div_euclid`
+//! exact, not truncating.
+
+use polymage_ir::{PAff, ParamId};
+use proptest::prelude::*;
+
+fn pid(i: usize) -> ParamId {
+    ParamId::from_index(i)
+}
+
+/// A small affine form `(c + a0·p0 + a1·p1) / den` with coefficients that
+/// routinely produce negative and non-exact numerators.
+fn paff_strategy() -> impl Strategy<Value = PAff> {
+    (-40i64..41, -7i64..8, -7i64..8, 1i64..9).prop_map(|(c, a0, a1, den)| {
+        (PAff::cst(c) + PAff::param(pid(0)) * a0 + PAff::param(pid(1)) * a1) / den
+    })
+}
+
+/// Reconstructs the raw numerator of `e` at `params` (before the floor
+/// division by the denominator). The normalized representation exposes
+/// exactly the pieces needed.
+fn numerator_at(e: &PAff, params: &[i64]) -> i64 {
+    let mut n = e.num_const();
+    for (p, a) in e.terms() {
+        n += a * params[p.index()];
+    }
+    n
+}
+
+proptest! {
+    /// `eval` is floor (euclidean) division of the numerator by the
+    /// denominator — including at negative numerators, where truncating
+    /// division would round the wrong way.
+    #[test]
+    fn eval_is_floor_division(
+        e in paff_strategy(),
+        p0 in -100i64..101,
+        p1 in -100i64..101,
+    ) {
+        let params = [p0, p1];
+        let n = numerator_at(&e, &params);
+        let den = e.denominator();
+        prop_assert!(den >= 1, "normalized denominator must be positive");
+        let q = e.eval(&params);
+        prop_assert_eq!(q, n.div_euclid(den));
+        // Floor bracketing: den·q ≤ n < den·(q+1), even when n < 0.
+        prop_assert!(den * q <= n, "floor lower bound: {den}·{q} ≤ {n}");
+        prop_assert!(n < den * (q + 1), "floor upper bound: {n} < {den}·({q}+1)");
+    }
+
+    /// `eval_exact` agrees with `eval` on the quotient and reports
+    /// exactness iff the euclidean remainder vanishes. At negative
+    /// non-multiples a truncating implementation would claim exactness or
+    /// a different quotient; this pins the euclidean pair.
+    #[test]
+    fn eval_exact_agrees_and_flags_remainders(
+        e in paff_strategy(),
+        p0 in -100i64..101,
+        p1 in -100i64..101,
+    ) {
+        let params = [p0, p1];
+        let n = numerator_at(&e, &params);
+        let den = e.denominator();
+        let (q, exact) = e.eval_exact(&params);
+        prop_assert_eq!(q, e.eval(&params));
+        prop_assert_eq!(exact, n.rem_euclid(den) == 0);
+        if exact {
+            prop_assert_eq!(den * q, n, "exact ⇒ quotient reconstructs the numerator");
+        } else {
+            prop_assert!(den * q != n);
+        }
+    }
+
+    /// Negative non-exact values floor *downward*: `eval` of `e` and of
+    /// `-e` can only sum to 0 (exact) or −1 (both sides floored), never
+    /// +1 as truncation toward zero would produce.
+    #[test]
+    fn negation_floors_downward(
+        e in paff_strategy(),
+        p0 in -100i64..101,
+        p1 in -100i64..101,
+    ) {
+        let params = [p0, p1];
+        let (v, exact) = e.eval_exact(&params);
+        let w = (-e).eval(&params);
+        if exact {
+            prop_assert_eq!(v + w, 0);
+        } else {
+            prop_assert_eq!(v + w, -1, "⌊n/d⌋ + ⌊−n/d⌋ = −1 for non-exact n/d");
+        }
+    }
+
+    /// Term-free forms evaluate like `as_const`, and parameterized forms
+    /// evaluated at zero parameters agree with the constant part — the
+    /// plan-time constant-folding shortcut is semantics-preserving.
+    #[test]
+    fn as_const_matches_eval(e in paff_strategy(), c in -50i64..51, den in 1i64..9) {
+        let k = PAff::cst(c) / den;
+        prop_assert_eq!(k.as_const(), Some(k.eval(&[])));
+        prop_assert_eq!(k.eval(&[]), c.div_euclid(den));
+        // A parameterized form at p = 0 reduces to its constant part.
+        prop_assert_eq!(e.eval(&[0, 0]), e.num_const().div_euclid(e.denominator()));
+        prop_assert_eq!(e.as_const().is_some(), e.params().count() == 0);
+    }
+
+    /// Scaling by the denominator makes every evaluation exact:
+    /// `(den·e).eval == den·e.eval + remainder`, and `eval_exact` on a
+    /// den-multiplied form always reports exact.
+    #[test]
+    fn multiplying_out_the_denominator_is_exact(
+        e in paff_strategy(),
+        p0 in -100i64..101,
+        p1 in -100i64..101,
+    ) {
+        let params = [p0, p1];
+        let den = e.denominator();
+        let scaled = e.clone() * den;
+        let (v, exact) = scaled.eval_exact(&params);
+        prop_assert!(exact, "den·(n/den) is integral");
+        prop_assert_eq!(v, numerator_at(&e, &params));
+    }
+}

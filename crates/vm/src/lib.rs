@@ -52,7 +52,9 @@ pub use exec::{
 };
 pub use kernel::{BinF, CmpF, IdxPlan, Kernel, Op, OptMeta, RegId, UnF};
 pub use loadclass::{LoadClass, LoadHistogram};
-pub use opt::{optimize_kernel, optimize_program, KernelOptReport};
+pub use opt::{
+    collect_reads, fixed_dims, optimize_kernel, optimize_program, sync_mask, KernelOptReport,
+};
 pub use pool::{BufferPool, PoolStats, SharedPool};
 pub use program::{
     CaseExec, EvalMode, GroupExec, GroupKind, Program, ReductionExec, ScratchSlots, SeqExec,

@@ -144,7 +144,12 @@ pub fn optimize_program(prog: &mut Program) -> Vec<KernelOptReport> {
 /// constant (per-channel cases of color pipelines are the typical source).
 /// Points off a stride's phase lattice yield an empty virtual rect — the
 /// case never runs — so the folded value is irrelevant there.
-fn fixed_dims(rect: &polymage_poly::Rect, steps: &[(i64, i64)]) -> Vec<Option<i64>> {
+///
+/// Public because `polymage-core`'s `instantiate` drives the optimizer
+/// per-case: it compares the fixed-dimension signature of a freshly bound
+/// rect against the one a plan's pre-optimized kernel was specialized for,
+/// reusing the kernel verbatim when they match.
+pub fn fixed_dims(rect: &polymage_poly::Rect, steps: &[(i64, i64)]) -> Vec<Option<i64>> {
     rect.ranges()
         .iter()
         .enumerate()
@@ -162,8 +167,8 @@ fn fixed_dims(rect: &polymage_poly::Rect, steps: &[(i64, i64)]) -> Vec<Option<i6
 /// Re-points a case's store mask after register renumbering, and drops it
 /// entirely when the optimizer proved it a nonzero constant (every lane
 /// stored — the unmasked path is bit-identical and takes the contiguous
-/// store loop).
-fn sync_mask(case: &mut crate::CaseExec) {
+/// store loop). Public for `polymage-core`'s per-case instantiation path.
+pub fn sync_mask(case: &mut crate::CaseExec) {
     if case.mask.is_none() {
         return;
     }
@@ -178,7 +183,8 @@ fn sync_mask(case: &mut crate::CaseExec) {
 
 /// Buffers loaded by a set of kernels (first-seen order), optionally
 /// excluding one buffer (a scan's own output, which is bound separately).
-fn collect_reads<'a>(
+/// Public for `polymage-core`'s per-case instantiation path.
+pub fn collect_reads<'a>(
     kernels: impl Iterator<Item = &'a Kernel>,
     exclude: Option<crate::BufId>,
 ) -> Vec<crate::BufId> {

@@ -178,11 +178,15 @@ fn execution_input_mismatches_reported() {
 #[test]
 fn error_messages_are_human_readable() {
     // Display implementations must carry enough context to act on.
-    let e = CompileError::MissingParams {
+    let e = CompileError::ParamMismatch {
+        pipeline: "demo".into(),
         expected: 2,
         got: 0,
+        missing: vec![(0, "R".into()), (1, "C".into())],
+        extra: vec![],
     };
     assert!(e.to_string().contains("2 parameter"));
+    assert!(e.to_string().contains("`R` (#0)"));
     let e = VmError::InputCountMismatch {
         expected: 3,
         got: 1,
