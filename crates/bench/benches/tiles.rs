@@ -1,0 +1,37 @@
+//! Criterion bench for tile-shape selection: every paper benchmark under
+//! the optimized schedule with the fixed default shape vs the per-group
+//! cache model (`TileSpec::Auto`), at Small scale where working sets
+//! exceed L1/L2 and tile shape actually moves the needle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymage_apps::{all_benchmarks, Scale};
+use polymage_core::{CompileOptions, Session, TileSpec};
+
+fn bench_tile_specs(c: &mut Criterion) {
+    let session = Session::with_threads(1);
+    for b in all_benchmarks(Scale::Small) {
+        let inputs = b.make_inputs(42);
+        let mut g = c.benchmark_group(format!("tiles_{}", b.name().replace(' ', "_")));
+        g.sample_size(10);
+        let specs = [
+            (
+                "fixed",
+                TileSpec::Fixed(polymage_core::DEFAULT_TILE_SIZES.to_vec()),
+            ),
+            ("auto", TileSpec::Auto),
+        ];
+        for (label, spec) in specs {
+            let opts = CompileOptions::optimized(b.params()).with_tile_spec(spec);
+            let compiled = session
+                .compile(b.pipeline(), &opts)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            g.bench_function(BenchmarkId::from_parameter(label), |bench| {
+                bench.iter(|| session.run_compiled(&compiled, &inputs).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_tile_specs);
+criterion_main!(benches);

@@ -15,10 +15,12 @@
 //!   forced-scalar fallback (`CompileOptions::with_simd(SimdOpt::Off)`);
 //! - **storage folding** (§3.6, second half): liveness-based scratch-slot
 //!   reuse and early full-buffer release on/off
-//!   (`CompileOptions::with_storage_fold(false)`).
+//!   (`CompileOptions::with_storage_fold(false)`);
+//! - **tile model** (§3.8): per-group cache-model tile shapes
+//!   (`TileSpec::Auto`) vs the fixed `[32, 256]` default.
 
 use polymage_bench::{ms, time_program, HarnessArgs};
-use polymage_core::{CompileOptions, Session, SimdOpt};
+use polymage_core::{CompileOptions, Session, SimdOpt, TileSpec};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -29,7 +31,7 @@ fn main() {
         args.scale, args.runs
     );
     println!(
-        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9}",
+        "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9} {:>10}",
         "Benchmark",
         "opt",
         "no-inline",
@@ -39,7 +41,8 @@ fn main() {
         "thresh≈0",
         "no-kopt",
         "simd-off",
-        "fold-off"
+        "fold-off",
+        "tile-model"
     );
     for b in args.benchmarks() {
         let inputs = b.make_inputs(42);
@@ -70,6 +73,7 @@ fn main() {
             CompileOptions::optimized(b.params()).with_kernel_opt(false),
             CompileOptions::optimized(b.params()).with_simd(SimdOpt::Off),
             CompileOptions::optimized(b.params()).with_storage_fold(false),
+            CompileOptions::optimized(b.params()).with_tile_spec(TileSpec::Auto),
         ];
         for opts in variants {
             let compiled = session
@@ -84,7 +88,7 @@ fn main() {
             )));
         }
         println!(
-            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9}",
+            "{:<24} {:>9} {:>11} {:>11} {:>10} {:>10} {:>11} {:>9} {:>9} {:>9} {:>10}",
             b.name(),
             row[0],
             row[1],
@@ -94,7 +98,8 @@ fn main() {
             row[5],
             row[6],
             row[7],
-            row[8]
+            row[8],
+            row[9]
         );
     }
 }

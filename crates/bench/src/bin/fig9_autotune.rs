@@ -5,15 +5,50 @@
 //! an unrestricted space (the OpenTuner stand-in of Table 2's middle
 //! column).
 //!
-//! The paper sweeps 7 tile sizes per dimension × 3 thresholds = 147
-//! configurations in under 30 minutes; pass `--runs`/`--scale` to trade
-//! fidelity for time, and `--filter` to tune one benchmark.
+//! By default the tuner is **model-pruned**: the cache model ranks the
+//! paper's 7×7×3 space analytically and only the top-k candidates are
+//! measured. Pass `--full` to run the exhaustive sweep as well and print
+//! the quality gap (best-found time and configurations measured for each).
+//! `--runs`/`--scale` trade fidelity for time, `--filter` tunes one
+//! benchmark.
 
 use polymage_bench::HarnessArgs;
-use polymage_core::autotune::{autotune, random_search, THRESHOLDS, TILE_CANDIDATES};
+use polymage_core::autotune::{
+    autotune, autotune_pruned, random_search, TuneOutcome, PRUNED_TOP_K, THRESHOLDS,
+    TILE_CANDIDATES,
+};
 use polymage_core::CompileOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn print_records(outcome: &TuneOutcome) {
+    println!(
+        "{:>10} {:>10} {:>8} {:>10} {:>12} {:>12}",
+        "tile0", "tile1", "thresh", "model-ov", "t1(ms)", "tN(ms)"
+    );
+    for r in &outcome.records {
+        println!(
+            "{:>10} {:>10} {:>8.1} {:>9.1}% {:>12.2} {:>12.2}",
+            r.tile[0],
+            r.tile[1],
+            r.threshold,
+            r.predicted_overlap * 100.0,
+            r.t1.as_secs_f64() * 1e3,
+            r.tn.as_secs_f64() * 1e3
+        );
+    }
+    let best = outcome.best_record();
+    println!(
+        "best: tiles {:?} thresh {} → t1 {:.2} ms, tN {:.2} ms \
+         ({} of {} configs measured)",
+        best.tile,
+        best.threshold,
+        best.t1.as_secs_f64() * 1e3,
+        best.tn.as_secs_f64() * 1e3,
+        outcome.records.len(),
+        outcome.considered
+    );
+}
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -30,7 +65,9 @@ fn main() {
         println!("\n=== Fig. 9: {} (threads {}) ===", b.name(), threads);
         let inputs = b.make_inputs(42);
         let base = CompileOptions::optimized(b.params());
-        let outcome = autotune(
+
+        println!("--- model-pruned (top {PRUNED_TOP_K}) ---");
+        let pruned = autotune_pruned(
             b.pipeline(),
             &base,
             &inputs,
@@ -38,36 +75,40 @@ fn main() {
             args.runs,
             &TILE_CANDIDATES,
             &THRESHOLDS,
+            PRUNED_TOP_K,
         )
-        .expect("autotune");
-        println!(
-            "{:>10} {:>10} {:>8} {:>10} {:>12} {:>12}",
-            "tile0", "tile1", "thresh", "model-ov", "t1(ms)", "tN(ms)"
-        );
-        for r in &outcome.records {
+        .expect("pruned autotune");
+        print_records(&pruned);
+        let best = pruned.best_record().clone();
+
+        if args.full {
+            println!("--- exhaustive sweep (--full baseline) ---");
+            let exhaustive = autotune(
+                b.pipeline(),
+                &base,
+                &inputs,
+                threads,
+                args.runs,
+                &TILE_CANDIDATES,
+                &THRESHOLDS,
+            )
+            .expect("autotune");
+            print_records(&exhaustive);
+            let eb = exhaustive.best_record();
             println!(
-                "{:>10} {:>10} {:>8.1} {:>9.1}% {:>12.2} {:>12.2}",
-                r.tile[0],
-                r.tile[1],
-                r.threshold,
-                r.predicted_overlap * 100.0,
-                r.t1.as_secs_f64() * 1e3,
-                r.tn.as_secs_f64() * 1e3
+                "pruned vs exhaustive: {:.2} ms vs {:.2} ms ({:+.1}% gap), \
+                 {} vs {} configs measured",
+                best.tn.as_secs_f64() * 1e3,
+                eb.tn.as_secs_f64() * 1e3,
+                (best.tn.as_secs_f64() / eb.tn.as_secs_f64() - 1.0) * 100.0,
+                pruned.records.len(),
+                exhaustive.records.len()
             );
         }
-        let best = outcome.best_record();
-        println!(
-            "best: tiles {:?} thresh {} → t1 {:.2} ms, tN {:.2} ms ({} configs)",
-            best.tile,
-            best.threshold,
-            best.t1.as_secs_f64() * 1e3,
-            best.tn.as_secs_f64() * 1e3,
-            outcome.records.len()
-        );
 
-        // Random-space baseline at the same budget.
+        // Random-space baseline at the pruned budget.
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-        let budget = outcome.records.len();
+        let budget = pruned.records.len();
         let rnd = random_search(
             b.pipeline(),
             &base,

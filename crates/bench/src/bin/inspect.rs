@@ -5,15 +5,27 @@
 //! the benchmark's concrete parameters.
 
 use polymage_bench::HarnessArgs;
-use polymage_core::{emit_c, instantiate, plan, CompileOptions};
+use polymage_core::{emit_c, instantiate, plan, CacheModel, CompileOptions, TileSpec};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let model = CacheModel::get();
+    println!(
+        "cache model: L1 {} KiB, L2 {} KiB, {}-byte lines → per-tile budget \
+         {} KiB, strip floor {} tiles (POLYMAGE_CACHE overrides)",
+        model.l1 / 1024,
+        model.l2 / 1024,
+        model.line,
+        model.budget() / 1024,
+        polymage_core::tilemodel::min_strip_tiles()
+    );
     for b in args.benchmarks() {
         let params = b.params();
         let p = plan(
             b.pipeline(),
-            &CompileOptions::optimized(params.clone()).with_estimates(params.clone()),
+            &CompileOptions::optimized(params.clone())
+                .with_estimates(params.clone())
+                .with_tile_spec(TileSpec::Auto),
         )
         .expect("plan");
         let compiled = instantiate(&p, &params).expect("instantiate");

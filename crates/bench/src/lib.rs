@@ -124,6 +124,9 @@ pub struct HarnessArgs {
     /// Autotune each benchmark (coarse sweep) before measuring, as the
     /// paper does for Table 2.
     pub tune: bool,
+    /// Run the exhaustive autotune sweep instead of the model-pruned
+    /// default (`fig9_autotune --full`; the ablation baseline).
+    pub full: bool,
 }
 
 impl HarnessArgs {
@@ -136,6 +139,7 @@ impl HarnessArgs {
             runs: 3,
             filter: None,
             tune: false,
+            full: false,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -166,6 +170,7 @@ impl HarnessArgs {
                     out.filter = Some(args[i].clone());
                 }
                 "--tune" => out.tune = true,
+                "--full" => out.full = true,
                 other => panic!("unknown argument `{other}`"),
             }
             i += 1;
@@ -201,7 +206,7 @@ pub fn tune_config(
     let mut opts = CompileOptions::optimized(b.params());
     for t0 in [32i64, 128, 512] {
         for t1 in [64i64, 256, 512] {
-            opts.tile_sizes = vec![t0, t1];
+            opts.tiles = polymage_core::TileSpec::Fixed(vec![t0, t1]);
             let compiled = session
                 .compile(b.pipeline(), &opts)
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));

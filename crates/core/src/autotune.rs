@@ -1,15 +1,24 @@
-//! Autotuning (paper §3.8) and the random-search baseline.
+//! Autotuning (paper §3.8), model-pruned by default, and the
+//! random-search baseline.
 //!
 //! The model-driven grouping heuristic narrows the schedule space to tile
-//! sizes and an overlap threshold; the autotuner sweeps the paper's exact
-//! space — tile sizes {8, 16, 32, 64, 128, 256, 512} per tilable dimension
-//! and thresholds {0.2, 0.4, 0.5} — measuring real executions and keeping
-//! the best. [`random_search`] is the stand-in for the unrestricted-space
-//! tuners the paper compares against (OpenTuner): it samples arbitrary tile
-//! shapes and thresholds from a much larger space under the same budget.
+//! sizes and an overlap threshold; the exhaustive tuner sweeps the paper's
+//! exact space — tile sizes {8, 16, 32, 64, 128, 256, 512} per tilable
+//! dimension and thresholds {0.2, 0.4, 0.5} — measuring real executions
+//! and keeping the best. [`autotune_pruned`] ranks the same space with the
+//! cache model of [`crate::tilemodel`] first (grouping plus analytic
+//! per-group cost, no lowering or execution) and measures only the top-k
+//! candidates — the "cost model prunes the measured set" move of the GPU
+//! scheduling literature, applied to the paper's CPU space.
+//! [`random_search`] is the stand-in for the unrestricted-space tuners the
+//! paper compares against (OpenTuner): it samples arbitrary tile shapes
+//! and thresholds from a much larger space under the same budget.
 
-use crate::{CompileOptions, RunError, Session};
+use crate::grouping::{effective_tiles_from, group_stages, GroupKindTag};
+use crate::tilemodel::{predict_group_cost, CacheModel, GroupGeom};
+use crate::{CompileError, CompileOptions, RunError, Session, TileSpec};
 use polymage_diag::Value;
+use polymage_graph::{inline_pointwise, PipelineGraph};
 use polymage_ir::Pipeline;
 use polymage_vm::Buffer;
 use rand::Rng;
@@ -19,6 +28,9 @@ use std::time::{Duration, Instant};
 pub const TILE_CANDIDATES: [i64; 7] = [8, 16, 32, 64, 128, 256, 512];
 /// The paper's overlap-threshold candidates.
 pub const THRESHOLDS: [f64; 3] = [0.2, 0.4, 0.5];
+/// Default number of model-ranked configurations [`autotune_pruned`]
+/// actually measures.
+pub const PRUNED_TOP_K: usize = 8;
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +57,10 @@ pub struct TuneOutcome {
     pub records: Vec<TuneRecord>,
     /// Index into `records` of the fastest configuration.
     pub best: usize,
+    /// Size of the candidate space considered (equals `records.len()` for
+    /// the exhaustive sweep; larger under model pruning, where only the
+    /// top-ranked candidates were measured).
+    pub considered: usize,
 }
 
 impl TuneOutcome {
@@ -153,7 +169,7 @@ pub fn autotune_with_session(
     for &t0 in tiles {
         for &t1 in tiles {
             for &th in thresholds {
-                opts.tile_sizes = vec![t0, t1];
+                opts.tiles = TileSpec::Fixed(vec![t0, t1]);
                 opts.overlap_threshold = th;
                 let (d1, dn, predicted) = measure(session, pipe, &opts, inputs, threads, runs)?;
                 opts.skip_bounds_check = true; // checked once is enough
@@ -174,7 +190,157 @@ pub fn autotune_with_session(
         .min_by_key(|(_, r)| r.tn)
         .map(|(i, _)| i)
         .unwrap_or(0);
-    Ok(TuneOutcome { records, best })
+    let considered = records.len();
+    Ok(TuneOutcome {
+        records,
+        best,
+        considered,
+    })
+}
+
+/// Model score of one fixed-tile configuration: the summed
+/// [`predict_group_cost`] over the grouping this configuration induces.
+/// Runs the front-end and Algorithm 1 but no lowering, instantiation, or
+/// execution — orders of magnitude cheaper than a measurement.
+///
+/// # Errors
+///
+/// Structural pipeline errors only (cycles, estimate mismatch) — the same
+/// conditions [`crate::plan`] reports.
+pub fn model_score(pipe: &Pipeline, opts: &CompileOptions) -> Result<f64, CompileError> {
+    let (pipe2, _) = if opts.inline_pointwise {
+        inline_pointwise(pipe)?
+    } else {
+        (pipe.clone(), Default::default())
+    };
+    let graph = PipelineGraph::build(&pipe2)?;
+    let grouping = group_stages(&pipe2, &graph, opts);
+    let model = CacheModel::get();
+    let mut total = 0.0;
+    for g in &grouping.groups {
+        if g.kind != GroupKindTag::Normal {
+            continue;
+        }
+        if let Some(geom) = GroupGeom::build(&pipe2, &graph, g, opts) {
+            let tiles = effective_tiles_from(
+                geom.sink_extents(),
+                opts.tiles.baseline_sizes(),
+                opts.tile,
+                opts.par_strips,
+            );
+            total += predict_group_cost(&geom, &tiles, &model);
+        }
+    }
+    Ok(total)
+}
+
+/// Model-pruned autotuning: ranks the full `tiles² × thresholds` space
+/// with [`model_score`], measures only the `top_k` best-ranked
+/// configurations (the same measurement protocol as
+/// [`autotune_with_session`]), and reports the full space size in
+/// [`TuneOutcome::considered`]. With `top_k >= tiles²·thresholds` this
+/// degenerates to the exhaustive sweep in model-rank order.
+///
+/// # Errors
+///
+/// Same conditions as [`autotune`].
+#[allow(clippy::too_many_arguments)] // mirrors `autotune`'s surface plus the pruning knobs
+pub fn autotune_pruned(
+    pipe: &Pipeline,
+    base: &CompileOptions,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+    tiles: &[i64],
+    thresholds: &[f64],
+    top_k: usize,
+) -> Result<TuneOutcome, RunError> {
+    let session = Session::with_threads(threads.max(1)).with_cache_capacity(top_k.max(1));
+    autotune_pruned_with_session(
+        &session, pipe, base, inputs, threads, runs, tiles, thresholds, top_k,
+    )
+}
+
+/// [`autotune_pruned`] on a caller-provided [`Session`]. Each ranked
+/// candidate is recorded as a `tune.rank` diagnostics event (model score,
+/// measured or pruned) before the measurement loop starts.
+///
+/// # Errors
+///
+/// Same conditions as [`autotune`].
+#[allow(clippy::too_many_arguments)]
+pub fn autotune_pruned_with_session(
+    session: &Session,
+    pipe: &Pipeline,
+    base: &CompileOptions,
+    inputs: &[Buffer],
+    threads: usize,
+    runs: usize,
+    tiles: &[i64],
+    thresholds: &[f64],
+    top_k: usize,
+) -> Result<TuneOutcome, RunError> {
+    // Rank the whole space analytically.
+    let mut ranked: Vec<(f64, i64, i64, f64)> = Vec::new();
+    let mut opts = base.clone();
+    for &t0 in tiles {
+        for &t1 in tiles {
+            for &th in thresholds {
+                opts.tiles = TileSpec::Fixed(vec![t0, t1]);
+                opts.overlap_threshold = th;
+                let score = model_score(pipe, &opts)?;
+                ranked.push((score, t0, t1, th));
+            }
+        }
+    }
+    let considered = ranked.len();
+    // Stable sort: ties keep sweep order, so the ranking is deterministic.
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let measured = top_k.max(1).min(ranked.len());
+    let diag = session.diag();
+    if diag.enabled() {
+        for (i, &(score, t0, t1, th)) in ranked.iter().enumerate() {
+            diag.event(
+                "tune.rank",
+                vec![
+                    ("rank", Value::UInt(i as u64)),
+                    ("tile", Value::from(format!("{t0}x{t1}"))),
+                    ("threshold", Value::Float(th)),
+                    ("score", Value::Float(score)),
+                    ("measured", Value::from(i < measured)),
+                ],
+            );
+        }
+    }
+
+    // Measure only the top-ranked candidates.
+    let mut records = Vec::new();
+    opts.skip_bounds_check = false;
+    for &(_, t0, t1, th) in ranked.iter().take(measured) {
+        opts.tiles = TileSpec::Fixed(vec![t0, t1]);
+        opts.overlap_threshold = th;
+        let (d1, dn, predicted) = measure(session, pipe, &opts, inputs, threads, runs)?;
+        opts.skip_bounds_check = true;
+        records.push(TuneRecord {
+            tile: vec![t0, t1],
+            threshold: th,
+            predicted_overlap: predicted,
+            t1: d1,
+            tn: dn,
+        });
+        emit_tune_event(session, records.last().expect("just pushed"));
+    }
+    let best = records
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.tn)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(TuneOutcome {
+        records,
+        best,
+        considered,
+    })
 }
 
 /// Random search over an *unrestricted* schedule space: arbitrary tile
@@ -202,14 +368,15 @@ pub fn random_search(
     for i in 0..budget {
         let pow0 = rng.gen_range(2..=10u32);
         let pow1 = rng.gen_range(2..=10u32);
-        opts.tile_sizes = vec![1i64 << pow0, 1i64 << pow1];
+        let tile = vec![1i64 << pow0, 1i64 << pow1];
+        opts.tiles = TileSpec::Fixed(tile.clone());
         opts.overlap_threshold = rng.gen_range(0.0..1.0);
         opts.fuse = rng.gen_bool(0.8);
         opts.tile = rng.gen_bool(0.8);
         opts.skip_bounds_check = i > 0;
         let (d1, dn, predicted) = measure(&session, pipe, &opts, inputs, threads, runs)?;
         records.push(TuneRecord {
-            tile: opts.tile_sizes.clone(),
+            tile,
             threshold: opts.overlap_threshold,
             predicted_overlap: predicted,
             t1: d1,
@@ -223,5 +390,10 @@ pub fn random_search(
         .min_by_key(|(_, r)| r.tn)
         .map(|(i, _)| i)
         .unwrap_or(0);
-    Ok(TuneOutcome { records, best })
+    let considered = records.len();
+    Ok(TuneOutcome {
+        records,
+        best,
+        considered,
+    })
 }

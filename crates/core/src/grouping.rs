@@ -96,12 +96,35 @@ impl Grouping {
 /// The per-group effective tile sizes: `Some(τ)` for tiled dims, `None` for
 /// untiled. A dimension is tiled when requested and at least twice the tile
 /// size. With `opts.tile == false`, only the outer strip dimension splits.
+///
+/// Uses the baseline sizes of `opts.tiles` — under [`crate::TileSpec::Auto`]
+/// that is the fixed default shape, so grouping structure never depends on
+/// the cache model's per-group decisions (which run *after* grouping).
 pub(crate) fn effective_tiles(extents: &[i64], opts: &CompileOptions) -> Vec<Option<i64>> {
+    effective_tiles_from(
+        extents,
+        opts.tiles.baseline_sizes(),
+        opts.tile,
+        opts.par_strips,
+    )
+}
+
+/// [`effective_tiles`] with the tile sizes passed explicitly. Dimensions
+/// beyond `sizes.len()` reuse the last specified size (paper convention):
+/// `[32, 256]` on a 3-D domain means `[32, 256, 256]` before the
+/// twice-the-extent rule filters each dimension.
+pub(crate) fn effective_tiles_from(
+    extents: &[i64],
+    sizes: &[i64],
+    tile: bool,
+    par_strips: i64,
+) -> Vec<Option<i64>> {
     let mut out = vec![None; extents.len()];
-    if opts.tile {
+    if tile {
         for (d, &ext) in extents.iter().enumerate() {
-            if let Some(&t) = opts.tile_sizes.get(d) {
-                if ext >= 2 * t {
+            let size = sizes.get(d).or(sizes.last());
+            if let Some(&t) = size {
+                if t > 0 && ext >= 2 * t {
                     out[d] = Some(t);
                 }
             }
@@ -109,7 +132,7 @@ pub(crate) fn effective_tiles(extents: &[i64], opts: &CompileOptions) -> Vec<Opt
     }
     if out.first() == Some(&None) && !extents.is_empty() {
         // Strip the outer dimension for parallelism even when untiled.
-        let strip = (extents[0] + opts.par_strips - 1) / opts.par_strips;
+        let strip = (extents[0] + par_strips - 1) / par_strips;
         if strip < extents[0] {
             out[0] = Some(strip.max(1));
         }
@@ -565,7 +588,7 @@ mod tests {
 
         let mut o_tight = opts();
         o_tight.overlap_threshold = 0.05;
-        o_tight.tile_sizes = vec![8, 8];
+        o_tight.tiles = crate::TileSpec::Fixed(vec![8, 8]);
         let g = group_stages(&pipe, &graph, &o_tight);
         assert!(g.groups.len() > 2, "tight threshold limits fusion");
     }
@@ -618,6 +641,24 @@ mod tests {
         let t = effective_tiles(&[2048, 2048], &ob);
         assert_eq!(t[0], Some(16)); // 2048 / 128 strips
         assert_eq!(t[1], None);
+    }
+
+    /// Dimensions beyond `tile_sizes.len()` reuse the last specified size
+    /// instead of silently staying untiled.
+    #[test]
+    fn effective_tiles_reuse_last_size_for_higher_dims() {
+        let o = opts().with_tiles(vec![32, 64]);
+        // dim 2 (1024) reuses 64; a narrow dim 3 (3 < 2·64) stays untiled
+        assert_eq!(
+            effective_tiles(&[2048, 2048, 1024, 3], &o),
+            vec![Some(32), Some(64), Some(64), None]
+        );
+        // a single specified size applies to every wide dimension
+        let o1 = opts().with_tiles(vec![16]);
+        assert_eq!(
+            effective_tiles(&[512, 512, 512], &o1),
+            vec![Some(16), Some(16), Some(16)]
+        );
     }
 
     /// Transposed access blocks fusion (alignment conflict).

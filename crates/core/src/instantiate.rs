@@ -97,12 +97,21 @@ pub fn instantiate_with(
     let mut group_reports: Vec<GroupReport> = Vec::with_capacity(plan.groups.len());
     for (gi, gp) in plan.groups.iter().enumerate() {
         let bufs_before = buffers.len();
-        let (ge, cmap) = match gp {
-            GroupPlan::Tiled(tp) => bind_tiled(plan, tp, params, &mut buffers),
-            GroupPlan::Reduction(rp) => {
-                (bind_reduction(plan, rp, params, &mut buffers), Vec::new())
+        let choice = plan.tile_choices.get(gi).and_then(|c| c.as_ref());
+        let (ge, cmap, bound_tiles) = match gp {
+            GroupPlan::Tiled(tp) => {
+                let (ge, cmap, tiles) = bind_tiled(plan, tp, params, &mut buffers, choice, diag);
+                (ge, cmap, Some(tiles))
             }
-            GroupPlan::SelfRef(sp) => bind_selfref(plan, sp, params, &mut buffers),
+            GroupPlan::Reduction(rp) => (
+                bind_reduction(plan, rp, params, &mut buffers),
+                Vec::new(),
+                None,
+            ),
+            GroupPlan::SelfRef(sp) => {
+                let (ge, cmap) = bind_selfref(plan, sp, params, &mut buffers);
+                (ge, cmap, None)
+            }
         };
         let (mut scratch_bytes, mut full_bytes) = (0usize, 0usize);
         for b in &buffers[bufs_before..] {
@@ -112,7 +121,7 @@ pub fn instantiate_with(
             }
         }
         let g = &plan.grouping.groups[gi];
-        let gr = make_group_report(plan, params, g, scratch_bytes, full_bytes);
+        let gr = make_group_report(plan, g, scratch_bytes, full_bytes, bound_tiles, choice);
         if diag.enabled() {
             let tiles: Vec<String> = gr
                 .tile_sizes
@@ -264,7 +273,9 @@ fn bind_tiled(
     tp: &TiledPlan,
     params: &[i64],
     buffers: &mut Vec<BufDecl>,
-) -> (GroupExec, Vec<Vec<usize>>) {
+    choice: Option<&crate::TileChoice>,
+    diag: &Diag,
+) -> (GroupExec, Vec<Vec<usize>>, Vec<Option<i64>>) {
     let pipe = &plan.pipe;
     let doms: Vec<Rect> = tp
         .stages
@@ -278,7 +289,7 @@ fn bind_tiled(
         .expect("sink is a member of its group");
     let sink_dom = &doms[sink_idx];
     let sink_extents: Vec<i64> = (0..sink_dom.ndim()).map(|d| sink_dom.extent(d)).collect();
-    let tiles_cfg = effective_tiles(&sink_extents, &plan.opts);
+    let tiles_cfg = bound_tiles_for(&sink_extents, plan, choice, diag);
     let tile_counts: Vec<i64> = (0..sink_dom.ndim())
         .map(|d| match tiles_cfg[d] {
             Some(t) => (sink_dom.extent(d) + t - 1) / t,
@@ -436,7 +447,46 @@ fn bind_tiled(
             kind: GroupKind::Tiled(TiledGroup::new(stage_execs, tiles, nstrips, buffers)),
         },
         cmap,
+        tiles_cfg,
     )
+}
+
+/// The effective tile sizes for a bound tiled group: the plan's
+/// cache-model decision when present (each dimension re-checked against
+/// the concrete bounds — a tile the bound extent can no longer hold twice
+/// is demoted to untiled, counted as [`Counter::TileModelRecheck`]), else
+/// the fixed configuration. The dim-0 strip rule applies in both paths.
+fn bound_tiles_for(
+    sink_extents: &[i64],
+    plan: &ParametricPlan,
+    choice: Option<&crate::TileChoice>,
+    diag: &Diag,
+) -> Vec<Option<i64>> {
+    let Some(choice) = choice else {
+        return effective_tiles(sink_extents, &plan.opts);
+    };
+    let mut out = vec![None; sink_extents.len()];
+    let mut demoted = 0u64;
+    for (d, &ext) in sink_extents.iter().enumerate() {
+        if let Some(Some(t)) = choice.tiles.get(d) {
+            if ext >= 2 * t {
+                out[d] = Some(*t);
+            } else {
+                demoted += 1;
+            }
+        }
+    }
+    if demoted > 0 {
+        diag.count(Counter::TileModelRecheck, demoted);
+    }
+    if out.first() == Some(&None) && !sink_extents.is_empty() {
+        // Strip the outer dimension for parallelism even when untiled.
+        let strip = (sink_extents[0] + plan.opts.par_strips - 1) / plan.opts.par_strips;
+        if strip < sink_extents[0] {
+            out[0] = Some(strip.max(1));
+        }
+    }
+    out
 }
 
 /// The sub-rectangle of a stage's coordinates "owned" by tile `tidx`
@@ -771,28 +821,35 @@ fn finalize_case(
 
 fn make_group_report(
     plan: &ParametricPlan,
-    params: &[i64],
     g: &crate::grouping::Group,
     scratch_bytes: usize,
     full_bytes: usize,
+    bound_tiles: Option<Vec<Option<i64>>>,
+    choice: Option<&crate::TileChoice>,
 ) -> GroupReport {
     let pipe = &plan.pipe;
-    let sink_extents: Vec<i64> = pipe
-        .func(g.sink)
-        .var_dom
-        .dom
-        .iter()
-        .map(|iv| {
-            let (lo, hi) = iv.eval(params);
-            (hi - lo + 1).max(0)
-        })
-        .collect();
     // The grouping pass already solved alignment and cached the overlap
-    // vector and ratio on the group — no need to re-run the solver here.
+    // vector and ratio on the group; tiled groups report the tile shape
+    // the bind actually used (fixed config or re-checked model decision).
     let tile_sizes = if g.kind == GroupKindTag::Normal {
-        effective_tiles(&sink_extents, &plan.opts)
+        bound_tiles.unwrap_or_default()
     } else {
         Vec::new()
+    };
+    // Under the cache model the ratio follows the chosen shape; the fixed
+    // path keeps the grouping pass's estimate bit-for-bit.
+    let overlap_ratio = if choice.is_some() && !tile_sizes.is_empty() {
+        let mut ratio = 1.0f64;
+        for (d, t) in tile_sizes.iter().enumerate() {
+            if let (Some(t), Some((l, r))) = (t, g.overlap.get(d)) {
+                if *t > 0 {
+                    ratio *= (t + l + r) as f64 / *t as f64;
+                }
+            }
+        }
+        ratio - 1.0
+    } else {
+        g.overlap_ratio
     };
     GroupReport {
         sink: pipe.func(g.sink).name.clone(),
@@ -804,11 +861,13 @@ fn make_group_report(
         kind: g.kind,
         tile_sizes,
         overlap: g.overlap.clone(),
-        overlap_ratio: g.overlap_ratio,
+        overlap_ratio,
         scratch_bytes,
         full_bytes,
         // Filled in by the storage pass once slots are assigned.
         scratch_folded_bytes: 0,
         scratch_slots: 0,
+        predicted_working_set: choice.map_or(0, |c| c.working_set),
+        tile_model_fallback: choice.is_some_and(|c| c.fallback),
     }
 }

@@ -46,6 +46,7 @@ mod plan;
 mod report;
 mod session;
 mod storage;
+pub mod tilemodel;
 mod validate;
 
 pub use cemit::emit_c;
@@ -54,9 +55,10 @@ pub use cref::{emit_c_inputs, emit_c_reference};
 pub use error::CompileError;
 pub use grouping::{group_stages, group_stages_with, Group, GroupKindTag, Grouping, MergeDecision};
 pub use instantiate::{instantiate, instantiate_with};
-pub use options::{CompileOptions, OptionsKey, StructuralKey};
+pub use options::{CompileOptions, OptionsKey, StructuralKey, TileSpec, DEFAULT_TILE_SIZES};
 pub use plan::{plan, plan_with, ParametricPlan};
 pub use polymage_vm::{SimdLevel, SimdOpt};
 pub use report::{CompileReport, GroupReport, Provenance};
 pub use session::{CacheStats, RunError, Session};
+pub use tilemodel::{CacheModel, TileChoice};
 pub use validate::{assert_valid, validate_program, Violation};

@@ -2,6 +2,69 @@
 
 use polymage_vm::{EvalMode, SimdOpt};
 
+/// The historical global tile shape (the paper's evaluation default): 32
+/// rows × 256 columns. Used by [`TileSpec::Fixed`] defaults, as the
+/// baseline shape Algorithm 1's overlap estimate reads under
+/// [`TileSpec::Auto`], and as the fallback when the cache model finds no
+/// feasible shape.
+pub const DEFAULT_TILE_SIZES: [i64; 2] = [32, 256];
+
+/// How tile shapes are chosen for tiled groups.
+///
+/// [`Fixed`](TileSpec::Fixed) applies one global shape to every group
+/// (the historical behavior, bit-for-bit). [`Auto`](TileSpec::Auto) runs
+/// the per-group cache model ([`crate::tilemodel`]) after grouping: each
+/// group gets the largest tile shape whose per-tile working set fits the
+/// detected cache budget, subject to a parallelism floor and the group's
+/// overlap threshold. Both are value-invisible — tiling never changes
+/// output bits — so this is purely a performance knob, but it participates
+/// in [`CompileOptions::cache_key`] because it changes the produced
+/// program.
+///
+/// The `POLYMAGE_TILE` environment variable, when set, flips the default:
+/// `auto` selects [`TileSpec::Auto`], `fixed`/`default` the historical
+/// [`DEFAULT_TILE_SIZES`], and an explicit shape like `32x256` (or
+/// `32,256`) a custom [`TileSpec::Fixed`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TileSpec {
+    /// Per-group tile shapes from the cache model (`core::tilemodel`).
+    Auto,
+    /// One global tile shape, as the paper's `T` (the historical
+    /// `tile_sizes` knob). Dimensions beyond the vector reuse its last
+    /// entry.
+    Fixed(Vec<i64>),
+}
+
+impl TileSpec {
+    /// The global sizes Algorithm 1's overlap estimate and the fallback
+    /// path use: the fixed shape itself, or [`DEFAULT_TILE_SIZES`] under
+    /// [`TileSpec::Auto`] (the model runs *after* grouping, so grouping
+    /// decisions stay identical between `Auto` and the fixed default).
+    pub fn baseline_sizes(&self) -> &[i64] {
+        match self {
+            TileSpec::Auto => &DEFAULT_TILE_SIZES,
+            TileSpec::Fixed(sizes) => sizes,
+        }
+    }
+
+    /// Parses a `POLYMAGE_TILE`-style spelling: `auto`, `fixed`/`default`,
+    /// or an explicit shape (`32x256`, `32,256`). `None` for anything
+    /// unrecognized.
+    pub fn parse(s: &str) -> Option<TileSpec> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" | "model" => Some(TileSpec::Auto),
+            "fixed" | "default" => Some(TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec())),
+            other => {
+                let sizes: Option<Vec<i64>> = other
+                    .split(['x', ','])
+                    .map(|t| t.trim().parse::<i64>().ok().filter(|&v| v > 0))
+                    .collect();
+                sizes.filter(|v| !v.is_empty()).map(TileSpec::Fixed)
+            }
+        }
+    }
+}
+
 /// Options controlling compilation.
 ///
 /// The defaults correspond to the paper's fully optimized configuration
@@ -25,10 +88,12 @@ pub struct CompileOptions {
     /// shares the plan across them (see
     /// [`cache_key_structural`](Self::cache_key_structural)).
     pub param_estimates: Option<Vec<i64>>,
-    /// Tile sizes for the leading dimensions of each group's sink stage
-    /// (the paper's `T`). A dimension is tiled only when its extent is at
-    /// least twice the requested size.
-    pub tile_sizes: Vec<i64>,
+    /// Tile-shape selection: a global fixed shape (the paper's `T`; a
+    /// dimension is tiled only when its extent is at least twice the
+    /// requested size) or per-group shapes from the cache model
+    /// ([`TileSpec::Auto`]). The `POLYMAGE_TILE` environment variable,
+    /// when set, flips the default.
+    pub tiles: TileSpec,
     /// The overlap threshold of Algorithm 1 (`othresh`); fraction of
     /// redundant computation tolerated per tile.
     pub overlap_threshold: f64,
@@ -85,7 +150,7 @@ impl CompileOptions {
         CompileOptions {
             params,
             param_estimates: None,
-            tile_sizes: vec![32, 256],
+            tiles: default_tile_spec(),
             overlap_threshold: 0.4,
             mode: EvalMode::Vector,
             fuse: true,
@@ -116,9 +181,16 @@ impl CompileOptions {
         self
     }
 
-    /// Sets the tile sizes.
+    /// Sets a global fixed tile shape ([`TileSpec::Fixed`]).
     pub fn with_tiles(mut self, tiles: Vec<i64>) -> Self {
-        self.tile_sizes = tiles;
+        self.tiles = TileSpec::Fixed(tiles);
+        self
+    }
+
+    /// Sets the tile-shape selection mode (fixed global shape or the
+    /// per-group cache model).
+    pub fn with_tile_spec(mut self, tiles: TileSpec) -> Self {
+        self.tiles = tiles;
         self
     }
 
@@ -188,9 +260,24 @@ impl CompileOptions {
     /// one-plan-per-size behavior. Pin `param_estimates` to share plans
     /// across sizes.
     pub fn cache_key_structural(&self) -> StructuralKey {
+        let tiles = match &self.tiles {
+            // The model's decisions depend on the resolved cache geometry
+            // and parallelism floor, so they participate in the key the
+            // same way the resolved SIMD level does.
+            TileSpec::Auto => {
+                let m = crate::tilemodel::CacheModel::get();
+                TileKey::Auto {
+                    l1: m.l1 as u64,
+                    l2: m.l2 as u64,
+                    line: m.line as u64,
+                    min_strips: crate::tilemodel::min_strip_tiles() as u64,
+                }
+            }
+            TileSpec::Fixed(sizes) => TileKey::Fixed(sizes.clone()),
+        };
         StructuralKey {
             estimates: self.estimates().to_vec(),
-            tile_sizes: self.tile_sizes.clone(),
+            tiles,
             overlap_threshold_bits: self.overlap_threshold.to_bits(),
             mode: self.mode,
             fuse: self.fuse,
@@ -202,6 +289,20 @@ impl CompileOptions {
             kernel_opt: self.kernel_opt,
             simd: polymage_vm::resolve_simd(self.simd),
         }
+    }
+}
+
+/// Default for [`CompileOptions::tiles`]: the historical fixed
+/// [`DEFAULT_TILE_SIZES`], unless the `POLYMAGE_TILE` environment variable
+/// selects the cache model (`auto`) or another fixed shape (used by the CI
+/// matrix, mirroring `POLYMAGE_SIMD`/`POLYMAGE_STORAGE_FOLD`).
+fn default_tile_spec() -> TileSpec {
+    match std::env::var("POLYMAGE_TILE") {
+        Ok(v) => TileSpec::parse(&v).unwrap_or_else(|| {
+            eprintln!("polymage: ignoring unknown POLYMAGE_TILE value `{v}`");
+            TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec())
+        }),
+        Err(_) => TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec()),
     }
 }
 
@@ -239,7 +340,7 @@ pub struct StructuralKey {
     /// Resolved heuristic estimates (explicit `param_estimates`, or the
     /// bound `params` when none were given).
     estimates: Vec<i64>,
-    tile_sizes: Vec<i64>,
+    tiles: TileKey,
     overlap_threshold_bits: u64,
     mode: EvalMode,
     fuse: bool,
@@ -253,6 +354,27 @@ pub struct StructuralKey {
     /// host clamping applied, so two option sets that resolve to the same
     /// level share a cache entry.
     simd: polymage_vm::SimdLevel,
+}
+
+/// The hashable normal form of [`TileSpec`]: fixed shapes by value,
+/// [`TileSpec::Auto`] by the *resolved* cache geometry and parallelism
+/// floor its decisions depend on (environment override applied), so two
+/// option sets resolving to the same model share a cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TileKey {
+    /// Cache-model selection with the resolved model inputs.
+    Auto {
+        /// L1 data-cache bytes.
+        l1: u64,
+        /// Per-core L2 bytes (the working-set budget base).
+        l2: u64,
+        /// Cache-line bytes.
+        line: u64,
+        /// Parallelism floor (minimum strip-dimension tiles).
+        min_strips: u64,
+    },
+    /// A global fixed shape.
+    Fixed(Vec<i64>),
 }
 
 #[cfg(test)]
@@ -326,7 +448,47 @@ mod tests {
         let t = CompileOptions::optimized(vec![])
             .with_tiles(vec![64, 64])
             .with_threshold(0.2);
-        assert_eq!(t.tile_sizes, vec![64, 64]);
+        assert_eq!(t.tiles, TileSpec::Fixed(vec![64, 64]));
         assert_eq!(t.overlap_threshold, 0.2);
+    }
+
+    #[test]
+    fn tile_spec_parse_and_baseline() {
+        assert_eq!(TileSpec::parse("auto"), Some(TileSpec::Auto));
+        assert_eq!(
+            TileSpec::parse("fixed"),
+            Some(TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec()))
+        );
+        assert_eq!(
+            TileSpec::parse("default"),
+            Some(TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec()))
+        );
+        assert_eq!(
+            TileSpec::parse("32x256"),
+            Some(TileSpec::Fixed(vec![32, 256]))
+        );
+        assert_eq!(
+            TileSpec::parse("64, 64"),
+            Some(TileSpec::Fixed(vec![64, 64]))
+        );
+        assert_eq!(TileSpec::parse(""), None);
+        assert_eq!(TileSpec::parse("banana"), None);
+        assert_eq!(TileSpec::parse("32x-1"), None);
+        assert_eq!(TileSpec::Auto.baseline_sizes(), &DEFAULT_TILE_SIZES);
+        assert_eq!(TileSpec::Fixed(vec![8]).baseline_sizes(), &[8]);
+    }
+
+    #[test]
+    fn auto_and_fixed_key_differently() {
+        // Pin the fixed side so the comparison survives a POLYMAGE_TILE
+        // override (the CI tile matrix leg).
+        let fixed = CompileOptions::optimized(vec![100, 200])
+            .with_tile_spec(TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec()));
+        let auto = fixed.clone().with_tile_spec(TileSpec::Auto);
+        assert_ne!(fixed.cache_key(), auto.cache_key());
+        assert_ne!(fixed.cache_key_structural(), auto.cache_key_structural());
+        // Auto keys are stable across calls (the resolved model is a
+        // process-wide constant).
+        assert_eq!(auto.cache_key(), auto.clone().cache_key());
     }
 }

@@ -63,6 +63,11 @@ pub struct ParametricPlan {
     pub(crate) estimates: Vec<i64>,
     /// SIMD level, resolved once at plan time.
     pub(crate) simd: SimdLevel,
+    /// Cache-model tile decisions, parallel to `grouping.groups`
+    /// (`Some` only for Normal groups under [`crate::TileSpec::Auto`]).
+    /// Made at the estimates; `instantiate` re-checks them against each
+    /// binding's concrete bounds.
+    pub(crate) tile_choices: Vec<Option<crate::TileChoice>>,
 }
 
 impl ParametricPlan {
@@ -82,6 +87,13 @@ impl ParametricPlan {
         self.groups.len()
     }
 
+    /// The cache model's tile decision per group (parallel to the
+    /// grouping): `Some` only for Normal groups planned under
+    /// [`crate::TileSpec::Auto`].
+    pub fn tile_choices(&self) -> &[Option<crate::TileChoice>] {
+        &self.tile_choices
+    }
+
     /// Renders the plan's *symbolic* geometry: parameter legend, image
     /// extents and per-stage domains as affine forms over the `ParamId`s
     /// (`p0`, `p1`, …), plus each group's structural schedule (storage
@@ -99,7 +111,7 @@ impl ParametricPlan {
             let exts: Vec<String> = img.extents.iter().map(|e| e.to_string()).collect();
             let _ = writeln!(s, "image {} [{}] -> buf{}", img.name, exts.join(" x "), i);
         }
-        for (g, gp) in self.grouping.groups.iter().zip(&self.groups) {
+        for ((gi, g), gp) in self.grouping.groups.iter().enumerate().zip(&self.groups) {
             let _ = writeln!(s, "group {} [{:?}]", gp.name(), g.kind);
             for f in gp.stage_ids() {
                 let fd = self.pipe.func(f);
@@ -127,6 +139,21 @@ impl ParametricPlan {
             if !g.overlap.is_empty() {
                 let ov: Vec<String> = g.overlap.iter().map(|(l, r)| format!("{l}+{r}")).collect();
                 let _ = writeln!(s, "  overlap: ({})", ov.join(","));
+            }
+            if let Some(Some(ch)) = self.tile_choices.get(gi) {
+                let tiles: Vec<String> = ch
+                    .tiles
+                    .iter()
+                    .map(|t| t.map_or("-".into(), |v| v.to_string()))
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "  tile model: ({}) ws={}B ratio={:.3}{}",
+                    tiles.join(","),
+                    ch.working_set,
+                    ch.ratio,
+                    if ch.fallback { " (fallback)" } else { "" }
+                );
             }
         }
         s
@@ -334,6 +361,29 @@ pub fn plan_with(
         },
     );
 
+    // Cache-model tile selection (runs strictly after grouping so the
+    // grouping structure never depends on the model's per-group shapes).
+    let tile_choices = if matches!(opts.tiles, crate::TileSpec::Auto) {
+        let span = diag.begin();
+        let choices =
+            crate::tilemodel::choose_group_tiles(&pipe2, &graph, &grouping.groups, opts, diag);
+        diag.end(
+            span,
+            "phase.tilemodel",
+            if diag.enabled() {
+                vec![(
+                    "modeled",
+                    Value::UInt(choices.iter().filter(|c| c.is_some()).count() as u64),
+                )]
+            } else {
+                Vec::new()
+            },
+        );
+        choices
+    } else {
+        vec![None; grouping.groups.len()]
+    };
+
     // Storage obligations: live-outs and cross-group values need full
     // arrays (structural).
     let mut needs_full: HashSet<FuncId> = pipe2.live_outs().iter().copied().collect();
@@ -431,6 +481,7 @@ pub fn plan_with(
         opts: opts.clone(),
         estimates,
         simd,
+        tile_choices,
     })
 }
 

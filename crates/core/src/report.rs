@@ -35,6 +35,13 @@ pub struct GroupReport {
     /// Number of shared arena slots after folding (`0` for non-tiled
     /// groups).
     pub scratch_slots: usize,
+    /// The cache model's predicted per-tile working set in bytes for the
+    /// chosen tile shape (`0` when the group was not model-tiled, i.e.
+    /// under `TileSpec::Fixed` or for non-normal groups).
+    pub predicted_working_set: usize,
+    /// `true` when the cache model found no shape satisfying every
+    /// constraint and fell back to the fixed baseline.
+    pub tile_model_fallback: bool,
 }
 
 /// Phase provenance of a compiled artifact: which parameter estimates the
@@ -188,10 +195,23 @@ impl fmt::Display for CompileReport {
                 .map(|t| t.map_or("-".to_string(), |v| v.to_string()))
                 .collect();
             let ov: Vec<String> = g.overlap.iter().map(|(l, r)| format!("{l}+{r}")).collect();
+            let model = if g.predicted_working_set > 0 {
+                format!(
+                    " model_ws={}B{}",
+                    g.predicted_working_set,
+                    if g.tile_model_fallback {
+                        " (fallback)"
+                    } else {
+                        ""
+                    }
+                )
+            } else {
+                String::new()
+            };
             writeln!(
                 f,
                 "group {i} [{:?}] sink={} tiles=({}) overlap=({}) \
-                 scratch={}B folded={}B/{} slots full={}B: {}",
+                 scratch={}B folded={}B/{} slots full={}B{}: {}",
                 g.kind,
                 g.sink,
                 tiles.join(","),
@@ -200,6 +220,7 @@ impl fmt::Display for CompileReport {
                 g.scratch_folded_bytes,
                 g.scratch_slots,
                 g.full_bytes,
+                model,
                 g.stages.join(" ")
             )?;
         }
@@ -241,6 +262,8 @@ mod tests {
                 full_bytes: 4096,
                 scratch_folded_bytes: 512,
                 scratch_slots: 1,
+                predicted_working_set: 98304,
+                tile_model_fallback: false,
             }],
             kernels: vec![],
             simd: polymage_vm::SimdLevel::Scalar,
@@ -271,6 +294,7 @@ mod tests {
         assert!(text.contains("sink=out"));
         assert!(text.contains("simd: scalar"));
         assert!(text.contains("folded=512B/1 slots"));
+        assert!(text.contains("model_ws=98304B"));
         assert!(text.contains("peak full bytes: 8192"));
         assert!(text
             .contains("provenance: plan@[64,64] bound@[128,128] kernels reused=3 respecialized=1"));

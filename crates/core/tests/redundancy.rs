@@ -45,7 +45,7 @@ fn measured_redundancy_matches_predicted_overlap() {
     let pipe = chain(depth, n);
     for tiles in [vec![32i64, 64], vec![64, 128], vec![32, 256]] {
         let mut opts = CompileOptions::optimized(vec![]);
-        opts.tile_sizes = tiles.clone();
+        opts.tiles = polymage_core::TileSpec::Fixed(tiles.clone());
         opts.overlap_threshold = 10.0; // force full fusion
         let compiled = compile(&pipe, &opts).unwrap();
         assert_eq!(compiled.report.groups.len(), 1, "chain must fully fuse");

@@ -1,0 +1,138 @@
+//! Property tests for the cache-model tile selector: across randomized
+//! group geometries (stencil chains of varying depth, halo width, extent,
+//! and dimensionality) and randomized cache models, every non-fallback
+//! shape returned by `select_tiles` must satisfy all three of its
+//! constraints — the cache budget, the parallelism floor (relaxed to what
+//! the geometry can achieve), and the redundancy cap.
+
+use polymage_core::tilemodel::{min_strip_tiles, select_tiles, CacheModel, GroupGeom, TILE_LADDER};
+use polymage_core::{group_stages, CompileOptions, GroupKindTag, TileSpec};
+use polymage_graph::PipelineGraph;
+use polymage_ir::*;
+use proptest::prelude::*;
+
+/// A chain of `depth` box stencils of radius `rad` over an `exts`-sized
+/// domain (1-D, 2-D, or 3-D) — each stage shrinks its domain by `rad` per
+/// side per level, the classic overlapped-tiling geometry.
+fn stencil_chain(exts: &[i64], depth: i64, rad: i64) -> Pipeline {
+    let mut p = PipelineBuilder::new("prop");
+    let img = p.image(
+        "I",
+        ScalarType::Float,
+        exts.iter().map(|&e| PAff::cst(e)).collect(),
+    );
+    let vars: Vec<VarId> = (0..exts.len()).map(|d| p.var(format!("x{d}"))).collect();
+    let mut prev: Source = img.into();
+    let mut last = None;
+    for i in 1..=depth {
+        let dom: Vec<(VarId, Interval)> = vars
+            .iter()
+            .zip(exts)
+            .map(|(&v, &e)| (v, Interval::cst(i * rad, e - 1 - i * rad)))
+            .collect();
+        let f = p.func(format!("s{i}"), &dom, ScalarType::Float);
+        // Axis cross of radius `rad`: center plus ±rad along each dim.
+        let at = |offs: Vec<i64>| {
+            Expr::at(
+                prev,
+                vars.iter()
+                    .zip(&offs)
+                    .map(|(&v, &o)| Expr::from(v) + Expr::Const(o as f64))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut sum = at(vec![0; exts.len()]);
+        for d in 0..exts.len() {
+            for s in [-rad, rad] {
+                let mut offs = vec![0i64; exts.len()];
+                offs[d] = s;
+                sum = sum + at(offs);
+            }
+        }
+        let n = (2 * exts.len() + 1) as f64;
+        p.define(f, vec![Case::always(sum * (1.0 / n))]).unwrap();
+        prev = f.into();
+        last = Some(f);
+    }
+    p.finish(&[last.unwrap()]).unwrap()
+}
+
+/// The floor `select_tiles` actually enforces: the global parallelism
+/// floor, relaxed to the best strip count any single-dim candidate (ladder
+/// or untiled) can achieve on this geometry.
+fn achievable_floor(geom: &GroupGeom, par_strips: i64) -> i64 {
+    let ext = geom.sink_extents().first().copied().unwrap_or(1);
+    let mut best = ext.min(par_strips.max(1)); // untiled strip count
+    for &t in &TILE_LADDER {
+        if ext >= 2 * t {
+            best = best.max((ext + t - 1) / t);
+        }
+    }
+    (min_strip_tiles() as i64).min(best)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn selected_tiles_satisfy_all_constraints(
+        ndims in 1usize..=3,
+        ext0 in 48i64..1200,
+        ext1 in 48i64..1200,
+        ext2 in 3i64..64,
+        depth in 1i64..=4,
+        rad in 1i64..=2,
+        thresh_i in 0usize..3,
+        l2_kb in 256usize..4096,
+    ) {
+        let exts: Vec<i64> = [ext0, ext1, ext2][..ndims].to_vec();
+        // Domains must survive `depth` shrinks of `rad` per side.
+        prop_assume!(exts.iter().all(|&e| e > 2 * depth * rad + 4));
+        let pipe = stencil_chain(&exts, depth, rad);
+        let mut opts = CompileOptions::optimized(vec![]).with_tile_spec(TileSpec::Auto);
+        opts.overlap_threshold = [0.2, 0.4, 0.5][thresh_i];
+        let model = CacheModel {
+            l1: 32 * 1024,
+            l2: l2_kb * 1024,
+            line: 64,
+        };
+
+        let graph = PipelineGraph::build(&pipe).expect("graph");
+        let grouping = group_stages(&pipe, &graph, &opts);
+        for g in &grouping.groups {
+            if g.kind != GroupKindTag::Normal {
+                continue;
+            }
+            let Some(geom) = GroupGeom::build(&pipe, &graph, g, &opts) else {
+                continue;
+            };
+            let choice = select_tiles(&geom, &opts, &model);
+            // The reported working set and ratio must be the model's own
+            // numbers for the chosen shape, whatever path produced it.
+            prop_assert_eq!(choice.working_set, geom.working_set(&choice.tiles, &model));
+            prop_assert!((choice.ratio - geom.redundancy(&choice.tiles)).abs() < 1e-12);
+            if choice.fallback {
+                continue;
+            }
+            // (a) cache budget
+            prop_assert!(
+                choice.working_set <= model.budget(),
+                "working set {} exceeds budget {} (tiles {:?}, exts {:?})",
+                choice.working_set, model.budget(), choice.tiles, exts
+            );
+            // (b) parallelism floor (relaxed to the achievable maximum)
+            let floor = achievable_floor(&geom, opts.par_strips);
+            prop_assert!(
+                geom.strip_tiles(&choice.tiles, opts.par_strips) >= floor,
+                "strip tiles {} below floor {} (tiles {:?}, exts {:?})",
+                geom.strip_tiles(&choice.tiles, opts.par_strips), floor,
+                choice.tiles, exts
+            );
+            // (c) redundancy cap
+            prop_assert!(
+                choice.ratio < opts.overlap_threshold,
+                "ratio {} at/over threshold {} (tiles {:?}, exts {:?})",
+                choice.ratio, opts.overlap_threshold, choice.tiles, exts
+            );
+        }
+    }
+}

@@ -194,6 +194,14 @@ counters! {
     InstanceHit => "session.instance_hit",
     /// Session instance-cache misses (phase-2 instantiation ran).
     InstanceMiss => "session.instance_miss",
+    /// Groups whose tile shape the cache model selected (constraints met).
+    TileModelSelect => "tilemodel.select",
+    /// Groups where no candidate met every constraint and the model fell
+    /// back to the fixed baseline shape.
+    TileModelFallback => "tilemodel.fallback",
+    /// Plan-time tile decisions demoted at instantiation because the
+    /// concrete bounds no longer admit them.
+    TileModelRecheck => "tilemodel.recheck",
 }
 
 /// An in-flight span, created by [`Diag::begin`] and closed by

@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Concrete regions of one overlapped tile.
     let mut opts = CompileOptions::optimized(vec![256]);
-    opts.tile_sizes = vec![32];
+    opts.tiles = polymage_core::TileSpec::Fixed(vec![32]);
     let compiled = compile(&pipe, &opts)?;
     for group in &compiled.program.groups {
         if let GroupKind::Tiled(tg) = &group.kind {
