@@ -6,7 +6,7 @@
 use polymage_apps::{all_benchmarks, harris::HarrisCorner, Benchmark, Scale};
 use polymage_core::{compile, CompileOptions, Session};
 use polymage_diag::Diag;
-use polymage_vm::{Buffer, Engine, Program, RunHandle, SharedPool};
+use polymage_vm::{Buffer, Engine, Program, RunHandle, RunRequest, SharedPool};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -47,7 +47,8 @@ fn concurrent_submitters_bit_identical_to_fresh_engine() {
         for &t in &THREAD_MIX {
             let fresh = Engine::with_threads(4);
             let out = fresh
-                .run_with_threads(prog, inputs, t)
+                .submit(RunRequest::new(prog, inputs).threads(t))
+                .and_then(|h| h.join())
                 .unwrap_or_else(|e| panic!("{name}: golden run: {e}"));
             per_threads.push(bits(&out));
         }
@@ -81,7 +82,7 @@ fn concurrent_submitters_bit_identical_to_fresh_engine() {
                     for (pi, (_, prog, inputs)) in programs.iter().enumerate() {
                         let mi = (pi + submitter + round) % THREAD_MIX.len();
                         let handle = engine
-                            .submit_with_threads(prog, inputs, THREAD_MIX[mi])
+                            .submit(RunRequest::new(prog, inputs).threads(THREAD_MIX[mi]))
                             .unwrap();
                         pending.push_back((pi, mi, handle));
                         if pending.len() >= 2 {
@@ -157,19 +158,119 @@ fn admission_cap_applies_backpressure_without_deadlock() {
     let inputs = b.make_inputs(7);
     let engine = Engine::with_threads_and_inflight(2, 1);
     assert_eq!(engine.max_inflight(), 1);
-    let golden = bits(&Engine::with_threads(2).run(&prog, &inputs).unwrap());
+    let golden = bits(
+        &Engine::with_threads(2)
+            .submit(RunRequest::new(&prog, &inputs))
+            .unwrap()
+            .join()
+            .unwrap(),
+    );
     std::thread::scope(|s| {
         for _ in 0..3 {
             let engine = &engine;
             let (prog, inputs, golden) = (&prog, &inputs, &golden);
             s.spawn(move || {
                 for _ in 0..4 {
-                    let out = engine.run(prog, inputs).unwrap();
+                    let out = engine
+                        .submit(RunRequest::new(prog, inputs))
+                        .unwrap()
+                        .join()
+                        .unwrap();
                     assert_eq!(golden, &bits(&out));
                 }
             });
         }
     });
+}
+
+#[test]
+fn mixed_priority_random_cancellation_stress() {
+    use polymage_vm::{CancelReason, Priority, VmError};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // Real compiled pipelines under a priority mix with random caller
+    // cancellation: survivors must stay bit-identical to a fresh engine,
+    // cancelled runs must report the caller reason, and when everything
+    // resolves the engine holds no run buffers and the pool's byte
+    // accounting balances. This is the CI stress leg for the scheduler.
+    let programs: Vec<(String, Arc<Program>, Vec<Buffer>)> = workload()
+        .into_iter()
+        .filter(|(name, _, _)| name.ends_with("/opt"))
+        .collect();
+    let golden: Vec<Vec<Vec<u32>>> = programs
+        .iter()
+        .map(|(name, prog, inputs)| {
+            let fresh = Engine::with_threads(4);
+            let out = fresh
+                .submit(RunRequest::new(prog, inputs).threads(2))
+                .and_then(|h| h.join())
+                .unwrap_or_else(|e| panic!("{name}: golden run: {e}"));
+            bits(&out)
+        })
+        .collect();
+
+    let engine = Engine::with_threads(4);
+    let priorities = [Priority::Low, Priority::Normal, Priority::High];
+    std::thread::scope(|s| {
+        for submitter in 0..4usize {
+            let engine = &engine;
+            let programs = &programs;
+            let golden = &golden;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xABCD ^ submitter as u64);
+                for round in 0..2 {
+                    for (pi, (name, prog, inputs)) in programs.iter().enumerate() {
+                        let prio = priorities[(pi + submitter + round) % priorities.len()];
+                        let handle = engine
+                            .submit(RunRequest::new(prog, inputs).threads(2).priority(prio))
+                            .unwrap();
+                        // About a third of the runs get cancelled at a
+                        // random point: before they start, mid-flight, or
+                        // (often) after they already finished.
+                        let cancelled = rng.gen_bool(1.0 / 3.0);
+                        if cancelled {
+                            let token = handle.cancel_token();
+                            let delay_us = rng.gen_range(0..1_500u64);
+                            s.spawn(move || {
+                                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                                token.cancel();
+                            });
+                        }
+                        let (result, stats) = handle.join_outcome();
+                        match result {
+                            Ok(out) => {
+                                assert_eq!(
+                                    golden[pi],
+                                    bits(&out),
+                                    "{name} (submitter {submitter}, {prio:?}) \
+                                     diverged under priority mix"
+                                );
+                                assert_eq!(stats.cancelled_tiles, 0, "{name}");
+                            }
+                            Err(VmError::Cancelled {
+                                reason: CancelReason::Caller,
+                            }) => {
+                                assert!(cancelled, "{name}: run cancelled without a cancel call");
+                            }
+                            Err(other) => panic!("{name}: unexpected error {other:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        engine.live_full_bytes(),
+        0,
+        "all runs resolved but buffers are still live"
+    );
+    assert_eq!(
+        engine.pool_stats().retained_bytes,
+        engine.pool_audit_retained_bytes(),
+        "pool byte accounting drifted under cancellation stress"
+    );
 }
 
 #[test]

@@ -4,6 +4,7 @@
 
 use polymage_apps::{all_benchmarks, Scale};
 use polymage_core::{compile, CompileOptions, Session};
+use polymage_vm::RunRequest;
 
 #[test]
 fn compiled_matches_reference_all_benchmarks() {
@@ -22,7 +23,8 @@ fn compiled_matches_reference_all_benchmarks() {
             for threads in [1, 3] {
                 let got = session
                     .engine()
-                    .run_with_threads(&compiled.program, &inputs, threads)
+                    .submit(RunRequest::new(&compiled.program, &inputs).threads(threads))
+                    .and_then(|h| h.join())
                     .unwrap_or_else(|e| panic!("{}: run failed: {e}", b.name()));
                 assert_eq!(got.len(), expect.len(), "{}", b.name());
                 let tol = b.tolerance();

@@ -5,7 +5,7 @@
 
 use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
 use polymage_core::{compile, CompileOptions};
-use polymage_vm::Engine;
+use polymage_vm::{Engine, RunRequest};
 
 #[test]
 fn more_workers_than_tiles() {
@@ -16,7 +16,11 @@ fn more_workers_than_tiles() {
     // A pool far larger than the frame's tile count: most workers claim
     // nothing, and the run must still be complete and bit-exact.
     let wide = Engine::with_threads(64);
-    let (out_wide, stats) = wide.run_stats(&compiled.program, &inputs).unwrap();
+    let (out_wide, stats) = wide
+        .submit(RunRequest::new(&compiled.program, &inputs))
+        .unwrap()
+        .join_stats()
+        .unwrap();
     assert!(
         (stats.tiles as usize) < 64,
         "test premise: fewer tiles ({}) than workers",
@@ -30,7 +34,11 @@ fn more_workers_than_tiles() {
     );
 
     let narrow = Engine::with_threads(1);
-    let (out_narrow, _) = narrow.run_stats(&compiled.program, &inputs).unwrap();
+    let (out_narrow, _) = narrow
+        .submit(RunRequest::new(&compiled.program, &inputs))
+        .unwrap()
+        .join_stats()
+        .unwrap();
     for (a, b) in out_wide.iter().zip(&out_narrow) {
         assert_eq!(a.data, b.data, "thread count must not change results");
     }
@@ -44,7 +52,9 @@ fn single_thread_claims_everything() {
 
     let engine = Engine::with_threads(4);
     let (_, stats) = engine
-        .run_stats_with_threads(&compiled.program, &inputs, 1)
+        .submit(RunRequest::new(&compiled.program, &inputs).threads(1))
+        .unwrap()
+        .join_stats()
         .unwrap();
     assert!(stats.tiles > 0);
     // The per-worker vectors are sized to the run's *effective* worker
@@ -65,7 +75,11 @@ fn utilization_counters_sum_to_total_tiles() {
 
     let engine = Engine::with_threads(4);
     for _ in 0..3 {
-        let (_, stats) = engine.run_stats(&compiled.program, &inputs).unwrap();
+        let (_, stats) = engine
+            .submit(RunRequest::new(&compiled.program, &inputs))
+            .unwrap()
+            .join_stats()
+            .unwrap();
         assert_eq!(stats.worker_tiles.iter().sum::<u64>(), stats.tiles);
         // Work happened, so someone was busy.
         assert!(stats.worker_busy.iter().any(|d| !d.is_zero()));

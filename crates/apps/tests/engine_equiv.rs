@@ -8,7 +8,7 @@
 
 use polymage_apps::{all_benchmarks, Scale};
 use polymage_core::{compile, CompileOptions};
-use polymage_vm::{run_program_static, Engine};
+use polymage_vm::{run_program_static, Engine, RunRequest};
 use std::sync::Arc;
 
 fn bits(bufs: &[polymage_vm::Buffer]) -> Vec<Vec<u32>> {
@@ -33,7 +33,8 @@ fn engine_matches_static_executor_bit_exact_all_benchmarks() {
                 let legacy = run_program_static(&prog, &inputs, nthreads)
                     .unwrap_or_else(|e| panic!("{}: static run: {e}", b.name()));
                 let pooled = engine
-                    .run_with_threads(&prog, &inputs, nthreads)
+                    .submit(RunRequest::new(&prog, &inputs).threads(nthreads))
+                    .and_then(|h| h.join())
                     .unwrap_or_else(|e| panic!("{}: engine run: {e}", b.name()));
                 assert_eq!(
                     bits(&legacy),

@@ -15,7 +15,7 @@ use polymage_apps::{
     unsharp::Unsharp, Benchmark,
 };
 use polymage_core::{compile, instantiate, plan, CompileOptions};
-use polymage_vm::{Buffer, Engine, EvalMode};
+use polymage_vm::{Buffer, Engine, EvalMode, RunRequest};
 
 /// Size offsets from each app's tiny dims. `64` keeps every app's
 /// constraint intact (pyramid apps need divisibility by at most
@@ -100,10 +100,12 @@ fn instantiate_matches_direct_compile_bit_exact() {
                 let inputs = b.make_inputs(7 + ai as u64);
                 for nthreads in [1usize, 2, 4] {
                     let got = engine
-                        .run_with_threads(&via_plan.program, &inputs, nthreads)
+                        .submit(RunRequest::new(&via_plan.program, &inputs).threads(nthreads))
+                        .and_then(|h| h.join())
                         .unwrap_or_else(|e| panic!("{}: instantiated run: {e}", b.name()));
                     let want = engine
-                        .run_with_threads(&direct.program, &inputs, nthreads)
+                        .submit(RunRequest::new(&direct.program, &inputs).threads(nthreads))
+                        .and_then(|h| h.join())
                         .unwrap_or_else(|e| panic!("{}: direct run: {e}", b.name()));
                     assert_eq!(
                         bits(&got),

@@ -7,8 +7,7 @@
 
 use polymage_apps::{all_benchmarks, Scale};
 use polymage_core::{compile, CompileOptions};
-use polymage_vm::{run_program_static, Engine};
-use std::sync::Arc;
+use polymage_vm::{run_program_static, Engine, RunRequest};
 
 fn bits(bufs: &[polymage_vm::Buffer]) -> Vec<Vec<u32>> {
     bufs.iter()
@@ -42,7 +41,8 @@ fn fold_on_off_bit_identical_all_benchmarks() {
                     .unwrap_or_else(|e| panic!("{}: oracle: {e}", b.name()));
                 for (label, prog) in [("fold on", &c_on.program), ("fold off", &c_off.program)] {
                     let got = engine
-                        .run_with_threads(&Arc::clone(prog), &inputs, nthreads)
+                        .submit(RunRequest::new(prog, &inputs).threads(nthreads))
+                        .and_then(|h| h.join())
                         .unwrap_or_else(|e| panic!("{}: {label}: {e}", b.name()));
                     assert_eq!(
                         bits(&oracle),
@@ -92,8 +92,16 @@ fn deep_pipelines_fold_and_release_early() {
         );
 
         // Measured per-run accounting from the engine.
-        let (_, s_on) = engine.run_stats(&on.program, &inputs).unwrap();
-        let (_, s_off) = engine.run_stats(&off.program, &inputs).unwrap();
+        let (_, s_on) = engine
+            .submit(RunRequest::new(&on.program, &inputs))
+            .unwrap()
+            .join_stats()
+            .unwrap();
+        let (_, s_off) = engine
+            .submit(RunRequest::new(&off.program, &inputs))
+            .unwrap()
+            .join_stats()
+            .unwrap();
         assert!(
             s_on.early_releases > 0,
             "{name}: no buffer was released before run end"

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
 use polymage_core::{compile, CompileOptions};
 use polymage_diag::Diag;
-use polymage_vm::{run_program, Engine};
+use polymage_vm::{run_program, Engine, RunRequest};
 
 fn bench_engine_reuse(c: &mut Criterion) {
     // Tiny frames are fixed-cost dominated (spawn/alloc overhead visible);
@@ -31,7 +31,9 @@ fn bench_engine_reuse(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("reused-engine"), |bench| {
             bench.iter(|| {
                 engine
-                    .run_with_threads(&compiled.program, &inputs, threads)
+                    .submit(RunRequest::new(&compiled.program, &inputs).threads(threads))
+                    .unwrap()
+                    .join()
                     .unwrap()
             })
         });
@@ -58,7 +60,9 @@ fn bench_diag_overhead(c: &mut Criterion) {
     g.bench_function(BenchmarkId::from_parameter("untraced"), |bench| {
         bench.iter(|| {
             engine
-                .run_with_threads(&compiled.program, &inputs, threads)
+                .submit(RunRequest::new(&compiled.program, &inputs).threads(threads))
+                .unwrap()
+                .join()
                 .unwrap()
         })
     });
@@ -66,7 +70,13 @@ fn bench_diag_overhead(c: &mut Criterion) {
     g.bench_function(BenchmarkId::from_parameter("diag-noop"), |bench| {
         bench.iter(|| {
             engine
-                .run_stats_traced(&compiled.program, &inputs, threads, &noop)
+                .submit(
+                    RunRequest::new(&compiled.program, &inputs)
+                        .threads(threads)
+                        .trace(&noop),
+                )
+                .unwrap()
+                .join_stats()
                 .unwrap()
         })
     });
@@ -74,7 +84,13 @@ fn bench_diag_overhead(c: &mut Criterion) {
     g.bench_function(BenchmarkId::from_parameter("diag-recording"), |bench| {
         bench.iter(|| {
             engine
-                .run_stats_traced(&compiled.program, &inputs, threads, &rec)
+                .submit(
+                    RunRequest::new(&compiled.program, &inputs)
+                        .threads(threads)
+                        .trace(&rec),
+                )
+                .unwrap()
+                .join_stats()
                 .unwrap()
         })
     });

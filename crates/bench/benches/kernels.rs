@@ -17,7 +17,7 @@ use polymage_apps::{all_benchmarks, Scale};
 use polymage_core::{compile, CompileOptions, SimdOpt};
 use polymage_vm::{
     available_simd_levels, eval_kernel, BinF, BufId, BufView, ChunkCtx, CmpF, Engine, IdxPlan,
-    Kernel, Op, RegFile, RegId, CHUNK,
+    Kernel, Op, RegFile, RegId, RunRequest, CHUNK,
 };
 
 fn bench_kernel_opt(c: &mut Criterion) {
@@ -37,14 +37,18 @@ fn bench_kernel_opt(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("kernel-opt"), |bench| {
             bench.iter(|| {
                 engine
-                    .run_with_threads(&on.program, &inputs, threads)
+                    .submit(RunRequest::new(&on.program, &inputs).threads(threads))
+                    .unwrap()
+                    .join()
                     .unwrap()
             })
         });
         g.bench_function(BenchmarkId::from_parameter("no-kernel-opt"), |bench| {
             bench.iter(|| {
                 engine
-                    .run_with_threads(&off.program, &inputs, threads)
+                    .submit(RunRequest::new(&off.program, &inputs).threads(threads))
+                    .unwrap()
+                    .join()
                     .unwrap()
             })
         });
@@ -56,7 +60,9 @@ fn bench_kernel_opt(c: &mut Criterion) {
         g.bench_function(BenchmarkId::from_parameter("simd-off"), |bench| {
             bench.iter(|| {
                 engine
-                    .run_with_threads(&simd_off.program, &inputs, threads)
+                    .submit(RunRequest::new(&simd_off.program, &inputs).threads(threads))
+                    .unwrap()
+                    .join()
                     .unwrap()
             })
         });

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
 use polymage_core::{compile, CompileOptions};
-use polymage_vm::{Buffer, Engine, Program};
+use polymage_vm::{Buffer, Engine, Priority, Program, RunRequest};
 use std::sync::Arc;
 
 const BATCH: usize = 16;
@@ -23,7 +23,40 @@ fn drain_batch(engine: &Engine, prog: &Arc<Program>, inputs: &[Buffer], submitte
         for _ in 0..submitters {
             s.spawn(move || {
                 for _ in 0..share {
-                    engine.run_with_threads(prog, inputs, 1).unwrap();
+                    engine
+                        .submit(RunRequest::new(prog, inputs).threads(1))
+                        .unwrap()
+                        .join()
+                        .unwrap();
+                }
+            });
+        }
+    });
+}
+
+/// Drain the batch with 4 submitters under a priority mix: submitter 0
+/// runs its share at [`Priority::High`], the rest at [`Priority::Low`].
+/// Compared against the all-[`Priority::Normal`] (FIFO-equivalent) drain:
+/// batch throughput must stay within noise — priority changes *who waits*,
+/// not how much total work the pool does — while the high submitter's
+/// per-run latency drops (see `bin/schedlat.rs` for the percentiles).
+fn drain_batch_mixed(engine: &Engine, prog: &Arc<Program>, inputs: &[Buffer], mixed: bool) {
+    let submitters = 4;
+    let share = BATCH / submitters;
+    std::thread::scope(|s| {
+        for submitter in 0..submitters {
+            let prio = match (mixed, submitter) {
+                (false, _) => Priority::Normal,
+                (true, 0) => Priority::High,
+                (true, _) => Priority::Low,
+            };
+            s.spawn(move || {
+                for _ in 0..share {
+                    engine
+                        .submit(RunRequest::new(prog, inputs).threads(1).priority(prio))
+                        .unwrap()
+                        .join()
+                        .unwrap();
                 }
             });
         }
@@ -49,6 +82,13 @@ fn bench_throughput(c: &mut Criterion) {
                 BenchmarkId::from_parameter(format!("{submitters}-submitters")),
                 |bench| bench.iter(|| drain_batch(&engine, &prog, &inputs, submitters)),
             );
+        }
+        // Mixed-priority vs FIFO on the same 4-submitter batch: the
+        // acceptance bar is geomean batch throughput within 3% of FIFO.
+        for (label, mixed) in [("4-fifo-all-normal", false), ("4-mixed-1high-3low", true)] {
+            g.bench_function(BenchmarkId::from_parameter(label), |bench| {
+                bench.iter(|| drain_batch_mixed(&engine, &prog, &inputs, mixed))
+            });
         }
         g.finish();
     }

@@ -1,6 +1,7 @@
 //! Developer inspection tool: compiler report, generated C (Fig. 7 style),
 //! and program statistics for any benchmark. Compilation goes through the
-//! two-phase path explicitly, so the size-independent [`ParametricPlan`]
+//! two-phase path explicitly, so the size-independent
+//! [`ParametricPlan`](polymage_core::ParametricPlan)
 //! (symbolic bounds) is shown alongside the geometry it instantiates at
 //! the benchmark's concrete parameters.
 

@@ -111,20 +111,65 @@ fn per_run_breakdown(rec: &Recording) {
         let mut tiles = 0u64;
         let mut threads = 0u64;
         let mut groups = 0usize;
+        let mut priority = "-";
+        let mut wait_us = 0u64;
         for e in rec.events_for_run(id) {
             match e.name {
                 "run" => {
                     wall_us = e.dur_us.unwrap_or(0);
                     tiles = e.arg("tiles").and_then(|v| v.as_u64()).unwrap_or(0);
                     threads = e.arg("nthreads").and_then(|v| v.as_u64()).unwrap_or(0);
+                    priority = e.arg("priority").and_then(|v| v.as_str()).unwrap_or("-");
+                    wait_us = e.arg("sched_wait_us").and_then(|v| v.as_u64()).unwrap_or(0);
                 }
                 "group" => groups += 1,
                 _ => {}
             }
         }
         println!(
-            "    run {id:>3}: {:>9.3} ms  {groups} groups, {tiles} tiles, {threads} threads",
+            "    run {id:>3}: {:>9.3} ms  {groups} groups, {tiles} tiles, \
+             {threads} threads, {priority}, waited {:.3} ms",
             wall_us as f64 / 1e3,
+            wait_us as f64 / 1e3,
+        );
+    }
+    per_priority_latency(rec);
+}
+
+/// Latency percentiles of the traced runs, split by scheduling priority
+/// (the engine stamps each `run` span with its band and admission wait).
+fn per_priority_latency(rec: &Recording) {
+    let mut by_band: std::collections::BTreeMap<String, (Vec<u64>, Vec<u64>)> =
+        std::collections::BTreeMap::new();
+    for e in rec.events_named("run") {
+        let Some(wall) = e.dur_us else { continue };
+        let band = e
+            .arg("priority")
+            .and_then(|v| v.as_str())
+            .unwrap_or("-")
+            .to_string();
+        let wait = e.arg("sched_wait_us").and_then(|v| v.as_u64()).unwrap_or(0);
+        let entry = by_band.entry(band).or_default();
+        entry.0.push(wall);
+        entry.1.push(wait);
+    }
+    if by_band.is_empty() {
+        return;
+    }
+    let q = |sorted: &[u64], p: f64| -> f64 {
+        let i = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[i] as f64 / 1e3
+    };
+    println!("  latency by priority:");
+    for (band, (mut walls, waits)) in by_band {
+        walls.sort_unstable();
+        let mean_wait = waits.iter().sum::<u64>() as f64 / waits.len() as f64 / 1e3;
+        println!(
+            "    {band:<8} {:>3} runs: p50 {:>9.3} ms  p95 {:>9.3} ms  \
+             mean sched wait {mean_wait:.3} ms",
+            walls.len(),
+            q(&walls, 0.50),
+            q(&walls, 0.95),
         );
     }
 }

@@ -1,0 +1,219 @@
+//! Serving-latency probe for the priority scheduler: a pool saturated by
+//! batch submitters, plus one interactive submitter measuring per-request
+//! latency. Run once with everything at [`Priority::Normal`] (the
+//! FIFO-equivalent baseline) and once with the interactive requests at
+//! [`Priority::High`] over [`Priority::Low`] batch work; print the
+//! interactive p50/p95/p99 and the batch throughput under both regimes.
+//!
+//! ```text
+//! cargo run --release --bin schedlat -- [--threads N] [--submitters N]
+//!     [--requests N] [--scale tiny|small|paper]
+//! ```
+//!
+//! Interactive requests fan out across the whole pool, so under the
+//! priority regime they preempt Low batch claims on every worker: the
+//! probe shows how much interactive latency the scheduler buys and how
+//! much Low-priority batch progress is deferred to pay for it. (The
+//! fixed-total-work throughput bar — mixed-priority geomean within 3%
+//! of FIFO — lives in `benches/throughput.rs`; see EXPERIMENTS.md
+//! §PR10 for both.)
+
+use polymage_apps::{harris::HarrisCorner, unsharp::Unsharp, Benchmark, Scale};
+use polymage_core::{compile, CompileOptions};
+use polymage_vm::{Buffer, Engine, Priority, Program, RunRequest};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    threads: usize,
+    submitters: usize,
+    requests: usize,
+    scale: Scale,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        threads: 4,
+        submitters: 3,
+        requests: 60,
+        scale: Scale::Tiny,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                out.threads = args[i].parse().expect("thread count");
+            }
+            "--submitters" => {
+                i += 1;
+                out.submitters = args[i].parse().expect("submitter count");
+            }
+            "--requests" => {
+                i += 1;
+                out.requests = args[i].parse().expect("request count");
+            }
+            "--scale" => {
+                i += 1;
+                out.scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    other => panic!("unknown scale {other:?}"),
+                };
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Regime {
+    name: &'static str,
+    interactive: Priority,
+    batch: Priority,
+}
+
+struct Measurement {
+    latencies: Vec<Duration>,
+    batch_per_sec: f64,
+}
+
+/// Saturates the engine with batch runs and measures the interactive
+/// submitter's request latencies under the given priority regime.
+fn measure(
+    args: &Args,
+    regime: &Regime,
+    interactive: (&Arc<Program>, &[Buffer]),
+    batch: (&Arc<Program>, &[Buffer]),
+) -> Measurement {
+    let engine = Engine::with_threads(args.threads);
+    let stop = AtomicBool::new(false);
+    let batch_done = AtomicU64::new(0);
+    let mut latencies = Vec::with_capacity(args.requests);
+    let window = std::thread::scope(|s| {
+        for _ in 0..args.submitters {
+            s.spawn(|| {
+                let (prog, inputs) = batch;
+                while !stop.load(Ordering::Relaxed) {
+                    engine
+                        .submit(
+                            RunRequest::new(prog, inputs)
+                                .threads(1)
+                                .priority(regime.batch),
+                        )
+                        .unwrap()
+                        .join()
+                        .unwrap();
+                    batch_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Let the batch tide come in before measuring.
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        let (prog, inputs) = interactive;
+        for _ in 0..args.requests {
+            let t = Instant::now();
+            engine
+                .submit(
+                    RunRequest::new(prog, inputs)
+                        .threads(args.threads)
+                        .priority(regime.interactive),
+                )
+                .unwrap()
+                .join()
+                .unwrap();
+            latencies.push(t.elapsed());
+            // A think-time gap so requests sample distinct backlog states.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let window = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        window
+    });
+    Measurement {
+        latencies,
+        batch_per_sec: batch_done.load(Ordering::Relaxed) as f64 / window.as_secs_f64(),
+    }
+}
+
+fn quantile(sorted: &[Duration], p: f64) -> Duration {
+    sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let inter_app = HarrisCorner::new(args.scale);
+    let batch_app = Unsharp::new(args.scale);
+    let inter = compile(
+        inter_app.pipeline(),
+        &CompileOptions::optimized(inter_app.params()),
+    )
+    .expect("compile interactive app");
+    let batch = compile(
+        batch_app.pipeline(),
+        &CompileOptions::optimized(batch_app.params()),
+    )
+    .expect("compile batch app");
+    let inter_inputs = inter_app.make_inputs(42);
+    let batch_inputs = batch_app.make_inputs(43);
+
+    println!(
+        "schedlat: {} interactive requests ({}) vs {} batch submitters ({}), \
+         {} workers",
+        args.requests,
+        inter_app.name(),
+        args.submitters,
+        batch_app.name(),
+        args.threads,
+    );
+
+    let regimes = [
+        Regime {
+            name: "fifo",
+            interactive: Priority::Normal,
+            batch: Priority::Normal,
+        },
+        Regime {
+            name: "priority",
+            interactive: Priority::High,
+            batch: Priority::Low,
+        },
+    ];
+    let mut results = Vec::new();
+    for regime in &regimes {
+        let m = measure(
+            &args,
+            regime,
+            (&inter.program, &inter_inputs),
+            (&batch.program, &batch_inputs),
+        );
+        let mut sorted = m.latencies.clone();
+        sorted.sort_unstable();
+        println!(
+            "  {:<9} interactive p50 {:>8.3} ms  p95 {:>8.3} ms  p99 {:>8.3} ms   \
+             batch {:>7.1} runs/s",
+            regime.name,
+            ms(quantile(&sorted, 0.50)),
+            ms(quantile(&sorted, 0.95)),
+            ms(quantile(&sorted, 0.99)),
+            m.batch_per_sec,
+        );
+        results.push((sorted, m.batch_per_sec));
+    }
+    let p50_fifo = quantile(&results[0].0, 0.50);
+    let p50_prio = quantile(&results[1].0, 0.50);
+    println!(
+        "  priority vs fifo: interactive p50 {:.2}x, batch throughput {:+.1}%",
+        ms(p50_fifo) / ms(p50_prio).max(1e-9),
+        (results[1].1 / results[0].1 - 1.0) * 100.0,
+    );
+}

@@ -24,7 +24,7 @@ pub mod sizes;
 
 use polymage_apps::{Benchmark, Scale};
 use polymage_core::{CompileOptions, Compiled, Session};
-use polymage_vm::{Buffer, Engine, EvalMode};
+use polymage_vm::{Buffer, Engine, EvalMode, RunRequest};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -40,14 +40,16 @@ pub fn time_program(
     threads: usize,
     runs: usize,
 ) -> Duration {
-    let _ = engine
-        .run_with_threads(&c.program, inputs, threads)
-        .expect("warm-up run");
+    let run_once = |what: &str| {
+        engine
+            .submit(RunRequest::new(&c.program, inputs).threads(threads))
+            .and_then(|h| h.join())
+            .unwrap_or_else(|e| panic!("{what} run: {e}"))
+    };
+    let _ = run_once("warm-up");
     let start = Instant::now();
     for _ in 0..runs.max(1) {
-        let _ = engine
-            .run_with_threads(&c.program, inputs, threads)
-            .expect("measured run");
+        let _ = run_once("measured");
     }
     start.elapsed() / runs.max(1) as u32
 }

@@ -20,7 +20,7 @@ use crate::{CompileError, CompileOptions, RunError, Session, TileSpec};
 use polymage_diag::Value;
 use polymage_graph::{inline_pointwise, PipelineGraph};
 use polymage_ir::Pipeline;
-use polymage_vm::Buffer;
+use polymage_vm::{Buffer, RunRequest};
 use rand::Rng;
 use std::time::{Duration, Instant};
 
@@ -82,11 +82,17 @@ fn measure(
     let predicted = compiled.report.predicted_overlap();
     let engine = session.engine();
     let time_with = |n: usize| -> Result<Duration, RunError> {
+        let run_once = || -> Result<(), RunError> {
+            engine
+                .submit(RunRequest::new(&compiled.program, inputs).threads(n))?
+                .join()?;
+            Ok(())
+        };
         // one warm-up, then average
-        engine.run_with_threads(&compiled.program, inputs, n)?;
+        run_once()?;
         let start = Instant::now();
         for _ in 0..runs {
-            engine.run_with_threads(&compiled.program, inputs, n)?;
+            run_once()?;
         }
         Ok(start.elapsed() / runs.max(1) as u32)
     };

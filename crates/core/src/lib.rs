@@ -41,7 +41,7 @@ mod grouping;
 mod instantiate;
 pub mod interp;
 mod lower;
-mod options;
+pub mod options;
 mod plan;
 mod report;
 mod session;

@@ -297,22 +297,266 @@ impl CompileOptions {
 /// selects the cache model (`auto`) or another fixed shape (used by the CI
 /// matrix, mirroring `POLYMAGE_SIMD`/`POLYMAGE_STORAGE_FOLD`).
 fn default_tile_spec() -> TileSpec {
-    match std::env::var("POLYMAGE_TILE") {
-        Ok(v) => TileSpec::parse(&v).unwrap_or_else(|| {
-            eprintln!("polymage: ignoring unknown POLYMAGE_TILE value `{v}`");
-            TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec())
-        }),
-        Err(_) => TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec()),
-    }
+    env::get()
+        .tiles
+        .clone()
+        .unwrap_or_else(|| TileSpec::Fixed(DEFAULT_TILE_SIZES.to_vec()))
 }
 
 /// Default for [`CompileOptions::storage_fold`]: on, unless the
 /// `POLYMAGE_STORAGE_FOLD` environment variable disables it (used by the
 /// CI ablation matrix, mirroring `POLYMAGE_SIMD`).
 fn default_storage_fold() -> bool {
-    match std::env::var("POLYMAGE_STORAGE_FOLD") {
-        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
-        Err(_) => true,
+    env::get().storage_fold.unwrap_or(true)
+}
+
+pub mod env {
+    //! Centralized `POLYMAGE_*` environment handling.
+    //!
+    //! Historically each knob parsed its own variable where it was
+    //! consumed (`POLYMAGE_TILE` and `POLYMAGE_STORAGE_FOLD` here in
+    //! `options`, `POLYMAGE_CACHE` in [`crate::tilemodel`],
+    //! `POLYMAGE_SIMD` in `polymage_vm::simd`), and anything unknown or
+    //! malformed was silently ignored — a typo like
+    //! `POLYMAGE_STORAGE_FOLD=of` quietly ran the default configuration.
+    //! This module is the single parse-and-validate entry point: every
+    //! `POLYMAGE_*` variable is parsed once per process into [`EnvConfig`]
+    //! and every problem is captured as an [`EnvIssue`], reported once via
+    //! diag (`env.invalid` events) and stderr when compilation first runs
+    //! with an enabled sink (see [`report`]).
+    //!
+    //! The grammar of each knob stays owned by its type —
+    //! [`TileSpec::parse`], [`CacheModel::parse`](crate::tilemodel::CacheModel::parse),
+    //! [`SimdOpt::parse_spelling`](polymage_vm::SimdOpt::parse_spelling) —
+    //! so engine-only embedders that bypass `polymage-core` keep the exact
+    //! same spellings.
+
+    use super::TileSpec;
+    use crate::tilemodel::CacheModel;
+    use polymage_diag::{Diag, Value};
+    use polymage_vm::SimdOpt;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Once, OnceLock};
+
+    /// Every `POLYMAGE_*` variable the toolchain understands.
+    pub const KNOWN_VARS: [&str; 4] = [
+        "POLYMAGE_SIMD",
+        "POLYMAGE_TILE",
+        "POLYMAGE_STORAGE_FOLD",
+        "POLYMAGE_CACHE",
+    ];
+
+    /// One rejected or unrecognized `POLYMAGE_*` variable.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct EnvIssue {
+        /// The variable name (always `POLYMAGE_`-prefixed).
+        pub var: String,
+        /// The value that was set.
+        pub value: String,
+        /// What was wrong with it (unknown variable / expected grammar).
+        pub problem: String,
+    }
+
+    /// The parsed `POLYMAGE_*` overrides: `None` per knob means unset *or*
+    /// malformed (malformed values keep the built-in default and record an
+    /// [`EnvIssue`], exactly like the historical per-site parsers).
+    #[derive(Debug, Clone, Default)]
+    pub struct EnvConfig {
+        /// `POLYMAGE_SIMD` — validated here; *consumed* by
+        /// `polymage_vm::resolve_simd`, which also covers engine-only
+        /// embedders.
+        pub simd: Option<SimdOpt>,
+        /// `POLYMAGE_TILE` — the [`CompileOptions::tiles`](super::CompileOptions::tiles)
+        /// default.
+        pub tiles: Option<TileSpec>,
+        /// `POLYMAGE_STORAGE_FOLD` — the
+        /// [`CompileOptions::storage_fold`](super::CompileOptions::storage_fold)
+        /// default.
+        pub storage_fold: Option<bool>,
+        /// `POLYMAGE_CACHE` — the cache geometry override consumed by
+        /// [`CacheModel::get`].
+        pub cache: Option<CacheModel>,
+        /// Everything rejected, in variable-name order.
+        pub issues: Vec<EnvIssue>,
+    }
+
+    /// Parses a set of environment variables (pure; exposed for tests).
+    /// Only `POLYMAGE_*` names are considered; order of the input does not
+    /// matter — issues come out sorted by variable name.
+    pub fn parse(vars: impl IntoIterator<Item = (String, String)>) -> EnvConfig {
+        let mut cfg = EnvConfig::default();
+        let mut vars: Vec<(String, String)> = vars
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("POLYMAGE_"))
+            .collect();
+        vars.sort();
+        for (name, value) in vars {
+            let bad = |cfg: &mut EnvConfig, problem: &str| {
+                cfg.issues.push(EnvIssue {
+                    var: name.clone(),
+                    value: value.clone(),
+                    problem: problem.to_string(),
+                });
+            };
+            match name.as_str() {
+                "POLYMAGE_SIMD" => match SimdOpt::parse_spelling(&value) {
+                    Some(opt) => cfg.simd = Some(opt),
+                    None => bad(&mut cfg, "expected off|scalar|sse2|avx2|neon|auto"),
+                },
+                "POLYMAGE_TILE" => match TileSpec::parse(&value) {
+                    Some(spec) => cfg.tiles = Some(spec),
+                    None => bad(
+                        &mut cfg,
+                        "expected auto|fixed|default or a shape like 32x256",
+                    ),
+                },
+                "POLYMAGE_STORAGE_FOLD" => match value.to_ascii_lowercase().as_str() {
+                    "on" | "1" | "true" | "yes" => cfg.storage_fold = Some(true),
+                    "off" | "0" | "false" | "no" => cfg.storage_fold = Some(false),
+                    _ => bad(&mut cfg, "expected on|off|1|0|true|false"),
+                },
+                "POLYMAGE_CACHE" => match CacheModel::parse(&value) {
+                    Some(model) => cfg.cache = Some(model),
+                    None => bad(
+                        &mut cfg,
+                        "expected l1:l2:line byte counts (k/m/g suffixes allowed)",
+                    ),
+                },
+                _ => bad(&mut cfg, "unknown POLYMAGE_* variable"),
+            }
+        }
+        cfg
+    }
+
+    /// The process-wide configuration, parsed from the real environment
+    /// once (it feeds compile-cache keys, which must be stable).
+    pub fn get() -> &'static EnvConfig {
+        static CONFIG: OnceLock<EnvConfig> = OnceLock::new();
+        CONFIG.get_or_init(|| parse(std::env::vars()))
+    }
+
+    /// Reports every [`EnvIssue`] of the process-wide configuration: once
+    /// to stderr (ever), and once as structured `env.invalid` diag events
+    /// on the first *enabled* sink offered. Called from the compiler entry
+    /// points; idempotent and cheap when there is nothing to say.
+    pub fn report(diag: &Diag) {
+        let cfg = get();
+        if cfg.issues.is_empty() {
+            return;
+        }
+        static STDERR_ONCE: Once = Once::new();
+        STDERR_ONCE.call_once(|| {
+            for issue in &cfg.issues {
+                eprintln!(
+                    "polymage: ignoring {} = `{}` ({})",
+                    issue.var, issue.value, issue.problem
+                );
+            }
+        });
+        static DIAG_DONE: AtomicBool = AtomicBool::new(false);
+        if diag.enabled()
+            && DIAG_DONE
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            for issue in &cfg.issues {
+                diag.event(
+                    "env.invalid",
+                    vec![
+                        ("var", Value::Str(issue.var.clone())),
+                        ("value", Value::Str(issue.value.clone())),
+                        ("problem", Value::Str(issue.problem.clone())),
+                    ],
+                );
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn pairs(kv: &[(&str, &str)]) -> Vec<(String, String)> {
+            kv.iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        }
+
+        #[test]
+        fn parses_known_vars() {
+            let cfg = parse(pairs(&[
+                ("POLYMAGE_SIMD", "avx2"),
+                ("POLYMAGE_TILE", "auto"),
+                ("POLYMAGE_STORAGE_FOLD", "off"),
+                ("POLYMAGE_CACHE", "48k:2m:64"),
+                ("PATH", "/usr/bin"), // non-POLYMAGE vars are ignored
+            ]));
+            assert_eq!(cfg.simd, Some(SimdOpt::Avx2));
+            assert_eq!(cfg.tiles, Some(TileSpec::Auto));
+            assert_eq!(cfg.storage_fold, Some(false));
+            assert_eq!(
+                cfg.cache,
+                Some(CacheModel {
+                    l1: 48 * 1024,
+                    l2: 2 * 1024 * 1024,
+                    line: 64
+                })
+            );
+            assert!(cfg.issues.is_empty());
+        }
+
+        #[test]
+        fn flags_malformed_values_and_keeps_defaults() {
+            let cfg = parse(pairs(&[
+                ("POLYMAGE_SIMD", "avx512"),
+                ("POLYMAGE_TILE", "banana"),
+                ("POLYMAGE_STORAGE_FOLD", "of"),
+                ("POLYMAGE_CACHE", "big"),
+            ]));
+            assert_eq!(cfg.simd, None);
+            assert_eq!(cfg.tiles, None);
+            assert_eq!(cfg.storage_fold, None);
+            assert_eq!(cfg.cache, None);
+            assert_eq!(cfg.issues.len(), 4);
+            assert!(cfg.issues.iter().all(|i| i.var.starts_with("POLYMAGE_")));
+        }
+
+        #[test]
+        fn flags_unknown_polymage_vars() {
+            let cfg = parse(pairs(&[
+                ("POLYMAGE_TILES", "auto"), // typo: TILES, not TILE
+                ("POLYMAGE_SIMD", "off"),
+            ]));
+            assert_eq!(cfg.simd, Some(SimdOpt::Off));
+            assert_eq!(cfg.issues.len(), 1);
+            assert_eq!(cfg.issues[0].var, "POLYMAGE_TILES");
+            assert_eq!(cfg.issues[0].problem, "unknown POLYMAGE_* variable");
+        }
+
+        #[test]
+        fn bool_spellings() {
+            for (s, want) in [
+                ("on", true),
+                ("1", true),
+                ("TRUE", true),
+                ("yes", true),
+                ("off", false),
+                ("0", false),
+                ("False", false),
+                ("no", false),
+            ] {
+                let cfg = parse(pairs(&[("POLYMAGE_STORAGE_FOLD", s)]));
+                assert_eq!(cfg.storage_fold, Some(want), "spelling {s}");
+                assert!(cfg.issues.is_empty());
+            }
+        }
+
+        #[test]
+        fn report_is_idempotent_and_panic_free() {
+            let diag = Diag::noop();
+            report(&diag);
+            report(&diag);
+        }
     }
 }
 

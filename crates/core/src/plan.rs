@@ -317,6 +317,7 @@ pub fn plan_with(
     if opts.estimates().len() != pipe.params().len() {
         return Err(CompileError::param_mismatch(pipe, opts.estimates().len()));
     }
+    crate::options::env::report(diag);
     let plan_span = diag.begin();
 
     // Front-end. Cycle detection runs on the user's specification (before

@@ -45,7 +45,7 @@ use crate::plan::{plan_with, ParametricPlan};
 use crate::{instantiate_with, CompileError, CompileOptions, Compiled};
 use polymage_diag::{Counter, Diag};
 use polymage_ir::Pipeline;
-use polymage_vm::{Buffer, Engine, RunStats, VmError};
+use polymage_vm::{Buffer, Engine, RunRequest, RunStats, VmError};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -564,10 +564,7 @@ impl Session {
         inputs: &[Buffer],
     ) -> Result<Vec<Buffer>, RunError> {
         let compiled = self.compile(pipe, opts)?;
-        let (out, _) =
-            self.engine
-                .run_stats_traced(&compiled.program, inputs, self.nthreads(), &self.diag)?;
-        Ok(out)
+        Ok(self.run_compiled(&compiled, inputs)?)
     }
 
     /// Like [`Session::run`], additionally returning execution statistics
@@ -587,7 +584,12 @@ impl Session {
         let compiled = self.compile(pipe, opts)?;
         Ok(self
             .engine
-            .run_stats_traced(&compiled.program, inputs, self.nthreads(), &self.diag)?)
+            .submit(
+                RunRequest::new(&compiled.program, inputs)
+                    .threads(self.nthreads())
+                    .trace(&self.diag),
+            )?
+            .join_stats()?)
     }
 
     /// Runs an already-compiled program on the session's engine.
@@ -600,10 +602,14 @@ impl Session {
         compiled: &Compiled,
         inputs: &[Buffer],
     ) -> Result<Vec<Buffer>, VmError> {
-        let (out, _) =
-            self.engine
-                .run_stats_traced(&compiled.program, inputs, self.nthreads(), &self.diag)?;
-        Ok(out)
+        self.engine
+            .submit(
+                RunRequest::new(&compiled.program, inputs)
+                    .threads(self.nthreads())
+                    .trace(&self.diag)
+                    .group_stats(false),
+            )?
+            .join()
     }
 
     /// Hit/miss/eviction counters of both cache levels.

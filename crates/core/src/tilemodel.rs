@@ -101,19 +101,16 @@ impl CacheModel {
         self.l2 / WS_BUDGET_DEN * WS_BUDGET_NUM
     }
 
-    /// The process-wide model: `POLYMAGE_CACHE` if set and parseable,
+    /// The process-wide model: `POLYMAGE_CACHE` if set and parseable
+    /// (via [`crate::options::env`], which reports malformed values),
     /// else sysfs detection, else [`CacheModel::FALLBACK`]. Resolved once
     /// (it participates in compile-cache keys, which must be stable).
     pub fn get() -> CacheModel {
         static MODEL: OnceLock<CacheModel> = OnceLock::new();
         *MODEL.get_or_init(|| {
-            if let Ok(v) = std::env::var("POLYMAGE_CACHE") {
-                if let Some(m) = CacheModel::parse(&v) {
-                    return m;
-                }
-                eprintln!("polymage: ignoring unparseable POLYMAGE_CACHE value `{v}`");
-            }
-            CacheModel::detect()
+            crate::options::env::get()
+                .cache
+                .unwrap_or_else(CacheModel::detect)
         })
     }
 
@@ -172,7 +169,7 @@ fn parse_bytes(s: &str) -> Option<usize> {
 }
 
 /// The parallelism floor: the strip dimension must yield at least this
-/// many tiles ([`STRIP_TILES_PER_WORKER`] × available workers, capped at
+/// many tiles (`STRIP_TILES_PER_WORKER` × available workers, capped at
 /// 128 — the untiled strip target). Resolved once per process; it
 /// participates in compile-cache keys.
 pub fn min_strip_tiles() -> usize {
@@ -618,7 +615,7 @@ pub fn predict_group_cost(geom: &GroupGeom, tiles: &[Option<i64>], model: &Cache
 /// with the lowest predicted cost, ties broken toward larger tiles and a
 /// wider innermost dimension, then lexicographically for determinism.
 /// The winner replaces the fixed baseline shape only when its predicted
-/// cost beats the baseline's by [`MODEL_MARGIN`] (or the baseline is
+/// cost beats the baseline's by `MODEL_MARGIN` (or the baseline is
 /// itself infeasible); when nothing at all is feasible the baseline is
 /// kept and recorded with `fallback: true`.
 pub fn select_tiles(geom: &GroupGeom, opts: &CompileOptions, model: &CacheModel) -> TileChoice {
@@ -723,7 +720,7 @@ pub fn select_tiles(geom: &GroupGeom, opts: &CompileOptions, model: &CacheModel)
 
     match best {
         // The model only overrides the baseline when it predicts a clear
-        // win ([`MODEL_MARGIN`]); predicted near-ties keep the
+        // win (`MODEL_MARGIN`); predicted near-ties keep the
         // better-tested fixed shape.
         Some(b)
             if !base_feasible

@@ -202,6 +202,17 @@ counters! {
     /// Plan-time tile decisions demoted at instantiation because the
     /// concrete bounds no longer admit them.
     TileModelRecheck => "tilemodel.recheck",
+    /// Scheduler grants where a higher-urgency run jumped ahead of an
+    /// earlier submission (the FIFO order was overridden).
+    SchedPreempt => "sched.preempt",
+    /// Runs shed by admission control (fail-fast rejections plus inflight
+    /// victims cancelled to make room).
+    SchedShed => "sched.shed",
+    /// Runs completed as cancelled, for any reason.
+    SchedCancel => "sched.cancel",
+    /// Runs cancelled because their deadline expired (while queued,
+    /// blocked on admission, or mid-execution).
+    SchedDeadlineMiss => "sched.deadline_miss",
 }
 
 /// An in-flight span, created by [`Diag::begin`] and closed by

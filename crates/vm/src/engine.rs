@@ -9,17 +9,25 @@
 //! shared-nothing":
 //!
 //! - [`Engine`] itself holds only immutable pool configuration, the shared
-//!   [`SharedPool`] of recycled allocations, and the scheduler: a FIFO of
-//!   live [`RunContext`]s plus an admission cap (`max_inflight`) for
+//!   [`SharedPool`] of recycled allocations, and the scheduler: the live
+//!   [`RunContext`]s plus an admission cap (`max_inflight`) for
 //!   backpressure.
 //! - Each submitted run owns a `RunContext` with its full buffers, strip
 //!   claims, and [`RunStats`]; two runs never contend on each other's
-//!   state. Workers scan the FIFO front-to-back and claim the next strip
-//!   (or reduction chunk) of the first run that has work, so one pool
-//!   drives many overlapping runs.
-//! - [`Engine::submit`] returns a [`RunHandle`]; [`RunHandle::join`]
-//!   blocks for the result. [`Engine::run`] and friends are submit+join
-//!   shims, bit-identical to their historical behavior.
+//!   state. Workers claim the next strip (or reduction chunk) from the
+//!   most urgent run that has work — highest [`Priority`] first,
+//!   earliest [`deadline`](RunRequest::deadline) within a band, FIFO as
+//!   the tiebreak — so one pool drives many overlapping runs without a
+//!   large batch run starving a small latency-sensitive one.
+//! - [`Engine::submit`] takes a [`RunRequest`] (program, inputs, threads,
+//!   priority, deadline, trace sink, overload policy) and returns a
+//!   [`RunHandle`]; [`RunHandle::join`] blocks for the result,
+//!   [`RunHandle::cancel`] (or a cloneable [`CancelToken`]) stops the run
+//!   cooperatively within about one tile's worth of work, releasing its
+//!   pooled buffers immediately and surfacing
+//!   [`VmError::Cancelled`]. Deadline expiry cancels the same way. The
+//!   historical `run*`/`submit_*` permutations survive as deprecated
+//!   submit+join shims, bit-identical to their historical behavior.
 //!
 //! Determinism: results are bit-identical to the legacy static executor
 //! ([`run_program_static`](crate::run_program_static)) for any thread
@@ -32,8 +40,8 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
 use crate::exec::{
@@ -41,9 +49,159 @@ use crate::exec::{
     run_tile, strip_layout, sweep_reduction, validate_inputs, written_stages, LocalStats, Slab,
     StripRows,
 };
-use crate::pool::{BufferPool, SharedPool};
-use crate::{BufId, BufKind, Buffer, GroupKind, Program, RegFile, RunStats, TiledGroup, VmError};
+use crate::pool::{BufferPool, PoolStats, SharedPool};
+use crate::{
+    BufId, BufKind, Buffer, CancelReason, GroupKind, Program, RegFile, RunStats, TiledGroup,
+    VmError,
+};
 use polymage_diag::{Counter, Diag, Span, Value};
+
+/// Relative urgency of a run: workers always claim from the
+/// highest-priority runnable run first. Within one priority band runs
+/// order earliest-deadline-first, then FIFO by submission.
+///
+/// Priority changes *which run advances next*, never what a run computes:
+/// completed runs stay bit-identical at every priority mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work; yields to everything else.
+    Low,
+    /// The default; equivalent to the historical FIFO behavior when every
+    /// run uses it.
+    #[default]
+    Normal,
+    /// Latency-sensitive work; claims workers ahead of all other bands.
+    High,
+}
+
+impl Priority {
+    /// Stable lower-case label (used in diag span fields and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// What [`Engine::submit`] does when the engine is at its `max_inflight`
+/// admission cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverloadPolicy {
+    /// Wait for a slot (the historical behavior). A submission with a
+    /// deadline gives up — `Err(Cancelled{Deadline})` — if the deadline
+    /// expires while still blocked.
+    #[default]
+    Block,
+    /// Return `Err(Cancelled{Shed})` immediately instead of waiting.
+    FailFast,
+    /// Cancel one inflight run to make room, then wait for the freed
+    /// slot: preferably a run already past its deadline (any priority),
+    /// otherwise the newest run of the lowest band strictly below the
+    /// incoming priority. If no such victim exists this behaves like
+    /// [`OverloadPolicy::Block`].
+    Shed,
+}
+
+/// A typed, builder-style run submission: program and inputs plus every
+/// per-run policy knob. This is the single entry point that replaced the
+/// historical `submit*`/`run*`/`run_stats*` method permutations.
+///
+/// ```no_run
+/// # use polymage_vm::{Engine, Priority, RunRequest, Program, Buffer};
+/// # use std::sync::Arc;
+/// # use std::time::Duration;
+/// # fn demo(engine: &Engine, prog: &Arc<Program>, inputs: &[Buffer]) {
+/// let handle = engine
+///     .submit(
+///         RunRequest::new(prog, inputs)
+///             .threads(2)
+///             .priority(Priority::High)
+///             .deadline(Duration::from_millis(50)),
+///     )
+///     .unwrap();
+/// let outputs = handle.join();
+/// # let _ = outputs;
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RunRequest<'a> {
+    prog: &'a Arc<Program>,
+    inputs: &'a [Buffer],
+    threads: Option<usize>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    diag: Diag,
+    overload: OverloadPolicy,
+    group_stats: bool,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A request with the defaults: all pooled workers, [`Priority::Normal`],
+    /// no deadline, no tracing, blocking admission, per-group stats on.
+    pub fn new(prog: &'a Arc<Program>, inputs: &'a [Buffer]) -> RunRequest<'a> {
+        RunRequest {
+            prog,
+            inputs,
+            threads: None,
+            priority: Priority::default(),
+            deadline: None,
+            diag: Diag::noop(),
+            overload: OverloadPolicy::default(),
+            group_stats: true,
+        }
+    }
+
+    /// Run as if the engine had `n` workers: reductions chunk for `n` and
+    /// at most `min(n, pool size)` pooled workers participate, keeping
+    /// results bit-identical to a dedicated `n`-thread engine.
+    pub fn threads(mut self, n: usize) -> RunRequest<'a> {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Scheduling urgency (default [`Priority::Normal`]).
+    pub fn priority(mut self, p: Priority) -> RunRequest<'a> {
+        self.priority = p;
+        self
+    }
+
+    /// Cancel the run if it has not completed within `d` of submission.
+    /// Expiry surfaces as `Err(Cancelled{reason: Deadline})` from join.
+    pub fn deadline(self, d: Duration) -> RunRequest<'a> {
+        self.deadline_at(Instant::now() + d)
+    }
+
+    /// Like [`RunRequest::deadline`] with an absolute expiry instant.
+    pub fn deadline_at(mut self, at: Instant) -> RunRequest<'a> {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Structured diagnostics sink: the run's spans and events (run,
+    /// groups, per-worker utilization) all carry this run's `run_id`, so
+    /// traces from overlapping runs are separable.
+    pub fn trace(mut self, diag: &Diag) -> RunRequest<'a> {
+        self.diag = diag.clone();
+        self
+    }
+
+    /// Behavior at the admission cap (default [`OverloadPolicy::Block`]).
+    pub fn on_overload(mut self, policy: OverloadPolicy) -> RunRequest<'a> {
+        self.overload = policy;
+        self
+    }
+
+    /// Whether to record per-group wall-clock times and per-worker
+    /// utilization into [`RunStats`] (default `true`). Opting out skips
+    /// the per-group bookkeeping for latency-critical serving paths;
+    /// scalar counters (tiles, points, caches) are collected regardless.
+    pub fn group_stats(mut self, on: bool) -> RunRequest<'a> {
+        self.group_stats = on;
+        self
+    }
+}
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // Poisoning is benign everywhere this helper is used: every critical
@@ -114,6 +272,41 @@ enum Finalize {
     Reduce,
 }
 
+/// The latched cancellation signal of one run: 0 = live, otherwise the
+/// discriminant of the first [`CancelReason`] + 1. Written at most once
+/// (first signal wins) and read lock-free at every cancellation point.
+struct CancelCell(AtomicU8);
+
+impl CancelCell {
+    fn new() -> CancelCell {
+        CancelCell(AtomicU8::new(0))
+    }
+
+    fn get(&self) -> Option<CancelReason> {
+        match self.0.load(Ordering::Acquire) {
+            0 => None,
+            1 => Some(CancelReason::Caller),
+            2 => Some(CancelReason::Deadline),
+            3 => Some(CancelReason::Shutdown),
+            _ => Some(CancelReason::Shed),
+        }
+    }
+
+    /// Latches `reason` if no reason is set yet; returns whether this call
+    /// was the one that set it.
+    fn set(&self, reason: CancelReason) -> bool {
+        let code = match reason {
+            CancelReason::Caller => 1,
+            CancelReason::Deadline => 2,
+            CancelReason::Shutdown => 3,
+            CancelReason::Shed => 4,
+        };
+        self.0
+            .compare_exchange(0, code, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
 /// The mutable half of a run — owned by the run, never by the engine.
 struct RunState {
     fulls: Vec<Vec<f32>>,
@@ -149,6 +342,9 @@ struct RunState {
     group_start: Instant,
     group_span: Option<Span>,
     run_span: Option<Span>,
+    /// Whether a worker has picked the run up yet; the first pickup
+    /// records [`RunStats::sched_wait`].
+    started: bool,
     result: Option<Result<Vec<Buffer>, VmError>>,
 }
 
@@ -167,15 +363,44 @@ struct RunContext {
     /// Per buffer: provably overwritten in full before being read, so its
     /// (lazy or eager) acquisition may skip the zero-fill.
     overwritten: Vec<bool>,
+    priority: Priority,
+    deadline: Option<Instant>,
+    /// When `Engine::submit` accepted the request (admission wait included
+    /// — `sched_wait` measures the full submit-to-first-claim delay).
+    submitted: Instant,
+    /// Whether per-group times / per-worker utilization are recorded.
+    group_stats: bool,
+    cancel: CancelCell,
     diag: Diag,
     state: Mutex<RunState>,
     done_cv: Condvar,
 }
 
+impl RunContext {
+    /// The run's live cancellation signal; converts deadline expiry into a
+    /// latched [`CancelReason::Deadline`] on first observation, so every
+    /// cancellation point doubles as a deadline check.
+    fn cancel_reason(&self) -> Option<CancelReason> {
+        if let Some(r) = self.cancel.get() {
+            return Some(r);
+        }
+        if let Some(dl) = self.deadline {
+            if Instant::now() >= dl {
+                self.cancel.set(CancelReason::Deadline);
+                return self.cancel.get();
+            }
+        }
+        None
+    }
+}
+
 /// The scheduler: live runs in submission order plus admission state.
 struct Sched {
-    /// Live runs, FIFO. Present from submission until completion; workers
-    /// scan front-to-back, so earlier submissions get workers first.
+    /// Live runs in submission order. Present from submission until
+    /// completion; workers scan them in policy order — highest priority
+    /// first, earliest deadline within a band, submission order (run id)
+    /// as the tiebreak — so equal-policy runs keep the historical FIFO
+    /// service.
     runs: Vec<Arc<RunContext>>,
     inflight: usize,
     max_inflight: usize,
@@ -199,6 +424,15 @@ struct Shared {
     /// Engine-global counters already flushed to diag; guards the flush
     /// deltas.
     flushed: Mutex<FlushedCounters>,
+    /// Claim grants that jumped ahead of an earlier live submission.
+    sched_preempts: AtomicU64,
+    /// Admission sheds: fail-fast rejections + cancelled inflight victims.
+    sched_sheds: AtomicU64,
+    /// Runs completed as cancelled (any reason), plus deadline-expired
+    /// submissions that never got past admission.
+    sched_cancels: AtomicU64,
+    /// Cancellations whose reason was a missed deadline.
+    sched_deadline_misses: AtomicU64,
 }
 
 /// Snapshot of engine-global counters at the last diag flush.
@@ -206,6 +440,10 @@ struct Shared {
 struct FlushedCounters {
     pool: crate::PoolStats,
     peak_full_bytes: u64,
+    sched_preempts: u64,
+    sched_sheds: u64,
+    sched_cancels: u64,
+    sched_deadline_misses: u64,
 }
 
 /// Work handed to one worker for one step.
@@ -248,10 +486,12 @@ pub struct Engine {
 }
 
 /// A handle on a submitted run; redeem it with [`RunHandle::join`] (or
-/// [`RunHandle::join_stats`]) for the outputs. The run makes progress
-/// whether or not anyone is joining.
+/// [`RunHandle::join_stats`]) for the outputs, or stop the run early with
+/// [`RunHandle::cancel`]. The run makes progress whether or not anyone is
+/// joining.
 pub struct RunHandle {
     run: Arc<RunContext>,
+    shared: Weak<Shared>,
 }
 
 impl std::fmt::Debug for RunHandle {
@@ -274,13 +514,34 @@ impl RunHandle {
         lock(&self.run.state).result.is_some()
     }
 
+    /// Requests cooperative cancellation: workers observe the signal at
+    /// the next tile boundary (mid-strip), claim grant, or group advance —
+    /// whichever comes first — so the run stops within about one tile's
+    /// worth of work, releases its pooled buffers immediately, and joins
+    /// as `Err(Cancelled{reason: Caller})`. Idempotent; a no-op once the
+    /// run has completed (the first signal wins and completion latches the
+    /// result).
+    pub fn cancel(&self) {
+        self.cancel_token().cancel();
+    }
+
+    /// A cloneable, `'static` token that cancels this run — hand it to a
+    /// watchdog or timeout thread while another thread holds the handle
+    /// to join.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken {
+            run: Arc::clone(&self.run),
+            shared: self.shared.clone(),
+        }
+    }
+
     /// Blocks until the run completes and returns its live-out buffers, in
     /// [`Program::outputs`] order.
     ///
     /// # Errors
     ///
     /// Returns [`VmError`] when the run failed (worker panic or internal
-    /// invariant violation).
+    /// invariant violation) or was cancelled ([`VmError::Cancelled`]).
     pub fn join(self) -> Result<Vec<Buffer>, VmError> {
         self.join_stats().map(|(out, _)| out)
     }
@@ -292,13 +553,63 @@ impl RunHandle {
     ///
     /// Same conditions as [`RunHandle::join`].
     pub fn join_stats(self) -> Result<(Vec<Buffer>, RunStats), VmError> {
+        let (result, stats) = self.join_outcome();
+        result.map(|out| (out, stats))
+    }
+
+    /// Blocks until the run completes and returns its result *and* its
+    /// statistics, even on failure — a cancelled run's
+    /// [`RunStats::cancelled_tiles`] and [`RunStats::sched_wait`] are
+    /// only reachable this way.
+    pub fn join_outcome(self) -> (Result<Vec<Buffer>, VmError>, RunStats) {
         let mut st = lock(&self.run.state);
         while st.result.is_none() {
             st = self.run.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         let result = st.result.take().expect("checked above");
         let stats = std::mem::take(&mut st.stats);
-        result.map(|out| (out, stats))
+        (result, stats)
+    }
+}
+
+/// Cancels one run cooperatively; obtained from
+/// [`RunHandle::cancel_token`]. Cloneable and independent of the handle's
+/// lifetime — it stays valid (and harmlessly inert) after the run
+/// completes or the engine is dropped.
+#[derive(Clone)]
+pub struct CancelToken {
+    run: Arc<RunContext>,
+    shared: Weak<Shared>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("run_id", &self.run.run_id)
+            .field("cancelled", &self.run.cancel.get())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// The id of the run this token cancels.
+    pub fn run_id(&self) -> u64 {
+        self.run.run_id
+    }
+
+    /// Whether a cancellation signal has been latched for the run.
+    pub fn is_cancelled(&self) -> bool {
+        self.run.cancel.get().is_some()
+    }
+
+    /// Signals cancellation (see [`RunHandle::cancel`]). Idempotent.
+    pub fn cancel(&self) {
+        if self.run.cancel.set(CancelReason::Caller) {
+            // Wake sleeping workers so an idle engine notices immediately.
+            if let Some(shared) = self.shared.upgrade() {
+                notify_workers(&shared);
+            }
+        }
     }
 }
 
@@ -352,6 +663,10 @@ impl Engine {
             full_bytes: AtomicU64::new(0),
             full_peak: AtomicU64::new(0),
             flushed: Mutex::new(FlushedCounters::default()),
+            sched_preempts: AtomicU64::new(0),
+            sched_sheds: AtomicU64::new(0),
+            sched_cancels: AtomicU64::new(0),
+            sched_deadline_misses: AtomicU64::new(0),
         });
         let mut joins = Vec::with_capacity(nthreads);
         for i in 0..nthreads {
@@ -379,73 +694,104 @@ impl Engine {
         lock(&self.shared.sched).max_inflight
     }
 
-    /// Submits a run using all pooled workers and returns immediately; the
-    /// run executes on the pool, concurrently with any other live runs.
+    /// Submits a [`RunRequest`] and returns immediately; the run executes
+    /// on the pool, concurrently with any other live runs, scheduled by
+    /// its priority and deadline.
     ///
-    /// Blocks only while the engine is at its `max_inflight` admission cap.
+    /// Blocks only while the engine is at its `max_inflight` admission cap
+    /// and the request's [`OverloadPolicy`] says to wait. The admission
+    /// slot is reserved *before* the run's buffers are allocated, so a
+    /// backlog of blocked submitters holds no memory.
     ///
     /// # Errors
     ///
     /// Returns [`VmError`] when the inputs do not match the program's
-    /// images. Execution-time failures surface from [`RunHandle::join`].
-    pub fn submit(&self, prog: &Arc<Program>, inputs: &[Buffer]) -> Result<RunHandle, VmError> {
-        self.submit_traced(prog, inputs, self.nthreads, &Diag::noop())
-    }
-
-    /// Like [`Engine::submit`], but the run behaves as if the engine had
-    /// `nthreads` workers: reductions chunk for `nthreads` and at most
-    /// that many pooled workers participate. Results are bit-identical to
-    /// `run_program_static(prog, inputs, nthreads)` regardless of pool
-    /// size or concurrent load.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::submit`].
-    pub fn submit_with_threads(
-        &self,
-        prog: &Arc<Program>,
-        inputs: &[Buffer],
-        nthreads: usize,
-    ) -> Result<RunHandle, VmError> {
-        self.submit_traced(prog, inputs, nthreads, &Diag::noop())
-    }
-
-    /// [`Engine::submit_with_threads`] with structured diagnostics: the
-    /// run's spans and events (run, groups, per-worker utilization) all
-    /// carry this run's `run_id`, so traces from overlapping runs are
-    /// separable.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::submit`].
-    pub fn submit_traced(
-        &self,
-        prog: &Arc<Program>,
-        inputs: &[Buffer],
-        nthreads: usize,
-        diag: &Diag,
-    ) -> Result<RunHandle, VmError> {
-        validate_inputs(prog, inputs)?;
-        let req_threads = nthreads.max(1);
+    /// images, or [`VmError::Cancelled`] when admission rejected the run
+    /// (fail-fast shed, deadline expired while blocked, engine shutting
+    /// down). Execution-time failures surface from [`RunHandle::join`].
+    pub fn submit(&self, req: RunRequest<'_>) -> Result<RunHandle, VmError> {
+        let submitted = Instant::now();
+        let prog = req.prog;
+        validate_inputs(prog, req.inputs)?;
+        let req_threads = req.threads.unwrap_or(self.nthreads).max(1);
         let effective = req_threads.min(self.nthreads);
 
         // Reserve an admission slot *before* allocating the run's buffers,
         // so a backlog of blocked submitters holds no memory.
         {
             let mut sched = lock(&self.shared.sched);
-            while sched.inflight >= sched.max_inflight && !sched.shutdown {
-                sched = self
-                    .shared
-                    .admit_cv
-                    .wait(sched)
-                    .unwrap_or_else(|e| e.into_inner());
-            }
-            if sched.shutdown {
-                return Err(VmError::Internal("engine is shutting down".into()));
+            let mut shed_attempted = false;
+            loop {
+                if sched.shutdown {
+                    self.count_rejection(CancelReason::Shutdown);
+                    return Err(VmError::Cancelled {
+                        reason: CancelReason::Shutdown,
+                    });
+                }
+                if sched.inflight < sched.max_inflight {
+                    break;
+                }
+                if let Some(dl) = req.deadline {
+                    if Instant::now() >= dl {
+                        self.count_rejection(CancelReason::Deadline);
+                        return Err(VmError::Cancelled {
+                            reason: CancelReason::Deadline,
+                        });
+                    }
+                }
+                match req.overload {
+                    OverloadPolicy::Block => {}
+                    OverloadPolicy::FailFast => {
+                        self.count_rejection(CancelReason::Shed);
+                        return Err(VmError::Cancelled {
+                            reason: CancelReason::Shed,
+                        });
+                    }
+                    OverloadPolicy::Shed => {
+                        // Shed at most one victim per submission, then wait
+                        // for its slot like Block (the victim drains within
+                        // about one tile).
+                        if !shed_attempted {
+                            shed_attempted = true;
+                            if let Some(victim) = shed_victim(&sched.runs, req.priority) {
+                                // A victim already past its deadline was
+                                // doomed anyway; label it honestly.
+                                let reason = if victim.deadline.is_some_and(|d| Instant::now() >= d)
+                                {
+                                    CancelReason::Deadline
+                                } else {
+                                    CancelReason::Shed
+                                };
+                                if victim.cancel.set(reason) {
+                                    self.shared.sched_sheds.fetch_add(1, Ordering::Relaxed);
+                                    self.shared.work_cv.notify_all();
+                                }
+                            }
+                        }
+                    }
+                }
+                // Deadline-bearing submitters sleep with a timeout so their
+                // own expiry is noticed without external wakeups.
+                sched = match req.deadline {
+                    Some(dl) => {
+                        let dur = dl.saturating_duration_since(Instant::now());
+                        self.shared
+                            .admit_cv
+                            .wait_timeout(sched, dur)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                    None => self
+                        .shared
+                        .admit_cv
+                        .wait(sched)
+                        .unwrap_or_else(|e| e.into_inner()),
+                };
             }
             sched.inflight += 1;
         }
 
+        let diag = req.diag;
         let run_span = diag.begin();
         // Full buffers come from the shared pool. Buffers the run provably
         // overwrites in full skip the zero-fill: input images are copied
@@ -493,7 +839,7 @@ impl Engine {
                 BufKind::Full | BufKind::Scratch => Vec::new(),
             })
             .collect();
-        for (&b, input) in prog.image_bufs.iter().zip(inputs) {
+        for (&b, input) in prog.image_bufs.iter().zip(req.inputs) {
             fulls[b.0].copy_from_slice(&input.data);
         }
         let cur = self
@@ -510,6 +856,11 @@ impl Engine {
             req_threads,
             effective,
             overwritten,
+            priority: req.priority,
+            deadline: req.deadline,
+            submitted,
+            group_stats: req.group_stats,
+            cancel: CancelCell::new(),
             diag: diag.clone(),
             state: Mutex::new(RunState {
                 fulls,
@@ -535,6 +886,7 @@ impl Engine {
                 group_start: Instant::now(),
                 group_span: None,
                 run_span: Some(run_span),
+                started: false,
                 result: None,
             }),
             done_cv: Condvar::new(),
@@ -544,75 +896,133 @@ impl Engine {
         sched.runs.push(Arc::clone(&run));
         self.shared.work_cv.notify_all();
         drop(sched);
-        Ok(RunHandle { run })
+        Ok(RunHandle {
+            run,
+            shared: Arc::downgrade(&self.shared),
+        })
     }
 
-    /// Runs a program using all pooled workers, blocking for the result —
-    /// a [`Engine::submit`] + [`RunHandle::join`] shim. The returned
-    /// buffers are the program's live-outs, in [`Program::outputs`] order.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`VmError`] when the inputs do not match the program's
-    /// images or an internal invariant is violated.
+    /// Counts a submission the engine turned away at admission.
+    fn count_rejection(&self, reason: CancelReason) {
+        self.shared.sched_cancels.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            CancelReason::Shed => {
+                self.shared.sched_sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            CancelReason::Deadline => {
+                self.shared
+                    .sched_deadline_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// A snapshot of the shared buffer pool's counters
+    /// ([`PoolStats::retained_bytes`] included) — the serving-layer leak
+    /// check: after every handle resolves, retained bytes must equal what
+    /// the pool actually holds (see
+    /// [`Engine::pool_audit_retained_bytes`]).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+
+    /// Recounts the pooled bytes by walking the shards (O(free lists));
+    /// equals [`PoolStats::retained_bytes`] unless accounting has leaked.
+    pub fn pool_audit_retained_bytes(&self) -> usize {
+        self.shared.pool.audit_retained_bytes()
+    }
+
+    /// Bytes of full buffers currently held by live runs (engine-global).
+    /// Zero when the engine is idle — cancelled runs release their
+    /// buffers at completion like finished ones.
+    pub fn live_full_bytes(&self) -> u64 {
+        self.shared.full_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Submits a run using all pooled workers.
+    #[deprecated(note = "use Engine::submit(RunRequest::new(prog, inputs))")]
+    pub fn submit_default(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+    ) -> Result<RunHandle, VmError> {
+        self.submit(RunRequest::new(prog, inputs))
+    }
+
+    /// Submits a run that behaves as if the engine had `nthreads` workers.
+    #[deprecated(note = "use Engine::submit(RunRequest::new(prog, inputs).threads(n))")]
+    pub fn submit_with_threads(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
+    ) -> Result<RunHandle, VmError> {
+        self.submit(RunRequest::new(prog, inputs).threads(nthreads))
+    }
+
+    /// Submits a run with an explicit thread count and diagnostics sink.
+    #[deprecated(note = "use Engine::submit(RunRequest::new(prog, inputs).threads(n).trace(diag))")]
+    pub fn submit_traced(
+        &self,
+        prog: &Arc<Program>,
+        inputs: &[Buffer],
+        nthreads: usize,
+        diag: &Diag,
+    ) -> Result<RunHandle, VmError> {
+        self.submit(RunRequest::new(prog, inputs).threads(nthreads).trace(diag))
+    }
+
+    /// Runs a program using all pooled workers, blocking for the result.
+    #[deprecated(note = "use Engine::submit(RunRequest::new(prog, inputs)) + RunHandle::join")]
     pub fn run(&self, prog: &Arc<Program>, inputs: &[Buffer]) -> Result<Vec<Buffer>, VmError> {
-        self.submit(prog, inputs)?.join()
+        self.submit(RunRequest::new(prog, inputs))?.join()
     }
 
-    /// Like [`Engine::run`] with an explicit per-run thread count (see
-    /// [`Engine::submit_with_threads`]).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::run`].
+    /// [`Engine::run`] with an explicit per-run thread count.
+    #[deprecated(
+        note = "use Engine::submit(RunRequest::new(prog, inputs).threads(n)) + RunHandle::join"
+    )]
     pub fn run_with_threads(
         &self,
         prog: &Arc<Program>,
         inputs: &[Buffer],
         nthreads: usize,
     ) -> Result<Vec<Buffer>, VmError> {
-        self.submit_with_threads(prog, inputs, nthreads)?.join()
+        self.submit(RunRequest::new(prog, inputs).threads(nthreads))?
+            .join()
     }
 
-    /// Like [`Engine::run`], additionally returning execution statistics
-    /// (including per-group wall-clock durations).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::run`].
+    /// [`Engine::run`] with execution statistics.
+    #[deprecated(
+        note = "use Engine::submit(RunRequest::new(prog, inputs)) + RunHandle::join_stats"
+    )]
     pub fn run_stats(
         &self,
         prog: &Arc<Program>,
         inputs: &[Buffer],
     ) -> Result<(Vec<Buffer>, RunStats), VmError> {
-        self.submit(prog, inputs)?.join_stats()
+        self.submit(RunRequest::new(prog, inputs))?.join_stats()
     }
 
     /// [`Engine::run_with_threads`] with statistics.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::run`].
+    #[deprecated(
+        note = "use Engine::submit(RunRequest::new(prog, inputs).threads(n)) + RunHandle::join_stats"
+    )]
     pub fn run_stats_with_threads(
         &self,
         prog: &Arc<Program>,
         inputs: &[Buffer],
         nthreads: usize,
     ) -> Result<(Vec<Buffer>, RunStats), VmError> {
-        self.submit_with_threads(prog, inputs, nthreads)?
+        self.submit(RunRequest::new(prog, inputs).threads(nthreads))?
             .join_stats()
     }
 
-    /// Like [`Engine::run_stats_with_threads`], additionally emitting
-    /// structured diagnostics (see [`Engine::submit_traced`]).
-    ///
-    /// With [`Diag::noop`] this is exactly [`Engine::run_stats_with_threads`]
-    /// (the no-op sink reduces every emission site to one enum check; a
-    /// criterion benchmark pins the overhead under 2%).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Engine::run`].
+    /// [`Engine::run_stats_with_threads`] with a diagnostics sink.
+    #[deprecated(
+        note = "use Engine::submit(RunRequest::new(prog, inputs).threads(n).trace(diag)) + RunHandle::join_stats"
+    )]
     pub fn run_stats_traced(
         &self,
         prog: &Arc<Program>,
@@ -620,9 +1030,31 @@ impl Engine {
         nthreads: usize,
         diag: &Diag,
     ) -> Result<(Vec<Buffer>, RunStats), VmError> {
-        self.submit_traced(prog, inputs, nthreads, diag)?
+        self.submit(RunRequest::new(prog, inputs).threads(nthreads).trace(diag))?
             .join_stats()
     }
+}
+
+/// Picks the run admission control sacrifices under
+/// [`OverloadPolicy::Shed`]: a not-yet-cancelled run already past its
+/// deadline (lowest priority first — it is pure waste either way), else
+/// the *newest* run of the lowest priority band strictly below the
+/// incoming submission (newest loses the least sunk work). `None` when
+/// every inflight run is at or above the incoming priority and within its
+/// deadline.
+fn shed_victim(runs: &[Arc<RunContext>], incoming: Priority) -> Option<Arc<RunContext>> {
+    let now = Instant::now();
+    let live = || runs.iter().filter(|r| r.cancel.get().is_none());
+    if let Some(expired) = live()
+        .filter(|r| r.deadline.is_some_and(|d| now >= d))
+        .min_by_key(|r| r.priority)
+    {
+        return Some(Arc::clone(expired));
+    }
+    live()
+        .filter(|r| r.priority < incoming)
+        .min_by_key(|r| (r.priority, std::cmp::Reverse(r.run_id)))
+        .map(Arc::clone)
 }
 
 impl Drop for Engine {
@@ -659,13 +1091,18 @@ fn slot_for(st: &mut RunState, worker: usize, effective: usize) -> Option<usize>
 
 /// Asks one run for a unit of work. Uses `try_lock` so a busy run (one
 /// worker stitching or advancing) never blocks the scheduler scan — the
-/// scan just moves on to the next run.
+/// scan just moves on to the next run. A cancelled run hands out no new
+/// claims; instead the poll drives it toward completion (claim-grant
+/// granularity is the coarsest cancellation point).
 fn poll(run: &Arc<RunContext>, worker: usize) -> Option<Work> {
     let mut st = match run.state.try_lock() {
         Ok(g) => g,
         Err(std::sync::TryLockError::WouldBlock) => return None,
         Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
     };
+    if let Some(reason) = run.cancel_reason() {
+        return poll_cancelled(run, st, reason);
+    }
     match &st.phase {
         Phase::Advance => {
             st.phase = Phase::Advancing;
@@ -707,8 +1144,101 @@ fn poll(run: &Arc<RunContext>, worker: usize) -> Option<Work> {
     }
 }
 
-fn find_work(runs: &[Arc<RunContext>], worker: usize) -> Option<Work> {
-    runs.iter().find_map(|r| poll(r, worker))
+/// Drives a cancelled run toward completion without granting new claims:
+/// latches the `Cancelled` failure, counts the work it skipped, and — once
+/// nothing is outstanding — routes the run through the normal
+/// finalize/advance path so buffers are recovered and released exactly
+/// like on any other failure. In-flight strips notice the signal at their
+/// next tile boundary; the last one to merge triggers finalization.
+fn poll_cancelled(
+    run: &Arc<RunContext>,
+    mut st: MutexGuard<'_, RunState>,
+    reason: CancelReason,
+) -> Option<Work> {
+    match &st.phase {
+        Phase::Advance => {
+            st.phase = Phase::Advancing;
+            Some(Work::Advance(Arc::clone(run)))
+        }
+        Phase::Tiled(task) => {
+            if st.next_claim < st.total_claims {
+                let task = Arc::clone(task);
+                let skipped: u64 = task.tiles_by_strip[st.next_claim..st.total_claims]
+                    .iter()
+                    .map(|tiles| tiles.len() as u64)
+                    .sum();
+                st.stats.cancelled_tiles += skipped;
+                st.next_claim = st.total_claims;
+                if st.failed.is_none() {
+                    st.failed = Some(VmError::Cancelled { reason });
+                }
+            }
+            drained_by_cancel(run, st, Finalize::Tiled)
+        }
+        Phase::Reduce(_) => {
+            if st.next_claim < st.total_claims {
+                st.stats.cancelled_tiles += (st.total_claims - st.next_claim) as u64;
+                st.next_claim = st.total_claims;
+                if st.failed.is_none() {
+                    st.failed = Some(VmError::Cancelled { reason });
+                }
+            }
+            drained_by_cancel(run, st, Finalize::Reduce)
+        }
+        Phase::Advancing | Phase::Complete => None,
+    }
+}
+
+/// If halting the claims left nothing outstanding, the polling worker
+/// itself finalizes the cancelled group (otherwise the last in-flight
+/// claim's merge does, via `finish_claim`).
+fn drained_by_cancel(
+    run: &Arc<RunContext>,
+    mut st: MutexGuard<'_, RunState>,
+    fin: Finalize,
+) -> Option<Work> {
+    if st.outstanding == 0 && st.finalize.is_none() {
+        st.finalize = Some(fin);
+        st.phase = Phase::Advancing;
+        return Some(Work::Advance(Arc::clone(run)));
+    }
+    None
+}
+
+/// The scan order of one run: priority band first (high before low),
+/// earliest deadline within the band (deadline-less runs last), submission
+/// order as the final tiebreak — so an all-default workload degenerates to
+/// the historical FIFO.
+fn sched_key(r: &RunContext) -> (std::cmp::Reverse<Priority>, bool, Instant, u64) {
+    (
+        std::cmp::Reverse(r.priority),
+        r.deadline.is_none(),
+        r.deadline.unwrap_or(r.submitted),
+        r.run_id,
+    )
+}
+
+fn find_work(runs: &[Arc<RunContext>], worker: usize, preempts: &AtomicU64) -> Option<Work> {
+    if runs.len() <= 1 {
+        return runs.first().and_then(|r| poll(r, worker));
+    }
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by_key(|&i| sched_key(&runs[i]));
+    for &i in &order {
+        if let Some(w) = poll(&runs[i], worker) {
+            // A grant "preempts" when the policy put the chosen run ahead
+            // of an earlier-submitted live run.
+            let chosen = &runs[i];
+            if runs
+                .iter()
+                .any(|r| r.run_id < chosen.run_id && sched_key(r) > sched_key(chosen))
+            {
+                preempts.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(w);
+        }
+    }
+    None
 }
 
 fn notify_workers(shared: &Shared) {
@@ -747,13 +1277,29 @@ fn worker_main(index: usize, shared: Arc<Shared>) {
                 if sched.shutdown && sched.runs.is_empty() {
                     return;
                 }
-                if let Some(w) = find_work(&sched.runs, index) {
+                if let Some(w) = find_work(&sched.runs, index, &shared.sched_preempts) {
                     break w;
                 }
-                sched = shared
-                    .work_cv
-                    .wait(sched)
-                    .unwrap_or_else(|e| e.into_inner());
+                // A queued run's deadline must fire even if no external
+                // event wakes the pool: sleep no longer than the earliest
+                // live deadline.
+                let next_deadline = sched.runs.iter().filter_map(|r| r.deadline).min();
+                sched = match next_deadline {
+                    Some(dl) => {
+                        let dur = dl
+                            .saturating_duration_since(Instant::now())
+                            .max(Duration::from_micros(100));
+                        shared
+                            .work_cv
+                            .wait_timeout(sched, dur)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                    None => shared
+                        .work_cv
+                        .wait(sched)
+                        .unwrap_or_else(|e| e.into_inner()),
+                };
             }
         };
         match work {
@@ -964,7 +1510,15 @@ fn run_strip(
                 }
             })
             .collect();
-        for &ti in &task.tiles_by_strip[strip] {
+        let tiles = &task.tiles_by_strip[strip];
+        for (n, &ti) in tiles.iter().enumerate() {
+            // Tile-boundary cancellation point: the finest-grained check.
+            // A cancelled strip merges what it computed (the run's result
+            // is discarded anyway) and reports the tiles it abandoned.
+            if run.cancel_reason().is_some() {
+                local.cancelled_tiles += (tiles.len() - n) as u64;
+                break;
+            }
             local.tiles += 1;
             run_tile(
                 prog,
@@ -999,6 +1553,12 @@ fn run_chunk(shared: &Shared, run: &RunContext, task: &ReduceTask, chunk: usize)
     // The fill overwrites every element, so no zero-fill is needed.
     let mut part = shared.pool.acquire(task.out_len);
     part.fill(task.identity);
+    // Chunk-level cancellation point: a cancelled run's combine step is
+    // skipped anyway, so an identity-filled partial is as good as a swept
+    // one and costs nothing.
+    if run.cancel_reason().is_some() {
+        return part;
+    }
     let mut dom = red.red_dom.clone();
     *dom.range_mut(0) = (lo, hi);
     sweep_reduction(prog, red, &views, &dom, &mut part);
@@ -1009,6 +1569,7 @@ fn run_chunk(shared: &Shared, run: &RunContext, task: &ReduceTask, chunk: usize)
 /// participation slot.
 fn absorb_local(st: &mut RunState, slot: usize, local: &LocalStats, busy: Duration) {
     st.stats.tiles += local.tiles;
+    st.stats.cancelled_tiles += local.cancelled_tiles;
     st.stats.chunks += local.chunks;
     st.stats.points_computed += local.points;
     st.stats.uniform_hits += local.eval.uniform_hits;
@@ -1055,6 +1616,10 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
     let prog = Arc::clone(&run.prog);
     let mut st = lock(&run.state);
     debug_assert!(matches!(st.phase, Phase::Advancing));
+    if !st.started {
+        st.started = true;
+        st.stats.sched_wait = run.submitted.elapsed();
+    }
 
     // Finalize the group whose last claim just drained, if any.
     match st.finalize.take() {
@@ -1100,7 +1665,15 @@ fn advance_inner(shared: &Arc<Shared>, run: &Arc<RunContext>) {
     }
 
     // Walk groups until the run blocks on claimable work or completes.
+    // Each iteration is a cancellation point (group-advance granularity):
+    // a cancel or deadline signal stops the walk before the next group's
+    // buffers are even acquired.
     loop {
+        if let Some(reason) = run.cancel_reason() {
+            drop(st);
+            complete_run(shared, run, Err(VmError::Cancelled { reason }));
+            return;
+        }
         if st.group == prog.groups.len() {
             let outputs = prog
                 .outputs
@@ -1293,9 +1866,11 @@ fn begin_group(run: &RunContext, st: &mut RunState) {
 fn end_group(shared: &Shared, run: &RunContext, st: &mut RunState) {
     let prog = &run.prog;
     let group = &prog.groups[st.group];
-    st.stats
-        .group_times
-        .push((group.name.clone(), st.group_start.elapsed()));
+    if run.group_stats {
+        st.stats
+            .group_times
+            .push((group.name.clone(), st.group_start.elapsed()));
+    }
     if run.diag.enabled() {
         for (slot, &(tiles, busy)) in st.group_worker.iter().enumerate() {
             if tiles == 0 && busy.is_zero() {
@@ -1367,9 +1942,28 @@ fn complete_run(shared: &Arc<Shared>, run: &Arc<RunContext>, result: Result<Vec<
         .full_bytes
         .fetch_sub(st.cur_full_bytes, Ordering::Relaxed);
     st.cur_full_bytes = 0;
+    // A cancelled/failed run skips `recover_reads`, so its snapshot Arcs
+    // still hold pool-sized buffers here. All task handles are gone by
+    // completion, so each unwraps cleanly and recycles — cancellation
+    // releases every pooled buffer immediately, not just the `fulls`.
+    for slot in st.reads_keep.iter_mut() {
+        if let Some(a) = slot.take() {
+            if let Ok(v) = Arc::try_unwrap(a) {
+                shared.pool.release(v);
+            }
+        }
+    }
     st.reads_keep.clear();
-    st.red_out = Vec::new();
-    st.red_parts.clear();
+    shared.pool.release(std::mem::take(&mut st.red_out));
+    for part in st.red_parts.drain(..).flatten() {
+        shared.pool.release(part);
+    }
+    if let Err(VmError::Cancelled { reason }) = &result {
+        shared.sched_cancels.fetch_add(1, Ordering::Relaxed);
+        if *reason == CancelReason::Deadline {
+            shared.sched_deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     if run.diag.enabled() {
         // Pool counters are engine-global: the delta since the previous
         // flush, which under concurrency includes overlapping (and
@@ -1392,6 +1986,23 @@ fn complete_run(shared: &Arc<Shared>, run: &Arc<RunContext>, result: Result<Vec<
             peak_now.saturating_sub(fl.peak_full_bytes),
         );
         fl.peak_full_bytes = fl.peak_full_bytes.max(peak_now);
+        // Scheduler counters are engine-global like the pool's: flushed as
+        // the delta since the previous completion's flush.
+        let pre = shared.sched_preempts.load(Ordering::Relaxed);
+        run.diag
+            .count(Counter::SchedPreempt, pre - fl.sched_preempts);
+        fl.sched_preempts = pre;
+        let shed = shared.sched_sheds.load(Ordering::Relaxed);
+        run.diag.count(Counter::SchedShed, shed - fl.sched_sheds);
+        fl.sched_sheds = shed;
+        let canc = shared.sched_cancels.load(Ordering::Relaxed);
+        run.diag
+            .count(Counter::SchedCancel, canc - fl.sched_cancels);
+        fl.sched_cancels = canc;
+        let dlm = shared.sched_deadline_misses.load(Ordering::Relaxed);
+        run.diag
+            .count(Counter::SchedDeadlineMiss, dlm - fl.sched_deadline_misses);
+        fl.sched_deadline_misses = dlm;
         drop(fl);
         run.diag
             .count(Counter::StorageEarlyRelease, st.stats.early_releases);
@@ -1416,17 +2027,36 @@ fn complete_run(shared: &Arc<Shared>, run: &Arc<RunContext>, result: Result<Vec<
         run.diag
             .count(Counter::SimdLanesScalar, st.stats.simd_lanes_scalar);
         if let Some(span) = st.run_span.take() {
-            run.diag.end(
-                span,
-                "run",
-                vec![
-                    ("run_id", Value::UInt(run.run_id)),
-                    ("program", Value::Str(run.prog.name.clone())),
-                    ("nthreads", Value::UInt(run.req_threads as u64)),
-                    ("tiles", Value::UInt(st.stats.tiles)),
-                    ("points", Value::UInt(st.stats.points_computed)),
-                ],
-            );
+            let mut args = vec![
+                ("run_id", Value::UInt(run.run_id)),
+                ("program", Value::Str(run.prog.name.clone())),
+                ("nthreads", Value::UInt(run.req_threads as u64)),
+                ("tiles", Value::UInt(st.stats.tiles)),
+                ("points", Value::UInt(st.stats.points_computed)),
+                ("priority", Value::Str(run.priority.label().to_string())),
+                (
+                    "sched_wait_us",
+                    Value::UInt(st.stats.sched_wait.as_micros() as u64),
+                ),
+            ];
+            if let Some(dl) = run.deadline {
+                // Relative to submission: the latency budget the caller
+                // gave the run.
+                args.push((
+                    "deadline_us",
+                    Value::UInt(dl.saturating_duration_since(run.submitted).as_micros() as u64),
+                ));
+            }
+            match &result {
+                Ok(_) => args.push(("status", Value::Str("ok".to_string()))),
+                Err(VmError::Cancelled { reason }) => {
+                    args.push(("status", Value::Str("cancelled".to_string())));
+                    args.push(("cancel_reason", Value::Str(reason.label().to_string())));
+                    args.push(("cancelled_tiles", Value::UInt(st.stats.cancelled_tiles)));
+                }
+                Err(_) => args.push(("status", Value::Str("failed".to_string()))),
+            }
+            run.diag.end(span, "run", args);
         }
     }
     st.result = Some(result);

@@ -3,6 +3,47 @@
 use std::error::Error;
 use std::fmt;
 
+/// Why a run was cancelled before producing its outputs.
+///
+/// Carried by [`VmError::Cancelled`]; every cancellation path through the
+/// engine latches exactly one reason (first signal wins) so callers can
+/// distinguish their own [`cancel`](crate::RunHandle::cancel) from policy
+/// decisions the engine made for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// [`RunHandle::cancel`](crate::RunHandle::cancel) (or a
+    /// [`CancelToken`](crate::CancelToken)) was invoked.
+    Caller,
+    /// The run's [`deadline`](crate::RunRequest::deadline) expired before
+    /// it completed.
+    Deadline,
+    /// The engine was shutting down when the run was submitted.
+    Shutdown,
+    /// Admission control shed the run under
+    /// [`OverloadPolicy`](crate::OverloadPolicy) — either this submission
+    /// was rejected fast, or this inflight run was picked as the shed
+    /// victim for a newer, higher-priority submission.
+    Shed,
+}
+
+impl CancelReason {
+    /// Stable lower-case label (used in diag span fields and messages).
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::Caller => "caller",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Shutdown => "shutdown",
+            CancelReason::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Errors reported when running a compiled program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmError {
@@ -22,6 +63,11 @@ pub enum VmError {
         /// Provided shape description.
         got: String,
     },
+    /// The run was stopped before completion; no outputs exist.
+    Cancelled {
+        /// What triggered the cancellation.
+        reason: CancelReason,
+    },
     /// Internal invariant violation (a compiler bug, not a user error).
     Internal(String),
 }
@@ -39,6 +85,7 @@ impl fmt::Display for VmError {
             } => {
                 write!(f, "input {index} has shape {got}, expected {expected}")
             }
+            VmError::Cancelled { reason } => write!(f, "run cancelled ({reason})"),
             VmError::Internal(msg) => write!(f, "internal executor error: {msg}"),
         }
     }

@@ -62,6 +62,15 @@ pub struct RunStats {
     /// Peak bytes of this run's full buffers resident at once (engine
     /// runs; 0 on the static path).
     pub peak_full_bytes: u64,
+    /// Time between submission and the first worker picking the run up
+    /// (engine runs; zero on the static path). Under load this is the
+    /// scheduling delay the run's priority/deadline bought — or cost — it.
+    pub sched_wait: std::time::Duration,
+    /// Tiles (or reduction chunks) the run skipped because it was
+    /// cancelled: claims never granted after the cancel signal plus the
+    /// remainder of any strip a worker abandoned mid-flight. Zero for runs
+    /// that completed. A positive value proves the run stopped early.
+    pub cancelled_tiles: u64,
 }
 
 impl RunStats {
@@ -104,7 +113,8 @@ pub fn run_program(
     nthreads: usize,
 ) -> Result<Vec<Buffer>, VmError> {
     let engine = crate::Engine::with_threads(nthreads.max(1));
-    engine.run(&std::sync::Arc::new(prog.clone()), inputs)
+    let prog = std::sync::Arc::new(prog.clone());
+    engine.submit(crate::RunRequest::new(&prog, inputs))?.join()
 }
 
 /// Like [`run_program`], additionally returning execution statistics.
@@ -118,7 +128,10 @@ pub fn run_program_stats(
     nthreads: usize,
 ) -> Result<(Vec<Buffer>, RunStats), VmError> {
     let engine = crate::Engine::with_threads(nthreads.max(1));
-    engine.run_stats(&std::sync::Arc::new(prog.clone()), inputs)
+    let prog = std::sync::Arc::new(prog.clone());
+    engine
+        .submit(crate::RunRequest::new(&prog, inputs))?
+        .join_stats()
 }
 
 /// Runs a program with the legacy static executor: per-group scoped
@@ -688,6 +701,8 @@ pub(crate) struct LocalStats {
     pub(crate) tiles: u64,
     pub(crate) chunks: u64,
     pub(crate) points: u64,
+    /// Tiles of a claimed strip abandoned because the run was cancelled.
+    pub(crate) cancelled_tiles: u64,
     /// Drained evaluator counters (uniform cache, load classes).
     pub(crate) eval: crate::EvalCounters,
 }

@@ -44,8 +44,8 @@ mod program;
 mod simd;
 
 pub use buffer::{BufDecl, BufId, BufKind, Buffer};
-pub use engine::{Engine, RunHandle};
-pub use error::VmError;
+pub use engine::{CancelToken, Engine, OverloadPolicy, Priority, RunHandle, RunRequest};
+pub use error::{CancelReason, VmError};
 pub use eval::{eval_kernel, BufView, ChunkCtx, EvalCounters, RegFile, CHUNK};
 pub use exec::{
     run_program, run_program_static, run_program_static_stats, run_program_stats, RunStats,

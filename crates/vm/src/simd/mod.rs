@@ -153,6 +153,26 @@ pub enum SimdOpt {
     Neon,
 }
 
+impl SimdOpt {
+    /// Parses the `POLYMAGE_SIMD` spellings: `auto` (or empty) → `Auto`,
+    /// `off`/`scalar`/`0`/`none` → `Off`, and the level names `sse2`,
+    /// `avx2`, `neon` (case-insensitive). `None` for anything else.
+    ///
+    /// This is the single source of truth for the knob's grammar — the
+    /// engine-level env override below and `polymage-core`'s centralized
+    /// `POLYMAGE_*` validation both parse through it.
+    pub fn parse_spelling(s: &str) -> Option<SimdOpt> {
+        match s.to_ascii_lowercase().as_str() {
+            "" | "auto" => Some(SimdOpt::Auto),
+            "off" | "scalar" | "0" | "none" => Some(SimdOpt::Off),
+            "sse2" => Some(SimdOpt::Sse2),
+            "avx2" => Some(SimdOpt::Avx2),
+            "neon" => Some(SimdOpt::Neon),
+            _ => None,
+        }
+    }
+}
+
 /// The best [`SimdLevel`] the running CPU supports.
 pub fn detect() -> SimdLevel {
     #[cfg(target_arch = "x86_64")]
@@ -213,15 +233,17 @@ fn env_override() -> Option<SimdLevel> {
     static ENV: OnceLock<Option<SimdLevel>> = OnceLock::new();
     *ENV.get_or_init(|| {
         let raw = std::env::var("POLYMAGE_SIMD").ok()?;
-        match raw.to_ascii_lowercase().as_str() {
-            "" | "auto" => None,
-            "off" | "scalar" | "0" | "none" => Some(SimdLevel::Scalar),
-            "sse2" => Some(clamp_to_detected(SimdLevel::Sse2)),
-            "avx2" => Some(clamp_to_detected(SimdLevel::Avx2)),
-            "neon" => Some(clamp_to_detected(SimdLevel::Neon)),
-            other => {
+        match SimdOpt::parse_spelling(&raw) {
+            Some(SimdOpt::Auto) => None,
+            Some(SimdOpt::Off) => Some(SimdLevel::Scalar),
+            Some(SimdOpt::Sse2) => Some(clamp_to_detected(SimdLevel::Sse2)),
+            Some(SimdOpt::Avx2) => Some(clamp_to_detected(SimdLevel::Avx2)),
+            Some(SimdOpt::Neon) => Some(clamp_to_detected(SimdLevel::Neon)),
+            None => {
+                // `core::options::env` reports malformed values through
+                // diag too; this warning covers engine-only embedders.
                 eprintln!(
-                    "polymage: ignoring unknown POLYMAGE_SIMD value `{other}` \
+                    "polymage: ignoring unknown POLYMAGE_SIMD value `{raw}` \
                      (expected off|scalar|sse2|avx2|neon|auto)"
                 );
                 None

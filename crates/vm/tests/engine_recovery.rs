@@ -118,7 +118,11 @@ fn engine_survives_worker_panics() {
     let inputs = std::slice::from_ref(&input);
 
     // The poisoned run fails with a clean error, not a hang or abort.
-    let err = engine.run(&bad, inputs).unwrap_err();
+    let err = engine
+        .submit(RunRequest::new(&bad, inputs))
+        .unwrap()
+        .join()
+        .unwrap_err();
     match &err {
         VmError::Internal(msg) => assert!(
             msg.contains("panicked"),
@@ -131,15 +135,27 @@ fn engine_survives_worker_panics() {
     // to the static oracle — pool not wedged, no poisoned-lock fallout.
     for threads in [1, 2] {
         let oracle = run_program_static(&good, inputs, threads).unwrap();
-        let got = engine.run_with_threads(&good, inputs, threads).unwrap();
+        let got = engine
+            .submit(RunRequest::new(&good, inputs).threads(threads))
+            .unwrap()
+            .join()
+            .unwrap();
         assert_eq!(bits(&oracle), bits(&got), "threads {threads}");
     }
 
     // Panics stay survivable, run after run.
-    let err2 = engine.run(&bad, inputs).unwrap_err();
+    let err2 = engine
+        .submit(RunRequest::new(&bad, inputs))
+        .unwrap()
+        .join()
+        .unwrap_err();
     assert!(matches!(err2, VmError::Internal(_)));
     let oracle = run_program_static(&good, inputs, 2).unwrap();
-    let got = engine.run(&good, inputs).unwrap();
+    let got = engine
+        .submit(RunRequest::new(&good, inputs))
+        .unwrap()
+        .join()
+        .unwrap();
     assert_eq!(bits(&oracle), bits(&got));
 }
 
@@ -155,8 +171,8 @@ fn panicked_run_fails_while_concurrent_run_completes() {
     let oracle = run_program_static(&good, inputs, 2).unwrap();
 
     for _ in 0..8 {
-        let h_bad = engine.submit(&bad, inputs).unwrap();
-        let h_good = engine.submit(&good, inputs).unwrap();
+        let h_bad = engine.submit(RunRequest::new(&bad, inputs)).unwrap();
+        let h_good = engine.submit(RunRequest::new(&good, inputs)).unwrap();
         assert!(h_bad.join().is_err());
         let got = h_good.join().unwrap();
         assert_eq!(bits(&oracle), bits(&got));

@@ -628,7 +628,9 @@ fn engine_reuse_matches_static_executor_bit_exact() {
                 let legacy =
                     run_program_static(&prog, std::slice::from_ref(&input), threads).unwrap();
                 let pooled = engine
-                    .run_with_threads(&prog, std::slice::from_ref(&input), threads)
+                    .submit(RunRequest::new(&prog, std::slice::from_ref(&input)).threads(threads))
+                    .unwrap()
+                    .join()
                     .unwrap();
                 assert_eq!(legacy.len(), pooled.len());
                 for (l, p) in legacy.iter().zip(&pooled) {
@@ -648,7 +650,9 @@ fn engine_stats_report_group_times() {
     let input = Buffer::zeros(Rect::new(vec![(0, 63)])).fill_with(|p| p[0] as f32);
     let engine = Engine::with_threads(2);
     let (outs, stats) = engine
-        .run_stats(&prog, std::slice::from_ref(&input))
+        .submit(RunRequest::new(&prog, std::slice::from_ref(&input)))
+        .unwrap()
+        .join_stats()
         .unwrap();
     assert_eq!(outs.len(), 1);
     assert_eq!(stats.tiles, 4);
